@@ -1,0 +1,197 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Section 7) as a printed table, runs the design-choice ablations, and
+   measures update throughput with Bechamel (the paper's Section 7.2
+   remark: sketch tracking processed ~0.5M items/s, distinct sampling up
+   to an order of magnitude faster).
+
+   Usage:
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- fig5a fig7c  # selected experiments
+     dune exec bench/main.exe -- --scale 0.2  # smaller/faster workloads
+     dune exec bench/main.exe -- --csv DIR    # also write one CSV per table
+     dune exec bench/main.exe -- --list       # available experiment ids
+     dune exec bench/main.exe -- --no-throughput *)
+
+module Experiments = Whats_different.Experiments
+module Report = Whats_different.Report
+module Rng = Wd_hashing.Rng
+module Fm = Wd_sketch.Fm
+module Sampler = Wd_sketch.Distinct_sampler
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Stream_gen = Wd_workload.Stream_gen
+module Stream = Wd_workload.Stream
+
+(* ------------------------------------------------------------------ *)
+(* Throughput microbenchmarks (Bechamel) *)
+
+let zipf_items n =
+  let rng = Rng.create 7 in
+  let dist = Wd_workload.Zipf.create ~n:100_000 ~skew:1.0 in
+  Array.init n (fun _ -> Wd_workload.Zipf.sample dist rng)
+
+let cyclic items =
+  let i = ref 0 in
+  fun () ->
+    let v = items.(!i) in
+    i := (!i + 1) land (Array.length items - 1);
+    v
+
+let throughput_tests () =
+  let open Bechamel in
+  let items = zipf_items 65_536 in
+  let fm_stochastic =
+    let fam =
+      Fm.family_custom ~rng:(Rng.create 1) ~variant:Fm.Stochastic ~bitmaps:128
+    in
+    let sk = Fm.create fam in
+    let next = cyclic items in
+    Test.make ~name:"fm-add(stochastic,m=128)"
+      (Staged.stage (fun () -> ignore (Fm.add sk (next ()) : bool)))
+  in
+  let fm_averaged =
+    let fam =
+      Fm.family_custom ~rng:(Rng.create 2) ~variant:Fm.Averaged ~bitmaps:10
+    in
+    let sk = Fm.create fam in
+    let next = cyclic items in
+    Test.make ~name:"fm-add(averaged,m=10)"
+      (Staged.stage (fun () -> ignore (Fm.add sk (next ()) : bool)))
+  in
+  let hll =
+    let fam = Wd_sketch.Hyperloglog.family_custom ~rng:(Rng.create 3) ~registers:1024 in
+    let sk = Wd_sketch.Hyperloglog.create fam in
+    let next = cyclic items in
+    Test.make ~name:"hll-add(m=1024)"
+      (Staged.stage (fun () -> ignore (Wd_sketch.Hyperloglog.add sk (next ()) : bool)))
+  in
+  let bjkst =
+    let fam = Wd_sketch.Bjkst.family_custom ~rng:(Rng.create 4) ~k:1024 in
+    let sk = Wd_sketch.Bjkst.create fam in
+    let next = cyclic items in
+    Test.make ~name:"bjkst-add(k=1024)"
+      (Staged.stage (fun () -> ignore (Wd_sketch.Bjkst.add sk (next ()) : bool)))
+  in
+  let sampler =
+    let fam = Sampler.family ~rng:(Rng.create 5) ~threshold:1_000 in
+    let s = Sampler.create fam in
+    let next = cyclic items in
+    Test.make ~name:"sampler-add(T=1000)"
+      (Staged.stage (fun () -> Sampler.add s (next ())))
+  in
+  let dc_observe =
+    let fam =
+      Fm.family_custom ~rng:(Rng.create 6) ~variant:Fm.Stochastic ~bitmaps:128
+    in
+    let t = Dc.Fm.create ~algorithm:Dc.LS ~theta:0.03 ~sites:4 ~family:fam () in
+    let next = cyclic items in
+    let site = ref 0 in
+    Test.make ~name:"dc-observe(LS,4 sites)"
+      (Staged.stage (fun () ->
+           site := (!site + 1) land 3;
+           Dc.Fm.observe t ~site:!site (next ())))
+  in
+  let ds_observe =
+    let fam = Sampler.family ~rng:(Rng.create 8) ~threshold:1_000 in
+    let t = Ds.create ~algorithm:Ds.LCO ~theta:0.25 ~sites:4 ~family:fam () in
+    let next = cyclic items in
+    let site = ref 0 in
+    Test.make ~name:"ds-observe(LCO,4 sites)"
+      (Staged.stage (fun () ->
+           site := (!site + 1) land 3;
+           Ds.observe t ~site:!site (next ())))
+  in
+  Test.make_grouped ~name:"throughput"
+    [ fm_stochastic; fm_averaged; hll; bjkst; sampler; dc_observe; ds_observe ]
+
+let run_throughput () =
+  let open Bechamel in
+  Report.print_section
+    "throughput: update cost per primitive (paper 7.2: sampling ~10x faster than sketching)";
+  let cfg = Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (throughput_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (ns :: _) when ns > 0.0 ->
+        rows :=
+          (name, ns, 1e9 /. ns) :: !rows
+      | _ -> ())
+    results;
+  let rows =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows
+    |> List.map (fun (name, ns, ips) ->
+           Report.[ S name; F ns; F (ips /. 1e6) ])
+  in
+  Report.print_table ~header:[ "operation"; "ns/update"; "M updates/s" ] rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let write_csv dir (t : Experiments.table) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (t.Experiments.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc
+    (Report.render_csv ~header:t.Experiments.header t.Experiments.rows);
+  output_char oc '\n';
+  close_out oc
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1.0 in
+  let with_throughput = ref true in
+  let csv_dir = ref None in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      parse rest
+    | "--no-throughput" :: rest ->
+      with_throughput := false;
+      parse rest
+    | "--list" :: _ ->
+      List.iter print_endline ("throughput" :: Experiments.ids);
+      exit 0
+    | id :: rest ->
+      selected := id :: !selected;
+      parse rest
+  in
+  parse args;
+  let options = { Experiments.default_options with scale = !scale } in
+  let emit t =
+    Experiments.print t;
+    Option.iter (fun dir -> write_csv dir t) !csv_dir
+  in
+  let selected = List.rev !selected in
+  let t0 = Unix.gettimeofday () in
+  (match selected with
+  | [] ->
+    Printf.printf
+      "Reproducing all figures of 'What's Different' (ICDE 2006) at scale %g\n"
+      !scale;
+    List.iter emit (Experiments.all ~options ());
+    if !with_throughput then run_throughput ()
+  | ids ->
+    List.iter
+      (fun id ->
+        if id = "throughput" then run_throughput ()
+        else
+          match Experiments.by_id id with
+          | Some f -> emit (f options)
+          | None ->
+            Printf.eprintf "unknown experiment %S (try --list)\n" id;
+            exit 1)
+      ids);
+  Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

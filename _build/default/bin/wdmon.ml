@@ -1,0 +1,360 @@
+(* wdmon: command-line driver for the duplicate-resilient monitoring
+   library.
+
+   Subcommands:
+     experiment  - reproduce a paper figure / ablation (or all of them)
+     dc          - one distinct-count tracking run with chosen parameters
+     ds          - one distinct-sample tracking run
+     hh          - one distinct heavy-hitters tracking run
+     list        - list available experiments and workloads *)
+
+open Cmdliner
+module Experiments = Whats_different.Experiments
+module Simulation = Whats_different.Simulation
+module Report = Whats_different.Report
+module Stream = Wd_workload.Stream
+module Http = Wd_workload.Http_trace
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let scale_arg =
+  let doc = "Workload scale factor (1.0 = calibrated default)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F" ~doc)
+
+let seed_arg =
+  let doc = "Random seed; equal seeds reproduce runs bit for bit." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let epsilon_arg =
+  let doc = "Total relative-error budget epsilon." in
+  Arg.(value & opt float 0.1 & info [ "epsilon" ] ~docv:"EPS" ~doc)
+
+let sites_arg =
+  let doc = "Number of remote sites for synthetic workloads." in
+  Arg.(value & opt int 4 & info [ "sites" ] ~docv:"K" ~doc)
+
+let events_arg =
+  let doc = "Number of stream events for synthetic workloads." in
+  Arg.(value & opt int 100_000 & info [ "events" ] ~docv:"N" ~doc)
+
+let workload_arg =
+  let doc =
+    "Workload: http-pairs (lightly duplicated (clientID,objectID) pairs), \
+     http-clients (heavily duplicated clientIDs), http-objects (moderately \
+     duplicated objectIDs), two-phase (the paper's synthetic), zipf, or \
+     gossip (sensor-network style duplication)."
+  in
+  Arg.(
+    value
+    & opt (enum
+             [ ("http-pairs", `Http_pairs);
+               ("http-clients", `Http_clients);
+               ("http-objects", `Http_objects);
+               ("two-phase", `Two_phase);
+               ("zipf", `Zipf);
+               ("gossip", `Gossip) ])
+        `Http_pairs
+    & info [ "workload"; "w" ] ~docv:"NAME" ~doc)
+
+let trace_arg =
+  let doc =
+    "Replay a saved trace instead of generating a workload (.csv or the \
+     WDTRACE1 binary format, auto-detected by extension)."
+  in
+  Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let load_trace path =
+  if Filename.check_suffix path ".csv" then Wd_workload.Trace_io.load_csv path
+  else Wd_workload.Trace_io.load_binary path
+
+let build_workload which ~scale ~seed ~sites ~events =
+  match which with
+  | `Http_pairs ->
+    let cfg = Http.scaled ~seed scale in
+    Http.view cfg Http.Client_object_pair Http.Per_region (Http.generate cfg)
+  | `Http_clients ->
+    let cfg = Http.scaled ~seed scale in
+    Http.view cfg Http.Client_id Http.Per_region (Http.generate cfg)
+  | `Http_objects ->
+    let cfg = Http.scaled ~seed scale in
+    Http.view cfg Http.Object_id Http.Per_region (Http.generate cfg)
+  | `Two_phase ->
+    let per_site = max 20 (events / (sites * (sites + 1))) in
+    Wd_workload.Two_phase.generate ~seed ~sites ~per_site ()
+  | `Zipf ->
+    Wd_workload.Stream_gen.zipf ~seed ~sites ~events
+      ~universe:(max 16 (events / 3))
+      ()
+  | `Gossip ->
+    Wd_workload.Stream_gen.sensor_gossip ~seed ~sites
+      ~readings:(max 1 (events / 4))
+      ~gossip_rounds:3 ()
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiment_cmd =
+  let ids_arg =
+    let doc =
+      "Experiment ids (fig5a..fig7c, ablation_*); runs everything when \
+       omitted."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run ids scale seed epsilon =
+    let options = { Experiments.default_options with scale; seed; epsilon } in
+    match ids with
+    | [] ->
+      List.iter Experiments.print (Experiments.all ~options ());
+      `Ok ()
+    | ids -> (
+      try
+        List.iter
+          (fun id ->
+            match Experiments.by_id id with
+            | Some f -> Experiments.print (f options)
+            | None -> raise Exit)
+          ids;
+        `Ok ()
+      with Exit ->
+        `Error
+          (false,
+           Printf.sprintf "unknown experiment; known ids: %s"
+             (String.concat ", " Experiments.ids)))
+  in
+  let doc = "Reproduce the paper's figures and the ablations." in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(ret (const run $ ids_arg $ scale_arg $ seed_arg $ epsilon_arg))
+
+(* ------------------------------------------------------------------ *)
+(* dc *)
+
+let dc_cmd =
+  let algo_arg =
+    let doc = "Tracking algorithm: NS, SC, SS, LS or EC." in
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (Dc.algorithm_to_string a, a)) Dc.all_algorithms))
+          Dc.LS
+      & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let theta_frac_arg =
+    let doc = "Lag share of the error budget (theta = F * epsilon)." in
+    Arg.(value & opt float 0.3 & info [ "theta-frac" ] ~docv:"F" ~doc)
+  in
+  let run algorithm theta_frac workload trace scale seed epsilon sites events =
+    let stream =
+      match trace with
+      | Some path -> load_trace path
+      | None -> build_workload workload ~scale ~seed ~sites ~events
+    in
+    let theta = theta_frac *. epsilon in
+    let alpha = epsilon -. theta in
+    let r = Simulation.run_dc ~seed ~algorithm ~theta ~alpha stream in
+    let exact = Simulation.exact_dc_bytes stream in
+    Report.print_section
+      (Printf.sprintf "distinct count tracking (%s)"
+         (Dc.algorithm_to_string algorithm));
+    Report.print_kv
+      [
+        ("sites", string_of_int (Stream.num_sites stream));
+        ("updates", string_of_int r.Simulation.dc_updates);
+        ("true distinct", string_of_int r.Simulation.dc_final_truth);
+        ("estimate", Printf.sprintf "%.0f" r.Simulation.dc_final_estimate);
+        ( "relative error",
+          Printf.sprintf "%.4f"
+            (Float.abs
+               (r.Simulation.dc_final_estimate
+               -. Float.of_int r.Simulation.dc_final_truth)
+            /. Float.of_int (max 1 r.Simulation.dc_final_truth)) );
+        ("bytes up / down",
+         Printf.sprintf "%d / %d" r.Simulation.dc_bytes_up
+           r.Simulation.dc_bytes_down);
+        ("total bytes", string_of_int r.Simulation.dc_total_bytes);
+        ("exact (EC) bytes", string_of_int exact);
+        ( "cost ratio",
+          Printf.sprintf "%.3e"
+            (Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact) );
+        ("site->coord messages", string_of_int r.Simulation.dc_sends);
+      ];
+    (* The asymmetric information flow the paper's conclusion highlights:
+       per-direction traffic differs sharply across algorithms. *)
+    Printf.printf "up/down asymmetry    : %.2f\n"
+      (Float.of_int r.Simulation.dc_bytes_up
+      /. Float.of_int (max 1 r.Simulation.dc_bytes_down))
+  in
+  let doc = "Run one distinct-count tracking simulation." in
+  Cmd.v (Cmd.info "dc" ~doc)
+    Term.(
+      const run $ algo_arg $ theta_frac_arg $ workload_arg $ trace_arg
+      $ scale_arg $ seed_arg $ epsilon_arg $ sites_arg $ events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ds *)
+
+let ds_cmd =
+  let algo_arg =
+    let doc = "Tracking algorithm: LCO, GCS, LCS or EDS." in
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (Ds.algorithm_to_string a, a)) Ds.all_algorithms))
+          Ds.LCO
+      & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Distinct-sample size bound T." in
+    Arg.(value & opt int 500 & info [ "threshold"; "T" ] ~docv:"T" ~doc)
+  in
+  let theta_arg =
+    let doc = "Count lag budget theta." in
+    Arg.(value & opt float 0.25 & info [ "theta" ] ~docv:"THETA" ~doc)
+  in
+  let run algorithm threshold theta workload trace scale seed sites events =
+    let stream =
+      match trace with
+      | Some path -> load_trace path
+      | None -> build_workload workload ~scale ~seed ~sites ~events
+    in
+    let r = Simulation.run_ds ~seed ~algorithm ~theta ~threshold stream in
+    let exact = Simulation.exact_ds_bytes stream in
+    let sample = r.Simulation.ds_final_sample in
+    let level = r.Simulation.ds_final_level in
+    let module D = Wd_aggregate.Duplication in
+    Report.print_section
+      (Printf.sprintf "distinct sample tracking (%s)"
+         (Ds.algorithm_to_string algorithm));
+    Report.print_kv
+      [
+        ("sites", string_of_int (Stream.num_sites stream));
+        ("updates", string_of_int r.Simulation.ds_updates);
+        ("sample size / T",
+         Printf.sprintf "%d / %d" (List.length sample) threshold);
+        ("sampling level", string_of_int level);
+        ("distinct estimate",
+         Printf.sprintf "%.0f" r.Simulation.ds_distinct_estimate);
+        ("true distinct", string_of_int (Stream.distinct_count stream));
+        ("unique-event estimate",
+         Printf.sprintf "%.0f" (D.unique_count ~level sample));
+        ( "median duplication",
+          match D.median_count sample with
+          | Some m -> string_of_int m
+          | None -> "n/a" );
+        ("max count error",
+         Printf.sprintf "%.4f" r.Simulation.ds_max_count_error);
+        ("total bytes", string_of_int r.Simulation.ds_total_bytes);
+        ("exact (EDS) bytes", string_of_int exact);
+        ( "cost ratio",
+          Printf.sprintf "%.3e"
+            (Float.of_int r.Simulation.ds_total_bytes /. Float.of_int exact) );
+      ]
+  in
+  let doc = "Run one distinct-sample tracking simulation." in
+  Cmd.v (Cmd.info "ds" ~doc)
+    Term.(
+      const run $ algo_arg $ threshold_arg $ theta_arg $ workload_arg
+      $ trace_arg $ scale_arg $ seed_arg $ sites_arg $ events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hh *)
+
+let hh_cmd =
+  let algo_arg =
+    let doc = "Tracking algorithm: NS, SC, SS or LS." in
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun a -> (Dc.algorithm_to_string a, a))
+                Dc.approximate_algorithms))
+          Dc.LS
+      & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let top_arg =
+    let doc = "Report the top-K distinct heavy hitters." in
+    Arg.(value & opt int 10 & info [ "top"; "k" ] ~docv:"K" ~doc)
+  in
+  let run algorithm top_k scale seed =
+    let cfg = Http.scaled ~seed scale in
+    let pairs =
+      Simulation.pair_stream_of_requests cfg Http.Per_region (Http.generate cfg)
+    in
+    let r =
+      Simulation.run_hh ~seed ~top_k ~algorithm ~theta:0.03
+        ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 500; bitmaps = 10 }
+        pairs
+    in
+    Report.print_section
+      (Printf.sprintf "distinct heavy hitters (%s): objects by distinct clients"
+         (Dc.algorithm_to_string algorithm));
+    Report.print_kv
+      [
+        ("updates", string_of_int r.Simulation.hh_updates);
+        ("total bytes", string_of_int r.Simulation.hh_total_bytes);
+        ("exact-pair bytes", string_of_int r.Simulation.hh_exact_bytes);
+        ( "cost ratio",
+          Printf.sprintf "%.3e"
+            (Float.of_int r.Simulation.hh_total_bytes
+            /. Float.of_int r.Simulation.hh_exact_bytes) );
+        (Printf.sprintf "recall@%d" top_k,
+         Printf.sprintf "%.2f" r.Simulation.hh_topk_recall);
+        ("normalized degree error",
+         Printf.sprintf "%.5f" r.Simulation.hh_avg_norm_error);
+      ]
+  in
+  let doc = "Run one distinct heavy-hitters tracking simulation." in
+  Cmd.v (Cmd.info "hh" ~doc)
+    Term.(const run $ algo_arg $ top_arg $ scale_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* workload *)
+
+let workload_cmd =
+  let out_arg =
+    let doc = "Output file (.csv for text, anything else for binary)." in
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run workload out scale seed sites events =
+    let stream = build_workload workload ~scale ~seed ~sites ~events in
+    if Filename.check_suffix out ".csv" then
+      Wd_workload.Trace_io.save_csv out stream
+    else Wd_workload.Trace_io.save_binary out stream;
+    Printf.printf "wrote %d events (%d sites, %d distinct, dup %.2f) to %s\n"
+      (Stream.length stream) (Stream.num_sites stream)
+      (Stream.distinct_count stream)
+      (Stream.duplication_factor stream)
+      out
+  in
+  let doc = "Generate a workload and save it as a replayable trace." in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(
+      const run $ workload_arg $ out_arg $ scale_arg $ seed_arg $ sites_arg
+      $ events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd =
+  let run () =
+    print_endline "experiments:";
+    List.iter (fun id -> Printf.printf "  %s\n" id) Experiments.ids;
+    print_endline
+      "workloads: http-pairs http-clients http-objects two-phase zipf gossip"
+  in
+  let doc = "List available experiments and workloads." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Distributed, continuous monitoring of duplicate-resilient aggregates \
+     (reproduction of Cormode, Muthukrishnan & Zhuang, ICDE 2006)."
+  in
+  let info = Cmd.info "wdmon" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ experiment_cmd; dc_cmd; ds_cmd; hh_cmd; workload_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/dashboard.ml: List Printf Wd_aggregate Wd_hashing Wd_net Wd_workload Whats_different

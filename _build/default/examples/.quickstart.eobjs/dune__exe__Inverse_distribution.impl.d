@@ -1,0 +1,1 @@
+examples/inverse_distribution.ml: List Printf Wd_aggregate Wd_hashing Wd_net Wd_protocol Wd_sketch Wd_workload

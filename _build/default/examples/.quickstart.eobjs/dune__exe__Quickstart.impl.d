@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Hashtbl List Printf Wd_aggregate Wd_hashing Wd_net Wd_protocol Wd_sketch

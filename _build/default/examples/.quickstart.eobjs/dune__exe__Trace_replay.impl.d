@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Filename Float List Printf Sys Wd_protocol Wd_workload Whats_different

@@ -1,0 +1,1 @@
+examples/wildlife.ml: Hashtbl List Printf Wd_aggregate Wd_hashing Wd_net Wd_protocol Wd_sketch

@@ -1,0 +1,73 @@
+(* A continuous monitoring dashboard over the bundled Monitor facade.
+
+   A CDN operator watches 6 edge sites.  Requests are keyed
+   (content_id, user_id); the same request may be logged at several
+   edges (anycast retries).  Every "hour" the dashboard refreshes all of
+   the Section 6 query menu from coordinator state alone — no extra
+   communication is spent on queries, only on the tracking protocol
+   itself.
+
+   Run with:  dune exec examples/dashboard.exe *)
+
+module M = Whats_different.Monitor
+module Rng = Wd_hashing.Rng
+
+let sites = 6
+let contents = 3_000
+let users = 20_000
+
+let () =
+  let m =
+    M.create
+      {
+        (M.default_config ~sites) with
+        M.sample_threshold = 800;
+        (* Enough columns that the 3000 content keys rarely collide. *)
+        hh = Some { Wd_aggregate.Fm_array.rows = 4; cols = 1024; bitmaps = 12 };
+        seed = 5;
+      }
+  in
+  let rng = Rng.create 29 in
+  let content_pop = Wd_workload.Zipf.create ~n:contents ~skew:1.0 in
+  let user_act = Wd_workload.Zipf.create ~n:users ~skew:0.8 in
+
+  let hours = 8 in
+  let requests_per_hour = 30_000 in
+  for hour = 1 to hours do
+    for _ = 1 to requests_per_hour do
+      let v = Wd_workload.Zipf.sample content_pop rng in
+      let w = Wd_workload.Zipf.sample user_act rng in
+      (* 1-2 edges log the request. *)
+      let copies = 1 + (if Rng.float rng 1.0 < 0.3 then 1 else 0) in
+      for c = 0 to copies - 1 do
+        M.observe_pair m ~site:((w + c) mod sites) ~v ~w
+      done
+    done;
+    Printf.printf "hour %d | distinct requests ~%8.0f | one-off requests ~%8.0f\n"
+      hour (M.distinct m) (M.unique m)
+  done;
+
+  Printf.printf "\n== end-of-day dashboard ==\n";
+  Printf.printf "distinct (content,user) requests : ~%.0f\n" (M.distinct m);
+  Printf.printf "requests logged exactly once     : ~%.0f\n" (M.unique m);
+  (match M.median_duplication m with
+  | Some d -> Printf.printf "median log copies per request    : %d\n" d
+  | None -> ());
+  Printf.printf "requests logged 2+ times         : %.0f%%\n"
+    (100.0 *. M.duplication_fraction m (fun c -> c >= 2));
+
+  Printf.printf "\ntop content by distinct users:\n";
+  List.iter
+    (fun (v, est) -> Printf.printf "  content %4d  ~%.0f users\n" v est)
+    (M.top_keys m ~k:5);
+
+  Printf.printf "\ncommunication spent:\n";
+  List.iter
+    (fun (name, b) -> Printf.printf "  %-16s %9d bytes\n" name b)
+    (M.bytes_breakdown m);
+  Printf.printf "  %-16s %9d bytes\n" "total" (M.total_bytes m);
+  let raw =
+    hours * requests_per_hour * 13 / 10 (* ~1.3 copies *)
+    * Wd_net.Wire.message ~payload:(2 * Wd_net.Wire.item_bytes)
+  in
+  Printf.printf "  %-16s %9d bytes\n" "raw forwarding" raw

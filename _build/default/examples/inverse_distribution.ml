@@ -1,0 +1,96 @@
+(* Inverse-distribution and duplicate-resilient quantile queries
+   (Section 6 applications beyond counting).
+
+   A payment platform observes transactions at 6 regional gateways; the
+   same transaction can be logged by several gateways (failover,
+   auditing).  Analysts ask questions about the DISTINCT transaction ids
+   and about per-merchant activity:
+
+   - What fraction of transactions were retried at most twice?
+     (inverse quantile of the duplication distribution)
+   - Which retry counts are most common?  (inverse heavy hitters)
+   - What is the median merchant id weighted by distinct transactions —
+     i.e., the duplicate-resilient median over merchant ids?
+     (distinct quantiles via the dyadic FM structure)
+
+   Run with:  dune exec examples/inverse_distribution.exe *)
+
+module Rng = Wd_hashing.Rng
+module Sampler = Wd_sketch.Distinct_sampler
+module Ds = Wd_protocol.Ds_tracker
+module Dq = Wd_aggregate.Distinct_quantiles
+module D = Wd_aggregate.Duplication
+module Dc = Wd_protocol.Dc_tracker
+module Network = Wd_net.Network
+
+let gateways = 6
+let merchants = 4_096
+
+let () =
+  let rng = Rng.create 23 in
+
+  (* Distinct sample over transaction ids, with per-id observation
+     counts: the inverse distribution lives here. *)
+  let ds_family = Sampler.family ~rng ~threshold:1_024 in
+  let txns =
+    Ds.create ~algorithm:Ds.LCS ~theta:0.2 ~sites:gateways ~family:ds_family ()
+  in
+
+  (* Duplicate-resilient quantiles over merchant ids: every distinct
+     transaction contributes its merchant once, no matter how often the
+     transaction is re-logged. *)
+  let dq_family =
+    Dq.family ~rng { Dq.universe = merchants; rows = 3; cols = 256; bitmaps = 10 }
+  in
+  let merchants_q =
+    Dq.Tracked.create ~item_batching:true ~algorithm:Dc.LS ~theta:0.03
+      ~sites:gateways ~family:dq_family ()
+  in
+
+  (* Merchants are Zipf-popular; popular merchants sit at LOW ids here so
+     the distinct-median over merchant ids is informative. *)
+  let merchant_dist = Wd_workload.Zipf.create ~n:merchants ~skew:0.9 in
+  let n_txns = 50_000 in
+  for txn = 0 to n_txns - 1 do
+    let merchant = Wd_workload.Zipf.sample merchant_dist rng in
+    (* 1 original + geometric retries/failovers, each logged at a random
+       gateway. *)
+    let copies = 1 + Wd_hashing.Rng.geometric_level rng in
+    for _ = 1 to copies do
+      let gw = Rng.int rng gateways in
+      Ds.observe txns ~site:gw txn;
+      Dq.Tracked.observe merchants_q ~site:gw merchant
+    done
+  done;
+
+  let sample = Ds.sample txns in
+  let level = Ds.level txns in
+  Printf.printf "-- transaction duplication (from a %d-item distinct sample) --\n"
+    (List.length sample);
+  Printf.printf "distinct transactions     : ~%.0f (truth %d)\n"
+    (D.distinct_count ~level sample)
+    n_txns;
+  Printf.printf "logged exactly once       : ~%.0f (expected ~%d)\n"
+    (D.unique_count ~level sample)
+    (n_txns / 2);
+  Printf.printf "logged at most twice      : %.0f%% (expected ~75%%)\n"
+    (100.0 *. D.inverse_quantile ~count:2 sample);
+  Printf.printf "common retry counts (inverse heavy hitters, phi = 10%%):\n";
+  List.iter
+    (fun (count, share) ->
+      Printf.printf "  %d cop%s -> %.0f%% of transactions\n" count
+        (if count = 1 then "y" else "ies")
+        (100.0 *. share))
+    (D.inverse_heavy_hitters ~phi:0.1 sample);
+
+  Printf.printf "\n-- merchant activity (duplicate-resilient quantiles) --\n";
+  Printf.printf "distinct txns estimate    : ~%.0f\n"
+    (Dq.Tracked.distinct merchants_q);
+  Printf.printf "median merchant id        : %d\n"
+    (Dq.Tracked.median merchants_q);
+  Printf.printf "p90 merchant id           : %d\n"
+    (Dq.Tracked.quantile merchants_q 0.9);
+
+  Printf.printf "\ncommunication: sample %d bytes, quantiles %d bytes\n"
+    (Network.total_bytes (Ds.network txns))
+    (Network.total_bytes (Dq.Tracked.network merchants_q))

@@ -1,0 +1,1 @@
+lib/aggregate/distinct_hh.ml: Float Fm_array Hashtbl List Seq Tracked_fm_array

@@ -1,0 +1,1 @@
+lib/aggregate/distinct_hh.mli: Fm_array Hashtbl Seq Wd_net Wd_protocol

@@ -1,0 +1,1 @@
+lib/aggregate/distinct_quantiles.ml: Array Float Fm_array Hashtbl List Tracked_fm_array Wd_hashing Wd_net

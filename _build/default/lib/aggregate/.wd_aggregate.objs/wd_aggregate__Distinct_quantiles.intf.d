@@ -1,0 +1,1 @@
+lib/aggregate/distinct_quantiles.mli: Hashtbl Wd_hashing Wd_net Wd_protocol

@@ -1,0 +1,1 @@
+lib/aggregate/duplication.ml: Float Hashtbl List Option

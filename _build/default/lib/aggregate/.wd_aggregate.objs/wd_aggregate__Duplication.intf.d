@@ -1,0 +1,1 @@
+lib/aggregate/duplication.mli:

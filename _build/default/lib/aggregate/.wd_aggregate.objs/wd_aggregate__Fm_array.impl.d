@@ -1,0 +1,1 @@
+lib/aggregate/fm_array.ml: Array Float Int64 Splitmix Wd_hashing Wd_sketch

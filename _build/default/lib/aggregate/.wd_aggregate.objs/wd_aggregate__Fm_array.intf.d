@@ -1,0 +1,1 @@
+lib/aggregate/fm_array.mli: Wd_hashing Wd_sketch

@@ -1,0 +1,1 @@
+lib/aggregate/tracked_fm_array.ml: Array Float Fm_array Wd_net Wd_protocol

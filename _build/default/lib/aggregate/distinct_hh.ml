@@ -1,0 +1,80 @@
+let top_by_estimate ~estimate ~k candidates =
+  let scored = List.map (fun v -> (v, estimate v)) candidates in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b a) scored in
+  List.filteri (fun i _ -> i < k) sorted
+
+module Registry = struct
+  type t = (int, unit) Hashtbl.t
+
+  let create () : t = Hashtbl.create 1024
+
+  let note t v = if not (Hashtbl.mem t v) then Hashtbl.replace t v ()
+
+  let to_list t = Hashtbl.fold (fun v () acc -> v :: acc) t []
+end
+
+module Centralized = struct
+  type t = { array : Fm_array.t; keys : Registry.t }
+
+  let create ~family = { array = Fm_array.create family; keys = Registry.create () }
+
+  let add t ~v ~w =
+    Registry.note t.keys v;
+    ignore
+      (Fm_array.add t.array ~key:v ~element:(Fm_array.pair_element ~v ~w)
+        : bool)
+
+  let estimate t v = Fm_array.estimate t.array ~key:v
+
+  let top_of_candidates t ~k candidates =
+    top_by_estimate ~estimate:(estimate t) ~k candidates
+
+  let top t ~k = top_of_candidates t ~k (Registry.to_list t.keys)
+
+  let array t = t.array
+end
+
+module Tracked = struct
+  type t = { tracked : Tracked_fm_array.t; keys : Registry.t }
+
+  let create ?cost_model ?item_batching ~algorithm ~theta ~sites ~family () =
+    {
+      tracked =
+        Tracked_fm_array.create ?cost_model ?item_batching ~algorithm ~theta
+          ~sites ~family ();
+      keys = Registry.create ();
+    }
+
+  let observe t ~site ~v ~w =
+    Registry.note t.keys v;
+    Tracked_fm_array.observe t.tracked ~site ~key:v
+      ~element:(Fm_array.pair_element ~v ~w)
+
+  let estimate t v = Tracked_fm_array.estimate t.tracked ~key:v
+
+  let top_of_candidates t ~k candidates =
+    top_by_estimate ~estimate:(estimate t) ~k candidates
+
+  let top t ~k = top_of_candidates t ~k (Registry.to_list t.keys)
+
+  let network t = Tracked_fm_array.network t.tracked
+  let sends t = Tracked_fm_array.sends t.tracked
+end
+
+let exact_degrees pairs =
+  let partners : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 1024 in
+  Seq.iter
+    (fun (v, w) ->
+      let set =
+        match Hashtbl.find_opt partners v with
+        | Some set -> set
+        | None ->
+          let set = Hashtbl.create 8 in
+          Hashtbl.replace partners v set;
+          set
+      in
+      if not (Hashtbl.mem set w) then Hashtbl.replace set w ())
+    pairs;
+  let degrees = Hashtbl.create (Hashtbl.length partners) in
+  Hashtbl.iter (fun v set -> Hashtbl.replace degrees v (Hashtbl.length set)) partners;
+  degrees

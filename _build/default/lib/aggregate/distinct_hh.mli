@@ -1,0 +1,69 @@
+(** Distinct heavy hitters (Section 6.2).
+
+    The input is a stream of pairs [(v, w)] — e.g. (objectID, clientID)
+    HTTP requests — and the degree of [v] is
+
+    [d_v = |{ w : (v, w) in S_0 }|],
+
+    the number of {e distinct} partners [v] occurs with, regardless of how
+    many times each pair repeats or at how many sites it is seen.  The
+    distinct heavy hitters are the [v]s with the largest [d_v]: "the
+    objects requested by the largest number of distinct clients, without
+    being influenced by clients requesting the same object multiple
+    times".
+
+    Both forms use the {!Fm_array} structure of [10, 18]; estimates of
+    [d_v] are min-over-rows of the FM cells [v] hashes to.
+
+    {!Centralized} is the single-site structure; {!Tracked} runs every
+    cell under a distinct-count tracking algorithm as in Figure 7(c).
+
+    Both keep an (uncharged) registry of the keys they have seen so that
+    [top] can be answered without an externally supplied candidate set;
+    the paper's experiments query known objectIDs, so the registry is a
+    query-side convenience that adds no protocol communication. *)
+
+module Centralized : sig
+  type t
+
+  val create : family:Fm_array.family -> t
+  val add : t -> v:int -> w:int -> unit
+  val estimate : t -> int -> float
+  (** [estimate t v] approximates [d_v]. *)
+
+  val top : t -> k:int -> (int * float) list
+  (** The [k] keys with the largest estimated degrees, descending. *)
+
+  val top_of_candidates : t -> k:int -> int list -> (int * float) list
+  (** Like [top] but over an explicit candidate set. *)
+
+  val array : t -> Fm_array.t
+end
+
+module Tracked : sig
+  type t
+
+  val create :
+    ?cost_model:Wd_net.Network.cost_model ->
+    ?item_batching:bool ->
+    algorithm:Wd_protocol.Dc_tracker.algorithm ->
+    theta:float ->
+    sites:int ->
+    family:Fm_array.family ->
+    unit ->
+    t
+
+  val observe : t -> site:int -> v:int -> w:int -> unit
+  val estimate : t -> int -> float
+  (** The coordinator's continuous approximation of [d_v]. *)
+
+  val top : t -> k:int -> (int * float) list
+  val top_of_candidates : t -> k:int -> int list -> (int * float) list
+
+  val network : t -> Wd_net.Network.t
+  val sends : t -> int
+end
+
+val exact_degrees : (int * int) Seq.t -> (int, int) Hashtbl.t
+(** Ground truth: exact [d_v] for every [v] in a pair sequence (for
+    evaluation only — linear space). *)

@@ -1,0 +1,141 @@
+module Rng = Wd_hashing.Rng
+
+type config = { universe : int; rows : int; cols : int; bitmaps : int }
+
+let default_config = { universe = 16_384; rows = 3; cols = 256; bitmaps = 8 }
+
+let round_up_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+type family = {
+  cfg : config;
+  pow2_universe : int;
+  nlevels : int; (* log2 pow2_universe + 1 *)
+  per_level : Fm_array.family array;
+}
+
+let family ~rng cfg =
+  if cfg.universe < 2 then
+    invalid_arg "Distinct_quantiles.family: universe must be >= 2";
+  let pow2_universe = round_up_pow2 cfg.universe in
+  let rec log2 n acc = if n = 1 then acc else log2 (n / 2) (acc + 1) in
+  let nlevels = log2 pow2_universe 0 + 1 in
+  let level_family h =
+    (* Level h has pow2_universe / 2^h buckets; no point hashing a handful
+       of buckets into more columns than there are buckets. *)
+    let buckets = pow2_universe lsr h in
+    let cols = max 1 (min cfg.cols buckets) in
+    Fm_array.family ~rng { rows = cfg.rows; cols; bitmaps = cfg.bitmaps }
+  in
+  { cfg; pow2_universe; nlevels; per_level = Array.init nlevels level_family }
+
+let levels fam = fam.nlevels
+
+let check_item fam x =
+  if x < 0 || x >= fam.pow2_universe then
+    invalid_arg "Distinct_quantiles: item outside the universe"
+
+(* Decompose [0, x] into dyadic intervals and sum their per-level
+   estimates via [estimate_at : level -> bucket -> float]. *)
+let rank_with fam ~estimate_at x =
+  check_item fam x;
+  let remaining = x + 1 in
+  let total = ref 0.0 and pos = ref 0 in
+  for h = fam.nlevels - 1 downto 0 do
+    if (remaining lsr h) land 1 = 1 then begin
+      total := !total +. estimate_at h (!pos lsr h);
+      pos := !pos + (1 lsl h)
+    end
+  done;
+  !total
+
+let quantile_with fam ~rank q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Distinct_quantiles.quantile: q must be in [0,1]";
+  let target = q *. rank (fam.pow2_universe - 1) in
+  (* Least x whose rank reaches the target. *)
+  let lo = ref 0 and hi = ref (fam.pow2_universe - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if rank mid >= target then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+module Centralized = struct
+  type t = { fam : family; arrays : Fm_array.t array }
+
+  let create ~family:fam =
+    { fam; arrays = Array.map Fm_array.create fam.per_level }
+
+  let add t x =
+    check_item t.fam x;
+    for h = 0 to t.fam.nlevels - 1 do
+      ignore (Fm_array.add t.arrays.(h) ~key:(x lsr h) ~element:x : bool)
+    done
+
+  let rank t x =
+    rank_with t.fam
+      ~estimate_at:(fun h bucket -> Fm_array.estimate t.arrays.(h) ~key:bucket)
+      x
+
+  let distinct t = rank t (t.fam.pow2_universe - 1)
+
+  let quantile t q = quantile_with t.fam ~rank:(rank t) q
+
+  let median t = quantile t 0.5
+end
+
+module Tracked = struct
+  type t = { fam : family; arrays : Tracked_fm_array.t array; net : Wd_net.Network.t }
+
+  let create ?(cost_model = Wd_net.Network.Unicast) ?item_batching ~algorithm
+      ~theta ~sites ~family:fam () =
+    (* One ledger shared by every cell of every level: [network t] reports
+       the full communication cost of the quantile structure. *)
+    let net = Wd_net.Network.create ~cost_model ~sites () in
+    let arrays =
+      Array.map
+        (fun lf ->
+          Tracked_fm_array.create ~network:net ?item_batching ~algorithm
+            ~theta ~sites ~family:lf ())
+        fam.per_level
+    in
+    { fam; arrays; net }
+
+  let observe t ~site x =
+    check_item t.fam x;
+    for h = 0 to t.fam.nlevels - 1 do
+      Tracked_fm_array.observe t.arrays.(h) ~site ~key:(x lsr h) ~element:x
+    done
+
+  let rank t x =
+    rank_with t.fam
+      ~estimate_at:(fun h bucket ->
+        Tracked_fm_array.estimate t.arrays.(h) ~key:bucket)
+      x
+
+  let distinct t = rank t (t.fam.pow2_universe - 1)
+
+  let quantile t q = quantile_with t.fam ~rank:(rank t) q
+
+  let median t = quantile t 0.5
+
+  let network t = t.net
+end
+
+let exact_rank multiplicities x =
+  Hashtbl.fold (fun v _ acc -> if v <= x then acc + 1 else acc) multiplicities 0
+
+let exact_quantile multiplicities q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Distinct_quantiles.exact_quantile: q must be in [0,1]";
+  let keys =
+    List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) multiplicities [])
+  in
+  match keys with
+  | [] -> None
+  | _ ->
+    let n = List.length keys in
+    let rank = min (n - 1) (int_of_float (q *. Float.of_int n)) in
+    Some (List.nth keys rank)

@@ -1,0 +1,82 @@
+(** Duplicate-resilient quantiles (Section 6.2, footnote 3).
+
+    The [q]-quantile over distinct items: the value [x] such that a [q]
+    fraction of the {e distinct} items of the union stream are [<= x] —
+    insensitive to how often each item is repeated or at how many sites it
+    appears.
+
+    Following the paper's pointer to [10], the structure is a dyadic
+    decomposition over the item domain [\[0, universe)] (rounded up to a
+    power of two): one {!Fm_array} per dyadic level [h], keyed by the
+    bucket [item lsr h] and counting the distinct items inside the bucket.
+    The duplicate-resilient rank of [x] is then the sum of the distinct
+    counts of the O(log U) dyadic intervals composing [\[0, x\]], and a
+    quantile query binary-searches the rank.
+
+    {!Centralized} is the single-site structure; {!Tracked} runs every
+    cell of every level under a distinct-count tracking protocol, exactly
+    as for distinct heavy hitters. *)
+
+type config = {
+  universe : int;  (** item domain size; rounded up to a power of two *)
+  rows : int;  (** hash rows per level *)
+  cols : int;  (** cells per row per level *)
+  bitmaps : int;  (** FM repetitions per cell *)
+}
+
+val default_config : config
+(** [universe = 16384; rows = 3; cols = 256; bitmaps = 8]. *)
+
+type family
+
+val family : rng:Wd_hashing.Rng.t -> config -> family
+val levels : family -> int
+(** Number of dyadic levels, [log2 universe + 1]. *)
+
+module Centralized : sig
+  type t
+
+  val create : family:family -> t
+  val add : t -> int -> unit
+  (** [add t x] inserts item [x] in [\[0, universe)]. *)
+
+  val rank : t -> int -> float
+  (** [rank t x] approximates the number of distinct items [<= x]. *)
+
+  val distinct : t -> float
+  (** Approximate total distinct count ([rank] of the top of the domain). *)
+
+  val quantile : t -> float -> int
+  (** [quantile t q] for [q] in [\[0, 1\]]: the smallest [x] whose rank
+      reaches [q * distinct]. *)
+
+  val median : t -> int
+end
+
+module Tracked : sig
+  type t
+
+  val create :
+    ?cost_model:Wd_net.Network.cost_model ->
+    ?item_batching:bool ->
+    algorithm:Wd_protocol.Dc_tracker.algorithm ->
+    theta:float ->
+    sites:int ->
+    family:family ->
+    unit ->
+    t
+
+  val observe : t -> site:int -> int -> unit
+  val rank : t -> int -> float
+  val distinct : t -> float
+  val quantile : t -> float -> int
+  val median : t -> int
+  val network : t -> Wd_net.Network.t
+end
+
+val exact_rank : (int, int) Hashtbl.t -> int -> int
+(** Ground truth from exact multiplicities: number of distinct keys
+    [<= x]. *)
+
+val exact_quantile : (int, int) Hashtbl.t -> float -> int option
+(** Ground truth [q]-quantile over distinct keys. *)

@@ -1,0 +1,73 @@
+type sample = (int * int) list
+
+let scale level = 2.0 ** Float.of_int level
+
+let unique_count ~level s =
+  let ones = List.length (List.filter (fun (_, c) -> c = 1) s) in
+  Float.of_int ones *. scale level
+
+let distinct_count ~level s = Float.of_int (List.length s) *. scale level
+
+let fraction pred s =
+  match s with
+  | [] -> 0.0
+  | _ ->
+    let hit = List.length (List.filter (fun (_, c) -> pred c) s) in
+    Float.of_int hit /. Float.of_int (List.length s)
+
+let inverse_quantile ~count s = fraction (fun c -> c <= count) s
+
+let inverse_range ~lo ~hi s = fraction (fun c -> lo <= c && c <= hi) s
+
+let inverse_heavy_hitters ~phi s =
+  if phi <= 0.0 || phi > 1.0 then
+    invalid_arg "Duplication.inverse_heavy_hitters: phi must be in (0,1]";
+  match s with
+  | [] -> []
+  | _ ->
+    let total = Float.of_int (List.length s) in
+    let by_count = Hashtbl.create 64 in
+    List.iter
+      (fun (_, c) ->
+        Hashtbl.replace by_count c
+          (1 + Option.value (Hashtbl.find_opt by_count c) ~default:0))
+      s;
+    Hashtbl.fold
+      (fun c n acc ->
+        let share = Float.of_int n /. total in
+        if share >= phi then (c, share) :: acc else acc)
+      by_count []
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let count_quantile ~q s =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Duplication.count_quantile: q must be in [0,1]";
+  match s with
+  | [] -> None
+  | _ ->
+    let counts = List.sort compare (List.map snd s) in
+    let n = List.length counts in
+    let rank = min (n - 1) (int_of_float (q *. Float.of_int n)) in
+    Some (List.nth counts rank)
+
+let median_count s = count_quantile ~q:0.5 s
+
+let mean_count s =
+  match s with
+  | [] -> 0.0
+  | _ ->
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 s in
+    Float.of_int total /. Float.of_int (List.length s)
+
+let value_quantile ~q s =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Duplication.value_quantile: q must be in [0,1]";
+  match s with
+  | [] -> None
+  | _ ->
+    let values = List.sort compare (List.map fst s) in
+    let n = List.length values in
+    let rank = min (n - 1) (int_of_float (q *. Float.of_int n)) in
+    Some (List.nth values rank)
+
+let value_median s = value_quantile ~q:0.5 s

@@ -1,0 +1,75 @@
+(** Duplicate-resilient "amount of duplication" aggregates (Section 6.1)
+    and the inverse-distribution queries they generalize to.
+
+    All estimators consume a {e distinct sample}: the coordinator output of
+    a {!Wd_protocol.Ds_tracker} (or a standalone
+    {!Wd_sketch.Distinct_sampler}) — [(item, count)] pairs drawn uniformly
+    from the distinct items, each count within a [1 + theta] factor of the
+    item's true global occurrence count, plus the sampling [level].
+
+    Because the sample is uniform over {e distinct} items (not weighted by
+    multiplicity), the fraction of sampled items satisfying a predicate on
+    their count is an unbiased estimator of the same fraction over all
+    distinct items — the inverse distribution [f^-1] of Cormode,
+    Muthukrishnan & Rozenbaum (VLDB 2005).  With sample size
+    [T = Omega(1/eps^2 log 1/delta)] every such fraction is within
+    [+- eps] with probability [1 - delta].
+
+    Count-valued answers (median duplication, count quantiles) inherit the
+    extra [1 + theta] count uncertainty; purely threshold-based answers
+    (e.g. "is the count exactly 1") are unaffected by [theta] as long as
+    [theta < 1], since a true count of 1 cannot be confused with a true
+    count of 2 or more. *)
+
+type sample = (int * int) list
+(** Retained [(item, count)] pairs from the coordinator. *)
+
+val unique_count : level:int -> sample -> float
+(** Estimated number of items seen {e exactly once} globally: the number
+    of count-1 pairs scaled by [2^level] (each retained item stands for
+    [2^level] distinct items). *)
+
+val distinct_count : level:int -> sample -> float
+(** The sampler's own distinct-count estimate, [|sample| * 2^level]. *)
+
+val fraction : (int -> bool) -> sample -> float
+(** [fraction pred s] is the fraction of distinct items whose occurrence
+    count satisfies [pred] ([0] on an empty sample). *)
+
+val inverse_quantile : count:int -> sample -> float
+(** [inverse_quantile ~count s] estimates the fraction of distinct items
+    occurring at most [count] times — the inverse cumulative
+    distribution evaluated at [count]. *)
+
+val inverse_range : lo:int -> hi:int -> sample -> float
+(** Fraction of distinct items with count in [\[lo, hi\]]. *)
+
+val inverse_heavy_hitters : phi:float -> sample -> (int * float) list
+(** Occurrence counts [c] whose share of distinct items is at least
+    [phi], with their estimated shares, sorted by share descending — the
+    "inverse heavy hitters" of the inverse distribution. *)
+
+val count_quantile : q:float -> sample -> int option
+(** [count_quantile ~q s] is the [q]-quantile (in [\[0,1\]]) of the
+    per-item occurrence counts: an approximation of the count [c] such
+    that a [q] fraction of distinct items occur at most [c] times.
+    [None] on an empty sample. *)
+
+val median_count : sample -> int option
+(** [count_quantile ~q:0.5]: the median amount of duplication. *)
+
+val mean_count : sample -> float
+(** Average occurrence count over distinct items ([0] on empty). *)
+
+val value_quantile : q:float -> sample -> int option
+(** [value_quantile ~q s] is the [q]-quantile of the {e item values}
+    over the distinct items — a duplicate-resilient quantile in the
+    sense of Section 6.2, estimated directly from the distinct sample
+    (each sampled item stands for [2^level] distinct items uniformly, so
+    the sample's order statistics estimate the population's).  This is
+    the sampling route to the same query the dyadic-FM structure
+    ({!Distinct_quantiles}) answers; the [ablation_quantiles] benchmark
+    compares the two. *)
+
+val value_median : sample -> int option
+(** [value_quantile ~q:0.5]. *)

@@ -1,0 +1,82 @@
+module Rng = Wd_hashing.Rng
+module Universal = Wd_hashing.Universal
+module Fm = Wd_sketch.Fm
+
+type config = { rows : int; cols : int; bitmaps : int }
+
+let config_cells c = c.rows * c.cols
+
+type family = {
+  cfg : config;
+  row_hashes : Universal.t array;
+  fm_family : Fm.family;
+}
+
+type t = { fam : family; cells : Fm.t array (* row-major rows x cols *) }
+
+let family ~rng cfg =
+  if cfg.rows < 1 || cfg.cols < 1 || cfg.bitmaps < 1 then
+    invalid_arg "Fm_array.family: rows, cols, bitmaps must be >= 1";
+  {
+    cfg;
+    row_hashes = Array.init cfg.rows (fun _ -> Universal.of_rng rng);
+    fm_family = Fm.family_custom ~rng ~variant:Fm.Stochastic ~bitmaps:cfg.bitmaps;
+  }
+
+let config fam = fam.cfg
+
+let fm_family fam = fam.fm_family
+
+let create fam =
+  {
+    fam;
+    cells = Array.init (config_cells fam.cfg) (fun _ -> Fm.create fam.fm_family);
+  }
+
+let copy t = { t with cells = Array.map Fm.copy t.cells }
+
+let cell_index fam ~row ~key =
+  Universal.to_range fam.row_hashes.(row) ~buckets:fam.cfg.cols key
+
+let cell t ~row ~col = t.cells.((row * t.fam.cfg.cols) + col)
+
+let add t ~key ~element =
+  let fam = t.fam in
+  let changed = ref false in
+  for row = 0 to fam.cfg.rows - 1 do
+    let col = cell_index fam ~row ~key in
+    if Fm.add (cell t ~row ~col) element then changed := true
+  done;
+  !changed
+
+let estimate t ~key =
+  let fam = t.fam in
+  let best = ref Float.infinity in
+  for row = 0 to fam.cfg.rows - 1 do
+    let col = cell_index fam ~row ~key in
+    let e = Fm.estimate (cell t ~row ~col) in
+    if e < !best then best := e
+  done;
+  !best
+
+let merge_into ~dst src =
+  Array.iteri
+    (fun i c -> Fm.merge_into ~dst:dst.cells.(i) c)
+    src.cells
+
+let equal a b =
+  Array.length a.cells = Array.length b.cells
+  && (let ok = ref true in
+      Array.iteri
+        (fun i c -> if not (Fm.equal c b.cells.(i)) then ok := false)
+        a.cells;
+      !ok)
+
+let cell_size_bytes fam = 8 * fam.cfg.bitmaps
+
+let size_bytes fam = config_cells fam.cfg * cell_size_bytes fam
+
+let pair_element ~v ~w =
+  let open Wd_hashing in
+  let mixed = Splitmix.mix_seeded ~seed:(Int64.of_int v) (Int64.of_int w) in
+  Int64.to_int (Int64.shift_right_logical mixed 2)

@@ -1,0 +1,66 @@
+(** A [rows x cols] array of small FM sketches keyed by hashing — the
+    data structure of Cormode & Muthukrishnan (PODS 2005) and
+    Hadjieleftheriou, Byers & Kollios (2005) that Section 6.2 builds
+    distinct heavy hitters on.
+
+    Conceptually a Count-Min layout where each counter is replaced by an
+    FM sketch: row [j] hashes the key [v] to one of [cols] cells with
+    [f_j], and the {e element} (for heavy hitters, the full pair [(v, w)])
+    is inserted into that cell's FM sketch.  The estimate for [v] —
+    the number of distinct elements inserted under key [v] — is the
+    minimum over rows of the FM estimate of [v]'s cell, since colliding
+    keys can only inflate a cell.
+
+    Mergeable cell-by-cell (bitwise OR), so the same structure works
+    centralized or distributed. *)
+
+type config = {
+  rows : int;  (** independent hash rows [d] (paper experiment: 3) *)
+  cols : int;  (** cells per row [c] (paper experiment: ~500) *)
+  bitmaps : int;  (** FM repetitions per cell (paper experiment: 10) *)
+}
+
+val config_cells : config -> int
+(** [rows * cols] — the paper quotes "about 1500 FM sketches". *)
+
+type family
+(** Shared row hashes and per-cell FM family; all arrays of one family
+    are mergeable. *)
+
+type t
+
+val family : rng:Wd_hashing.Rng.t -> config -> family
+val config : family -> config
+
+val fm_family : family -> Wd_sketch.Fm.family
+(** The per-cell FM family (shared by every cell of the array). *)
+
+val create : family -> t
+val copy : t -> t
+
+val add : t -> key:int -> element:int -> bool
+(** [add t ~key ~element] inserts [element] into [key]'s cell in every
+    row; [true] iff any cell sketch changed. *)
+
+val estimate : t -> key:int -> float
+(** Min-over-rows distinct-element estimate for [key]. *)
+
+val merge_into : dst:t -> t -> unit
+val equal : t -> t -> bool
+
+val cell : t -> row:int -> col:int -> Wd_sketch.Fm.t
+(** Direct cell access (used by the distributed tracker and tests). *)
+
+val cell_index : family -> row:int -> key:int -> int
+(** The column [f_row key] a key maps to. *)
+
+val size_bytes : family -> int
+(** Wire size of a full array: [rows * cols * bitmaps * 8]. *)
+
+val cell_size_bytes : family -> int
+(** Wire size of one cell sketch: [bitmaps * 8]. *)
+
+val pair_element : v:int -> w:int -> int
+(** Injective-with-high-probability encoding of a pair [(v, w)] into one
+    element: a 62-bit mix of both coordinates.  Used to make "(v, w) pair"
+    streams insertable into per-cell FM sketches. *)

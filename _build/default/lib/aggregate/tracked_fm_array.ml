@@ -1,0 +1,54 @@
+module Network = Wd_net.Network
+module Dc = Wd_protocol.Dc_tracker
+
+type t = {
+  fam : Fm_array.family;
+  algorithm : Dc.algorithm;
+  net : Network.t;
+  cells : Dc.Fm.t array; (* row-major, one tracker per cell *)
+}
+
+let create ?(cost_model = Network.Unicast) ?network ?(item_batching = false)
+    ~algorithm ~theta ~sites ~family:fam () =
+  if algorithm = Dc.EC then
+    invalid_arg "Tracked_fm_array.create: EC is not a per-cell algorithm";
+  let net =
+    match network with
+    | Some net -> net
+    | None -> Network.create ~cost_model ~sites ()
+  in
+  let cfg = Fm_array.config fam in
+  (* Every cell shares the FM hash family of [fam], so a tracked array and
+     a centralized Fm_array of the same family are directly comparable. *)
+  let fm_family = Fm_array.fm_family fam in
+  let cells =
+    Array.init (Fm_array.config_cells cfg) (fun _ ->
+        Dc.Fm.create ~network:net ~item_batching ~delta_replies:item_batching
+          ~algorithm ~theta ~sites ~family:fm_family ())
+  in
+  { fam; algorithm; net; cells }
+
+let cell t ~row ~col = t.cells.((row * (Fm_array.config t.fam).cols) + col)
+
+let observe t ~site ~key ~element =
+  let cfg = Fm_array.config t.fam in
+  for row = 0 to cfg.rows - 1 do
+    let col = Fm_array.cell_index t.fam ~row ~key in
+    Dc.Fm.observe (cell t ~row ~col) ~site element
+  done
+
+let estimate t ~key =
+  let cfg = Fm_array.config t.fam in
+  let best = ref Float.infinity in
+  for row = 0 to cfg.rows - 1 do
+    let col = Fm_array.cell_index t.fam ~row ~key in
+    let e = Dc.Fm.estimate (cell t ~row ~col) in
+    if e < !best then best := e
+  done;
+  !best
+
+let family t = t.fam
+let algorithm t = t.algorithm
+let network t = t.net
+
+let sends t = Array.fold_left (fun acc c -> acc + Dc.Fm.sends c) 0 t.cells

@@ -1,0 +1,50 @@
+(** Distributed, continuously-tracked {!Fm_array}.
+
+    Section 6.2's recipe: "for every update that arrives, we update the
+    [d] sketches that it affects, and run the sketch tracking algorithms
+    on each sketch independently."  Each of the [rows x cols] cells is an
+    independent {!Wd_protocol.Dc_tracker} instance (NS/SC/SS/LS) over the
+    cell's FM sketch; all cells share one byte ledger, so the total is the
+    communication cost Figure 7(c) reports.
+
+    Per-cell estimates at the coordinator are within the tracker
+    guarantees of the true cell estimates, hence min-over-rows inherits
+    the [alpha + theta] bound of Lemma 1 cell-wise, extending the
+    guarantees of the underlying structure to the distributed continuous
+    setting.
+
+    Item batching (the Section 4.2 optimization) is {e off} by default
+    here to match the paper's Figure 7(c) setup, where "any time a FM
+    sketch changed it would trigger a communication of that FM sketch". *)
+
+type t
+
+val create :
+  ?cost_model:Wd_net.Network.cost_model ->
+  ?network:Wd_net.Network.t ->
+  ?item_batching:bool ->
+  algorithm:Wd_protocol.Dc_tracker.algorithm ->
+  theta:float ->
+  sites:int ->
+  family:Fm_array.family ->
+  unit ->
+  t
+(** [network] shares an existing byte ledger (e.g. across the per-level
+    arrays of the quantile structure); by default a fresh one is created
+    with [cost_model].  Requires an approximate algorithm (NS/SC/SS/LS);
+    [EC] is rejected — the exact baseline for pair streams forwards raw
+    pairs, which {!Wd_protocol.Dc_tracker} over pair elements already
+    provides. *)
+
+val observe : t -> site:int -> key:int -> element:int -> unit
+(** One [(key, element)] arrival at a site: the element enters [rows]
+    per-cell trackers, each of which may trigger its own communication. *)
+
+val estimate : t -> key:int -> float
+(** Coordinator-side min-over-rows distinct-element estimate for [key]. *)
+
+val family : t -> Fm_array.family
+val algorithm : t -> Wd_protocol.Dc_tracker.algorithm
+val network : t -> Wd_net.Network.t
+val sends : t -> int
+(** Total upstream communications across all cells. *)

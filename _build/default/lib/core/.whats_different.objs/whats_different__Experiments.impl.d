@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Float Fun Hashtbl List Option Printf Report Simulation Wd_aggregate Wd_frequency Wd_hashing Wd_net Wd_protocol Wd_sketch Wd_workload

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: List Option Wd_aggregate Wd_hashing Wd_net Wd_protocol Wd_sketch

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Wd_aggregate Wd_net Wd_protocol

@@ -1,0 +1,1 @@
+lib/core/simulation.ml: Array Float Hashtbl List Seq Wd_aggregate Wd_hashing Wd_net Wd_protocol Wd_sketch Wd_workload

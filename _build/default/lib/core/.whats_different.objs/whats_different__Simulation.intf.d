@@ -1,0 +1,1 @@
+lib/core/simulation.mli: Wd_aggregate Wd_net Wd_protocol Wd_sketch Wd_workload

@@ -1,0 +1,64 @@
+(** One-stop aliases over the whole library.
+
+    [open Whats_different.Api] (or access qualified) gives short names
+    for every public component without having to remember which [wd_*]
+    library it lives in:
+
+    {[
+      module A = Whats_different.Api
+
+      let rng = A.Rng.create 42
+      let fam = A.Fm.family ~rng ~accuracy:0.07 ~confidence:0.9
+      let t = A.Dc_tracker.Fm.create ~algorithm:A.Dc_tracker.LS
+                ~theta:0.03 ~sites:4 ~family:fam ()
+    ]}
+
+    See the per-module documentation for semantics; this module adds
+    nothing of its own. *)
+
+(* Substrates *)
+module Rng = Wd_hashing.Rng
+module Splitmix = Wd_hashing.Splitmix
+module Universal = Wd_hashing.Universal
+module Tabulation = Wd_hashing.Tabulation
+module Geometric = Wd_hashing.Geometric
+
+(* Sketches *)
+module Fm_bitmap = Wd_sketch.Fm_bitmap
+module Fm = Wd_sketch.Fm
+module Fm_window = Wd_sketch.Fm_window
+module Bjkst = Wd_sketch.Bjkst
+module Hyperloglog = Wd_sketch.Hyperloglog
+module Distinct_sampler = Wd_sketch.Distinct_sampler
+module Sketch_intf = Wd_sketch.Sketch_intf
+
+(* Network simulation *)
+module Wire = Wd_net.Wire
+module Network = Wd_net.Network
+
+(* Protocols (the paper's core) *)
+module Params = Wd_protocol.Params
+module Dc_tracker = Wd_protocol.Dc_tracker
+module Ds_tracker = Wd_protocol.Ds_tracker
+module Window_tracker = Wd_protocol.Window_tracker
+module Predictive = Wd_protocol.Predictive
+
+(* Aggregates *)
+module Duplication = Wd_aggregate.Duplication
+module Fm_array = Wd_aggregate.Fm_array
+module Tracked_fm_array = Wd_aggregate.Tracked_fm_array
+module Distinct_hh = Wd_aggregate.Distinct_hh
+module Distinct_quantiles = Wd_aggregate.Distinct_quantiles
+
+(* Duplicate-sensitive frequency baselines *)
+module Cm_sketch = Wd_frequency.Cm_sketch
+module Space_saving = Wd_frequency.Space_saving
+
+(* Workloads *)
+module Stream = Wd_workload.Stream
+module Zipf = Wd_workload.Zipf
+module Http_trace = Wd_workload.Http_trace
+module Two_phase = Wd_workload.Two_phase
+module Stream_gen = Wd_workload.Stream_gen
+module Window_truth = Wd_workload.Window_truth
+module Trace_io = Wd_workload.Trace_io

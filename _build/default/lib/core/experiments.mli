@@ -1,0 +1,137 @@
+(** Reproductions of every figure in the paper's experimental evaluation
+    (Section 7), plus ablations of the design choices called out in
+    DESIGN.md.
+
+    Each harness regenerates the data behind one figure panel and returns
+    it as a printable {!table}: the workload, the parameter sweep, the
+    baselines and the measured communication-cost ratios or error
+    distributions the paper plots.  Absolute byte counts depend on the
+    synthetic trace substitution (see DESIGN.md); the reproduction targets
+    are the {e shapes}: protocol orderings, orders of magnitude saved,
+    optimum positions, linearity/decay trends.
+
+    All randomness is seeded: rerunning a harness reproduces its table
+    bit for bit. *)
+
+type options = {
+  scale : float;
+      (** workload scale factor: 1.0 is the calibrated default (~2x10^5
+          HTTP requests), 10.0 approaches paper scale *)
+  seed : int;
+  epsilon : float;  (** total error budget (paper: 0.1) *)
+  confidence : float;  (** 1 - delta (paper: 0.9) *)
+}
+
+val default_options : options
+
+type table = {
+  id : string;  (** e.g. "fig5a" *)
+  title : string;
+  params : (string * string) list;
+  header : string list;
+  rows : Report.cell list list;
+}
+
+val print : table -> unit
+(** Render the table (title, parameter block, aligned rows) to stdout. *)
+
+(** {1 Figure 5 — distinct count tracking} *)
+
+val fig5a : ?options:options -> unit -> table
+(** Relative communication cost vs lag fraction theta/epsilon, HTTP
+    (clientID, objectID) pairs, 4 region sites, NS/SC/SS/LS. *)
+
+val fig5b : ?options:options -> unit -> table
+(** Cost ratio vs number of updates, HTTP pairs, 4 sites, per-algorithm
+    optimal theta. *)
+
+val fig5c : ?options:options -> unit -> table
+(** Same as 5(b) with 29 server sites.  The paper omits SS ("cost is too
+    high"); we include it flagged so the blow-up is visible. *)
+
+val fig5d : ?options:options -> unit -> table
+(** Cumulative distribution of the coordinator's relative error, sampled
+    continuously; target: error <= epsilon at least 1 - delta of the
+    time. *)
+
+val fig5e : ?options:options -> unit -> table
+(** Cost vs theta on the synthetic two-phase data, 20 sites. *)
+
+val fig5f : ?options:options -> unit -> table
+(** Cost ratio vs updates on the synthetic two-phase data. *)
+
+(** {1 Figure 6 — distinct sample tracking} *)
+
+val fig6a : ?options:options -> unit -> table
+(** Cost ratio vs sample size T, HTTP pairs, LCO/GCS/LCS vs EDS. *)
+
+val fig6b : ?options:options -> unit -> table
+(** Cost ratio vs T on the synthetic two-phase data (the level-doubling
+    discontinuities the paper remarks on appear here). *)
+
+val fig6c : ?options:options -> unit -> table
+(** Cost ratio vs theta on the heavily duplicated clientID-only view. *)
+
+(** {1 Figure 7 — duplicate-resilient aggregates} *)
+
+val fig7a : ?options:options -> unit -> table
+(** Accuracy of the number-of-unique-events estimate vs sample size. *)
+
+val fig7b : ?options:options -> unit -> table
+(** Accuracy of the median-duplication estimate vs sample size. *)
+
+val fig7c : ?options:options -> unit -> table
+(** Distinct heavy hitters over (objectID, clientID): communication by
+    algorithm with a ~1500-cell FM array, accuracy of the degree
+    estimates. *)
+
+(** {1 Ablations} *)
+
+val ablation_radio : ?options:options -> unit -> table
+(** Unicast vs radio-broadcast cost models (Section 7.2's remark that SS
+    wins under broadcast pricing). *)
+
+val ablation_radio_ds : ?options:options -> unit -> table
+(** The same cost-model comparison for the distinct-sample protocols
+    (GCS is the broadcast-shaped one there). *)
+
+val ablation_sketch_type : ?options:options -> unit -> table
+(** FM vs BJKST vs HyperLogLog under the same tracking protocol
+    (Section 4.2's "any mergeable distinct sketch works"). *)
+
+val ablation_fm_variant : ?options:options -> unit -> table
+(** Paper-style averaged FM vs stochastic-averaging FM. *)
+
+val ablation_batching : ?options:options -> unit -> table
+(** Effect of the Section 4.2 exact-items communication optimization. *)
+
+val ablation_quantiles : ?options:options -> unit -> table
+(** Duplicate-resilient quantile tracking (footnote 3 extension): cost
+    and median accuracy per algorithm. *)
+
+val ablation_resilience : ?options:options -> unit -> table
+(** The motivating contrast: Space-Saving frequency heavy hitters get
+    fooled by duplicated requests (bot traffic); the paper's distinct
+    heavy hitters do not. *)
+
+val ext_windows : ?options:options -> unit -> table
+(** Sliding-window distinct tracking (Section 8 extension): cost and
+    accuracy on a drifting-universe workload. *)
+
+val ext_predictive : ?options:options -> unit -> table
+(** Prediction-model tracking (Section 8 extension): linear-growth
+    models vs the static-band protocols on steady-growth data. *)
+
+val ext_scaling : ?options:options -> unit -> table
+(** Cost ratios across workload scales: the savings grow with the
+    stream because protocol state is scale-independent. *)
+
+(** {1 Suites} *)
+
+val all : ?options:options -> unit -> table list
+(** Every figure and ablation, in paper order. *)
+
+val by_id : string -> (options -> table) option
+(** Look up a harness by its [id] ("fig5a", ..., "ablation_radio"). *)
+
+val ids : string list

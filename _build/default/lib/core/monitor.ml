@@ -1,0 +1,111 @@
+module Rng = Wd_hashing.Rng
+module Fm = Wd_sketch.Fm
+module Sampler = Wd_sketch.Distinct_sampler
+module Network = Wd_net.Network
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Fm_array = Wd_aggregate.Fm_array
+module Hh = Wd_aggregate.Distinct_hh
+module Duplication = Wd_aggregate.Duplication
+
+type config = {
+  sites : int;
+  epsilon : float;
+  confidence : float;
+  theta_fraction : float;
+  sample_threshold : int;
+  sample_theta : float;
+  dc_algorithm : Dc.algorithm;
+  ds_algorithm : Ds.algorithm;
+  hh : Fm_array.config option;
+  hh_algorithm : Dc.algorithm;
+  cost_model : Network.cost_model;
+  seed : int;
+}
+
+let default_config ~sites =
+  {
+    sites;
+    epsilon = 0.1;
+    confidence = 0.9;
+    theta_fraction = 0.15;
+    sample_threshold = 1_000;
+    sample_theta = 0.25;
+    dc_algorithm = Dc.LS;
+    ds_algorithm = Ds.LCO;
+    hh = Some { Fm_array.rows = 3; cols = 256; bitmaps = 12 };
+    hh_algorithm = Dc.LS;
+    cost_model = Network.Unicast;
+    seed = 1;
+  }
+
+type t = {
+  cfg : config;
+  dc : Dc.Fm.t;
+  ds : Ds.t;
+  hh : Hh.Tracked.t option;
+}
+
+let create cfg =
+  let rng = Rng.create cfg.seed in
+  let theta = cfg.theta_fraction *. cfg.epsilon in
+  let alpha = cfg.epsilon -. theta in
+  let dc_family = Fm.family ~rng ~accuracy:alpha ~confidence:cfg.confidence in
+  let ds_family = Sampler.family ~rng ~threshold:cfg.sample_threshold in
+  let hh =
+    Option.map
+      (fun shape ->
+        Hh.Tracked.create ~cost_model:cfg.cost_model ~item_batching:true
+          ~algorithm:cfg.hh_algorithm ~theta ~sites:cfg.sites
+          ~family:(Fm_array.family ~rng shape) ())
+      cfg.hh
+  in
+  {
+    cfg;
+    dc =
+      Dc.Fm.create ~cost_model:cfg.cost_model ~algorithm:cfg.dc_algorithm
+        ~theta ~sites:cfg.sites ~family:dc_family ();
+    ds =
+      Ds.create ~cost_model:cfg.cost_model ~algorithm:cfg.ds_algorithm
+        ~theta:cfg.sample_theta ~sites:cfg.sites ~family:ds_family ();
+    hh;
+  }
+
+let config t = t.cfg
+
+let observe t ~site v =
+  Dc.Fm.observe t.dc ~site v;
+  Ds.observe t.ds ~site v
+
+let observe_pair t ~site ~v ~w =
+  observe t ~site (Fm_array.pair_element ~v ~w);
+  Option.iter (fun hh -> Hh.Tracked.observe hh ~site ~v ~w) t.hh
+
+let distinct t = Dc.Fm.estimate t.dc
+
+let sample t = Ds.sample t.ds
+
+let unique t = Duplication.unique_count ~level:(Ds.level t.ds) (sample t)
+
+let median_duplication t = Duplication.median_count (sample t)
+
+let duplication_fraction t pred = Duplication.fraction pred (sample t)
+
+let top_keys t ~k =
+  match t.hh with None -> [] | Some hh -> Hh.Tracked.top hh ~k
+
+let key_degree t v =
+  match t.hh with None -> 0.0 | Some hh -> Hh.Tracked.estimate hh v
+
+let bytes_breakdown t =
+  [
+    ("distinct-count", Network.total_bytes (Dc.Fm.network t.dc));
+    ("distinct-sample", Network.total_bytes (Ds.network t.ds));
+    ( "heavy-hitters",
+      match t.hh with
+      | None -> 0
+      | Some hh -> Network.total_bytes (Hh.Tracked.network hh) );
+  ]
+
+let total_bytes t =
+  List.fold_left (fun acc (_, b) -> acc + b) 0 (bytes_breakdown t)

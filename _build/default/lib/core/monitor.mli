@@ -1,0 +1,91 @@
+(** A bundled duplicate-resilient monitoring service.
+
+    One [Monitor.t] wires together, for a single site topology, the three
+    trackers the paper composes in Section 6 — a distinct-count tracker,
+    a distinct-sample tracker, and (optionally) a distinct heavy-hitter
+    structure — behind the full query menu:
+
+    - how many distinct events have occurred ({!distinct});
+    - how many events are unique / the whole inverse distribution of
+      duplication ({!unique}, {!duplication_fraction},
+      {!median_duplication});
+    - which keys are associated with the most distinct partners
+      ({!top_keys}, {!key_degree}).
+
+    Feed unkeyed events with {!observe}; feed keyed events (e.g.
+    (objectID, clientID) requests) with {!observe_pair}, which tracks the
+    pair as a distinct event {e and} updates the heavy-hitter structure.
+    All queries are answered continuously from coordinator state; the
+    communication spent so far is always available ({!total_bytes},
+    {!bytes_breakdown}). *)
+
+type config = {
+  sites : int;
+  epsilon : float;  (** distinct-count error budget *)
+  confidence : float;
+  theta_fraction : float;  (** lag share of [epsilon] *)
+  sample_threshold : int;  (** distinct-sample size T *)
+  sample_theta : float;  (** count-lag budget of the sampler *)
+  dc_algorithm : Wd_protocol.Dc_tracker.algorithm;
+  ds_algorithm : Wd_protocol.Ds_tracker.algorithm;
+  hh : Wd_aggregate.Fm_array.config option;
+      (** heavy-hitter array shape; [None] disables {!observe_pair}'s
+          ranking (pairs are still counted as events) *)
+  hh_algorithm : Wd_protocol.Dc_tracker.algorithm;
+  cost_model : Wd_net.Network.cost_model;
+  seed : int;
+}
+
+val default_config : sites:int -> config
+(** LS + LCO at the paper's preferred settings (epsilon 0.1, theta
+    fraction 0.15, T = 1000, a 3x256x12 heavy-hitter array). *)
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] on inconsistent settings (via the
+    underlying constructors). *)
+
+val config : t -> config
+
+(** {1 Feeding} *)
+
+val observe : t -> site:int -> int -> unit
+(** One unkeyed event at a site. *)
+
+val observe_pair : t -> site:int -> v:int -> w:int -> unit
+(** One keyed event: the pair is tracked as a distinct event, and [v]'s
+    distinct-partner degree is updated when the heavy-hitter structure is
+    enabled. *)
+
+(** {1 Queries} — all continuous, no communication triggered. *)
+
+val distinct : t -> float
+(** Estimated number of distinct events. *)
+
+val unique : t -> float
+(** Estimated number of events observed exactly once. *)
+
+val sample : t -> (int * int) list
+(** The current distinct sample with approximate global counts. *)
+
+val median_duplication : t -> int option
+
+val duplication_fraction : t -> (int -> bool) -> float
+(** Fraction of distinct events whose occurrence count satisfies the
+    predicate. *)
+
+val top_keys : t -> k:int -> (int * float) list
+(** Keys by estimated distinct-partner degree; empty when the
+    heavy-hitter structure is disabled. *)
+
+val key_degree : t -> int -> float
+(** [0] when the heavy-hitter structure is disabled. *)
+
+(** {1 Accounting} *)
+
+val total_bytes : t -> int
+
+val bytes_breakdown : t -> (string * int) list
+(** Per-tracker byte totals: [("distinct-count", _); ("distinct-sample",
+    _); ("heavy-hitters", _)]. *)

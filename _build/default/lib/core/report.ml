@@ -1,0 +1,58 @@
+type cell = S of string | I of int | F of float | R of float
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%.4g" f
+  | R r -> Printf.sprintf "%.3e" r
+
+let render ~header rows =
+  let rows_s = List.map (List.map cell_to_string) rows in
+  let all = header :: rows_s in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let s = Option.value (List.nth_opt row c) ~default:"" in
+           (* Left-align the first column (labels), right-align numbers. *)
+           if c = 0 then Printf.sprintf "%-*s" w s
+           else Printf.sprintf "%*s" w s)
+         widths)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows_s)
+
+let render_csv ~header rows =
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n"
+    (line header :: List.map (fun r -> line (List.map cell_to_string r)) rows)
+
+let print_section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let print_table ~header rows = print_endline (render ~header rows)
+
+let print_kv kvs =
+  let w =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 kvs
+  in
+  List.iter (fun (k, v) -> Printf.printf "%-*s : %s\n" w k v) kvs

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints, for every figure of the paper, the rows
+    or series that figure plots; this module renders them as aligned
+    monospace tables (and optionally CSV) so the output can be read
+    directly or piped into a plotting tool. *)
+
+type cell = S of string | I of int | F of float | R of float
+(** One table cell: string, integer, float ([%.4g]) or ratio
+    ([%.3e] — communication-cost ratios span orders of magnitude). *)
+
+val render : header:string list -> cell list list -> string
+(** Aligned monospace table with a rule under the header. *)
+
+val render_csv : header:string list -> cell list list -> string
+
+val print_section : string -> unit
+(** A titled separator on stdout. *)
+
+val print_table : header:string list -> cell list list -> unit
+
+val print_kv : (string * string) list -> unit
+(** Aligned [key: value] lines, for experiment parameter blocks. *)

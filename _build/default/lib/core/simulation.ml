@@ -1,0 +1,303 @@
+module Stream = Wd_workload.Stream
+module Network = Wd_net.Network
+module Wire = Wd_net.Wire
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Rng = Wd_hashing.Rng
+
+type dc_run = {
+  dc_algorithm : Dc.algorithm;
+  dc_updates : int;
+  dc_total_bytes : int;
+  dc_bytes_up : int;
+  dc_bytes_down : int;
+  dc_sends : int;
+  dc_final_estimate : float;
+  dc_final_truth : int;
+  dc_bytes_series : (int * int) array;
+  dc_error_series : (int * float) array;
+}
+
+(* Evenly spaced 1-based sample positions over a run of [n] updates,
+   always ending at [n]. *)
+let sample_positions n samples =
+  let samples = max 1 (min samples n) in
+  Array.init samples (fun i -> max 1 ((i + 1) * n / samples))
+
+(* Membership test on sorted positions via cursor: returns a function to
+   call once per update index (1-based, increasing). *)
+let cursor_matcher positions =
+  let next = ref 0 in
+  fun j ->
+    if !next < Array.length positions && positions.(!next) = j then begin
+      incr next;
+      (* Skip duplicates (possible when samples > n). *)
+      while !next < Array.length positions && positions.(!next) = j do
+        incr next
+      done;
+      true
+    end
+    else false
+
+module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
+  module Tracker = Dc.Make (Sketch)
+
+  let run ?(cost_model = Network.Unicast) ?(item_batching = true) ?(seed = 1)
+      ?(checkpoints = 20) ?(error_samples = 200) ?(confidence = 0.9) ?family
+      ~algorithm ~theta ~alpha stream =
+    let n = Stream.length stream in
+    if n = 0 then invalid_arg "Simulation.run_dc: empty stream";
+    let k = Stream.num_sites stream in
+    let rng = Rng.create seed in
+    let family =
+      match family with
+      | Some f -> f
+      | None -> Sketch.family ~rng ~accuracy:alpha ~confidence
+    in
+    (* EC ignores theta but the constructor validates it. *)
+    let theta = if algorithm = Dc.EC then Float.max theta 0.1 else theta in
+    let tracker =
+      Tracker.create ~cost_model ~item_batching ~algorithm ~theta ~sites:k
+        ~family ()
+    in
+    let net = Tracker.network tracker in
+    let truth = Hashtbl.create 4096 in
+    let byte_at = cursor_matcher (sample_positions n checkpoints) in
+    let err_at = cursor_matcher (sample_positions n error_samples) in
+    let bytes_series = ref [] and error_series = ref [] in
+    Stream.iteri
+      (fun j0 ~site ~item ->
+        Tracker.observe tracker ~site item;
+        if not (Hashtbl.mem truth item) then Hashtbl.replace truth item ();
+        let j = j0 + 1 in
+        if byte_at j then
+          bytes_series := (j, Network.total_bytes net) :: !bytes_series;
+        if err_at j then begin
+          let n0 = Float.of_int (Hashtbl.length truth) in
+          let err = Float.abs (Tracker.estimate tracker -. n0) /. n0 in
+          error_series := (j, err) :: !error_series
+        end)
+      stream;
+    {
+      dc_algorithm = algorithm;
+      dc_updates = n;
+      dc_total_bytes = Network.total_bytes net;
+      dc_bytes_up = Network.bytes_up net;
+      dc_bytes_down = Network.bytes_down net;
+      dc_sends = Tracker.sends tracker;
+      dc_final_estimate = Tracker.estimate tracker;
+      dc_final_truth = Hashtbl.length truth;
+      dc_bytes_series = Array.of_list (List.rev !bytes_series);
+      dc_error_series = Array.of_list (List.rev !error_series);
+    }
+end
+
+module Dc_fm = Make_dc (Wd_sketch.Fm)
+
+let run_dc ?cost_model ?item_batching ?seed ?checkpoints ?error_samples
+    ?confidence ~algorithm ~theta ~alpha stream =
+  Dc_fm.run ?cost_model ?item_batching ?seed ?checkpoints ?error_samples
+    ?confidence ~algorithm ~theta ~alpha stream
+
+type ds_run = {
+  ds_algorithm : Ds.algorithm;
+  ds_updates : int;
+  ds_total_bytes : int;
+  ds_bytes_up : int;
+  ds_bytes_down : int;
+  ds_sends : int;
+  ds_final_level : int;
+  ds_final_sample : (int * int) list;
+  ds_distinct_estimate : float;
+  ds_bytes_series : (int * int) array;
+  ds_max_count_error : float;
+}
+
+let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
+    ~algorithm ~theta ~threshold stream =
+  let n = Stream.length stream in
+  if n = 0 then invalid_arg "Simulation.run_ds: empty stream";
+  let k = Stream.num_sites stream in
+  let rng = Rng.create seed in
+  let family = Wd_sketch.Distinct_sampler.family ~rng ~threshold in
+  let theta = if algorithm = Ds.EDS then Float.max theta 0.1 else theta in
+  let tracker = Ds.create ~cost_model ~algorithm ~theta ~sites:k ~family () in
+  let net = Ds.network tracker in
+  let byte_at = cursor_matcher (sample_positions n checkpoints) in
+  let bytes_series = ref [] in
+  Stream.iteri
+    (fun j0 ~site ~item ->
+      Ds.observe tracker ~site item;
+      let j = j0 + 1 in
+      if byte_at j then
+        bytes_series := (j, Network.total_bytes net) :: !bytes_series)
+    stream;
+  let sample = Ds.sample tracker in
+  let exact = Stream.multiplicities stream in
+  let max_count_error =
+    List.fold_left
+      (fun acc (v, c) ->
+        match Hashtbl.find_opt exact v with
+        | None -> acc (* cannot happen: sampled items exist in the stream *)
+        | Some c_true ->
+          Float.max acc
+            (Float.abs (Float.of_int (c - c_true)) /. Float.of_int c_true))
+      0.0 sample
+  in
+  {
+    ds_algorithm = algorithm;
+    ds_updates = n;
+    ds_total_bytes = Network.total_bytes net;
+    ds_bytes_up = Network.bytes_up net;
+    ds_bytes_down = Network.bytes_down net;
+    ds_sends = Ds.sends tracker;
+    ds_final_level = Ds.level tracker;
+    ds_final_sample = sample;
+    ds_distinct_estimate = Ds.estimate_distinct tracker;
+    ds_bytes_series = Array.of_list (List.rev !bytes_series);
+    ds_max_count_error = max_count_error;
+  }
+
+type pair_stream = { psites : int array; vs : int array; ws : int array }
+
+let pair_stream_length p = Array.length p.psites
+
+let pair_stream_sites p =
+  Array.fold_left (fun acc s -> max acc (s + 1)) 0 p.psites
+
+let pair_stream_of_requests cfg site_view reqs =
+  let module H = Wd_workload.Http_trace in
+  let n = Array.length reqs in
+  let psites = Array.make n 0 and vs = Array.make n 0 and ws = Array.make n 0 in
+  let stream = H.view cfg H.Client_id site_view reqs in
+  for j = 0 to n - 1 do
+    psites.(j) <- Stream.site stream j;
+    vs.(j) <- reqs.(j).H.obj;
+    ws.(j) <- reqs.(j).H.client
+  done;
+  { psites; vs; ws }
+
+type hh_run = {
+  hh_algorithm : Dc.algorithm;
+  hh_updates : int;
+  hh_total_bytes : int;
+  hh_bytes_up : int;
+  hh_bytes_down : int;
+  hh_sends : int;
+  hh_avg_norm_error : float;
+  hh_topk_recall : float;
+  hh_exact_bytes : int;
+}
+
+(* EC baseline over a pair stream: one message per locally-new pair. *)
+let exact_pair_bytes p =
+  let k = pair_stream_sites p in
+  let seen = Array.init k (fun _ -> Hashtbl.create 1024) in
+  let bytes = ref 0 in
+  for j = 0 to pair_stream_length p - 1 do
+    let key = (p.vs.(j), p.ws.(j)) in
+    let site = p.psites.(j) in
+    if not (Hashtbl.mem seen.(site) key) then begin
+      Hashtbl.replace seen.(site) key ();
+      (* v and w both cross the wire. *)
+      bytes := !bytes + Wire.message ~payload:(2 * Wire.item_bytes)
+    end
+  done;
+  !bytes
+
+let run_hh ?(cost_model = Network.Unicast) ?item_batching ?(seed = 1)
+    ?(top_k = 20) ~algorithm ~theta ~config p =
+  let n = pair_stream_length p in
+  if n = 0 then invalid_arg "Simulation.run_hh: empty pair stream";
+  let k = pair_stream_sites p in
+  let rng = Rng.create seed in
+  let family = Wd_aggregate.Fm_array.family ~rng config in
+  let tracked =
+    Wd_aggregate.Distinct_hh.Tracked.create ~cost_model ?item_batching
+      ~algorithm ~theta ~sites:k ~family ()
+  in
+  for j = 0 to n - 1 do
+    Wd_aggregate.Distinct_hh.Tracked.observe tracked ~site:p.psites.(j)
+      ~v:p.vs.(j) ~w:p.ws.(j)
+  done;
+  (* Ground truth: exact degrees and distinct pair total. *)
+  let pair_seq =
+    Seq.init n (fun j -> (p.vs.(j), p.ws.(j)))
+  in
+  let degrees = Wd_aggregate.Distinct_hh.exact_degrees pair_seq in
+  let distinct_pairs =
+    Hashtbl.fold (fun _ d acc -> acc + d) degrees 0
+  in
+  let exact_top =
+    Hashtbl.fold (fun v d acc -> (v, d) :: acc) degrees []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < top_k)
+  in
+  let avg_norm_error =
+    match exact_top with
+    | [] -> 0.0
+    | _ ->
+      let total =
+        List.fold_left
+          (fun acc (v, d) ->
+            let est = Wd_aggregate.Distinct_hh.Tracked.estimate tracked v in
+            acc +. (Float.abs (est -. Float.of_int d)
+                    /. Float.of_int (max 1 distinct_pairs)))
+          0.0 exact_top
+      in
+      total /. Float.of_int (List.length exact_top)
+  in
+  let estimated_top =
+    Wd_aggregate.Distinct_hh.Tracked.top tracked ~k:top_k
+    |> List.map fst
+  in
+  let recall =
+    match exact_top with
+    | [] -> 1.0
+    | _ ->
+      let hits =
+        List.length
+          (List.filter (fun (v, _) -> List.mem v estimated_top) exact_top)
+      in
+      Float.of_int hits /. Float.of_int (List.length exact_top)
+  in
+  let net = Wd_aggregate.Distinct_hh.Tracked.network tracked in
+  {
+    hh_algorithm = algorithm;
+    hh_updates = n;
+    hh_total_bytes = Network.total_bytes net;
+    hh_bytes_up = Network.bytes_up net;
+    hh_bytes_down = Network.bytes_down net;
+    hh_sends = Wd_aggregate.Distinct_hh.Tracked.sends tracked;
+    hh_avg_norm_error = avg_norm_error;
+    hh_topk_recall = recall;
+    hh_exact_bytes = exact_pair_bytes p;
+  }
+
+let true_distinct_prefixes stream ~samples =
+  let n = Stream.length stream in
+  let at = cursor_matcher (sample_positions n samples) in
+  let seen = Hashtbl.create 4096 in
+  let out = ref [] in
+  Stream.iteri
+    (fun j0 ~site:_ ~item ->
+      if not (Hashtbl.mem seen item) then Hashtbl.replace seen item ();
+      if at (j0 + 1) then out := (j0 + 1, Hashtbl.length seen) :: !out)
+    stream;
+  Array.of_list (List.rev !out)
+
+let exact_dc_bytes stream =
+  let k = Stream.num_sites stream in
+  let seen = Array.init (max 1 k) (fun _ -> Hashtbl.create 1024) in
+  let bytes = ref 0 in
+  Stream.iter
+    (fun ~site ~item ->
+      if not (Hashtbl.mem seen.(site) item) then begin
+        Hashtbl.replace seen.(site) item ();
+        bytes := !bytes + Wire.message ~payload:Wire.item_bytes
+      end)
+    stream;
+  !bytes
+
+let exact_ds_bytes stream =
+  Stream.length stream * Wire.message ~payload:Wire.item_bytes

@@ -1,0 +1,158 @@
+(** Drive multi-site workloads through the tracking protocols, recording
+    communication cost and continuous accuracy against exact ground truth.
+
+    This is the measurement harness behind every experiment: the paper's
+    methodology is to simulate the remote sites and coordinator, count the
+    bytes each protocol exchanges, and compare "bytes to bytes" against
+    the exact algorithms (EC for counting, EDS for sampling).  Ground
+    truth (exact distinct counts / multiplicities) is maintained offline
+    by the harness and never consulted by the protocols. *)
+
+module Stream = Wd_workload.Stream
+
+(** {1 Distinct-count runs} *)
+
+type dc_run = {
+  dc_algorithm : Wd_protocol.Dc_tracker.algorithm;
+  dc_updates : int;
+  dc_total_bytes : int;
+  dc_bytes_up : int;
+  dc_bytes_down : int;
+  dc_sends : int;
+  dc_final_estimate : float;
+  dc_final_truth : int;
+  dc_bytes_series : (int * int) array;
+      (** (updates processed, cumulative total bytes) checkpoints *)
+  dc_error_series : (int * float) array;
+      (** (updates processed, relative error of the coordinator estimate)
+          sampled continuously over the run *)
+}
+
+val run_dc :
+  ?cost_model:Wd_net.Network.cost_model ->
+  ?item_batching:bool ->
+  ?seed:int ->
+  ?checkpoints:int ->
+  ?error_samples:int ->
+  ?confidence:float ->
+  algorithm:Wd_protocol.Dc_tracker.algorithm ->
+  theta:float ->
+  alpha:float ->
+  Stream.t ->
+  dc_run
+(** [run_dc ~algorithm ~theta ~alpha stream] runs one protocol over the
+    whole stream.  [alpha] sizes the FM family; [confidence] defaults to
+    0.9 ([delta = 0.1], as in all paper experiments); [checkpoints]
+    (default 20) and [error_samples] (default 200) control the series
+    resolutions.  The site count is [Stream.num_sites stream]. *)
+
+(** Generic variant over any {!Wd_sketch.Sketch_intf.DISTINCT_SKETCH} —
+    used by the sketch-type ablation. *)
+module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
+  val run :
+    ?cost_model:Wd_net.Network.cost_model ->
+    ?item_batching:bool ->
+    ?seed:int ->
+    ?checkpoints:int ->
+    ?error_samples:int ->
+    ?confidence:float ->
+    ?family:Sketch.family ->
+    algorithm:Wd_protocol.Dc_tracker.algorithm ->
+    theta:float ->
+    alpha:float ->
+    Stream.t ->
+    dc_run
+  (** Like {!run_dc}; [family] overrides the [(alpha, confidence)]-derived
+      sketch family. *)
+end
+
+module Dc_fm : module type of Make_dc (Wd_sketch.Fm)
+(** The FM instantiation backing {!run_dc}, exposed for runs that need an
+    explicit FM family (e.g. the averaged-variant ablation). *)
+
+(** {1 Distinct-sample runs} *)
+
+type ds_run = {
+  ds_algorithm : Wd_protocol.Ds_tracker.algorithm;
+  ds_updates : int;
+  ds_total_bytes : int;
+  ds_bytes_up : int;
+  ds_bytes_down : int;
+  ds_sends : int;
+  ds_final_level : int;
+  ds_final_sample : (int * int) list;
+  ds_distinct_estimate : float;
+  ds_bytes_series : (int * int) array;
+  ds_max_count_error : float;
+      (** max over the final sample of the relative error of the tracked
+          count vs the item's exact global count (Lemma 2 bounds this by
+          [theta] for the approximate algorithms) *)
+}
+
+val run_ds :
+  ?cost_model:Wd_net.Network.cost_model ->
+  ?seed:int ->
+  ?checkpoints:int ->
+  algorithm:Wd_protocol.Ds_tracker.algorithm ->
+  theta:float ->
+  threshold:int ->
+  Stream.t ->
+  ds_run
+
+(** {1 Distinct heavy-hitter runs} *)
+
+type pair_stream = { psites : int array; vs : int array; ws : int array }
+(** A multi-site stream of [(v, w)] pairs. *)
+
+val pair_stream_length : pair_stream -> int
+val pair_stream_sites : pair_stream -> int
+
+val pair_stream_of_requests :
+  Wd_workload.Http_trace.config ->
+  Wd_workload.Http_trace.site_view ->
+  Wd_workload.Http_trace.request array ->
+  pair_stream
+(** [(v, w) = (objectID, clientID)]: track the objects requested by the
+    most distinct clients, as in Figure 7(c). *)
+
+type hh_run = {
+  hh_algorithm : Wd_protocol.Dc_tracker.algorithm;
+  hh_updates : int;
+  hh_total_bytes : int;
+  hh_bytes_up : int;
+  hh_bytes_down : int;
+  hh_sends : int;
+  hh_avg_norm_error : float;
+      (** mean over the exact top-[k] keys of
+          [|estimate - d_v| / distinct_pairs] — the paper reports this
+          normalized estimation error ("< 0.1%") *)
+  hh_topk_recall : float;
+      (** fraction of the exact top-[k] keys present in the estimated
+          top-[k] *)
+  hh_exact_bytes : int;
+      (** EC baseline on the same pair stream: one message per locally new
+          pair *)
+}
+
+val run_hh :
+  ?cost_model:Wd_net.Network.cost_model ->
+  ?item_batching:bool ->
+  ?seed:int ->
+  ?top_k:int ->
+  algorithm:Wd_protocol.Dc_tracker.algorithm ->
+  theta:float ->
+  config:Wd_aggregate.Fm_array.config ->
+  pair_stream ->
+  hh_run
+
+(** {1 Ground truth helpers} *)
+
+val true_distinct_prefixes : Stream.t -> samples:int -> (int * int) array
+(** Exact distinct counts at [samples] evenly spaced prefixes. *)
+
+val exact_dc_bytes : Stream.t -> int
+(** Total bytes the EC baseline sends on this stream (header + item per
+    locally-new item), computed without running a tracker. *)
+
+val exact_ds_bytes : Stream.t -> int
+(** Total bytes the EDS baseline sends (header + item per update). *)

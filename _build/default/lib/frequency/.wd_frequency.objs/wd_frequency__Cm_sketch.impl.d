@@ -1,0 +1,1 @@
+lib/frequency/cm_sketch.ml: Array Float Wd_hashing

@@ -1,0 +1,1 @@
+lib/frequency/cm_sketch.mli: Wd_hashing

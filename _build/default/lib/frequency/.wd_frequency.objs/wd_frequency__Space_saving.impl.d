@@ -1,0 +1,1 @@
+lib/frequency/space_saving.ml: Array Hashtbl List

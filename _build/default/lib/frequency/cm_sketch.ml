@@ -1,0 +1,63 @@
+module Rng = Wd_hashing.Rng
+module Universal = Wd_hashing.Universal
+
+type t = {
+  rows : int;
+  cols : int;
+  hashes : Universal.t array;
+  cells : int array; (* row-major *)
+  mutable total : int;
+}
+
+let create ~rng ~rows ~cols =
+  if rows < 1 || cols < 1 then
+    invalid_arg "Cm_sketch.create: rows and cols must be >= 1";
+  {
+    rows;
+    cols;
+    hashes = Array.init rows (fun _ -> Universal.of_rng rng);
+    cells = Array.make (rows * cols) 0;
+    total = 0;
+  }
+
+let create_for_error ~rng ~epsilon ~confidence =
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Cm_sketch.create_for_error: epsilon must be in (0,1)";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Cm_sketch.create_for_error: confidence must be in (0,1)";
+  let cols = int_of_float (Float.ceil (Float.exp 1.0 /. epsilon)) in
+  let rows =
+    max 1 (int_of_float (Float.ceil (Float.log (1.0 /. (1.0 -. confidence)))))
+  in
+  create ~rng ~rows ~cols
+
+let rows t = t.rows
+let cols t = t.cols
+
+let add t ?(count = 1) v =
+  if count < 0 then invalid_arg "Cm_sketch.add: negative count";
+  for row = 0 to t.rows - 1 do
+    let col = Universal.to_range t.hashes.(row) ~buckets:t.cols v in
+    let idx = (row * t.cols) + col in
+    t.cells.(idx) <- t.cells.(idx) + count
+  done;
+  t.total <- t.total + count
+
+let query t v =
+  let best = ref max_int in
+  for row = 0 to t.rows - 1 do
+    let col = Universal.to_range t.hashes.(row) ~buckets:t.cols v in
+    let c = t.cells.((row * t.cols) + col) in
+    if c < !best then best := c
+  done;
+  !best
+
+let total t = t.total
+
+let merge_into ~dst src =
+  if dst.rows <> src.rows || dst.cols <> src.cols then
+    invalid_arg "Cm_sketch.merge_into: dimension mismatch";
+  Array.iteri (fun i c -> dst.cells.(i) <- dst.cells.(i) + c) src.cells;
+  dst.total <- dst.total + src.total
+
+let size_bytes t = 8 * t.rows * t.cols

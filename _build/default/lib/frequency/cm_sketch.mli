@@ -1,0 +1,45 @@
+(** Count-Min sketch (Cormode & Muthukrishnan 2005): approximate
+    {e frequency} counting.
+
+    This is the standard, duplicate-{e sensitive} summary: it estimates
+    how many times an item occurred, so repeated observations of the same
+    event inflate its answer.  It is implemented here as the natural
+    baseline for the paper's motivation — Section 6.2's distinct heavy
+    hitters replace exactly these counters with FM sketches to become
+    duplicate-resilient, and the [ablation_resilience] benchmark shows
+    the two diverging on duplicated traffic.
+
+    Guarantees: with [rows = ceil (ln (1/delta))] and
+    [cols = ceil (e / eps)], a point query overestimates the true count
+    by at most [eps * N] with probability [1 - delta] (never
+    underestimates; [N] = stream length). *)
+
+type t
+
+val create : rng:Wd_hashing.Rng.t -> rows:int -> cols:int -> t
+(** Requires [rows >= 1], [cols >= 1]. *)
+
+val create_for_error :
+  rng:Wd_hashing.Rng.t -> epsilon:float -> confidence:float -> t
+(** Standard sizing: [cols = ceil (e / epsilon)],
+    [rows = ceil (ln (1 / (1 - confidence)))]. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val add : t -> ?count:int -> int -> unit
+(** [add t v] records one (or [count]) occurrences.  [count >= 0]. *)
+
+val query : t -> int -> int
+(** Min-over-rows frequency estimate: always [>= ] the true count. *)
+
+val total : t -> int
+(** Number of occurrences recorded (the [N] of the error bound). *)
+
+val merge_into : dst:t -> t -> unit
+(** Cell-wise sum; both sketches must come from the same [create] seed
+    dimensions (checked by dimension only — callers share the rng the
+    same way sketch families are shared). *)
+
+val size_bytes : t -> int
+(** 8 bytes per counter. *)

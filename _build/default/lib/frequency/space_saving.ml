@@ -1,0 +1,120 @@
+(* Counters in a hash table plus a lazy min-heap: counts only grow, so a
+   popped heap entry whose recorded count is stale is re-pushed with the
+   current count.  Amortized O(log capacity) per eviction. *)
+
+type t = {
+  cap : int;
+  counts : (int, int) Hashtbl.t;
+  heap : (int * int) array; (* (count snapshot, item); [0, hsize) live *)
+  mutable hsize : int;
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Space_saving.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    counts = Hashtbl.create (2 * capacity);
+    heap = Array.make (4 * capacity) (0, 0);
+    hsize = 0;
+    total = 0;
+  }
+
+let capacity t = t.cap
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if fst t.heap.(p) > fst t.heap.(i) then begin
+      swap t p i;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.hsize && fst t.heap.(l) < fst t.heap.(!smallest) then smallest := l;
+  if r < t.hsize && fst t.heap.(r) < fst t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t entry =
+  (* The heap holds at most one live + a few stale entries per item; it
+     is sized 4x capacity and compacted when full. *)
+  if t.hsize = Array.length t.heap then begin
+    (* Compact: rebuild from the live table. *)
+    t.hsize <- 0;
+    Hashtbl.iter
+      (fun v c ->
+        t.heap.(t.hsize) <- (c, v);
+        t.hsize <- t.hsize + 1)
+      t.counts;
+    for i = (t.hsize / 2) - 1 downto 0 do
+      sift_down t i
+    done
+  end;
+  t.heap.(t.hsize) <- entry;
+  t.hsize <- t.hsize + 1;
+  sift_up t (t.hsize - 1)
+
+(* Pop the true minimum (skipping stale snapshots). *)
+let rec pop_min t =
+  assert (t.hsize > 0);
+  let snapshot, v = t.heap.(0) in
+  t.hsize <- t.hsize - 1;
+  t.heap.(0) <- t.heap.(t.hsize);
+  sift_down t 0;
+  match Hashtbl.find_opt t.counts v with
+  | Some c when c = snapshot -> (v, c)
+  | Some c ->
+    (* Stale: the item grew since this snapshot; re-queue and retry. *)
+    push t (c, v);
+    pop_min t
+  | None -> pop_min t (* item already evicted under an older snapshot *)
+
+let add t ?(count = 1) v =
+  if count < 0 then invalid_arg "Space_saving.add: negative count";
+  if count > 0 then begin
+    t.total <- t.total + count;
+    match Hashtbl.find_opt t.counts v with
+    | Some c ->
+      let c' = c + count in
+      Hashtbl.replace t.counts v c';
+      push t (c', v)
+    | None ->
+      if Hashtbl.length t.counts < t.cap then begin
+        Hashtbl.replace t.counts v count;
+        push t (count, v)
+      end
+      else begin
+        (* Replace the minimum counter, inheriting its count. *)
+        let evicted, min_count = pop_min t in
+        Hashtbl.remove t.counts evicted;
+        let c' = min_count + count in
+        Hashtbl.replace t.counts v c';
+        push t (c', v)
+      end
+  end
+
+let query t v = Hashtbl.find_opt t.counts v
+
+let top t ~k =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) t.counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < k)
+
+let total t = t.total
+
+let monitored t = Hashtbl.length t.counts
+
+let max_error t =
+  if Hashtbl.length t.counts < t.cap then 0
+  else Hashtbl.fold (fun _ c acc -> min acc c) t.counts max_int

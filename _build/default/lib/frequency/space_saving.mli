@@ -1,0 +1,36 @@
+(** Space-Saving (Metwally, Agrawal & El Abbadi 2005): deterministic
+    top-k {e frequent} items.
+
+    Like {!Cm_sketch}, this is the classical duplicate-{e sensitive}
+    notion of "heavy hitter": items that {e occur} most often, counting
+    repetitions.  Maintains [capacity] monitored counters; an unmonitored
+    arrival replaces the current minimum, inheriting its count (+1), so
+    every estimate overestimates by at most [min_count <= N / capacity].
+
+    Any item with true frequency above [N / capacity] is guaranteed to be
+    monitored.  Used by the resilience benchmark as the frequency-based
+    contender against the paper's distinct heavy hitters. *)
+
+type t
+
+val create : capacity:int -> t
+(** Requires [capacity >= 1]. *)
+
+val capacity : t -> int
+
+val add : t -> ?count:int -> int -> unit
+
+val query : t -> int -> int option
+(** Estimated count if the item is currently monitored. *)
+
+val top : t -> k:int -> (int * int) list
+(** The [k] monitored items with the largest estimated counts,
+    descending. *)
+
+val total : t -> int
+val monitored : t -> int
+(** Number of live counters ([<= capacity]). *)
+
+val max_error : t -> int
+(** Current worst-case overestimate: the minimum monitored count once
+    the structure is full, 0 before. *)

@@ -1,0 +1,1 @@
+lib/hashing/geometric.ml: Int64 Universal

@@ -1,0 +1,1 @@
+lib/hashing/rng.ml: Array Int64 Splitmix

@@ -1,0 +1,1 @@
+lib/hashing/splitmix.mli:

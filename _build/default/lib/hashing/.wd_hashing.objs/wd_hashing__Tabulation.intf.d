@@ -1,0 +1,1 @@
+lib/hashing/tabulation.mli: Rng

@@ -1,0 +1,20 @@
+(* Branchless-ish trailing-zero count via de Bruijn would be overkill here;
+   a byte-stepped loop is fast enough and obviously correct. *)
+let trailing_zeros w =
+  if w = 0L then 64
+  else begin
+    let w = ref w and n = ref 0 in
+    while Int64.logand !w 0xFFL = 0L do
+      w := Int64.shift_right_logical !w 8;
+      n := !n + 8
+    done;
+    while Int64.logand !w 1L = 0L do
+      w := Int64.shift_right_logical !w 1;
+      incr n
+    done;
+    !n
+  end
+
+let level64 h v = min 63 (trailing_zeros (Universal.hash64 h v))
+
+let level h v = level64 h (Int64.of_int v)

@@ -1,0 +1,19 @@
+(** Geometric level hash.
+
+    Both the Flajolet–Martin sketch and the Gibbons–Tirthapura distinct
+    sampler need a hash [h] such that [Pr[h(v) = i] = 2^-(i+1)] (equivalently
+    [Pr[h(v) >= l] = 2^-l]).  The standard construction is to hash [v] to a
+    uniform 64-bit word and take the number of trailing zero bits; this module
+    packages that construction over a {!Universal.t}. *)
+
+val trailing_zeros : int64 -> int
+(** [trailing_zeros w] is the number of trailing zero bits of [w];
+    [trailing_zeros 0L = 64]. *)
+
+val level : Universal.t -> int -> int
+(** [level h v] is the geometric level of item [v] under hash [h]:
+    the count of trailing zeros of the hashed word, capped at 63.
+    [Pr[level h v >= l] = 2^-l] for [l <= 63] over the choice of [h]. *)
+
+val level64 : Universal.t -> int64 -> int
+(** [level64] is {!level} on a raw 64-bit key. *)

@@ -1,0 +1,55 @@
+type t = Splitmix.t
+
+let create seed = Splitmix.create (Int64.of_int seed)
+
+let int64 = Splitmix.next
+
+let split = Splitmix.split
+
+let copy g = Splitmix.of_state (Splitmix.state g)
+
+let bits30 g = Int64.to_int (Int64.shift_right_logical (int64 g) 34)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if n <= 1 lsl 30 then begin
+    (* Rejection sampling on 30-bit words to avoid modulo bias. *)
+    let bound = 1 lsl 30 in
+    let limit = bound - (bound mod n) in
+    let rec draw () =
+      let r = bits30 g in
+      if r < limit then r mod n else draw ()
+    in
+    draw ()
+  end
+  else begin
+    let mask = (1 lsl 62) - 1 in
+    let rec draw () =
+      let r = Int64.to_int (Int64.shift_right_logical (int64 g) 2) land mask in
+      if r < mask - (mask mod n) then r mod n else draw ()
+    in
+    draw ()
+  end
+
+let float g x =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 g) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (int64 g) 1L = 1L
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let geometric_level g =
+  (* Trailing zeros of a uniform word are geometric with p = 1/2. *)
+  let rec count x i =
+    if i >= 63 then i
+    else if Int64.logand x 1L = 1L then i
+    else count (Int64.shift_right_logical x 1) (i + 1)
+  in
+  count (int64 g) 0

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator used throughout the
+    reproduction.
+
+    All experiment randomness (workload generation, hash-family seeds,
+    shuffles) flows through explicit [Rng.t] values created from integer
+    seeds, so that every test and every benchmark is reproducible bit-for-bit
+    across runs.  The generator is SplitMix64 ({!Splitmix}). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] is a fresh generator determined entirely by [seed]. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator currently in the same state as
+    [g]; advancing one does not affect the other. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a generator with an independent
+    stream.  Use to hand sub-generators to sub-components. *)
+
+val int64 : t -> int64
+(** [int64 g] is a uniform 64-bit word. *)
+
+val bits30 : t -> int
+(** [bits30 g] is a uniform integer in [\[0, 2^30)]. *)
+
+val int : t -> int -> int
+(** [int g n] is a uniform integer in [\[0, n)].  Requires [n > 0];
+    unbiased (rejection sampling). *)
+
+val float : t -> float -> float
+(** [float g x] is a uniform float in [\[0, x)]. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** [shuffle_in_place g a] applies a uniform Fisher–Yates permutation. *)
+
+val geometric_level : t -> int
+(** [geometric_level g] draws [i >= 0] with probability [2^-(i+1)]: the
+    number of leading heads in a sequence of fair coin flips.  Matches the
+    level distribution of {!Geometric.level} over fresh random keys. *)

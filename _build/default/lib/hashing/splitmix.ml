@@ -1,0 +1,25 @@
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Constants from Steele, Lea & Flood; identical to Java's SplittableRandom. *)
+let mix x =
+  let x = Int64.logxor x (Int64.shift_right_logical x 30) in
+  let x = Int64.mul x 0xBF58476D1CE4E5B9L in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  let x = Int64.mul x 0x94D049BB133111EBL in
+  Int64.logxor x (Int64.shift_right_logical x 31)
+
+let mix_seeded ~seed x = mix (Int64.add (mix seed) x)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = mix seed }
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = create (next g)
+
+let state g = g.state
+
+let of_state s = { state = s }

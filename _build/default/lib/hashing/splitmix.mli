@@ -1,0 +1,45 @@
+(** SplitMix64: a fast, high-quality 64-bit mixing function and sequential
+    pseudo-random generator (Steele, Lea & Flood, OOPSLA 2014).
+
+    Two distinct uses in this library:
+
+    - {!mix} is a stateless bijective finalizer used to build hash functions
+      over 64-bit keys.  It passes avalanche tests and is the standard way to
+      approximate the "ideal" hash functions assumed by the Flajolet–Martin
+      analysis.
+    - {!t} is a tiny splittable PRNG used to seed the other generators and
+      hash families deterministically. *)
+
+(** {1 Stateless mixing} *)
+
+val mix : int64 -> int64
+(** [mix x] is the SplitMix64 finalizer of [x]: a fixed bijection on 64-bit
+    words with full avalanche (each input bit flips each output bit with
+    probability close to 1/2). *)
+
+val mix_seeded : seed:int64 -> int64 -> int64
+(** [mix_seeded ~seed x] mixes [x] after combining it with [seed], giving a
+    cheap keyed hash family indexed by [seed].  Distinct seeds give
+    (empirically) independent hash functions. *)
+
+(** {1 Sequential generator} *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns the next 64-bit output. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    independent of the remainder of [g]'s stream. *)
+
+val state : t -> int64
+(** [state g] is the raw internal state word, for checkpointing. *)
+
+val of_state : int64 -> t
+(** [of_state s] is a generator whose internal state is exactly [s];
+    inverse of {!state}. *)

@@ -1,0 +1,16 @@
+type t = int64 array array (* 8 tables of 256 random words *)
+
+let create rng =
+  Array.init 8 (fun _ -> Array.init 256 (fun _ -> Rng.int64 rng))
+
+let hash64 (tables : t) x =
+  let h = ref 0L in
+  for byte = 0 to 7 do
+    let idx =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * byte)) 0xFFL)
+    in
+    h := Int64.logxor !h tables.(byte).(idx)
+  done;
+  !h
+
+let hash tables x = hash64 tables (Int64.of_int x)

@@ -1,0 +1,19 @@
+(** Simple tabulation hashing (Zobrist; Pǎtraşcu & Thorup).
+
+    The 64-bit key is split into eight bytes; each byte indexes a table of
+    random 64-bit words and the results are XORed.  Simple tabulation is
+    3-independent and behaves far better than its independence suggests
+    (Chernoff-style concentration for many applications, including distinct
+    counting).  It is the strongest family offered here and the one used by
+    the sketches when [~family:`Tabulation] is requested. *)
+
+type t
+
+val create : Rng.t -> t
+(** [create rng] fills the 8×256 tables from [rng] (2 KiB of state). *)
+
+val hash : t -> int -> int64
+(** [hash h x] hashes the non-negative integer key [x]. *)
+
+val hash64 : t -> int64 -> int64
+(** [hash64 h x] hashes a raw 64-bit key. *)

@@ -1,0 +1,29 @@
+type t =
+  | Mixer of int64 (* seed for SplitMix finalizer *)
+  | Multiply_shift of int64 * int64 (* odd multiplier a, offset b *)
+
+let create ~seed = Mixer seed
+
+let of_rng rng = Mixer (Rng.int64 rng)
+
+let multiply_shift rng =
+  let a = Int64.logor (Rng.int64 rng) 1L in
+  let b = Rng.int64 rng in
+  Multiply_shift (a, b)
+
+let hash64 h x =
+  match h with
+  | Mixer seed -> Splitmix.mix_seeded ~seed x
+  | Multiply_shift (a, b) ->
+    (* (a*x + b) over Z/2^64; the high bits are the universal ones, so we
+       swap halves to make low bits usable by callers too. *)
+    let v = Int64.add (Int64.mul a x) b in
+    Int64.logor (Int64.shift_right_logical v 32) (Int64.shift_left v 32)
+
+let hash h x = hash64 h (Int64.of_int x)
+
+let to_range h ~buckets x =
+  if buckets <= 0 then invalid_arg "Universal.to_range: buckets must be > 0";
+  (* Use the top 62 bits to stay within OCaml's native int range. *)
+  let v = Int64.to_int (Int64.shift_right_logical (hash h x) 2) in
+  v mod buckets

@@ -1,0 +1,30 @@
+(** Keyed 64-bit hash functions.
+
+    A {!t} is one member of a hash family, selected by a seed.  The default
+    family is the SplitMix64 finalizer keyed by the seed, which behaves like
+    an ideal hash in practice; {!multiply_shift} gives the classical
+    2-universal multiply-shift family of Dietzfelbinger et al. when provable
+    (rather than empirical) universality is wanted. *)
+
+type t
+(** One hash function: a total map from 64-bit keys to 64-bit values. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] is the seeded SplitMix64-finalizer hash. *)
+
+val of_rng : Rng.t -> t
+(** [of_rng rng] draws a fresh function from [rng]. *)
+
+val multiply_shift : Rng.t -> t
+(** [multiply_shift rng] draws a member of the 2-universal multiply-shift
+    family: [h(x) = (a*x + b) >>> 0] over 64-bit arithmetic with odd [a]. *)
+
+val hash : t -> int -> int64
+(** [hash h x] applies [h] to the (non-negative) integer key [x]. *)
+
+val hash64 : t -> int64 -> int64
+(** [hash64 h x] applies [h] to a raw 64-bit key. *)
+
+val to_range : t -> buckets:int -> int -> int
+(** [to_range h ~buckets x] maps [x] uniformly onto [\[0, buckets)].
+    Requires [buckets > 0]. *)

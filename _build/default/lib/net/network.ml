@@ -1,0 +1,85 @@
+type cost_model = Unicast | Radio_broadcast
+
+let cost_model_to_string = function
+  | Unicast -> "unicast"
+  | Radio_broadcast -> "radio-broadcast"
+
+type t = {
+  k : int;
+  model : cost_model;
+  mutable bytes_up : int;
+  mutable bytes_down : int;
+  mutable messages_up : int;
+  mutable messages_down : int;
+  per_site_up : int array;
+  per_site_down : int array;
+}
+
+let create ?(cost_model = Unicast) ~sites () =
+  if sites < 1 then invalid_arg "Network.create: sites must be >= 1";
+  {
+    k = sites;
+    model = cost_model;
+    bytes_up = 0;
+    bytes_down = 0;
+    messages_up = 0;
+    messages_down = 0;
+    per_site_up = Array.make sites 0;
+    per_site_down = Array.make sites 0;
+  }
+
+let sites t = t.k
+let cost_model t = t.model
+
+let check_site t site =
+  if site < 0 || site >= t.k then invalid_arg "Network: site index out of range"
+
+let send_up t ~site ~payload =
+  check_site t site;
+  let bytes = Wire.message ~payload in
+  t.bytes_up <- t.bytes_up + bytes;
+  t.messages_up <- t.messages_up + 1;
+  t.per_site_up.(site) <- t.per_site_up.(site) + bytes
+
+let send_down t ~site ~payload =
+  check_site t site;
+  let bytes = Wire.message ~payload in
+  t.bytes_down <- t.bytes_down + bytes;
+  t.messages_down <- t.messages_down + 1;
+  t.per_site_down.(site) <- t.per_site_down.(site) + bytes
+
+let broadcast_down t ~except ~payload =
+  match t.model with
+  | Unicast ->
+    for site = 0 to t.k - 1 do
+      if Some site <> except then send_down t ~site ~payload
+    done
+  | Radio_broadcast ->
+    (* One transmission reaches everyone; charge it once. *)
+    let bytes = Wire.message ~payload in
+    t.bytes_down <- t.bytes_down + bytes;
+    t.messages_down <- t.messages_down + 1;
+    t.per_site_down.(0) <- t.per_site_down.(0) + bytes
+
+let bytes_up t = t.bytes_up
+let bytes_down t = t.bytes_down
+let total_bytes t = t.bytes_up + t.bytes_down
+let messages_up t = t.messages_up
+let messages_down t = t.messages_down
+let total_messages t = t.messages_up + t.messages_down
+
+let site_bytes_up t site =
+  check_site t site;
+  t.per_site_up.(site)
+
+let site_bytes_down t site =
+  check_site t site;
+  t.per_site_down.(site)
+
+let reset t =
+  t.bytes_up <- 0;
+  t.bytes_down <- 0;
+  t.messages_up <- 0;
+  t.messages_down <- 0;
+  Array.fill t.per_site_up 0 t.k 0;
+  Array.fill t.per_site_down 0 t.k 0

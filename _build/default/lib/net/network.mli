@@ -1,0 +1,68 @@
+(** Simulated star network between [k] remote sites and one coordinator,
+    with byte-level communication accounting.
+
+    The paper simulates the distributed system on one machine and measures
+    bytes exchanged; this module is that simulator's bookkeeping.  Message
+    delivery is instantaneous (the paper's simplifying assumption in
+    Section 3); what matters is the cost of each send.
+
+    Two cost models (Section 7.2 compares them):
+
+    - {!Unicast}: point-to-point links.  A coordinator broadcast to [k]
+      sites costs [k] messages.
+    - {!Radio_broadcast}: shared medium ("all data is effectively
+      broadcast").  A coordinator broadcast costs one message regardless of
+      the number of recipients; this is the model in which the paper found
+      the eager Shared Sketch algorithm to win by a factor of two. *)
+
+type cost_model = Unicast | Radio_broadcast
+
+val cost_model_to_string : cost_model -> string
+
+type t
+(** Mutable communication ledger for one protocol run. *)
+
+val create : ?cost_model:cost_model -> sites:int -> unit -> t
+(** [create ~sites ()] is a fresh ledger for [sites] remote sites
+    (default cost model {!Unicast}).  Requires [sites >= 1]. *)
+
+val sites : t -> int
+val cost_model : t -> cost_model
+
+(** {1 Recording traffic}
+
+    All sizes are message payload sizes; {!Wire.header_bytes} is added per
+    message automatically. *)
+
+val send_up : t -> site:int -> payload:int -> unit
+(** A message from remote site [site] to the coordinator. *)
+
+val send_down : t -> site:int -> payload:int -> unit
+(** A unicast message from the coordinator to site [site]. *)
+
+val broadcast_down : t -> except:int option -> payload:int -> unit
+(** A coordinator message to every site (except [except] if given).  Under
+    {!Unicast} this costs one message per recipient; under
+    {!Radio_broadcast} exactly one message (even with [except], since the
+    medium is shared). *)
+
+(** {1 Reading the ledger} *)
+
+val bytes_up : t -> int
+val bytes_down : t -> int
+val total_bytes : t -> int
+val messages_up : t -> int
+val messages_down : t -> int
+val total_messages : t -> int
+
+val site_bytes_up : t -> int -> int
+(** Bytes sent by one site to the coordinator. *)
+
+val site_bytes_down : t -> int -> int
+(** Bytes received by one site from the coordinator (broadcast bytes are
+    charged to each recipient under {!Unicast} and to all sites under
+    {!Radio_broadcast}, where they occupy the shared medium once but we
+    attribute the single copy to site 0 for ledger consistency). *)
+
+val reset : t -> unit
+(** Zero all counters (the cost model and topology are kept). *)

@@ -1,0 +1,10 @@
+let header_bytes = 4
+let item_bytes = 8
+let count_bytes = 8
+let level_bytes = 1
+
+let message ~payload = header_bytes + payload
+
+let items n = n * item_bytes
+
+let item_count_pairs n = n * (item_bytes + count_bytes)

@@ -1,0 +1,31 @@
+(** Wire-size constants for byte-for-byte communication accounting.
+
+    The paper measures the communication cost of every protocol "as the
+    number of bytes sent between the coordinator and each remote site",
+    comparing approximate protocols against the exact baselines byte for
+    byte.  This module fixes the sizes used everywhere so that those ratios
+    are consistent and documented in one place.
+
+    Items come from the integer domain [\[U\]] with [U = 2^32] or [2^64];
+    we account 8 bytes per item and per count, matching the wider domain. *)
+
+val header_bytes : int
+(** Per-message framing: message tag + site identifier (4 bytes). *)
+
+val item_bytes : int
+(** One stream item / identifier (8 bytes). *)
+
+val count_bytes : int
+(** One occurrence count or distinct-count estimate (8 bytes). *)
+
+val level_bytes : int
+(** One sampling level, [0..64] (1 byte). *)
+
+val message : payload:int -> int
+(** [message ~payload] is the full cost of one message: header + payload. *)
+
+val items : int -> int
+(** [items n] is the payload size of [n] packed items. *)
+
+val item_count_pairs : int -> int
+(** [item_count_pairs n] is the payload size of [n] (item, count) pairs. *)

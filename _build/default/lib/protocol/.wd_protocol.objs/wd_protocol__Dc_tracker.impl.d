@@ -1,0 +1,1 @@
+lib/protocol/dc_tracker.ml: Array Float Hashtbl String Wd_net Wd_sketch

@@ -1,0 +1,1 @@
+lib/protocol/dc_tracker.mli: Wd_net Wd_sketch

@@ -1,0 +1,1 @@
+lib/protocol/ds_tracker.ml: Array Float Hashtbl Option String Wd_net Wd_sketch

@@ -1,0 +1,1 @@
+lib/protocol/ds_tracker.mli: Wd_net Wd_sketch

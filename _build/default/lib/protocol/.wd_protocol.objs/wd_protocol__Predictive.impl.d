@@ -1,0 +1,1 @@
+lib/protocol/predictive.ml: Array Float Wd_net Wd_sketch

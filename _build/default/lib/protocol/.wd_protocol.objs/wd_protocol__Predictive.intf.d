@@ -1,0 +1,1 @@
+lib/protocol/predictive.mli: Wd_net Wd_sketch

@@ -1,0 +1,1 @@
+lib/protocol/window_tracker.ml: Array Float Wd_net Wd_sketch

@@ -1,0 +1,1 @@
+lib/protocol/window_tracker.mli: Wd_net Wd_sketch

@@ -1,0 +1,272 @@
+module Network = Wd_net.Network
+module Wire = Wd_net.Wire
+
+type algorithm = NS | SC | SS | LS | EC
+
+let all_algorithms = [ NS; SC; SS; LS; EC ]
+
+let approximate_algorithms = [ NS; SC; SS; LS ]
+
+let algorithm_to_string = function
+  | NS -> "NS"
+  | SC -> "SC"
+  | SS -> "SS"
+  | LS -> "LS"
+  | EC -> "EC"
+
+let algorithm_of_string s =
+  match String.uppercase_ascii s with
+  | "NS" -> Some NS
+  | "SC" -> Some SC
+  | "SS" -> Some SS
+  | "LS" -> Some LS
+  | "EC" -> Some EC
+  | _ -> None
+
+module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
+  type site_state = {
+    sk : Sketch.t;
+    (* Local sketch.  Under NS/SC it summarizes only the local stream;
+       under SS/LS it is the site's copy of the global sketch, into which
+       local arrivals are also inserted. *)
+    mutable d_est : float; (* cached |sk| *)
+    mutable d_last : float; (* D_i^t: |sk| when this site last sent *)
+    mutable d0_known : float; (* D_0^t: last global estimate received *)
+    pending : (int, unit) Hashtbl.t;
+    (* Items whose insertion changed [sk] since the last send; shipping
+       these verbatim reconstructs the site's contribution at the
+       coordinator (Section 4.2 optimization). *)
+    mutable pending_valid : bool;
+    (* False once [pending] overflowed its space cap; the next send must
+       ship the sketch itself. *)
+    coord_known : Sketch.t;
+    (* Coordinator side: everything this site is known to hold — its past
+       contributions plus (LS) the global sketches returned to it.  LS
+       replies are priced as the delta against this model. *)
+    seen : (int, unit) Hashtbl.t; (* EC only: exact local duplicate filter *)
+  }
+
+  type t = {
+    algorithm : algorithm;
+    k : int;
+    theta : float;
+    family : Sketch.family;
+    item_batching : bool;
+    delta_replies : bool;
+    pending_cap : int; (* max tracked pending items per site *)
+    net : Network.t;
+    site_states : site_state array;
+    sk0 : Sketch.t; (* coordinator's merged sketch (unused by EC) *)
+    mutable d0 : float; (* coordinator's current estimate *)
+    exact : (int, unit) Hashtbl.t; (* EC only: coordinator's exact set *)
+    mutable sends : int;
+  }
+
+  let create ?(cost_model = Network.Unicast) ?network ?(item_batching = true)
+      ?(delta_replies = true) ~algorithm ~theta ~sites ~family () =
+    if sites < 1 then invalid_arg "Dc_tracker.create: sites must be >= 1";
+    if algorithm <> EC && theta <= 0.0 then
+      invalid_arg "Dc_tracker.create: theta must be positive";
+    let net =
+      match network with
+      | None -> Network.create ~cost_model ~sites ()
+      | Some net ->
+        if Network.sites net <> sites then
+          invalid_arg "Dc_tracker.create: shared network has wrong site count";
+        net
+    in
+    let fresh_site () =
+      {
+        sk = Sketch.create family;
+        d_est = 0.0;
+        d_last = 0.0;
+        d0_known = 0.0;
+        pending = Hashtbl.create 16;
+        pending_valid = true;
+        coord_known = Sketch.create family;
+        seen = Hashtbl.create 16;
+      }
+    in
+    let sketch_bytes = Sketch.size_bytes (Sketch.create family) in
+    {
+      algorithm;
+      k = sites;
+      theta;
+      family;
+      item_batching;
+      delta_replies;
+      pending_cap = max 1 (sketch_bytes / Wire.item_bytes);
+      net;
+      site_states = Array.init sites (fun _ -> fresh_site ());
+      sk0 = Sketch.create family;
+      d0 = 0.0;
+      exact = Hashtbl.create 1024;
+      sends = 0;
+    }
+
+  let algorithm t = t.algorithm
+  let sites t = t.k
+  let theta t = t.theta
+  let network t = t.net
+  let sends t = t.sends
+
+  let estimate t =
+    match t.algorithm with
+    | EC -> Float.of_int (Hashtbl.length t.exact)
+    | NS | SC | SS | LS -> t.d0
+
+  let site_estimate t i = t.site_states.(i).d_est
+
+  let coordinator_sketch t =
+    match t.algorithm with EC -> None | NS | SC | SS | LS -> Some t.sk0
+
+  let site_sketch t i =
+    match t.algorithm with
+    | EC -> None
+    | NS | SC | SS | LS -> Some t.site_states.(i).sk
+
+  (* The per-algorithm threshold skt(theta, k, D_0^t, D_i^t) of Figure 2. *)
+  let send_threshold t st =
+    let over = t.theta /. Float.of_int t.k in
+    match t.algorithm with
+    | NS -> st.d_last *. (1.0 +. over)
+    | SC -> st.d_last +. (over *. st.d0_known)
+    | SS | LS -> st.d0_known *. (1.0 +. over)
+    | EC -> assert false
+
+  (* Ship site [i]'s contribution upstream: the accumulated new items if
+     that is the cheaper encoding, else the whole local sketch.  Returns
+     whether the coordinator sketch changed. *)
+  let deliver_contribution t i st =
+    let send_items () =
+      let n = Hashtbl.length st.pending in
+      Network.send_up t.net ~site:i ~payload:(Wire.items n);
+      Hashtbl.fold
+        (fun v () changed ->
+          ignore (Sketch.add st.coord_known v : bool);
+          Sketch.add t.sk0 v || changed)
+        st.pending false
+    and send_sketch () =
+      Network.send_up t.net ~site:i ~payload:(Sketch.size_bytes st.sk);
+      Sketch.merge_into ~dst:st.coord_known st.sk;
+      let before = Sketch.copy t.sk0 in
+      Sketch.merge_into ~dst:t.sk0 st.sk;
+      not (Sketch.equal before t.sk0)
+    in
+    let changed =
+      if st.pending_valid && t.item_batching then
+        if Wire.items (Hashtbl.length st.pending) < Sketch.size_bytes st.sk
+        then send_items ()
+        else send_sketch ()
+      else send_sketch ()
+    in
+    Hashtbl.reset st.pending;
+    st.pending_valid <- true;
+    st.d_last <- st.d_est;
+    t.sends <- t.sends + 1;
+    changed
+
+  (* The coordinator's reaction skm(i, Sk_0) of Figure 2. *)
+  let coordinator_react t ~sender:i ~sk0_changed =
+    let d0_old = t.d0 in
+    t.d0 <- Sketch.estimate t.sk0;
+    match t.algorithm with
+    | NS -> ()
+    | SC ->
+      if t.d0 <> d0_old then begin
+        Network.broadcast_down t.net ~except:None ~payload:Wire.count_bytes;
+        Array.iter (fun st -> st.d0_known <- t.d0) t.site_states
+      end
+    | SS ->
+      (* Sender's copy now equals Sk_0 (it just contributed everything it
+         knew, and every earlier global change was broadcast to it), so it
+         refreshes its own D_0^t locally; everyone else gets the sketch. *)
+      let sender_st = t.site_states.(i) in
+      sender_st.d0_known <- sender_st.d_est;
+      if sk0_changed then begin
+        Network.broadcast_down t.net ~except:(Some i)
+          ~payload:(Sketch.size_bytes t.sk0);
+        Array.iteri
+          (fun j st ->
+            if j <> i then begin
+              Sketch.merge_into ~dst:st.sk t.sk0;
+              st.d_est <- Sketch.estimate st.sk;
+              st.d0_known <- t.d0
+            end)
+          t.site_states
+      end
+    | LS ->
+      let st = t.site_states.(i) in
+      (* The coordinator knows exactly what the sender holds (it just
+         received the site's full contribution on top of the last reply),
+         so the reply can carry only the missing information when delta
+         encoding is on. *)
+      let payload =
+        if t.delta_replies then
+          min (Sketch.size_bytes t.sk0)
+            (Sketch.delta_bytes ~from:st.coord_known t.sk0)
+        else Sketch.size_bytes t.sk0
+      in
+      Network.send_down t.net ~site:i ~payload;
+      Sketch.merge_into ~dst:st.coord_known t.sk0;
+      Sketch.merge_into ~dst:st.sk t.sk0;
+      st.d_est <- Sketch.estimate st.sk;
+      st.d0_known <- t.d0;
+      (* After the exchange the sender and coordinator agree exactly. *)
+      st.d_last <- st.d_est
+    | EC -> assert false
+
+  let observe_exact t ~site v =
+    let st = t.site_states.(site) in
+    if not (Hashtbl.mem st.seen v) then begin
+      Hashtbl.replace st.seen v ();
+      Network.send_up t.net ~site ~payload:Wire.item_bytes;
+      t.sends <- t.sends + 1;
+      if not (Hashtbl.mem t.exact v) then Hashtbl.replace t.exact v ()
+    end
+
+  let observe_approx t ~site v =
+    let st = t.site_states.(site) in
+    if Sketch.add st.sk v then begin
+      (* The local summary changed: refresh the cached estimate, remember
+         the item for cheap shipping, and test the send threshold. *)
+      st.d_est <- Sketch.estimate st.sk;
+      if st.pending_valid then
+        if Hashtbl.length st.pending >= t.pending_cap then begin
+          Hashtbl.reset st.pending;
+          st.pending_valid <- false
+        end
+        else Hashtbl.replace st.pending v ();
+      if st.d_est > send_threshold t st then begin
+        let sk0_changed = deliver_contribution t site st in
+        coordinator_react t ~sender:site ~sk0_changed
+      end
+    end
+
+  let observe t ~site v =
+    if site < 0 || site >= t.k then
+      invalid_arg "Dc_tracker.observe: site index out of range";
+    match t.algorithm with
+    | EC -> observe_exact t ~site v
+    | NS | SC | SS | LS -> observe_approx t ~site v
+
+  let site_space_bytes t i =
+    let st = t.site_states.(i) in
+    match t.algorithm with
+    | EC -> Wire.item_bytes * Hashtbl.length st.seen
+    | NS | SC | SS | LS ->
+      Sketch.size_bytes st.sk + (Wire.item_bytes * Hashtbl.length st.pending)
+
+  let coordinator_space_bytes t =
+    match t.algorithm with
+    | EC -> Wire.item_bytes * Hashtbl.length t.exact
+    | NS | SC | SS | LS ->
+      Sketch.size_bytes t.sk0
+      + (if t.delta_replies then
+           Array.fold_left
+             (fun acc st -> acc + Sketch.size_bytes st.coord_known)
+             0 t.site_states
+         else 0)
+end
+
+module Fm = Make (Wd_sketch.Fm)

@@ -1,0 +1,127 @@
+(** Continuous distributed tracking of the number of distinct items
+    (Section 4 of the paper).
+
+    [k] remote sites each observe an insertion stream; the coordinator must
+    at all times hold an estimate [DC] of the number of distinct items in
+    the union of the streams with [Pr[|DC - N_0| <= eps * N_0] >= 1 - delta]
+    (Definition 1), while minimizing the bytes exchanged.
+
+    Every algorithm follows the same skeleton (the paper's Figure 2): each
+    update enters a local sketch; when the local estimate exceeds a
+    threshold [skt], the site ships its sketch to the coordinator, which
+    merges it and possibly sends information back ([skm]).  The four
+    variants differ only in [skt] and [skm]:
+
+    {ul
+    {- {!NS} (No Sharing): [skt = D_i^t (1 + theta/k)], no downstream
+       traffic.}
+    {- {!SC} (Shared Count): [skt = D_i^t + (theta/k) D_0^t]; the
+       coordinator broadcasts its estimate [D_0] whenever it changes.}
+    {- {!SS} (Shared Sketch): sites maintain a copy of the {e global}
+       sketch; [skt = D_0^t (1 + theta/k)]; the coordinator broadcasts the
+       merged sketch [Sk_0] to every site except the sender on every
+       update.}
+    {- {!LS} (Lazily Shared Sketch): same threshold as SS, but [Sk_0]
+       is returned only to the site that triggered the update.}
+    {- {!EC} (Exact Count): the exact baseline — each site forwards each
+       item the first time it is seen locally; the coordinator counts
+       exactly.  Communication [O(sum_i N_i)], space [Omega(U)].}}
+
+    All four approximate algorithms guarantee error at most [alpha + theta]
+    with probability [1 - delta] (Lemma 1), where [alpha] is the sketch
+    accuracy baked into the family.
+
+    The implementation includes the Section 4.2 communication optimization
+    (on by default): while the set of sketch-changing items accumulated
+    since a site's last send is smaller on the wire than the sketch itself,
+    the site ships those items verbatim instead of the sketch — so a
+    sketch-based site never sends more than the exact algorithm would. *)
+
+type algorithm = NS | SC | SS | LS | EC
+
+val all_algorithms : algorithm list
+(** [NS; SC; SS; LS; EC] in paper order. *)
+
+val approximate_algorithms : algorithm list
+(** [NS; SC; SS; LS]. *)
+
+val algorithm_to_string : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+
+module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
+  type t
+  (** One protocol instance: [k] site states plus the coordinator state,
+      with a byte ledger. *)
+
+  val create :
+    ?cost_model:Wd_net.Network.cost_model ->
+    ?network:Wd_net.Network.t ->
+    ?item_batching:bool ->
+    ?delta_replies:bool ->
+    algorithm:algorithm ->
+    theta:float ->
+    sites:int ->
+    family:Sketch.family ->
+    unit ->
+    t
+  (** [create ~algorithm ~theta ~sites ~family ()] builds a fresh tracker.
+      [theta] is the lag budget (ignored by [EC]); [family] fixes the
+      shared sketch hash functions and dimensioning (its accuracy is the
+      [alpha] of Lemma 1).  [item_batching] toggles the Section 4.2
+      optimization (default [true]).  [delta_replies] (default [true])
+      prices LS replies as the delta against what the coordinator knows
+      the sender already holds — the Section 4.2 "encode the difference
+      between subsequent sketches" optimization, applicable to LS because
+      the reply's recipient state is known exactly; turn it off to ship
+      full sketches as the paper's plain description does.  [network]
+      supplies a shared byte
+      ledger (with a matching site count) so that many tracker instances —
+      e.g. the per-cell trackers of the distinct heavy-hitter structure —
+      can account their traffic jointly; by default each tracker gets its
+      own ledger with the given [cost_model].  Requires [sites >= 1] and
+      [theta > 0]. *)
+
+  val observe : t -> site:int -> int -> unit
+  (** [observe t ~site v] processes the arrival of item [v] at remote site
+      [site], triggering whatever communication the algorithm requires. *)
+
+  val estimate : t -> float
+  (** The coordinator's current answer [DC] — available continuously with
+      no further communication. *)
+
+  val algorithm : t -> algorithm
+  val sites : t -> int
+  val theta : t -> float
+
+  val network : t -> Wd_net.Network.t
+  (** The byte ledger: read it to measure communication cost. *)
+
+  val site_estimate : t -> int -> float
+  (** A site's current local-sketch estimate [D_i] (for tests and
+      introspection; not a protocol output). *)
+
+  val coordinator_sketch : t -> Sketch.t option
+  (** The coordinator's merged sketch ([None] for {!EC}). *)
+
+  val site_sketch : t -> int -> Sketch.t option
+  (** A site's local sketch — under SS/LS this is its copy of the global
+      sketch merged with local arrivals ([None] for {!EC}).  Exposed for
+      tests and introspection; treat as read-only. *)
+
+  val sends : t -> int
+  (** Number of site-to-coordinator communication events so far. *)
+
+  val site_space_bytes : t -> int -> int
+  (** Current memory footprint of one remote site, in the paper's
+      Section 4.2 accounting: its sketch(es) plus the pending-item set of
+      the communication optimization (EC: the exact seen-item set, the
+      [Omega(U)] cost the approximate algorithms avoid). *)
+
+  val coordinator_space_bytes : t -> int
+  (** Current memory footprint of the coordinator: its merged sketch and
+      (when delta replies are enabled) its per-site knowledge models. *)
+end
+
+module Fm : module type of Make (Wd_sketch.Fm)
+(** The default instantiation over the Flajolet–Martin sketch, as in the
+    paper's experiments. *)

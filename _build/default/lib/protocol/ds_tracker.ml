@@ -1,0 +1,177 @@
+module Network = Wd_net.Network
+module Wire = Wd_net.Wire
+module Sampler = Wd_sketch.Distinct_sampler
+
+type algorithm = LCO | GCS | LCS | EDS
+
+let all_algorithms = [ LCO; GCS; LCS; EDS ]
+
+let approximate_algorithms = [ LCO; GCS; LCS ]
+
+let algorithm_to_string = function
+  | LCO -> "LCO"
+  | GCS -> "GCS"
+  | LCS -> "LCS"
+  | EDS -> "EDS"
+
+let algorithm_of_string s =
+  match String.uppercase_ascii s with
+  | "LCO" -> Some LCO
+  | "GCS" -> Some GCS
+  | "LCS" -> Some LCS
+  | "EDS" -> Some EDS
+  | _ -> None
+
+type site_state = {
+  counts : (int, int) Hashtbl.t; (* C_{v,i}: local count of retained items *)
+  last_sent : (int, int) Hashtbl.t; (* C_{v,i}^t *)
+  known_global : (int, int) Hashtbl.t; (* C_{v,0}^t (GCS/LCS) *)
+  mutable level : int; (* latest l received from the coordinator *)
+}
+
+type t = {
+  algorithm : algorithm;
+  k : int;
+  theta : float;
+  family : Sampler.family;
+  net : Network.t;
+  site_states : site_state array;
+  coord : Sampler.t; (* the simulated global sampler, with approx counts *)
+  mutable sends : int;
+}
+
+let create ?(cost_model = Network.Unicast) ~algorithm ~theta ~sites ~family ()
+    =
+  if sites < 1 then invalid_arg "Ds_tracker.create: sites must be >= 1";
+  if algorithm <> EDS && theta <= 0.0 then
+    invalid_arg "Ds_tracker.create: theta must be positive";
+  let fresh_site () =
+    {
+      counts = Hashtbl.create 64;
+      last_sent = Hashtbl.create 64;
+      known_global = Hashtbl.create 64;
+      level = 0;
+    }
+  in
+  {
+    algorithm;
+    k = sites;
+    theta;
+    family;
+    net = Network.create ~cost_model ~sites ();
+    site_states = Array.init sites (fun _ -> fresh_site ());
+    coord = Sampler.create family;
+    sends = 0;
+  }
+
+let algorithm t = t.algorithm
+let sites t = t.k
+let theta t = t.theta
+let threshold t = Sampler.threshold t.family
+let network t = t.net
+let sends t = t.sends
+let sample t = Sampler.contents t.coord
+let sample_size t = Sampler.size t.coord
+let level t = Sampler.level t.coord
+let estimate_distinct t = Sampler.estimate_distinct t.coord
+let count t v = Sampler.count t.coord v
+
+let find0 table v = Option.value (Hashtbl.find_opt table v) ~default:0
+
+(* Drop, at one site, every tracked item below the new level: the
+   coordinator has announced it is no longer interested in them. *)
+let raise_site_level t st l =
+  if l > st.level then begin
+    st.level <- l;
+    let prune table =
+      Hashtbl.iter
+        (fun v _ ->
+          if Sampler.item_level t.coord v < l then Hashtbl.remove table v)
+        (Hashtbl.copy table)
+    in
+    prune st.counts;
+    prune st.last_sent;
+    prune st.known_global
+  end
+
+(* If processing an update pushed the coordinator's sampler over T, its
+   level moved: broadcast the new level eagerly (Section 5 argues this is
+   the important step) and prune everywhere. *)
+let propagate_level_change t old_level =
+  let l = Sampler.level t.coord in
+  if l > old_level then begin
+    Network.broadcast_down t.net ~except:None ~payload:Wire.level_bytes;
+    Array.iter (fun st -> raise_site_level t st l) t.site_states
+  end
+
+(* The per-algorithm threshold dst(theta, C_{v,i}^t, C_{v,0}^t) of Fig. 4. *)
+let send_threshold t st v =
+  match t.algorithm with
+  | LCO -> (1.0 +. t.theta) *. Float.of_int (find0 st.last_sent v)
+  | GCS | LCS ->
+    Float.of_int (find0 st.last_sent v)
+    +. (t.theta /. Float.of_int t.k *. Float.of_int (find0 st.known_global v))
+  | EDS -> assert false
+
+(* The coordinator's reaction dsm(i, v, C_{v,0}) of Fig. 4. *)
+let coordinator_react t ~sender:i v delta =
+  match t.algorithm with
+  | LCO -> ()
+  | GCS ->
+    (* The new global count goes to everyone; the sender reconstructs it
+       locally from the delta it just contributed. *)
+    let c0 = Sampler.count t.coord v in
+    if c0 > 0 then begin
+      Network.broadcast_down t.net ~except:(Some i)
+        ~payload:(Wire.item_bytes + Wire.count_bytes);
+      Array.iter (fun st -> Hashtbl.replace st.known_global v c0) t.site_states
+    end;
+    ignore delta
+  | LCS ->
+    let c0 = Sampler.count t.coord v in
+    if c0 > 0 then begin
+      Network.send_down t.net ~site:i
+        ~payload:(Wire.item_bytes + Wire.count_bytes);
+      Hashtbl.replace t.site_states.(i).known_global v c0
+    end
+  | EDS -> assert false
+
+let observe_approx t ~site v =
+  let st = t.site_states.(site) in
+  if Sampler.item_level t.coord v >= st.level then begin
+    let c = find0 st.counts v + 1 in
+    Hashtbl.replace st.counts v c;
+    if Float.of_int c > send_threshold t st v then begin
+      let delta = c - find0 st.last_sent v in
+      Network.send_up t.net ~site
+        ~payload:(Wire.item_bytes + Wire.count_bytes);
+      t.sends <- t.sends + 1;
+      Hashtbl.replace st.last_sent v c;
+      let old_level = Sampler.level t.coord in
+      Sampler.add_count t.coord v delta;
+      coordinator_react t ~sender:site v delta;
+      propagate_level_change t old_level
+    end
+  end
+
+(* EDS forwards every raw update; the sampler lives entirely at the
+   coordinator so no level traffic is needed. *)
+let observe_exact t ~site v =
+  Network.send_up t.net ~site ~payload:Wire.item_bytes;
+  t.sends <- t.sends + 1;
+  Sampler.add t.coord v
+
+let observe t ~site v =
+  if site < 0 || site >= t.k then
+    invalid_arg "Ds_tracker.observe: site index out of range";
+  match t.algorithm with
+  | EDS -> observe_exact t ~site v
+  | LCO | GCS | LCS -> observe_approx t ~site v
+
+let site_space_bytes t i =
+  let st = t.site_states.(i) in
+  Wire.item_count_pairs
+    (Hashtbl.length st.counts + Hashtbl.length st.last_sent
+    + Hashtbl.length st.known_global)
+
+let coordinator_space_bytes t = Sampler.size_bytes t.coord

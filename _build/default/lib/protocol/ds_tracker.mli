@@ -1,0 +1,85 @@
+(** Continuous distributed maintenance of a distinct sample with
+    per-item counts (Section 5 of the paper).
+
+    The coordinator simulates a single Gibbons–Tirthapura distinct sampler
+    over the union of all remote streams: a global sampling level [l]
+    (broadcast eagerly whenever it changes, so sites can drop items the
+    coordinator no longer wants) and, for every retained item [v], an
+    approximate global count [C_{v,0}] within a [1 + theta] factor of the
+    truth (Definition 2, Lemma 2).
+
+    Each site tracks local counts [C_{v,i}] of retained-level items and
+    pushes a delta upstream when the count passes a threshold [dst]; the
+    variants differ in [dst] and in what the coordinator sends back
+    (the paper's Figure 4):
+
+    {ul
+    {- {!LCO} (Local Counts Only): [dst = (1 + theta) C_{v,i}^t]; nothing
+       flows downstream except level changes.}
+    {- {!GCS} (Global Count Sharing): [dst = C_{v,i}^t + (theta/k)
+       C_{v,0}^t]; the coordinator broadcasts the new [C_{v,0}] to every
+       other site whenever it changes.}
+    {- {!LCS} (Lazy Count Sharing): same threshold; [C_{v,0}] is returned
+       only to the site that sent the delta.}
+    {- {!EDS} (Exact Distinct Sample): the baseline — every update is
+       forwarded to the coordinator, whose sampler then holds exact
+       counts.  Communication [O(|S_0|)].}} *)
+
+type algorithm = LCO | GCS | LCS | EDS
+
+val all_algorithms : algorithm list
+val approximate_algorithms : algorithm list
+val algorithm_to_string : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+
+type t
+
+val create :
+  ?cost_model:Wd_net.Network.cost_model ->
+  algorithm:algorithm ->
+  theta:float ->
+  sites:int ->
+  family:Wd_sketch.Distinct_sampler.family ->
+  unit ->
+  t
+(** [create ~algorithm ~theta ~sites ~family ()] builds a fresh tracker.
+    [family] fixes the shared level hash and the sample-size threshold [T];
+    [theta] is the count-lag budget (ignored by [EDS]).  Requires
+    [sites >= 1] and [theta > 0]. *)
+
+val observe : t -> site:int -> int -> unit
+(** Process the arrival of one item at a remote site. *)
+
+val sample : t -> (int * int) list
+(** The coordinator's current distinct sample: retained [(item, count)]
+    pairs, where each count approximates the item's global occurrence
+    count within [1 + theta] ([EDS]: exactly). *)
+
+val sample_size : t -> int
+val level : t -> int
+(** The current global sampling level [l]. *)
+
+val estimate_distinct : t -> float
+(** [sample_size * 2^level] — the sampler's own distinct-count estimate. *)
+
+val count : t -> int -> int
+(** [count t v] is the coordinator's current count for [v] ([0] if [v] is
+    not retained). *)
+
+val algorithm : t -> algorithm
+val sites : t -> int
+val theta : t -> float
+val threshold : t -> int
+(** The sample-size bound [T] from the family. *)
+
+val network : t -> Wd_net.Network.t
+val sends : t -> int
+(** Site-to-coordinator messages so far. *)
+
+val site_space_bytes : t -> int -> int
+(** Current memory footprint of one remote site: its tracked local
+    counts, last-sent counts, and (GCS/LCS) known global counts — the
+    paper's Section 5 space bound is O(T) per site. *)
+
+val coordinator_space_bytes : t -> int
+(** The coordinator's retained sample, 16 bytes per pair. *)

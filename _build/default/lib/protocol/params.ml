@@ -1,0 +1,24 @@
+type t = { epsilon : float; theta : float; alpha : float; confidence : float }
+
+let check_unit_interval name x =
+  if x <= 0.0 || x >= 1.0 then
+    invalid_arg (Printf.sprintf "Params: %s must be in (0,1), got %g" name x)
+
+let make ?(theta_fraction = 0.3) ?(confidence = 0.9) ~epsilon () =
+  check_unit_interval "epsilon" epsilon;
+  check_unit_interval "theta_fraction" theta_fraction;
+  check_unit_interval "confidence" confidence;
+  let theta = theta_fraction *. epsilon in
+  { epsilon; theta; alpha = epsilon -. theta; confidence }
+
+let with_theta ~theta ~alpha ?(confidence = 0.9) () =
+  if theta <= 0.0 then invalid_arg "Params: theta must be positive";
+  if alpha <= 0.0 then invalid_arg "Params: alpha must be positive";
+  check_unit_interval "confidence" confidence;
+  { epsilon = theta +. alpha; theta; alpha; confidence }
+
+let delta t = 1.0 -. t.confidence
+
+let pp ppf t =
+  Format.fprintf ppf "{eps=%g theta=%g alpha=%g conf=%g}" t.epsilon t.theta
+    t.alpha t.confidence

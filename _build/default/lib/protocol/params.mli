@@ -1,0 +1,37 @@
+(** Accuracy-parameter bookkeeping for the tracking protocols.
+
+    The coordinator's total error guarantee [epsilon] (Definition 1) is
+    split between two sources (Section 4):
+
+    - [alpha] — the inherent sketch approximation error, and
+    - [theta] — the permitted "lag": how far the true quantity may drift
+      beyond what the coordinator last heard before a site must speak up.
+
+    All protocols guarantee error at most [alpha + theta] with probability
+    [>= 1 - delta] (Lemma 1), so any split with [alpha + theta = epsilon]
+    is sound; the communication cost depends strongly on the split, which
+    is exactly what Figures 5(a)/5(e) explore.  The paper's experimental
+    optimum is around [theta = 0.3 * epsilon] (closer to [0.15 * epsilon]
+    for the LS algorithm). *)
+
+type t = private {
+  epsilon : float;  (** total relative-error budget at the coordinator *)
+  theta : float;  (** lag share of the budget *)
+  alpha : float;  (** sketch share: [epsilon - theta] *)
+  confidence : float;  (** [1 - delta] *)
+}
+
+val make : ?theta_fraction:float -> ?confidence:float -> epsilon:float ->
+  unit -> t
+(** [make ~epsilon ()] splits the budget as [theta = theta_fraction *
+    epsilon] (default [0.3], the paper's experimental optimum) with
+    confidence [0.9] (the paper's [delta = 0.1]).  Requires
+    [0 < epsilon < 1] and [0 < theta_fraction < 1]. *)
+
+val with_theta : theta:float -> alpha:float -> ?confidence:float -> unit -> t
+(** Explicit split; [epsilon] is their sum.  Both must be positive. *)
+
+val delta : t -> float
+(** [1 - confidence]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+module Network = Wd_net.Network
+module Wire = Wd_net.Wire
+module Fm = Wd_sketch.Fm
+
+type model = Static | Linear_growth
+
+let model_to_string = function
+  | Static -> "static"
+  | Linear_growth -> "linear-growth"
+
+type site_state = {
+  sk : Fm.t;
+  coord_known : Fm.t; (* coordinator's model of the site's sketch *)
+  mutable d_est : float;
+  mutable d_sync : float; (* local estimate at last sync *)
+  mutable t_sync : int; (* global time of last sync *)
+  mutable rate : float; (* advertised distinct-per-update growth *)
+}
+
+type t = {
+  model : model;
+  k : int;
+  theta : float;
+  net : Network.t;
+  site_states : site_state array;
+  sk0 : Fm.t;
+  mutable d0_sync : float; (* |Sk_0| at the last sync event *)
+  (* Overlap discount: the ratio of cumulative global growth to
+     cumulative claimed local growth.  Cumulative sums, not per-sync
+     ratios — single syncs are lumpy (FM estimates move in quantized
+     steps) and clamping per-sync ratios would bias the estimate down. *)
+  mutable observed_total : float;
+  mutable claimed_total : float;
+  mutable clock : int;
+  mutable sends : int;
+}
+
+let create ?(cost_model = Network.Unicast) ~model ~theta ~sites ~family () =
+  if sites < 1 then invalid_arg "Predictive.create: sites must be >= 1";
+  if theta <= 0.0 then invalid_arg "Predictive.create: theta must be positive";
+  let fresh_site () =
+    {
+      sk = Fm.create family;
+      coord_known = Fm.create family;
+      d_est = 0.0;
+      d_sync = 0.0;
+      t_sync = 0;
+      rate = 0.0;
+    }
+  in
+  {
+    model;
+    k = sites;
+    theta;
+    net = Network.create ~cost_model ~sites ();
+    site_states = Array.init sites (fun _ -> fresh_site ());
+    sk0 = Fm.create family;
+    d0_sync = 0.0;
+    observed_total = 0.0;
+    claimed_total = 0.0;
+    clock = 0;
+    sends = 0;
+  }
+
+let network t = t.net
+let sends t = t.sends
+
+let gamma t =
+  if t.claimed_total <= 0.0 then 1.0
+  else Float.min 1.0 (Float.max 0.0 (t.observed_total /. t.claimed_total))
+
+let predicted_local t st =
+  match t.model with
+  | Static -> st.d_sync
+  | Linear_growth -> st.d_sync +. (st.rate *. Float.of_int (t.clock - st.t_sync))
+
+let estimate t =
+  match t.model with
+  | Static -> t.d0_sync
+  | Linear_growth ->
+    let extra =
+      Array.fold_left
+        (fun acc st -> acc +. (st.rate *. Float.of_int (t.clock - st.t_sync)))
+        0.0 t.site_states
+    in
+    t.d0_sync +. (gamma t *. Float.max 0.0 extra)
+
+let sync t i st =
+  (* Ship the sketch delta plus the new rate advertisement. *)
+  let payload =
+    min (Fm.size_bytes st.sk) (Fm.delta_bytes ~from:st.coord_known st.sk)
+    + Wire.count_bytes
+  in
+  Network.send_up t.net ~site:i ~payload;
+  t.sends <- t.sends + 1;
+  Fm.merge_into ~dst:st.coord_known st.sk;
+  Fm.merge_into ~dst:t.sk0 st.sk;
+  let d0_new = Fm.estimate t.sk0 in
+  (* Learn the overlap discount from what this interval actually added
+     globally versus what the site claims it added locally. *)
+  let claimed = st.d_est -. st.d_sync in
+  let observed = d0_new -. t.d0_sync in
+  if claimed > 0.0 then begin
+    t.claimed_total <- t.claimed_total +. claimed;
+    t.observed_total <- t.observed_total +. Float.max 0.0 observed
+  end;
+  t.d0_sync <- d0_new;
+  (* Advertise the growth rate of the interval that just ended. *)
+  let dt = t.clock - st.t_sync in
+  st.rate <-
+    (match t.model with
+    | Static -> 0.0
+    | Linear_growth ->
+      if dt > 0 then Float.max 0.0 ((st.d_est -. st.d_sync) /. Float.of_int dt)
+      else st.rate);
+  st.d_sync <- st.d_est;
+  st.t_sync <- t.clock
+
+let observe t ~site v =
+  if site < 0 || site >= t.k then
+    invalid_arg "Predictive.observe: site index out of range";
+  t.clock <- t.clock + 1;
+  let st = t.site_states.(site) in
+  if Fm.add st.sk v then begin
+    st.d_est <- Fm.estimate st.sk;
+    let predicted = predicted_local t st in
+    let slack = t.theta /. Float.of_int t.k *. Float.max st.d_est 1.0 in
+    if Float.abs (st.d_est -. predicted) > slack then sync t site st
+  end

@@ -1,0 +1,63 @@
+(** Prediction-model distinct-count tracking — the Section 8 extension
+    "a limited set of prediction models in the style of [8, 9]"
+    (Cormode & Garofalakis, VLDB 2005; Cormode et al., SIGMOD 2005).
+
+    In the base protocols a site stays silent while its value sits inside
+    a {e static} band around the last synchronized value.  With a
+    prediction model, site and coordinator instead agree on a {e moving}
+    prediction of the site's distinct count, and the site speaks up only
+    when reality drifts from the prediction — steady growth then costs
+    nothing, where the static band pays for every [1 + theta/k] step.
+
+    Models:
+
+    - {!Static}: predicted value = value at last sync.  This degenerates
+      to the NS algorithm and serves as the ablation baseline.
+    - {!Linear_growth}: at each sync the site advertises its recent
+      growth rate (distinct items per update); both sides extrapolate
+      linearly.  The site resynchronizes when its true local estimate
+      deviates from the extrapolation by more than [theta/k]
+      (relative).
+
+    Because local growth overlaps across sites (the whole point of
+    duplicate-resilience), the coordinator cannot add up predicted local
+    growths directly; it learns an overlap discount [gamma] online — the
+    observed ratio of global sketch growth to claimed local growth,
+    exponentially averaged — and answers
+    [|Sk_0| + gamma * sum_i rate_i * (t - t_sync_i)].
+
+    The error guarantee is correspondingly empirical rather than worst
+    case: when sites' growth is steady the answer stays within the usual
+    budget at a fraction of the communication; adversarial growth
+    reverts it to NS-like cost (every deviation forces a sync).  The
+    [ext_predictive] benchmark quantifies both. *)
+
+type model = Static | Linear_growth
+
+val model_to_string : model -> string
+
+type t
+
+val create :
+  ?cost_model:Wd_net.Network.cost_model ->
+  model:model ->
+  theta:float ->
+  sites:int ->
+  family:Wd_sketch.Fm.family ->
+  unit ->
+  t
+(** Requires [sites >= 1] and [theta > 0]. *)
+
+val observe : t -> site:int -> int -> unit
+(** Process one arrival; global time is the running count of [observe]
+    calls across all sites (the shared clock of the simulation). *)
+
+val estimate : t -> float
+(** The coordinator's current model-extrapolated answer. *)
+
+val gamma : t -> float
+(** The learned overlap discount in [\[0, 1\]] (1 = no cross-site
+    duplication observed). *)
+
+val network : t -> Wd_net.Network.t
+val sends : t -> int

@@ -1,0 +1,122 @@
+module Network = Wd_net.Network
+module Wire = Wd_net.Wire
+module Wfm = Wd_sketch.Fm_window
+
+type algorithm = NS | SC | LS
+
+let algorithm_to_string = function NS -> "NS" | SC -> "SC" | LS -> "LS"
+
+let all_algorithms = [ NS; SC; LS ]
+
+type site_state = {
+  wsk : Wfm.t; (* local window sketch (LS: merged with global) *)
+  coord_known : Wfm.t; (* coordinator's model of this site's sketch *)
+  mutable d_last : float; (* windowed estimate at last send *)
+  mutable d0_known : float; (* last global estimate received *)
+}
+
+type t = {
+  algorithm : algorithm;
+  k : int;
+  theta : float;
+  win : int;
+  net : Network.t;
+  site_states : site_state array;
+  wsk0 : Wfm.t;
+  mutable clock : int;
+  mutable sends : int;
+}
+
+let create ?(cost_model = Network.Unicast) ~algorithm ~theta ~window ~sites
+    ~family () =
+  if sites < 1 then invalid_arg "Window_tracker.create: sites must be >= 1";
+  if theta <= 0.0 then invalid_arg "Window_tracker.create: theta must be positive";
+  if window < 1 then invalid_arg "Window_tracker.create: window must be >= 1";
+  let fresh_site () =
+    {
+      wsk = Wfm.create family;
+      coord_known = Wfm.create family;
+      d_last = 0.0;
+      d0_known = 0.0;
+    }
+  in
+  {
+    algorithm;
+    k = sites;
+    theta;
+    win = window;
+    net = Network.create ~cost_model ~sites ();
+    site_states = Array.init sites (fun _ -> fresh_site ());
+    wsk0 = Wfm.create family;
+    clock = 0;
+    sends = 0;
+  }
+
+let window t = t.win
+let algorithm_of t = t.algorithm
+let network t = t.net
+let sends t = t.sends
+
+let estimate t ~now = Wfm.estimate t.wsk0 ~now ~window:t.win
+
+let site_estimate t st = Wfm.estimate st.wsk ~now:t.clock ~window:t.win
+
+(* Two-sided band around the last synchronized value. *)
+let out_of_band t st d_est =
+  let over = 1.0 +. (t.theta /. Float.of_int t.k) in
+  let base =
+    match t.algorithm with NS -> st.d_last | SC | LS -> Float.max st.d_last st.d0_known
+  in
+  (* Before any sync the base is 0: any arrival triggers, nothing can
+     shrink below zero. *)
+  d_est > (base *. over) +. 1e-9
+  || (base > 0.0 && d_est < base /. over -. 1e-9)
+
+let deliver t i st =
+  (* Upstream: ship only the timestamps the coordinator's model lacks. *)
+  let payload =
+    min (Wfm.size_bytes st.wsk) (Wfm.delta_bytes ~from:st.coord_known st.wsk)
+  in
+  Network.send_up t.net ~site:i ~payload;
+  t.sends <- t.sends + 1;
+  Wfm.merge_into ~dst:st.coord_known st.wsk;
+  Wfm.merge_into ~dst:t.wsk0 st.wsk;
+  st.d_last <- site_estimate t st;
+  match t.algorithm with
+  | NS -> ()
+  | SC ->
+    let d0 = estimate t ~now:t.clock in
+    Network.broadcast_down t.net ~except:None ~payload:Wire.count_bytes;
+    Array.iter (fun st' -> st'.d0_known <- d0) t.site_states
+  | LS ->
+    let payload =
+      min (Wfm.size_bytes t.wsk0) (Wfm.delta_bytes ~from:st.coord_known t.wsk0)
+    in
+    Network.send_down t.net ~site:i ~payload;
+    Wfm.merge_into ~dst:st.coord_known t.wsk0;
+    Wfm.merge_into ~dst:st.wsk t.wsk0;
+    st.d0_known <- estimate t ~now:t.clock;
+    st.d_last <- site_estimate t st
+
+let check_site t i st =
+  let d_est = site_estimate t st in
+  if out_of_band t st d_est then deliver t i st
+
+let observe t ~site ~time v =
+  if site < 0 || site >= t.k then
+    invalid_arg "Window_tracker.observe: site index out of range";
+  if time < t.clock then
+    invalid_arg "Window_tracker.observe: time must be nondecreasing";
+  t.clock <- time;
+  let st = t.site_states.(site) in
+  (* Timestamp refreshes matter even for known items: they keep bits
+     alive, so the threshold is checked whenever a cell advanced. *)
+  if Wfm.add st.wsk ~time v then check_site t site st
+
+let tick t ~time =
+  if time < t.clock then
+    invalid_arg "Window_tracker.tick: time must be nondecreasing";
+  t.clock <- time;
+  Array.iteri (fun i st -> check_site t i st) t.site_states
+
+let exact_bytes ~updates = updates * Wire.message ~payload:(Wire.item_bytes + 6)

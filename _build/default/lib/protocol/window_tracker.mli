@@ -1,0 +1,64 @@
+(** Continuous distributed tracking of the number of distinct items in a
+    sliding window — the Section 8 extension of the distinct-count
+    protocols.
+
+    Same star topology and conservative skeleton as {!Dc_tracker}, with
+    three changes forced by window semantics:
+
+    - sites hold {!Wd_sketch.Fm_window} sketches, and every arrival
+      carries a timestamp (a shared, nondecreasing clock: event index or
+      tick count);
+    - the tracked quantity can {e fall} as the window slides, so sites
+      trigger on leaving a two-sided band
+      [(D^t / (1 + theta/k), D^t (1 + theta/k))], and must be prodded by
+      {!tick} even when no items arrive (an idle site's old items still
+      expire);
+    - both directions of sketch traffic are delta-encoded against the
+      coordinator's model of each site (the Section 4.2 difference
+      encoding) — timestamp refreshes would otherwise make full-sketch
+      shipping prohibitively chatty.
+
+    Supported algorithms: [NS], [SC] and [LS] (the useful points of the
+    design space); [SS]'s eager broadcast and [EC] do not transfer
+    meaningfully to windows — the exact baseline is {!exact_bytes}:
+    forwarding every update with its timestamp. *)
+
+type algorithm = NS | SC | LS
+
+val algorithm_to_string : algorithm -> string
+val all_algorithms : algorithm list
+
+type t
+
+val create :
+  ?cost_model:Wd_net.Network.cost_model ->
+  algorithm:algorithm ->
+  theta:float ->
+  window:int ->
+  sites:int ->
+  family:Wd_sketch.Fm_window.family ->
+  unit ->
+  t
+(** Requires [sites >= 1], [theta > 0], [window >= 1]. *)
+
+val observe : t -> site:int -> time:int -> int -> unit
+(** [observe t ~site ~time v]: item [v] arrives at [site] at [time].
+    Times must be nondecreasing across calls (a shared clock). *)
+
+val tick : t -> time:int -> unit
+(** [tick t ~time] advances the clock without an arrival, letting every
+    site notice windowed estimates that have decayed out of its band.
+    Call at whatever granularity the monitoring application needs. *)
+
+val estimate : t -> now:int -> float
+(** The coordinator's windowed distinct estimate at time [now] — no
+    communication needed; expiry is evaluated locally. *)
+
+val window : t -> int
+val algorithm_of : t -> algorithm
+val network : t -> Wd_net.Network.t
+val sends : t -> int
+
+val exact_bytes : updates:int -> int
+(** Cost of the exact baseline on [updates] arrivals: every update is
+    forwarded with its timestamp (item + 6-byte timestamp + header). *)

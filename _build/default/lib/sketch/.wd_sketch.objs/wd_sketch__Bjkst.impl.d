@@ -1,0 +1,1 @@
+lib/sketch/bjkst.ml: Array Bytes Float Hashtbl Int32 Int64 Wd_hashing

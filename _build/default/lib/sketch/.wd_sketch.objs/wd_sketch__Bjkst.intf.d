@@ -1,0 +1,1 @@
+lib/sketch/bjkst.mli: Wd_hashing

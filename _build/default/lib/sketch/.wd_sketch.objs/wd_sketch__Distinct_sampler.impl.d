@@ -1,0 +1,1 @@
+lib/sketch/distinct_sampler.ml: Bytes Float Hashtbl Int32 Int64 Option Wd_hashing

@@ -1,0 +1,1 @@
+lib/sketch/distinct_sampler.mli: Wd_hashing

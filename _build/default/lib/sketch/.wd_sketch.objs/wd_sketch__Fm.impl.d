@@ -1,0 +1,1 @@
+lib/sketch/fm.ml: Array Bytes Float Fm_bitmap Int64 Wd_hashing

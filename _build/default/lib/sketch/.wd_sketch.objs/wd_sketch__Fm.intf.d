@@ -1,0 +1,1 @@
+lib/sketch/fm.mli: Wd_hashing

@@ -1,0 +1,1 @@
+lib/sketch/fm_bitmap.ml: Float Int64 Wd_hashing

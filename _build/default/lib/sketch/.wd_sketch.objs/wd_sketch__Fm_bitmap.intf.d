@@ -1,0 +1,1 @@
+lib/sketch/fm_bitmap.mli:

@@ -1,0 +1,1 @@
+lib/sketch/fm_window.ml: Array Float Fm_bitmap Wd_hashing

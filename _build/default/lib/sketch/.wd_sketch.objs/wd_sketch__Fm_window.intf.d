@@ -1,0 +1,1 @@
+lib/sketch/fm_window.mli: Wd_hashing

@@ -1,0 +1,1 @@
+lib/sketch/sketch_intf.ml: Wd_hashing

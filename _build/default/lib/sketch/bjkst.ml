@@ -1,0 +1,142 @@
+module Rng = Wd_hashing.Rng
+module Universal = Wd_hashing.Universal
+
+type family = { k : int; hash : Universal.t }
+
+(* The k smallest hash values, as a max-heap of unsigned 64-bit words so the
+   largest retained value is evicted in O(log k); a hash set mirrors the heap
+   for duplicate suppression. *)
+type t = {
+  fam : family;
+  heap : int64 array; (* max-heap on unsigned compare; [0, size) live *)
+  mutable size : int;
+  members : (int64, unit) Hashtbl.t;
+}
+
+let name = "bjkst"
+
+let family_custom ~rng ~k =
+  if k < 1 then invalid_arg "Bjkst.family_custom: k must be >= 1";
+  { k; hash = Universal.of_rng rng }
+
+let family ~rng ~accuracy ~confidence =
+  if accuracy <= 0.0 || accuracy >= 1.0 then
+    invalid_arg "Bjkst.family: accuracy must be in (0,1)";
+  let delta = 1.0 -. confidence in
+  let k =
+    int_of_float
+      (Float.ceil
+         ((1.0 /. accuracy) ** 2.0 *. Float.max 1.0 (Float.log (1.0 /. delta))))
+  in
+  family_custom ~rng ~k:(max 2 k)
+
+let k fam = fam.k
+
+let create fam =
+  { fam; heap = Array.make fam.k 0L; size = 0; members = Hashtbl.create (2 * fam.k) }
+
+let copy t =
+  { t with heap = Array.copy t.heap; members = Hashtbl.copy t.members }
+
+let ult a b = Int64.unsigned_compare a b < 0
+
+let sift_up t i0 =
+  let i = ref i0 in
+  while !i > 0 && ult t.heap.((!i - 1) / 2) t.heap.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.heap.(p) in
+    t.heap.(p) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := p
+  done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let largest = ref !i in
+    if l < t.size && ult t.heap.(!largest) t.heap.(l) then largest := l;
+    if r < t.size && ult t.heap.(!largest) t.heap.(r) then largest := r;
+    if !largest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!i) in
+      t.heap.(!i) <- t.heap.(!largest);
+      t.heap.(!largest) <- tmp;
+      i := !largest
+    end
+  done
+
+let insert_hash t h =
+  if Hashtbl.mem t.members h then false
+  else if t.size < t.fam.k then begin
+    t.heap.(t.size) <- h;
+    t.size <- t.size + 1;
+    Hashtbl.replace t.members h ();
+    sift_up t (t.size - 1);
+    true
+  end
+  else if ult h t.heap.(0) then begin
+    Hashtbl.remove t.members t.heap.(0);
+    t.heap.(0) <- h;
+    Hashtbl.replace t.members h ();
+    sift_down t;
+    true
+  end
+  else false
+
+let add t v = insert_hash t (Universal.hash t.fam.hash v)
+
+let merge_into ~dst src =
+  for i = 0 to src.size - 1 do
+    ignore (insert_hash dst src.heap.(i) : bool)
+  done
+
+(* Normalize an unsigned 64-bit word into (0, 1]. *)
+let normalized h =
+  let top53 = Int64.to_float (Int64.shift_right_logical h 11) in
+  (top53 +. 1.0) /. 9007199254740992.0
+
+let estimate t =
+  if t.size = 0 then 0.0
+  else if t.size < t.fam.k then Float.of_int t.size
+  else
+    (* kth smallest value is the heap root (max of the retained minima). *)
+    Float.of_int (t.fam.k - 1) /. normalized t.heap.(0)
+
+let size_bytes t = 8 * t.size
+
+(* Each hash value of the target the receiver lacks ships whole. *)
+let delta_bytes ~from target =
+  let missing = ref 0 in
+  for i = 0 to target.size - 1 do
+    if not (Hashtbl.mem from.members target.heap.(i)) then incr missing
+  done;
+  8 * !missing
+
+let equal a b =
+  a.size = b.size
+  && Hashtbl.fold (fun h () acc -> acc && Hashtbl.mem b.members h) a.members true
+
+let family_of t = t.fam
+
+let to_bytes t =
+  let buf = Bytes.create (4 + (8 * t.size)) in
+  Bytes.set_int32_le buf 0 (Int32.of_int t.size);
+  for i = 0 to t.size - 1 do
+    Bytes.set_int64_le buf (4 + (8 * i)) t.heap.(i)
+  done;
+  buf
+
+let of_bytes fam buf =
+  if Bytes.length buf < 4 then invalid_arg "Bjkst.of_bytes: truncated buffer";
+  let n = Int32.to_int (Bytes.get_int32_le buf 0) in
+  if n < 0 || n > fam.k then
+    invalid_arg "Bjkst.of_bytes: value count out of range";
+  if Bytes.length buf <> 4 + (8 * n) then
+    invalid_arg "Bjkst.of_bytes: buffer length does not match the count";
+  let t = create fam in
+  for i = 0 to n - 1 do
+    insert_hash t (Bytes.get_int64_le buf (4 + (8 * i))) |> ignore
+  done;
+  t

@@ -1,0 +1,140 @@
+module Rng = Wd_hashing.Rng
+module Universal = Wd_hashing.Universal
+module Geometric = Wd_hashing.Geometric
+
+type variant = Averaged | Stochastic
+
+type family = {
+  variant : variant;
+  m : int;
+  (* Averaged: m level hashes, one per bitmap.
+     Stochastic: hashes.(0) provides both bucket (high bits) and level
+     (trailing zeros), which are independent enough for PCSA. *)
+  hashes : Universal.t array;
+  bucket_hash : Universal.t;
+}
+
+type t = { fam : family; bitmaps : Fm_bitmap.t array }
+
+let name = "fm"
+
+let family_custom ~rng ~variant ~bitmaps =
+  if bitmaps < 1 then invalid_arg "Fm.family_custom: bitmaps must be >= 1";
+  let n_hashes = match variant with Averaged -> bitmaps | Stochastic -> 1 in
+  {
+    variant;
+    m = bitmaps;
+    hashes = Array.init n_hashes (fun _ -> Universal.of_rng rng);
+    bucket_hash = Universal.of_rng rng;
+  }
+
+let family ~rng ~accuracy ~confidence =
+  if accuracy <= 0.0 || accuracy >= 1.0 then
+    invalid_arg "Fm.family: accuracy must be in (0,1)";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Fm.family: confidence must be in (0,1)";
+  (* Standard error of the averaged estimator is ~0.78/sqrt m
+     asymptotically; continuous monitoring evaluates the estimate at
+     every prefix, so the worst point of the trajectory sits in the
+     tail — size with a conservative constant 1.0 to keep the whole
+     run inside the budget.  Boosting to confidence 1-delta multiplies
+     m by ln(1/delta). *)
+  let delta = 1.0 -. confidence in
+  let base = (1.0 /. accuracy) ** 2.0 in
+  let m = int_of_float (Float.ceil (base *. Float.max 1.0 (Float.log (1.0 /. delta)))) in
+  family_custom ~rng ~variant:Stochastic ~bitmaps:(max 1 m)
+
+let bitmaps fam = fam.m
+let variant fam = fam.variant
+
+let create fam = { fam; bitmaps = Array.init fam.m (fun _ -> Fm_bitmap.create ()) }
+
+let copy t = { t with bitmaps = Array.map Fm_bitmap.copy t.bitmaps }
+
+let add t v =
+  let fam = t.fam in
+  match fam.variant with
+  | Averaged ->
+    let changed = ref false in
+    for j = 0 to fam.m - 1 do
+      if Fm_bitmap.add_level t.bitmaps.(j) (Geometric.level fam.hashes.(j) v)
+      then changed := true
+    done;
+    !changed
+  | Stochastic ->
+    let j = Universal.to_range fam.bucket_hash ~buckets:fam.m v in
+    Fm_bitmap.add_level t.bitmaps.(j) (Geometric.level fam.hashes.(0) v)
+
+let merge_into ~dst src =
+  if dst.fam != src.fam && dst.fam <> src.fam then
+    invalid_arg "Fm.merge_into: sketches from different families";
+  Array.iteri
+    (fun j bm -> Fm_bitmap.merge_into ~dst:dst.bitmaps.(j) bm)
+    src.bitmaps
+
+let estimate t =
+  let fam = t.fam in
+  let sum = ref 0 and empty = ref 0 in
+  for j = 0 to fam.m - 1 do
+    sum := !sum + Fm_bitmap.lowest_zero t.bitmaps.(j);
+    if Fm_bitmap.is_empty t.bitmaps.(j) then incr empty
+  done;
+  let m = Float.of_int fam.m in
+  let mean_z = Float.of_int !sum /. m in
+  match fam.variant with
+  | Averaged -> (2.0 ** mean_z) /. Fm_bitmap.phi
+  | Stochastic ->
+    let raw = m *. (2.0 ** mean_z) /. Fm_bitmap.phi in
+    (* Stochastic averaging is biased upwards when the number of distinct
+       items is comparable to m (many bitmaps still empty).  Fall back to
+       linear counting on the empty-bitmap fraction in that regime, as in
+       PCSA/LogLog implementations. *)
+    if fam.m > 1 && !empty > 0 && raw < 2.5 *. m then
+      m *. Float.log (m /. Float.of_int !empty)
+    else raw
+
+let size_bytes t = Fm_bitmap.size_bytes * t.fam.m
+
+(* Each missing bit ships as a (bitmap index, level) coordinate: 4 bytes. *)
+let delta_bytes ~from target =
+  let missing = ref 0 in
+  for j = 0 to target.fam.m - 1 do
+    let extra =
+      Int64.logand
+        (Fm_bitmap.bits target.bitmaps.(j))
+        (Int64.lognot (Fm_bitmap.bits from.bitmaps.(j)))
+    in
+    let x = ref extra in
+    while !x <> 0L do
+      x := Int64.logand !x (Int64.sub !x 1L);
+      incr missing
+    done
+  done;
+  4 * !missing
+
+let equal a b =
+  Array.length a.bitmaps = Array.length b.bitmaps
+  && (let ok = ref true in
+      Array.iteri (fun j bm -> if not (Fm_bitmap.equal bm b.bitmaps.(j)) then ok := false) a.bitmaps;
+      !ok)
+
+let is_empty t = Array.for_all Fm_bitmap.is_empty t.bitmaps
+
+let family_of t = t.fam
+
+let to_bytes t =
+  let buf = Bytes.create (8 * t.fam.m) in
+  Array.iteri
+    (fun j bm -> Bytes.set_int64_le buf (8 * j) (Fm_bitmap.bits bm))
+    t.bitmaps;
+  buf
+
+let of_bytes fam buf =
+  if Bytes.length buf <> 8 * fam.m then
+    invalid_arg "Fm.of_bytes: buffer length does not match the family";
+  {
+    fam;
+    bitmaps =
+      Array.init fam.m (fun j ->
+          Fm_bitmap.of_bits (Bytes.get_int64_le buf (8 * j)));
+  }

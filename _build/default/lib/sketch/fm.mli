@@ -1,0 +1,73 @@
+(** Multi-bitmap Flajolet–Martin distinct-count sketch.
+
+    The paper's primary sketch (Section 3.2): to reduce the variance of one
+    {!Fm_bitmap}, keep [m] of them and average.  Two classical variants are
+    provided:
+
+    - [Averaged] — the variant described in the paper's Section 3.2: every
+      item is inserted into all [m] bitmaps under [m] independent hash
+      functions, and the estimate is [2^(mean z) / phi].  O(m) per update.
+    - [Stochastic] — Flajolet–Martin's own "stochastic averaging" (PCSA):
+      one hash splits items across the [m] bitmaps and a second provides
+      the level, so each update touches exactly one bitmap.  The estimate is
+      [m * 2^(mean z) / phi].  O(1) per update, same asymptotic accuracy.
+
+    The default family uses [Stochastic]; the benchmark suite contains an
+    ablation comparing the two.  Both variants merge by bitwise OR and give
+    estimates that are monotone under merging, which the tracking protocols
+    rely on. *)
+
+type variant = Averaged | Stochastic
+
+type family
+type t
+
+val name : string
+
+val family :
+  rng:Wd_hashing.Rng.t -> accuracy:float -> confidence:float -> family
+(** Sizes [m ~= (0.78 / accuracy)^2 * ln (1 / (1 - confidence))] bitmaps,
+    [Stochastic] variant.  See {!family_custom} for explicit control. *)
+
+val family_custom :
+  rng:Wd_hashing.Rng.t -> variant:variant -> bitmaps:int -> family
+(** [family_custom ~rng ~variant ~bitmaps] uses exactly [bitmaps] bitmaps
+    with the given update discipline.  Requires [bitmaps >= 1]. *)
+
+val bitmaps : family -> int
+(** Number of bitmaps [m] in the family. *)
+
+val variant : family -> variant
+
+val create : family -> t
+val copy : t -> t
+
+(** [add t v] inserts the item; [true] iff some bitmap bit was newly set. *)
+val add : t -> int -> bool
+val merge_into : dst:t -> t -> unit
+val estimate : t -> float
+val size_bytes : t -> int
+(** [8 * m] bytes: the bitmaps are the wire payload. *)
+
+val delta_bytes : from:t -> t -> int
+(** 4 bytes per bit of the target not present in [from] (a (bitmap,
+    level) coordinate each). *)
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+
+val family_of : t -> family
+(** The family a sketch was created from. *)
+
+(** {1 Serialization}
+
+    The wire format is the raw little-endian bitmaps, [8 * m] bytes —
+    exactly the {!size_bytes} the protocols charge for a sketch payload.
+    Hash functions are family state and are shared out of band (all
+    parties of a protocol hold the same family). *)
+
+val to_bytes : t -> bytes
+
+val of_bytes : family -> bytes -> t
+(** Raises [Invalid_argument] if the buffer length does not match the
+    family's [8 * m] bytes. *)

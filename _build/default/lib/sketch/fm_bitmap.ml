@@ -1,0 +1,32 @@
+type t = { mutable bits : int64 }
+
+let phi = 0.77351
+
+let create () = { bits = 0L }
+
+let copy t = { bits = t.bits }
+
+let add_level t lvl =
+  if lvl < 0 || lvl > 63 then invalid_arg "Fm_bitmap.add_level: level out of range";
+  let mask = Int64.shift_left 1L lvl in
+  let fresh = Int64.logand t.bits mask = 0L in
+  if fresh then t.bits <- Int64.logor t.bits mask;
+  fresh
+
+let lowest_zero t =
+  (* Index of lowest zero = trailing zeros of the complement. *)
+  Wd_hashing.Geometric.trailing_zeros (Int64.lognot t.bits)
+
+let estimate t = (2.0 ** Float.of_int (lowest_zero t)) /. phi
+
+let merge_into ~dst src = dst.bits <- Int64.logor dst.bits src.bits
+
+let equal a b = Int64.equal a.bits b.bits
+
+let is_empty t = Int64.equal t.bits 0L
+
+let bits t = t.bits
+
+let of_bits bits = { bits }
+
+let size_bytes = 8

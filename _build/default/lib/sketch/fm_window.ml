@@ -1,0 +1,90 @@
+module Rng = Wd_hashing.Rng
+module Universal = Wd_hashing.Universal
+module Geometric = Wd_hashing.Geometric
+
+let levels = 64
+
+type family = { m : int; bucket_hash : Universal.t; level_hash : Universal.t }
+
+(* cells.(j * levels + l) is the latest time bit l of bitmap j was set,
+   or -1 if never. *)
+type t = { fam : family; cells : int array }
+
+let family_custom ~rng ~bitmaps =
+  if bitmaps < 1 then invalid_arg "Fm_window.family_custom: bitmaps must be >= 1";
+  { m = bitmaps; bucket_hash = Universal.of_rng rng; level_hash = Universal.of_rng rng }
+
+let family ~rng ~accuracy ~confidence =
+  if accuracy <= 0.0 || accuracy >= 1.0 then
+    invalid_arg "Fm_window.family: accuracy must be in (0,1)";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Fm_window.family: confidence must be in (0,1)";
+  let delta = 1.0 -. confidence in
+  let base = (0.78 /. accuracy) ** 2.0 in
+  let m =
+    int_of_float (Float.ceil (base *. Float.max 1.0 (Float.log (1.0 /. delta))))
+  in
+  family_custom ~rng ~bitmaps:(max 1 m)
+
+let bitmaps fam = fam.m
+
+let create fam = { fam; cells = Array.make (fam.m * levels) (-1) }
+
+let copy t = { t with cells = Array.copy t.cells }
+
+let add t ~time v =
+  if time < 0 then invalid_arg "Fm_window.add: time must be >= 0";
+  let fam = t.fam in
+  let j = Universal.to_range fam.bucket_hash ~buckets:fam.m v in
+  let l = Geometric.level fam.level_hash v in
+  let idx = (j * levels) + l in
+  if time > t.cells.(idx) then begin
+    t.cells.(idx) <- time;
+    true
+  end
+  else false
+
+let estimate t ~now ~window =
+  if window <= 0 then 0.0
+  else begin
+    let fam = t.fam in
+    let cutoff = max 0 (now - window + 1) in
+    (* A bit is alive iff ever set (>= 0) and last set within the window. *)
+    let sum = ref 0 and empty = ref 0 in
+    for j = 0 to fam.m - 1 do
+      let z = ref 0 in
+      while
+        !z < levels && t.cells.((j * levels) + !z) >= cutoff
+      do
+        incr z
+      done;
+      sum := !sum + !z;
+      if !z = 0 then incr empty
+    done;
+    let m = Float.of_int fam.m in
+    let mean_z = Float.of_int !sum /. m in
+    let raw = m *. (2.0 ** mean_z) /. Fm_bitmap.phi in
+    if fam.m > 1 && !empty > 0 && raw < 2.5 *. m then
+      m *. Float.log (m /. Float.of_int !empty)
+    else raw
+  end
+
+let estimate_all t = estimate t ~now:0 ~window:max_int
+
+let merge_into ~dst src =
+  Array.iteri
+    (fun idx time -> if time > dst.cells.(idx) then dst.cells.(idx) <- time)
+    src.cells
+
+let equal a b = a.cells = b.cells
+
+let size_bytes t =
+  let occupied = Array.fold_left (fun acc c -> if c >= 0 then acc + 1 else acc) 0 t.cells in
+  8 * occupied
+
+let delta_bytes ~from target =
+  let missing = ref 0 in
+  Array.iteri
+    (fun idx time -> if time > from.cells.(idx) then incr missing)
+    target.cells;
+  8 * !missing

@@ -1,0 +1,57 @@
+(** Sliding-window Flajolet–Martin sketch.
+
+    The paper's Section 8 notes that the tracking results "can be
+    extended to handling ... sliding window semantics".  This module is
+    the standard construction enabling that: each FM bit carries the
+    {e most recent} timestamp at which it was set, so the sketch can
+    answer "how many distinct items arrived in the last [window] time
+    units" for {e any} window at query time — a bit counts as set for a
+    window iff its timestamp falls inside it.
+
+    Merging takes the pointwise maximum of timestamps, so the structure
+    is exactly as mergeable (and duplicate-resilient) as the plain FM
+    sketch, and a union of site sketches answers windowed distinct counts
+    over the union stream.
+
+    Timestamps are caller-supplied integers (event indices or clock
+    ticks); they need not be strictly monotone — [max] reconciles
+    out-of-order arrivals. *)
+
+type family
+type t
+
+val family_custom : rng:Wd_hashing.Rng.t -> bitmaps:int -> family
+(** Stochastic-averaging layout: one bucket hash splits items over
+    [bitmaps] timestamp-bitmaps, one level hash supplies geometric
+    levels.  Requires [bitmaps >= 1]. *)
+
+val family : rng:Wd_hashing.Rng.t -> accuracy:float -> confidence:float ->
+  family
+(** Same sizing rule as {!Fm.family}. *)
+
+val bitmaps : family -> int
+
+val create : family -> t
+val copy : t -> t
+
+val add : t -> time:int -> int -> bool
+(** [add t ~time v] records an arrival of [v] at [time] (a non-negative
+    integer); [true] iff some cell's timestamp advanced. *)
+
+val estimate : t -> now:int -> window:int -> float
+(** [estimate t ~now ~window] estimates the number of distinct items
+    among arrivals with [time > now - window].  [window <= 0] gives 0;
+    a [window] larger than [now] covers the whole history. *)
+
+val estimate_all : t -> float
+(** Distinct estimate over the whole history (infinite window). *)
+
+val merge_into : dst:t -> t -> unit
+val equal : t -> t -> bool
+
+val size_bytes : t -> int
+(** Wire size: 8 bytes per cell that has ever been set (a (bitmap,
+    level, timestamp) record). *)
+
+val delta_bytes : from:t -> t -> int
+(** 8 bytes per cell of the target whose timestamp exceeds [from]'s. *)

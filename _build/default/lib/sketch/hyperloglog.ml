@@ -1,0 +1,103 @@
+module Rng = Wd_hashing.Rng
+module Universal = Wd_hashing.Universal
+module Geometric = Wd_hashing.Geometric
+
+type family = { m : int; log2m : int; hash : Universal.t }
+
+type t = { fam : family; regs : Bytes.t }
+
+let name = "hll"
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let family_custom ~rng ~registers =
+  if registers < 16 || not (is_power_of_two registers) then
+    invalid_arg "Hyperloglog.family_custom: registers must be a power of two >= 16";
+  let rec log2 n acc = if n = 1 then acc else log2 (n / 2) (acc + 1) in
+  { m = registers; log2m = log2 registers 0; hash = Universal.of_rng rng }
+
+let family ~rng ~accuracy ~confidence =
+  if accuracy <= 0.0 || accuracy >= 1.0 then
+    invalid_arg "Hyperloglog.family: accuracy must be in (0,1)";
+  let delta = 1.0 -. confidence in
+  let target =
+    (1.04 /. accuracy) ** 2.0 *. Float.max 1.0 (Float.log (1.0 /. delta))
+  in
+  let m = ref 16 in
+  while Float.of_int !m < target do
+    m := !m * 2
+  done;
+  family_custom ~rng ~registers:!m
+
+let registers fam = fam.m
+
+let create fam = { fam; regs = Bytes.make fam.m '\000' }
+
+let copy t = { t with regs = Bytes.copy t.regs }
+
+let add t v =
+  let fam = t.fam in
+  let h = Universal.hash fam.hash v in
+  (* Bucket from the top log2m bits; rank from the remaining low bits. *)
+  let j = Int64.to_int (Int64.shift_right_logical h (64 - fam.log2m)) in
+  let rest = Int64.shift_left h fam.log2m in
+  let rank = min 63 (1 + Geometric.trailing_zeros (Int64.shift_right_logical rest fam.log2m)) in
+  if rank > Char.code (Bytes.get t.regs j) then begin
+    Bytes.set t.regs j (Char.chr rank);
+    true
+  end
+  else false
+
+let merge_into ~dst src =
+  for j = 0 to dst.fam.m - 1 do
+    let a = Bytes.get dst.regs j and b = Bytes.get src.regs j in
+    if Char.code b > Char.code a then Bytes.set dst.regs j b
+  done
+
+let alpha m =
+  match m with
+  | 16 -> 0.673
+  | 32 -> 0.697
+  | 64 -> 0.709
+  | _ -> 0.7213 /. (1.0 +. (1.079 /. Float.of_int m))
+
+let estimate t =
+  let m = t.fam.m in
+  let sum = ref 0.0 and zeros = ref 0 in
+  for j = 0 to m - 1 do
+    let r = Char.code (Bytes.get t.regs j) in
+    sum := !sum +. (2.0 ** Float.of_int (-r));
+    if r = 0 then incr zeros
+  done;
+  let mf = Float.of_int m in
+  let raw = alpha m *. mf *. mf /. !sum in
+  if raw <= 2.5 *. mf && !zeros > 0 then mf *. Float.log (mf /. Float.of_int !zeros)
+  else raw
+
+let size_bytes t = t.fam.m
+
+(* Each register of the target exceeding the receiver's ships as a
+   (register index, value) pair: 3 bytes. *)
+let delta_bytes ~from target =
+  let missing = ref 0 in
+  for j = 0 to target.fam.m - 1 do
+    if Char.code (Bytes.get target.regs j) > Char.code (Bytes.get from.regs j)
+    then incr missing
+  done;
+  3 * !missing
+
+let equal a b = Bytes.equal a.regs b.regs
+
+let family_of t = t.fam
+
+let to_bytes t = Bytes.copy t.regs
+
+let of_bytes fam buf =
+  if Bytes.length buf <> fam.m then
+    invalid_arg "Hyperloglog.of_bytes: buffer length does not match the family";
+  Bytes.iter
+    (fun c ->
+      if Char.code c > 63 then
+        invalid_arg "Hyperloglog.of_bytes: register value out of range")
+    buf;
+  { fam; regs = Bytes.copy buf }

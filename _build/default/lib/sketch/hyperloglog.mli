@@ -1,0 +1,51 @@
+(** HyperLogLog distinct-count summary (Flajolet, Fusy, Gandouet, Meunier).
+
+    [m] one-byte registers; register [j] keeps the maximum geometric level
+    (+1) of the items routed to bucket [j]; the harmonic mean of [2^-M_j]
+    yields the estimate, with linear-counting correction for small
+    cardinalities.  Standard error [~1.04/sqrt m].
+
+    Included as a second drop-in sketch type for the paper's Section 4.2
+    observation; its 1-byte registers make shared-sketch protocols (SS/LS)
+    markedly cheaper per message than with FM bitmaps, which the sketch-type
+    ablation bench quantifies. *)
+
+type family
+type t
+
+val name : string
+
+val family :
+  rng:Wd_hashing.Rng.t -> accuracy:float -> confidence:float -> family
+(** Sizes [m] as the power of two with [1.04/sqrt m <= accuracy], times a
+    [ln (1/delta)] boost. *)
+
+val family_custom : rng:Wd_hashing.Rng.t -> registers:int -> family
+(** [registers] must be a power of two [>= 16]. *)
+
+val registers : family -> int
+
+val create : family -> t
+val copy : t -> t
+
+(** [add t v] inserts the item; [true] iff some register increased. *)
+val add : t -> int -> bool
+val merge_into : dst:t -> t -> unit
+val estimate : t -> float
+val size_bytes : t -> int
+(** One byte per register. *)
+
+val delta_bytes : from:t -> t -> int
+(** 3 bytes per register of the target exceeding [from]'s (a (register,
+    value) pair each). *)
+
+val equal : t -> t -> bool
+val family_of : t -> family
+
+(** {1 Serialization} — the raw register array, [m] bytes. *)
+
+val to_bytes : t -> bytes
+
+val of_bytes : family -> bytes -> t
+(** Raises [Invalid_argument] on a length mismatch or a register value
+    above 63. *)

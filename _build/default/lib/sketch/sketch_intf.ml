@@ -1,0 +1,71 @@
+(** Common signature of mergeable distinct-counting summaries.
+
+    Section 4.2 of the paper observes that the distinct-count tracking
+    protocols need nothing from the Flajolet–Martin structure beyond
+    "adding new items, merging two sketches and outputting the approximate
+    number of distinct items"; any such structure can be substituted.  The
+    tracker ({!Wd_protocol.Dc_tracker.Make}) is therefore a functor over this
+    signature, and {!Fm}, {!Bjkst} and {!Hyperloglog} all implement it.
+
+    A {e family} fixes the hash functions and the dimensioning of the
+    summary.  Sketches are mergeable only within one family: every site and
+    the coordinator of a tracking protocol share a single family, mirroring
+    the shared public hash functions of the paper's model. *)
+
+module type DISTINCT_SKETCH = sig
+  type family
+  (** Shared hash functions and dimensioning. *)
+
+  type t
+  (** A mutable summary of a set of items. *)
+
+  val name : string
+  (** Short human-readable name ("fm", "bjkst", "hll"). *)
+
+  val family : rng:Wd_hashing.Rng.t -> accuracy:float -> confidence:float ->
+    family
+  (** [family ~rng ~accuracy ~confidence] draws hash functions from [rng]
+      and sizes the summary so that [estimate] is within a [1 +/- accuracy]
+      factor of the true distinct count with probability at least
+      [confidence].  Requires [0 < accuracy < 1] and [0 < confidence < 1]. *)
+
+  val create : family -> t
+  (** [create fam] is an empty summary of the family [fam]. *)
+
+  val copy : t -> t
+  (** Deep copy; subsequent mutations of either side are independent. *)
+
+  val add : t -> int -> bool
+  (** [add t v] inserts item [v] and reports whether the summary changed.
+      Duplicate insertions are no-ops on the summarized set (this is the
+      duplicate-resilience the paper builds on) and always return [false];
+      a [false] result lets callers skip estimate recomputation and, in the
+      tracking protocols, skip threshold checks that cannot fire. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** [merge_into ~dst src] makes [dst] summarize the union of both input
+      sets.  Requires both sketches to belong to the same family. *)
+
+  val estimate : t -> float
+  (** Approximate number of distinct items inserted (union semantics). *)
+
+  val size_bytes : t -> int
+  (** Wire size of the summary in bytes, as counted by the paper's
+      byte-for-byte communication accounting. *)
+
+  val delta_bytes : from:t -> t -> int
+  (** [delta_bytes ~from target] is the wire size of the information in
+      [target] that is missing from [from] — the cost of bringing a
+      receiver that holds [from] up to [target] by shipping only the
+      difference (Section 4.2 mentions this delta encoding between
+      subsequent sketches).  Zero when [target] adds nothing.  Both
+      summaries must belong to the same family, and [from] must be
+      dominated by (mergeable into) the receiver's true state for the
+      delta to be lossless — which holds whenever [from] is a snapshot
+      the receiver is known to have reached. *)
+
+  val equal : t -> t -> bool
+  (** Structural equality of summary contents (same family assumed).  Used
+      by trackers to skip sending a sketch that cannot change the
+      coordinator's state. *)
+end

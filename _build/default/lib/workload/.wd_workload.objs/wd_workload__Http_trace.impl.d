@@ -1,0 +1,1 @@
+lib/workload/http_trace.ml: Array Float List Stream Wd_hashing Zipf

@@ -1,0 +1,1 @@
+lib/workload/stream.ml: Array Float Fun Hashtbl List Option Wd_hashing

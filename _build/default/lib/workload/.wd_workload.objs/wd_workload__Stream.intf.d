@@ -1,0 +1,1 @@
+lib/workload/stream.mli: Hashtbl Wd_hashing

@@ -1,0 +1,1 @@
+lib/workload/stream_gen.ml: Array List Printf Stream Wd_hashing Zipf

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Bytes Fun Int64 List Printf Stream String

@@ -1,0 +1,1 @@
+lib/workload/two_phase.ml: Array Fun Stream Wd_hashing

@@ -1,0 +1,1 @@
+lib/workload/two_phase.mli: Stream

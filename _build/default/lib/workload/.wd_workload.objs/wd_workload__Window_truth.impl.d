@@ -1,0 +1,1 @@
+lib/workload/window_truth.ml: Array Hashtbl

@@ -1,0 +1,137 @@
+module Rng = Wd_hashing.Rng
+
+type request = { client : int; obj : int; server : int }
+
+type config = {
+  servers : int;
+  regions : int;
+  clients : int;
+  objects : int;
+  requests : int;
+  client_skew : float;
+  object_skew : float;
+  locality : float;
+  retransmit_prob : float;
+  mirror_prob : float;
+  flash_crowds : int;
+  seed : int;
+}
+
+let default =
+  {
+    servers = 29;
+    regions = 4;
+    clients = 1_200;
+    objects = 40_000;
+    requests = 200_000;
+    client_skew = 0.9;
+    object_skew = 0.85;
+    locality = 0.5;
+    retransmit_prob = 0.05;
+    mirror_prob = 0.08;
+    flash_crowds = 2;
+    seed = 42;
+  }
+
+let scaled ?(seed = default.seed) f =
+  if f <= 0.0 then invalid_arg "Http_trace.scaled: factor must be positive";
+  let scale n = max 1 (int_of_float (Float.of_int n *. f)) in
+  {
+    default with
+    requests = scale default.requests;
+    clients = scale default.clients;
+    objects = scale default.objects;
+    seed;
+  }
+
+let validate c =
+  if c.servers < 1 then invalid_arg "Http_trace: servers must be >= 1";
+  if c.regions < 1 || c.regions > c.servers then
+    invalid_arg "Http_trace: need 1 <= regions <= servers";
+  if c.clients < 1 || c.objects < 1 || c.requests < 0 then
+    invalid_arg "Http_trace: clients/objects/requests out of range";
+  if c.flash_crowds < 0 then
+    invalid_arg "Http_trace: flash_crowds must be >= 0"
+
+let generate c =
+  validate c;
+  let rng = Rng.create c.seed in
+  let client_dist = Zipf.create ~n:c.clients ~skew:c.client_skew in
+  let object_dist = Zipf.create ~n:c.objects ~skew:c.object_skew in
+  (* Every object has a home server; locality routes most of its traffic
+     there, the rest is spread uniformly (load balancing / proxies). *)
+  let home = Array.init c.objects (fun _ -> Rng.int rng c.servers) in
+  (* Flash-crowd episodes: contiguous request slices with their own hot
+     objects and a surge of episode-specific clients. *)
+  let episode_len = c.requests / 20 in
+  let episodes =
+    Array.init c.flash_crowds (fun _ ->
+        let start =
+          if c.requests <= episode_len then 0
+          else Rng.int rng (c.requests - episode_len)
+        in
+        let hot = Array.init 2 (fun _ -> Rng.int rng c.objects) in
+        let surge_base = Rng.int rng c.clients in
+        (start, hot, surge_base))
+  in
+  let in_episode i =
+    let found = ref None in
+    Array.iter
+      (fun (start, hot, surge) ->
+        if !found = None && i >= start && i < start + episode_len then
+          found := Some (hot, surge))
+      episodes;
+    !found
+  in
+  let buf = ref [] in
+  for i = 1 to c.requests do
+    let client, obj =
+      match in_episode i with
+      | Some (hot, surge_base) when Rng.float rng 1.0 < 0.8 ->
+        (* Surge traffic: a hot object, from a client biased towards a
+           crowd of episode followers (half fresh surge IDs). *)
+        let client =
+          if Rng.bool rng then (surge_base + Rng.int rng (c.clients / 2)) mod c.clients
+          else Zipf.sample client_dist rng
+        in
+        (client, hot.(Rng.int rng (Array.length hot)))
+      | _ -> (Zipf.sample client_dist rng, Zipf.sample object_dist rng)
+    in
+    let server =
+      if Rng.float rng 1.0 < c.locality then home.(obj)
+      else Rng.int rng c.servers
+    in
+    let push r = buf := r :: !buf in
+    push { client; obj; server };
+    if Rng.float rng 1.0 < c.retransmit_prob then push { client; obj; server };
+    if c.servers > 1 && Rng.float rng 1.0 < c.mirror_prob then begin
+      let other = (server + 1 + Rng.int rng (c.servers - 1)) mod c.servers in
+      push { client; obj; server = other }
+    end
+  done;
+  Array.of_list (List.rev !buf)
+
+type item_view = Client_id | Object_id | Client_object_pair
+type site_view = Per_server | Per_region
+
+let region_of c server = server * c.regions / c.servers
+
+let sites_of c = function Per_server -> c.servers | Per_region -> c.regions
+
+let view c item_view site_view reqs =
+  validate c;
+  let n = Array.length reqs in
+  let sites = Array.make n 0 and items = Array.make n 0 in
+  for j = 0 to n - 1 do
+    let r = reqs.(j) in
+    sites.(j) <-
+      (match site_view with
+      | Per_server -> r.server
+      | Per_region -> region_of c r.server);
+    items.(j) <-
+      (match item_view with
+      | Client_id -> r.client
+      | Object_id -> r.obj
+      | Client_object_pair -> (r.client * c.objects) + r.obj)
+  done;
+  Stream.make ~sites ~items

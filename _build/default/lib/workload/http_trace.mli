@@ -1,0 +1,82 @@
+(** Synthetic substitute for the WorldCup'98 HTTP request trace.
+
+    The paper's real-data experiments use entire days of the 1998 World Cup
+    web-site logs from the Internet Traffic Archive: ~20M requests served
+    by 29 servers located in 4 geographic regions, with ~120K distinct
+    clientIDs and ~16M distinct (clientID, objectID) pairs.  The trace is
+    not available in this offline environment, so this module generates a
+    request log with the same structure and — crucially — the same two
+    duplication regimes the paper exercises:
+
+    - the {e clientID view} is highly duplicated (every client issues many
+      requests that land on many servers): duplication factor ~170 at
+      paper scale;
+    - the {e (clientID, objectID) pair view} is lightly duplicated
+      (~1.25), pairs repeating only when a client re-fetches an object
+      (reloads, retransmissions) or a request is mirrored to a second
+      server.
+
+    Requests are generated as: client ~ Zipf over [clients], object ~ Zipf
+    over [objects], server = a mix of the object's home server and a
+    uniformly random server (load balancing), then duplicated at the same
+    server with probability [retransmit_prob] (TCP retransmission) and
+    mirrored to a second random server with probability [mirror_prob].
+
+    The default configuration is a 1:100 scale-down of the paper's trace
+    (200K requests, 1.2K clients, 40K objects) preserving both duplication
+    factors; tests assert the calibration. *)
+
+type request = { client : int; obj : int; server : int }
+
+type config = {
+  servers : int;  (** number of web servers (paper: 29) *)
+  regions : int;  (** geographic regions grouping the servers (paper: 4) *)
+  clients : int;  (** distinct clientIDs *)
+  objects : int;  (** distinct objectIDs *)
+  requests : int;  (** total request events before duplication *)
+  client_skew : float;  (** Zipf skew of client activity *)
+  object_skew : float;  (** Zipf skew of object popularity *)
+  locality : float;
+      (** probability a request is served by its object's home server
+          rather than a random one *)
+  retransmit_prob : float;  (** same-server duplicate probability *)
+  mirror_prob : float;  (** second-server duplicate probability *)
+  flash_crowds : int;
+      (** number of flash-crowd episodes — the WorldCup'98 trace's
+          signature feature: during a match, traffic concentrates on a
+          handful of hot objects (live scores) from a surge of clients.
+          Each episode redirects a contiguous ~5% slice of the requests:
+          80% of those go to one of 3 episode-hot objects, drawn by a
+          fresh surge of clients biased to new IDs. 0 disables. *)
+  seed : int;
+}
+
+val default : config
+(** The calibrated 1:100 scale-down described above. *)
+
+val scaled : ?seed:int -> float -> config
+(** [scaled f] multiplies the default's [requests], [clients] and
+    [objects] by [f] (at least 1 each), e.g. [scaled 10.0] approaches the
+    paper's full-day scale. *)
+
+val generate : config -> request array
+(** The raw request log, in arrival order. *)
+
+(** {1 Views}
+
+    A view turns the request log into a multi-site {!Stream.t}: which
+    attribute is the tracked item, and whether each server is its own site
+    or servers are grouped into one site per region (the paper runs both a
+    29-site and a 4-region-site configuration). *)
+
+type item_view = Client_id | Object_id | Client_object_pair
+type site_view = Per_server | Per_region
+
+val view : config -> item_view -> site_view -> request array -> Stream.t
+(** Encode the chosen attribute as the stream item: [Client_id] is the
+    clientID (heavily duplicated), [Object_id] the objectID (moderately
+    duplicated), and [Client_object_pair] packs [(client, obj)]
+    injectively into one integer (lightly duplicated). *)
+
+val sites_of : config -> site_view -> int
+(** Number of stream sites the view produces. *)

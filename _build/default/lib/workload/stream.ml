@@ -1,0 +1,81 @@
+type t = { sites : int array; items : int array }
+
+let make ~sites ~items =
+  if Array.length sites <> Array.length items then
+    invalid_arg "Stream.make: sites and items must have equal length";
+  { sites; items }
+
+let length t = Array.length t.sites
+
+let site t j = t.sites.(j)
+let item t j = t.items.(j)
+
+let num_sites t = Array.fold_left (fun acc s -> max acc (s + 1)) 0 t.sites
+
+let iter f t =
+  for j = 0 to length t - 1 do
+    f ~site:t.sites.(j) ~item:t.items.(j)
+  done
+
+let iteri f t =
+  for j = 0 to length t - 1 do
+    f j ~site:t.sites.(j) ~item:t.items.(j)
+  done
+
+let concat ts =
+  {
+    sites = Array.concat (List.map (fun t -> t.sites) ts);
+    items = Array.concat (List.map (fun t -> t.items) ts);
+  }
+
+let prefix t n =
+  if n < 0 || n > length t then invalid_arg "Stream.prefix: bad length";
+  { sites = Array.sub t.sites 0 n; items = Array.sub t.items 0 n }
+
+let of_events events =
+  {
+    sites = Array.of_list (List.map fst events);
+    items = Array.of_list (List.map snd events);
+  }
+
+let round_robin per_site =
+  let k = Array.length per_site in
+  let total = Array.fold_left (fun acc s -> acc + length s) 0 per_site in
+  let sites = Array.make total 0 and items = Array.make total 0 in
+  let cursors = Array.make k 0 in
+  let out = ref 0 in
+  while !out < total do
+    for i = 0 to k - 1 do
+      if cursors.(i) < length per_site.(i) then begin
+        sites.(!out) <- i;
+        items.(!out) <- per_site.(i).items.(cursors.(i));
+        cursors.(i) <- cursors.(i) + 1;
+        incr out
+      end
+    done
+  done;
+  { sites; items }
+
+let shuffle rng t =
+  let n = length t in
+  let perm = Array.init n Fun.id in
+  Wd_hashing.Rng.shuffle_in_place rng perm;
+  {
+    sites = Array.map (fun j -> t.sites.(j)) perm;
+    items = Array.map (fun j -> t.items.(j)) perm;
+  }
+
+let multiplicities t =
+  let counts = Hashtbl.create 4096 in
+  iter
+    (fun ~site:_ ~item ->
+      Hashtbl.replace counts item
+        (1 + Option.value (Hashtbl.find_opt counts item) ~default:0))
+    t;
+  counts
+
+let distinct_count t = Hashtbl.length (multiplicities t)
+
+let duplication_factor t =
+  let d = distinct_count t in
+  if d = 0 then 0.0 else Float.of_int (length t) /. Float.of_int d

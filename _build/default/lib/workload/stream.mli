@@ -1,0 +1,56 @@
+(** A materialized multi-site stream: a global arrival order of
+    [(site, item)] events.
+
+    This is the input format of every tracking protocol in the library:
+    event [j] means item [items.(j)] arrives at remote site [sites.(j)].
+    The struct-of-arrays layout keeps multi-million-event workloads compact
+    and allocation-free to traverse. *)
+
+type t = private { sites : int array; items : int array }
+
+val make : sites:int array -> items:int array -> t
+(** Requires the arrays to have equal length. *)
+
+val length : t -> int
+
+val site : t -> int -> int
+val item : t -> int -> int
+
+val num_sites : t -> int
+(** [1 + max site index] ([0] for the empty stream). *)
+
+val iter : (site:int -> item:int -> unit) -> t -> unit
+
+val iteri : (int -> site:int -> item:int -> unit) -> t -> unit
+(** Like {!iter} with the event index. *)
+
+val concat : t list -> t
+
+val prefix : t -> int -> t
+(** [prefix t n] is the first [n] events (shared storage is not assumed;
+    arrays are copied). *)
+
+val of_events : (int * int) list -> t
+(** From [(site, item)] pairs in arrival order. *)
+
+val round_robin : t array -> t
+(** [round_robin per_site] interleaves one per-site stream per array slot
+    (site index taken from the slot, the [sites] fields of the inputs are
+    ignored) by cycling across sites, which models synchronized arrival
+    rates.  Streams may have different lengths; exhausted sites are
+    skipped. *)
+
+val shuffle : Wd_hashing.Rng.t -> t -> t
+(** A uniformly random global reordering of the events (site/item pairs
+    move together). *)
+
+(** {1 Exact (offline) statistics} — used for ground truth, never by the
+    protocols. *)
+
+val distinct_count : t -> int
+
+val multiplicities : t -> (int, int) Hashtbl.t
+(** Exact global occurrence count of every item. *)
+
+val duplication_factor : t -> float
+(** [length / distinct_count]; [0] for the empty stream. *)

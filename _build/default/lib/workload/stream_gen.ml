@@ -1,0 +1,76 @@
+module Rng = Wd_hashing.Rng
+
+let check_positive name v =
+  if v < 1 then invalid_arg (Printf.sprintf "Stream_gen: %s must be >= 1" name)
+
+let build ~events f =
+  let sites = Array.make events 0 and items = Array.make events 0 in
+  for j = 0 to events - 1 do
+    let s, v = f j in
+    sites.(j) <- s;
+    items.(j) <- v
+  done;
+  Stream.make ~sites ~items
+
+let uniform ?(seed = 11) ~sites:k ~events ~universe () =
+  check_positive "sites" k;
+  check_positive "universe" universe;
+  let rng = Rng.create seed in
+  build ~events (fun _ -> (Rng.int rng k, Rng.int rng universe))
+
+let zipf ?(seed = 12) ?(skew = 1.0) ~sites:k ~events ~universe () =
+  check_positive "sites" k;
+  check_positive "universe" universe;
+  let rng = Rng.create seed in
+  let dist = Zipf.create ~n:universe ~skew in
+  build ~events (fun _ -> (Rng.int rng k, Zipf.sample dist rng))
+
+let partitioned ?(seed = 13) ~sites:k ~per_site () =
+  check_positive "sites" k;
+  check_positive "per_site" per_site;
+  let rng = Rng.create seed in
+  build ~events:(k * per_site) (fun j ->
+      let s = j mod k in
+      (s, (s * per_site) + Rng.int rng per_site))
+
+let overlapping ?(seed = 14) ~sites:k ~per_site ~shared_fraction () =
+  check_positive "sites" k;
+  check_positive "per_site" per_site;
+  if shared_fraction < 0.0 || shared_fraction > 1.0 then
+    invalid_arg "Stream_gen.overlapping: shared_fraction must be in [0,1]";
+  let rng = Rng.create seed in
+  (* Private ranges start after the shared pool [0, per_site). *)
+  build ~events:(k * per_site) (fun j ->
+      let s = j mod k in
+      let v =
+        if Rng.float rng 1.0 < shared_fraction then Rng.int rng per_site
+        else per_site + (s * per_site) + Rng.int rng per_site
+      in
+      (s, v))
+
+let duplicated ?(seed = 15) ~sites:k ~distinct ~copies () =
+  check_positive "sites" k;
+  check_positive "distinct" distinct;
+  check_positive "copies" copies;
+  let rng = Rng.create seed in
+  let events = distinct * copies in
+  let base =
+    build ~events (fun j -> (Rng.int rng k, j mod distinct))
+  in
+  Stream.shuffle rng base
+
+let sensor_gossip ?(seed = 16) ~sites:k ~readings ~gossip_rounds () =
+  check_positive "sites" k;
+  check_positive "readings" readings;
+  if gossip_rounds < 0 then
+    invalid_arg "Stream_gen.sensor_gossip: gossip_rounds must be >= 0";
+  let rng = Rng.create seed in
+  let initial =
+    build ~events:readings (fun j -> (Rng.int rng k, j))
+  in
+  let rounds =
+    List.init gossip_rounds (fun _ ->
+        Stream.shuffle rng
+          (build ~events:readings (fun j -> (Rng.int rng k, j))))
+  in
+  Stream.concat (initial :: rounds)

@@ -1,0 +1,42 @@
+(** Generic multi-site stream builders for tests, examples and ablation
+    benchmarks.
+
+    All builders are deterministic given [seed] and produce a global
+    arrival order with sites interleaved round-robin unless noted. *)
+
+val uniform :
+  ?seed:int -> sites:int -> events:int -> universe:int -> unit -> Stream.t
+(** Each event: uniform site, uniform item from [\[0, universe)]. *)
+
+val zipf :
+  ?seed:int -> ?skew:float -> sites:int -> events:int -> universe:int ->
+  unit -> Stream.t
+(** Uniform site, Zipf item (default [skew = 1.0]). *)
+
+val partitioned :
+  ?seed:int -> sites:int -> per_site:int -> unit -> Stream.t
+(** Site [i] draws only from its private range [\[i*n, (i+1)*n)] (with
+    repetition), so there is no cross-site duplication. *)
+
+val overlapping :
+  ?seed:int -> sites:int -> per_site:int -> shared_fraction:float -> unit ->
+  Stream.t
+(** Like {!partitioned}, but each event instead draws from a common shared
+    pool with probability [shared_fraction] — a dial for cross-site
+    duplication.  [shared_fraction] in [\[0, 1\]]; the shared pool has
+    [per_site] items. *)
+
+val duplicated :
+  ?seed:int -> sites:int -> distinct:int -> copies:int -> unit -> Stream.t
+(** Every item of [\[0, distinct)] appears exactly [copies] times, each
+    copy at a uniformly random site, in globally shuffled order — exact
+    control of the duplication factor. *)
+
+val sensor_gossip :
+  ?seed:int -> sites:int -> readings:int -> gossip_rounds:int -> unit ->
+  Stream.t
+(** ZebraNet-style duplication: [readings] unique observation events are
+    first registered each at one random sensor; then [gossip_rounds]
+    rounds re-announce every reading at another random sensor (periodic
+    pairwise data exchange), so each reading appears [1 + gossip_rounds]
+    times across the network. *)

@@ -1,0 +1,82 @@
+let with_out path f =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let save_csv path stream =
+  with_out path (fun oc ->
+      output_string oc "site,item\n";
+      Stream.iter
+        (fun ~site ~item -> Printf.fprintf oc "%d,%d\n" site item)
+        stream)
+
+let load_csv path =
+  with_in path (fun ic ->
+      let sites = ref [] and items = ref [] and lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = String.trim (input_line ic) in
+           if line <> "" && line <> "site,item" then
+             match String.split_on_char ',' line with
+             | [ s; v ] -> (
+               match (int_of_string_opt (String.trim s),
+                      int_of_string_opt (String.trim v)) with
+               | Some site, Some item when site >= 0 ->
+                 sites := site :: !sites;
+                 items := item :: !items
+               | _ ->
+                 failwith
+                   (Printf.sprintf "%s: line %d: malformed record %S" path
+                      !lineno line))
+             | _ ->
+               failwith
+                 (Printf.sprintf "%s: line %d: expected 2 fields" path !lineno)
+         done
+       with End_of_file -> ());
+      Stream.make
+        ~sites:(Array.of_list (List.rev !sites))
+        ~items:(Array.of_list (List.rev !items)))
+
+let magic = "WDTRACE1"
+
+let save_binary path stream =
+  with_out path (fun oc ->
+      output_string oc magic;
+      let n = Stream.length stream in
+      let buf = Bytes.create 8 in
+      Bytes.set_int64_le buf 0 (Int64.of_int n);
+      output_bytes oc buf;
+      let rec_buf = Bytes.create 16 in
+      Stream.iter
+        (fun ~site ~item ->
+          Bytes.set_int64_le rec_buf 0 (Int64.of_int site);
+          Bytes.set_int64_le rec_buf 8 (Int64.of_int item);
+          output_bytes oc rec_buf)
+        stream)
+
+let load_binary path =
+  with_in path (fun ic ->
+      let header = Bytes.create (String.length magic) in
+      (try really_input ic header 0 (String.length magic)
+       with End_of_file -> failwith (path ^ ": truncated header"));
+      if Bytes.to_string header <> magic then
+        failwith (path ^ ": not a WDTRACE1 file");
+      let buf = Bytes.create 8 in
+      (try really_input ic buf 0 8
+       with End_of_file -> failwith (path ^ ": truncated length"));
+      let n = Int64.to_int (Bytes.get_int64_le buf 0) in
+      if n < 0 then failwith (path ^ ": negative record count");
+      let sites = Array.make n 0 and items = Array.make n 0 in
+      let rec_buf = Bytes.create 16 in
+      for j = 0 to n - 1 do
+        (try really_input ic rec_buf 0 16
+         with End_of_file ->
+           failwith (Printf.sprintf "%s: truncated at record %d" path j));
+        sites.(j) <- Int64.to_int (Bytes.get_int64_le rec_buf 0);
+        items.(j) <- Int64.to_int (Bytes.get_int64_le rec_buf 8)
+      done;
+      Stream.make ~sites ~items)

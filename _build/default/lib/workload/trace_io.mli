@@ -1,0 +1,24 @@
+(** Reading and writing multi-site streams as files.
+
+    Two formats:
+
+    - {e CSV}: one `site,item` pair per line (a header line
+      `site,item` is written and tolerated on read) — interoperable with
+      external tooling and real traces exported from flow logs;
+    - {e binary}: a small magic header then fixed 16-byte little-endian
+      records — compact and fast for large replays.
+
+    Both preserve arrival order exactly, so an experiment on a saved
+    trace reproduces the in-memory run bit for bit. *)
+
+val save_csv : string -> Stream.t -> unit
+(** [save_csv path stream] writes the stream (with a header line). *)
+
+val load_csv : string -> Stream.t
+(** Raises [Failure] with a line-numbered message on malformed input
+    (wrong field count, non-integer fields, negative site). *)
+
+val save_binary : string -> Stream.t -> unit
+
+val load_binary : string -> Stream.t
+(** Raises [Failure] on a bad magic number or truncated payload. *)

@@ -1,0 +1,21 @@
+module Rng = Wd_hashing.Rng
+
+let phase_boundary ~sites ~per_site = sites * per_site
+
+let generate ?(seed = 7) ~sites:k ~per_site:n () =
+  if k < 1 || n < 1 then invalid_arg "Two_phase.generate: need sites, per_site >= 1";
+  let rng = Rng.create seed in
+  let universe = k * n in
+  let phase1 =
+    Array.init k (fun i ->
+        let items = Array.init n (fun j -> (i * n) + j) in
+        Wd_hashing.Rng.shuffle_in_place rng items;
+        Stream.make ~sites:(Array.make n i) ~items)
+  in
+  let phase2 =
+    Array.init k (fun i ->
+        let items = Array.init universe Fun.id in
+        Rng.shuffle_in_place rng items;
+        Stream.make ~sites:(Array.make universe i) ~items)
+  in
+  Stream.concat [ Stream.round_robin phase1; Stream.round_robin phase2 ]

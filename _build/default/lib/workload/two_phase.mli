@@ -1,0 +1,22 @@
+(** The paper's synthetic two-phase workload (Section 7.1).
+
+    Designed "to test the ability of the sites to use information about
+    the distribution seen so far": with [k] sites and [n] items per site,
+
+    - {e phase 1}: each site receives [n] items disjoint from every other
+      site's (site [i] gets the range [\[i*n, (i+1)*n)]), so everything is
+      globally new and must reach the coordinator;
+    - {e phase 2}: every site receives all [k*n] items of phase 1 in an
+      independent uniformly random order, so {e nothing} is globally new —
+      an algorithm that exploits global knowledge (shared sketches/counts)
+      can stay almost silent, while local-only algorithms keep paying.
+
+    The per-site streams are interleaved round-robin into one global
+    arrival order, phase 1 entirely before phase 2. *)
+
+val generate : ?seed:int -> sites:int -> per_site:int -> unit -> Stream.t
+(** [generate ~sites:k ~per_site:n ()] has [k*n + k*k*n] events over
+    universe [\[0, k*n)].  Requires [k >= 1], [n >= 1]. *)
+
+val phase_boundary : sites:int -> per_site:int -> int
+(** Index of the first phase-2 event in the generated stream. *)

@@ -1,0 +1,73 @@
+(* Fenwick tree over arrival positions: each distinct item contributes
+   one credit at its latest occurrence position, so a windowed distinct
+   count is a prefix-sum difference. *)
+
+type t = {
+  mutable bit : int array; (* 1-based Fenwick array *)
+  mutable capacity : int; (* positions currently representable *)
+  mutable n : int; (* arrivals processed *)
+  last : (int, int) Hashtbl.t; (* item -> latest position *)
+}
+
+let create ?(initial_capacity = 1024) () =
+  let capacity = max 16 initial_capacity in
+  {
+    bit = Array.make (capacity + 1) 0;
+    capacity;
+    n = 0;
+    last = Hashtbl.create 256;
+  }
+
+(* Point update; position must be within capacity. *)
+let bump t pos delta =
+  let i = ref (pos + 1) in
+  while !i <= t.capacity do
+    t.bit.(!i) <- t.bit.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+(* Grow (doubling) until [pos] fits, rebuilding the tree from the live
+   item table — called before any update of the current arrival, when
+   the table and the tree agree.  Amortized O(log n) per arrival. *)
+let ensure_capacity t pos =
+  if pos + 1 > t.capacity then begin
+    while pos + 1 > t.capacity do
+      t.capacity <- 2 * t.capacity
+    done;
+    t.bit <- Array.make (t.capacity + 1) 0;
+    Hashtbl.iter (fun _ p -> bump t p 1) t.last
+  end
+
+let add t v =
+  let pos = t.n in
+  ensure_capacity t pos;
+  (match Hashtbl.find_opt t.last v with
+  | Some prev -> bump t prev (-1)
+  | None -> ());
+  bump t pos 1;
+  Hashtbl.replace t.last v pos;
+  t.n <- t.n + 1
+
+let arrivals t = t.n
+
+let distinct_total t = Hashtbl.length t.last
+
+(* Sum of credits at positions [0, pos]. *)
+let prefix t pos =
+  let pos = min pos (t.capacity - 1) in
+  let acc = ref 0 and i = ref (pos + 1) in
+  while !i > 0 do
+    acc := !acc + t.bit.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !acc
+
+let distinct_between t ~lo ~hi =
+  if hi < lo || hi < 0 then 0
+  else
+    let lo = max 0 lo in
+    prefix t hi - (if lo = 0 then 0 else prefix t (lo - 1))
+
+let distinct_last t w =
+  if w <= 0 || t.n = 0 then 0
+  else distinct_between t ~lo:(t.n - w) ~hi:(t.n - 1)

@@ -1,0 +1,34 @@
+(** Exact sliding-window distinct counting (evaluation ground truth).
+
+    The number of distinct items among the last [w] arrivals equals the
+    number of items whose {e most recent} occurrence lies in the window.
+    This module maintains, over a stream processed in arrival order, a
+    Fenwick tree over arrival positions holding one credit at each item's
+    latest position — so any windowed distinct count is a two-prefix-sum
+    query.
+
+    O(log n) per arrival and per query, O(n + distinct) space — linear
+    space, so strictly an {e offline} evaluation tool (the whole point of
+    the paper's sketches is to avoid this cost online).  Used as ground
+    truth by the windowed-tracking tests and experiments. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val add : t -> int -> unit
+(** Process the next arrival (arrival positions are implicit: 0, 1, ...). *)
+
+val arrivals : t -> int
+(** Number of arrivals processed. *)
+
+val distinct_total : t -> int
+(** Distinct items over the whole history. *)
+
+val distinct_last : t -> int -> int
+(** [distinct_last t w] is the exact number of distinct items among the
+    last [w] arrivals ([w >= arrivals] covers everything; [w <= 0] is 0). *)
+
+val distinct_between : t -> lo:int -> hi:int -> int
+(** Distinct items whose latest occurrence position is in [\[lo, hi\]]
+    (positions are 0-based arrival indices). *)

@@ -1,0 +1,43 @@
+type t = { n : int; skew : float; cumulative : float array }
+
+let create ~n ~skew =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if skew < 0.0 then invalid_arg "Zipf.create: skew must be >= 0";
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. (1.0 /. (Float.of_int (r + 1) ** skew));
+    cumulative.(r) <- !total
+  done;
+  (* Normalize so the last entry is exactly 1. *)
+  for r = 0 to n - 1 do
+    cumulative.(r) <- cumulative.(r) /. !total
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { n; skew; cumulative }
+
+let n t = t.n
+let skew t = t.skew
+
+let sample t rng =
+  let u = Wd_hashing.Rng.float rng 1.0 in
+  (* Least r with cumulative.(r) >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t r =
+  if r < 0 || r >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  if r = 0 then t.cumulative.(0)
+  else t.cumulative.(r) -. t.cumulative.(r - 1)
+
+let expected_distinct t draws =
+  let d = Float.of_int draws in
+  let acc = ref 0.0 in
+  for r = 0 to t.n - 1 do
+    acc := !acc +. (1.0 -. ((1.0 -. probability t r) ** d))
+  done;
+  !acc

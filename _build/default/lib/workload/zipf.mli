@@ -1,0 +1,28 @@
+(** Zipf-distributed sampling over a finite universe.
+
+    [Pr[rank = r] ∝ 1 / (r + 1)^skew] for ranks [0 .. n-1].  Web request
+    data — clients and objects of the WorldCup'98 trace the paper uses —
+    is classically Zipf-like, so the synthetic substitute trace
+    ({!Http_trace}) draws both from this module.
+
+    Sampling is inversion on a precomputed cumulative table: O(n) setup,
+    O(log n) per draw, deterministic given the {!Wd_hashing.Rng.t}. *)
+
+type t
+
+val create : n:int -> skew:float -> t
+(** Requires [n >= 1] and [skew >= 0] ([skew = 0] is uniform). *)
+
+val n : t -> int
+val skew : t -> float
+
+val sample : t -> Wd_hashing.Rng.t -> int
+(** A rank in [\[0, n)]; rank 0 is the most popular. *)
+
+val probability : t -> int -> float
+(** [probability t r] is [Pr[sample = r]]. *)
+
+val expected_distinct : t -> int -> float
+(** [expected_distinct t draws] is the expected number of distinct ranks
+    in [draws] independent samples — used to calibrate workload
+    duplication factors. *)

@@ -1,0 +1,1 @@
+test/test_distinct_sketches.mli:

@@ -1,0 +1,1 @@
+test/test_duplication.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Wd_aggregate Wd_hashing Wd_sketch

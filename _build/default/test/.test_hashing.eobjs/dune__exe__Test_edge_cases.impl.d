@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Float List Printf Wd_hashing Wd_net Wd_protocol Wd_sketch Wd_workload Whats_different

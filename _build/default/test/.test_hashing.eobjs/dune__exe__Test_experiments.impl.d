@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Printf String Whats_different

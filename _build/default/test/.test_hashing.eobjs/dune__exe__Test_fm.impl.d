@@ -1,0 +1,1 @@
+test/test_fm.ml: Alcotest Float Gen List Printf QCheck QCheck_alcotest Wd_hashing Wd_sketch

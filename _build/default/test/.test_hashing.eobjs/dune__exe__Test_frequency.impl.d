@@ -1,0 +1,1 @@
+test/test_frequency.ml: Alcotest Array Float Gen Hashtbl List Option Printf QCheck QCheck_alcotest Wd_aggregate Wd_frequency Wd_hashing

@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Float Hashtbl Int64 List Printf QCheck QCheck_alcotest Wd_hashing

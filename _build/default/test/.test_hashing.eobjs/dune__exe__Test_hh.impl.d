@@ -1,0 +1,1 @@
+test/test_hh.ml: Alcotest Array Float Hashtbl List Printf QCheck QCheck_alcotest Wd_aggregate Wd_hashing Wd_net Wd_protocol

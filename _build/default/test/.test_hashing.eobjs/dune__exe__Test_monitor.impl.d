@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Float Hashtbl List Printf Wd_hashing Whats_different

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Gen List QCheck QCheck_alcotest Wd_net

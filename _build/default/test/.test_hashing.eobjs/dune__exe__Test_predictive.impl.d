@@ -1,0 +1,1 @@
+test/test_predictive.ml: Alcotest Array Float Gen Hashtbl List Printf QCheck QCheck_alcotest Wd_hashing Wd_net Wd_protocol Wd_sketch

@@ -1,0 +1,1 @@
+test/test_quantiles.ml: Alcotest Float Hashtbl List Printf Wd_aggregate Wd_hashing Wd_net Wd_protocol

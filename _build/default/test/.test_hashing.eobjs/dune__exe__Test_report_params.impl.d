@@ -1,0 +1,1 @@
+test/test_report_params.ml: Alcotest Format List String Wd_protocol Whats_different

@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Float Gen Hashtbl List Option Printf QCheck QCheck_alcotest Wd_hashing Wd_sketch

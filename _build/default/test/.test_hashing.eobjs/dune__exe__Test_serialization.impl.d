@@ -1,0 +1,1 @@
+test/test_serialization.ml: Alcotest Bytes Gen Int64 List QCheck QCheck_alcotest Wd_hashing Wd_sketch

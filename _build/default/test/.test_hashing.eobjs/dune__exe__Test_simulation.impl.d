@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest Array Float List Printf Wd_aggregate Wd_protocol Wd_sketch Wd_workload Whats_different

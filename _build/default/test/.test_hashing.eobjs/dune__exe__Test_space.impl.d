@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest List Printf Wd_hashing Wd_protocol Wd_sketch Wd_workload

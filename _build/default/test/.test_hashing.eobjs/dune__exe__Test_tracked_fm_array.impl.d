@@ -1,0 +1,1 @@
+test/test_tracked_fm_array.ml: Alcotest Float List Printf Wd_aggregate Wd_hashing Wd_net Wd_protocol

@@ -1,0 +1,1 @@
+test/test_tracked_fm_array.mli:

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Filename Float Fun Gen Hashtbl List Option Printf QCheck QCheck_alcotest String Sys Wd_hashing Wd_workload

@@ -1,0 +1,201 @@
+(* Tests for the duplication / inverse-distribution estimators. *)
+
+module D = Wd_aggregate.Duplication
+module Rng = Wd_hashing.Rng
+module Sampler = Wd_sketch.Distinct_sampler
+
+let sample_fixture : D.sample =
+  [ (1, 1); (2, 1); (3, 2); (4, 5); (5, 1); (6, 10) ]
+
+let test_unique_count () =
+  Alcotest.(check (float 0.001)) "level 0" 3.0
+    (D.unique_count ~level:0 sample_fixture);
+  Alcotest.(check (float 0.001)) "level 3 scales by 8" 24.0
+    (D.unique_count ~level:3 sample_fixture);
+  Alcotest.(check (float 0.001)) "empty" 0.0 (D.unique_count ~level:2 [])
+
+let test_distinct_count () =
+  Alcotest.(check (float 0.001)) "level 2" 24.0
+    (D.distinct_count ~level:2 sample_fixture)
+
+let test_fraction () =
+  Alcotest.(check (float 0.001)) "half have count 1" 0.5
+    (D.fraction (fun c -> c = 1) sample_fixture);
+  Alcotest.(check (float 0.001)) "empty sample" 0.0
+    (D.fraction (fun _ -> true) [])
+
+let test_inverse_quantile () =
+  Alcotest.(check (float 0.001)) "count <= 2" (4.0 /. 6.0)
+    (D.inverse_quantile ~count:2 sample_fixture);
+  Alcotest.(check (float 0.001)) "count <= 100" 1.0
+    (D.inverse_quantile ~count:100 sample_fixture)
+
+let test_inverse_range () =
+  Alcotest.(check (float 0.001)) "2..5" (2.0 /. 6.0)
+    (D.inverse_range ~lo:2 ~hi:5 sample_fixture)
+
+let test_inverse_heavy_hitters () =
+  let hh = D.inverse_heavy_hitters ~phi:0.4 sample_fixture in
+  Alcotest.(check int) "only count=1 passes 40%" 1 (List.length hh);
+  (match hh with
+  | [ (c, share) ] ->
+    Alcotest.(check int) "count 1" 1 c;
+    Alcotest.(check (float 0.001)) "share" 0.5 share
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.check_raises "phi validated"
+    (Invalid_argument "Duplication.inverse_heavy_hitters: phi must be in (0,1]")
+    (fun () -> ignore (D.inverse_heavy_hitters ~phi:0.0 sample_fixture))
+
+let test_count_quantile_and_median () =
+  (* sorted counts: 1 1 1 2 5 10 *)
+  Alcotest.(check (option int)) "median" (Some 2)
+    (D.median_count sample_fixture);
+  Alcotest.(check (option int)) "q=0" (Some 1)
+    (D.count_quantile ~q:0.0 sample_fixture);
+  Alcotest.(check (option int)) "q=1" (Some 10)
+    (D.count_quantile ~q:1.0 sample_fixture);
+  Alcotest.(check (option int)) "empty" None (D.median_count [])
+
+let test_mean_count () =
+  Alcotest.(check (float 0.001)) "mean" (20.0 /. 6.0)
+    (D.mean_count sample_fixture);
+  Alcotest.(check (float 0.001)) "empty" 0.0 (D.mean_count [])
+
+let test_value_quantile () =
+  (* Item values of the fixture: 1..6. *)
+  Alcotest.(check (option int)) "median value" (Some 4)
+    (D.value_median sample_fixture);
+  Alcotest.(check (option int)) "q=0" (Some 1)
+    (D.value_quantile ~q:0.0 sample_fixture);
+  Alcotest.(check (option int)) "q=1" (Some 6)
+    (D.value_quantile ~q:1.0 sample_fixture);
+  Alcotest.(check (option int)) "empty" None (D.value_median []);
+  Alcotest.check_raises "q validated"
+    (Invalid_argument "Duplication.value_quantile: q must be in [0,1]")
+    (fun () -> ignore (D.value_quantile ~q:1.5 sample_fixture))
+
+let test_value_quantile_duplicate_resilient () =
+  (* A sample drawn from a stream where low values are hugely repeated:
+     counts do not influence the value quantile. *)
+  let fam = Sampler.family ~rng:(Rng.create 103) ~threshold:512 in
+  let s = Sampler.create fam in
+  for v = 0 to 1_999 do
+    Sampler.add_count s v (if v < 200 then 500 else 1)
+  done;
+  match D.value_median (Sampler.contents s) with
+  | None -> Alcotest.fail "empty sample"
+  | Some m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "median value %d near 1000" m)
+      true
+      (m > 700 && m < 1_300)
+
+(* End-to-end: estimators on a real distinct sample should approximate the
+   exact inverse distribution. *)
+let test_end_to_end_accuracy () =
+  let fam = Sampler.family ~rng:(Rng.create 101) ~threshold:2_048 in
+  let s = Sampler.create fam in
+  (* 6000 distinct items: 3000 unique, 2000 seen 3x, 1000 seen 10x. *)
+  let rng = Rng.create 102 in
+  let events = ref [] in
+  for v = 0 to 2_999 do
+    events := v :: !events
+  done;
+  for v = 3_000 to 4_999 do
+    for _ = 1 to 3 do
+      events := v :: !events
+    done
+  done;
+  for v = 5_000 to 5_999 do
+    for _ = 1 to 10 do
+      events := v :: !events
+    done
+  done;
+  let arr = Array.of_list !events in
+  Wd_hashing.Rng.shuffle_in_place rng arr;
+  Array.iter (Sampler.add s) arr;
+  let sample = Sampler.contents s in
+  let level = Sampler.level s in
+  let unique = D.unique_count ~level sample in
+  Alcotest.(check bool)
+    (Printf.sprintf "unique estimate %.0f ~ 3000" unique)
+    true
+    (Float.abs (unique -. 3_000.0) /. 3_000.0 < 0.15);
+  let frac3 = D.fraction (fun c -> c = 3) sample in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction with count 3 = %.3f ~ 1/3" frac3)
+    true
+    (Float.abs (frac3 -. (1.0 /. 3.0)) < 0.05);
+  (* The median sits exactly on the 1|3 population boundary (50% of items
+     have count 1), so query an interior quantile: ranks 50%..83% all have
+     count 3. *)
+  Alcotest.(check (option int)) "0.65-quantile of duplication" (Some 3)
+    (D.count_quantile ~q:0.65 sample)
+
+(* QCheck: estimators are exact when the sample IS the full population at
+   level 0. *)
+
+let population_gen =
+  QCheck.(list_of_size (Gen.int_range 1 200) (int_range 1 20))
+
+let prop_fraction_exact_on_population =
+  QCheck.Test.make ~name:"fraction exact on full population" population_gen
+    (fun counts ->
+      let sample = List.mapi (fun i c -> (i, c)) counts in
+      let exact =
+        Float.of_int (List.length (List.filter (fun c -> c = 1) counts))
+        /. Float.of_int (List.length counts)
+      in
+      Float.abs (D.fraction (fun c -> c = 1) sample -. exact) < 1e-9)
+
+let prop_inverse_quantile_monotone =
+  QCheck.Test.make ~name:"inverse quantile monotone in count" population_gen
+    (fun counts ->
+      let sample = List.mapi (fun i c -> (i, c)) counts in
+      let prev = ref 0.0 in
+      List.for_all
+        (fun c ->
+          let q = D.inverse_quantile ~count:c sample in
+          let ok = q >= !prev in
+          prev := Float.max !prev q;
+          ok)
+        (List.sort_uniq compare counts))
+
+let prop_count_quantile_within_range =
+  QCheck.Test.make ~name:"count quantile returns an observed count"
+    population_gen
+    (fun counts ->
+      let sample = List.mapi (fun i c -> (i, c)) counts in
+      match D.count_quantile ~q:0.5 sample with
+      | None -> false
+      | Some c -> List.mem c counts)
+
+let () =
+  Alcotest.run "duplication"
+    [
+      ( "estimators",
+        [
+          Alcotest.test_case "unique count" `Quick test_unique_count;
+          Alcotest.test_case "distinct count" `Quick test_distinct_count;
+          Alcotest.test_case "fraction" `Quick test_fraction;
+          Alcotest.test_case "inverse quantile" `Quick test_inverse_quantile;
+          Alcotest.test_case "inverse range" `Quick test_inverse_range;
+          Alcotest.test_case "inverse heavy hitters" `Quick
+            test_inverse_heavy_hitters;
+          Alcotest.test_case "count quantile / median" `Quick
+            test_count_quantile_and_median;
+          Alcotest.test_case "mean" `Quick test_mean_count;
+          Alcotest.test_case "value quantile" `Quick test_value_quantile;
+          Alcotest.test_case "value quantile resilience" `Quick
+            test_value_quantile_duplicate_resilient;
+        ] );
+      ( "end to end",
+        [ Alcotest.test_case "known population" `Quick test_end_to_end_accuracy ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_fraction_exact_on_population;
+            prop_inverse_quantile_monotone;
+            prop_count_quantile_within_range;
+          ] );
+    ]

@@ -1,0 +1,182 @@
+(* Edge-case tests across the protocol stack: single-site topologies,
+   empty states, saturation, and boundary parameters. *)
+
+module Rng = Wd_hashing.Rng
+module Fm = Wd_sketch.Fm
+module Sampler = Wd_sketch.Distinct_sampler
+module Network = Wd_net.Network
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Stream = Wd_workload.Stream
+
+let fm_family ?(bitmaps = 32) () =
+  Fm.family_custom ~rng:(Rng.create 221) ~variant:Fm.Stochastic ~bitmaps
+
+(* --- Single-site topologies (k = 1) --- *)
+
+let test_dc_single_site algo () =
+  (* With one site the protocols degenerate gracefully: thresholds use
+     theta/1 and broadcasts reach nobody else. *)
+  let t = Dc.Fm.create ~algorithm:algo ~theta:0.1 ~sites:1 ~family:(fm_family ()) () in
+  for v = 0 to 9_999 do
+    Dc.Fm.observe t ~site:0 v
+  done;
+  let est = Dc.Fm.estimate t in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s k=1 estimate %.0f ~ 10000" (Dc.algorithm_to_string algo) est)
+    true
+    (Float.abs (est -. 10_000.0) /. 10_000.0 < 0.3);
+  Alcotest.(check bool) "some communication happened" true
+    (Network.total_bytes (Dc.Fm.network t) > 0)
+
+let test_ds_single_site algo () =
+  let family = Sampler.family ~rng:(Rng.create 222) ~threshold:32 in
+  let t = Ds.create ~algorithm:algo ~theta:0.3 ~sites:1 ~family () in
+  for v = 0 to 4_999 do
+    Ds.observe t ~site:0 (v mod 500)
+  done;
+  Alcotest.(check bool) "sample bounded" true (Ds.sample_size t <= 32);
+  List.iter
+    (fun (_, c) ->
+      Alcotest.(check bool) "counts within lag" true
+        (c <= 10 && Float.of_int 10 <= 1.3 *. Float.of_int c))
+    (Ds.sample t)
+
+(* --- Fresh trackers answer before any data --- *)
+
+let test_fresh_trackers_answer () =
+  let dc = Dc.Fm.create ~algorithm:Dc.LS ~theta:0.1 ~sites:2 ~family:(fm_family ()) () in
+  Alcotest.(check (float 0.0)) "fresh DC estimate" 0.0 (Dc.Fm.estimate dc);
+  let family = Sampler.family ~rng:(Rng.create 223) ~threshold:8 in
+  let ds = Ds.create ~algorithm:Ds.LCO ~theta:0.3 ~sites:2 ~family () in
+  Alcotest.(check (float 0.0)) "fresh DS estimate" 0.0 (Ds.estimate_distinct ds);
+  Alcotest.(check (list (pair int int))) "fresh sample" [] (Ds.sample ds);
+  Alcotest.(check int) "no traffic yet" 0
+    (Network.total_bytes (Dc.Fm.network dc))
+
+(* --- Degenerate item values --- *)
+
+let test_extreme_item_values () =
+  let t = Dc.Fm.create ~algorithm:Dc.NS ~theta:0.1 ~sites:2 ~family:(fm_family ()) () in
+  List.iter
+    (fun v -> Dc.Fm.observe t ~site:0 v)
+    [ 0; max_int; min_int; -1; 1 ];
+  Alcotest.(check bool) "estimate sane for extreme keys" true
+    (Dc.Fm.estimate t >= 1.0 && Dc.Fm.estimate t < 100.0)
+
+(* --- Sampler level saturation --- *)
+
+let test_sampler_level_saturation () =
+  let family = Sampler.family ~rng:(Rng.create 224) ~threshold:4 in
+  let s = Sampler.create family in
+  Sampler.set_level s 64;
+  (* Nothing can have level >= 64 (levels cap at 63): all adds vanish. *)
+  for v = 0 to 999 do
+    Sampler.add s v
+  done;
+  Alcotest.(check int) "nothing retained at level 64" 0 (Sampler.size s)
+
+(* --- Threshold T = 1 --- *)
+
+let test_sampler_threshold_one () =
+  let family = Sampler.family ~rng:(Rng.create 225) ~threshold:1 in
+  let s = Sampler.create family in
+  for v = 0 to 999 do
+    Sampler.add s v
+  done;
+  Alcotest.(check bool) "at most one item" true (Sampler.size s <= 1);
+  (* The estimate is still an (extremely noisy) nonnegative number. *)
+  Alcotest.(check bool) "estimate nonnegative" true
+    (Sampler.estimate_distinct s >= 0.0)
+
+(* --- Ds tracker with every item identical --- *)
+
+let test_ds_single_hot_item algo () =
+  let family = Sampler.family ~rng:(Rng.create 226) ~threshold:16 in
+  let t = Ds.create ~algorithm:algo ~theta:0.2 ~sites:3 ~family () in
+  for j = 0 to 29_999 do
+    Ds.observe t ~site:(j mod 3) 42
+  done;
+  (match Ds.sample t with
+  | [ (42, c) ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: count %d within (1+theta) of 30000"
+         (Ds.algorithm_to_string algo) c)
+      true
+      (c <= 30_000 && 30_000 <= int_of_float (Float.of_int c *. 1.2) + 3)
+  | [] ->
+    (* Permissible only if 42's level is below the initial one — level
+       starts at 0, so an empty sample is a failure. *)
+    Alcotest.fail "hot item not retained"
+  | _ -> Alcotest.fail "unexpected sample contents");
+  (* Cost must be logarithmic-ish, not linear: far fewer sends than
+     arrivals. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sends %d << 30000" (Ds.sends t))
+    true
+    (Ds.sends t < 500)
+
+(* --- Window tracker with a window of 1 --- *)
+
+let test_window_one () =
+  let module W = Wd_protocol.Window_tracker in
+  let module Wfm = Wd_sketch.Fm_window in
+  let family = Wfm.family_custom ~rng:(Rng.create 227) ~bitmaps:16 in
+  let t = W.create ~algorithm:W.NS ~theta:0.5 ~window:1 ~sites:1 ~family () in
+  for j = 0 to 99 do
+    W.observe t ~site:0 ~time:j j
+  done;
+  (* At most one arrival is inside a width-1 window. *)
+  Alcotest.(check bool) "tiny estimate" true (W.estimate t ~now:99 < 5.0)
+
+(* --- Stream edge cases --- *)
+
+let test_empty_stream_rejected_by_runners () =
+  let empty = Stream.make ~sites:[||] ~items:[||] in
+  Alcotest.check_raises "run_dc rejects empty"
+    (Invalid_argument "Simulation.run_dc: empty stream") (fun () ->
+      ignore
+        (Whats_different.Simulation.run_dc ~algorithm:Dc.NS ~theta:0.1
+           ~alpha:0.1 empty
+          : Whats_different.Simulation.dc_run))
+
+let test_stream_prefix_bounds () =
+  let s = Stream.of_events [ (0, 1) ] in
+  Alcotest.check_raises "prefix too long"
+    (Invalid_argument "Stream.prefix: bad length") (fun () ->
+      ignore (Stream.prefix s 2 : Stream.t))
+
+let () =
+  let dc_algos = List.map (fun a -> (Dc.algorithm_to_string a, a)) Dc.all_algorithms in
+  let ds_algos =
+    List.map (fun a -> (Ds.algorithm_to_string a, a)) Ds.approximate_algorithms
+  in
+  Alcotest.run "edge-cases"
+    [
+      ( "single site",
+        List.map
+          (fun (n, a) ->
+            Alcotest.test_case ("dc " ^ n) `Quick (test_dc_single_site a))
+          dc_algos
+        @ List.map
+            (fun (n, a) ->
+              Alcotest.test_case ("ds " ^ n) `Quick (test_ds_single_site a))
+            ds_algos );
+      ( "degenerate inputs",
+        [
+          Alcotest.test_case "fresh trackers" `Quick test_fresh_trackers_answer;
+          Alcotest.test_case "extreme values" `Quick test_extreme_item_values;
+          Alcotest.test_case "level saturation" `Quick
+            test_sampler_level_saturation;
+          Alcotest.test_case "threshold one" `Quick test_sampler_threshold_one;
+          Alcotest.test_case "window one" `Quick test_window_one;
+          Alcotest.test_case "empty stream" `Quick
+            test_empty_stream_rejected_by_runners;
+          Alcotest.test_case "prefix bounds" `Quick test_stream_prefix_bounds;
+        ] );
+      ( "hot item",
+        List.map
+          (fun (n, a) ->
+            Alcotest.test_case n `Quick (test_ds_single_hot_item a))
+          ds_algos );
+    ]

@@ -1,0 +1,151 @@
+(* Regression tests for the experiment harnesses: every figure and
+   ablation must run end-to-end at a tiny scale, produce a well-formed
+   table, and keep its headline orderings. *)
+
+module E = Whats_different.Experiments
+module R = Whats_different.Report
+
+let tiny = { E.default_options with scale = 0.05 }
+
+let cell_float = function
+  | R.F f | R.R f -> Some f
+  | R.I i -> Some (Float.of_int i)
+  | R.S _ -> None
+
+let test_every_harness_runs () =
+  List.iter
+    (fun id ->
+      match E.by_id id with
+      | None -> Alcotest.failf "missing harness %s" id
+      | Some f ->
+        let t = f tiny in
+        Alcotest.(check string) (id ^ " id") id t.E.id;
+        Alcotest.(check bool) (id ^ " has rows") true (List.length t.E.rows > 0);
+        List.iter
+          (fun row ->
+            Alcotest.(check int)
+              (id ^ " row width")
+              (List.length t.E.header) (List.length row))
+          t.E.rows)
+    E.ids
+
+let test_ids_unique_and_ordered () =
+  let sorted = List.sort_uniq compare E.ids in
+  Alcotest.(check int) "no duplicate ids" (List.length E.ids)
+    (List.length sorted);
+  Alcotest.(check bool) "fig5a first" true (List.hd E.ids = "fig5a")
+
+let test_unknown_id () =
+  Alcotest.(check bool) "unknown id" true (E.by_id "fig9z" = None)
+
+(* Headline shape assertions at small scale: these are the claims
+   EXPERIMENTS.md stakes, so they must not silently regress. *)
+
+let column table name =
+  let rec index i = function
+    | [] -> Alcotest.failf "column %s missing" name
+    | h :: _ when h = name -> i
+    | _ :: rest -> index (i + 1) rest
+  in
+  let i = index 0 table.E.header in
+  List.filter_map (fun row -> cell_float (List.nth row i)) table.E.rows
+
+let sum = List.fold_left ( +. ) 0.0
+
+let test_fig5a_orderings () =
+  (* The savings regime needs a workload meaningfully larger than the
+     (scale-independent) sketch state, so this runs above tiny scale.
+     Orderings are asserted over the practical lag range (theta <= 0.3
+     eps, where the paper's optima live). *)
+  let t = E.fig5a ~options:{ tiny with scale = 0.3 } () in
+  let take5 xs = List.filteri (fun i _ -> i < 5) xs in
+  let ls = sum (take5 (column t "LS"))
+  and ns = sum (take5 (column t "NS"))
+  and ss = sum (take5 (column t "SS")) in
+  Alcotest.(check bool)
+    (Printf.sprintf "LS (%.3f) cheapest vs NS (%.3f)" ls ns)
+    true (ls < ns);
+  Alcotest.(check bool)
+    (Printf.sprintf "SS (%.3f) most expensive" ss)
+    true
+    (ss > ns);
+  (* The headline: order-of-magnitude savings for the good protocols. *)
+  List.iter
+    (fun r -> Alcotest.(check bool) "LS ratio well below 1" true (r < 0.2))
+    (take5 (column t "LS"))
+
+let test_fig6a_orderings () =
+  let t = E.fig6a ~options:tiny () in
+  let lco = sum (column t "LCO")
+  and gcs = sum (column t "GCS")
+  and lcs = sum (column t "LCS") in
+  Alcotest.(check bool)
+    (Printf.sprintf "LCO (%.4f) < LCS (%.4f) < GCS (%.4f)" lco lcs gcs)
+    true
+    (lco < lcs && lcs < gcs);
+  (* Cost grows with T. *)
+  let lco_col = column t "LCO" in
+  Alcotest.(check bool) "monotone in T" true
+    (List.sort compare lco_col = lco_col)
+
+let test_ablation_radio_helps_ss () =
+  let t = E.ablation_radio ~options:tiny () in
+  let find_row name =
+    List.find
+      (fun row -> match row with R.S s :: _ -> s = name | _ -> false)
+      t.E.rows
+  in
+  match (find_row "SS", find_row "NS") with
+  | ( [ _; R.R ss_uni; R.R ss_radio ], [ _; R.R ns_uni; R.R ns_radio ] ) ->
+    Alcotest.(check bool) "radio cheaper for SS" true (ss_radio < ss_uni);
+    Alcotest.(check (float 1e-12)) "NS unaffected by cost model" ns_uni
+      ns_radio
+  | _ -> Alcotest.fail "unexpected ablation_radio shape"
+
+let test_fig5d_meets_target () =
+  let t = E.fig5d ~options:{ tiny with scale = 0.2 } () in
+  (* Last row is Pr[err <= eps]; every algorithm must meet ~90%. *)
+  match List.rev t.E.rows with
+  | last :: _ ->
+    List.iteri
+      (fun i cell ->
+        if i > 0 then
+          match cell with
+          | R.F p ->
+            Alcotest.(check bool)
+              (Printf.sprintf "col %d: Pr=%.3f >= 0.85" i p)
+              true (p >= 0.85)
+          | _ -> Alcotest.fail "expected float")
+      last
+  | [] -> Alcotest.fail "empty fig5d"
+
+let test_render_paths () =
+  let t = E.fig5a ~options:tiny () in
+  let rendered = R.render ~header:t.E.header t.E.rows in
+  Alcotest.(check bool) "plain render nonempty" true
+    (String.length rendered > 0);
+  let csv = R.render_csv ~header:t.E.header t.E.rows in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check int) "csv rows" (1 + List.length t.E.rows)
+    (List.length lines)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "harnesses",
+        [
+          Alcotest.test_case "all run at tiny scale" `Slow
+            test_every_harness_runs;
+          Alcotest.test_case "ids" `Quick test_ids_unique_and_ordered;
+          Alcotest.test_case "unknown id" `Quick test_unknown_id;
+        ] );
+      ( "headline shapes",
+        [
+          Alcotest.test_case "fig5a orderings" `Slow test_fig5a_orderings;
+          Alcotest.test_case "fig6a orderings" `Quick test_fig6a_orderings;
+          Alcotest.test_case "radio ablation" `Quick test_ablation_radio_helps_ss;
+          Alcotest.test_case "fig5d target" `Slow test_fig5d_meets_target;
+        ] );
+      ( "rendering",
+        [ Alcotest.test_case "table and csv" `Quick test_render_paths ] );
+    ]

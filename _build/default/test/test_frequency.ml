@@ -1,0 +1,253 @@
+(* Tests for the duplicate-SENSITIVE frequency baselines (Count-Min,
+   Space-Saving) used to contrast against the paper's duplicate-resilient
+   aggregates. *)
+
+module Rng = Wd_hashing.Rng
+module Cm = Wd_frequency.Cm_sketch
+module Ss = Wd_frequency.Space_saving
+
+(* --- Count-Min --- *)
+
+let test_cm_never_underestimates () =
+  let cm = Cm.create ~rng:(Rng.create 181) ~rows:4 ~cols:256 in
+  let rng = Rng.create 182 in
+  let exact = Hashtbl.create 256 in
+  for _ = 1 to 20_000 do
+    let v = Rng.int rng 2_000 in
+    Cm.add cm v;
+    Hashtbl.replace exact v
+      (1 + Option.value (Hashtbl.find_opt exact v) ~default:0)
+  done;
+  Hashtbl.iter
+    (fun v c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "query(%d) >= %d" v c)
+        true
+        (Cm.query cm v >= c))
+    exact
+
+let test_cm_error_bound () =
+  (* epsilon = e/cols; overestimate <= eps*N with confidence from rows. *)
+  let cols = 512 in
+  let cm = Cm.create ~rng:(Rng.create 183) ~rows:5 ~cols in
+  let rng = Rng.create 184 in
+  let exact = Hashtbl.create 256 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 5_000 in
+    Cm.add cm v;
+    Hashtbl.replace exact v
+      (1 + Option.value (Hashtbl.find_opt exact v) ~default:0)
+  done;
+  let bound =
+    int_of_float (Float.exp 1.0 /. Float.of_int cols *. Float.of_int n)
+  in
+  let violations = ref 0 and checked = ref 0 in
+  Hashtbl.iter
+    (fun v c ->
+      incr checked;
+      if Cm.query cm v - c > bound then incr violations)
+    exact;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d above the eps*N bound" !violations !checked)
+    true
+    (Float.of_int !violations < 0.02 *. Float.of_int !checked)
+
+let test_cm_counts_duplicates () =
+  (* The point of the baseline: it counts OCCURRENCES. *)
+  let cm = Cm.create ~rng:(Rng.create 185) ~rows:4 ~cols:64 in
+  for _ = 1 to 500 do
+    Cm.add cm 7
+  done;
+  Alcotest.(check bool) "500 occurrences visible" true (Cm.query cm 7 >= 500);
+  Alcotest.(check int) "total" 500 (Cm.total cm)
+
+let test_cm_merge () =
+  let mk () = Cm.create ~rng:(Rng.create 186) ~rows:3 ~cols:128 in
+  let a = mk () and b = mk () and u = mk () in
+  for v = 0 to 99 do
+    Cm.add a v;
+    Cm.add u v
+  done;
+  for v = 50 to 149 do
+    Cm.add b v ~count:2;
+    Cm.add u v ~count:2
+  done;
+  Cm.merge_into ~dst:a b;
+  Alcotest.(check int) "totals add" (Cm.total u) (Cm.total a);
+  for v = 0 to 149 do
+    Alcotest.(check int) (Printf.sprintf "query %d" v) (Cm.query u v)
+      (Cm.query a v)
+  done
+
+let test_cm_sizing () =
+  let cm =
+    Cm.create_for_error ~rng:(Rng.create 187) ~epsilon:0.01 ~confidence:0.99
+  in
+  Alcotest.(check bool) "cols >= e/eps" true (Cm.cols cm >= 271);
+  Alcotest.(check bool) "rows >= ln(1/delta)" true (Cm.rows cm >= 5)
+
+(* --- Space-Saving --- *)
+
+let test_ss_exact_below_capacity () =
+  let ss = Ss.create ~capacity:100 in
+  for v = 0 to 49 do
+    Ss.add ss v ~count:(v + 1)
+  done;
+  for v = 0 to 49 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "count of %d" v)
+      (Some (v + 1)) (Ss.query ss v)
+  done;
+  Alcotest.(check int) "no error below capacity" 0 (Ss.max_error ss)
+
+let test_ss_finds_true_heavy_hitters () =
+  (* Any item with frequency > N/capacity must be monitored. *)
+  let ss = Ss.create ~capacity:50 in
+  let rng = Rng.create 188 in
+  (* Heavy: items 0..4 get 2000 each; noise: 40k arrivals over 10k items. *)
+  let arrivals = ref [] in
+  for v = 0 to 4 do
+    for _ = 1 to 2_000 do
+      arrivals := v :: !arrivals
+    done
+  done;
+  for _ = 1 to 40_000 do
+    arrivals := (100 + Rng.int rng 10_000) :: !arrivals
+  done;
+  let arr = Array.of_list !arrivals in
+  Rng.shuffle_in_place rng arr;
+  Array.iter (Ss.add ss) arr;
+  let top = Ss.top ss ~k:5 |> List.map fst in
+  for v = 0 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "heavy item %d monitored" v)
+      true (List.mem v top)
+  done
+
+let test_ss_overestimate_bounded () =
+  let cap = 64 in
+  let ss = Ss.create ~capacity:cap in
+  let rng = Rng.create 189 in
+  let exact = Hashtbl.create 256 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 3_000 in
+    Ss.add ss v;
+    Hashtbl.replace exact v
+      (1 + Option.value (Hashtbl.find_opt exact v) ~default:0)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "max_error %d <= N/capacity %d" (Ss.max_error ss) (n / cap))
+    true
+    (Ss.max_error ss <= n / cap);
+  Hashtbl.iter
+    (fun v c ->
+      match Ss.query ss v with
+      | None -> ()
+      | Some est ->
+        Alcotest.(check bool)
+          (Printf.sprintf "est %d in [true %d, true + max_error]" est c)
+          true
+          (est >= c && est <= c + Ss.max_error ss))
+    exact
+
+let test_ss_monitored_capped () =
+  let ss = Ss.create ~capacity:10 in
+  for v = 0 to 999 do
+    Ss.add ss v
+  done;
+  Alcotest.(check int) "monitored = capacity" 10 (Ss.monitored ss);
+  Alcotest.(check int) "total" 1_000 (Ss.total ss)
+
+(* --- The motivating contrast: frequency vs distinct heavy hitters --- *)
+
+let test_duplication_fools_frequency_not_distinct () =
+  (* Object A: requested once each by 1000 distinct clients.
+     Object B: requested 5000 times by a single bot client.
+     Frequency ranking puts B on top; distinct-client ranking puts A. *)
+  let rng = Rng.create 190 in
+  let pairs = ref [] in
+  for w = 0 to 999 do
+    pairs := (1, w) :: !pairs
+  done;
+  for _ = 1 to 5_000 do
+    pairs := (2, 424242) :: !pairs
+  done;
+  let arr = Array.of_list !pairs in
+  Rng.shuffle_in_place rng arr;
+  let ss = Ss.create ~capacity:32 in
+  let hh =
+    Wd_aggregate.Distinct_hh.Centralized.create
+      ~family:
+        (Wd_aggregate.Fm_array.family ~rng
+           { Wd_aggregate.Fm_array.rows = 3; cols = 64; bitmaps = 16 })
+  in
+  Array.iter
+    (fun (v, w) ->
+      Ss.add ss v;
+      Wd_aggregate.Distinct_hh.Centralized.add hh ~v ~w)
+    arr;
+  (match Ss.top ss ~k:1 with
+  | [ (v, _) ] -> Alcotest.(check int) "frequency crowns the bot target" 2 v
+  | _ -> Alcotest.fail "space-saving top empty");
+  match Wd_aggregate.Distinct_hh.Centralized.top hh ~k:1 with
+  | [ (v, _) ] ->
+    Alcotest.(check int) "distinct HH crowns the broadly popular object" 1 v
+  | _ -> Alcotest.fail "distinct hh top empty"
+
+(* --- QCheck --- *)
+
+let prop_cm_dominates_truth =
+  QCheck.Test.make ~name:"cm query >= exact count"
+    QCheck.(list_of_size (Gen.int_range 0 300) (int_range 0 100))
+    (fun xs ->
+      let cm = Cm.create ~rng:(Rng.create 191) ~rows:3 ~cols:32 in
+      List.iter (fun v -> Cm.add cm v) xs;
+      let exact = Hashtbl.create 32 in
+      List.iter
+        (fun v ->
+          Hashtbl.replace exact v
+            (1 + Option.value (Hashtbl.find_opt exact v) ~default:0))
+        xs;
+      Hashtbl.fold (fun v c ok -> ok && Cm.query cm v >= c) exact true)
+
+let prop_ss_total_preserved =
+  QCheck.Test.make ~name:"space-saving preserves the total"
+    QCheck.(list_of_size (Gen.int_range 0 500) (int_range 0 50))
+    (fun xs ->
+      let ss = Ss.create ~capacity:8 in
+      List.iter (Ss.add ss) xs;
+      Ss.total ss = List.length xs)
+
+let () =
+  Alcotest.run "frequency"
+    [
+      ( "count-min",
+        [
+          Alcotest.test_case "never underestimates" `Quick
+            test_cm_never_underestimates;
+          Alcotest.test_case "error bound" `Quick test_cm_error_bound;
+          Alcotest.test_case "counts duplicates" `Quick test_cm_counts_duplicates;
+          Alcotest.test_case "merge" `Quick test_cm_merge;
+          Alcotest.test_case "sizing" `Quick test_cm_sizing;
+        ] );
+      ( "space-saving",
+        [
+          Alcotest.test_case "exact below capacity" `Quick
+            test_ss_exact_below_capacity;
+          Alcotest.test_case "finds heavy hitters" `Quick
+            test_ss_finds_true_heavy_hitters;
+          Alcotest.test_case "overestimate bounded" `Quick
+            test_ss_overestimate_bounded;
+          Alcotest.test_case "monitored capped" `Quick test_ss_monitored_capped;
+        ] );
+      ( "contrast",
+        [
+          Alcotest.test_case "duplication fools frequency" `Quick
+            test_duplication_fools_frequency_not_distinct;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cm_dominates_truth; prop_ss_total_preserved ] );
+    ]

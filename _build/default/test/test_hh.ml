@@ -1,0 +1,247 @@
+(* Tests for the FM-array structure and distinct heavy hitters,
+   centralized and tracked. *)
+
+module Rng = Wd_hashing.Rng
+module Fm_array = Wd_aggregate.Fm_array
+module Tracked = Wd_aggregate.Tracked_fm_array
+module Hh = Wd_aggregate.Distinct_hh
+module Dc = Wd_protocol.Dc_tracker
+module Network = Wd_net.Network
+
+let cfg = { Fm_array.rows = 3; cols = 128; bitmaps = 16 }
+
+let mk_family ?(seed = 111) () = Fm_array.family ~rng:(Rng.create seed) cfg
+
+(* --- Fm_array --- *)
+
+let test_array_estimate_counts_distinct_elements () =
+  let fam = mk_family () in
+  let a = Fm_array.create fam in
+  (* Key 7 gets 1000 distinct elements, each inserted 3 times. *)
+  for e = 0 to 999 do
+    for _ = 1 to 3 do
+      ignore (Fm_array.add a ~key:7 ~element:e : bool)
+    done
+  done;
+  let est = Fm_array.estimate a ~key:7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f ~ 1000" est)
+    true
+    (Float.abs (est -. 1_000.0) /. 1_000.0 < 0.5);
+  (* An untouched key has a near-zero estimate. *)
+  Alcotest.(check bool) "cold key small" true
+    (Fm_array.estimate a ~key:999_999 < 100.0)
+
+let test_array_merge_equals_union () =
+  let fam = mk_family () in
+  let a = Fm_array.create fam and b = Fm_array.create fam in
+  let u = Fm_array.create fam in
+  for e = 0 to 499 do
+    ignore (Fm_array.add a ~key:1 ~element:e : bool);
+    ignore (Fm_array.add u ~key:1 ~element:e : bool)
+  done;
+  for e = 300 to 799 do
+    ignore (Fm_array.add b ~key:1 ~element:e : bool);
+    ignore (Fm_array.add u ~key:1 ~element:e : bool)
+  done;
+  Fm_array.merge_into ~dst:a b;
+  Alcotest.(check bool) "merged = union" true (Fm_array.equal a u)
+
+let test_array_sizes () =
+  let fam = mk_family () in
+  Alcotest.(check int) "cells" 384 (Fm_array.config_cells cfg);
+  Alcotest.(check int) "cell bytes" 128 (Fm_array.cell_size_bytes fam);
+  Alcotest.(check int) "total bytes" (384 * 128) (Fm_array.size_bytes fam)
+
+let test_pair_element_injective_in_practice () =
+  let seen = Hashtbl.create 1024 in
+  let collisions = ref 0 in
+  for v = 0 to 99 do
+    for w = 0 to 99 do
+      let e = Fm_array.pair_element ~v ~w in
+      if Hashtbl.mem seen e then incr collisions;
+      Hashtbl.replace seen e ()
+    done
+  done;
+  Alcotest.(check int) "no collisions among 10k pairs" 0 !collisions
+
+(* --- Centralized distinct HH --- *)
+
+(* Build a planted pair stream: object 0 has 800 distinct clients,
+   object 1 has 400, objects 2..49 have 20 each; every pair repeated
+   [repeat] times. *)
+let planted_pairs ~repeat =
+  let out = ref [] in
+  let emit v w = for _ = 1 to repeat do out := (v, w) :: !out done in
+  for w = 0 to 799 do
+    emit 0 w
+  done;
+  for w = 0 to 399 do
+    emit 1 w
+  done;
+  for v = 2 to 49 do
+    for w = 0 to 19 do
+      emit v w
+    done
+  done;
+  let arr = Array.of_list !out in
+  Wd_hashing.Rng.shuffle_in_place (Rng.create 112) arr;
+  arr
+
+let test_centralized_hh_finds_planted () =
+  let hh = Hh.Centralized.create ~family:(mk_family ()) in
+  Array.iter (fun (v, w) -> Hh.Centralized.add hh ~v ~w) (planted_pairs ~repeat:3);
+  let top = Hh.Centralized.top hh ~k:2 |> List.map fst in
+  Alcotest.(check (list int)) "top 2 planted objects" [ 0; 1 ] top;
+  let est = Hh.Centralized.estimate hh 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "d_0 estimate %.0f ~ 800" est)
+    true
+    (Float.abs (est -. 800.0) /. 800.0 < 0.5)
+
+let test_centralized_duplicate_resilient () =
+  let once = Hh.Centralized.create ~family:(mk_family ()) in
+  let thrice = Hh.Centralized.create ~family:(mk_family ()) in
+  Array.iter (fun (v, w) -> Hh.Centralized.add once ~v ~w) (planted_pairs ~repeat:1);
+  Array.iter (fun (v, w) -> Hh.Centralized.add thrice ~v ~w) (planted_pairs ~repeat:3);
+  Alcotest.(check bool) "identical arrays" true
+    (Fm_array.equal (Hh.Centralized.array once) (Hh.Centralized.array thrice))
+
+let test_exact_degrees () =
+  let pairs = [ (1, 10); (1, 10); (1, 11); (2, 10) ] in
+  let d = Hh.exact_degrees (List.to_seq pairs) in
+  Alcotest.(check (option int)) "d_1" (Some 2) (Hashtbl.find_opt d 1);
+  Alcotest.(check (option int)) "d_2" (Some 1) (Hashtbl.find_opt d 2)
+
+(* --- Tracked distinct HH --- *)
+
+let spread_over_sites k pairs =
+  Array.mapi (fun j (v, w) -> (j mod k, v, w)) pairs
+
+let test_tracked_hh_matches_centralized_estimates algo () =
+  let fam = mk_family () in
+  let pairs = planted_pairs ~repeat:2 in
+  let events = spread_over_sites 4 pairs in
+  let central = Hh.Centralized.create ~family:fam in
+  let tracked =
+    Hh.Tracked.create ~algorithm:algo ~theta:0.2 ~sites:4 ~family:fam ()
+  in
+  Array.iter
+    (fun (site, v, w) ->
+      Hh.Centralized.add central ~v ~w;
+      Hh.Tracked.observe tracked ~site ~v ~w)
+    events;
+  (* The coordinator's estimates should be close to the centralized ones
+     for the planted heavy objects. *)
+  List.iter
+    (fun v ->
+      let c = Hh.Centralized.estimate central v in
+      let t = Hh.Tracked.estimate tracked v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: object %d tracked %.0f vs central %.0f"
+           (Dc.algorithm_to_string algo) v t c)
+        true
+        (Float.abs (t -. c) /. Float.max 1.0 c < 0.5))
+    [ 0; 1 ]
+
+let test_tracked_hh_top_recall algo () =
+  let fam = mk_family () in
+  let events = spread_over_sites 4 (planted_pairs ~repeat:2) in
+  let tracked =
+    Hh.Tracked.create ~algorithm:algo ~theta:0.2 ~sites:4 ~family:fam ()
+  in
+  Array.iter
+    (fun (site, v, w) -> Hh.Tracked.observe tracked ~site ~v ~w)
+    events;
+  let top = Hh.Tracked.top tracked ~k:2 |> List.map fst in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: planted heavy objects found"
+       (Dc.algorithm_to_string algo))
+    true
+    (List.mem 0 top && List.mem 1 top)
+
+let test_tracked_cheaper_than_raw_pairs () =
+  (* With heavy duplication, tracking must beat shipping every pair: the
+     tracker pays per *distinct* pair (and only while its cell's sketch
+     still changes) while the raw baseline pays per event. *)
+  let fam = mk_family () in
+  let events = spread_over_sites 4 (planted_pairs ~repeat:40) in
+  let tracked =
+    Hh.Tracked.create ~algorithm:Dc.LS ~theta:0.2 ~sites:4 ~family:fam ()
+  in
+  Array.iter
+    (fun (site, v, w) -> Hh.Tracked.observe tracked ~site ~v ~w)
+    events;
+  let raw_bytes =
+    Array.length events * Wd_net.Wire.message ~payload:(2 * Wd_net.Wire.item_bytes)
+  in
+  let got = Network.total_bytes (Hh.Tracked.network tracked) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tracked %d < raw %d" got raw_bytes)
+    true (got < raw_bytes)
+
+let test_tracked_rejects_ec () =
+  Alcotest.check_raises "EC rejected"
+    (Invalid_argument "Tracked_fm_array.create: EC is not a per-cell algorithm")
+    (fun () ->
+      ignore
+        (Tracked.create ~algorithm:Dc.EC ~theta:0.1 ~sites:2
+           ~family:(mk_family ()) ()
+          : Tracked.t))
+
+(* --- QCheck --- *)
+
+let prop_centralized_estimate_dominated_by_collisions =
+  (* min-over-rows estimates never undershoot badly: for a key with d
+     distinct elements the estimate is at least a constant fraction of d
+     (FM bitmaps only overcount under collisions, undercount only through
+     FM variance). *)
+  QCheck.Test.make ~name:"estimates track planted degree" ~count:20
+    QCheck.(int_range 50 500)
+    (fun d ->
+      let fam = Fm_array.family ~rng:(Rng.create 113) cfg in
+      let a = Fm_array.create fam in
+      for e = 0 to d - 1 do
+        ignore (Fm_array.add a ~key:5 ~element:(e * 7919) : bool)
+      done;
+      let est = Fm_array.estimate a ~key:5 in
+      est > 0.3 *. Float.of_int d && est < 3.0 *. Float.of_int d)
+
+let () =
+  let per_algo name f =
+    List.map
+      (fun a ->
+        Alcotest.test_case
+          (Printf.sprintf "%s (%s)" name (Dc.algorithm_to_string a))
+          `Quick (f a))
+      Dc.approximate_algorithms
+  in
+  Alcotest.run "distinct-hh"
+    [
+      ( "fm array",
+        [
+          Alcotest.test_case "distinct elements" `Quick
+            test_array_estimate_counts_distinct_elements;
+          Alcotest.test_case "merge union" `Quick test_array_merge_equals_union;
+          Alcotest.test_case "sizes" `Quick test_array_sizes;
+          Alcotest.test_case "pair encoding" `Quick
+            test_pair_element_injective_in_practice;
+        ] );
+      ( "centralized",
+        [
+          Alcotest.test_case "finds planted" `Quick test_centralized_hh_finds_planted;
+          Alcotest.test_case "duplicate resilient" `Quick
+            test_centralized_duplicate_resilient;
+          Alcotest.test_case "exact degrees" `Quick test_exact_degrees;
+        ] );
+      ( "tracked",
+        per_algo "matches centralized" test_tracked_hh_matches_centralized_estimates
+        @ per_algo "top recall" test_tracked_hh_top_recall
+        @ [
+            Alcotest.test_case "cheaper than raw" `Quick
+              test_tracked_cheaper_than_raw_pairs;
+            Alcotest.test_case "EC rejected" `Quick test_tracked_rejects_ec;
+          ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_centralized_estimate_dominated_by_collisions ] );
+    ]

@@ -1,0 +1,105 @@
+(* Tests for the bundled Monitor facade. *)
+
+module M = Whats_different.Monitor
+module Rng = Wd_hashing.Rng
+
+let test_unkeyed_round () =
+  let m = M.create (M.default_config ~sites:3) in
+  let rng = Rng.create 201 in
+  let truth = Hashtbl.create 256 in
+  (* 4000 distinct events, each seen 1-3 times across sites. *)
+  for v = 0 to 3_999 do
+    let copies = 1 + Rng.int rng 3 in
+    Hashtbl.replace truth v copies;
+    for c = 0 to copies - 1 do
+      M.observe m ~site:((v + c) mod 3) v
+    done
+  done;
+  let d = M.distinct m in
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct %.0f ~ 4000" d)
+    true
+    (Float.abs (d -. 4_000.0) /. 4_000.0 < 0.15);
+  let true_unique =
+    Hashtbl.fold (fun _ c acc -> if c = 1 then acc + 1 else acc) truth 0
+  in
+  let u = M.unique m in
+  Alcotest.(check bool)
+    (Printf.sprintf "unique %.0f ~ %d" u true_unique)
+    true
+    (Float.abs (u -. Float.of_int true_unique) /. Float.of_int true_unique
+    < 0.25);
+  (match M.median_duplication m with
+  | Some median ->
+    Alcotest.(check bool)
+      (Printf.sprintf "median duplication %d in {1,2,3}" median)
+      true
+      (median >= 1 && median <= 3)
+  | None -> Alcotest.fail "no sample");
+  Alcotest.(check bool) "fraction <=3 is 1" true
+    (M.duplication_fraction m (fun c -> c <= 3) = 1.0);
+  Alcotest.(check bool) "paid some bytes" true (M.total_bytes m > 0)
+
+let test_keyed_round () =
+  let m = M.create (M.default_config ~sites:4) in
+  (* Key 5 has 400 distinct partners; keys 10..19 have 10 each; every
+     pair repeated 3 times. *)
+  for w = 0 to 399 do
+    for r = 0 to 2 do
+      M.observe_pair m ~site:(r mod 4) ~v:5 ~w
+    done
+  done;
+  for v = 10 to 19 do
+    for w = 0 to 9 do
+      for r = 0 to 2 do
+        M.observe_pair m ~site:(r mod 4) ~v ~w
+      done
+    done
+  done;
+  (match M.top_keys m ~k:1 with
+  | [ (v, _) ] -> Alcotest.(check int) "heavy key found" 5 v
+  | _ -> Alcotest.fail "no top key");
+  let deg = M.key_degree m 5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "degree %.0f ~ 400" deg)
+    true
+    (Float.abs (deg -. 400.0) /. 400.0 < 0.5);
+  (* Pairs count once each as distinct events despite 3x repetition. *)
+  let d = M.distinct m in
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct pairs %.0f ~ 500" d)
+    true
+    (Float.abs (d -. 500.0) /. 500.0 < 0.25)
+
+let test_hh_disabled () =
+  let cfg = { (M.default_config ~sites:2) with M.hh = None } in
+  let m = M.create cfg in
+  M.observe_pair m ~site:0 ~v:1 ~w:2;
+  Alcotest.(check (list (pair int (float 0.0)))) "no ranking" []
+    (M.top_keys m ~k:3);
+  Alcotest.(check (float 0.0)) "degree zero" 0.0 (M.key_degree m 1);
+  Alcotest.(check bool) "pair still counted" true (M.distinct m > 0.0);
+  match M.bytes_breakdown m with
+  | [ _; _; ("heavy-hitters", 0) ] -> ()
+  | _ -> Alcotest.fail "unexpected breakdown shape"
+
+let test_breakdown_sums () =
+  let m = M.create (M.default_config ~sites:2) in
+  for v = 0 to 999 do
+    M.observe m ~site:(v mod 2) v
+  done;
+  let total = M.total_bytes m in
+  let parts = List.fold_left (fun acc (_, b) -> acc + b) 0 (M.bytes_breakdown m) in
+  Alcotest.(check int) "breakdown sums to total" total parts
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "unkeyed events" `Quick test_unkeyed_round;
+          Alcotest.test_case "keyed events" `Quick test_keyed_round;
+          Alcotest.test_case "hh disabled" `Quick test_hh_disabled;
+          Alcotest.test_case "breakdown" `Quick test_breakdown_sums;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* Tests for the byte-accounting network simulator. *)
+
+module Network = Wd_net.Network
+module Wire = Wd_net.Wire
+
+let test_wire_sizes () =
+  Alcotest.(check int) "message adds header" (Wire.header_bytes + 10)
+    (Wire.message ~payload:10);
+  Alcotest.(check int) "items payload" (5 * Wire.item_bytes) (Wire.items 5);
+  Alcotest.(check int) "pair payload"
+    (3 * (Wire.item_bytes + Wire.count_bytes))
+    (Wire.item_count_pairs 3)
+
+let test_send_up_accounting () =
+  let net = Network.create ~sites:3 () in
+  Network.send_up net ~site:0 ~payload:10;
+  Network.send_up net ~site:2 ~payload:20;
+  Alcotest.(check int) "bytes up"
+    (Wire.message ~payload:10 + Wire.message ~payload:20)
+    (Network.bytes_up net);
+  Alcotest.(check int) "messages up" 2 (Network.messages_up net);
+  Alcotest.(check int) "bytes down" 0 (Network.bytes_down net);
+  Alcotest.(check int) "site 0 up" (Wire.message ~payload:10)
+    (Network.site_bytes_up net 0);
+  Alcotest.(check int) "site 1 up" 0 (Network.site_bytes_up net 1)
+
+let test_unicast_broadcast_costs_k () =
+  let net = Network.create ~sites:5 () in
+  Network.broadcast_down net ~except:None ~payload:8;
+  Alcotest.(check int) "5 messages" 5 (Network.messages_down net);
+  Alcotest.(check int) "5x bytes" (5 * Wire.message ~payload:8)
+    (Network.bytes_down net)
+
+let test_unicast_broadcast_except () =
+  let net = Network.create ~sites:5 () in
+  Network.broadcast_down net ~except:(Some 2) ~payload:8;
+  Alcotest.(check int) "4 messages" 4 (Network.messages_down net);
+  Alcotest.(check int) "excluded site got nothing" 0
+    (Network.site_bytes_down net 2)
+
+let test_radio_broadcast_costs_once () =
+  let net = Network.create ~cost_model:Network.Radio_broadcast ~sites:5 () in
+  Network.broadcast_down net ~except:None ~payload:8;
+  Network.broadcast_down net ~except:(Some 1) ~payload:8;
+  Alcotest.(check int) "one message each" 2 (Network.messages_down net);
+  Alcotest.(check int) "single-copy bytes" (2 * Wire.message ~payload:8)
+    (Network.bytes_down net)
+
+let test_totals_and_reset () =
+  let net = Network.create ~sites:2 () in
+  Network.send_up net ~site:0 ~payload:4;
+  Network.send_down net ~site:1 ~payload:4;
+  Alcotest.(check int) "total = up + down"
+    (Network.bytes_up net + Network.bytes_down net)
+    (Network.total_bytes net);
+  Alcotest.(check int) "total messages" 2 (Network.total_messages net);
+  Network.reset net;
+  Alcotest.(check int) "reset zeroes bytes" 0 (Network.total_bytes net);
+  Alcotest.(check int) "reset zeroes messages" 0 (Network.total_messages net);
+  Alcotest.(check int) "reset keeps topology" 2 (Network.sites net)
+
+let test_validation () =
+  Alcotest.check_raises "zero sites"
+    (Invalid_argument "Network.create: sites must be >= 1") (fun () ->
+      ignore (Network.create ~sites:0 () : Network.t));
+  let net = Network.create ~sites:2 () in
+  Alcotest.check_raises "site out of range"
+    (Invalid_argument "Network: site index out of range") (fun () ->
+      Network.send_up net ~site:2 ~payload:1)
+
+let prop_ledger_totals_consistent =
+  QCheck.Test.make ~name:"per-site bytes sum to totals"
+    QCheck.(list_of_size (Gen.int_range 0 100) (pair (int_range 0 3) (int_range 0 64)))
+    (fun ops ->
+      let net = Network.create ~sites:4 () in
+      List.iter
+        (fun (site, payload) ->
+          if payload mod 2 = 0 then Network.send_up net ~site ~payload
+          else Network.send_down net ~site ~payload)
+        ops;
+      let sum_up = ref 0 and sum_down = ref 0 in
+      for s = 0 to 3 do
+        sum_up := !sum_up + Network.site_bytes_up net s;
+        sum_down := !sum_down + Network.site_bytes_down net s
+      done;
+      !sum_up = Network.bytes_up net && !sum_down = Network.bytes_down net)
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "wire sizes" `Quick test_wire_sizes;
+          Alcotest.test_case "send up" `Quick test_send_up_accounting;
+          Alcotest.test_case "unicast broadcast" `Quick
+            test_unicast_broadcast_costs_k;
+          Alcotest.test_case "broadcast except" `Quick test_unicast_broadcast_except;
+          Alcotest.test_case "radio broadcast" `Quick test_radio_broadcast_costs_once;
+          Alcotest.test_case "totals and reset" `Quick test_totals_and_reset;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_ledger_totals_consistent ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for the prediction-model tracker (Section 8 extension). *)
+
+module Rng = Wd_hashing.Rng
+module Fm = Wd_sketch.Fm
+module P = Wd_protocol.Predictive
+module Network = Wd_net.Network
+
+let mk_family ?(seed = 141) ?(bitmaps = 256) () =
+  Fm.family_custom ~rng:(Rng.create seed) ~variant:Fm.Stochastic ~bitmaps
+
+(* Steady growth: each event fresh with probability [p], else a repeat. *)
+let steady_stream ~events ~sites ~p seed =
+  let rng = Rng.create seed in
+  let fresh = ref 0 in
+  Array.init events (fun _ ->
+      let site = Rng.int rng sites in
+      let v =
+        if !fresh = 0 || Rng.float rng 1.0 < p then begin
+          incr fresh;
+          !fresh - 1
+        end
+        else Rng.int rng !fresh
+      in
+      (site, v))
+
+let run model stream ~sites ~theta =
+  let tr = P.create ~model ~theta ~sites ~family:(mk_family ()) () in
+  Array.iter (fun (site, v) -> P.observe tr ~site v) stream;
+  tr
+
+let distinct stream =
+  let seen = Hashtbl.create 1024 in
+  Array.iter (fun (_, v) -> Hashtbl.replace seen v ()) stream;
+  Hashtbl.length seen
+
+let test_static_tracks_accurately () =
+  let stream = steady_stream ~events:60_000 ~sites:4 ~p:0.5 142 in
+  let tr = run P.Static stream ~sites:4 ~theta:0.1 in
+  let truth = Float.of_int (distinct stream) in
+  let err = Float.abs (P.estimate tr -. truth) /. truth in
+  Alcotest.(check bool)
+    (Printf.sprintf "static err %.3f" err)
+    true (err < 0.15)
+
+let test_linear_tracks_accurately () =
+  let stream = steady_stream ~events:60_000 ~sites:4 ~p:0.5 143 in
+  let tr = run P.Linear_growth stream ~sites:4 ~theta:0.1 in
+  let truth = Float.of_int (distinct stream) in
+  let err = Float.abs (P.estimate tr -. truth) /. truth in
+  Alcotest.(check bool)
+    (Printf.sprintf "linear err %.3f" err)
+    true (err < 0.15)
+
+let test_linear_saves_syncs_on_steady_growth () =
+  let stream = steady_stream ~events:60_000 ~sites:4 ~p:0.5 144 in
+  let static = run P.Static stream ~sites:4 ~theta:0.1 in
+  let linear = run P.Linear_growth stream ~sites:4 ~theta:0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "linear %d syncs <= static %d syncs" (P.sends linear)
+       (P.sends static))
+    true
+    (P.sends linear <= P.sends static)
+
+let test_gamma_learns_overlap () =
+  (* Disjoint sites: every locally-new item is globally new, gamma ~ 1.
+     Fully mirrored sites: local growth mostly duplicates, gamma low. *)
+  let sites = 4 and events = 40_000 in
+  let disjoint =
+    Array.init events (fun j -> (j mod sites, j))
+  in
+  let rng = Rng.create 145 in
+  let mirrored =
+    Array.init events (fun j -> (Rng.int rng sites, j / sites))
+  in
+  let g stream = P.gamma (run P.Linear_growth stream ~sites ~theta:0.1) in
+  let g_disjoint = g disjoint and g_mirrored = g mirrored in
+  Alcotest.(check bool)
+    (Printf.sprintf "gamma disjoint %.2f > mirrored %.2f" g_disjoint g_mirrored)
+    true
+    (g_disjoint > g_mirrored);
+  Alcotest.(check bool) "disjoint near 1" true (g_disjoint > 0.7)
+
+let test_duplicates_are_free () =
+  (* Pure duplicates after a warmup cause no further syncs: the sketch
+     never changes. *)
+  let tr = P.create ~model:P.Linear_growth ~theta:0.1 ~sites:2 ~family:(mk_family ()) () in
+  for v = 0 to 4_999 do
+    P.observe tr ~site:(v mod 2) v
+  done;
+  let sends_before = P.sends tr in
+  for _ = 1 to 3 do
+    for v = 0 to 4_999 do
+      P.observe tr ~site:(v mod 2) v
+    done
+  done;
+  Alcotest.(check int) "no syncs from duplicates" sends_before (P.sends tr)
+
+let test_validation () =
+  Alcotest.check_raises "theta > 0"
+    (Invalid_argument "Predictive.create: theta must be positive") (fun () ->
+      ignore
+        (P.create ~model:P.Static ~theta:0.0 ~sites:2 ~family:(mk_family ()) ()
+          : P.t));
+  let tr = P.create ~model:P.Static ~theta:0.1 ~sites:2 ~family:(mk_family ()) () in
+  Alcotest.check_raises "site range"
+    (Invalid_argument "Predictive.observe: site index out of range") (fun () ->
+      P.observe tr ~site:3 1)
+
+let prop_estimate_nonnegative =
+  QCheck.Test.make ~name:"estimates stay nonnegative" ~count:30
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size (Gen.int_range 1 300) (int_range 0 100)))
+    (fun (k, items) ->
+      let tr =
+        P.create ~model:P.Linear_growth ~theta:0.2 ~sites:k
+          ~family:(mk_family ~bitmaps:16 ()) ()
+      in
+      List.iteri (fun j v -> P.observe tr ~site:(j mod k) v) items;
+      P.estimate tr >= 0.0 && P.gamma tr >= 0.0 && P.gamma tr <= 1.0)
+
+let () =
+  Alcotest.run "predictive"
+    [
+      ( "accuracy",
+        [
+          Alcotest.test_case "static" `Quick test_static_tracks_accurately;
+          Alcotest.test_case "linear" `Quick test_linear_tracks_accurately;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "linear saves syncs" `Quick
+            test_linear_saves_syncs_on_steady_growth;
+          Alcotest.test_case "gamma learns overlap" `Quick test_gamma_learns_overlap;
+          Alcotest.test_case "duplicates free" `Quick test_duplicates_are_free;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_estimate_nonnegative ]);
+    ]

@@ -1,0 +1,161 @@
+(* Tests for duplicate-resilient quantiles (dyadic FM decomposition). *)
+
+module Rng = Wd_hashing.Rng
+module Dq = Wd_aggregate.Distinct_quantiles
+module Dc = Wd_protocol.Dc_tracker
+
+let cfg = { Dq.universe = 4_096; rows = 3; cols = 128; bitmaps = 16 }
+
+let mk_family ?(seed = 121) () = Dq.family ~rng:(Rng.create seed) cfg
+
+let test_levels () =
+  let fam = mk_family () in
+  (* 4096 = 2^12 -> 13 levels. *)
+  Alcotest.(check int) "levels" 13 (Dq.levels fam)
+
+let test_rank_accuracy () =
+  let fam = mk_family () in
+  let q = Dq.Centralized.create ~family:fam in
+  (* Insert all even numbers in [0, 4096): rank(x) = x/2 + 1. *)
+  for v = 0 to 2_047 do
+    Dq.Centralized.add q (2 * v)
+  done;
+  List.iter
+    (fun x ->
+      let expected = Float.of_int ((x / 2) + 1) in
+      let got = Dq.Centralized.rank q x in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank(%d) = %.0f vs %.0f" x got expected)
+        true
+        (Float.abs (got -. expected) /. expected < 0.5))
+    [ 255; 1_023; 2_047; 4_095 ]
+
+let test_median_of_uniform_range () =
+  let fam = mk_family () in
+  let q = Dq.Centralized.create ~family:fam in
+  for v = 1_000 to 2_999 do
+    Dq.Centralized.add q v
+  done;
+  let median = Dq.Centralized.median q in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %d in [1600, 2400]" median)
+    true
+    (median >= 1_600 && median <= 2_400)
+
+let test_duplicate_resilience () =
+  (* A heavily repeated low value must not drag the quantile down. *)
+  let fam = mk_family () in
+  let q = Dq.Centralized.create ~family:fam in
+  for v = 2_000 to 2_999 do
+    Dq.Centralized.add q v
+  done;
+  for _ = 1 to 50_000 do
+    Dq.Centralized.add q 5
+  done;
+  (* Distinct items: {5} U [2000, 3000): median ~ 2500, despite 5
+     accounting for 98% of arrivals. *)
+  let median = Dq.Centralized.median q in
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicate-resilient median %d in [2100, 2900]" median)
+    true
+    (median >= 2_100 && median <= 2_900)
+
+let test_quantile_monotone_in_q () =
+  let fam = mk_family () in
+  let q = Dq.Centralized.create ~family:fam in
+  let rng = Rng.create 122 in
+  for _ = 1 to 3_000 do
+    Dq.Centralized.add q (Rng.int rng 4_096)
+  done;
+  let q25 = Dq.Centralized.quantile q 0.25 in
+  let q50 = Dq.Centralized.quantile q 0.5 in
+  let q75 = Dq.Centralized.quantile q 0.75 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %d <= %d <= %d" q25 q50 q75)
+    true
+    (q25 <= q50 && q50 <= q75)
+
+let test_universe_validation () =
+  let fam = mk_family () in
+  let q = Dq.Centralized.create ~family:fam in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Distinct_quantiles: item outside the universe")
+    (fun () -> Dq.Centralized.add q 4_096)
+
+let test_exact_helpers () =
+  let m = Hashtbl.create 16 in
+  List.iter (fun (v, c) -> Hashtbl.replace m v c) [ (1, 5); (10, 1); (20, 2) ];
+  Alcotest.(check int) "exact rank" 2 (Dq.exact_rank m 15);
+  Alcotest.(check (option int)) "exact median" (Some 10)
+    (Dq.exact_quantile m 0.5);
+  Alcotest.(check (option int)) "empty" None
+    (Dq.exact_quantile (Hashtbl.create 1) 0.5)
+
+(* --- Tracked --- *)
+
+let test_tracked_matches_centralized algo () =
+  let fam = mk_family () in
+  let central = Dq.Centralized.create ~family:fam in
+  let tracked =
+    Dq.Tracked.create ~algorithm:algo ~theta:0.3 ~sites:3 ~family:fam ()
+  in
+  let rng = Rng.create 123 in
+  for j = 0 to 4_999 do
+    let v = 1_000 + Rng.int rng 2_000 in
+    Dq.Centralized.add central v;
+    Dq.Tracked.observe tracked ~site:(j mod 3) v
+  done;
+  let mc = Dq.Centralized.median central in
+  let mt = Dq.Tracked.median tracked in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: tracked median %d vs central %d"
+       (Dc.algorithm_to_string algo) mt mc)
+    true
+    (abs (mt - mc) < 400);
+  Alcotest.(check bool) "tracker paid some communication" true
+    (Wd_net.Network.total_bytes (Dq.Tracked.network tracked) > 0)
+
+let test_tracked_distinct_estimate () =
+  let fam = mk_family () in
+  let tracked =
+    Dq.Tracked.create ~algorithm:Dc.LS ~theta:0.3 ~sites:2 ~family:fam ()
+  in
+  for v = 0 to 1_999 do
+    Dq.Tracked.observe tracked ~site:(v mod 2) v
+  done;
+  let d = Dq.Tracked.distinct tracked in
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct %.0f ~ 2000" d)
+    true
+    (Float.abs (d -. 2_000.0) /. 2_000.0 < 0.5)
+
+let () =
+  let per_algo name f =
+    List.map
+      (fun a ->
+        Alcotest.test_case
+          (Printf.sprintf "%s (%s)" name (Dc.algorithm_to_string a))
+          `Quick (f a))
+      [ Dc.NS; Dc.LS ]
+  in
+  Alcotest.run "distinct-quantiles"
+    [
+      ( "centralized",
+        [
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "rank accuracy" `Quick test_rank_accuracy;
+          Alcotest.test_case "median uniform" `Quick test_median_of_uniform_range;
+          Alcotest.test_case "duplicate resilience" `Quick
+            test_duplicate_resilience;
+          Alcotest.test_case "quantile monotone" `Quick
+            test_quantile_monotone_in_q;
+          Alcotest.test_case "universe validation" `Quick test_universe_validation;
+          Alcotest.test_case "exact helpers" `Quick test_exact_helpers;
+        ] );
+      ( "tracked",
+        per_algo "matches centralized" test_tracked_matches_centralized
+        @ [
+            Alcotest.test_case "distinct estimate" `Quick
+              test_tracked_distinct_estimate;
+          ] );
+    ]

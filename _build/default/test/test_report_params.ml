@@ -1,0 +1,102 @@
+(* Tests for the Params accounting helpers and the Report renderer. *)
+
+module P = Wd_protocol.Params
+module R = Whats_different.Report
+
+(* --- Params --- *)
+
+let test_make_default_split () =
+  let p = P.make ~epsilon:0.1 () in
+  Alcotest.(check (float 1e-9)) "epsilon" 0.1 p.P.epsilon;
+  Alcotest.(check (float 1e-9)) "theta = 0.3 eps" 0.03 p.P.theta;
+  Alcotest.(check (float 1e-9)) "alpha = eps - theta" 0.07 p.P.alpha;
+  Alcotest.(check (float 1e-9)) "delta" 0.1 (P.delta p)
+
+let test_make_custom_fraction () =
+  let p = P.make ~theta_fraction:0.15 ~confidence:0.95 ~epsilon:0.2 () in
+  Alcotest.(check (float 1e-9)) "theta" 0.03 p.P.theta;
+  Alcotest.(check (float 1e-9)) "alpha" 0.17 p.P.alpha;
+  Alcotest.(check (float 1e-9)) "delta" 0.05 (P.delta p)
+
+let test_with_theta () =
+  let p = P.with_theta ~theta:0.02 ~alpha:0.05 () in
+  Alcotest.(check (float 1e-9)) "epsilon is the sum" 0.07 p.P.epsilon
+
+let test_params_validation () =
+  Alcotest.check_raises "epsilon range"
+    (Invalid_argument "Params: epsilon must be in (0,1), got 1.5") (fun () ->
+      ignore (P.make ~epsilon:1.5 () : P.t));
+  Alcotest.check_raises "theta positive"
+    (Invalid_argument "Params: theta must be positive") (fun () ->
+      ignore (P.with_theta ~theta:0.0 ~alpha:0.1 () : P.t))
+
+let test_params_pp () =
+  let p = P.make ~epsilon:0.1 () in
+  let s = Format.asprintf "%a" P.pp p in
+  Alcotest.(check bool) "pretty print mentions eps" true
+    (String.length s > 0
+    && String.sub s 0 5 = "{eps=")
+
+(* --- Report --- *)
+
+let test_render_alignment () =
+  let out =
+    R.render ~header:[ "name"; "value" ]
+      [ [ R.S "a"; R.I 1 ]; [ R.S "long-name"; R.I 12345 ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* All lines padded to the same width. *)
+  (match lines with
+  | first :: rest ->
+    List.iter
+      (fun l ->
+        Alcotest.(check int) "equal width" (String.length first)
+          (String.length l))
+      rest
+  | [] -> Alcotest.fail "empty render")
+
+let test_render_cell_formats () =
+  let out =
+    R.render ~header:[ "c" ]
+      [ [ R.F 3.14159 ]; [ R.R 0.000123 ]; [ R.I 7 ]; [ R.S "x" ] ]
+  in
+  Alcotest.(check bool) "float trimmed" true
+    (String.length out > 0);
+  let has_needle needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i = i + n <= h && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "%.4g float" true (has_needle "3.142");
+  Alcotest.(check bool) "scientific ratio" true (has_needle "1.230e-04")
+
+let test_csv_quoting () =
+  let out =
+    R.render_csv ~header:[ "a"; "b" ] [ [ R.S "x,y"; R.S "say \"hi\"" ] ]
+  in
+  Alcotest.(check string) "quoted" "a,b\n\"x,y\",\"say \"\"hi\"\"\"" out
+
+let test_csv_shape () =
+  let out = R.render_csv ~header:[ "h1"; "h2" ] [ [ R.I 1; R.I 2 ] ] in
+  Alcotest.(check string) "csv" "h1,h2\n1,2" out
+
+let () =
+  Alcotest.run "report-params"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "default split" `Quick test_make_default_split;
+          Alcotest.test_case "custom fraction" `Quick test_make_custom_fraction;
+          Alcotest.test_case "with theta" `Quick test_with_theta;
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "pp" `Quick test_params_pp;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "cell formats" `Quick test_render_cell_formats;
+          Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "csv shape" `Quick test_csv_shape;
+        ] );
+    ]

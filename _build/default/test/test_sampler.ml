@@ -1,0 +1,297 @@
+(* Tests for Gibbons-Tirthapura distinct sampling. *)
+
+module Rng = Wd_hashing.Rng
+module Sampler = Wd_sketch.Distinct_sampler
+
+let mk_family ?(seed = 71) ~threshold () =
+  Sampler.family ~rng:(Rng.create seed) ~threshold
+
+let feed s lo hi =
+  for v = lo to hi - 1 do
+    Sampler.add s v
+  done
+
+let test_below_threshold_keeps_everything () =
+  let fam = mk_family ~threshold:100 () in
+  let s = Sampler.create fam in
+  feed s 0 50;
+  Alcotest.(check int) "all retained" 50 (Sampler.size s);
+  Alcotest.(check int) "level stays 0" 0 (Sampler.level s);
+  Alcotest.(check (float 0.001)) "estimate exact" 50.0
+    (Sampler.estimate_distinct s)
+
+let test_counts_are_exact () =
+  let fam = mk_family ~threshold:100 () in
+  let s = Sampler.create fam in
+  for _ = 1 to 7 do
+    Sampler.add s 3
+  done;
+  Sampler.add_count s 4 11;
+  Alcotest.(check int) "count of 3" 7 (Sampler.count s 3);
+  Alcotest.(check int) "count of 4" 11 (Sampler.count s 4);
+  Alcotest.(check int) "count of absent" 0 (Sampler.count s 99)
+
+let test_threshold_respected () =
+  let fam = mk_family ~threshold:64 () in
+  let s = Sampler.create fam in
+  feed s 0 10_000;
+  Alcotest.(check bool) "size <= T" true (Sampler.size s <= 64);
+  Alcotest.(check bool) "level rose" true (Sampler.level s > 0)
+
+let test_retention_is_level_rule () =
+  let fam = mk_family ~threshold:32 () in
+  let s = Sampler.create fam in
+  feed s 0 5_000;
+  let l = Sampler.level s in
+  (* Every item of the stream with hash level >= l must be retained, and
+     nothing else. *)
+  for v = 0 to 4_999 do
+    let expected = Sampler.item_level s v >= l in
+    Alcotest.(check bool)
+      (Printf.sprintf "membership of %d" v)
+      expected (Sampler.mem s v)
+  done
+
+let test_estimate_accuracy () =
+  let fam = mk_family ~threshold:1024 () in
+  let s = Sampler.create fam in
+  let n = 100_000 in
+  feed s 0 n;
+  let est = Sampler.estimate_distinct s in
+  let rel = Float.abs (est -. Float.of_int n) /. Float.of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f rel %.3f" est rel)
+    true (rel < 0.15)
+
+let test_set_level_prunes () =
+  let fam = mk_family ~threshold:1000 () in
+  let s = Sampler.create fam in
+  feed s 0 500;
+  Sampler.set_level s 2;
+  Alcotest.(check int) "level set" 2 (Sampler.level s);
+  Alcotest.(check bool) "about a quarter retained" true
+    (Sampler.size s < 250);
+  (* set_level never lowers. *)
+  Sampler.set_level s 1;
+  Alcotest.(check int) "no lowering" 2 (Sampler.level s)
+
+let test_counts_survive_level_changes () =
+  let fam = mk_family ~threshold:16 () in
+  let s = Sampler.create fam in
+  (* Feed each item 5 times; counts of survivors must be exactly 5. *)
+  for _ = 1 to 5 do
+    feed s 0 2_000
+  done;
+  List.iter
+    (fun (v, c) ->
+      Alcotest.(check int) (Printf.sprintf "count of survivor %d" v) 5 c)
+    (Sampler.contents s)
+
+let test_merge_equals_centralized () =
+  let fam = mk_family ~threshold:32 () in
+  let a = Sampler.create fam and b = Sampler.create fam in
+  let central = Sampler.create fam in
+  feed a 0 3_000;
+  feed b 1_500 4_500;
+  feed central 0 4_500;
+  feed central 1_500 3_000;
+  (* central saw [0,4500) plus repeats of [1500,3000): same multiset as
+     a + b. *)
+  Sampler.merge_into ~dst:a b;
+  Alcotest.(check int) "same level" (Sampler.level central) (Sampler.level a);
+  Alcotest.(check int) "same size" (Sampler.size central) (Sampler.size a);
+  List.iter
+    (fun (v, c) ->
+      Alcotest.(check int) (Printf.sprintf "count of %d" v) c
+        (Sampler.count a v))
+    (Sampler.contents central)
+
+let test_copy_independent () =
+  let fam = mk_family ~threshold:100 () in
+  let a = Sampler.create fam in
+  feed a 0 10;
+  let b = Sampler.copy a in
+  feed b 10 20;
+  Alcotest.(check bool) "sizes differ" true (Sampler.size a < Sampler.size b)
+
+let test_family_for_error () =
+  let fam =
+    Sampler.family_for_error ~rng:(Rng.create 72) ~accuracy:0.1
+      ~confidence:0.9
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "T=%d >= 1/eps^2" (Sampler.threshold fam))
+    true
+    (Sampler.threshold fam >= 100)
+
+let test_size_bytes () =
+  let fam = mk_family ~threshold:100 () in
+  let s = Sampler.create fam in
+  feed s 0 10;
+  Alcotest.(check int) "16 bytes per pair" 160 (Sampler.size_bytes s)
+
+let test_uniformity_of_sample () =
+  (* Sampled items should not be biased by multiplicity: feed item 0 a
+     million times and items 1..4095 once; Pr[0 retained] must equal the
+     level rule, not be inflated. *)
+  let fam = mk_family ~seed:73 ~threshold:64 () in
+  let s = Sampler.create fam in
+  Sampler.add_count s 0 1_000_000;
+  feed s 1 4_096;
+  let l = Sampler.level s in
+  Alcotest.(check bool) "heavy item retained iff its level permits"
+    (Sampler.item_level s 0 >= l)
+    (Sampler.mem s 0)
+
+(* --- Deletions (Section 8 extension) --- *)
+
+let test_delete_decrements_and_removes () =
+  let fam = mk_family ~threshold:100 () in
+  let s = Sampler.create fam in
+  Sampler.add_count s 5 3;
+  Sampler.delete s 5;
+  Alcotest.(check int) "decremented" 2 (Sampler.count s 5);
+  Sampler.delete_count s 5 2;
+  Alcotest.(check bool) "removed at zero" false (Sampler.mem s 5);
+  Alcotest.(check int) "size drops" 0 (Sampler.size s)
+
+let test_delete_validates () =
+  let fam = mk_family ~threshold:100 () in
+  let s = Sampler.create fam in
+  Sampler.add s 5;
+  Alcotest.check_raises "over-deletion"
+    (Invalid_argument "Distinct_sampler.delete_count: deletions exceed insertions")
+    (fun () -> Sampler.delete_count s 5 2);
+  (* Find an item retained-eligible but never inserted. *)
+  let absent =
+    let rec go v = if Sampler.item_level s v >= Sampler.level s && v <> 5 then v else go (v + 1) in
+    go 0
+  in
+  Alcotest.check_raises "absent deletion"
+    (Invalid_argument "Distinct_sampler.delete_count: deleting an absent item")
+    (fun () -> Sampler.delete s absent)
+
+let test_delete_below_level_is_noop () =
+  let fam = mk_family ~threshold:100 () in
+  let s = Sampler.create fam in
+  Sampler.set_level s 10;
+  (* An item with level < 10 was never tracked; deleting it is silent. *)
+  let low =
+    let rec go v = if Sampler.item_level s v < 10 then v else go (v + 1) in
+    go 0
+  in
+  Sampler.delete s low;
+  Alcotest.(check int) "still empty" 0 (Sampler.size s)
+
+let test_delete_keeps_sample_law () =
+  (* After deleting a subset, the retained set must still be exactly the
+     current distinct items at level >= l. *)
+  let fam = mk_family ~threshold:64 () in
+  let s = Sampler.create fam in
+  for v = 0 to 4_999 do
+    Sampler.add s v
+  done;
+  (* Remove the even items that are retained. *)
+  for v = 0 to 2_499 do
+    if Sampler.mem s (2 * v) then Sampler.delete s (2 * v)
+  done;
+  let l = Sampler.level s in
+  for v = 0 to 4_999 do
+    let expected = v mod 2 = 1 && Sampler.item_level s v >= l in
+    Alcotest.(check bool)
+      (Printf.sprintf "membership of %d after deletes" v)
+      expected (Sampler.mem s v)
+  done
+
+(* --- QCheck properties --- *)
+
+let multiset_gen =
+  QCheck.(list_of_size (Gen.int_range 0 400) (int_range 0 500))
+
+let prop_merge_equals_single_stream =
+  QCheck.Test.make ~name:"merge = processing both streams centrally"
+    QCheck.(pair multiset_gen multiset_gen)
+    (fun (xs, ys) ->
+      let fam = mk_family ~seed:74 ~threshold:16 () in
+      let a = Sampler.create fam
+      and b = Sampler.create fam
+      and central = Sampler.create fam in
+      List.iter (Sampler.add a) xs;
+      List.iter (Sampler.add b) ys;
+      List.iter (Sampler.add central) (xs @ ys);
+      Sampler.merge_into ~dst:a b;
+      Sampler.level a = Sampler.level central
+      && Sampler.size a = Sampler.size central
+      && List.for_all
+           (fun (v, c) -> Sampler.count a v = c)
+           (Sampler.contents central))
+
+let prop_retained_counts_exact =
+  QCheck.Test.make ~name:"retained counts equal exact multiplicities"
+    multiset_gen
+    (fun xs ->
+      let fam = mk_family ~seed:75 ~threshold:32 () in
+      let s = Sampler.create fam in
+      List.iter (Sampler.add s) xs;
+      let exact = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          Hashtbl.replace exact v
+            (1 + Option.value (Hashtbl.find_opt exact v) ~default:0))
+        xs;
+      List.for_all
+        (fun (v, c) -> Hashtbl.find_opt exact v = Some c)
+        (Sampler.contents s))
+
+let prop_add_count_negative_rejected =
+  QCheck.Test.make ~name:"negative add_count rejected" QCheck.small_int
+    (fun v ->
+      let fam = mk_family ~threshold:8 () in
+      let s = Sampler.create fam in
+      try
+        Sampler.add_count s v (-1);
+        false
+      with Invalid_argument _ -> true)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_merge_equals_single_stream;
+        prop_retained_counts_exact;
+        prop_add_count_negative_rejected;
+      ]
+  in
+  Alcotest.run "distinct-sampler"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "below threshold" `Quick
+            test_below_threshold_keeps_everything;
+          Alcotest.test_case "exact counts" `Quick test_counts_are_exact;
+          Alcotest.test_case "threshold respected" `Quick test_threshold_respected;
+          Alcotest.test_case "retention rule" `Quick test_retention_is_level_rule;
+          Alcotest.test_case "estimate accuracy" `Quick test_estimate_accuracy;
+          Alcotest.test_case "set_level prunes" `Quick test_set_level_prunes;
+          Alcotest.test_case "counts across levels" `Quick
+            test_counts_survive_level_changes;
+          Alcotest.test_case "merge = centralized" `Quick
+            test_merge_equals_centralized;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "family_for_error" `Quick test_family_for_error;
+          Alcotest.test_case "size bytes" `Quick test_size_bytes;
+          Alcotest.test_case "multiplicity-unbiased" `Quick
+            test_uniformity_of_sample;
+        ] );
+      ( "deletions",
+        [
+          Alcotest.test_case "decrement and remove" `Quick
+            test_delete_decrements_and_removes;
+          Alcotest.test_case "validation" `Quick test_delete_validates;
+          Alcotest.test_case "below level noop" `Quick
+            test_delete_below_level_is_noop;
+          Alcotest.test_case "sample law preserved" `Quick
+            test_delete_keeps_sample_law;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,152 @@
+(* Roundtrip and validation tests for sketch serialization. *)
+
+module Rng = Wd_hashing.Rng
+module Fm = Wd_sketch.Fm
+module Bjkst = Wd_sketch.Bjkst
+module Hll = Wd_sketch.Hyperloglog
+module Sampler = Wd_sketch.Distinct_sampler
+
+let stream_gen = QCheck.(list_of_size (Gen.int_range 0 300) (int_range 0 5_000))
+
+(* --- FM --- *)
+
+let prop_fm_roundtrip =
+  QCheck.Test.make ~name:"fm roundtrip" stream_gen (fun xs ->
+      let fam = Fm.family_custom ~rng:(Rng.create 161) ~variant:Fm.Stochastic ~bitmaps:16 in
+      let sk = Fm.create fam in
+      List.iter (fun v -> ignore (Fm.add sk v : bool)) xs;
+      let back = Fm.of_bytes fam (Fm.to_bytes sk) in
+      Fm.equal sk back && Fm.estimate sk = Fm.estimate back)
+
+let test_fm_wire_length_matches_size_bytes () =
+  let fam = Fm.family_custom ~rng:(Rng.create 162) ~variant:Fm.Stochastic ~bitmaps:24 in
+  let sk = Fm.create fam in
+  ignore (Fm.add sk 1 : bool);
+  Alcotest.(check int) "serialized = size_bytes" (Fm.size_bytes sk)
+    (Bytes.length (Fm.to_bytes sk))
+
+let test_fm_rejects_bad_length () =
+  let fam = Fm.family_custom ~rng:(Rng.create 163) ~variant:Fm.Stochastic ~bitmaps:8 in
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Fm.of_bytes: buffer length does not match the family")
+    (fun () -> ignore (Fm.of_bytes fam (Bytes.create 7) : Fm.t))
+
+(* --- HLL --- *)
+
+let prop_hll_roundtrip =
+  QCheck.Test.make ~name:"hll roundtrip" stream_gen (fun xs ->
+      let fam = Hll.family_custom ~rng:(Rng.create 164) ~registers:32 in
+      let sk = Hll.create fam in
+      List.iter (fun v -> ignore (Hll.add sk v : bool)) xs;
+      let back = Hll.of_bytes fam (Hll.to_bytes sk) in
+      Hll.equal sk back)
+
+let test_hll_wire_length_matches_size_bytes () =
+  let fam = Hll.family_custom ~rng:(Rng.create 165) ~registers:64 in
+  let sk = Hll.create fam in
+  Alcotest.(check int) "serialized = size_bytes" (Hll.size_bytes sk)
+    (Bytes.length (Hll.to_bytes sk))
+
+let test_hll_rejects_corrupt_register () =
+  let fam = Hll.family_custom ~rng:(Rng.create 166) ~registers:16 in
+  let buf = Bytes.make 16 '\255' in
+  Alcotest.check_raises "register range"
+    (Invalid_argument "Hyperloglog.of_bytes: register value out of range")
+    (fun () -> ignore (Hll.of_bytes fam buf : Hll.t))
+
+(* --- BJKST --- *)
+
+let prop_bjkst_roundtrip =
+  QCheck.Test.make ~name:"bjkst roundtrip" stream_gen (fun xs ->
+      let fam = Bjkst.family_custom ~rng:(Rng.create 167) ~k:32 in
+      let sk = Bjkst.create fam in
+      List.iter (fun v -> ignore (Bjkst.add sk v : bool)) xs;
+      let back = Bjkst.of_bytes fam (Bjkst.to_bytes sk) in
+      Bjkst.equal sk back && Bjkst.estimate sk = Bjkst.estimate back)
+
+let test_bjkst_rejects_overfull () =
+  let fam = Bjkst.family_custom ~rng:(Rng.create 168) ~k:2 in
+  let buf = Bytes.create (4 + 24) in
+  Bytes.set_int32_le buf 0 3l;
+  Alcotest.check_raises "count range"
+    (Invalid_argument "Bjkst.of_bytes: value count out of range") (fun () ->
+      ignore (Bjkst.of_bytes fam buf : Bjkst.t))
+
+(* --- Distinct sampler --- *)
+
+let prop_sampler_roundtrip =
+  QCheck.Test.make ~name:"sampler roundtrip" stream_gen (fun xs ->
+      let fam = Sampler.family ~rng:(Rng.create 169) ~threshold:16 in
+      let s = Sampler.create fam in
+      List.iter (Sampler.add s) xs;
+      let back = Sampler.of_bytes fam (Sampler.to_bytes s) in
+      Sampler.level back = Sampler.level s
+      && Sampler.size back = Sampler.size s
+      && List.for_all
+           (fun (v, c) -> Sampler.count back v = c)
+           (Sampler.contents s))
+
+let test_sampler_rejects_level_violation () =
+  let fam = Sampler.family ~rng:(Rng.create 170) ~threshold:16 in
+  let probe = Sampler.create fam in
+  (* Find an item with level 0 and claim it is retained at level 60. *)
+  let low =
+    let rec go v = if Sampler.item_level probe v = 0 then v else go (v + 1) in
+    go 0
+  in
+  let buf = Bytes.create 21 in
+  Bytes.set_uint8 buf 0 60;
+  Bytes.set_int32_le buf 1 1l;
+  Bytes.set_int64_le buf 5 (Int64.of_int low);
+  Bytes.set_int64_le buf 13 1L;
+  Alcotest.check_raises "level rule"
+    (Invalid_argument "Distinct_sampler.of_bytes: pair violates the level rule")
+    (fun () -> ignore (Sampler.of_bytes fam buf : Sampler.t))
+
+let test_sampler_serialized_continues_correctly () =
+  (* A deserialized sampler must keep working: inserts, merges, level. *)
+  let fam = Sampler.family ~rng:(Rng.create 171) ~threshold:32 in
+  let a = Sampler.create fam in
+  for v = 0 to 999 do
+    Sampler.add a v
+  done;
+  let b = Sampler.of_bytes fam (Sampler.to_bytes a) in
+  for v = 1_000 to 1_999 do
+    Sampler.add a v;
+    Sampler.add b v
+  done;
+  Alcotest.(check int) "same level" (Sampler.level a) (Sampler.level b);
+  Alcotest.(check int) "same size" (Sampler.size a) (Sampler.size b);
+  List.iter
+    (fun (v, c) -> Alcotest.(check int) "same counts" c (Sampler.count b v))
+    (Sampler.contents a)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_fm_roundtrip;
+        prop_hll_roundtrip;
+        prop_bjkst_roundtrip;
+        prop_sampler_roundtrip;
+      ]
+  in
+  Alcotest.run "serialization"
+    [
+      ( "wire format",
+        [
+          Alcotest.test_case "fm length" `Quick
+            test_fm_wire_length_matches_size_bytes;
+          Alcotest.test_case "fm bad length" `Quick test_fm_rejects_bad_length;
+          Alcotest.test_case "hll length" `Quick
+            test_hll_wire_length_matches_size_bytes;
+          Alcotest.test_case "hll corrupt" `Quick
+            test_hll_rejects_corrupt_register;
+          Alcotest.test_case "bjkst overfull" `Quick test_bjkst_rejects_overfull;
+          Alcotest.test_case "sampler level rule" `Quick
+            test_sampler_rejects_level_violation;
+          Alcotest.test_case "sampler continues" `Quick
+            test_sampler_serialized_continues_correctly;
+        ] );
+      ("roundtrips", props);
+    ]

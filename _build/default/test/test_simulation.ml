@@ -1,0 +1,158 @@
+(* Tests for the simulation / measurement harness. *)
+
+module Sim = Whats_different.Simulation
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Stream = Wd_workload.Stream
+module Stream_gen = Wd_workload.Stream_gen
+module Http = Wd_workload.Http_trace
+
+let stream = Stream_gen.zipf ~sites:4 ~events:20_000 ~universe:5_000 ()
+
+let test_run_dc_report_consistency () =
+  let r =
+    Sim.run_dc ~algorithm:Dc.LS ~theta:0.05 ~alpha:0.05 ~checkpoints:10 stream
+  in
+  Alcotest.(check int) "updates" (Stream.length stream) r.Sim.dc_updates;
+  Alcotest.(check int) "total = up + down"
+    (r.Sim.dc_bytes_up + r.Sim.dc_bytes_down)
+    r.Sim.dc_total_bytes;
+  Alcotest.(check int) "truth" (Stream.distinct_count stream)
+    r.Sim.dc_final_truth;
+  Alcotest.(check int) "checkpoint count" 10
+    (Array.length r.Sim.dc_bytes_series);
+  (* Series is cumulative, hence nondecreasing, ending at the total. *)
+  let last = ref 0 in
+  Array.iter
+    (fun (_, b) ->
+      Alcotest.(check bool) "nondecreasing" true (b >= !last);
+      last := b)
+    r.Sim.dc_bytes_series;
+  Alcotest.(check int) "series ends at total" r.Sim.dc_total_bytes !last;
+  let final_err =
+    Float.abs (r.Sim.dc_final_estimate -. Float.of_int r.Sim.dc_final_truth)
+    /. Float.of_int r.Sim.dc_final_truth
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "final error %.3f within budget" final_err)
+    true (final_err < 0.25)
+
+let test_run_dc_deterministic () =
+  let r1 = Sim.run_dc ~seed:5 ~algorithm:Dc.NS ~theta:0.05 ~alpha:0.05 stream in
+  let r2 = Sim.run_dc ~seed:5 ~algorithm:Dc.NS ~theta:0.05 ~alpha:0.05 stream in
+  Alcotest.(check int) "same bytes" r1.Sim.dc_total_bytes r2.Sim.dc_total_bytes;
+  Alcotest.(check (float 0.0)) "same estimate" r1.Sim.dc_final_estimate
+    r2.Sim.dc_final_estimate
+
+let test_exact_dc_bytes_matches_ec_run () =
+  let r = Sim.run_dc ~algorithm:Dc.EC ~theta:0.1 ~alpha:0.1 stream in
+  Alcotest.(check int) "closed form = EC run" (Sim.exact_dc_bytes stream)
+    r.Sim.dc_total_bytes
+
+let test_run_ds_report_consistency () =
+  let r = Sim.run_ds ~algorithm:Ds.LCO ~theta:0.3 ~threshold:64 stream in
+  Alcotest.(check int) "updates" (Stream.length stream) r.Sim.ds_updates;
+  Alcotest.(check bool) "sample bounded" true
+    (List.length r.Sim.ds_final_sample <= 64);
+  Alcotest.(check bool)
+    (Printf.sprintf "count error %.3f <= theta" r.Sim.ds_max_count_error)
+    true
+    (r.Sim.ds_max_count_error <= 0.3 +. 1e-9);
+  let d = r.Sim.ds_distinct_estimate in
+  let n0 = Float.of_int (Stream.distinct_count stream) in
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct estimate %.0f ~ %.0f" d n0)
+    true
+    (Float.abs (d -. n0) /. n0 < 0.5)
+
+let test_exact_ds_bytes_matches_eds_run () =
+  let r = Sim.run_ds ~algorithm:Ds.EDS ~theta:0.3 ~threshold:64 stream in
+  Alcotest.(check int) "closed form = EDS run" (Sim.exact_ds_bytes stream)
+    r.Sim.ds_total_bytes
+
+let test_true_distinct_prefixes () =
+  let prefixes = Sim.true_distinct_prefixes stream ~samples:5 in
+  Alcotest.(check int) "5 samples" 5 (Array.length prefixes);
+  let _, final = prefixes.(4) in
+  Alcotest.(check int) "final is global truth"
+    (Stream.distinct_count stream)
+    final;
+  (* Monotone. *)
+  let last = ref 0 in
+  Array.iter
+    (fun (_, d) ->
+      Alcotest.(check bool) "monotone" true (d >= !last);
+      last := d)
+    prefixes
+
+let test_pair_stream_of_requests () =
+  let cfg = { Http.default with requests = 5_000 } in
+  let reqs = Http.generate cfg in
+  let p = Sim.pair_stream_of_requests cfg Http.Per_region reqs in
+  Alcotest.(check int) "length" (Array.length reqs) (Sim.pair_stream_length p);
+  Alcotest.(check bool) "regions" true (Sim.pair_stream_sites p <= 4)
+
+let test_run_hh_report () =
+  let cfg = { Http.default with requests = 5_000 } in
+  let reqs = Http.generate cfg in
+  let p = Sim.pair_stream_of_requests cfg Http.Per_region reqs in
+  let r =
+    Sim.run_hh ~algorithm:Dc.LS ~theta:0.2
+      ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 128; bitmaps = 10 }
+      p
+  in
+  Alcotest.(check int) "updates" (Sim.pair_stream_length p) r.Sim.hh_updates;
+  Alcotest.(check bool) "recall in [0,1]" true
+    (r.Sim.hh_topk_recall >= 0.0 && r.Sim.hh_topk_recall <= 1.0);
+  Alcotest.(check bool) "paid communication" true (r.Sim.hh_total_bytes > 0);
+  Alcotest.(check bool) "exact baseline positive" true (r.Sim.hh_exact_bytes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "norm error %.4f small" r.Sim.hh_avg_norm_error)
+    true
+    (r.Sim.hh_avg_norm_error < 0.05)
+
+let test_sketch_ablation_runs () =
+  (* The generic runner must work over BJKST and HLL too. *)
+  let module B = Sim.Make_dc (Wd_sketch.Bjkst) in
+  let module H = Sim.Make_dc (Wd_sketch.Hyperloglog) in
+  let rb = B.run ~algorithm:Dc.LS ~theta:0.05 ~alpha:0.05 stream in
+  let rh = H.run ~algorithm:Dc.LS ~theta:0.05 ~alpha:0.05 stream in
+  List.iter
+    (fun r ->
+      let err =
+        Float.abs (r.Sim.dc_final_estimate -. Float.of_int r.Sim.dc_final_truth)
+        /. Float.of_int r.Sim.dc_final_truth
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "final error %.3f acceptable" err)
+        true (err < 0.25))
+    [ rb; rh ]
+
+let () =
+  Alcotest.run "simulation"
+    [
+      ( "dc",
+        [
+          Alcotest.test_case "report consistency" `Quick
+            test_run_dc_report_consistency;
+          Alcotest.test_case "deterministic" `Quick test_run_dc_deterministic;
+          Alcotest.test_case "exact bytes closed form" `Quick
+            test_exact_dc_bytes_matches_ec_run;
+        ] );
+      ( "ds",
+        [
+          Alcotest.test_case "report consistency" `Quick
+            test_run_ds_report_consistency;
+          Alcotest.test_case "exact bytes closed form" `Quick
+            test_exact_ds_bytes_matches_eds_run;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "true prefixes" `Quick test_true_distinct_prefixes;
+          Alcotest.test_case "pair stream" `Quick test_pair_stream_of_requests;
+        ] );
+      ( "hh",
+        [ Alcotest.test_case "report" `Quick test_run_hh_report ] );
+      ( "ablation",
+        [ Alcotest.test_case "other sketches" `Quick test_sketch_ablation_runs ] );
+    ]

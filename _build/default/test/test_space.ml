@@ -1,0 +1,92 @@
+(* Tests for the space accounting of the trackers (Section 4.2 / 5
+   space-cost claims). *)
+
+module Rng = Wd_hashing.Rng
+module Fm = Wd_sketch.Fm
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Stream = Wd_workload.Stream
+module Stream_gen = Wd_workload.Stream_gen
+
+let stream = Stream_gen.zipf ~sites:4 ~events:40_000 ~universe:20_000 ()
+
+let test_dc_site_space_bounded () =
+  (* An approximate site holds its sketch plus at most pending_cap items:
+     far below the exact algorithm's seen-set. *)
+  let bitmaps = 64 in
+  let family =
+    Fm.family_custom ~rng:(Rng.create 151) ~variant:Fm.Stochastic ~bitmaps
+  in
+  let approx = Dc.Fm.create ~algorithm:Dc.NS ~theta:0.1 ~sites:4 ~family () in
+  let exact = Dc.Fm.create ~algorithm:Dc.EC ~theta:0.1 ~sites:4 ~family () in
+  Stream.iter
+    (fun ~site ~item ->
+      Dc.Fm.observe approx ~site item;
+      Dc.Fm.observe exact ~site item)
+    stream;
+  let sketch_bytes = 8 * bitmaps in
+  for i = 0 to 3 do
+    let a = Dc.Fm.site_space_bytes approx i in
+    let e = Dc.Fm.site_space_bytes exact i in
+    (* Sketch + pending items, where pending is capped at one sketch's
+       worth of items. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "site %d: approx %d <= 2x sketch" i a)
+      true
+      (a <= 2 * sketch_bytes);
+    Alcotest.(check bool)
+      (Printf.sprintf "site %d: approx %d << exact %d" i a e)
+      true (a < e / 4)
+  done
+
+let test_dc_coordinator_space () =
+  let family =
+    Fm.family_custom ~rng:(Rng.create 152) ~variant:Fm.Stochastic ~bitmaps:32
+  in
+  let t = Dc.Fm.create ~algorithm:Dc.LS ~theta:0.1 ~sites:4 ~family () in
+  Stream.iter (fun ~site ~item -> Dc.Fm.observe t ~site item) stream;
+  (* Merged sketch + 4 per-site knowledge models = 5 sketches. *)
+  Alcotest.(check int) "LS coordinator = 5 sketches" (5 * 8 * 32)
+    (Dc.Fm.coordinator_space_bytes t);
+  let no_delta =
+    Dc.Fm.create ~algorithm:Dc.LS ~delta_replies:false ~theta:0.1 ~sites:4
+      ~family ()
+  in
+  Stream.iter (fun ~site ~item -> Dc.Fm.observe no_delta ~site item) stream;
+  Alcotest.(check int) "plain LS coordinator = 1 sketch" (8 * 32)
+    (Dc.Fm.coordinator_space_bytes no_delta)
+
+let test_ds_site_space_is_o_t () =
+  let threshold = 64 in
+  let family = Wd_sketch.Distinct_sampler.family ~rng:(Rng.create 153) ~threshold in
+  List.iter
+    (fun algorithm ->
+      let t = Ds.create ~algorithm ~theta:0.3 ~sites:4 ~family () in
+      Stream.iter (fun ~site ~item -> Ds.observe t ~site item) stream;
+      (* Each site tracks at most the retained-level items it saw: three
+         tables of at most T entries each. *)
+      for i = 0 to 3 do
+        let b = Ds.site_space_bytes t i in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s site %d: %d <= 3 tables of T pairs"
+             (Ds.algorithm_to_string algorithm) i b)
+          true
+          (b <= 3 * threshold * 16)
+      done;
+      Alcotest.(check bool) "coordinator O(T)" true
+        (Ds.coordinator_space_bytes t <= threshold * 16))
+    Ds.approximate_algorithms
+
+let () =
+  Alcotest.run "space"
+    [
+      ( "distinct count",
+        [
+          Alcotest.test_case "site space bounded" `Quick
+            test_dc_site_space_bounded;
+          Alcotest.test_case "coordinator space" `Quick
+            test_dc_coordinator_space;
+        ] );
+      ( "distinct sample",
+        [ Alcotest.test_case "site space O(T)" `Quick test_ds_site_space_is_o_t ] );
+    ]

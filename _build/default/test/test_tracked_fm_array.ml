@@ -1,0 +1,111 @@
+(* Direct tests for the per-cell tracked FM array (the machinery behind
+   distributed distinct heavy hitters and quantiles). *)
+
+module Rng = Wd_hashing.Rng
+module Fm_array = Wd_aggregate.Fm_array
+module Tracked = Wd_aggregate.Tracked_fm_array
+module Dc = Wd_protocol.Dc_tracker
+module Network = Wd_net.Network
+
+let cfg = { Fm_array.rows = 3; cols = 64; bitmaps = 12 }
+
+let mk_family ?(seed = 211) () = Fm_array.family ~rng:(Rng.create seed) cfg
+
+let test_tracked_converges_to_centralized algo () =
+  (* After a full pass, the coordinator's per-key estimates should be
+     close to the centralized array's on the same inputs. *)
+  let fam = mk_family () in
+  let central = Fm_array.create fam in
+  let tracked =
+    Tracked.create ~algorithm:algo ~theta:0.2 ~sites:3 ~family:fam ()
+  in
+  let rng = Rng.create 212 in
+  for j = 0 to 19_999 do
+    let key = Rng.int rng 40 in
+    let element = Rng.int rng 2_000 in
+    ignore (Fm_array.add central ~key ~element : bool);
+    Tracked.observe tracked ~site:(j mod 3) ~key ~element
+  done;
+  for key = 0 to 39 do
+    let c = Fm_array.estimate central ~key in
+    let t = Tracked.estimate tracked ~key in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s key %d: tracked %.0f vs central %.0f"
+         (Dc.algorithm_to_string algo) key t c)
+      true
+      (Float.abs (t -. c) <= 0.5 *. Float.max c 20.0)
+  done
+
+let test_shared_ledger () =
+  let fam = mk_family () in
+  let net = Network.create ~sites:2 () in
+  let a =
+    Tracked.create ~network:net ~algorithm:Dc.NS ~theta:0.2 ~sites:2
+      ~family:fam ()
+  in
+  let b =
+    Tracked.create ~network:net ~algorithm:Dc.NS ~theta:0.2 ~sites:2
+      ~family:fam ()
+  in
+  Tracked.observe a ~site:0 ~key:1 ~element:1;
+  Tracked.observe b ~site:1 ~key:2 ~element:2;
+  Alcotest.(check bool) "both charged the shared ledger" true
+    (Network.total_bytes net > 0);
+  Alcotest.(check int) "same ledger visible from both" (Network.total_bytes net)
+    (Network.total_bytes (Tracked.network a));
+  Alcotest.(check int) "same ledger visible from both (b)"
+    (Network.total_bytes net)
+    (Network.total_bytes (Tracked.network b))
+
+let test_duplicates_trigger_nothing_after_saturation () =
+  let fam = mk_family () in
+  let tracked =
+    Tracked.create ~algorithm:Dc.NS ~theta:0.2 ~sites:2 ~family:fam ()
+  in
+  for e = 0 to 499 do
+    Tracked.observe tracked ~site:(e mod 2) ~key:7 ~element:e
+  done;
+  let sends = Tracked.sends tracked in
+  (* Replaying identical pairs cannot change any cell, hence no sends. *)
+  for e = 0 to 499 do
+    Tracked.observe tracked ~site:(e mod 2) ~key:7 ~element:e
+  done;
+  Alcotest.(check int) "no sends from pure duplicates" sends
+    (Tracked.sends tracked)
+
+let test_cold_keys_stay_cheap () =
+  let fam = mk_family () in
+  let tracked =
+    Tracked.create ~algorithm:Dc.NS ~theta:0.2 ~sites:2 ~family:fam ()
+  in
+  for e = 0 to 999 do
+    Tracked.observe tracked ~site:(e mod 2) ~key:(e mod 8) ~element:e
+  done;
+  (* A key far outside the observed universe should estimate near the
+     collision noise floor, well under the hot keys. *)
+  let hot = Tracked.estimate tracked ~key:3 in
+  let cold = Tracked.estimate tracked ~key:987_654 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cold %.1f < hot %.1f" cold hot)
+    true (cold < hot)
+
+let () =
+  let per_algo name f =
+    List.map
+      (fun a ->
+        Alcotest.test_case
+          (Printf.sprintf "%s (%s)" name (Dc.algorithm_to_string a))
+          `Quick (f a))
+      [ Dc.NS; Dc.SC; Dc.LS ]
+  in
+  Alcotest.run "tracked-fm-array"
+    [
+      ("convergence", per_algo "matches centralized" test_tracked_converges_to_centralized);
+      ( "mechanics",
+        [
+          Alcotest.test_case "shared ledger" `Quick test_shared_ledger;
+          Alcotest.test_case "duplicate saturation" `Quick
+            test_duplicates_trigger_nothing_after_saturation;
+          Alcotest.test_case "cold keys" `Quick test_cold_keys_stay_cheap;
+        ] );
+    ]

@@ -1,0 +1,256 @@
+(* Tests for the sliding-window FM sketch and the windowed distributed
+   tracker (Section 8 extension). *)
+
+module Rng = Wd_hashing.Rng
+module Wfm = Wd_sketch.Fm_window
+module W = Wd_protocol.Window_tracker
+module Network = Wd_net.Network
+
+let mk_family ?(seed = 131) ?(bitmaps = 256) () =
+  Wfm.family_custom ~rng:(Rng.create seed) ~bitmaps
+
+(* --- Fm_window sketch --- *)
+
+let test_empty_estimates_zero_items () =
+  let sk = Wfm.create (mk_family ()) in
+  Alcotest.(check bool) "empty is tiny" true
+    (Wfm.estimate sk ~now:100 ~window:50 < 2.0);
+  Alcotest.(check int) "empty has no wire size" 0 (Wfm.size_bytes sk)
+
+let test_window_zero_is_zero () =
+  let sk = Wfm.create (mk_family ()) in
+  ignore (Wfm.add sk ~time:5 42 : bool);
+  Alcotest.(check (float 0.0)) "window 0" 0.0 (Wfm.estimate sk ~now:5 ~window:0)
+
+let test_full_window_tracks_distinct () =
+  let sk = Wfm.create (mk_family ()) in
+  let n = 50_000 in
+  for v = 0 to n - 1 do
+    ignore (Wfm.add sk ~time:v v : bool)
+  done;
+  let est = Wfm.estimate sk ~now:(n - 1) ~window:n in
+  let rel = Float.abs (est -. Float.of_int n) /. Float.of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "full-window estimate %.0f rel %.3f" est rel)
+    true (rel < 0.2);
+  Alcotest.(check (float 1.0)) "estimate_all agrees" est (Wfm.estimate_all sk)
+
+let test_expiry () =
+  (* 10k distinct in [0, 10k), then 10k quiet ticks: a window covering
+     only the quiet period must estimate ~0; a window covering
+     everything still sees 10k. *)
+  let sk = Wfm.create (mk_family ()) in
+  for v = 0 to 9_999 do
+    ignore (Wfm.add sk ~time:v v : bool)
+  done;
+  let now = 20_000 in
+  Alcotest.(check bool) "expired window near zero" true
+    (Wfm.estimate sk ~now ~window:5_000 < 50.0);
+  let full = Wfm.estimate sk ~now ~window:30_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "full window keeps %.0f" full)
+    true
+    (Float.abs (full -. 10_000.0) /. 10_000.0 < 0.2)
+
+let test_refresh_keeps_alive () =
+  (* Items re-arriving keep their bits fresh: a re-observed set stays in
+     the window even after its original timestamps expired. *)
+  let sk = Wfm.create (mk_family ~bitmaps:64 ()) in
+  for v = 0 to 999 do
+    ignore (Wfm.add sk ~time:0 v : bool)
+  done;
+  for v = 0 to 999 do
+    ignore (Wfm.add sk ~time:10_000 v : bool)
+  done;
+  let est = Wfm.estimate sk ~now:10_500 ~window:2_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "refreshed set visible: %.0f" est)
+    true
+    (est > 500.0 && est < 2_000.0)
+
+let test_merge_is_pointwise_max () =
+  let fam = mk_family ~bitmaps:32 () in
+  let a = Wfm.create fam and b = Wfm.create fam and u = Wfm.create fam in
+  for v = 0 to 499 do
+    ignore (Wfm.add a ~time:v v : bool);
+    ignore (Wfm.add u ~time:v v : bool)
+  done;
+  for v = 250 to 749 do
+    ignore (Wfm.add b ~time:(1_000 + v) v : bool);
+    ignore (Wfm.add u ~time:(1_000 + v) v : bool)
+  done;
+  Wfm.merge_into ~dst:a b;
+  Alcotest.(check bool) "merge equals union processing" true (Wfm.equal a u)
+
+let test_delta_bytes () =
+  let fam = mk_family ~bitmaps:32 () in
+  let a = Wfm.create fam and b = Wfm.create fam in
+  ignore (Wfm.add a ~time:1 7 : bool);
+  ignore (Wfm.add b ~time:1 7 : bool);
+  Alcotest.(check int) "identical -> empty delta" 0 (Wfm.delta_bytes ~from:a b);
+  ignore (Wfm.add b ~time:9 7 : bool);
+  Alcotest.(check int) "refreshed timestamp -> one cell" 8
+    (Wfm.delta_bytes ~from:a b);
+  Alcotest.(check int) "other direction empty" 0 (Wfm.delta_bytes ~from:b a)
+
+let test_add_validates_time () =
+  let sk = Wfm.create (mk_family ()) in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Fm_window.add: time must be >= 0") (fun () ->
+      ignore (Wfm.add sk ~time:(-1) 3 : bool))
+
+(* --- Window tracker --- *)
+
+let drifting_stream ~events ~sites ~per_phase ~phases seed =
+  let rng = Rng.create seed in
+  let phase_len = events / phases in
+  Array.init events (fun j ->
+      ( Rng.int rng sites,
+        ((j / phase_len) * per_phase) + Rng.int rng per_phase ))
+
+let exact_window items ~now ~window =
+  let seen = Hashtbl.create 256 in
+  for j = max 0 (now - window + 1) to now do
+    Hashtbl.replace seen (snd items.(j)) ()
+  done;
+  Hashtbl.length seen
+
+let test_tracker_tracks_rise_and_fall algo () =
+  let events = 30_000 and sites = 3 and window = 6_000 in
+  let items = drifting_stream ~events ~sites ~per_phase:1_500 ~phases:6 132 in
+  let family = mk_family ~seed:133 ~bitmaps:256 () in
+  let tr = W.create ~algorithm:algo ~theta:0.1 ~window ~sites ~family () in
+  let errs = ref [] in
+  Array.iteri
+    (fun j (site, v) ->
+      W.observe tr ~site ~time:j v;
+      if j mod 2_000 = 1_999 then begin
+        let truth = exact_window items ~now:j ~window in
+        let est = W.estimate tr ~now:j in
+        errs := (Float.abs (est -. Float.of_int truth) /. Float.of_int truth) :: !errs
+      end)
+    items;
+  let mean =
+    List.fold_left ( +. ) 0.0 !errs /. Float.of_int (List.length !errs)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s mean windowed error %.3f < 0.25"
+       (W.algorithm_to_string algo) mean)
+    true (mean < 0.25)
+
+let test_tick_reports_decay () =
+  (* After traffic stops, ticks alone must bring the coordinator's
+     estimate down as the window empties. *)
+  let sites = 2 and window = 1_000 in
+  let family = mk_family ~seed:134 ~bitmaps:128 () in
+  let tr = W.create ~algorithm:W.LS ~theta:0.1 ~window ~sites ~family () in
+  for v = 0 to 4_999 do
+    W.observe tr ~site:(v mod 2) ~time:v v
+  done;
+  let busy = W.estimate tr ~now:4_999 in
+  for tick = 1 to 20 do
+    W.tick tr ~time:(4_999 + (tick * 100))
+  done;
+  let quiet = W.estimate tr ~now:6_999 in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate decayed: %.0f -> %.0f" busy quiet)
+    true
+    (quiet < 0.2 *. busy)
+
+let test_tracker_cheaper_than_forwarding_on_duplicates () =
+  (* Heavy duplication within the window: tracking must beat raw
+     forwarding. *)
+  let sites = 4 and window = 40_000 in
+  let events = 40_000 in
+  let rng = Rng.create 135 in
+  let family = mk_family ~seed:136 ~bitmaps:64 () in
+  let tr = W.create ~algorithm:W.NS ~theta:0.2 ~window ~sites ~family () in
+  for j = 0 to events - 1 do
+    W.observe tr ~site:(Rng.int rng sites) ~time:j (Rng.int rng 500)
+  done;
+  let got = Network.total_bytes (W.network tr) in
+  let exact = W.exact_bytes ~updates:events in
+  Alcotest.(check bool)
+    (Printf.sprintf "tracked %d < forward-all %d" got exact)
+    true (got < exact)
+
+let test_tracker_validation () =
+  let family = mk_family () in
+  Alcotest.check_raises "window >= 1"
+    (Invalid_argument "Window_tracker.create: window must be >= 1") (fun () ->
+      ignore
+        (W.create ~algorithm:W.NS ~theta:0.1 ~window:0 ~sites:2 ~family ()
+          : W.t));
+  let tr = W.create ~algorithm:W.NS ~theta:0.1 ~window:10 ~sites:2 ~family () in
+  W.observe tr ~site:0 ~time:5 1;
+  Alcotest.check_raises "time monotone"
+    (Invalid_argument "Window_tracker.observe: time must be nondecreasing")
+    (fun () -> W.observe tr ~site:0 ~time:4 2)
+
+(* --- QCheck --- *)
+
+let prop_merge_equals_direct =
+  QCheck.Test.make ~name:"windowed merge = direct insertion" ~count:50
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 100) (pair (int_range 0 200) (int_range 0 100)))
+        (list_of_size (Gen.int_range 0 100) (pair (int_range 0 200) (int_range 0 100))))
+    (fun (xs, ys) ->
+      let fam = mk_family ~seed:137 ~bitmaps:8 () in
+      let a = Wfm.create fam and b = Wfm.create fam and d = Wfm.create fam in
+      List.iter (fun (t, v) -> ignore (Wfm.add a ~time:t v : bool)) xs;
+      List.iter (fun (t, v) -> ignore (Wfm.add b ~time:t v : bool)) ys;
+      List.iter (fun (t, v) -> ignore (Wfm.add d ~time:t v : bool)) (xs @ ys);
+      Wfm.merge_into ~dst:a b;
+      Wfm.equal a d)
+
+let prop_estimate_monotone_in_window =
+  QCheck.Test.make ~name:"estimate monotone in window size" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 200) (pair (int_range 0 500) (int_range 0 200)))
+    (fun events ->
+      let fam = mk_family ~seed:138 ~bitmaps:16 () in
+      let sk = Wfm.create fam in
+      List.iter (fun (t, v) -> ignore (Wfm.add sk ~time:t v : bool)) events;
+      let now = 500 in
+      let windows = [ 10; 50; 100; 250; 600 ] in
+      let estimates = List.map (fun w -> Wfm.estimate sk ~now ~window:w) windows in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+        | _ -> true
+      in
+      monotone estimates)
+
+let () =
+  let per_algo name f =
+    List.map
+      (fun a ->
+        Alcotest.test_case
+          (Printf.sprintf "%s (%s)" name (W.algorithm_to_string a))
+          `Quick (f a))
+      W.all_algorithms
+  in
+  Alcotest.run "window"
+    [
+      ( "sketch",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_estimates_zero_items;
+          Alcotest.test_case "window zero" `Quick test_window_zero_is_zero;
+          Alcotest.test_case "full window" `Quick test_full_window_tracks_distinct;
+          Alcotest.test_case "expiry" `Quick test_expiry;
+          Alcotest.test_case "refresh" `Quick test_refresh_keeps_alive;
+          Alcotest.test_case "merge max" `Quick test_merge_is_pointwise_max;
+          Alcotest.test_case "delta bytes" `Quick test_delta_bytes;
+          Alcotest.test_case "time validation" `Quick test_add_validates_time;
+        ] );
+      ( "tracker",
+        per_algo "rise and fall" test_tracker_tracks_rise_and_fall
+        @ [
+            Alcotest.test_case "tick decay" `Quick test_tick_reports_decay;
+            Alcotest.test_case "cheaper than forwarding" `Quick
+              test_tracker_cheaper_than_forwarding_on_duplicates;
+            Alcotest.test_case "validation" `Quick test_tracker_validation;
+          ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_merge_equals_direct; prop_estimate_monotone_in_window ] );
+    ]

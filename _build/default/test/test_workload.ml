@@ -1,0 +1,437 @@
+(* Tests for the workload generators and the stream container. *)
+
+module Rng = Wd_hashing.Rng
+module Stream = Wd_workload.Stream
+module Stream_gen = Wd_workload.Stream_gen
+module Zipf = Wd_workload.Zipf
+module Http = Wd_workload.Http_trace
+module Two_phase = Wd_workload.Two_phase
+
+(* --- Stream container --- *)
+
+let test_stream_make_validates () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stream.make: sites and items must have equal length")
+    (fun () ->
+      ignore (Stream.make ~sites:[| 0 |] ~items:[| 1; 2 |] : Stream.t))
+
+let test_stream_basics () =
+  let s = Stream.of_events [ (0, 10); (1, 20); (0, 10) ] in
+  Alcotest.(check int) "length" 3 (Stream.length s);
+  Alcotest.(check int) "site" 1 (Stream.site s 1);
+  Alcotest.(check int) "item" 10 (Stream.item s 2);
+  Alcotest.(check int) "num_sites" 2 (Stream.num_sites s);
+  Alcotest.(check int) "distinct" 2 (Stream.distinct_count s);
+  Alcotest.(check (float 0.001)) "dup factor" 1.5 (Stream.duplication_factor s)
+
+let test_stream_prefix_concat () =
+  let s = Stream.of_events [ (0, 1); (1, 2); (2, 3) ] in
+  let p = Stream.prefix s 2 in
+  Alcotest.(check int) "prefix length" 2 (Stream.length p);
+  let c = Stream.concat [ p; s ] in
+  Alcotest.(check int) "concat length" 5 (Stream.length c);
+  Alcotest.(check int) "concat order" 1 (Stream.item c 2)
+
+let test_round_robin () =
+  let a = Stream.of_events [ (9, 1); (9, 2) ] in
+  let b = Stream.of_events [ (9, 10); (9, 20); (9, 30) ] in
+  let rr = Stream.round_robin [| a; b |] in
+  Alcotest.(check int) "total" 5 (Stream.length rr);
+  (* Slots define sites; exhausted streams are skipped. *)
+  let events = List.init 5 (fun j -> (Stream.site rr j, Stream.item rr j)) in
+  Alcotest.(check (list (pair int int)))
+    "interleaving"
+    [ (0, 1); (1, 10); (0, 2); (1, 20); (1, 30) ]
+    events
+
+let test_shuffle_preserves_events () =
+  let s = Stream_gen.uniform ~sites:3 ~events:500 ~universe:100 () in
+  let sh = Stream.shuffle (Rng.create 5) s in
+  let multiset t =
+    let l = ref [] in
+    Stream.iter (fun ~site ~item -> l := (site, item) :: !l) t;
+    List.sort compare !l
+  in
+  Alcotest.(check (list (pair int int)))
+    "same multiset" (multiset s) (multiset sh)
+
+(* --- Zipf --- *)
+
+let test_zipf_probabilities_sum_to_one () =
+  let z = Zipf.create ~n:100 ~skew:1.0 in
+  let total = ref 0.0 in
+  for r = 0 to 99 do
+    total := !total +. Zipf.probability z r
+  done;
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 !total
+
+let test_zipf_rank_ordering () =
+  let z = Zipf.create ~n:50 ~skew:1.2 in
+  Alcotest.(check bool) "rank 0 most likely" true
+    (Zipf.probability z 0 > Zipf.probability z 1);
+  Alcotest.(check bool) "monotone" true
+    (Zipf.probability z 10 > Zipf.probability z 40)
+
+let test_zipf_sampling_matches_distribution () =
+  let z = Zipf.create ~n:10 ~skew:1.0 in
+  let g = Rng.create 6 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let r = Zipf.sample z g in
+    counts.(r) <- counts.(r) + 1
+  done;
+  for r = 0 to 9 do
+    let expected = Zipf.probability z r in
+    let got = Float.of_int counts.(r) /. Float.of_int n in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d freq %.4f vs %.4f" r got expected)
+      true
+      (Float.abs (got -. expected) < 0.01)
+  done
+
+let test_zipf_skew_zero_is_uniform () =
+  let z = Zipf.create ~n:4 ~skew:0.0 in
+  for r = 0 to 3 do
+    Alcotest.(check (float 1e-9)) "uniform" 0.25 (Zipf.probability z r)
+  done
+
+let test_zipf_expected_distinct () =
+  let z = Zipf.create ~n:1_000 ~skew:0.0 in
+  (* Uniform: E[distinct of d draws] = n (1 - (1 - 1/n)^d). *)
+  let e = Zipf.expected_distinct z 1_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "expected distinct %.0f ~ 632" e)
+    true
+    (e > 600.0 && e < 660.0)
+
+(* --- Two-phase --- *)
+
+let test_two_phase_structure () =
+  let k = 4 and n = 50 in
+  let s = Two_phase.generate ~sites:k ~per_site:n () in
+  Alcotest.(check int) "total events" ((k * n) + (k * k * n)) (Stream.length s);
+  Alcotest.(check int) "universe" (k * n) (Stream.distinct_count s);
+  (* Phase 1 is disjoint across sites. *)
+  let boundary = Two_phase.phase_boundary ~sites:k ~per_site:n in
+  let phase1 = Stream.prefix s boundary in
+  Alcotest.(check int) "phase 1 all distinct" (k * n)
+    (Stream.distinct_count phase1);
+  let owner = Hashtbl.create 64 in
+  let ok = ref true in
+  Stream.iter
+    (fun ~site ~item ->
+      match Hashtbl.find_opt owner item with
+      | None -> Hashtbl.replace owner item site
+      | Some s0 -> if s0 <> site then ok := false)
+    phase1;
+  Alcotest.(check bool) "phase 1 disjoint per site" true !ok;
+  (* Each site sees every item in phase 2. *)
+  let seen = Array.init k (fun _ -> Hashtbl.create 64) in
+  Stream.iteri
+    (fun j ~site ~item ->
+      if j >= boundary then Hashtbl.replace seen.(site) item ())
+    s;
+  Array.iteri
+    (fun i tbl ->
+      Alcotest.(check int)
+        (Printf.sprintf "site %d saw the full universe in phase 2" i)
+        (k * n) (Hashtbl.length tbl))
+    seen
+
+let test_two_phase_deterministic () =
+  let a = Two_phase.generate ~seed:3 ~sites:3 ~per_site:20 () in
+  let b = Two_phase.generate ~seed:3 ~sites:3 ~per_site:20 () in
+  let c = Two_phase.generate ~seed:4 ~sites:3 ~per_site:20 () in
+  let events t =
+    List.init (Stream.length t) (fun j -> (Stream.site t j, Stream.item t j))
+  in
+  Alcotest.(check bool) "same seed same stream" true (events a = events b);
+  Alcotest.(check bool) "different seed differs" false (events a = events c)
+
+(* --- HTTP trace --- *)
+
+let test_http_trace_shape () =
+  let cfg = { Http.default with requests = 20_000 } in
+  let reqs = Http.generate cfg in
+  Alcotest.(check bool) "duplication adds events" true
+    (Array.length reqs >= cfg.requests);
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "client in range" true
+        (r.Http.client >= 0 && r.Http.client < cfg.clients);
+      Alcotest.(check bool) "object in range" true
+        (r.Http.obj >= 0 && r.Http.obj < cfg.objects);
+      Alcotest.(check bool) "server in range" true
+        (r.Http.server >= 0 && r.Http.server < cfg.servers))
+    reqs
+
+let test_http_views () =
+  let cfg = { Http.default with requests = 20_000 } in
+  let reqs = Http.generate cfg in
+  let by_server = Http.view cfg Http.Client_id Http.Per_server reqs in
+  let by_region = Http.view cfg Http.Client_id Http.Per_region reqs in
+  Alcotest.(check bool) "29 server sites" true
+    (Stream.num_sites by_server <= 29);
+  Alcotest.(check bool) "4 region sites" true (Stream.num_sites by_region <= 4);
+  Alcotest.(check int) "same length" (Stream.length by_server)
+    (Stream.length by_region);
+  (* Same clients either way. *)
+  Alcotest.(check int) "same distinct clients"
+    (Stream.distinct_count by_server)
+    (Stream.distinct_count by_region)
+
+let test_http_duplication_regimes () =
+  (* The whole point of the substitute trace: clientID view is heavily
+     duplicated, pair view only lightly. *)
+  let cfg = { Http.default with requests = 50_000 } in
+  let reqs = Http.generate cfg in
+  let clients = Http.view cfg Http.Client_id Http.Per_region reqs in
+  let pairs = Http.view cfg Http.Client_object_pair Http.Per_region reqs in
+  let dup_clients = Stream.duplication_factor clients in
+  let dup_pairs = Stream.duplication_factor pairs in
+  Alcotest.(check bool)
+    (Printf.sprintf "clientID dup %.1f > 20" dup_clients)
+    true (dup_clients > 20.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "pair dup %.2f in [1.05, 3]" dup_pairs)
+    true
+    (dup_pairs > 1.05 && dup_pairs < 3.0)
+
+let test_http_deterministic () =
+  let cfg = { Http.default with requests = 2_000 } in
+  let a = Http.generate cfg and b = Http.generate cfg in
+  Alcotest.(check bool) "same seed reproduces" true (a = b)
+
+let test_http_scaled () =
+  let cfg = Http.scaled 0.1 in
+  Alcotest.(check int) "requests scaled" 20_000 cfg.Http.requests;
+  Alcotest.(check int) "clients scaled" 120 cfg.Http.clients
+
+let test_http_flash_crowds_concentrate_traffic () =
+  (* With flash crowds, the top objects absorb a much larger share of
+     requests than the plain Zipf tail predicts. *)
+  let base = { Http.default with requests = 30_000; flash_crowds = 0 } in
+  let crowded = { base with flash_crowds = 4; seed = 43 } in
+  let top_share cfg =
+    let reqs = Http.generate cfg in
+    let counts = Hashtbl.create 1024 in
+    Array.iter
+      (fun r ->
+        Hashtbl.replace counts r.Http.obj
+          (1 + Option.value (Hashtbl.find_opt counts r.Http.obj) ~default:0))
+      reqs;
+    let sorted =
+      Hashtbl.fold (fun _ c acc -> c :: acc) counts []
+      |> List.sort (fun a b -> compare b a)
+    in
+    let top = List.filteri (fun i _ -> i < 12) sorted in
+    Float.of_int (List.fold_left ( + ) 0 top)
+    /. Float.of_int (Array.length reqs)
+  in
+  let plain = top_share base and crowd = top_share crowded in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-12 share %.2f (crowds) > %.2f (plain)" crowd plain)
+    true
+    (crowd > plain +. 0.05)
+
+(* --- Generic generators --- *)
+
+let test_partitioned_no_overlap () =
+  let s = Stream_gen.partitioned ~sites:4 ~per_site:200 () in
+  let owner = Hashtbl.create 64 in
+  let ok = ref true in
+  Stream.iter
+    (fun ~site ~item ->
+      match Hashtbl.find_opt owner item with
+      | None -> Hashtbl.replace owner item site
+      | Some s0 -> if s0 <> site then ok := false)
+    s;
+  Alcotest.(check bool) "no item crosses sites" true !ok
+
+let test_overlapping_extremes () =
+  let disjoint =
+    Stream_gen.overlapping ~sites:4 ~per_site:500 ~shared_fraction:0.0 ()
+  in
+  let shared =
+    Stream_gen.overlapping ~sites:4 ~per_site:500 ~shared_fraction:1.0 ()
+  in
+  Alcotest.(check bool) "full sharing has fewer distinct" true
+    (Stream.distinct_count shared < Stream.distinct_count disjoint)
+
+let test_duplicated_exact_copies () =
+  let s = Stream_gen.duplicated ~sites:3 ~distinct:100 ~copies:7 () in
+  let m = Stream.multiplicities s in
+  Alcotest.(check int) "100 distinct" 100 (Hashtbl.length m);
+  Hashtbl.iter
+    (fun _ c -> Alcotest.(check int) "each item 7 times" 7 c)
+    m
+
+let test_sensor_gossip_duplication () =
+  let s = Stream_gen.sensor_gossip ~sites:5 ~readings:300 ~gossip_rounds:3 () in
+  let m = Stream.multiplicities s in
+  Alcotest.(check int) "readings distinct" 300 (Hashtbl.length m);
+  Hashtbl.iter
+    (fun _ c -> Alcotest.(check int) "1 + rounds copies" 4 c)
+    m
+
+(* --- Window_truth --- *)
+
+module Wt = Wd_workload.Window_truth
+
+let brute_force_window events w =
+  let n = Array.length events in
+  let seen = Hashtbl.create 64 in
+  for j = max 0 (n - w) to n - 1 do
+    Hashtbl.replace seen events.(j) ()
+  done;
+  Hashtbl.length seen
+
+let test_window_truth_basics () =
+  let t = Wt.create () in
+  Alcotest.(check int) "empty" 0 (Wt.distinct_last t 10);
+  List.iter (Wt.add t) [ 1; 2; 1; 3 ];
+  Alcotest.(check int) "arrivals" 4 (Wt.arrivals t);
+  Alcotest.(check int) "total distinct" 3 (Wt.distinct_total t);
+  (* Last 2 arrivals are [1; 3]. *)
+  Alcotest.(check int) "window 2" 2 (Wt.distinct_last t 2);
+  (* Last 3 arrivals are [2; 1; 3]. *)
+  Alcotest.(check int) "window 3" 3 (Wt.distinct_last t 3);
+  Alcotest.(check int) "window larger than stream" 3 (Wt.distinct_last t 100);
+  Alcotest.(check int) "window 0" 0 (Wt.distinct_last t 0)
+
+let test_window_truth_growth () =
+  (* Force several capacity doublings. *)
+  let t = Wt.create ~initial_capacity:16 () in
+  let events = Array.init 5_000 (fun j -> j mod 700) in
+  Array.iter (Wt.add t) events;
+  Alcotest.(check int) "distinct total" 700 (Wt.distinct_total t);
+  List.iter
+    (fun w ->
+      Alcotest.(check int)
+        (Printf.sprintf "window %d" w)
+        (brute_force_window events w)
+        (Wt.distinct_last t w))
+    [ 1; 10; 350; 699; 700; 701; 1_400; 5_000 ]
+
+let prop_window_truth_matches_brute_force =
+  QCheck.Test.make ~name:"window truth = brute force" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 400) (int_range 0 50))
+        (int_range 1 100))
+    (fun (xs, w) ->
+      let t = Wt.create ~initial_capacity:16 () in
+      List.iter (Wt.add t) xs;
+      Wt.distinct_last t w = brute_force_window (Array.of_list xs) w)
+
+(* --- Trace_io --- *)
+
+module Tio = Wd_workload.Trace_io
+
+let with_temp f =
+  let path = Filename.temp_file "wd_trace" ".dat" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let stream_equal a b =
+  Stream.length a = Stream.length b
+  && (let ok = ref true in
+      for j = 0 to Stream.length a - 1 do
+        if Stream.site a j <> Stream.site b j || Stream.item a j <> Stream.item b j
+        then ok := false
+      done;
+      !ok)
+
+let test_trace_csv_roundtrip () =
+  let s = Stream_gen.zipf ~sites:5 ~events:2_000 ~universe:300 () in
+  with_temp (fun path ->
+      Tio.save_csv path s;
+      Alcotest.(check bool) "roundtrip" true (stream_equal s (Tio.load_csv path)))
+
+let test_trace_binary_roundtrip () =
+  let s = Stream_gen.uniform ~sites:3 ~events:2_000 ~universe:999 () in
+  with_temp (fun path ->
+      Tio.save_binary path s;
+      Alcotest.(check bool) "roundtrip" true
+        (stream_equal s (Tio.load_binary path)))
+
+let test_trace_csv_rejects () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      output_string oc "site,item\n1,2\nnonsense\n";
+      close_out oc;
+      match Tio.load_csv path with
+      | _ -> Alcotest.fail "malformed CSV accepted"
+      | exception Failure msg ->
+        Alcotest.(check bool) "line number in message" true
+          (String.length msg > 0))
+
+let test_trace_binary_rejects () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      output_string oc "NOTATRACE";
+      close_out oc;
+      match Tio.load_binary path with
+      | _ -> Alcotest.fail "bad magic accepted"
+      | exception Failure _ -> ())
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "make validates" `Quick test_stream_make_validates;
+          Alcotest.test_case "basics" `Quick test_stream_basics;
+          Alcotest.test_case "prefix/concat" `Quick test_stream_prefix_concat;
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_preserves_events;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "probabilities" `Quick
+            test_zipf_probabilities_sum_to_one;
+          Alcotest.test_case "ordering" `Quick test_zipf_rank_ordering;
+          Alcotest.test_case "sampling" `Quick
+            test_zipf_sampling_matches_distribution;
+          Alcotest.test_case "uniform limit" `Quick test_zipf_skew_zero_is_uniform;
+          Alcotest.test_case "expected distinct" `Quick test_zipf_expected_distinct;
+        ] );
+      ( "two-phase",
+        [
+          Alcotest.test_case "structure" `Quick test_two_phase_structure;
+          Alcotest.test_case "deterministic" `Quick test_two_phase_deterministic;
+        ] );
+      ( "http trace",
+        [
+          Alcotest.test_case "shape" `Quick test_http_trace_shape;
+          Alcotest.test_case "views" `Quick test_http_views;
+          Alcotest.test_case "duplication regimes" `Quick
+            test_http_duplication_regimes;
+          Alcotest.test_case "deterministic" `Quick test_http_deterministic;
+          Alcotest.test_case "scaled" `Quick test_http_scaled;
+          Alcotest.test_case "flash crowds" `Quick
+            test_http_flash_crowds_concentrate_traffic;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "partitioned" `Quick test_partitioned_no_overlap;
+          Alcotest.test_case "overlapping" `Quick test_overlapping_extremes;
+          Alcotest.test_case "duplicated" `Quick test_duplicated_exact_copies;
+          Alcotest.test_case "sensor gossip" `Quick test_sensor_gossip_duplication;
+        ] );
+      ( "window truth",
+        [
+          Alcotest.test_case "basics" `Quick test_window_truth_basics;
+          Alcotest.test_case "growth" `Quick test_window_truth_growth;
+          QCheck_alcotest.to_alcotest prop_window_truth_matches_brute_force;
+        ] );
+      ( "trace io",
+        [
+          Alcotest.test_case "csv roundtrip" `Quick test_trace_csv_roundtrip;
+          Alcotest.test_case "binary roundtrip" `Quick
+            test_trace_binary_roundtrip;
+          Alcotest.test_case "csv rejects junk" `Quick test_trace_csv_rejects;
+          Alcotest.test_case "binary rejects junk" `Quick
+            test_trace_binary_rejects;
+        ] );
+    ]
