@@ -21,6 +21,8 @@ module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
 module Stream_gen = Wd_workload.Stream_gen
 module Stream = Wd_workload.Stream
+module Sink = Wd_obs.Sink
+module Metrics = Wd_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Throughput microbenchmarks (Bechamel) *)
@@ -133,6 +135,104 @@ let run_throughput () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Sink overhead (Wd_obs acceptance: null sink must cost <= 5%) *)
+
+let sink_overhead_tests () =
+  let open Bechamel in
+  let items = zipf_items 65_536 in
+  let observe_case ~name sink =
+    let fam =
+      Fm.family_custom ~rng:(Rng.create 6) ~variant:Fm.Stochastic ~bitmaps:128
+    in
+    let t = Dc.Fm.create ~algorithm:Dc.LS ~theta:0.03 ~sites:4 ~family:fam () in
+    Option.iter
+      (fun s ->
+        Dc.Fm.set_sink t s;
+        Wd_net.Network.set_sink (Dc.Fm.network t) s)
+      sink;
+    let next = cyclic items in
+    let site = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           site := (!site + 1) land 3;
+           Dc.Fm.observe t ~site:!site (next ())))
+  in
+  let guard =
+    (* The entire per-event cost an inactive sink adds to a hot path is
+       one [Sink.enabled] test guarding the event allocation.  Batched 16x
+       per run so the harness's closure-call floor doesn't swamp it. *)
+    let s = Sink.null in
+    Test.make ~name:"null-guard(x16)"
+      (Staged.stage (fun () ->
+           for _ = 1 to 16 do
+             ignore (Sink.enabled (Sys.opaque_identity s))
+           done))
+  in
+  Test.make_grouped ~name:"sink-overhead"
+    [
+      observe_case ~name:"dc-observe(null)" None;
+      observe_case ~name:"dc-observe(ring)" (Some (Sink.ring ~capacity:4096));
+      observe_case ~name:"dc-observe(metrics)"
+        (Some (Sink.metrics (Metrics.create ())));
+      observe_case ~name:"dc-observe(jsonl)" (Some (Sink.jsonl "/dev/null"));
+      guard;
+    ]
+
+let run_sink_overhead () =
+  let open Bechamel in
+  Report.print_section
+    "sink overhead: Dc_tracker.observe with trace sinks attached";
+  let cfg = Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ]
+      (sink_overhead_tests ())
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let measured = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (ns :: _) when ns > 0.0 -> measured := (name, ns) :: !measured
+      | _ -> ())
+    results;
+  let find needle =
+    List.find_opt (fun (name, _) -> Filename.check_suffix name needle)
+      !measured
+  in
+  match find "dc-observe(null)" with
+  | None -> print_endline "  (no baseline measurement; skipped)"
+  | Some (_, base_ns) ->
+    let rows =
+      List.sort (fun (a, _) (b, _) -> compare a b) !measured
+      |> List.filter (fun (name, _) ->
+             not (Filename.check_suffix name "null-guard(x16)"))
+      |> List.map (fun (name, ns) ->
+             let pct = 100.0 *. (ns -. base_ns) /. base_ns in
+             Report.
+               [
+                 S (Filename.basename name);
+                 F ns;
+                 (if Filename.check_suffix name "dc-observe(null)" then
+                    S "baseline"
+                  else S (Printf.sprintf "%+.1f%%" pct));
+               ])
+    in
+    Report.print_table ~header:[ "case"; "ns/update"; "vs null sink" ] rows;
+    (match find "null-guard(x16)" with
+    | Some (_, batch_ns) ->
+      let guard_ns = batch_ns /. 16.0 in
+      let pct = 100.0 *. guard_ns /. base_ns in
+      Printf.printf
+        "null-sink guard costs %.2f ns/event = %.2f%% of an observe (budget 5%%): %s\n"
+        guard_ns pct
+        (if pct <= 5.0 then "OK" else "OVER BUDGET")
+    | None -> ());
+    print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let write_csv dir (t : Experiments.table) =
@@ -162,7 +262,8 @@ let () =
       with_throughput := false;
       parse rest
     | "--list" :: _ ->
-      List.iter print_endline ("throughput" :: Experiments.ids);
+      List.iter print_endline
+        ("throughput" :: "sink-overhead" :: Experiments.ids);
       exit 0
     | id :: rest ->
       selected := id :: !selected;
@@ -182,11 +283,14 @@ let () =
       "Reproducing all figures of 'What's Different' (ICDE 2006) at scale %g\n"
       !scale;
     List.iter emit (Experiments.all ~options ());
-    if !with_throughput then run_throughput ()
+    if !with_throughput then (
+      run_throughput ();
+      run_sink_overhead ())
   | ids ->
     List.iter
       (fun id ->
         if id = "throughput" then run_throughput ()
+        else if id = "sink-overhead" then run_sink_overhead ()
         else
           match Experiments.by_id id with
           | Some f -> emit (f options)

@@ -16,6 +16,10 @@ module Stream = Wd_workload.Stream
 module Http = Wd_workload.Http_trace
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
+module Sink = Wd_obs.Sink
+module Metrics = Wd_obs.Metrics
+module Trace = Wd_obs.Trace
+module Summary = Wd_obs.Summary
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments *)
@@ -69,6 +73,46 @@ let trace_arg =
 let load_trace path =
   if Filename.check_suffix path ".csv" then Wd_workload.Trace_io.load_csv path
   else Wd_workload.Trace_io.load_binary path
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing shared by dc and ds *)
+
+let trace_out_arg =
+  let doc = "Write a JSONL protocol trace of the run to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write run metrics to $(docv): Prometheus text exposition, or a JSON \
+     dump when the file ends in .json."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Build the (sink, registry) pair the run should be instrumented with. *)
+let build_obs ~trace_out ~metrics_out =
+  let metrics = Option.map (fun _ -> Metrics.create ()) metrics_out in
+  let sinks =
+    Option.to_list (Option.map (fun path -> Sink.jsonl path) trace_out)
+    @ Option.to_list (Option.map Sink.metrics metrics)
+  in
+  let sink = match sinks with [] -> None | l -> Some (Sink.fanout l) in
+  (sink, metrics)
+
+let finish_obs ~trace_out ~metrics_out sink metrics =
+  Option.iter Sink.close sink;
+  Option.iter
+    (fun path -> Printf.printf "trace written to %s\n" path)
+    trace_out;
+  match (metrics_out, metrics) with
+  | Some path, Some m ->
+    let oc = open_out path in
+    if Filename.check_suffix path ".json" then
+      output_string oc (Wd_obs.Json.to_string (Metrics.to_json m))
+    else output_string oc (Metrics.to_prometheus m);
+    close_out oc;
+    Printf.printf "metrics written to %s\n" path
+  | _ -> ()
 
 let build_workload which ~scale ~seed ~sites ~events =
   match which with
@@ -146,7 +190,8 @@ let dc_cmd =
     let doc = "Lag share of the error budget (theta = F * epsilon)." in
     Arg.(value & opt float 0.3 & info [ "theta-frac" ] ~docv:"F" ~doc)
   in
-  let run algorithm theta_frac workload trace scale seed epsilon sites events =
+  let run algorithm theta_frac workload trace scale seed epsilon sites events
+      trace_out metrics_out =
     let stream =
       match trace with
       | Some path -> load_trace path
@@ -154,7 +199,10 @@ let dc_cmd =
     in
     let theta = theta_frac *. epsilon in
     let alpha = epsilon -. theta in
-    let r = Simulation.run_dc ~seed ~algorithm ~theta ~alpha stream in
+    let sink, metrics = build_obs ~trace_out ~metrics_out in
+    let r =
+      Simulation.run_dc ~seed ?sink ?metrics ~algorithm ~theta ~alpha stream
+    in
     let exact = Simulation.exact_dc_bytes stream in
     Report.print_section
       (Printf.sprintf "distinct count tracking (%s)"
@@ -185,13 +233,15 @@ let dc_cmd =
        per-direction traffic differs sharply across algorithms. *)
     Printf.printf "up/down asymmetry    : %.2f\n"
       (Float.of_int r.Simulation.dc_bytes_up
-      /. Float.of_int (max 1 r.Simulation.dc_bytes_down))
+      /. Float.of_int (max 1 r.Simulation.dc_bytes_down));
+    finish_obs ~trace_out ~metrics_out sink metrics
   in
   let doc = "Run one distinct-count tracking simulation." in
   Cmd.v (Cmd.info "dc" ~doc)
     Term.(
       const run $ algo_arg $ theta_frac_arg $ workload_arg $ trace_arg
-      $ scale_arg $ seed_arg $ epsilon_arg $ sites_arg $ events_arg)
+      $ scale_arg $ seed_arg $ epsilon_arg $ sites_arg $ events_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ds *)
@@ -213,13 +263,17 @@ let ds_cmd =
     let doc = "Count lag budget theta." in
     Arg.(value & opt float 0.25 & info [ "theta" ] ~docv:"THETA" ~doc)
   in
-  let run algorithm threshold theta workload trace scale seed sites events =
+  let run algorithm threshold theta workload trace scale seed sites events
+      trace_out metrics_out =
     let stream =
       match trace with
       | Some path -> load_trace path
       | None -> build_workload workload ~scale ~seed ~sites ~events
     in
-    let r = Simulation.run_ds ~seed ~algorithm ~theta ~threshold stream in
+    let sink, metrics = build_obs ~trace_out ~metrics_out in
+    let r =
+      Simulation.run_ds ~seed ?sink ~algorithm ~theta ~threshold stream
+    in
     let exact = Simulation.exact_ds_bytes stream in
     let sample = r.Simulation.ds_final_sample in
     let level = r.Simulation.ds_final_level in
@@ -250,13 +304,15 @@ let ds_cmd =
         ( "cost ratio",
           Printf.sprintf "%.3e"
             (Float.of_int r.Simulation.ds_total_bytes /. Float.of_int exact) );
-      ]
+      ];
+    finish_obs ~trace_out ~metrics_out sink metrics
   in
   let doc = "Run one distinct-sample tracking simulation." in
   Cmd.v (Cmd.info "ds" ~doc)
     Term.(
       const run $ algo_arg $ threshold_arg $ theta_arg $ workload_arg
-      $ trace_arg $ scale_arg $ seed_arg $ sites_arg $ events_arg)
+      $ trace_arg $ scale_arg $ seed_arg $ sites_arg $ events_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* hh *)
@@ -336,6 +392,122 @@ let workload_cmd =
       $ events_arg)
 
 (* ------------------------------------------------------------------ *)
+(* inspect *)
+
+let inspect_cmd =
+  let file_arg =
+    let doc = "JSONL trace produced by --trace-out." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let phases_arg =
+    let doc = "Number of equal update-index spans in the phase table." in
+    Arg.(value & opt int 4 & info [ "phases" ] ~docv:"N" ~doc)
+  in
+  let fmt_estimate = function
+    | Some e -> Printf.sprintf "%.1f" e
+    | None -> "-"
+  in
+  let run file phases =
+    if phases < 1 then `Error (false, "--phases must be >= 1")
+    else
+      match Trace.read_file file with
+      | Error e -> `Error (false, e)
+      | Ok events ->
+        let s = Summary.of_events events in
+        Report.print_section (Printf.sprintf "trace summary: %s" file);
+        Report.print_kv
+          (s.Summary.run
+          @ [
+              ("events", string_of_int s.Summary.events);
+              ("updates covered", string_of_int s.Summary.updates);
+              ( "messages up / down",
+                Printf.sprintf "%d / %d" s.Summary.msgs_up s.Summary.msgs_down
+              );
+              ( "bytes up / down",
+                Printf.sprintf "%d / %d" s.Summary.bytes_up
+                  s.Summary.bytes_down );
+              ("broadcasts", string_of_int s.Summary.broadcasts);
+              ("shared-medium bytes", string_of_int s.Summary.medium_bytes);
+              ( "estimate first -> last",
+                Printf.sprintf "%s -> %s"
+                  (fmt_estimate s.Summary.first_estimate)
+                  (fmt_estimate s.Summary.last_estimate) );
+              ("final level", string_of_int s.Summary.level);
+            ]);
+        Report.print_table
+          ~header:[ "event"; "count" ]
+          (List.map
+             (fun (k, n) -> Report.[ S k; I n ])
+             s.Summary.kind_counts);
+        print_newline ();
+        Report.print_table
+          ~header:
+            [
+              "site";
+              "msgs up";
+              "bytes up";
+              "bytes down";
+              "sketch";
+              "items";
+              "counts";
+              "crossings";
+              "resyncs";
+              "mean gap";
+            ]
+          (List.map
+             (fun (r : Summary.site_row) ->
+               Report.
+                 [
+                   I r.site;
+                   I r.s_msgs_up;
+                   I r.s_bytes_up;
+                   I r.s_bytes_down;
+                   I r.s_sketch_sends;
+                   I r.s_item_sends;
+                   I r.s_count_sends;
+                   I r.s_crossings;
+                   I r.s_resyncs;
+                   (if Float.is_nan r.s_mean_send_gap then S "-"
+                    else F r.s_mean_send_gap);
+                 ])
+             s.Summary.sites);
+        print_newline ();
+        Report.print_table
+          ~header:
+            [
+              "phase";
+              "updates";
+              "events";
+              "bytes up";
+              "bytes down";
+              "sends";
+              "crossings";
+              "estimate";
+            ]
+          (List.map
+             (fun (r : Summary.phase_row) ->
+               Report.
+                 [
+                   I r.phase;
+                   S (Printf.sprintf "%d-%d" r.p_from r.p_to);
+                   I r.p_events;
+                   I r.p_bytes_up;
+                   I r.p_bytes_down;
+                   I r.p_sends;
+                   I r.p_crossings;
+                   S (fmt_estimate r.p_estimate);
+                 ])
+             (Summary.phases ~n:phases events));
+        `Ok ()
+  in
+  let doc =
+    "Replay a JSONL trace into per-site and per-phase summary tables."
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc)
+    Term.(ret (const run $ file_arg $ phases_arg))
+
+(* ------------------------------------------------------------------ *)
 (* list *)
 
 let list_cmd =
@@ -357,4 +529,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiment_cmd; dc_cmd; ds_cmd; hh_cmd; workload_cmd; list_cmd ]))
+          [
+            experiment_cmd;
+            dc_cmd;
+            ds_cmd;
+            hh_cmd;
+            workload_cmd;
+            inspect_cmd;
+            list_cmd;
+          ]))

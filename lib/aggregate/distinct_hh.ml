@@ -59,6 +59,7 @@ module Tracked = struct
 
   let network t = Tracked_fm_array.network t.tracked
   let sends t = Tracked_fm_array.sends t.tracked
+  let set_sink t sink = Tracked_fm_array.set_sink t.tracked sink
 end
 
 let exact_degrees pairs =

@@ -62,6 +62,9 @@ module Tracked : sig
 
   val network : t -> Wd_net.Network.t
   val sends : t -> int
+
+  val set_sink : t -> Wd_obs.Sink.t -> unit
+  (** Attach one trace sink to the shared ledger and all cell trackers. *)
 end
 
 val exact_degrees : (int * int) Seq.t -> (int, int) Hashtbl.t

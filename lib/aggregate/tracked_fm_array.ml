@@ -52,3 +52,7 @@ let algorithm t = t.algorithm
 let network t = t.net
 
 let sends t = Array.fold_left (fun acc c -> acc + Dc.Fm.sends c) 0 t.cells
+
+let set_sink t sink =
+  Network.set_sink t.net sink;
+  Array.iter (fun c -> Dc.Fm.set_sink c sink) t.cells

@@ -48,3 +48,8 @@ val algorithm : t -> Wd_protocol.Dc_tracker.algorithm
 val network : t -> Wd_net.Network.t
 val sends : t -> int
 (** Total upstream communications across all cells. *)
+
+val set_sink : t -> Wd_obs.Sink.t -> unit
+(** Attach one trace sink to the shared byte ledger and every per-cell
+    tracker.  Cell trackers stamp events with their own update counts,
+    so expect interleaved clocks in the trace. *)

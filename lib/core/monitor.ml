@@ -73,6 +73,13 @@ let create cfg =
 
 let config t = t.cfg
 
+let attach_sink t sink =
+  Dc.Fm.set_sink t.dc sink;
+  Network.set_sink (Dc.Fm.network t.dc) sink;
+  Ds.set_sink t.ds sink;
+  Network.set_sink (Ds.network t.ds) sink;
+  Option.iter (fun hh -> Hh.Tracked.set_sink hh sink) t.hh
+
 let observe t ~site v =
   Dc.Fm.observe t.dc ~site v;
   Ds.observe t.ds ~site v

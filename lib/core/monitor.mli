@@ -48,6 +48,11 @@ val create : config -> t
 
 val config : t -> config
 
+val attach_sink : t -> Wd_obs.Sink.t -> unit
+(** Attach one trace sink to all three trackers and their byte ledgers,
+    so the sink sees both protocol-decision events and every message.
+    The default is the null sink (no overhead). *)
+
 (** {1 Feeding} *)
 
 val observe : t -> site:int -> int -> unit

@@ -4,6 +4,26 @@ module Wire = Wd_net.Wire
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
 module Rng = Wd_hashing.Rng
+module Sink = Wd_obs.Sink
+module Event = Wd_obs.Event
+module Metrics = Wd_obs.Metrics
+
+(* Identify an instrumented run in its trace. *)
+let emit_run_meta sink ~protocol ~algorithm ~sites ~cost_model ~seed =
+  if Sink.enabled sink then
+    Sink.emit sink
+      {
+        Event.time = 0;
+        kind =
+          Event.Run_meta
+            {
+              run_id = Printf.sprintf "%s-%s-seed%d" protocol algorithm seed;
+              protocol;
+              algorithm;
+              sites;
+              cost_model = Network.cost_model_to_string cost_model;
+            };
+      }
 
 type dc_run = {
   dc_algorithm : Dc.algorithm;
@@ -44,7 +64,7 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
 
   let run ?(cost_model = Network.Unicast) ?(item_batching = true) ?(seed = 1)
       ?(checkpoints = 20) ?(error_samples = 200) ?(confidence = 0.9) ?family
-      ~algorithm ~theta ~alpha stream =
+      ?(sink = Sink.null) ?metrics ~algorithm ~theta ~alpha stream =
     let n = Stream.length stream in
     if n = 0 then invalid_arg "Simulation.run_dc: empty stream";
     let k = Stream.num_sites stream in
@@ -57,10 +77,31 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     (* EC ignores theta but the constructor validates it. *)
     let theta = if algorithm = Dc.EC then Float.max theta 0.1 else theta in
     let tracker =
-      Tracker.create ~cost_model ~item_batching ~algorithm ~theta ~sites:k
-        ~family ()
+      Tracker.create ~cost_model ~item_batching ~sink ~algorithm ~theta
+        ~sites:k ~family ()
     in
     let net = Tracker.network tracker in
+    Network.set_sink net sink;
+    emit_run_meta sink ~protocol:"dc"
+      ~algorithm:(Dc.algorithm_to_string algorithm)
+      ~sites:k ~cost_model ~seed;
+    (* Harness-side accuracy instruments: the protocols never see ground
+       truth, so the error histogram lives here, not in the trackers. *)
+    let err_hist =
+      Option.map
+        (fun m ->
+          Metrics.histogram m
+            ~help:"relative error of the coordinator estimate, sampled"
+            ~min_exp:(-20) ~max_exp:4 "wd_estimate_rel_error")
+        metrics
+    in
+    let truth_gauge =
+      Option.map
+        (fun m ->
+          Metrics.gauge m ~help:"exact distinct count at last error sample"
+            "wd_true_distinct")
+        metrics
+    in
     let truth = Hashtbl.create 4096 in
     let byte_at = cursor_matcher (sample_positions n checkpoints) in
     let err_at = cursor_matcher (sample_positions n error_samples) in
@@ -75,6 +116,8 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         if err_at j then begin
           let n0 = Float.of_int (Hashtbl.length truth) in
           let err = Float.abs (Tracker.estimate tracker -. n0) /. n0 in
+          Option.iter (fun h -> Metrics.observe h err) err_hist;
+          Option.iter (fun g -> Metrics.set g n0) truth_gauge;
           error_series := (j, err) :: !error_series
         end)
       stream;
@@ -95,9 +138,9 @@ end
 module Dc_fm = Make_dc (Wd_sketch.Fm)
 
 let run_dc ?cost_model ?item_batching ?seed ?checkpoints ?error_samples
-    ?confidence ~algorithm ~theta ~alpha stream =
+    ?confidence ?sink ?metrics ~algorithm ~theta ~alpha stream =
   Dc_fm.run ?cost_model ?item_batching ?seed ?checkpoints ?error_samples
-    ?confidence ~algorithm ~theta ~alpha stream
+    ?confidence ?sink ?metrics ~algorithm ~theta ~alpha stream
 
 type ds_run = {
   ds_algorithm : Ds.algorithm;
@@ -114,15 +157,21 @@ type ds_run = {
 }
 
 let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
-    ~algorithm ~theta ~threshold stream =
+    ?(sink = Sink.null) ~algorithm ~theta ~threshold stream =
   let n = Stream.length stream in
   if n = 0 then invalid_arg "Simulation.run_ds: empty stream";
   let k = Stream.num_sites stream in
   let rng = Rng.create seed in
   let family = Wd_sketch.Distinct_sampler.family ~rng ~threshold in
   let theta = if algorithm = Ds.EDS then Float.max theta 0.1 else theta in
-  let tracker = Ds.create ~cost_model ~algorithm ~theta ~sites:k ~family () in
+  let tracker =
+    Ds.create ~cost_model ~sink ~algorithm ~theta ~sites:k ~family ()
+  in
   let net = Ds.network tracker in
+  Network.set_sink net sink;
+  emit_run_meta sink ~protocol:"ds"
+    ~algorithm:(Ds.algorithm_to_string algorithm)
+    ~sites:k ~cost_model ~seed;
   let byte_at = cursor_matcher (sample_positions n checkpoints) in
   let bytes_series = ref [] in
   Stream.iteri

@@ -35,6 +35,8 @@ val run_dc :
   ?checkpoints:int ->
   ?error_samples:int ->
   ?confidence:float ->
+  ?sink:Wd_obs.Sink.t ->
+  ?metrics:Wd_obs.Metrics.t ->
   algorithm:Wd_protocol.Dc_tracker.algorithm ->
   theta:float ->
   alpha:float ->
@@ -44,7 +46,15 @@ val run_dc :
     whole stream.  [alpha] sizes the FM family; [confidence] defaults to
     0.9 ([delta = 0.1], as in all paper experiments); [checkpoints]
     (default 20) and [error_samples] (default 200) control the series
-    resolutions.  The site count is [Stream.num_sites stream]. *)
+    resolutions.  The site count is [Stream.num_sites stream].
+
+    [sink] is attached to both the tracker (protocol events) and its byte
+    ledger (message events), and receives a [Run_meta] header; the
+    default null sink adds no overhead.  [metrics] additionally records
+    harness-side accuracy instruments ([wd_estimate_rel_error],
+    [wd_true_distinct]) at the error-sample positions — combine with
+    {!Wd_obs.Sink.metrics} over the same registry to collect traffic
+    metrics in one place. *)
 
 (** Generic variant over any {!Wd_sketch.Sketch_intf.DISTINCT_SKETCH} —
     used by the sketch-type ablation. *)
@@ -57,6 +67,8 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
     ?error_samples:int ->
     ?confidence:float ->
     ?family:Sketch.family ->
+    ?sink:Wd_obs.Sink.t ->
+    ?metrics:Wd_obs.Metrics.t ->
     algorithm:Wd_protocol.Dc_tracker.algorithm ->
     theta:float ->
     alpha:float ->
@@ -93,11 +105,14 @@ val run_ds :
   ?cost_model:Wd_net.Network.cost_model ->
   ?seed:int ->
   ?checkpoints:int ->
+  ?sink:Wd_obs.Sink.t ->
   algorithm:Wd_protocol.Ds_tracker.algorithm ->
   theta:float ->
   threshold:int ->
   Stream.t ->
   ds_run
+(** [sink] is attached to the tracker and its byte ledger as in
+    {!run_dc}. *)
 
 (** {1 Distinct heavy-hitter runs} *)
 

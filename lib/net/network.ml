@@ -1,3 +1,6 @@
+module Sink = Wd_obs.Sink
+module Event = Wd_obs.Event
+
 type cost_model = Unicast | Radio_broadcast
 
 let cost_model_to_string = function
@@ -13,6 +16,9 @@ type t = {
   mutable messages_down : int;
   per_site_up : int array;
   per_site_down : int array;
+  mutable medium : int;
+  mutable sink : Sink.t;
+  mutable time : int;
 }
 
 let create ?(cost_model = Unicast) ~sites () =
@@ -26,10 +32,18 @@ let create ?(cost_model = Unicast) ~sites () =
     messages_down = 0;
     per_site_up = Array.make sites 0;
     per_site_down = Array.make sites 0;
+    medium = 0;
+    sink = Sink.null;
+    time = 0;
   }
 
 let sites t = t.k
 let cost_model t = t.model
+
+let set_sink t sink = t.sink <- sink
+let sink t = t.sink
+let set_time t time = t.time <- time
+let time t = t.time
 
 let check_site t site =
   if site < 0 || site >= t.k then invalid_arg "Network: site index out of range"
@@ -39,27 +53,66 @@ let send_up t ~site ~payload =
   let bytes = Wire.message ~payload in
   t.bytes_up <- t.bytes_up + bytes;
   t.messages_up <- t.messages_up + 1;
-  t.per_site_up.(site) <- t.per_site_up.(site) + bytes
+  t.per_site_up.(site) <- t.per_site_up.(site) + bytes;
+  if Sink.enabled t.sink then
+    Sink.emit t.sink
+      {
+        Event.time = t.time;
+        kind = Event.Message { dir = Event.Up; site; payload; bytes };
+      }
 
 let send_down t ~site ~payload =
   check_site t site;
   let bytes = Wire.message ~payload in
   t.bytes_down <- t.bytes_down + bytes;
   t.messages_down <- t.messages_down + 1;
-  t.per_site_down.(site) <- t.per_site_down.(site) + bytes
+  t.per_site_down.(site) <- t.per_site_down.(site) + bytes;
+  if Sink.enabled t.sink then
+    Sink.emit t.sink
+      {
+        Event.time = t.time;
+        kind = Event.Message { dir = Event.Down; site; payload; bytes };
+      }
 
 let broadcast_down t ~except ~payload =
+  let bytes = Wire.message ~payload in
+  let recipients = t.k - (match except with Some _ -> 1 | None -> 0) in
   match t.model with
   | Unicast ->
     for site = 0 to t.k - 1 do
-      if Some site <> except then send_down t ~site ~payload
-    done
+      if Some site <> except then begin
+        t.bytes_down <- t.bytes_down + bytes;
+        t.messages_down <- t.messages_down + 1;
+        t.per_site_down.(site) <- t.per_site_down.(site) + bytes
+      end
+    done;
+    if Sink.enabled t.sink && recipients > 0 then
+      Sink.emit t.sink
+        {
+          Event.time = t.time;
+          kind =
+            Event.Broadcast
+              {
+                except;
+                payload;
+                bytes = recipients * bytes;
+                messages = recipients;
+                recipients;
+              };
+        }
   | Radio_broadcast ->
-    (* One transmission reaches everyone; charge it once. *)
-    let bytes = Wire.message ~payload in
+    (* One transmission reaches everyone; it occupies the shared medium
+       once and is charged to no individual site. *)
     t.bytes_down <- t.bytes_down + bytes;
     t.messages_down <- t.messages_down + 1;
-    t.per_site_down.(0) <- t.per_site_down.(0) + bytes
+    t.medium <- t.medium + bytes;
+    if Sink.enabled t.sink then
+      Sink.emit t.sink
+        {
+          Event.time = t.time;
+          kind =
+            Event.Broadcast { except; payload; bytes; messages = 1; recipients };
+        }
 
 let bytes_up t = t.bytes_up
 let bytes_down t = t.bytes_down
@@ -67,6 +120,7 @@ let total_bytes t = t.bytes_up + t.bytes_down
 let messages_up t = t.messages_up
 let messages_down t = t.messages_down
 let total_messages t = t.messages_up + t.messages_down
+let medium_bytes t = t.medium
 
 let site_bytes_up t site =
   check_site t site;
@@ -82,4 +136,6 @@ let reset t =
   t.messages_up <- 0;
   t.messages_down <- 0;
   Array.fill t.per_site_up 0 t.k 0;
-  Array.fill t.per_site_down 0 t.k 0
+  Array.fill t.per_site_down 0 t.k 0;
+  t.medium <- 0;
+  t.time <- 0

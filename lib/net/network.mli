@@ -13,7 +13,13 @@
     - {!Radio_broadcast}: shared medium ("all data is effectively
       broadcast").  A coordinator broadcast costs one message regardless of
       the number of recipients; this is the model in which the paper found
-      the eager Shared Sketch algorithm to win by a factor of two. *)
+      the eager Shared Sketch algorithm to win by a factor of two.
+
+    Every ledger additionally emits a {!Wd_obs.Event.t} per recorded send
+    through its attached {!Wd_obs.Sink.t} (default: the null sink, which
+    costs one branch and no allocation).  Protocol drivers stamp the
+    ledger's logical clock ({!set_time}) with their update index so
+    emitted events carry stream positions. *)
 
 type cost_model = Unicast | Radio_broadcast
 
@@ -28,6 +34,19 @@ val create : ?cost_model:cost_model -> sites:int -> unit -> t
 
 val sites : t -> int
 val cost_model : t -> cost_model
+
+(** {1 Observability} *)
+
+val set_sink : t -> Wd_obs.Sink.t -> unit
+(** Attach a trace sink; every subsequent send emits one event. *)
+
+val sink : t -> Wd_obs.Sink.t
+
+val set_time : t -> int -> unit
+(** Set the logical clock stamped on emitted events (callers pass their
+    update index).  Purely observational; does not affect accounting. *)
+
+val time : t -> int
 
 (** {1 Recording traffic}
 
@@ -59,10 +78,17 @@ val site_bytes_up : t -> int -> int
 (** Bytes sent by one site to the coordinator. *)
 
 val site_bytes_down : t -> int -> int
-(** Bytes received by one site from the coordinator (broadcast bytes are
-    charged to each recipient under {!Unicast} and to all sites under
-    {!Radio_broadcast}, where they occupy the shared medium once but we
-    attribute the single copy to site 0 for ledger consistency). *)
+(** Bytes delivered to one site over its point-to-point link: unicast
+    sends plus (under {!Unicast}) its copy of each broadcast.  Under
+    {!Radio_broadcast}, broadcasts occupy the shared medium rather than
+    any site's link and are reported by {!medium_bytes} instead, so
+    [bytes_down t = medium_bytes t + sum_i site_bytes_down t i] holds in
+    both models. *)
+
+val medium_bytes : t -> int
+(** Bytes that crossed the shared broadcast medium ({!Radio_broadcast}
+    broadcasts); always [0] under {!Unicast}. *)
 
 val reset : t -> unit
-(** Zero all counters (the cost model and topology are kept). *)
+(** Zero all counters and the logical clock (the cost model, topology and
+    attached sink are kept). *)

@@ -1,0 +1,53 @@
+type direction = Up | Down
+
+let direction_to_string = function Up -> "up" | Down -> "down"
+
+let direction_of_string = function
+  | "up" -> Some Up
+  | "down" -> Some Down
+  | _ -> None
+
+type kind =
+  | Run_meta of {
+      run_id : string;
+      protocol : string;
+      algorithm : string;
+      sites : int;
+      cost_model : string;
+    }
+  | Message of { dir : direction; site : int; payload : int; bytes : int }
+  | Broadcast of {
+      except : int option;
+      payload : int;
+      bytes : int;
+      messages : int;
+      recipients : int;
+    }
+  | Sketch_sent of { site : int; bytes : int; items : int option }
+  | Count_sent of { site : int; item : int; count : int; delta : int }
+  | Threshold_crossed of { site : int; estimate : float; threshold : float }
+  | Estimate_update of { previous : float; estimate : float }
+  | Level_advance of { previous : int; level : int }
+  | Resync of { site : int; bytes : int }
+
+type t = { time : int; kind : kind }
+
+let kind_name = function
+  | Run_meta _ -> "run_meta"
+  | Message _ -> "message"
+  | Broadcast _ -> "broadcast"
+  | Sketch_sent _ -> "sketch_sent"
+  | Count_sent _ -> "count_sent"
+  | Threshold_crossed _ -> "threshold_crossed"
+  | Estimate_update _ -> "estimate_update"
+  | Level_advance _ -> "level_advance"
+  | Resync _ -> "resync"
+
+let site t =
+  match t.kind with
+  | Message { site; _ }
+  | Sketch_sent { site; _ }
+  | Count_sent { site; _ }
+  | Threshold_crossed { site; _ }
+  | Resync { site; _ } -> Some site
+  | Run_meta _ | Broadcast _ | Estimate_update _ | Level_advance _ -> None

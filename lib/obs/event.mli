@@ -1,0 +1,71 @@
+(** Structured protocol trace events.
+
+    One event records one observable step of a monitoring run: a message
+    crossing the simulated network, a site's local threshold tripping, a
+    sketch or count shipped upstream, the coordinator's estimate or the
+    sampler level moving, or a resynchronization reply.  Emitters stamp
+    each event with the protocol-wide update index at which it happened
+    ({!t.time}), so a replay can reconstruct when during the stream every
+    communication decision was made.
+
+    Byte quantities on events are on-the-wire sizes (payload plus
+    {!Wd_net.Wire.header_bytes}), exactly what the {!Wd_net.Network}
+    ledger accumulates — summing trace events by direction must reproduce
+    the ledger totals for the same run. *)
+
+type direction = Up | Down
+
+val direction_to_string : direction -> string
+val direction_of_string : string -> direction option
+
+type kind =
+  | Run_meta of {
+      run_id : string;
+      protocol : string;  (** ["dc"], ["ds"], ["hh"], … *)
+      algorithm : string;
+      sites : int;
+      cost_model : string;
+    }
+      (** Emitted once at the start of an instrumented run; identifies the
+          trace. *)
+  | Message of { dir : direction; site : int; payload : int; bytes : int }
+      (** One point-to-point message ([bytes] = payload + header). *)
+  | Broadcast of {
+      except : int option;
+      payload : int;
+      bytes : int;  (** total bytes charged to the ledger *)
+      messages : int;  (** ledger message count: recipients under
+                           Unicast, 1 under Radio_broadcast *)
+      recipients : int;  (** sites the content reaches *)
+    }
+      (** One coordinator broadcast, in either cost model. *)
+  | Sketch_sent of { site : int; bytes : int; items : int option }
+      (** A site shipped its contribution to the coordinator; [items] is
+          [Some n] when the Section 4.2 item-batching encoding was used,
+          [None] when the full sketch went out. *)
+  | Count_sent of { site : int; item : int; count : int; delta : int }
+      (** Distinct-sample tracking: a site reported a new local count for
+          a sampled item. *)
+  | Threshold_crossed of { site : int; estimate : float; threshold : float }
+      (** A site's local estimate exceeded its send threshold [skt]/[dst];
+          always immediately followed by the resulting send. *)
+  | Estimate_update of { previous : float; estimate : float }
+      (** The coordinator's global estimate changed. *)
+  | Level_advance of { previous : int; level : int }
+      (** The coordinator's sampling level rose (distinct sampling). *)
+  | Resync of { site : int; bytes : int }
+      (** The coordinator sent one site a state refresh (LS sketch reply,
+          LCS count reply). *)
+
+type t = { time : int; kind : kind }
+(** [time] is the emitter's update index (1-based count of [observe]
+    calls) at emission; 0 when unknown (e.g. run metadata). *)
+
+val kind_name : kind -> string
+(** Stable lowercase tag, also used as the JSONL discriminator:
+    ["run_meta"], ["message"], ["broadcast"], ["sketch_sent"],
+    ["count_sent"], ["threshold_crossed"], ["estimate_update"],
+    ["level_advance"], ["resync"]. *)
+
+val site : t -> int option
+(** The remote site an event concerns, when it concerns exactly one. *)

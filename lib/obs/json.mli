@@ -1,0 +1,39 @@
+(** A minimal JSON value type with a printer and parser.
+
+    The observability layer emits and replays JSONL traces; this module is
+    the self-contained codec behind it (the toolchain deliberately carries
+    no third-party JSON dependency).  It covers the full JSON grammar but
+    is tuned for the flat, ASCII-keyed objects the tracer produces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats render as [null]
+    since JSON cannot represent them. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document; the error string carries a character
+    position.  Numbers without [.], [e] or [E] that fit an OCaml [int]
+    decode as {!Int}, everything else as {!Float}.  [\uXXXX] escapes
+    decode to UTF-8. *)
+
+(** {1 Accessors} — total functions for picking apart decoded objects. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing fields and non-objects. *)
+
+val to_int : t -> int option
+(** [Int] directly, and [Float] when integral. *)
+
+val to_float : t -> float option
+(** [Float] directly, and [Int] widened. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

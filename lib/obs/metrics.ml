@@ -1,0 +1,240 @@
+type counter = {
+  c_name : string;
+  c_help : string;
+  c_labels : (string * string) list;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_labels : (string * string) list;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_labels : (string * string) list;
+  h_min_exp : int;
+  h_bounds : float array; (* 2^min_exp .. 2^max_exp; +Inf bucket is extra *)
+  h_buckets : int array; (* length = Array.length h_bounds + 1 *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  index : (string * (string * string) list, instrument) Hashtbl.t;
+  mutable order : instrument list; (* reverse registration order *)
+}
+
+let create () = { index = Hashtbl.create 64; order = [] }
+
+let register t name labels build describe =
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.index key with
+  | Some existing -> describe existing
+  | None ->
+    let inst = build () in
+    Hashtbl.replace t.index key inst;
+    t.order <- inst :: t.order;
+    describe inst
+
+let type_error name = invalid_arg ("Metrics: " ^ name ^ " registered twice with different types")
+
+let counter t ?(help = "") ?(labels = []) name =
+  register t name labels
+    (fun () -> Counter { c_name = name; c_help = help; c_labels = labels; c_value = 0 })
+    (function Counter c -> c | _ -> type_error name)
+
+let gauge t ?(help = "") ?(labels = []) name =
+  register t name labels
+    (fun () -> Gauge { g_name = name; g_help = help; g_labels = labels; g_value = 0.0 })
+    (function Gauge g -> g | _ -> type_error name)
+
+let histogram t ?(help = "") ?(labels = []) ?(min_exp = 0) ?(max_exp = 30) name =
+  if min_exp > max_exp then
+    invalid_arg "Metrics.histogram: min_exp must be <= max_exp";
+  register t name labels
+    (fun () ->
+      let n = max_exp - min_exp + 1 in
+      Histogram
+        {
+          h_name = name;
+          h_help = help;
+          h_labels = labels;
+          h_min_exp = min_exp;
+          h_bounds = Array.init n (fun i -> 2.0 ** Float.of_int (min_exp + i));
+          h_buckets = Array.make (n + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+        })
+    (function Histogram h -> h | _ -> type_error name)
+
+let inc c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let set g v = g.g_value <- v
+
+let observe h v =
+  (* First bucket whose upper bound covers [v]; values beyond the last
+     bound land in the +Inf bucket. *)
+  let n = Array.length h.h_bounds in
+  let rec find i = if i >= n || v <= h.h_bounds.(i) then i else find (i + 1) in
+  let idx = find 0 in
+  h.h_buckets.(idx) <- h.h_buckets.(idx) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let counter_value c = c.c_value
+let gauge_value g = g.g_value
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let histogram_buckets h =
+  let acc = ref 0 in
+  let finite =
+    Array.to_list
+      (Array.mapi
+         (fun i bound ->
+           acc := !acc + h.h_buckets.(i);
+           (bound, !acc))
+         h.h_bounds)
+  in
+  finite @ [ (Float.infinity, h.h_count) ]
+
+(* ------------------------------------------------------------------ *)
+(* Exposition *)
+
+let instrument_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let instrument_help = function
+  | Counter c -> c.c_help
+  | Gauge g -> g.g_help
+  | Histogram h -> h.h_help
+
+let instrument_labels = function
+  | Counter c -> c.c_labels
+  | Gauge g -> g.g_labels
+  | Histogram h -> h.h_labels
+
+let instrument_type = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let sorted_instruments t =
+  List.sort
+    (fun a b ->
+      match compare (instrument_name a) (instrument_name b) with
+      | 0 -> compare (instrument_labels a) (instrument_labels b)
+      | c -> c)
+    (List.rev t.order)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let float_str f =
+  if f = Float.infinity then "+Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    string_of_int (Float.to_int f)
+  else Printf.sprintf "%g" f
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun inst ->
+      let name = instrument_name inst in
+      if not (Hashtbl.mem seen_header name) then begin
+        Hashtbl.replace seen_header name ();
+        let help = instrument_help inst in
+        if help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name (instrument_type inst))
+      end;
+      let labels = instrument_labels inst in
+      match inst with
+      | Counter c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" name (render_labels labels) c.c_value)
+      | Gauge g ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" name (render_labels labels)
+             (float_str g.g_value))
+      | Histogram h ->
+        List.iter
+          (fun (bound, cumulative) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (render_labels (labels @ [ ("le", float_str bound) ]))
+                 cumulative))
+          (histogram_buckets h);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels)
+             (float_str h.h_sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" name (render_labels labels)
+             h.h_count))
+    (sorted_instruments t);
+  Buffer.contents buf
+
+let to_json t =
+  let label_obj labels =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+  in
+  let one inst =
+    let base =
+      [
+        ("name", Json.Str (instrument_name inst));
+        ("type", Json.Str (instrument_type inst));
+        ("labels", label_obj (instrument_labels inst));
+      ]
+    in
+    let value =
+      match inst with
+      | Counter c -> [ ("value", Json.Int c.c_value) ]
+      | Gauge g -> [ ("value", Json.Float g.g_value) ]
+      | Histogram h ->
+        [
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (bound, cumulative) ->
+                   Json.Obj
+                     [
+                       ("le", Json.Str (float_str bound));
+                       ("count", Json.Int cumulative);
+                     ])
+                 (histogram_buckets h)) );
+          ("sum", Json.Float h.h_sum);
+          ("count", Json.Int h.h_count);
+        ]
+    in
+    Json.Obj (base @ value)
+  in
+  Json.Obj [ ("metrics", Json.List (List.map one (sorted_instruments t))) ]

@@ -1,0 +1,68 @@
+(** A small metrics registry: counters, gauges, and log-scale histograms,
+    with Prometheus text exposition and a JSON dump.
+
+    Instruments are interned by [(name, labels)]: registering the same
+    pair twice returns the same instrument, so instrumentation sites can
+    look instruments up on the fly without coordinating ownership.
+    Registering an existing pair as a different instrument type raises
+    [Invalid_argument].
+
+    Histograms use base-2 log-scale buckets: upper bounds [2^e] for
+    [e = min_exp .. max_exp] plus a [+Inf] overflow bucket.  The defaults
+    suit byte- and count-valued observations; pass a negative [min_exp]
+    for sub-unit values such as relative errors. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Registration} *)
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?min_exp:int ->
+  ?max_exp:int ->
+  string ->
+  histogram
+(** Defaults: [min_exp = 0], [max_exp = 30] (buckets 1, 2, 4, …, 2^30,
+    +Inf).  Requires [min_exp <= max_exp]. *)
+
+(** {1 Updates} *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) list
+(** [(upper_bound, cumulative_count)] pairs ending with [(infinity, n)],
+    Prometheus [le] semantics. *)
+
+(** {1 Exposition} *)
+
+val to_prometheus : t -> string
+(** Prometheus text format (version 0.0.4): [# HELP]/[# TYPE] headers per
+    metric name, histogram [_bucket]/[_sum]/[_count] expansion, output
+    sorted by name then labels for determinism. *)
+
+val to_json : t -> Json.t
+(** [{"metrics": [...]}] with one object per instrument. *)

@@ -1,0 +1,224 @@
+type ring = {
+  capacity : int;
+  buf : Event.t option array;
+  mutable next : int; (* slot for the next write *)
+  mutable stored : int;
+}
+
+type jsonl = {
+  mutable oc : out_channel option;
+  jbuf : Buffer.t;
+  buffer_bytes : int;
+}
+
+(* The metrics sink keeps direct instrument handles for the hot counters
+   and per-site caches so one event costs a few field updates, not
+   registry lookups. *)
+type metrics_state = {
+  reg : Metrics.t;
+  msgs_up : Metrics.counter;
+  msgs_down : Metrics.counter;
+  bytes_up : Metrics.counter;
+  bytes_down : Metrics.counter;
+  payload_up : Metrics.histogram;
+  payload_down : Metrics.histogram;
+  site_up : (int, Metrics.counter) Hashtbl.t;
+  site_down : (int, Metrics.counter) Hashtbl.t;
+  broadcasts : Metrics.counter;
+  sketch_sends_items : Metrics.counter;
+  sketch_sends_full : Metrics.counter;
+  sketch_bytes : Metrics.histogram;
+  count_sends : Metrics.counter;
+  send_gap : Metrics.histogram;
+  last_send : (int, int) Hashtbl.t;
+  crossings : Metrics.counter;
+  resyncs : Metrics.counter;
+  resync_bytes : Metrics.counter;
+  estimate : Metrics.gauge;
+  level : Metrics.gauge;
+}
+
+type t =
+  | Null
+  | Ring of ring
+  | Jsonl of jsonl
+  | Metrics_sink of metrics_state
+  | Fanout of t list
+
+let null = Null
+
+let ring ~capacity =
+  if capacity < 1 then invalid_arg "Sink.ring: capacity must be >= 1";
+  Ring { capacity; buf = Array.make capacity None; next = 0; stored = 0 }
+
+let jsonl ?(buffer_bytes = 65536) path =
+  Jsonl
+    { oc = Some (open_out path); jbuf = Buffer.create 4096; buffer_bytes }
+
+let metrics reg =
+  let c ?(labels = []) name help = Metrics.counter reg ~help ~labels name in
+  let dir d = [ ("dir", d) ] in
+  Metrics_sink
+    {
+      reg;
+      msgs_up = c ~labels:(dir "up") "wd_messages_total" "messages by direction";
+      msgs_down =
+        c ~labels:(dir "down") "wd_messages_total" "messages by direction";
+      bytes_up =
+        c ~labels:(dir "up") "wd_bytes_total" "on-the-wire bytes by direction";
+      bytes_down =
+        c ~labels:(dir "down") "wd_bytes_total"
+          "on-the-wire bytes by direction";
+      payload_up =
+        Metrics.histogram reg ~help:"message payload sizes"
+          ~labels:(dir "up") "wd_payload_bytes";
+      payload_down =
+        Metrics.histogram reg ~help:"message payload sizes"
+          ~labels:(dir "down") "wd_payload_bytes";
+      site_up = Hashtbl.create 16;
+      site_down = Hashtbl.create 16;
+      broadcasts = c "wd_broadcasts_total" "coordinator broadcasts";
+      sketch_sends_items =
+        c
+          ~labels:[ ("encoding", "items") ]
+          "wd_sketch_sends_total" "site contributions by wire encoding";
+      sketch_sends_full =
+        c
+          ~labels:[ ("encoding", "sketch") ]
+          "wd_sketch_sends_total" "site contributions by wire encoding";
+      sketch_bytes =
+        Metrics.histogram reg ~help:"bytes per site contribution"
+          "wd_sketch_send_bytes";
+      count_sends = c "wd_count_sends_total" "distinct-sample count reports";
+      send_gap =
+        Metrics.histogram reg
+          ~help:"updates between successive sends of one site"
+          "wd_send_gap_updates";
+      last_send = Hashtbl.create 16;
+      crossings =
+        c "wd_threshold_crossings_total" "local send-threshold crossings";
+      resyncs = c "wd_resyncs_total" "per-site state refreshes";
+      resync_bytes = c "wd_resync_bytes_total" "bytes in state refreshes";
+      estimate =
+        Metrics.gauge reg ~help:"coordinator's current estimate" "wd_estimate";
+      level =
+        Metrics.gauge reg ~help:"coordinator's sampling level" "wd_level";
+    }
+
+let fanout sinks = Fanout sinks
+
+let rec enabled = function
+  | Null -> false
+  | Ring _ | Jsonl _ | Metrics_sink _ -> true
+  | Fanout sinks -> List.exists enabled sinks
+
+let site_counter m table dir site =
+  match Hashtbl.find_opt table site with
+  | Some c -> c
+  | None ->
+    let c =
+      Metrics.counter m.reg ~help:"on-the-wire bytes by direction and site"
+        ~labels:[ ("dir", dir); ("site", string_of_int site) ]
+        "wd_site_bytes_total"
+    in
+    Hashtbl.replace table site c;
+    c
+
+let observe_gap m ~site ~time =
+  (match Hashtbl.find_opt m.last_send site with
+  | Some prev -> Metrics.observe m.send_gap (Float.of_int (time - prev))
+  | None -> ());
+  Hashtbl.replace m.last_send site time
+
+let record m (ev : Event.t) =
+  match ev.kind with
+  | Event.Run_meta _ -> ()
+  | Event.Message { dir = Event.Up; site; payload; bytes } ->
+    Metrics.inc m.msgs_up;
+    Metrics.add m.bytes_up bytes;
+    Metrics.add (site_counter m m.site_up "up" site) bytes;
+    Metrics.observe m.payload_up (Float.of_int payload)
+  | Event.Message { dir = Event.Down; site; payload; bytes } ->
+    Metrics.inc m.msgs_down;
+    Metrics.add m.bytes_down bytes;
+    Metrics.add (site_counter m m.site_down "down" site) bytes;
+    Metrics.observe m.payload_down (Float.of_int payload)
+  | Event.Broadcast { payload; bytes; messages; _ } ->
+    Metrics.add m.msgs_down messages;
+    Metrics.add m.bytes_down bytes;
+    Metrics.inc m.broadcasts;
+    Metrics.observe m.payload_down (Float.of_int payload)
+  | Event.Sketch_sent { site; bytes; items } ->
+    Metrics.inc
+      (match items with
+      | Some _ -> m.sketch_sends_items
+      | None -> m.sketch_sends_full);
+    Metrics.observe m.sketch_bytes (Float.of_int bytes);
+    observe_gap m ~site ~time:ev.time
+  | Event.Count_sent { site; _ } ->
+    Metrics.inc m.count_sends;
+    observe_gap m ~site ~time:ev.time
+  | Event.Threshold_crossed _ -> Metrics.inc m.crossings
+  | Event.Estimate_update { estimate; _ } -> Metrics.set m.estimate estimate
+  | Event.Level_advance { level; _ } ->
+    Metrics.set m.level (Float.of_int level)
+  | Event.Resync { bytes; _ } ->
+    Metrics.inc m.resyncs;
+    Metrics.add m.resync_bytes bytes
+
+let jsonl_flush j =
+  match j.oc with
+  | None -> ()
+  | Some oc ->
+    if Buffer.length j.jbuf > 0 then begin
+      Buffer.output_buffer oc j.jbuf;
+      Buffer.clear j.jbuf;
+      Stdlib.flush oc
+    end
+
+let rec emit sink ev =
+  match sink with
+  | Null -> ()
+  | Ring r ->
+    r.buf.(r.next) <- Some ev;
+    r.next <- (r.next + 1) mod r.capacity;
+    if r.stored < r.capacity then r.stored <- r.stored + 1
+  | Jsonl j ->
+    (match j.oc with
+    | None -> invalid_arg "Sink.emit: JSONL sink is closed"
+    | Some _ ->
+      Buffer.add_string j.jbuf (Trace.encode_line ev);
+      Buffer.add_char j.jbuf '\n';
+      if Buffer.length j.jbuf >= j.buffer_bytes then jsonl_flush j)
+  | Metrics_sink m -> record m ev
+  | Fanout sinks -> List.iter (fun s -> emit s ev) sinks
+
+let rec flush = function
+  | Null | Ring _ | Metrics_sink _ -> ()
+  | Jsonl j -> jsonl_flush j
+  | Fanout sinks -> List.iter flush sinks
+
+let rec close = function
+  | Null | Ring _ | Metrics_sink _ -> ()
+  | Jsonl j ->
+    jsonl_flush j;
+    (match j.oc with
+    | Some oc ->
+      close_out oc;
+      j.oc <- None
+    | None -> ())
+  | Fanout sinks -> List.iter close sinks
+
+let ring_contents = function
+  | Ring r ->
+    let out = ref [] in
+    for i = 0 to r.stored - 1 do
+      (* Oldest element sits [stored] slots behind the write cursor. *)
+      let idx = (r.next - r.stored + i + (2 * r.capacity)) mod r.capacity in
+      match r.buf.(idx) with
+      | Some ev -> out := ev :: !out
+      | None -> ()
+    done;
+    List.rev !out
+  | Null | Jsonl _ | Metrics_sink _ | Fanout _ ->
+    invalid_arg "Sink.ring_contents: not a ring sink"

@@ -1,0 +1,60 @@
+(** Pluggable trace-event sinks.
+
+    Every instrumented component holds a sink (default {!null}) and emits
+    {!Event.t}s through it.  Instrumentation sites must guard event
+    construction with {!enabled}:
+
+    {[
+      if Sink.enabled sink then
+        Sink.emit sink { Event.time; kind = Message { ... } }
+    ]}
+
+    so the disabled path costs one call and one branch — no allocation —
+    on the hot update path.
+
+    Available sinks:
+    - {!null}: drops everything; {!enabled} is [false].
+    - {!ring}: bounded in-memory ring buffer keeping the most recent
+      events (for tests, live inspection, and post-mortems).
+    - {!jsonl}: buffered JSONL file writer (one event per line, see
+      {!Trace}); call {!close} (or at least {!flush}) when done.
+    - {!metrics}: folds events into a {!Metrics.t} registry — message and
+      byte counters per direction and site, payload-size and sketch-size
+      histograms, inter-send update-gap histograms, estimate/level
+      gauges.
+    - {!fanout}: duplicates each event to several sinks. *)
+
+type t
+
+val null : t
+
+val ring : capacity:int -> t
+(** Keeps the last [capacity] events.  Requires [capacity >= 1]. *)
+
+val jsonl : ?buffer_bytes:int -> string -> t
+(** [jsonl path] opens (truncates) [path] and writes events as JSONL,
+    buffered in memory up to [buffer_bytes] (default 64 KiB) between
+    writes.  Raises [Sys_error] if the file cannot be created. *)
+
+val metrics : Metrics.t -> t
+(** Events update instruments registered under the [wd_] prefix in the
+    given registry; see the module comment. *)
+
+val fanout : t list -> t
+
+val enabled : t -> bool
+(** [false] only when emitting cannot have any effect ({!null}, or a
+    fanout of disabled sinks). *)
+
+val emit : t -> Event.t -> unit
+
+val flush : t -> unit
+(** Push buffered JSONL bytes to the OS.  No-op for other sinks. *)
+
+val close : t -> unit
+(** Flush and close any underlying channel.  Idempotent; emitting to a
+    closed JSONL sink raises. *)
+
+val ring_contents : t -> Event.t list
+(** The buffered events, oldest first.  Raises [Invalid_argument] when
+    the sink is not a {!ring}. *)

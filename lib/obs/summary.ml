@@ -1,0 +1,269 @@
+open Event
+
+type site_row = {
+  site : int;
+  s_msgs_up : int;
+  s_bytes_up : int;
+  s_msgs_down : int;
+  s_bytes_down : int;
+  s_sketch_sends : int;
+  s_item_sends : int;
+  s_count_sends : int;
+  s_crossings : int;
+  s_resyncs : int;
+  s_mean_send_gap : float;
+}
+
+type phase_row = {
+  phase : int;
+  p_from : int;
+  p_to : int;
+  p_events : int;
+  p_bytes_up : int;
+  p_bytes_down : int;
+  p_sends : int;
+  p_crossings : int;
+  p_estimate : float option;
+}
+
+type t = {
+  run : (string * string) list;
+  events : int;
+  updates : int;
+  msgs_up : int;
+  msgs_down : int;
+  bytes_up : int;
+  bytes_down : int;
+  medium_bytes : int;
+  broadcasts : int;
+  level : int;
+  first_estimate : float option;
+  last_estimate : float option;
+  kind_counts : (string * int) list;
+  sites : site_row list;
+}
+
+(* Mutable per-site accumulator. *)
+type acc = {
+  mutable a_msgs_up : int;
+  mutable a_bytes_up : int;
+  mutable a_msgs_down : int;
+  mutable a_bytes_down : int;
+  mutable a_sketch_sends : int;
+  mutable a_item_sends : int;
+  mutable a_count_sends : int;
+  mutable a_crossings : int;
+  mutable a_resyncs : int;
+  mutable a_last_send : int;
+  mutable a_gap_total : int;
+  mutable a_gaps : int;
+}
+
+let fresh_acc () =
+  {
+    a_msgs_up = 0;
+    a_bytes_up = 0;
+    a_msgs_down = 0;
+    a_bytes_down = 0;
+    a_sketch_sends = 0;
+    a_item_sends = 0;
+    a_count_sends = 0;
+    a_crossings = 0;
+    a_resyncs = 0;
+    a_last_send = -1;
+    a_gap_total = 0;
+    a_gaps = 0;
+  }
+
+(* A unicast-emulated broadcast reaches sites [0 .. k-1] minus [except],
+   where [k] is recoverable from the event itself. *)
+let broadcast_unicast_recipients ~except ~recipients =
+  let k = recipients + (match except with Some _ -> 1 | None -> 0) in
+  List.filter
+    (fun s -> Some s <> except)
+    (List.init k (fun s -> s))
+
+let of_events events =
+  let sites : (int, acc) Hashtbl.t = Hashtbl.create 16 in
+  let site_acc s =
+    match Hashtbl.find_opt sites s with
+    | Some a -> a
+    | None ->
+      let a = fresh_acc () in
+      Hashtbl.replace sites s a;
+      a
+  in
+  let note_send a time =
+    if a.a_last_send >= 0 then begin
+      a.a_gap_total <- a.a_gap_total + (time - a.a_last_send);
+      a.a_gaps <- a.a_gaps + 1
+    end;
+    a.a_last_send <- time
+  in
+  let kinds : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let run = ref [] in
+  let n_events = ref 0 in
+  let updates = ref 0 in
+  let msgs_up = ref 0 and msgs_down = ref 0 in
+  let bytes_up = ref 0 and bytes_down = ref 0 in
+  let medium = ref 0 in
+  let broadcasts = ref 0 in
+  let level = ref 0 in
+  let first_estimate = ref None and last_estimate = ref None in
+  List.iter
+    (fun ev ->
+      incr n_events;
+      if ev.time > !updates then updates := ev.time;
+      let name = kind_name ev.kind in
+      Hashtbl.replace kinds name
+        (1 + Option.value (Hashtbl.find_opt kinds name) ~default:0);
+      match ev.kind with
+      | Run_meta { run_id; protocol; algorithm; sites = k; cost_model } ->
+        run :=
+          [
+            ("run", run_id);
+            ("protocol", protocol);
+            ("algorithm", algorithm);
+            ("sites", string_of_int k);
+            ("cost model", cost_model);
+          ]
+      | Message { dir = Up; site; bytes; _ } ->
+        incr msgs_up;
+        bytes_up := !bytes_up + bytes;
+        let a = site_acc site in
+        a.a_msgs_up <- a.a_msgs_up + 1;
+        a.a_bytes_up <- a.a_bytes_up + bytes
+      | Message { dir = Down; site; bytes; _ } ->
+        incr msgs_down;
+        bytes_down := !bytes_down + bytes;
+        let a = site_acc site in
+        a.a_msgs_down <- a.a_msgs_down + 1;
+        a.a_bytes_down <- a.a_bytes_down + bytes
+      | Broadcast { except; bytes; messages; recipients; _ } ->
+        incr broadcasts;
+        msgs_down := !msgs_down + messages;
+        bytes_down := !bytes_down + bytes;
+        if messages = recipients && recipients > 0 then
+          (* Unicast emulation: split the charge across recipients. *)
+          let share = bytes / recipients in
+          List.iter
+            (fun s ->
+              let a = site_acc s in
+              a.a_msgs_down <- a.a_msgs_down + 1;
+              a.a_bytes_down <- a.a_bytes_down + share)
+            (broadcast_unicast_recipients ~except ~recipients)
+        else
+          (* Radio model: one copy on the shared medium, no single owner. *)
+          medium := !medium + bytes
+      | Sketch_sent { site; items; _ } ->
+        let a = site_acc site in
+        (match items with
+        | Some _ -> a.a_item_sends <- a.a_item_sends + 1
+        | None -> a.a_sketch_sends <- a.a_sketch_sends + 1);
+        note_send a ev.time
+      | Count_sent { site; _ } ->
+        let a = site_acc site in
+        a.a_count_sends <- a.a_count_sends + 1;
+        note_send a ev.time
+      | Threshold_crossed { site; _ } ->
+        let a = site_acc site in
+        a.a_crossings <- a.a_crossings + 1
+      | Estimate_update { estimate; _ } ->
+        if !first_estimate = None then first_estimate := Some estimate;
+        last_estimate := Some estimate
+      | Level_advance { level = l; _ } -> if l > !level then level := l
+      | Resync { site; _ } ->
+        let a = site_acc site in
+        a.a_resyncs <- a.a_resyncs + 1)
+    events;
+  let site_rows =
+    Hashtbl.fold
+      (fun site a rows ->
+        {
+          site;
+          s_msgs_up = a.a_msgs_up;
+          s_bytes_up = a.a_bytes_up;
+          s_msgs_down = a.a_msgs_down;
+          s_bytes_down = a.a_bytes_down;
+          s_sketch_sends = a.a_sketch_sends;
+          s_item_sends = a.a_item_sends;
+          s_count_sends = a.a_count_sends;
+          s_crossings = a.a_crossings;
+          s_resyncs = a.a_resyncs;
+          s_mean_send_gap =
+            (if a.a_gaps > 0 then
+               Float.of_int a.a_gap_total /. Float.of_int a.a_gaps
+             else Float.nan);
+        }
+        :: rows)
+      sites []
+    |> List.sort (fun a b -> compare a.site b.site)
+  in
+  let kind_counts =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    run = !run;
+    events = !n_events;
+    updates = !updates;
+    msgs_up = !msgs_up;
+    msgs_down = !msgs_down;
+    bytes_up = !bytes_up;
+    bytes_down = !bytes_down;
+    medium_bytes = !medium;
+    broadcasts = !broadcasts;
+    level = !level;
+    first_estimate = !first_estimate;
+    last_estimate = !last_estimate;
+    kind_counts;
+    sites = site_rows;
+  }
+
+let phases ~n events =
+  if n < 1 then invalid_arg "Summary.phases: n must be >= 1";
+  match events with
+  | [] -> []
+  | events ->
+    let updates =
+      List.fold_left (fun acc ev -> max acc ev.time) 0 events
+    in
+    let updates = max updates 1 in
+    let span = (updates + n - 1) / n in
+    let span = max span 1 in
+    let rows =
+      Array.init n (fun i ->
+          {
+            phase = i;
+            p_from = (i * span) + 1;
+            p_to = min updates ((i + 1) * span);
+            p_events = 0;
+            p_bytes_up = 0;
+            p_bytes_down = 0;
+            p_sends = 0;
+            p_crossings = 0;
+            p_estimate = None;
+          })
+    in
+    List.iter
+      (fun ev ->
+        (* Update index 0 (run metadata) counts into the first phase. *)
+        let idx = min (n - 1) (max 0 ((ev.time - 1) / span)) in
+        let r = rows.(idx) in
+        let r = { r with p_events = r.p_events + 1 } in
+        let r =
+          match ev.kind with
+          | Message { dir = Up; bytes; _ } ->
+            { r with p_bytes_up = r.p_bytes_up + bytes }
+          | Message { dir = Down; bytes; _ } | Broadcast { bytes; _ } ->
+            { r with p_bytes_down = r.p_bytes_down + bytes }
+          | Sketch_sent _ | Count_sent _ -> { r with p_sends = r.p_sends + 1 }
+          | Threshold_crossed _ ->
+            { r with p_crossings = r.p_crossings + 1 }
+          | Estimate_update { estimate; _ } ->
+            { r with p_estimate = Some estimate }
+          | Run_meta _ | Level_advance _ | Resync _ -> r
+        in
+        rows.(idx) <- r)
+      events;
+    Array.to_list rows

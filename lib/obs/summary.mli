@@ -1,0 +1,62 @@
+(** Aggregate a replayed trace into per-site and per-phase summaries.
+
+    This is the data layer behind [wdmon inspect]: pure folds over
+    {!Event.t} lists producing plain records, so the aggregation is
+    testable independently of table rendering.
+
+    Broadcast attribution follows the ledger semantics: a unicast-model
+    broadcast (one ledger message per recipient) is split evenly across
+    its recipients' down-bytes; a radio-model broadcast (one ledger
+    message total) is accounted to the shared medium
+    ({!t.medium_bytes}), not to any site. *)
+
+type site_row = {
+  site : int;
+  s_msgs_up : int;
+  s_bytes_up : int;
+  s_msgs_down : int;
+  s_bytes_down : int;  (** unicast deliveries incl. broadcast share *)
+  s_sketch_sends : int;  (** full-sketch encoded contributions *)
+  s_item_sends : int;  (** item-batched contributions *)
+  s_count_sends : int;
+  s_crossings : int;
+  s_resyncs : int;
+  s_mean_send_gap : float;  (** mean updates between sends; [nan] with
+                                fewer than two sends *)
+}
+
+type phase_row = {
+  phase : int;  (** 0-based phase index *)
+  p_from : int;
+  p_to : int;  (** update-index range covered, inclusive *)
+  p_events : int;
+  p_bytes_up : int;
+  p_bytes_down : int;
+  p_sends : int;  (** sketch + count sends *)
+  p_crossings : int;
+  p_estimate : float option;  (** last coordinator estimate in phase *)
+}
+
+type t = {
+  run : (string * string) list;
+      (** metadata key/values from the trace's [Run_meta] event, if any *)
+  events : int;
+  updates : int;  (** largest update index stamped on any event *)
+  msgs_up : int;
+  msgs_down : int;
+  bytes_up : int;
+  bytes_down : int;
+  medium_bytes : int;
+  broadcasts : int;
+  level : int;
+  first_estimate : float option;
+  last_estimate : float option;
+  kind_counts : (string * int) list;  (** sorted by kind name *)
+  sites : site_row list;  (** sorted by site index *)
+}
+
+val of_events : Event.t list -> t
+
+val phases : n:int -> Event.t list -> phase_row list
+(** Split the update-index range into [n] equal spans and aggregate each.
+    Requires [n >= 1]; returns [[]] on an empty trace. *)

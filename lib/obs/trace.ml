@@ -1,0 +1,185 @@
+open Event
+
+let to_json (ev : Event.t) : Json.t =
+  let fields =
+    match ev.kind with
+    | Run_meta { run_id; protocol; algorithm; sites; cost_model } ->
+      [
+        ("run", Json.Str run_id);
+        ("protocol", Json.Str protocol);
+        ("algorithm", Json.Str algorithm);
+        ("sites", Json.Int sites);
+        ("cost_model", Json.Str cost_model);
+      ]
+    | Message { dir; site; payload; bytes } ->
+      [
+        ("dir", Json.Str (direction_to_string dir));
+        ("site", Json.Int site);
+        ("payload", Json.Int payload);
+        ("bytes", Json.Int bytes);
+      ]
+    | Broadcast { except; payload; bytes; messages; recipients } ->
+      [
+        ( "except",
+          match except with Some s -> Json.Int s | None -> Json.Null );
+        ("payload", Json.Int payload);
+        ("bytes", Json.Int bytes);
+        ("messages", Json.Int messages);
+        ("recipients", Json.Int recipients);
+      ]
+    | Sketch_sent { site; bytes; items } ->
+      [
+        ("site", Json.Int site);
+        ("bytes", Json.Int bytes);
+        ("items", match items with Some n -> Json.Int n | None -> Json.Null);
+      ]
+    | Count_sent { site; item; count; delta } ->
+      [
+        ("site", Json.Int site);
+        ("item", Json.Int item);
+        ("count", Json.Int count);
+        ("delta", Json.Int delta);
+      ]
+    | Threshold_crossed { site; estimate; threshold } ->
+      [
+        ("site", Json.Int site);
+        ("estimate", Json.Float estimate);
+        ("threshold", Json.Float threshold);
+      ]
+    | Estimate_update { previous; estimate } ->
+      [ ("previous", Json.Float previous); ("estimate", Json.Float estimate) ]
+    | Level_advance { previous; level } ->
+      [ ("previous", Json.Int previous); ("level", Json.Int level) ]
+    | Resync { site; bytes } ->
+      [ ("site", Json.Int site); ("bytes", Json.Int bytes) ]
+  in
+  Json.Obj
+    (("t", Json.Int ev.time) :: ("ev", Json.Str (kind_name ev.kind)) :: fields)
+
+(* Field extraction for decoding, raising on malformed input so the
+   per-kind decoders stay flat; [of_json] catches and reports. *)
+exception Bad of string
+
+let get j name conv =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing or invalid field %S" name))
+
+let get_opt j name conv =
+  match Json.member name j with
+  | None | Some Json.Null -> None
+  | Some v -> (
+    match conv v with
+    | Some v -> Some v
+    | None -> raise (Bad (Printf.sprintf "invalid field %S" name)))
+
+let of_json j =
+  match
+    let time = get j "t" Json.to_int in
+    let ev = get j "ev" Json.to_str in
+    let kind =
+      match ev with
+      | "run_meta" ->
+        Run_meta
+          {
+            run_id = get j "run" Json.to_str;
+            protocol = get j "protocol" Json.to_str;
+            algorithm = get j "algorithm" Json.to_str;
+            sites = get j "sites" Json.to_int;
+            cost_model = get j "cost_model" Json.to_str;
+          }
+      | "message" ->
+        let dir =
+          match direction_of_string (get j "dir" Json.to_str) with
+          | Some d -> d
+          | None -> raise (Bad "invalid field \"dir\"")
+        in
+        Message
+          {
+            dir;
+            site = get j "site" Json.to_int;
+            payload = get j "payload" Json.to_int;
+            bytes = get j "bytes" Json.to_int;
+          }
+      | "broadcast" ->
+        Broadcast
+          {
+            except = get_opt j "except" Json.to_int;
+            payload = get j "payload" Json.to_int;
+            bytes = get j "bytes" Json.to_int;
+            messages = get j "messages" Json.to_int;
+            recipients = get j "recipients" Json.to_int;
+          }
+      | "sketch_sent" ->
+        Sketch_sent
+          {
+            site = get j "site" Json.to_int;
+            bytes = get j "bytes" Json.to_int;
+            items = get_opt j "items" Json.to_int;
+          }
+      | "count_sent" ->
+        Count_sent
+          {
+            site = get j "site" Json.to_int;
+            item = get j "item" Json.to_int;
+            count = get j "count" Json.to_int;
+            delta = get j "delta" Json.to_int;
+          }
+      | "threshold_crossed" ->
+        Threshold_crossed
+          {
+            site = get j "site" Json.to_int;
+            estimate = get j "estimate" Json.to_float;
+            threshold = get j "threshold" Json.to_float;
+          }
+      | "estimate_update" ->
+        Estimate_update
+          {
+            previous = get j "previous" Json.to_float;
+            estimate = get j "estimate" Json.to_float;
+          }
+      | "level_advance" ->
+        Level_advance
+          {
+            previous = get j "previous" Json.to_int;
+            level = get j "level" Json.to_int;
+          }
+      | "resync" ->
+        Resync
+          { site = get j "site" Json.to_int; bytes = get j "bytes" Json.to_int }
+      | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
+    in
+    { time; kind }
+  with
+  | ev -> Ok ev
+  | exception Bad msg -> Error msg
+
+let encode_line ev = Json.to_string (to_json ev)
+
+let decode_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+let fold_file ~f ~init path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok acc
+        | line ->
+          let line = String.trim line in
+          if line = "" then loop (lineno + 1) acc
+          else (
+            match decode_line line with
+            | Error e ->
+              Error (Printf.sprintf "%s:%d: %s" path lineno e)
+            | Ok ev -> loop (lineno + 1) (f acc ev))
+      in
+      loop 1 init)
+
+let read_file path =
+  Result.map List.rev
+    (fold_file ~f:(fun acc ev -> ev :: acc) ~init:[] path)

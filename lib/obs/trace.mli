@@ -1,0 +1,33 @@
+(** JSONL codec for {!Event.t} traces.
+
+    Each event is one flat JSON object on one line, discriminated by the
+    ["ev"] field (see {!Event.kind_name}) and stamped with ["t"], the
+    emitter's update index.  Example:
+
+    {v
+    {"t":0,"ev":"run_meta","run":"dc-LS-seed42","protocol":"dc","algorithm":"LS","sites":4,"cost_model":"unicast"}
+    {"t":137,"ev":"threshold_crossed","site":2,"estimate":96.0,"threshold":93.1}
+    {"t":137,"ev":"sketch_sent","site":2,"bytes":84,"items":10}
+    {"t":137,"ev":"message","dir":"up","site":2,"payload":80,"bytes":84}
+    v}
+
+    Decoding is strict on structure (unknown ["ev"] tags and missing
+    fields are errors) but tolerant of extra fields, so traces stay
+    forward-extensible. *)
+
+val to_json : Event.t -> Json.t
+val of_json : Json.t -> (Event.t, string) result
+
+val encode_line : Event.t -> string
+(** One JSON object, no trailing newline. *)
+
+val decode_line : string -> (Event.t, string) result
+
+val read_file : string -> (Event.t list, string) result
+(** Read a whole JSONL trace (blank lines skipped); the error names the
+    offending line number.  Raises [Sys_error] if the file cannot be
+    opened. *)
+
+val fold_file :
+  f:('a -> Event.t -> 'a) -> init:'a -> string -> ('a, string) result
+(** Streaming variant of {!read_file}. *)

@@ -1,5 +1,7 @@
 module Network = Wd_net.Network
 module Wire = Wd_net.Wire
+module Sink = Wd_obs.Sink
+module Event = Wd_obs.Event
 
 type algorithm = NS | SC | SS | LS | EC
 
@@ -60,10 +62,13 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     mutable d0 : float; (* coordinator's current estimate *)
     exact : (int, unit) Hashtbl.t; (* EC only: coordinator's exact set *)
     mutable sends : int;
+    mutable updates : int;
+    mutable sink : Sink.t; (* protocol-decision events; see Wd_obs *)
   }
 
   let create ?(cost_model = Network.Unicast) ?network ?(item_batching = true)
-      ?(delta_replies = true) ~algorithm ~theta ~sites ~family () =
+      ?(delta_replies = true) ?(sink = Sink.null) ~algorithm ~theta ~sites
+      ~family () =
     if sites < 1 then invalid_arg "Dc_tracker.create: sites must be >= 1";
     if algorithm <> EC && theta <= 0.0 then
       invalid_arg "Dc_tracker.create: theta must be positive";
@@ -102,6 +107,8 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       d0 = 0.0;
       exact = Hashtbl.create 1024;
       sends = 0;
+      updates = 0;
+      sink;
     }
 
   let algorithm t = t.algorithm
@@ -109,6 +116,8 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   let theta t = t.theta
   let network t = t.net
   let sends t = t.sends
+  let updates t = t.updates
+  let set_sink t sink = t.sink <- sink
 
   let estimate t =
     match t.algorithm with
@@ -134,6 +143,16 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     | SS | LS -> st.d0_known *. (1.0 +. over)
     | EC -> assert false
 
+  let emit_sketch_sent t ~site ~payload ~items =
+    if Sink.enabled t.sink then
+      Sink.emit t.sink
+        {
+          Event.time = t.updates;
+          kind =
+            Event.Sketch_sent
+              { site; bytes = Wire.message ~payload; items };
+        }
+
   (* Ship site [i]'s contribution upstream: the accumulated new items if
      that is the cheaper encoding, else the whole local sketch.  Returns
      whether the coordinator sketch changed. *)
@@ -141,13 +160,16 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     let send_items () =
       let n = Hashtbl.length st.pending in
       Network.send_up t.net ~site:i ~payload:(Wire.items n);
+      emit_sketch_sent t ~site:i ~payload:(Wire.items n) ~items:(Some n);
       Hashtbl.fold
         (fun v () changed ->
           ignore (Sketch.add st.coord_known v : bool);
           Sketch.add t.sk0 v || changed)
         st.pending false
     and send_sketch () =
-      Network.send_up t.net ~site:i ~payload:(Sketch.size_bytes st.sk);
+      let payload = Sketch.size_bytes st.sk in
+      Network.send_up t.net ~site:i ~payload;
+      emit_sketch_sent t ~site:i ~payload ~items:None;
       Sketch.merge_into ~dst:st.coord_known st.sk;
       let before = Sketch.copy t.sk0 in
       Sketch.merge_into ~dst:t.sk0 st.sk;
@@ -170,6 +192,12 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   let coordinator_react t ~sender:i ~sk0_changed =
     let d0_old = t.d0 in
     t.d0 <- Sketch.estimate t.sk0;
+    if Sink.enabled t.sink && t.d0 <> d0_old then
+      Sink.emit t.sink
+        {
+          Event.time = t.updates;
+          kind = Event.Estimate_update { previous = d0_old; estimate = t.d0 };
+        };
     match t.algorithm with
     | NS -> ()
     | SC ->
@@ -208,6 +236,12 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         else Sketch.size_bytes t.sk0
       in
       Network.send_down t.net ~site:i ~payload;
+      if Sink.enabled t.sink then
+        Sink.emit t.sink
+          {
+            Event.time = t.updates;
+            kind = Event.Resync { site = i; bytes = Wire.message ~payload };
+          };
       Sketch.merge_into ~dst:st.coord_known t.sk0;
       Sketch.merge_into ~dst:st.sk t.sk0;
       st.d_est <- Sketch.estimate st.sk;
@@ -237,7 +271,16 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
           st.pending_valid <- false
         end
         else Hashtbl.replace st.pending v ();
-      if st.d_est > send_threshold t st then begin
+      let threshold = send_threshold t st in
+      if st.d_est > threshold then begin
+        if Sink.enabled t.sink then
+          Sink.emit t.sink
+            {
+              Event.time = t.updates;
+              kind =
+                Event.Threshold_crossed
+                  { site; estimate = st.d_est; threshold };
+            };
         let sk0_changed = deliver_contribution t site st in
         coordinator_react t ~sender:site ~sk0_changed
       end
@@ -246,6 +289,8 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   let observe t ~site v =
     if site < 0 || site >= t.k then
       invalid_arg "Dc_tracker.observe: site index out of range";
+    t.updates <- t.updates + 1;
+    Network.set_time t.net t.updates;
     match t.algorithm with
     | EC -> observe_exact t ~site v
     | NS | SC | SS | LS -> observe_approx t ~site v

@@ -58,6 +58,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
     ?network:Wd_net.Network.t ->
     ?item_batching:bool ->
     ?delta_replies:bool ->
+    ?sink:Wd_obs.Sink.t ->
     algorithm:algorithm ->
     theta:float ->
     sites:int ->
@@ -78,8 +79,20 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
       ledger (with a matching site count) so that many tracker instances —
       e.g. the per-cell trackers of the distinct heavy-hitter structure —
       can account their traffic jointly; by default each tracker gets its
-      own ledger with the given [cost_model].  Requires [sites >= 1] and
-      [theta > 0]. *)
+      own ledger with the given [cost_model].  [sink] receives
+      protocol-decision trace events (threshold crossings, sketch sends,
+      estimate updates, LS resyncs); the default null sink is free on the
+      update path.  Requires [sites >= 1] and [theta > 0]. *)
+
+  val set_sink : t -> Wd_obs.Sink.t -> unit
+  (** Attach a trace sink for protocol-decision events.  Network-level
+      [message]/[broadcast] events are emitted by the byte ledger itself —
+      attach a sink there too ({!Wd_net.Network.set_sink} on {!network})
+      to capture both layers. *)
+
+  val updates : t -> int
+  (** Number of {!observe} calls so far (the update index stamped on
+      emitted trace events). *)
 
   val observe : t -> site:int -> int -> unit
   (** [observe t ~site v] processes the arrival of item [v] at remote site

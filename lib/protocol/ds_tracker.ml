@@ -1,6 +1,8 @@
 module Network = Wd_net.Network
 module Wire = Wd_net.Wire
 module Sampler = Wd_sketch.Distinct_sampler
+module Sink = Wd_obs.Sink
+module Event = Wd_obs.Event
 
 type algorithm = LCO | GCS | LCS | EDS
 
@@ -38,10 +40,12 @@ type t = {
   site_states : site_state array;
   coord : Sampler.t; (* the simulated global sampler, with approx counts *)
   mutable sends : int;
+  mutable updates : int;
+  mutable sink : Sink.t; (* protocol-decision events; see Wd_obs *)
 }
 
-let create ?(cost_model = Network.Unicast) ~algorithm ~theta ~sites ~family ()
-    =
+let create ?(cost_model = Network.Unicast) ?(sink = Sink.null) ~algorithm
+    ~theta ~sites ~family () =
   if sites < 1 then invalid_arg "Ds_tracker.create: sites must be >= 1";
   if algorithm <> EDS && theta <= 0.0 then
     invalid_arg "Ds_tracker.create: theta must be positive";
@@ -62,6 +66,8 @@ let create ?(cost_model = Network.Unicast) ~algorithm ~theta ~sites ~family ()
     site_states = Array.init sites (fun _ -> fresh_site ());
     coord = Sampler.create family;
     sends = 0;
+    updates = 0;
+    sink;
   }
 
 let algorithm t = t.algorithm
@@ -70,6 +76,8 @@ let theta t = t.theta
 let threshold t = Sampler.threshold t.family
 let network t = t.net
 let sends t = t.sends
+let updates t = t.updates
+let set_sink t sink = t.sink <- sink
 let sample t = Sampler.contents t.coord
 let sample_size t = Sampler.size t.coord
 let level t = Sampler.level t.coord
@@ -100,6 +108,12 @@ let raise_site_level t st l =
 let propagate_level_change t old_level =
   let l = Sampler.level t.coord in
   if l > old_level then begin
+    if Sink.enabled t.sink then
+      Sink.emit t.sink
+        {
+          Event.time = t.updates;
+          kind = Event.Level_advance { previous = old_level; level = l };
+        };
     Network.broadcast_down t.net ~except:None ~payload:Wire.level_bytes;
     Array.iter (fun st -> raise_site_level t st l) t.site_states
   end
@@ -132,6 +146,19 @@ let coordinator_react t ~sender:i v delta =
     if c0 > 0 then begin
       Network.send_down t.net ~site:i
         ~payload:(Wire.item_bytes + Wire.count_bytes);
+      if Sink.enabled t.sink then
+        Sink.emit t.sink
+          {
+            Event.time = t.updates;
+            kind =
+              Event.Resync
+                {
+                  site = i;
+                  bytes =
+                    Wire.message
+                      ~payload:(Wire.item_bytes + Wire.count_bytes);
+                };
+          };
       Hashtbl.replace t.site_states.(i).known_global v c0
     end
   | EDS -> assert false
@@ -141,8 +168,23 @@ let observe_approx t ~site v =
   if Sampler.item_level t.coord v >= st.level then begin
     let c = find0 st.counts v + 1 in
     Hashtbl.replace st.counts v c;
-    if Float.of_int c > send_threshold t st v then begin
+    let threshold = send_threshold t st v in
+    if Float.of_int c > threshold then begin
       let delta = c - find0 st.last_sent v in
+      if Sink.enabled t.sink then begin
+        Sink.emit t.sink
+          {
+            Event.time = t.updates;
+            kind =
+              Event.Threshold_crossed
+                { site; estimate = Float.of_int c; threshold };
+          };
+        Sink.emit t.sink
+          {
+            Event.time = t.updates;
+            kind = Event.Count_sent { site; item = v; count = c; delta };
+          }
+      end;
       Network.send_up t.net ~site
         ~payload:(Wire.item_bytes + Wire.count_bytes);
       t.sends <- t.sends + 1;
@@ -164,6 +206,8 @@ let observe_exact t ~site v =
 let observe t ~site v =
   if site < 0 || site >= t.k then
     invalid_arg "Ds_tracker.observe: site index out of range";
+  t.updates <- t.updates + 1;
+  Network.set_time t.net t.updates;
   match t.algorithm with
   | EDS -> observe_exact t ~site v
   | LCO | GCS | LCS -> observe_approx t ~site v

@@ -36,6 +36,7 @@ type t
 
 val create :
   ?cost_model:Wd_net.Network.cost_model ->
+  ?sink:Wd_obs.Sink.t ->
   algorithm:algorithm ->
   theta:float ->
   sites:int ->
@@ -44,8 +45,20 @@ val create :
   t
 (** [create ~algorithm ~theta ~sites ~family ()] builds a fresh tracker.
     [family] fixes the shared level hash and the sample-size threshold [T];
-    [theta] is the count-lag budget (ignored by [EDS]).  Requires
-    [sites >= 1] and [theta > 0]. *)
+    [theta] is the count-lag budget (ignored by [EDS]).  [sink] receives
+    protocol-decision trace events (threshold crossings, count reports,
+    level advances, LCS resyncs); the default null sink is free on the
+    update path.  Requires [sites >= 1] and [theta > 0]. *)
+
+val set_sink : t -> Wd_obs.Sink.t -> unit
+(** Attach a trace sink for protocol-decision events.  Network-level
+    [message]/[broadcast] events are emitted by the byte ledger — attach a
+    sink there too ({!Wd_net.Network.set_sink} on {!network}) to capture
+    both layers. *)
+
+val updates : t -> int
+(** Number of {!observe} calls so far (the update index stamped on
+    emitted trace events). *)
 
 val observe : t -> site:int -> int -> unit
 (** Process the arrival of one item at a remote site. *)

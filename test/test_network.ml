@@ -2,6 +2,15 @@
 
 module Network = Wd_net.Network
 module Wire = Wd_net.Wire
+module Sink = Wd_obs.Sink
+module Event = Wd_obs.Event
+
+let sum_site_bytes_down net =
+  let total = ref 0 in
+  for s = 0 to Network.sites net - 1 do
+    total := !total + Network.site_bytes_down net s
+  done;
+  !total
 
 let test_wire_sizes () =
   Alcotest.(check int) "message adds header" (Wire.header_bytes + 10)
@@ -68,6 +77,93 @@ let test_validation () =
     (Invalid_argument "Network: site index out of range") (fun () ->
       Network.send_up net ~site:2 ~payload:1)
 
+let test_radio_medium_accounting () =
+  let net = Network.create ~cost_model:Network.Radio_broadcast ~sites:5 () in
+  Network.broadcast_down net ~except:None ~payload:8;
+  Network.broadcast_down net ~except:(Some 1) ~payload:8;
+  for s = 0 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "site %d link idle" s)
+      0
+      (Network.site_bytes_down net s)
+  done;
+  Alcotest.(check int) "medium carries all broadcast bytes"
+    (Network.bytes_down net) (Network.medium_bytes net);
+  Network.send_down net ~site:3 ~payload:4;
+  Alcotest.(check int) "unicast send rides the site link"
+    (Wire.message ~payload:4)
+    (Network.site_bytes_down net 3);
+  Alcotest.(check int) "down = medium + site links"
+    (Network.bytes_down net)
+    (Network.medium_bytes net + sum_site_bytes_down net)
+
+let test_unicast_medium_is_zero () =
+  let net = Network.create ~sites:4 () in
+  Network.broadcast_down net ~except:(Some 0) ~payload:8;
+  Network.send_down net ~site:0 ~payload:2;
+  Alcotest.(check int) "no shared medium under unicast" 0
+    (Network.medium_bytes net);
+  Alcotest.(check int) "down = site links"
+    (Network.bytes_down net)
+    (sum_site_bytes_down net)
+
+let test_reset_zeroes_observability_state () =
+  let net = Network.create ~cost_model:Network.Radio_broadcast ~sites:3 () in
+  Network.set_time net 42;
+  Network.send_up net ~site:1 ~payload:4;
+  Network.broadcast_down net ~except:None ~payload:6;
+  Network.reset net;
+  Alcotest.(check int) "medium zeroed" 0 (Network.medium_bytes net);
+  Alcotest.(check int) "clock zeroed" 0 (Network.time net);
+  for s = 0 to 2 do
+    Alcotest.(check int) "per-site up zeroed" 0 (Network.site_bytes_up net s);
+    Alcotest.(check int) "per-site down zeroed" 0
+      (Network.site_bytes_down net s)
+  done
+
+(* The acceptance criterion of the trace layer: summing event bytes by
+   direction reproduces the ledger totals exactly. *)
+let trace_bytes events =
+  List.fold_left
+    (fun (up, down) (ev : Event.t) ->
+      match ev.Event.kind with
+      | Event.Message { dir = Event.Up; bytes; _ } -> (up + bytes, down)
+      | Event.Message { dir = Event.Down; bytes; _ } -> (up, down + bytes)
+      | Event.Broadcast { bytes; _ } -> (up, down + bytes)
+      | _ -> (up, down))
+    (0, 0) events
+
+let exercise_ledger net =
+  Network.send_up net ~site:0 ~payload:10;
+  Network.send_up net ~site:2 ~payload:6;
+  Network.send_down net ~site:1 ~payload:8;
+  Network.broadcast_down net ~except:None ~payload:5;
+  Network.broadcast_down net ~except:(Some 2) ~payload:7
+
+let test_sink_events_match_ledger () =
+  List.iter
+    (fun cost_model ->
+      let net = Network.create ~cost_model ~sites:3 () in
+      let ring = Sink.ring ~capacity:64 in
+      Network.set_sink net ring;
+      exercise_ledger net;
+      let up, down = trace_bytes (Sink.ring_contents ring) in
+      Alcotest.(check int) "event bytes up = ledger" (Network.bytes_up net) up;
+      Alcotest.(check int) "event bytes down = ledger"
+        (Network.bytes_down net) down)
+    [ Network.Unicast; Network.Radio_broadcast ]
+
+let test_events_carry_logical_clock () =
+  let net = Network.create ~sites:2 () in
+  let ring = Sink.ring ~capacity:4 in
+  Network.set_sink net ring;
+  Network.set_time net 17;
+  Network.send_up net ~site:0 ~payload:1;
+  match Sink.ring_contents ring with
+  | [ ev ] -> Alcotest.(check int) "stamped with update index" 17 ev.Event.time
+  | evs ->
+    Alcotest.failf "expected exactly one event, got %d" (List.length evs)
+
 let prop_ledger_totals_consistent =
   QCheck.Test.make ~name:"per-site bytes sum to totals"
     QCheck.(list_of_size (Gen.int_range 0 100) (pair (int_range 0 3) (int_range 0 64)))
@@ -85,6 +181,43 @@ let prop_ledger_totals_consistent =
       done;
       !sum_up = Network.bytes_up net && !sum_down = Network.bytes_down net)
 
+(* Like the above but including broadcasts, under both cost models: the
+   generalized invariant is bytes_down = medium_bytes + sum of site links,
+   and the event trace must agree with the ledger byte for byte. *)
+let prop_broadcast_invariant =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun (s, p) -> `Up (s, p)) (pair (int_range 0 3) (int_range 0 64));
+          map (fun (s, p) -> `Down (s, p)) (pair (int_range 0 3) (int_range 0 64));
+          map (fun (e, p) -> `Bcast (e, p)) (pair (int_range (-1) 3) (int_range 0 64));
+        ])
+  in
+  QCheck.Test.make ~name:"ledger and trace agree under broadcasts"
+    QCheck.(pair bool (list_of_size (Gen.int_range 0 60) op))
+    (fun (radio, ops) ->
+      let cost_model =
+        if radio then Network.Radio_broadcast else Network.Unicast
+      in
+      let net = Network.create ~cost_model ~sites:4 () in
+      let ring = Sink.ring ~capacity:1024 in
+      Network.set_sink net ring;
+      List.iter
+        (function
+          | `Up (site, payload) -> Network.send_up net ~site ~payload
+          | `Down (site, payload) -> Network.send_down net ~site ~payload
+          | `Bcast (e, payload) ->
+            let except = if e < 0 then None else Some e in
+            Network.broadcast_down net ~except ~payload)
+        ops;
+      let up, down = trace_bytes (Sink.ring_contents ring) in
+      Network.bytes_down net
+      = Network.medium_bytes net + sum_site_bytes_down net
+      && (radio || Network.medium_bytes net = 0)
+      && up = Network.bytes_up net
+      && down = Network.bytes_down net)
+
 let () =
   Alcotest.run "network"
     [
@@ -98,7 +231,23 @@ let () =
           Alcotest.test_case "radio broadcast" `Quick test_radio_broadcast_costs_once;
           Alcotest.test_case "totals and reset" `Quick test_totals_and_reset;
           Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "radio medium accounting" `Quick
+            test_radio_medium_accounting;
+          Alcotest.test_case "unicast has no medium" `Quick
+            test_unicast_medium_is_zero;
+          Alcotest.test_case "reset zeroes observability state" `Quick
+            test_reset_zeroes_observability_state;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "sink events match ledger" `Quick
+            test_sink_events_match_ledger;
+          Alcotest.test_case "events carry logical clock" `Quick
+            test_events_carry_logical_clock;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_ledger_totals_consistent ] );
+        [
+          QCheck_alcotest.to_alcotest prop_ledger_totals_consistent;
+          QCheck_alcotest.to_alcotest prop_broadcast_invariant;
+        ] );
     ]

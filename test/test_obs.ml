@@ -1,0 +1,565 @@
+(* Tests for the observability layer: JSON codec, JSONL traces, sinks,
+   metrics, and trace summarization — including the acceptance criterion
+   that trace byte sums reproduce the network ledger exactly. *)
+
+module Json = Wd_obs.Json
+module Event = Wd_obs.Event
+module Trace = Wd_obs.Trace
+module Sink = Wd_obs.Sink
+module Metrics = Wd_obs.Metrics
+module Summary = Wd_obs.Summary
+module Sim = Whats_different.Simulation
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Network = Wd_net.Network
+module Stream_gen = Wd_workload.Stream_gen
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let contains_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let json_roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("t", Json.Bool true);
+        ("f", Json.Bool false);
+        ("i", Json.Int (-42));
+        ("big", Json.Int max_int);
+        ("x", Json.Float 1.5);
+        ("s", Json.Str "a \"quoted\"\nline\twith \\ specials");
+        ("l", Json.List [ Json.Int 1; Json.Str "two"; Json.Null ]);
+        ("o", Json.Obj [ ("nested", Json.List []) ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip equal" true (json_roundtrip v = v)
+
+let test_json_numbers () =
+  Alcotest.(check bool) "int stays int" true
+    (Json.of_string "7" = Ok (Json.Int 7));
+  Alcotest.(check bool) "decimal parses as float" true
+    (Json.of_string "7.5" = Ok (Json.Float 7.5));
+  Alcotest.(check bool) "exponent parses as float" true
+    (Json.of_string "1e3" = Ok (Json.Float 1000.0));
+  (* Floats must round-trip bit for bit, including ugly ones. *)
+  List.iter
+    (fun f ->
+      match Json.to_float (json_roundtrip (Json.Float f)) with
+      | Some f' -> Alcotest.(check (float 0.0)) (Printf.sprintf "%h" f) f f'
+      | None -> Alcotest.fail "float decoded as non-number")
+    [ 0.1; 1.0 /. 3.0; 1e-300; 96.00000000001; Float.max_float ];
+  Alcotest.(check string) "nan renders null" "null"
+    (Json.to_string (Json.Float Float.nan))
+
+let test_json_unicode_escape () =
+  match Json.of_string "\"a\\u00e9 b\"" with
+  | Ok (Json.Str s) -> Alcotest.(check string) "utf-8 decoded" "a\xc3\xa9 b" s
+  | _ -> Alcotest.fail "unicode escape did not parse"
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("a", Json.Int 3); ("b", Json.Float 2.5) ] in
+  Alcotest.(check (option int)) "member int" (Some 3)
+    (Option.bind (Json.member "a" v) Json.to_int);
+  Alcotest.(check bool) "int widens to float" true
+    (Option.bind (Json.member "a" v) Json.to_float = Some 3.0);
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (Json.member "z" v) Json.to_int);
+  Alcotest.(check (option int)) "integral float narrows" (Some 4)
+    (Json.to_int (Json.Float 4.0));
+  Alcotest.(check (option int)) "fractional float does not" None
+    (Json.to_int (Json.Float 4.5))
+
+(* ------------------------------------------------------------------ *)
+(* Trace codec *)
+
+let sample_events =
+  [
+    {
+      Event.time = 0;
+      kind =
+        Event.Run_meta
+          {
+            run_id = "dc-LS-seed7";
+            protocol = "dc";
+            algorithm = "LS";
+            sites = 4;
+            cost_model = "unicast";
+          };
+    };
+    {
+      Event.time = 3;
+      kind = Event.Message { dir = Event.Up; site = 2; payload = 8; bytes = 12 };
+    };
+    {
+      Event.time = 5;
+      kind =
+        Event.Message { dir = Event.Down; site = 0; payload = 4; bytes = 8 };
+    };
+    {
+      Event.time = 9;
+      kind =
+        Event.Broadcast
+          { except = Some 1; payload = 6; bytes = 30; messages = 3; recipients = 3 };
+    };
+    {
+      Event.time = 9;
+      kind =
+        Event.Broadcast
+          { except = None; payload = 6; bytes = 10; messages = 1; recipients = 4 };
+    };
+    {
+      Event.time = 11;
+      kind = Event.Sketch_sent { site = 1; bytes = 84; items = Some 10 };
+    };
+    {
+      Event.time = 12;
+      kind = Event.Sketch_sent { site = 3; bytes = 84; items = None };
+    };
+    {
+      Event.time = 13;
+      kind = Event.Count_sent { site = 0; item = 99; count = 12; delta = 3 };
+    };
+    {
+      Event.time = 14;
+      kind =
+        Event.Threshold_crossed { site = 2; estimate = 96.5; threshold = 93.0 };
+    };
+    {
+      Event.time = 14;
+      kind = Event.Estimate_update { previous = 90.0; estimate = 96.5 };
+    };
+    { Event.time = 15; kind = Event.Level_advance { previous = 2; level = 3 } };
+    { Event.time = 16; kind = Event.Resync { site = 2; bytes = 84 } };
+  ]
+
+let test_trace_roundtrip_all_kinds () =
+  List.iter
+    (fun ev ->
+      match Trace.decode_line (Trace.encode_line ev) with
+      | Ok ev' ->
+        Alcotest.(check bool)
+          (Event.kind_name ev.Event.kind ^ " roundtrips")
+          true (ev = ev')
+      | Error e ->
+        Alcotest.failf "%s: %s" (Event.kind_name ev.Event.kind) e)
+    sample_events
+
+let test_trace_decode_errors () =
+  List.iter
+    (fun line ->
+      match Trace.decode_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not decode" line)
+    [
+      "{}";
+      {|{"t":1}|};
+      {|{"t":1,"ev":"warp_drive"}|};
+      {|{"t":1,"ev":"message","dir":"up","site":0,"payload":1}|};
+      {|{"t":1,"ev":"message","dir":"sideways","site":0,"payload":1,"bytes":5}|};
+      "[1,2]";
+      "not json";
+    ]
+
+let test_trace_tolerates_extra_fields () =
+  match
+    Trace.decode_line
+      {|{"t":4,"ev":"resync","site":1,"bytes":9,"note":"future field"}|}
+  with
+  | Ok { Event.time = 4; kind = Event.Resync { site = 1; bytes = 9 } } -> ()
+  | Ok _ -> Alcotest.fail "decoded to the wrong event"
+  | Error e -> Alcotest.failf "extra field rejected: %s" e
+
+let prop_trace_roundtrip =
+  let gen_kind =
+    QCheck.Gen.(
+      oneof
+        [
+          map3
+            (fun site payload up ->
+              Event.Message
+                {
+                  dir = (if up then Event.Up else Event.Down);
+                  site;
+                  payload;
+                  bytes = payload + 4;
+                })
+            (int_bound 31) (int_bound 1000) bool;
+          map3
+            (fun except payload recipients ->
+              Event.Broadcast
+                {
+                  except = (if except > 3 then None else Some except);
+                  payload;
+                  bytes = payload * max 1 recipients;
+                  messages = max 1 recipients;
+                  recipients = max 1 recipients;
+                })
+            (int_bound 7) (int_bound 1000) (int_bound 8);
+          map3
+            (fun site bytes items ->
+              Event.Sketch_sent
+                { site; bytes; items = (if items = 0 then None else Some items) })
+            (int_bound 31) (int_bound 4096) (int_bound 40);
+          map3
+            (fun site est thr ->
+              Event.Threshold_crossed
+                { site; estimate = est; threshold = thr })
+            (int_bound 31) (float_bound_inclusive 1e6)
+            (float_bound_inclusive 1e6);
+          map2
+            (fun a b -> Event.Estimate_update { previous = a; estimate = b })
+            (float_bound_inclusive 1e9) (float_bound_inclusive 1e9);
+          map2
+            (fun site bytes -> Event.Resync { site; bytes })
+            (int_bound 31) (int_bound 4096);
+        ])
+  in
+  let gen =
+    QCheck.Gen.(
+      map2 (fun time kind -> { Event.time; kind }) (int_bound 1_000_000) gen_kind)
+  in
+  QCheck.Test.make ~name:"random events roundtrip through JSONL"
+    (QCheck.make ~print:Trace.encode_line gen)
+    (fun ev ->
+      match Trace.decode_line (Trace.encode_line ev) with
+      | Ok ev' -> ev = ev'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let test_null_sink_disabled () =
+  Alcotest.(check bool) "null disabled" false (Sink.enabled Sink.null);
+  Alcotest.(check bool) "fanout of null disabled" false
+    (Sink.enabled (Sink.fanout [ Sink.null; Sink.null ]));
+  Alcotest.(check bool) "empty fanout disabled" false
+    (Sink.enabled (Sink.fanout []));
+  Alcotest.(check bool) "fanout with a live sink enabled" true
+    (Sink.enabled (Sink.fanout [ Sink.null; Sink.ring ~capacity:2 ]))
+
+let test_ring_keeps_most_recent () =
+  let ring = Sink.ring ~capacity:3 in
+  Alcotest.(check bool) "empty ring" true (Sink.ring_contents ring = []);
+  List.iteri
+    (fun i ev -> Sink.emit ring { ev with Event.time = i })
+    [ List.nth sample_events 1; List.nth sample_events 2;
+      List.nth sample_events 5; List.nth sample_events 8;
+      List.nth sample_events 11 ];
+  let times = List.map (fun e -> e.Event.time) (Sink.ring_contents ring) in
+  Alcotest.(check (list int)) "last 3, oldest first" [ 2; 3; 4 ] times;
+  Alcotest.check_raises "non-ring rejected"
+    (Invalid_argument "Sink.ring_contents: not a ring sink") (fun () ->
+      ignore (Sink.ring_contents Sink.null))
+
+let test_jsonl_sink_roundtrip () =
+  let path = Filename.temp_file "wd_obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Sink.jsonl ~buffer_bytes:32 path in
+      List.iter (Sink.emit sink) sample_events;
+      Sink.close sink;
+      Sink.close sink (* idempotent *);
+      match Trace.read_file path with
+      | Ok evs ->
+        Alcotest.(check bool) "file reproduces emitted events" true
+          (evs = sample_events)
+      | Error e -> Alcotest.failf "read_file: %s" e)
+
+let test_fold_file_and_blank_lines () =
+  let path = Filename.temp_file "wd_obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Trace.encode_line (List.hd sample_events));
+      output_string oc "\n\n";
+      output_string oc (Trace.encode_line (List.nth sample_events 1));
+      output_string oc "\n";
+      close_out oc;
+      (match Trace.fold_file ~f:(fun n _ -> n + 1) ~init:0 path with
+      | Ok n -> Alcotest.(check int) "blank line skipped" 2 n
+      | Error e -> Alcotest.failf "fold_file: %s" e);
+      let oc = open_out path in
+      output_string oc "{\"t\":0,\"ev\":\"run_meta\"}\n";
+      close_out oc;
+      match Trace.read_file path with
+      | Error e ->
+        Alcotest.(check bool) "error names the line" true
+          (contains_substring ~needle:"1" e)
+      | Ok _ -> Alcotest.fail "truncated event should not decode")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"a counter" "wd_test_total" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check bool) "interned" true
+    (Metrics.counter_value (Metrics.counter m "wd_test_total") = 5);
+  let g = Metrics.gauge m "wd_test_gauge" ~labels:[ ("site", "0") ] in
+  Metrics.set g 2.5;
+  Metrics.set g 1.5;
+  Alcotest.(check (float 0.0)) "gauge takes last" 1.5 (Metrics.gauge_value g);
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument
+       "Metrics: wd_test_total registered twice with different types")
+    (fun () -> ignore (Metrics.gauge m "wd_test_total"))
+
+let test_metrics_histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~min_exp:0 ~max_exp:3 "wd_test_hist" in
+  List.iter (fun x -> Metrics.observe h x) [ 0.5; 1.0; 3.0; 9.0; 100.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 113.5 (Metrics.histogram_sum h);
+  (* Bounds 1,2,4,8,+inf; cumulative counts with le semantics. *)
+  let buckets = Metrics.histogram_buckets h in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "cumulative buckets"
+    [ (1.0, 2); (2.0, 2); (4.0, 3); (8.0, 3); (Float.infinity, 5) ]
+    buckets
+
+let test_metrics_prometheus_text () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"bytes by dir" "wd_bytes_total"
+      ~labels:[ ("dir", "up") ] in
+  Metrics.add c 12;
+  let h = Metrics.histogram m ~min_exp:0 ~max_exp:1 "wd_sizes" in
+  Metrics.observe h 1.5;
+  let text = Metrics.to_prometheus m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exposition contains %S" needle)
+        true
+        (contains_substring ~needle text))
+    [
+      "# HELP wd_bytes_total bytes by dir";
+      "# TYPE wd_bytes_total counter";
+      "wd_bytes_total{dir=\"up\"} 12";
+      "# TYPE wd_sizes histogram";
+      "wd_sizes_bucket{le=\"+Inf\"} 1";
+      "wd_sizes_sum 1.5";
+      "wd_sizes_count 1";
+    ]
+
+let test_metrics_json_parses () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "wd_a_total") 3;
+  Metrics.set (Metrics.gauge m "wd_b") 0.5;
+  Metrics.observe (Metrics.histogram m "wd_c") 2.0;
+  let j = Metrics.to_json m in
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "dump reparses to itself" true (j = j')
+  | Error e -> Alcotest.failf "metrics JSON invalid: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: traces and metrics against real protocol runs *)
+
+let stream = Stream_gen.zipf ~sites:4 ~events:20_000 ~universe:5_000 ()
+
+let trace_byte_sums events =
+  List.fold_left
+    (fun (up, down) (ev : Event.t) ->
+      match ev.Event.kind with
+      | Event.Message { dir = Event.Up; bytes; _ } -> (up + bytes, down)
+      | Event.Message { dir = Event.Down; bytes; _ } -> (up, down + bytes)
+      | Event.Broadcast { bytes; _ } -> (up, down + bytes)
+      | _ -> (up, down))
+    (0, 0) events
+
+let test_dc_trace_matches_ledger () =
+  List.iter
+    (fun (cost_model, algorithm) ->
+      let ring = Sink.ring ~capacity:100_000 in
+      let r =
+        Sim.run_dc ~cost_model ~sink:ring ~algorithm ~theta:0.05 ~alpha:0.05
+          stream
+      in
+      let up, down = trace_byte_sums (Sink.ring_contents ring) in
+      Alcotest.(check int) "trace bytes up = ledger" r.Sim.dc_bytes_up up;
+      Alcotest.(check int) "trace bytes down = ledger" r.Sim.dc_bytes_down down)
+    [
+      (Network.Unicast, Dc.LS);
+      (Network.Unicast, Dc.NS);
+      (Network.Radio_broadcast, Dc.SS);
+      (Network.Unicast, Dc.EC);
+    ]
+
+let test_ds_trace_matches_ledger () =
+  List.iter
+    (fun algorithm ->
+      let ring = Sink.ring ~capacity:100_000 in
+      let r =
+        Sim.run_ds ~sink:ring ~algorithm ~theta:0.3 ~threshold:64 stream
+      in
+      let up, down = trace_byte_sums (Sink.ring_contents ring) in
+      Alcotest.(check int) "trace bytes up = ledger" r.Sim.ds_bytes_up up;
+      Alcotest.(check int) "trace bytes down = ledger" r.Sim.ds_bytes_down down)
+    [ Ds.LCO; Ds.GCS; Ds.LCS ]
+
+let test_metrics_sink_matches_ledger () =
+  let m = Metrics.create () in
+  let r =
+    Sim.run_dc ~sink:(Sink.metrics m) ~metrics:m ~algorithm:Dc.LS ~theta:0.05
+      ~alpha:0.05 stream
+  in
+  let counter_value name labels =
+    Metrics.counter_value (Metrics.counter m name ~labels)
+  in
+  Alcotest.(check int) "wd_bytes_total{up}" r.Sim.dc_bytes_up
+    (counter_value "wd_bytes_total" [ ("dir", "up") ]);
+  Alcotest.(check int) "wd_bytes_total{down}" r.Sim.dc_bytes_down
+    (counter_value "wd_bytes_total" [ ("dir", "down") ]);
+  let site_up_sum = ref 0 in
+  for s = 0 to 3 do
+    site_up_sum :=
+      !site_up_sum
+      + counter_value "wd_site_bytes_total"
+          [ ("dir", "up"); ("site", string_of_int s) ]
+  done;
+  Alcotest.(check int) "per-site byte counters sum to the ledger"
+    r.Sim.dc_bytes_up !site_up_sum;
+  Alcotest.(check bool) "accuracy histogram was fed" true
+    (Metrics.histogram_count (Metrics.histogram m "wd_estimate_rel_error") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Summary *)
+
+let test_summary_of_crafted_events () =
+  let s = Summary.of_events sample_events in
+  Alcotest.(check int) "events" (List.length sample_events) s.Summary.events;
+  Alcotest.(check int) "updates = max time" 16 s.Summary.updates;
+  Alcotest.(check int) "msgs up" 1 s.Summary.msgs_up;
+  Alcotest.(check int) "bytes up" 12 s.Summary.bytes_up;
+  (* one unicast down (8) + unicast-model broadcast (30) + radio broadcast
+     (10) *)
+  Alcotest.(check int) "bytes down" 48 s.Summary.bytes_down;
+  Alcotest.(check int) "radio broadcast on the medium" 10
+    s.Summary.medium_bytes;
+  Alcotest.(check int) "broadcasts" 2 s.Summary.broadcasts;
+  Alcotest.(check int) "level" 3 s.Summary.level;
+  Alcotest.(check bool) "last estimate" true
+    (s.Summary.last_estimate = Some 96.5);
+  Alcotest.(check (list string)) "run metadata captured"
+    [ "dc-LS-seed7"; "dc"; "LS"; "4"; "unicast" ]
+    (List.map snd s.Summary.run);
+  let site2 = List.find (fun r -> r.Summary.site = 2) s.Summary.sites in
+  Alcotest.(check int) "site 2 up msgs" 1 site2.Summary.s_msgs_up;
+  Alcotest.(check int) "site 2 crossings" 1 site2.Summary.s_crossings;
+  Alcotest.(check int) "site 2 resyncs" 1 site2.Summary.s_resyncs;
+  (* The unicast-model broadcast (30 bytes over 3 recipients, except site
+     1) adds 10 to sites 0, 2, 3; the radio one adds nothing per site. *)
+  let site1 = List.find (fun r -> r.Summary.site = 1) s.Summary.sites in
+  Alcotest.(check int) "excluded site skips broadcast share" 0
+    site1.Summary.s_bytes_down;
+  let site0 = List.find (fun r -> r.Summary.site = 0) s.Summary.sites in
+  Alcotest.(check int) "site 0 down = unicast + share" 18
+    site0.Summary.s_bytes_down
+
+let test_summary_phases () =
+  let rows = Summary.phases ~n:4 sample_events in
+  Alcotest.(check int) "four phases" 4 (List.length rows);
+  let total_events =
+    List.fold_left (fun acc r -> acc + r.Summary.p_events) 0 rows
+  in
+  Alcotest.(check int) "every event lands in exactly one phase"
+    (List.length sample_events) total_events;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "span well-formed" true
+        (r.Summary.p_from <= r.Summary.p_to))
+    rows;
+  Alcotest.(check int) "spans start at update 1" 1
+    (List.hd rows).Summary.p_from;
+  Alcotest.(check bool) "empty trace yields no phases" true
+    (Summary.phases ~n:3 [] = [])
+
+let test_summary_send_gap () =
+  let send t site =
+    { Event.time = t; kind = Event.Sketch_sent { site; bytes = 8; items = None } }
+  in
+  let s = Summary.of_events [ send 10 0; send 30 0; send 50 0; send 5 1 ] in
+  let site0 = List.find (fun r -> r.Summary.site = 0) s.Summary.sites in
+  Alcotest.(check (float 1e-9)) "mean gap" 20.0 site0.Summary.s_mean_send_gap;
+  let site1 = List.find (fun r -> r.Summary.site = 1) s.Summary.sites in
+  Alcotest.(check bool) "single send has no gap" true
+    (Float.is_nan site1.Summary.s_mean_send_gap)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "all kinds roundtrip" `Quick
+            test_trace_roundtrip_all_kinds;
+          Alcotest.test_case "decode errors" `Quick test_trace_decode_errors;
+          Alcotest.test_case "extra fields tolerated" `Quick
+            test_trace_tolerates_extra_fields;
+          QCheck_alcotest.to_alcotest prop_trace_roundtrip;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "null disabled" `Quick test_null_sink_disabled;
+          Alcotest.test_case "ring retention" `Quick
+            test_ring_keeps_most_recent;
+          Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_sink_roundtrip;
+          Alcotest.test_case "fold_file" `Quick test_fold_file_and_blank_lines;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_metrics_basics;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_metrics_histogram_buckets;
+          Alcotest.test_case "prometheus text" `Quick
+            test_metrics_prometheus_text;
+          Alcotest.test_case "json dump" `Quick test_metrics_json_parses;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "dc trace = ledger" `Quick
+            test_dc_trace_matches_ledger;
+          Alcotest.test_case "ds trace = ledger" `Quick
+            test_ds_trace_matches_ledger;
+          Alcotest.test_case "metrics sink = ledger" `Quick
+            test_metrics_sink_matches_ledger;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "crafted events" `Quick
+            test_summary_of_crafted_events;
+          Alcotest.test_case "phases" `Quick test_summary_phases;
+          Alcotest.test_case "send gaps" `Quick test_summary_send_gap;
+        ] );
+    ]
