@@ -70,6 +70,34 @@ let trace_arg =
   in
   Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let faults_arg =
+  let doc =
+    "Inject network faults: comma-separated $(i,drop=P), $(i,dup=P), \
+     $(i,corrupt=P) link probabilities and repeatable \
+     $(i,crash=SITE:FROM:UNTIL) windows (update indices), e.g. \
+     --faults drop=0.1,dup=0.02,crash=1:5000:8000."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the fault-injection randomness (independent of --seed)." in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let parse_faults ~fault_seed = function
+  | None -> Ok Wd_net.Faults.none
+  | Some spec -> Wd_net.Faults.of_spec ~seed:fault_seed spec
+
+(* Fault-counter rows for the dc/ds reports; empty without --faults. *)
+let fault_kv ~drops ~duplicates ~retries ~lost faults =
+  if not (Wd_net.Faults.enabled faults) then []
+  else
+    [
+      ("dropped transmissions", string_of_int drops);
+      ("duplicate deliveries", string_of_int duplicates);
+      ("retransmissions", string_of_int retries);
+      ("updates lost to crashes", string_of_int lost);
+    ]
+
 let load_trace path =
   if Filename.check_suffix path ".csv" then Wd_workload.Trace_io.load_csv path
   else Wd_workload.Trace_io.load_binary path
@@ -191,57 +219,68 @@ let dc_cmd =
     Arg.(value & opt float 0.3 & info [ "theta-frac" ] ~docv:"F" ~doc)
   in
   let run algorithm theta_frac workload trace scale seed epsilon sites events
-      trace_out metrics_out =
-    let stream =
-      match trace with
-      | Some path -> load_trace path
-      | None -> build_workload workload ~scale ~seed ~sites ~events
-    in
-    let theta = theta_frac *. epsilon in
-    let alpha = epsilon -. theta in
-    let sink, metrics = build_obs ~trace_out ~metrics_out in
-    let r =
-      Simulation.run_dc ~seed ?sink ?metrics ~algorithm ~theta ~alpha stream
-    in
-    let exact = Simulation.exact_dc_bytes stream in
-    Report.print_section
-      (Printf.sprintf "distinct count tracking (%s)"
-         (Dc.algorithm_to_string algorithm));
-    Report.print_kv
-      [
-        ("sites", string_of_int (Stream.num_sites stream));
-        ("updates", string_of_int r.Simulation.dc_updates);
-        ("true distinct", string_of_int r.Simulation.dc_final_truth);
-        ("estimate", Printf.sprintf "%.0f" r.Simulation.dc_final_estimate);
-        ( "relative error",
-          Printf.sprintf "%.4f"
-            (Float.abs
-               (r.Simulation.dc_final_estimate
-               -. Float.of_int r.Simulation.dc_final_truth)
-            /. Float.of_int (max 1 r.Simulation.dc_final_truth)) );
-        ("bytes up / down",
-         Printf.sprintf "%d / %d" r.Simulation.dc_bytes_up
-           r.Simulation.dc_bytes_down);
-        ("total bytes", string_of_int r.Simulation.dc_total_bytes);
-        ("exact (EC) bytes", string_of_int exact);
-        ( "cost ratio",
-          Printf.sprintf "%.3e"
-            (Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact) );
-        ("site->coord messages", string_of_int r.Simulation.dc_sends);
-      ];
-    (* The asymmetric information flow the paper's conclusion highlights:
-       per-direction traffic differs sharply across algorithms. *)
-    Printf.printf "up/down asymmetry    : %.2f\n"
-      (Float.of_int r.Simulation.dc_bytes_up
-      /. Float.of_int (max 1 r.Simulation.dc_bytes_down));
-    finish_obs ~trace_out ~metrics_out sink metrics
+      trace_out metrics_out faults_spec fault_seed =
+    match parse_faults ~fault_seed faults_spec with
+    | Error e -> `Error (false, e)
+    | Ok faults ->
+      let stream =
+        match trace with
+        | Some path -> load_trace path
+        | None -> build_workload workload ~scale ~seed ~sites ~events
+      in
+      let theta = theta_frac *. epsilon in
+      let alpha = epsilon -. theta in
+      let sink, metrics = build_obs ~trace_out ~metrics_out in
+      let r =
+        Simulation.run_dc ~seed ?sink ?metrics ~faults ~algorithm ~theta ~alpha
+          stream
+      in
+      let exact = Simulation.exact_dc_bytes stream in
+      Report.print_section
+        (Printf.sprintf "distinct count tracking (%s)"
+           (Dc.algorithm_to_string algorithm));
+      Report.print_kv
+        ([
+           ("sites", string_of_int (Stream.num_sites stream));
+           ("updates", string_of_int r.Simulation.dc_updates);
+           ("true distinct", string_of_int r.Simulation.dc_final_truth);
+           ("estimate", Printf.sprintf "%.0f" r.Simulation.dc_final_estimate);
+           ( "relative error",
+             Printf.sprintf "%.4f"
+               (Float.abs
+                  (r.Simulation.dc_final_estimate
+                  -. Float.of_int r.Simulation.dc_final_truth)
+               /. Float.of_int (max 1 r.Simulation.dc_final_truth)) );
+           ("bytes up / down",
+            Printf.sprintf "%d / %d" r.Simulation.dc_bytes_up
+              r.Simulation.dc_bytes_down);
+           ("total bytes", string_of_int r.Simulation.dc_total_bytes);
+           ("exact (EC) bytes", string_of_int exact);
+           ( "cost ratio",
+             Printf.sprintf "%.3e"
+               (Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact)
+           );
+           ("site->coord messages", string_of_int r.Simulation.dc_sends);
+         ]
+        @ fault_kv ~drops:r.Simulation.dc_drops
+            ~duplicates:r.Simulation.dc_duplicates
+            ~retries:r.Simulation.dc_retries ~lost:r.Simulation.dc_lost_updates
+            faults);
+      (* The asymmetric information flow the paper's conclusion highlights:
+         per-direction traffic differs sharply across algorithms. *)
+      Printf.printf "up/down asymmetry    : %.2f\n"
+        (Float.of_int r.Simulation.dc_bytes_up
+        /. Float.of_int (max 1 r.Simulation.dc_bytes_down));
+      finish_obs ~trace_out ~metrics_out sink metrics;
+      `Ok ()
   in
   let doc = "Run one distinct-count tracking simulation." in
   Cmd.v (Cmd.info "dc" ~doc)
     Term.(
-      const run $ algo_arg $ theta_frac_arg $ workload_arg $ trace_arg
-      $ scale_arg $ seed_arg $ epsilon_arg $ sites_arg $ events_arg
-      $ trace_out_arg $ metrics_out_arg)
+      ret
+        (const run $ algo_arg $ theta_frac_arg $ workload_arg $ trace_arg
+        $ scale_arg $ seed_arg $ epsilon_arg $ sites_arg $ events_arg
+        $ trace_out_arg $ metrics_out_arg $ faults_arg $ fault_seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* ds *)
@@ -264,55 +303,66 @@ let ds_cmd =
     Arg.(value & opt float 0.25 & info [ "theta" ] ~docv:"THETA" ~doc)
   in
   let run algorithm threshold theta workload trace scale seed sites events
-      trace_out metrics_out =
-    let stream =
-      match trace with
-      | Some path -> load_trace path
-      | None -> build_workload workload ~scale ~seed ~sites ~events
-    in
-    let sink, metrics = build_obs ~trace_out ~metrics_out in
-    let r =
-      Simulation.run_ds ~seed ?sink ~algorithm ~theta ~threshold stream
-    in
-    let exact = Simulation.exact_ds_bytes stream in
-    let sample = r.Simulation.ds_final_sample in
-    let level = r.Simulation.ds_final_level in
-    let module D = Wd_aggregate.Duplication in
-    Report.print_section
-      (Printf.sprintf "distinct sample tracking (%s)"
-         (Ds.algorithm_to_string algorithm));
-    Report.print_kv
-      [
-        ("sites", string_of_int (Stream.num_sites stream));
-        ("updates", string_of_int r.Simulation.ds_updates);
-        ("sample size / T",
-         Printf.sprintf "%d / %d" (List.length sample) threshold);
-        ("sampling level", string_of_int level);
-        ("distinct estimate",
-         Printf.sprintf "%.0f" r.Simulation.ds_distinct_estimate);
-        ("true distinct", string_of_int (Stream.distinct_count stream));
-        ("unique-event estimate",
-         Printf.sprintf "%.0f" (D.unique_count ~level sample));
-        ( "median duplication",
-          match D.median_count sample with
-          | Some m -> string_of_int m
-          | None -> "n/a" );
-        ("max count error",
-         Printf.sprintf "%.4f" r.Simulation.ds_max_count_error);
-        ("total bytes", string_of_int r.Simulation.ds_total_bytes);
-        ("exact (EDS) bytes", string_of_int exact);
-        ( "cost ratio",
-          Printf.sprintf "%.3e"
-            (Float.of_int r.Simulation.ds_total_bytes /. Float.of_int exact) );
-      ];
-    finish_obs ~trace_out ~metrics_out sink metrics
+      trace_out metrics_out faults_spec fault_seed =
+    match parse_faults ~fault_seed faults_spec with
+    | Error e -> `Error (false, e)
+    | Ok faults ->
+      let stream =
+        match trace with
+        | Some path -> load_trace path
+        | None -> build_workload workload ~scale ~seed ~sites ~events
+      in
+      let sink, metrics = build_obs ~trace_out ~metrics_out in
+      let r =
+        Simulation.run_ds ~seed ?sink ~faults ~algorithm ~theta ~threshold
+          stream
+      in
+      let exact = Simulation.exact_ds_bytes stream in
+      let sample = r.Simulation.ds_final_sample in
+      let level = r.Simulation.ds_final_level in
+      let module D = Wd_aggregate.Duplication in
+      Report.print_section
+        (Printf.sprintf "distinct sample tracking (%s)"
+           (Ds.algorithm_to_string algorithm));
+      Report.print_kv
+        ([
+           ("sites", string_of_int (Stream.num_sites stream));
+           ("updates", string_of_int r.Simulation.ds_updates);
+           ("sample size / T",
+            Printf.sprintf "%d / %d" (List.length sample) threshold);
+           ("sampling level", string_of_int level);
+           ("distinct estimate",
+            Printf.sprintf "%.0f" r.Simulation.ds_distinct_estimate);
+           ("true distinct", string_of_int (Stream.distinct_count stream));
+           ("unique-event estimate",
+            Printf.sprintf "%.0f" (D.unique_count ~level sample));
+           ( "median duplication",
+             match D.median_count sample with
+             | Some m -> string_of_int m
+             | None -> "n/a" );
+           ("max count error",
+            Printf.sprintf "%.4f" r.Simulation.ds_max_count_error);
+           ("total bytes", string_of_int r.Simulation.ds_total_bytes);
+           ("exact (EDS) bytes", string_of_int exact);
+           ( "cost ratio",
+             Printf.sprintf "%.3e"
+               (Float.of_int r.Simulation.ds_total_bytes /. Float.of_int exact)
+           );
+         ]
+        @ fault_kv ~drops:r.Simulation.ds_drops
+            ~duplicates:r.Simulation.ds_duplicates
+            ~retries:r.Simulation.ds_retries ~lost:r.Simulation.ds_lost_updates
+            faults);
+      finish_obs ~trace_out ~metrics_out sink metrics;
+      `Ok ()
   in
   let doc = "Run one distinct-sample tracking simulation." in
   Cmd.v (Cmd.info "ds" ~doc)
     Term.(
-      const run $ algo_arg $ threshold_arg $ theta_arg $ workload_arg
-      $ trace_arg $ scale_arg $ seed_arg $ sites_arg $ events_arg
-      $ trace_out_arg $ metrics_out_arg)
+      ret
+        (const run $ algo_arg $ threshold_arg $ theta_arg $ workload_arg
+        $ trace_arg $ scale_arg $ seed_arg $ sites_arg $ events_arg
+        $ trace_out_arg $ metrics_out_arg $ faults_arg $ fault_seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* hh *)
@@ -433,6 +483,29 @@ let inspect_cmd =
                   (fmt_estimate s.Summary.first_estimate)
                   (fmt_estimate s.Summary.last_estimate) );
               ("final level", string_of_int s.Summary.level);
+            ]
+          @
+          (* Fault section, only when the trace actually saw faults. *)
+          if
+            s.Summary.drops = 0 && s.Summary.duplicates = 0
+            && s.Summary.retries = 0 && s.Summary.crashes = 0
+          then []
+          else
+            [
+              ( "dropped transmissions",
+                Printf.sprintf "%d (%d bytes)" s.Summary.drops
+                  s.Summary.dropped_bytes );
+              ( "duplicate deliveries",
+                Printf.sprintf "%d (%d bytes)" s.Summary.duplicates
+                  s.Summary.duplicate_bytes );
+              ("retransmissions", string_of_int s.Summary.retries);
+              ( "crashes / recoveries",
+                Printf.sprintf "%d / %d" s.Summary.crashes s.Summary.recovers
+              );
+              ( "degraded sites",
+                match s.Summary.degraded_sites with
+                | [] -> "none"
+                | l -> String.concat "," (List.map string_of_int l) );
             ]);
         Report.print_table
           ~header:[ "event"; "count" ]
@@ -452,6 +525,10 @@ let inspect_cmd =
               "counts";
               "crossings";
               "resyncs";
+              "drops";
+              "dups";
+              "retries";
+              "cr/rec";
               "mean gap";
             ]
           (List.map
@@ -467,6 +544,10 @@ let inspect_cmd =
                    I r.s_count_sends;
                    I r.s_crossings;
                    I r.s_resyncs;
+                   I r.s_drops;
+                   I r.s_duplicates;
+                   I r.s_retries;
+                   S (Printf.sprintf "%d/%d" r.s_crashes r.s_recovers);
                    (if Float.is_nan r.s_mean_send_gap then S "-"
                     else F r.s_mean_send_gap);
                  ])

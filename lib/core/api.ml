@@ -35,6 +35,7 @@ module Sketch_intf = Wd_sketch.Sketch_intf
 (* Network simulation *)
 module Wire = Wd_net.Wire
 module Network = Wd_net.Network
+module Faults = Wd_net.Faults
 
 (* Protocols (the paper's core) *)
 module Params = Wd_protocol.Params

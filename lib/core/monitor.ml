@@ -21,6 +21,8 @@ type config = {
   hh_algorithm : Dc.algorithm;
   cost_model : Network.cost_model;
   seed : int;
+  faults : Wd_net.Faults.plan;
+  staleness_bound : int;
 }
 
 let default_config ~sites =
@@ -37,7 +39,11 @@ let default_config ~sites =
     hh_algorithm = Dc.LS;
     cost_model = Network.Unicast;
     seed = 1;
+    faults = Wd_net.Faults.none;
+    staleness_bound = 5_000;
   }
+
+type status = Healthy | Degraded of int list
 
 type t = {
   cfg : config;
@@ -60,16 +66,23 @@ let create cfg =
           ~family:(Fm_array.family ~rng shape) ())
       cfg.hh
   in
-  {
-    cfg;
-    dc =
-      Dc.Fm.create ~cost_model:cfg.cost_model ~algorithm:cfg.dc_algorithm
-        ~theta ~sites:cfg.sites ~family:dc_family ();
-    ds =
-      Ds.create ~cost_model:cfg.cost_model ~algorithm:cfg.ds_algorithm
-        ~theta:cfg.sample_theta ~sites:cfg.sites ~family:ds_family ();
-    hh;
-  }
+  if cfg.staleness_bound < 1 then
+    invalid_arg "Monitor.create: staleness_bound must be >= 1";
+  let dc =
+    Dc.Fm.create ~cost_model:cfg.cost_model ~algorithm:cfg.dc_algorithm ~theta
+      ~sites:cfg.sites ~family:dc_family ()
+  in
+  let ds =
+    Ds.create ~cost_model:cfg.cost_model ~algorithm:cfg.ds_algorithm
+      ~theta:cfg.sample_theta ~sites:cfg.sites ~family:ds_family ()
+  in
+  (* The distinct-count and distinct-sample trackers carry their own
+     recovery machinery; the heavy-hitter structure stays on a reliable
+     channel (its functor shares the DC recovery path when it is given a
+     faulty network explicitly). *)
+  Network.set_faults (Dc.Fm.network dc) cfg.faults;
+  Network.set_faults (Ds.network ds) cfg.faults;
+  { cfg; dc; ds; hh }
 
 let config t = t.cfg
 
@@ -103,6 +116,22 @@ let top_keys t ~k =
 
 let key_degree t v =
   match t.hh with None -> 0.0 | Some hh -> Hh.Tracked.estimate hh v
+
+let status t =
+  (* A site is degraded when it has been inside a crash window for longer
+     than the staleness bound on either core tracker's update clock; its
+     contribution to every answer is frozen at its last synchronization. *)
+  let stale = Hashtbl.create 8 in
+  for i = 0 to t.cfg.sites - 1 do
+    if
+      Dc.Fm.site_down_for t.dc i > t.cfg.staleness_bound
+      || Ds.site_down_for t.ds i > t.cfg.staleness_bound
+    then Hashtbl.replace stale i ()
+  done;
+  let sites = List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) stale []) in
+  match sites with [] -> Healthy | l -> Degraded l
+
+let lost_updates t = Dc.Fm.lost_updates t.dc + Ds.lost_updates t.ds
 
 let bytes_breakdown t =
   [

@@ -34,11 +34,24 @@ type config = {
   hh_algorithm : Wd_protocol.Dc_tracker.algorithm;
   cost_model : Wd_net.Network.cost_model;
   seed : int;
+  faults : Wd_net.Faults.plan;
+      (** fault-injection plan applied to the distinct-count and
+          distinct-sample networks ({!Wd_net.Faults.none} disables it) *)
+  staleness_bound : int;
+      (** updates a site may spend inside a crash window before the
+          monitor reports it {!Degraded} *)
 }
 
 val default_config : sites:int -> config
 (** LS + LCO at the paper's preferred settings (epsilon 0.1, theta
-    fraction 0.15, T = 1000, a 3x256x12 heavy-hitter array). *)
+    fraction 0.15, T = 1000, a 3x256x12 heavy-hitter array), no faults,
+    staleness bound 5000 updates. *)
+
+type status = Healthy | Degraded of int list
+    (** [Degraded sites] lists sites partitioned (crashed and not yet
+        recovered) for longer than {!config.staleness_bound} updates;
+        their contributions are frozen at the last synchronization, so
+        answers may under-count until they resync. *)
 
 type t
 
@@ -86,6 +99,16 @@ val top_keys : t -> k:int -> (int * float) list
 
 val key_degree : t -> int -> float
 (** [0] when the heavy-hitter structure is disabled. *)
+
+(** {1 Health} *)
+
+val status : t -> status
+(** {!Healthy}, or the sorted list of sites down past the staleness
+    bound on either core tracker. *)
+
+val lost_updates : t -> int
+(** Stream arrivals discarded across both core trackers because their
+    site was inside a crash window. *)
 
 (** {1 Accounting} *)
 

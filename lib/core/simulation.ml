@@ -36,6 +36,10 @@ type dc_run = {
   dc_final_truth : int;
   dc_bytes_series : (int * int) array;
   dc_error_series : (int * float) array;
+  dc_drops : int;
+  dc_duplicates : int;
+  dc_retries : int;
+  dc_lost_updates : int;
 }
 
 (* Evenly spaced 1-based sample positions over a run of [n] updates,
@@ -64,7 +68,8 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
 
   let run ?(cost_model = Network.Unicast) ?(item_batching = true) ?(seed = 1)
       ?(checkpoints = 20) ?(error_samples = 200) ?(confidence = 0.9) ?family
-      ?(sink = Sink.null) ?metrics ~algorithm ~theta ~alpha stream =
+      ?(sink = Sink.null) ?metrics ?(faults = Wd_net.Faults.none) ~algorithm
+      ~theta ~alpha stream =
     let n = Stream.length stream in
     if n = 0 then invalid_arg "Simulation.run_dc: empty stream";
     let k = Stream.num_sites stream in
@@ -82,6 +87,7 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     in
     let net = Tracker.network tracker in
     Network.set_sink net sink;
+    Network.set_faults net faults;
     emit_run_meta sink ~protocol:"dc"
       ~algorithm:(Dc.algorithm_to_string algorithm)
       ~sites:k ~cost_model ~seed;
@@ -108,8 +114,14 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     let bytes_series = ref [] and error_series = ref [] in
     Stream.iteri
       (fun j0 ~site ~item ->
+        let lost0 = Tracker.lost_updates tracker in
         Tracker.observe tracker ~site item;
-        if not (Hashtbl.mem truth item) then Hashtbl.replace truth item ();
+        (* Arrivals discarded inside a crash window never reached the
+           system, so they are excluded from the achievable truth too. *)
+        if
+          Tracker.lost_updates tracker = lost0
+          && not (Hashtbl.mem truth item)
+        then Hashtbl.replace truth item ();
         let j = j0 + 1 in
         if byte_at j then
           bytes_series := (j, Network.total_bytes net) :: !bytes_series;
@@ -132,15 +144,19 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       dc_final_truth = Hashtbl.length truth;
       dc_bytes_series = Array.of_list (List.rev !bytes_series);
       dc_error_series = Array.of_list (List.rev !error_series);
+      dc_drops = Network.drops net;
+      dc_duplicates = Network.duplicate_deliveries net;
+      dc_retries = Network.retries net;
+      dc_lost_updates = Tracker.lost_updates tracker;
     }
 end
 
 module Dc_fm = Make_dc (Wd_sketch.Fm)
 
 let run_dc ?cost_model ?item_batching ?seed ?checkpoints ?error_samples
-    ?confidence ?sink ?metrics ~algorithm ~theta ~alpha stream =
+    ?confidence ?sink ?metrics ?faults ~algorithm ~theta ~alpha stream =
   Dc_fm.run ?cost_model ?item_batching ?seed ?checkpoints ?error_samples
-    ?confidence ?sink ?metrics ~algorithm ~theta ~alpha stream
+    ?confidence ?sink ?metrics ?faults ~algorithm ~theta ~alpha stream
 
 type ds_run = {
   ds_algorithm : Ds.algorithm;
@@ -154,10 +170,15 @@ type ds_run = {
   ds_distinct_estimate : float;
   ds_bytes_series : (int * int) array;
   ds_max_count_error : float;
+  ds_drops : int;
+  ds_duplicates : int;
+  ds_retries : int;
+  ds_lost_updates : int;
 }
 
 let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
-    ?(sink = Sink.null) ~algorithm ~theta ~threshold stream =
+    ?(sink = Sink.null) ?(faults = Wd_net.Faults.none) ~algorithm ~theta
+    ~threshold stream =
   let n = Stream.length stream in
   if n = 0 then invalid_arg "Simulation.run_ds: empty stream";
   let k = Stream.num_sites stream in
@@ -169,20 +190,28 @@ let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
   in
   let net = Ds.network tracker in
   Network.set_sink net sink;
+  Network.set_faults net faults;
   emit_run_meta sink ~protocol:"ds"
     ~algorithm:(Ds.algorithm_to_string algorithm)
     ~sites:k ~cost_model ~seed;
   let byte_at = cursor_matcher (sample_positions n checkpoints) in
   let bytes_series = ref [] in
+  (* Fault-aware multiplicities: arrivals discarded inside a crash window
+     never reached the system, so the achievable exact counts exclude
+     them (identical to [Stream.multiplicities] when faults are off). *)
+  let exact = Hashtbl.create 4096 in
   Stream.iteri
     (fun j0 ~site ~item ->
+      let lost0 = Ds.lost_updates tracker in
       Ds.observe tracker ~site item;
+      if Ds.lost_updates tracker = lost0 then
+        Hashtbl.replace exact item
+          (1 + Option.value ~default:0 (Hashtbl.find_opt exact item));
       let j = j0 + 1 in
       if byte_at j then
         bytes_series := (j, Network.total_bytes net) :: !bytes_series)
     stream;
   let sample = Ds.sample tracker in
-  let exact = Stream.multiplicities stream in
   let max_count_error =
     List.fold_left
       (fun acc (v, c) ->
@@ -205,6 +234,10 @@ let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
     ds_distinct_estimate = Ds.estimate_distinct tracker;
     ds_bytes_series = Array.of_list (List.rev !bytes_series);
     ds_max_count_error = max_count_error;
+    ds_drops = Network.drops net;
+    ds_duplicates = Network.duplicate_deliveries net;
+    ds_retries = Network.retries net;
+    ds_lost_updates = Ds.lost_updates tracker;
   }
 
 type pair_stream = { psites : int array; vs : int array; ws : int array }

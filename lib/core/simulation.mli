@@ -26,6 +26,12 @@ type dc_run = {
   dc_error_series : (int * float) array;
       (** (updates processed, relative error of the coordinator estimate)
           sampled continuously over the run *)
+  dc_drops : int;  (** transmissions lost to injected faults *)
+  dc_duplicates : int;  (** extra message copies delivered *)
+  dc_retries : int;  (** reliable-send retransmissions *)
+  dc_lost_updates : int;
+      (** stream arrivals discarded because their site was crashed; these
+          are excluded from [dc_final_truth] too *)
 }
 
 val run_dc :
@@ -37,6 +43,7 @@ val run_dc :
   ?confidence:float ->
   ?sink:Wd_obs.Sink.t ->
   ?metrics:Wd_obs.Metrics.t ->
+  ?faults:Wd_net.Faults.plan ->
   algorithm:Wd_protocol.Dc_tracker.algorithm ->
   theta:float ->
   alpha:float ->
@@ -54,7 +61,13 @@ val run_dc :
     harness-side accuracy instruments ([wd_estimate_rel_error],
     [wd_true_distinct]) at the error-sample positions — combine with
     {!Wd_obs.Sink.metrics} over the same registry to collect traffic
-    metrics in one place. *)
+    metrics in one place.
+
+    [faults] (default {!Wd_net.Faults.none}) attaches a fault-injection
+    plan to the tracker's network: per-link drop/duplicate/corruption and
+    scheduled site crashes, with the tracker's recovery machinery (acked
+    retries, crash resync) engaged.  The run record then carries the
+    fault counters. *)
 
 (** Generic variant over any {!Wd_sketch.Sketch_intf.DISTINCT_SKETCH} —
     used by the sketch-type ablation. *)
@@ -69,6 +82,7 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
     ?family:Sketch.family ->
     ?sink:Wd_obs.Sink.t ->
     ?metrics:Wd_obs.Metrics.t ->
+    ?faults:Wd_net.Faults.plan ->
     algorithm:Wd_protocol.Dc_tracker.algorithm ->
     theta:float ->
     alpha:float ->
@@ -98,7 +112,12 @@ type ds_run = {
   ds_max_count_error : float;
       (** max over the final sample of the relative error of the tracked
           count vs the item's exact global count (Lemma 2 bounds this by
-          [theta] for the approximate algorithms) *)
+          [theta] for the approximate algorithms); with faults, exact
+          counts exclude arrivals discarded at crashed sites *)
+  ds_drops : int;
+  ds_duplicates : int;
+  ds_retries : int;
+  ds_lost_updates : int;
 }
 
 val run_ds :
@@ -106,13 +125,14 @@ val run_ds :
   ?seed:int ->
   ?checkpoints:int ->
   ?sink:Wd_obs.Sink.t ->
+  ?faults:Wd_net.Faults.plan ->
   algorithm:Wd_protocol.Ds_tracker.algorithm ->
   theta:float ->
   threshold:int ->
   Stream.t ->
   ds_run
-(** [sink] is attached to the tracker and its byte ledger as in
-    {!run_dc}. *)
+(** [sink] is attached to the tracker and its byte ledger, and [faults]
+    to the tracker's network, as in {!run_dc}. *)
 
 (** {1 Distinct heavy-hitter runs} *)
 

@@ -1,0 +1,154 @@
+type link = { drop : float; duplicate : float; corrupt : float }
+type crash = { site : int; down_from : int; down_until : int }
+type loss = Wd_obs.Event.loss = Link_drop | Corrupt_drop | Crash_drop
+type outcome = Delivered of int | Lost of loss
+
+type plan = {
+  default_link : link;
+  overrides : (int * link) list;
+  crash_list : crash list;
+  rng : Wd_hashing.Rng.t option; (* [None] only for the reliable plan *)
+  plan_seed : int;
+}
+
+let reliable_link = { drop = 0.; duplicate = 0.; corrupt = 0. }
+
+let none =
+  {
+    default_link = reliable_link;
+    overrides = [];
+    crash_list = [];
+    rng = None;
+    plan_seed = 0;
+  }
+
+let check_link { drop; duplicate; corrupt } =
+  let prob name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Faults.create: %s must be in [0, 1]" name)
+  in
+  prob "drop" drop;
+  prob "duplicate" duplicate;
+  prob "corrupt" corrupt;
+  if drop +. duplicate +. corrupt > 1. then
+    invalid_arg "Faults.create: drop + duplicate + corrupt must be <= 1"
+
+let check_crash { site; down_from; down_until } =
+  if site < 0 then invalid_arg "Faults.create: crash site must be >= 0";
+  if down_from < 0 || down_from >= down_until then
+    invalid_arg "Faults.create: crash window requires 0 <= down_from < down_until"
+
+let create ?(drop = 0.) ?(duplicate = 0.) ?(corrupt = 0.) ?(link_overrides = [])
+    ?(crashes = []) ~seed () =
+  let default_link = { drop; duplicate; corrupt } in
+  check_link default_link;
+  List.iter (fun (_, l) -> check_link l) link_overrides;
+  List.iter check_crash crashes;
+  {
+    default_link;
+    overrides = link_overrides;
+    crash_list = crashes;
+    rng = Some (Wd_hashing.Rng.create seed);
+    plan_seed = seed;
+  }
+
+let link_for t site =
+  match List.assoc_opt site t.overrides with
+  | Some l -> l
+  | None -> t.default_link
+
+let link_enabled l = l.drop > 0. || l.duplicate > 0. || l.corrupt > 0.
+
+let enabled t =
+  link_enabled t.default_link
+  || List.exists (fun (_, l) -> link_enabled l) t.overrides
+  || t.crash_list <> []
+
+let has_crashes t = t.crash_list <> []
+let crashes t = t.crash_list
+let seed t = t.plan_seed
+
+let is_down t ~site ~time =
+  List.exists
+    (fun c -> c.site = site && time >= c.down_from && time < c.down_until)
+    t.crash_list
+
+let roll t ~site ~time =
+  match t.rng with
+  | None -> Delivered 1
+  | Some rng ->
+    if is_down t ~site ~time then Lost Crash_drop
+    else begin
+      let l = link_for t site in
+      if not (link_enabled l) then Delivered 1
+      else begin
+        (* One uniform draw split across the probability bands keeps the
+           rng stream in lockstep with the transmission sequence. *)
+        let u = Wd_hashing.Rng.float rng 1.0 in
+        if u < l.drop then Lost Link_drop
+        else if u < l.drop +. l.corrupt then Lost Corrupt_drop
+        else if u < l.drop +. l.corrupt +. l.duplicate then Delivered 2
+        else Delivered 1
+      end
+    end
+
+let of_spec ~seed spec =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_prob clause v k =
+    match float_of_string_opt v with
+    | Some p when p >= 0. && p <= 1. -> Ok (k p)
+    | _ -> fail "faults: %s wants a probability in [0, 1], got %S" clause v
+  in
+  let rec go clauses ~drop ~dup ~corrupt ~crashes =
+    match clauses with
+    | [] -> begin
+      match
+        create ~drop ~duplicate:dup ~corrupt ~crashes:(List.rev crashes)
+          ~seed ()
+      with
+      | plan -> Ok plan
+      | exception Invalid_argument m -> Error m
+    end
+    | clause :: rest -> begin
+      match String.index_opt clause '=' with
+      | None -> fail "faults: expected KEY=VALUE, got %S" clause
+      | Some i -> begin
+        let key = String.sub clause 0 i in
+        let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+        match key with
+        | "drop" ->
+          Result.bind (parse_prob "drop" v Fun.id) (fun drop ->
+              go rest ~drop ~dup ~corrupt ~crashes)
+        | "dup" | "duplicate" ->
+          Result.bind (parse_prob "dup" v Fun.id) (fun dup ->
+              go rest ~drop ~dup ~corrupt ~crashes)
+        | "corrupt" ->
+          Result.bind (parse_prob "corrupt" v Fun.id) (fun corrupt ->
+              go rest ~drop ~dup ~corrupt ~crashes)
+        | "crash" -> begin
+          match String.split_on_char ':' v with
+          | [ s; f; u ] -> begin
+            match
+              (int_of_string_opt s, int_of_string_opt f, int_of_string_opt u)
+            with
+            | Some site, Some down_from, Some down_until
+              when site >= 0 && down_from >= 0 && down_from < down_until ->
+              go rest ~drop ~dup ~corrupt
+                ~crashes:({ site; down_from; down_until } :: crashes)
+            | _ ->
+              fail
+                "faults: crash wants SITE:FROM:UNTIL with 0 <= FROM < UNTIL, \
+                 got %S"
+                v
+          end
+          | _ -> fail "faults: crash wants SITE:FROM:UNTIL, got %S" v
+        end
+        | _ -> fail "faults: unknown key %S" key
+      end
+    end
+  in
+  let clauses =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' spec)
+  in
+  if clauses = [] then fail "faults: empty spec"
+  else go clauses ~drop:0. ~dup:0. ~corrupt:0. ~crashes:[]

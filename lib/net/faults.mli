@@ -1,0 +1,86 @@
+(** Deterministic fault plans for the simulated star network.
+
+    The paper's setting — duplicated sensor reports from multi-path
+    routing and retransmission — motivates duplicate-resilient sketches,
+    but the seed simulator still assumed a perfectly reliable channel
+    (the Section 3 simplification noted in {!Network}).  A fault plan
+    relaxes that: it is a pure, seeded description of how each
+    coordinator–site link misbehaves (drop / duplicate / corrupt
+    probabilities) and of scheduled site crash windows.  {!Network.t}
+    consults the plan on every transmission, so the same seed replays
+    the same faults byte for byte.
+
+    All randomness comes from one {!Wd_hashing.Rng.t} consumed in
+    transmission order; [is_down] is a pure function of the schedule and
+    consumes no randomness. *)
+
+type link = { drop : float; duplicate : float; corrupt : float }
+(** Per-transmission probabilities on one link, each in [[0, 1]] with
+    [drop +. duplicate +. corrupt <= 1.].  [drop]: the frame vanishes.
+    [corrupt]: the frame arrives damaged and the receiver's checksum
+    discards it (a distinct loss cause in traces).  [duplicate]: the
+    frame arrives twice (multi-path routing). *)
+
+type crash = { site : int; down_from : int; down_until : int }
+(** Site [site] is dead for logical times [t] with
+    [down_from <= t < down_until]: it makes no observations, sends
+    nothing, receives nothing, and loses its volatile protocol state.
+    At [down_until] it restarts empty and must be resynchronized. *)
+
+type loss = Wd_obs.Event.loss = Link_drop | Corrupt_drop | Crash_drop
+(** Alias of {!Wd_obs.Event.loss} so network and trace code pattern-match
+    one type. *)
+
+type outcome = Delivered of int | Lost of loss
+(** Result of one transmission attempt: [Delivered n] means [n] copies
+    reached the receiver ([n >= 1]; [n = 0] marks a non-recipient in
+    broadcast outcome arrays); [Lost] names why nothing arrived. *)
+
+type plan
+
+val none : plan
+(** The reliable channel: no losses, no duplicates, no crashes.
+    [enabled none = false]. *)
+
+val create :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?corrupt:float ->
+  ?link_overrides:(int * link) list ->
+  ?crashes:crash list ->
+  seed:int ->
+  unit ->
+  plan
+(** [create ~seed ()] builds a plan whose default link has the given
+    probabilities (all default [0.]) for every site, except sites listed
+    in [link_overrides].  Raises [Invalid_argument] on probabilities
+    outside [[0, 1]], sums above [1.], or crash windows with
+    [down_from >= down_until] or [down_from < 0]. *)
+
+val of_spec : seed:int -> string -> (plan, string) result
+(** Parse a compact command-line spec: comma-separated
+    [drop=P | dup=P | corrupt=P | crash=SITE:FROM:UNTIL] clauses, e.g.
+    ["drop=0.1,dup=0.02,crash=2:5000:9000"].  Repeated [crash] clauses
+    accumulate. *)
+
+val enabled : plan -> bool
+(** [true] iff any link probability is positive or any crash is
+    scheduled — i.e. iff the channel can misbehave.  Recovery machinery
+    (acks, retries, resync) activates only on enabled plans, so a
+    disabled plan is byte-identical to no plan at all. *)
+
+val has_crashes : plan -> bool
+val crashes : plan -> crash list
+val seed : plan -> int
+
+val link_for : plan -> int -> link
+(** The effective probabilities on one site's link. *)
+
+val is_down : plan -> site:int -> time:int -> bool
+(** Whether [site] is inside a crash window at logical time [time]. *)
+
+val roll : plan -> site:int -> time:int -> outcome
+(** Decide the fate of one transmission on [site]'s link at [time].
+    A down site loses the frame ([Lost Crash_drop], no randomness);
+    otherwise one uniform draw is split across the link's probability
+    bands.  [Delivered] is [1] or [2] copies. *)

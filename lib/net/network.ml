@@ -19,6 +19,13 @@ type t = {
   mutable medium : int;
   mutable sink : Sink.t;
   mutable time : int;
+  mutable faults : Faults.plan;
+  mutable debug_checks : bool;
+  mutable link_drops : int;
+  mutable corrupt_drops : int;
+  mutable crash_drops : int;
+  mutable dup_deliveries : int;
+  mutable retry_count : int;
 }
 
 let create ?(cost_model = Unicast) ~sites () =
@@ -35,6 +42,13 @@ let create ?(cost_model = Unicast) ~sites () =
     medium = 0;
     sink = Sink.null;
     time = 0;
+    faults = Faults.none;
+    debug_checks = true;
+    link_drops = 0;
+    corrupt_drops = 0;
+    crash_drops = 0;
+    dup_deliveries = 0;
+    retry_count = 0;
   }
 
 let sites t = t.k
@@ -45,8 +59,32 @@ let sink t = t.sink
 let set_time t time = t.time <- time
 let time t = t.time
 
+let set_faults t plan = t.faults <- plan
+let faults t = t.faults
+let set_debug_checks t on = t.debug_checks <- on
+
+let site_down t ~site = Faults.is_down t.faults ~site ~time:t.time
+
 let check_site t site =
   if site < 0 || site >= t.k then invalid_arg "Network: site index out of range"
+
+(* The down-side ledger invariant: every byte the coordinator sends lands
+   either on one site's point-to-point link or on the shared radio medium
+   (never both, never neither). *)
+let check_ledger t =
+  if t.debug_checks then begin
+    let site_down_sum = Array.fold_left ( + ) 0 t.per_site_down in
+    assert (t.bytes_down = t.medium + site_down_sum)
+  end
+
+let emit t kind =
+  if Sink.enabled t.sink then Sink.emit t.sink { Event.time = t.time; kind }
+
+let note_loss t (loss : Faults.loss) =
+  match loss with
+  | Link_drop -> t.link_drops <- t.link_drops + 1
+  | Corrupt_drop -> t.corrupt_drops <- t.corrupt_drops + 1
+  | Crash_drop -> t.crash_drops <- t.crash_drops + 1
 
 let send_up t ~site ~payload =
   check_site t site;
@@ -67,6 +105,7 @@ let send_down t ~site ~payload =
   t.bytes_down <- t.bytes_down + bytes;
   t.messages_down <- t.messages_down + 1;
   t.per_site_down.(site) <- t.per_site_down.(site) + bytes;
+  check_ledger t;
   if Sink.enabled t.sink then
     Sink.emit t.sink
       {
@@ -86,6 +125,7 @@ let broadcast_down t ~except ~payload =
         t.per_site_down.(site) <- t.per_site_down.(site) + bytes
       end
     done;
+    check_ledger t;
     if Sink.enabled t.sink && recipients > 0 then
       Sink.emit t.sink
         {
@@ -106,6 +146,7 @@ let broadcast_down t ~except ~payload =
     t.bytes_down <- t.bytes_down + bytes;
     t.messages_down <- t.messages_down + 1;
     t.medium <- t.medium + bytes;
+    check_ledger t;
     if Sink.enabled t.sink then
       Sink.emit t.sink
         {
@@ -113,6 +154,175 @@ let broadcast_down t ~except ~payload =
           kind =
             Event.Broadcast { except; payload; bytes; messages = 1; recipients };
         }
+
+(* Fault-aware delivery.  With a disabled plan these degrade to the plain
+   [send_*] above — same charges, same events, no randomness consumed —
+   so fault-free runs stay byte-identical to the reliable simulator. *)
+
+let transmit_up t ~site ~payload =
+  if not (Faults.enabled t.faults) then begin
+    send_up t ~site ~payload;
+    Faults.Delivered 1
+  end
+  else begin
+    check_site t site;
+    let bytes = Wire.message ~payload in
+    let outcome = Faults.roll t.faults ~site ~time:t.time in
+    (* The attempt occupies the uplink whether or not it arrives. *)
+    t.bytes_up <- t.bytes_up + bytes;
+    t.messages_up <- t.messages_up + 1;
+    t.per_site_up.(site) <- t.per_site_up.(site) + bytes;
+    (match outcome with
+    | Faults.Delivered n ->
+      emit t (Event.Message { dir = Event.Up; site; payload; bytes });
+      if n > 1 then begin
+        let copies = n - 1 in
+        let extra = copies * bytes in
+        t.bytes_up <- t.bytes_up + extra;
+        t.messages_up <- t.messages_up + copies;
+        t.per_site_up.(site) <- t.per_site_up.(site) + extra;
+        t.dup_deliveries <- t.dup_deliveries + copies;
+        emit t (Event.Duplicate { dir = Event.Up; site; bytes = extra; copies })
+      end
+    | Faults.Lost loss ->
+      note_loss t loss;
+      emit t (Event.Drop { dir = Event.Up; site; bytes; loss }));
+    outcome
+  end
+
+let transmit_down t ~site ~payload =
+  if not (Faults.enabled t.faults) then begin
+    send_down t ~site ~payload;
+    Faults.Delivered 1
+  end
+  else begin
+    check_site t site;
+    let bytes = Wire.message ~payload in
+    let outcome = Faults.roll t.faults ~site ~time:t.time in
+    t.bytes_down <- t.bytes_down + bytes;
+    t.messages_down <- t.messages_down + 1;
+    t.per_site_down.(site) <- t.per_site_down.(site) + bytes;
+    (match outcome with
+    | Faults.Delivered n ->
+      emit t (Event.Message { dir = Event.Down; site; payload; bytes });
+      if n > 1 then begin
+        let copies = n - 1 in
+        let extra = copies * bytes in
+        t.bytes_down <- t.bytes_down + extra;
+        t.messages_down <- t.messages_down + copies;
+        t.per_site_down.(site) <- t.per_site_down.(site) + extra;
+        t.dup_deliveries <- t.dup_deliveries + copies;
+        emit t
+          (Event.Duplicate { dir = Event.Down; site; bytes = extra; copies })
+      end
+    | Faults.Lost loss ->
+      note_loss t loss;
+      emit t (Event.Drop { dir = Event.Down; site; bytes; loss }));
+    check_ledger t;
+    outcome
+  end
+
+let transmit_broadcast t ~except ~payload =
+  if not (Faults.enabled t.faults) then begin
+    broadcast_down t ~except ~payload;
+    Array.init t.k (fun site ->
+        if Some site = except then Faults.Delivered 0 else Faults.Delivered 1)
+  end
+  else begin
+    match t.model with
+    | Unicast ->
+      (* Per-recipient links fail independently, so a faulted unicast
+         broadcast decomposes into per-recipient transmissions (and its
+         trace into per-recipient events the summary can reconcile). *)
+      let out = Array.make t.k (Faults.Delivered 0) in
+      for site = 0 to t.k - 1 do
+        if Some site <> except then
+          out.(site) <- transmit_down t ~site ~payload
+      done;
+      out
+    | Radio_broadcast ->
+      (* One transmission on the shared medium, charged once; what can
+         still fail is each site's reception, which costs nothing extra. *)
+      let bytes = Wire.message ~payload in
+      let recipients = t.k - (match except with Some _ -> 1 | None -> 0) in
+      t.bytes_down <- t.bytes_down + bytes;
+      t.messages_down <- t.messages_down + 1;
+      t.medium <- t.medium + bytes;
+      check_ledger t;
+      emit t
+        (Event.Broadcast { except; payload; bytes; messages = 1; recipients });
+      Array.init t.k (fun site ->
+          if Some site = except then Faults.Delivered 0
+          else begin
+            match Faults.roll t.faults ~site ~time:t.time with
+            | Faults.Delivered _ -> Faults.Delivered 1
+            | Faults.Lost loss ->
+              note_loss t loss;
+              emit t
+                (Event.Drop { dir = Event.Down; site; bytes = 0; loss });
+              Faults.Lost loss
+          end)
+  end
+
+type delivery = { received : bool; acked : bool; attempts : int }
+
+let arrived = function
+  | Faults.Delivered n -> n > 0
+  | Faults.Lost _ -> false
+
+let reliable_up ?(max_retries = 5) t ~site ~payload =
+  if not (Faults.enabled t.faults) then begin
+    send_up t ~site ~payload;
+    { received = true; acked = true; attempts = 1 }
+  end
+  else begin
+    let bytes = Wire.message ~payload in
+    let received = ref false in
+    let acked = ref false in
+    let attempts = ref 0 in
+    let budget = 1 + max 0 max_retries in
+    while (not !acked) && !attempts < budget do
+      if !attempts > 0 then begin
+        t.retry_count <- t.retry_count + 1;
+        emit t
+          (Event.Retry { dir = Event.Up; site; attempt = !attempts; bytes })
+      end;
+      incr attempts;
+      if arrived (transmit_up t ~site ~payload) then begin
+        received := true;
+        if arrived (transmit_down t ~site ~payload:Wire.ack_bytes) then
+          acked := true
+      end
+    done;
+    { received = !received; acked = !acked; attempts = !attempts }
+  end
+
+let reliable_down ?(max_retries = 5) t ~site ~payload =
+  if not (Faults.enabled t.faults) then begin
+    send_down t ~site ~payload;
+    { received = true; acked = true; attempts = 1 }
+  end
+  else begin
+    let bytes = Wire.message ~payload in
+    let received = ref false in
+    let acked = ref false in
+    let attempts = ref 0 in
+    let budget = 1 + max 0 max_retries in
+    while (not !acked) && !attempts < budget do
+      if !attempts > 0 then begin
+        t.retry_count <- t.retry_count + 1;
+        emit t
+          (Event.Retry { dir = Event.Down; site; attempt = !attempts; bytes })
+      end;
+      incr attempts;
+      if arrived (transmit_down t ~site ~payload) then begin
+        received := true;
+        if arrived (transmit_up t ~site ~payload:Wire.ack_bytes) then
+          acked := true
+      end
+    done;
+    { received = !received; acked = !acked; attempts = !attempts }
+  end
 
 let bytes_up t = t.bytes_up
 let bytes_down t = t.bytes_down
@@ -130,7 +340,15 @@ let site_bytes_down t site =
   check_site t site;
   t.per_site_down.(site)
 
+let link_drops t = t.link_drops
+let corrupt_drops t = t.corrupt_drops
+let crash_drops t = t.crash_drops
+let drops t = t.link_drops + t.corrupt_drops + t.crash_drops
+let duplicate_deliveries t = t.dup_deliveries
+let retries t = t.retry_count
+
 let reset t =
+  check_ledger t;
   t.bytes_up <- 0;
   t.bytes_down <- 0;
   t.messages_up <- 0;
@@ -138,4 +356,9 @@ let reset t =
   Array.fill t.per_site_up 0 t.k 0;
   Array.fill t.per_site_down 0 t.k 0;
   t.medium <- 0;
-  t.time <- 0
+  t.time <- 0;
+  t.link_drops <- 0;
+  t.corrupt_drops <- 0;
+  t.crash_drops <- 0;
+  t.dup_deliveries <- 0;
+  t.retry_count <- 0

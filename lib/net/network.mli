@@ -4,7 +4,13 @@
     The paper simulates the distributed system on one machine and measures
     bytes exchanged; this module is that simulator's bookkeeping.  Message
     delivery is instantaneous (the paper's simplifying assumption in
-    Section 3); what matters is the cost of each send.
+    Section 3); what matters is the cost of each send.  Attaching a
+    {!Faults.plan} relaxes the reliability half of that assumption: the
+    [transmit_*] / [reliable_*] entry points consult the plan on every
+    transmission and can drop, duplicate, or corrupt frames and black out
+    crashed sites, while the ledger keeps charging every byte that hit a
+    link.  With no plan (or a disabled one) those entry points degrade to
+    the plain [send_*] recorders, byte for byte.
 
     Two cost models (Section 7.2 compares them):
 
@@ -44,9 +50,26 @@ val sink : t -> Wd_obs.Sink.t
 
 val set_time : t -> int -> unit
 (** Set the logical clock stamped on emitted events (callers pass their
-    update index).  Purely observational; does not affect accounting. *)
+    update index).  Also the clock against which {!Faults.crash} windows
+    are evaluated, so fault-injected runs must keep it current. *)
 
 val time : t -> int
+
+(** {1 Fault injection} *)
+
+val set_faults : t -> Faults.plan -> unit
+(** Attach a fault plan consulted by the [transmit_*] and [reliable_*]
+    functions below (default {!Faults.none}). *)
+
+val faults : t -> Faults.plan
+
+val site_down : t -> site:int -> bool
+(** Whether [site] is inside a crash window at the current {!time}. *)
+
+val set_debug_checks : t -> bool -> unit
+(** Enable/disable the internal ledger invariant assertion
+    [bytes_down = medium_bytes + sum of site down-links], checked after
+    every down-side charge and on {!reset} (default: enabled). *)
 
 (** {1 Recording traffic}
 
@@ -64,6 +87,47 @@ val broadcast_down : t -> except:int option -> payload:int -> unit
     {!Unicast} this costs one message per recipient; under
     {!Radio_broadcast} exactly one message (even with [except], since the
     medium is shared). *)
+
+(** {1 Fault-aware delivery}
+
+    These charge the ledger like their [send_*] counterparts and
+    additionally report whether the frame(s) arrived, according to the
+    attached fault plan.  Lost transmissions are still charged to the
+    sender's link (the bytes crossed the wire; the receiver just never
+    saw them); duplicate deliveries charge, and count as, one extra
+    message per extra copy.  With a disabled plan they are exactly
+    [send_*] plus [Delivered 1]. *)
+
+val transmit_up : t -> site:int -> payload:int -> Faults.outcome
+val transmit_down : t -> site:int -> payload:int -> Faults.outcome
+
+val transmit_broadcast :
+  t -> except:int option -> payload:int -> Faults.outcome array
+(** Per-site outcomes, indexed by site; the [except] site reads
+    [Delivered 0].  Under {!Unicast} each recipient link is a separate
+    transmission (separately charged, separately faulted); under
+    {!Radio_broadcast} the shared medium is charged once and only
+    reception can fail, at no extra ledger cost. *)
+
+type delivery = { received : bool; acked : bool; attempts : int }
+(** Outcome of a reliable exchange: [received] — at least one copy of the
+    payload reached the receiver; [acked] — the sender saw an
+    acknowledgement (so both ends agree); [attempts] — transmissions of
+    the payload, 1 with no retries. [received && not acked] is the
+    classic uncertainty window: the receiver has the data but the sender
+    must assume it doesn't. *)
+
+val reliable_up :
+  ?max_retries:int -> t -> site:int -> payload:int -> delivery
+(** Send up with a coordinator ack ({!Wire.ack_bytes} payload down the
+    same link) and up to [max_retries] (default 5) retransmissions while
+    no ack arrives.  Every attempt and ack is charged and traced
+    ([Retry] events mark retransmissions).  With faults disabled this is
+    exactly one {!send_up}. *)
+
+val reliable_down :
+  ?max_retries:int -> t -> site:int -> payload:int -> delivery
+(** Mirror image of {!reliable_up}: payload down, ack up. *)
 
 (** {1 Reading the ledger} *)
 
@@ -88,6 +152,24 @@ val site_bytes_down : t -> int -> int
 val medium_bytes : t -> int
 (** Bytes that crossed the shared broadcast medium ({!Radio_broadcast}
     broadcasts); always [0] under {!Unicast}. *)
+
+(** {1 Fault counters}
+
+    Zero unless an enabled fault plan is attached. *)
+
+val drops : t -> int
+(** Transmissions lost for any reason ([link_drops + corrupt_drops +
+    crash_drops]). *)
+
+val link_drops : t -> int
+val corrupt_drops : t -> int
+val crash_drops : t -> int
+
+val duplicate_deliveries : t -> int
+(** Extra copies delivered beyond the first, across all links. *)
+
+val retries : t -> int
+(** Retransmissions performed by {!reliable_up} / {!reliable_down}. *)
 
 val reset : t -> unit
 (** Zero all counters and the logical clock (the cost model, topology and

@@ -2,6 +2,7 @@ let header_bytes = 4
 let item_bytes = 8
 let count_bytes = 8
 let level_bytes = 1
+let ack_bytes = 1
 
 let message ~payload = header_bytes + payload
 

@@ -21,6 +21,10 @@ val count_bytes : int
 val level_bytes : int
 (** One sampling level, [0..64] (1 byte). *)
 
+val ack_bytes : int
+(** One delivery acknowledgement payload (1 byte); used by the recovery
+    protocol when a fault plan is active. *)
+
 val message : payload:int -> int
 (** [message ~payload] is the full cost of one message: header + payload. *)
 

@@ -7,6 +7,19 @@ let direction_of_string = function
   | "down" -> Some Down
   | _ -> None
 
+type loss = Link_drop | Corrupt_drop | Crash_drop
+
+let loss_to_string = function
+  | Link_drop -> "link_drop"
+  | Corrupt_drop -> "corrupt_drop"
+  | Crash_drop -> "crash_drop"
+
+let loss_of_string = function
+  | "link_drop" -> Some Link_drop
+  | "corrupt_drop" -> Some Corrupt_drop
+  | "crash_drop" -> Some Crash_drop
+  | _ -> None
+
 type kind =
   | Run_meta of {
       run_id : string;
@@ -29,6 +42,11 @@ type kind =
   | Estimate_update of { previous : float; estimate : float }
   | Level_advance of { previous : int; level : int }
   | Resync of { site : int; bytes : int }
+  | Drop of { dir : direction; site : int; bytes : int; loss : loss }
+  | Duplicate of { dir : direction; site : int; bytes : int; copies : int }
+  | Retry of { dir : direction; site : int; attempt : int; bytes : int }
+  | Crash of { site : int }
+  | Recover of { site : int; resync_bytes : int }
 
 type t = { time : int; kind : kind }
 
@@ -42,6 +60,11 @@ let kind_name = function
   | Estimate_update _ -> "estimate_update"
   | Level_advance _ -> "level_advance"
   | Resync _ -> "resync"
+  | Drop _ -> "drop"
+  | Duplicate _ -> "duplicate"
+  | Retry _ -> "retry"
+  | Crash _ -> "crash"
+  | Recover _ -> "recover"
 
 let site t =
   match t.kind with
@@ -49,5 +72,10 @@ let site t =
   | Sketch_sent { site; _ }
   | Count_sent { site; _ }
   | Threshold_crossed { site; _ }
-  | Resync { site; _ } -> Some site
+  | Resync { site; _ }
+  | Drop { site; _ }
+  | Duplicate { site; _ }
+  | Retry { site; _ }
+  | Crash { site }
+  | Recover { site; _ } -> Some site
   | Run_meta _ | Broadcast _ | Estimate_update _ | Level_advance _ -> None

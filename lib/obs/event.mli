@@ -18,6 +18,14 @@ type direction = Up | Down
 val direction_to_string : direction -> string
 val direction_of_string : string -> direction option
 
+type loss = Link_drop | Corrupt_drop | Crash_drop
+(** Why a transmission failed to arrive: a random link loss, a corrupted
+    frame discarded by the receiver's checksum, or the destination (or
+    sender) being inside a scheduled crash window. *)
+
+val loss_to_string : loss -> string
+val loss_of_string : string -> loss option
+
 type kind =
   | Run_meta of {
       run_id : string;
@@ -55,7 +63,22 @@ type kind =
       (** The coordinator's sampling level rose (distinct sampling). *)
   | Resync of { site : int; bytes : int }
       (** The coordinator sent one site a state refresh (LS sketch reply,
-          LCS count reply). *)
+          LCS count reply, or a post-crash resynchronization). *)
+  | Drop of { dir : direction; site : int; bytes : int; loss : loss }
+      (** A transmission on one link was lost.  [bytes] is what the sender
+          was charged for the failed attempt (0 for a radio reception loss,
+          where the shared medium was already charged by the broadcast). *)
+  | Duplicate of { dir : direction; site : int; bytes : int; copies : int }
+      (** The network delivered [copies] extra copies of a message on one
+          link; [bytes] is the extra ledger charge beyond the first copy. *)
+  | Retry of { dir : direction; site : int; attempt : int; bytes : int }
+      (** A reliable send timed out waiting for its ack and retransmitted;
+          [attempt] is 1-based over the retries (not the initial send). *)
+  | Crash of { site : int }
+      (** A site entered a scheduled crash window and lost volatile state. *)
+  | Recover of { site : int; resync_bytes : int }
+      (** A crashed site came back; [resync_bytes] is the total cost of the
+          state resynchronization exchange that reintegrated it. *)
 
 type t = { time : int; kind : kind }
 (** [time] is the emitter's update index (1-based count of [observe]
@@ -65,7 +88,8 @@ val kind_name : kind -> string
 (** Stable lowercase tag, also used as the JSONL discriminator:
     ["run_meta"], ["message"], ["broadcast"], ["sketch_sent"],
     ["count_sent"], ["threshold_crossed"], ["estimate_update"],
-    ["level_advance"], ["resync"]. *)
+    ["level_advance"], ["resync"], ["drop"], ["duplicate"], ["retry"],
+    ["crash"], ["recover"]. *)
 
 val site : t -> int option
 (** The remote site an event concerns, when it concerns exactly one. *)

@@ -36,6 +36,13 @@ type metrics_state = {
   resync_bytes : Metrics.counter;
   estimate : Metrics.gauge;
   level : Metrics.gauge;
+  drops : Metrics.counter;
+  dropped_bytes : Metrics.counter;
+  duplicates : Metrics.counter;
+  duplicate_bytes : Metrics.counter;
+  retries : Metrics.counter;
+  crashes : Metrics.counter;
+  recovers : Metrics.counter;
 }
 
 type t =
@@ -103,6 +110,16 @@ let metrics reg =
         Metrics.gauge reg ~help:"coordinator's current estimate" "wd_estimate";
       level =
         Metrics.gauge reg ~help:"coordinator's sampling level" "wd_level";
+      drops = c "wd_drops_total" "transmissions lost to injected faults";
+      dropped_bytes =
+        c "wd_dropped_bytes_total" "bytes charged for lost transmissions";
+      duplicates =
+        c "wd_duplicates_total" "extra message copies delivered by faults";
+      duplicate_bytes =
+        c "wd_duplicate_bytes_total" "extra bytes charged for duplicates";
+      retries = c "wd_retries_total" "reliable-send retransmissions";
+      crashes = c "wd_crashes_total" "site crash windows entered";
+      recovers = c "wd_recovers_total" "site recoveries after crashes";
     }
 
 let fanout sinks = Fanout sinks
@@ -165,6 +182,15 @@ let record m (ev : Event.t) =
   | Event.Resync { bytes; _ } ->
     Metrics.inc m.resyncs;
     Metrics.add m.resync_bytes bytes
+  | Event.Drop { bytes; _ } ->
+    Metrics.inc m.drops;
+    Metrics.add m.dropped_bytes bytes
+  | Event.Duplicate { bytes; copies; _ } ->
+    Metrics.add m.duplicates copies;
+    Metrics.add m.duplicate_bytes bytes
+  | Event.Retry _ -> Metrics.inc m.retries
+  | Event.Crash _ -> Metrics.inc m.crashes
+  | Event.Recover _ -> Metrics.inc m.recovers
 
 let jsonl_flush j =
   match j.oc with

@@ -11,6 +11,11 @@ type site_row = {
   s_count_sends : int;
   s_crossings : int;
   s_resyncs : int;
+  s_drops : int;
+  s_duplicates : int;
+  s_retries : int;
+  s_crashes : int;
+  s_recovers : int;
   s_mean_send_gap : float;
 }
 
@@ -39,6 +44,14 @@ type t = {
   level : int;
   first_estimate : float option;
   last_estimate : float option;
+  drops : int;
+  dropped_bytes : int;
+  duplicates : int;
+  duplicate_bytes : int;
+  retries : int;
+  crashes : int;
+  recovers : int;
+  degraded_sites : int list;
   kind_counts : (string * int) list;
   sites : site_row list;
 }
@@ -54,6 +67,11 @@ type acc = {
   mutable a_count_sends : int;
   mutable a_crossings : int;
   mutable a_resyncs : int;
+  mutable a_drops : int;
+  mutable a_duplicates : int;
+  mutable a_retries : int;
+  mutable a_crashes : int;
+  mutable a_recovers : int;
   mutable a_last_send : int;
   mutable a_gap_total : int;
   mutable a_gaps : int;
@@ -70,6 +88,11 @@ let fresh_acc () =
     a_count_sends = 0;
     a_crossings = 0;
     a_resyncs = 0;
+    a_drops = 0;
+    a_duplicates = 0;
+    a_retries = 0;
+    a_crashes = 0;
+    a_recovers = 0;
     a_last_send = -1;
     a_gap_total = 0;
     a_gaps = 0;
@@ -110,6 +133,10 @@ let of_events events =
   let broadcasts = ref 0 in
   let level = ref 0 in
   let first_estimate = ref None and last_estimate = ref None in
+  let drops = ref 0 and dropped_bytes = ref 0 in
+  let duplicates = ref 0 and duplicate_bytes = ref 0 in
+  let retries = ref 0 in
+  let crashes = ref 0 and recovers = ref 0 in
   List.iter
     (fun ev ->
       incr n_events;
@@ -174,7 +201,57 @@ let of_events events =
       | Level_advance { level = l; _ } -> if l > !level then level := l
       | Resync { site; _ } ->
         let a = site_acc site in
-        a.a_resyncs <- a.a_resyncs + 1)
+        a.a_resyncs <- a.a_resyncs + 1
+      | Drop { dir; site; bytes; _ } ->
+        incr drops;
+        dropped_bytes := !dropped_bytes + bytes;
+        let a = site_acc site in
+        a.a_drops <- a.a_drops + 1;
+        (* Lost transmissions were still charged to the sender's link
+           (bytes = 0 for radio reception losses, already on the medium). *)
+        (match dir with
+        | Up ->
+          if bytes > 0 then begin
+            incr msgs_up;
+            bytes_up := !bytes_up + bytes;
+            a.a_msgs_up <- a.a_msgs_up + 1;
+            a.a_bytes_up <- a.a_bytes_up + bytes
+          end
+        | Down ->
+          if bytes > 0 then begin
+            incr msgs_down;
+            bytes_down := !bytes_down + bytes;
+            a.a_msgs_down <- a.a_msgs_down + 1;
+            a.a_bytes_down <- a.a_bytes_down + bytes
+          end)
+      | Duplicate { dir; site; bytes; copies } ->
+        duplicates := !duplicates + copies;
+        duplicate_bytes := !duplicate_bytes + bytes;
+        let a = site_acc site in
+        a.a_duplicates <- a.a_duplicates + copies;
+        (match dir with
+        | Up ->
+          msgs_up := !msgs_up + copies;
+          bytes_up := !bytes_up + bytes;
+          a.a_msgs_up <- a.a_msgs_up + copies;
+          a.a_bytes_up <- a.a_bytes_up + bytes
+        | Down ->
+          msgs_down := !msgs_down + copies;
+          bytes_down := !bytes_down + bytes;
+          a.a_msgs_down <- a.a_msgs_down + copies;
+          a.a_bytes_down <- a.a_bytes_down + bytes)
+      | Retry { site; _ } ->
+        incr retries;
+        let a = site_acc site in
+        a.a_retries <- a.a_retries + 1
+      | Crash { site } ->
+        incr crashes;
+        let a = site_acc site in
+        a.a_crashes <- a.a_crashes + 1
+      | Recover { site; _ } ->
+        incr recovers;
+        let a = site_acc site in
+        a.a_recovers <- a.a_recovers + 1)
     events;
   let site_rows =
     Hashtbl.fold
@@ -190,6 +267,11 @@ let of_events events =
           s_count_sends = a.a_count_sends;
           s_crossings = a.a_crossings;
           s_resyncs = a.a_resyncs;
+          s_drops = a.a_drops;
+          s_duplicates = a.a_duplicates;
+          s_retries = a.a_retries;
+          s_crashes = a.a_crashes;
+          s_recovers = a.a_recovers;
           s_mean_send_gap =
             (if a.a_gaps > 0 then
                Float.of_int a.a_gap_total /. Float.of_int a.a_gaps
@@ -216,6 +298,18 @@ let of_events events =
     level = !level;
     first_estimate = !first_estimate;
     last_estimate = !last_estimate;
+    drops = !drops;
+    dropped_bytes = !dropped_bytes;
+    duplicates = !duplicates;
+    duplicate_bytes = !duplicate_bytes;
+    retries = !retries;
+    crashes = !crashes;
+    recovers = !recovers;
+    degraded_sites =
+      (* A site still inside a crash window at end-of-trace is degraded. *)
+      List.filter_map
+        (fun r -> if r.s_crashes > r.s_recovers then Some r.site else None)
+        site_rows;
     kind_counts;
     sites = site_rows;
   }
@@ -262,7 +356,12 @@ let phases ~n events =
             { r with p_crossings = r.p_crossings + 1 }
           | Estimate_update { estimate; _ } ->
             { r with p_estimate = Some estimate }
-          | Run_meta _ | Level_advance _ | Resync _ -> r
+          | Drop { dir = Up; bytes; _ } | Duplicate { dir = Up; bytes; _ } ->
+            { r with p_bytes_up = r.p_bytes_up + bytes }
+          | Drop { dir = Down; bytes; _ } | Duplicate { dir = Down; bytes; _ }
+            -> { r with p_bytes_down = r.p_bytes_down + bytes }
+          | Run_meta _ | Level_advance _ | Resync _ | Retry _ | Crash _
+          | Recover _ -> r
         in
         rows.(idx) <- r)
       events;

@@ -21,6 +21,11 @@ type site_row = {
   s_count_sends : int;
   s_crossings : int;
   s_resyncs : int;
+  s_drops : int;  (** transmissions on this site's link lost to faults *)
+  s_duplicates : int;  (** extra message copies delivered on this link *)
+  s_retries : int;  (** reliable-send retransmissions on this link *)
+  s_crashes : int;
+  s_recovers : int;
   s_mean_send_gap : float;  (** mean updates between sends; [nan] with
                                 fewer than two sends *)
 }
@@ -51,6 +56,15 @@ type t = {
   level : int;
   first_estimate : float option;
   last_estimate : float option;
+  drops : int;
+  dropped_bytes : int;  (** bytes charged for transmissions that were lost *)
+  duplicates : int;  (** extra copies delivered beyond the first *)
+  duplicate_bytes : int;  (** extra bytes charged for those copies *)
+  retries : int;
+  crashes : int;
+  recovers : int;
+  degraded_sites : int list;
+      (** sites with a [Crash] and no matching [Recover] by end of trace *)
   kind_counts : (string * int) list;  (** sorted by kind name *)
   sites : site_row list;  (** sorted by site index *)
 }

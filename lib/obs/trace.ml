@@ -52,6 +52,30 @@ let to_json (ev : Event.t) : Json.t =
       [ ("previous", Json.Int previous); ("level", Json.Int level) ]
     | Resync { site; bytes } ->
       [ ("site", Json.Int site); ("bytes", Json.Int bytes) ]
+    | Drop { dir; site; bytes; loss } ->
+      [
+        ("dir", Json.Str (direction_to_string dir));
+        ("site", Json.Int site);
+        ("bytes", Json.Int bytes);
+        ("loss", Json.Str (loss_to_string loss));
+      ]
+    | Duplicate { dir; site; bytes; copies } ->
+      [
+        ("dir", Json.Str (direction_to_string dir));
+        ("site", Json.Int site);
+        ("bytes", Json.Int bytes);
+        ("copies", Json.Int copies);
+      ]
+    | Retry { dir; site; attempt; bytes } ->
+      [
+        ("dir", Json.Str (direction_to_string dir));
+        ("site", Json.Int site);
+        ("attempt", Json.Int attempt);
+        ("bytes", Json.Int bytes);
+      ]
+    | Crash { site } -> [ ("site", Json.Int site) ]
+    | Recover { site; resync_bytes } ->
+      [ ("site", Json.Int site); ("resync_bytes", Json.Int resync_bytes) ]
   in
   Json.Obj
     (("t", Json.Int ev.time) :: ("ev", Json.Str (kind_name ev.kind)) :: fields)
@@ -73,6 +97,16 @@ let get_opt j name conv =
     | Some v -> Some v
     | None -> raise (Bad (Printf.sprintf "invalid field %S" name)))
 
+let get_dir j =
+  match direction_of_string (get j "dir" Json.to_str) with
+  | Some d -> d
+  | None -> raise (Bad "invalid field \"dir\"")
+
+let get_loss j =
+  match loss_of_string (get j "loss" Json.to_str) with
+  | Some l -> l
+  | None -> raise (Bad "invalid field \"loss\"")
+
 let of_json j =
   match
     let time = get j "t" Json.to_int in
@@ -89,14 +123,9 @@ let of_json j =
             cost_model = get j "cost_model" Json.to_str;
           }
       | "message" ->
-        let dir =
-          match direction_of_string (get j "dir" Json.to_str) with
-          | Some d -> d
-          | None -> raise (Bad "invalid field \"dir\"")
-        in
         Message
           {
-            dir;
+            dir = get_dir j;
             site = get j "site" Json.to_int;
             payload = get j "payload" Json.to_int;
             bytes = get j "bytes" Json.to_int;
@@ -147,6 +176,37 @@ let of_json j =
       | "resync" ->
         Resync
           { site = get j "site" Json.to_int; bytes = get j "bytes" Json.to_int }
+      | "drop" ->
+        Drop
+          {
+            dir = get_dir j;
+            site = get j "site" Json.to_int;
+            bytes = get j "bytes" Json.to_int;
+            loss = get_loss j;
+          }
+      | "duplicate" ->
+        Duplicate
+          {
+            dir = get_dir j;
+            site = get j "site" Json.to_int;
+            bytes = get j "bytes" Json.to_int;
+            copies = get j "copies" Json.to_int;
+          }
+      | "retry" ->
+        Retry
+          {
+            dir = get_dir j;
+            site = get j "site" Json.to_int;
+            attempt = get j "attempt" Json.to_int;
+            bytes = get j "bytes" Json.to_int;
+          }
+      | "crash" -> Crash { site = get j "site" Json.to_int }
+      | "recover" ->
+        Recover
+          {
+            site = get j "site" Json.to_int;
+            resync_bytes = get j "resync_bytes" Json.to_int;
+          }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     { time; kind }

@@ -1,4 +1,5 @@
 module Network = Wd_net.Network
+module Faults = Wd_net.Faults
 module Wire = Wd_net.Wire
 module Sink = Wd_obs.Sink
 module Event = Wd_obs.Event
@@ -27,10 +28,10 @@ let algorithm_of_string s =
 
 module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   type site_state = {
-    sk : Sketch.t;
+    mutable sk : Sketch.t;
     (* Local sketch.  Under NS/SC it summarizes only the local stream;
        under SS/LS it is the site's copy of the global sketch, into which
-       local arrivals are also inserted. *)
+       local arrivals are also inserted.  Mutable so a crash can wipe it. *)
     mutable d_est : float; (* cached |sk| *)
     mutable d_last : float; (* D_i^t: |sk| when this site last sent *)
     mutable d0_known : float; (* D_0^t: last global estimate received *)
@@ -41,11 +42,16 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     mutable pending_valid : bool;
     (* False once [pending] overflowed its space cap; the next send must
        ship the sketch itself. *)
-    coord_known : Sketch.t;
+    mutable coord_known : Sketch.t;
     (* Coordinator side: everything this site is known to hold — its past
        contributions plus (LS) the global sketches returned to it.  LS
-       replies are priced as the delta against this model. *)
+       replies are priced as the delta against this model.  Must stay a
+       subset of the site's real state, so it is wiped on crash and only
+       grows again on acknowledged exchanges. *)
     seen : (int, unit) Hashtbl.t; (* EC only: exact local duplicate filter *)
+    mutable down : bool;
+    mutable down_since : int; (* update index of the crash transition *)
+    mutable lost : int; (* arrivals discarded while down *)
   }
 
   type t = {
@@ -61,14 +67,15 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     sk0 : Sketch.t; (* coordinator's merged sketch (unused by EC) *)
     mutable d0 : float; (* coordinator's current estimate *)
     exact : (int, unit) Hashtbl.t; (* EC only: coordinator's exact set *)
+    max_retries : int;
     mutable sends : int;
     mutable updates : int;
     mutable sink : Sink.t; (* protocol-decision events; see Wd_obs *)
   }
 
   let create ?(cost_model = Network.Unicast) ?network ?(item_batching = true)
-      ?(delta_replies = true) ?(sink = Sink.null) ~algorithm ~theta ~sites
-      ~family () =
+      ?(delta_replies = true) ?(max_retries = 5) ?(sink = Sink.null)
+      ~algorithm ~theta ~sites ~family () =
     if sites < 1 then invalid_arg "Dc_tracker.create: sites must be >= 1";
     if algorithm <> EC && theta <= 0.0 then
       invalid_arg "Dc_tracker.create: theta must be positive";
@@ -90,6 +97,9 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         pending_valid = true;
         coord_known = Sketch.create family;
         seen = Hashtbl.create 16;
+        down = false;
+        down_since = 0;
+        lost = 0;
       }
     in
     let sketch_bytes = Sketch.size_bytes (Sketch.create family) in
@@ -106,6 +116,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       sk0 = Sketch.create family;
       d0 = 0.0;
       exact = Hashtbl.create 1024;
+      max_retries;
       sends = 0;
       updates = 0;
       sink;
@@ -118,6 +129,17 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   let sends t = t.sends
   let updates t = t.updates
   let set_sink t sink = t.sink <- sink
+
+  let emit t kind =
+    if Sink.enabled t.sink then
+      Sink.emit t.sink { Event.time = t.updates; kind }
+
+  let site_down_for t i =
+    let st = t.site_states.(i) in
+    if st.down then t.updates - st.down_since else 0
+
+  let lost_updates t =
+    Array.fold_left (fun acc st -> acc + st.lost) 0 t.site_states
 
   let estimate t =
     match t.algorithm with
@@ -154,72 +176,97 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         }
 
   (* Ship site [i]'s contribution upstream: the accumulated new items if
-     that is the cheaper encoding, else the whole local sketch.  Returns
-     whether the coordinator sketch changed. *)
+     that is the cheaper encoding, else the whole local sketch.  With an
+     enabled fault plan the send is acknowledged and retried
+     ({!Network.reliable_up}); the coordinator merges only what actually
+     arrived, and the site clears its send state only once the exchange
+     is acknowledged — an unacknowledged site keeps its pending set and
+     simply retriggers later, which is safe precisely because sketch
+     merges are idempotent.  Returns the delivery outcome and whether the
+     coordinator sketch changed. *)
   let deliver_contribution t i st =
-    let send_items () =
-      let n = Hashtbl.length st.pending in
-      Network.send_up t.net ~site:i ~payload:(Wire.items n);
-      emit_sketch_sent t ~site:i ~payload:(Wire.items n) ~items:(Some n);
-      Hashtbl.fold
-        (fun v () changed ->
-          ignore (Sketch.add st.coord_known v : bool);
-          Sketch.add t.sk0 v || changed)
-        st.pending false
-    and send_sketch () =
-      let payload = Sketch.size_bytes st.sk in
-      Network.send_up t.net ~site:i ~payload;
-      emit_sketch_sent t ~site:i ~payload ~items:None;
-      Sketch.merge_into ~dst:st.coord_known st.sk;
-      let before = Sketch.copy t.sk0 in
-      Sketch.merge_into ~dst:t.sk0 st.sk;
-      not (Sketch.equal before t.sk0)
+    let n_pending = Hashtbl.length st.pending in
+    let use_items =
+      st.pending_valid && t.item_batching
+      && Wire.items n_pending < Sketch.size_bytes st.sk
     in
+    let payload, items =
+      if use_items then (Wire.items n_pending, Some n_pending)
+      else (Sketch.size_bytes st.sk, None)
+    in
+    let delivery =
+      Network.reliable_up ~max_retries:t.max_retries t.net ~site:i ~payload
+    in
+    emit_sketch_sent t ~site:i ~payload ~items;
     let changed =
-      if st.pending_valid && t.item_batching then
-        if Wire.items (Hashtbl.length st.pending) < Sketch.size_bytes st.sk
-        then send_items ()
-        else send_sketch ()
-      else send_sketch ()
+      if not delivery.Network.received then false
+      else if use_items then
+        Hashtbl.fold
+          (fun v () changed ->
+            ignore (Sketch.add st.coord_known v : bool);
+            Sketch.add t.sk0 v || changed)
+          st.pending false
+      else begin
+        Sketch.merge_into ~dst:st.coord_known st.sk;
+        let before = Sketch.copy t.sk0 in
+        Sketch.merge_into ~dst:t.sk0 st.sk;
+        not (Sketch.equal before t.sk0)
+      end
     in
-    Hashtbl.reset st.pending;
-    st.pending_valid <- true;
-    st.d_last <- st.d_est;
+    if delivery.Network.acked then begin
+      Hashtbl.reset st.pending;
+      st.pending_valid <- true;
+      st.d_last <- st.d_est
+    end;
     t.sends <- t.sends + 1;
-    changed
+    (delivery, changed)
 
-  (* The coordinator's reaction skm(i, Sk_0) of Figure 2. *)
-  let coordinator_react t ~sender:i ~sk0_changed =
+  (* The coordinator's reaction skm(i, Sk_0) of Figure 2.  Only runs when
+     the sender's contribution was received; [acked] says whether the
+     sender knows that.  Downstream state installs are gated on actual
+     delivery, so a site behind a lossy link keeps a stale (never wrong)
+     view and catches up on a later exchange. *)
+  let coordinator_react t ~sender:i ~acked ~sk0_changed =
     let d0_old = t.d0 in
     t.d0 <- Sketch.estimate t.sk0;
-    if Sink.enabled t.sink && t.d0 <> d0_old then
-      Sink.emit t.sink
-        {
-          Event.time = t.updates;
-          kind = Event.Estimate_update { previous = d0_old; estimate = t.d0 };
-        };
+    if t.d0 <> d0_old then
+      emit t (Event.Estimate_update { previous = d0_old; estimate = t.d0 });
     match t.algorithm with
     | NS -> ()
     | SC ->
       if t.d0 <> d0_old then begin
-        Network.broadcast_down t.net ~except:None ~payload:Wire.count_bytes;
-        Array.iter (fun st -> st.d0_known <- t.d0) t.site_states
+        let outcomes =
+          Network.transmit_broadcast t.net ~except:None
+            ~payload:Wire.count_bytes
+        in
+        Array.iteri
+          (fun j st ->
+            match outcomes.(j) with
+            | Faults.Delivered n when n > 0 -> st.d0_known <- t.d0
+            | Faults.Delivered _ | Faults.Lost _ -> ())
+          t.site_states
       end
     | SS ->
       (* Sender's copy now equals Sk_0 (it just contributed everything it
          knew, and every earlier global change was broadcast to it), so it
-         refreshes its own D_0^t locally; everyone else gets the sketch. *)
+         refreshes its own D_0^t locally — but only once it knows the
+         contribution arrived; everyone else gets the sketch. *)
       let sender_st = t.site_states.(i) in
-      sender_st.d0_known <- sender_st.d_est;
+      if acked then sender_st.d0_known <- sender_st.d_est;
       if sk0_changed then begin
-        Network.broadcast_down t.net ~except:(Some i)
-          ~payload:(Sketch.size_bytes t.sk0);
+        let outcomes =
+          Network.transmit_broadcast t.net ~except:(Some i)
+            ~payload:(Sketch.size_bytes t.sk0)
+        in
         Array.iteri
           (fun j st ->
             if j <> i then begin
-              Sketch.merge_into ~dst:st.sk t.sk0;
-              st.d_est <- Sketch.estimate st.sk;
-              st.d0_known <- t.d0
+              match outcomes.(j) with
+              | Faults.Delivered n when n > 0 ->
+                Sketch.merge_into ~dst:st.sk t.sk0;
+                st.d_est <- Sketch.estimate st.sk;
+                st.d0_known <- t.d0
+              | Faults.Delivered _ | Faults.Lost _ -> ()
             end)
           t.site_states
       end
@@ -235,29 +282,99 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
             (Sketch.delta_bytes ~from:st.coord_known t.sk0)
         else Sketch.size_bytes t.sk0
       in
-      Network.send_down t.net ~site:i ~payload;
-      if Sink.enabled t.sink then
-        Sink.emit t.sink
-          {
-            Event.time = t.updates;
-            kind = Event.Resync { site = i; bytes = Wire.message ~payload };
-          };
-      Sketch.merge_into ~dst:st.coord_known t.sk0;
-      Sketch.merge_into ~dst:st.sk t.sk0;
-      st.d_est <- Sketch.estimate st.sk;
-      st.d0_known <- t.d0;
-      (* After the exchange the sender and coordinator agree exactly. *)
-      st.d_last <- st.d_est
+      let reply =
+        Network.reliable_down ~max_retries:t.max_retries t.net ~site:i ~payload
+      in
+      emit t (Event.Resync { site = i; bytes = Wire.message ~payload });
+      if reply.Network.received then begin
+        Sketch.merge_into ~dst:st.sk t.sk0;
+        st.d_est <- Sketch.estimate st.sk;
+        st.d0_known <- t.d0
+      end;
+      if reply.Network.acked then begin
+        (* Both ends saw the full exchange: they now agree exactly, and
+           the coordinator may extend its model of the site.  (On a lost
+           or unacknowledged reply the model stays a subset of the site's
+           state, which keeps delta pricing lossless.) *)
+        Sketch.merge_into ~dst:st.coord_known t.sk0;
+        st.d_last <- st.d_est
+      end
     | EC -> assert false
 
   let observe_exact t ~site v =
     let st = t.site_states.(site) in
     if not (Hashtbl.mem st.seen v) then begin
-      Hashtbl.replace st.seen v ();
-      Network.send_up t.net ~site ~payload:Wire.item_bytes;
-      t.sends <- t.sends + 1;
-      if not (Hashtbl.mem t.exact v) then Hashtbl.replace t.exact v ()
+      let delivery =
+        Network.reliable_up ~max_retries:t.max_retries t.net ~site
+          ~payload:Wire.item_bytes
+      in
+      (* Remember the item only when the coordinator confirmed it; an
+         unconfirmed item is resent on its next local arrival, and the
+         coordinator's exact set absorbs any duplicates. *)
+      if delivery.Network.acked then Hashtbl.replace st.seen v ();
+      if delivery.Network.received && not (Hashtbl.mem t.exact v) then
+        Hashtbl.replace t.exact v ();
+      t.sends <- t.sends + 1
     end
+
+  let wipe_site t st =
+    st.sk <- Sketch.create t.family;
+    st.coord_known <- Sketch.create t.family;
+    Hashtbl.reset st.pending;
+    st.pending_valid <- true;
+    st.d_est <- 0.0;
+    st.d_last <- 0.0;
+    st.d0_known <- 0.0;
+    Hashtbl.reset st.seen
+
+  (* Re-seed a freshly restarted site from the coordinator, replaying the
+     current global state rather than the lost per-message deltas. *)
+  let resync_restarted t i st =
+    match t.algorithm with
+    | NS | EC -> () (* no downstream state to replay; the site restarts cold *)
+    | SC ->
+      let d =
+        Network.reliable_down ~max_retries:t.max_retries t.net ~site:i
+          ~payload:Wire.count_bytes
+      in
+      if d.Network.received then st.d0_known <- t.d0
+    | SS | LS ->
+      let payload = Sketch.size_bytes t.sk0 in
+      let d =
+        Network.reliable_down ~max_retries:t.max_retries t.net ~site:i ~payload
+      in
+      if d.Network.received then begin
+        Sketch.merge_into ~dst:st.sk t.sk0;
+        st.d_est <- Sketch.estimate st.sk;
+        st.d0_known <- t.d0
+      end;
+      if d.Network.acked then begin
+        Sketch.merge_into ~dst:st.coord_known t.sk0;
+        st.d_last <- st.d_est
+      end
+
+  let scan_crashes t =
+    Array.iteri
+      (fun i st ->
+        let now_down = Network.site_down t.net ~site:i in
+        if now_down && not st.down then begin
+          st.down <- true;
+          st.down_since <- t.updates;
+          (* Volatile state dies with the site; the coordinator's model of
+             it must shrink to match (it now holds nothing). *)
+          wipe_site t st;
+          emit t (Event.Crash { site = i })
+        end
+        else if (not now_down) && st.down then begin
+          st.down <- false;
+          let before = Network.total_bytes t.net in
+          resync_restarted t i st;
+          let resync_bytes = Network.total_bytes t.net - before in
+          if resync_bytes > 0 then
+            emit t (Event.Resync { site = i; bytes = resync_bytes });
+          emit t (Event.Recover { site = i; resync_bytes })
+        end)
+      t.site_states
 
   let observe_approx t ~site v =
     let st = t.site_states.(site) in
@@ -281,8 +398,10 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
                 Event.Threshold_crossed
                   { site; estimate = st.d_est; threshold };
             };
-        let sk0_changed = deliver_contribution t site st in
-        coordinator_react t ~sender:site ~sk0_changed
+        let delivery, sk0_changed = deliver_contribution t site st in
+        if delivery.Network.received then
+          coordinator_react t ~sender:site ~acked:delivery.Network.acked
+            ~sk0_changed
       end
     end
 
@@ -291,9 +410,16 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       invalid_arg "Dc_tracker.observe: site index out of range";
     t.updates <- t.updates + 1;
     Network.set_time t.net t.updates;
-    match t.algorithm with
-    | EC -> observe_exact t ~site v
-    | NS | SC | SS | LS -> observe_approx t ~site v
+    if Faults.has_crashes (Network.faults t.net) then scan_crashes t;
+    let st = t.site_states.(site) in
+    if st.down then
+      (* A dead site observes nothing; the arrival is gone for good. *)
+      st.lost <- st.lost + 1
+    else begin
+      match t.algorithm with
+      | EC -> observe_exact t ~site v
+      | NS | SC | SS | LS -> observe_approx t ~site v
+    end
 
   let site_space_bytes t i =
     let st = t.site_states.(i) in

@@ -58,6 +58,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
     ?network:Wd_net.Network.t ->
     ?item_batching:bool ->
     ?delta_replies:bool ->
+    ?max_retries:int ->
     ?sink:Wd_obs.Sink.t ->
     algorithm:algorithm ->
     theta:float ->
@@ -82,7 +83,11 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
       own ledger with the given [cost_model].  [sink] receives
       protocol-decision trace events (threshold crossings, sketch sends,
       estimate updates, LS resyncs); the default null sink is free on the
-      update path.  Requires [sites >= 1] and [theta > 0]. *)
+      update path.  [max_retries] (default 5) bounds retransmissions per
+      reliable exchange when the shared network carries an enabled
+      {!Wd_net.Faults.plan}; with no fault plan the tracker behaves — and
+      spends — exactly as the reliable-channel protocol.  Requires
+      [sites >= 1] and [theta > 0]. *)
 
   val set_sink : t -> Wd_obs.Sink.t -> unit
   (** Attach a trace sink for protocol-decision events.  Network-level
@@ -123,6 +128,15 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
 
   val sends : t -> int
   (** Number of site-to-coordinator communication events so far. *)
+
+  val site_down_for : t -> int -> int
+  (** How many updates ago site [i] entered its current crash window; [0]
+      when the site is up.  Feeds the monitor's staleness/degraded
+      status. *)
+
+  val lost_updates : t -> int
+  (** Stream arrivals discarded because their site was inside a crash
+      window — information no protocol can recover. *)
 
   val site_space_bytes : t -> int -> int
   (** Current memory footprint of one remote site, in the paper's

@@ -1,4 +1,5 @@
 module Network = Wd_net.Network
+module Faults = Wd_net.Faults
 module Wire = Wd_net.Wire
 module Sampler = Wd_sketch.Distinct_sampler
 module Sink = Wd_obs.Sink
@@ -29,6 +30,9 @@ type site_state = {
   last_sent : (int, int) Hashtbl.t; (* C_{v,i}^t *)
   known_global : (int, int) Hashtbl.t; (* C_{v,0}^t (GCS/LCS) *)
   mutable level : int; (* latest l received from the coordinator *)
+  mutable down : bool;
+  mutable down_since : int; (* update index of the crash transition *)
+  mutable lost : int; (* arrivals discarded while down *)
 }
 
 type t = {
@@ -39,22 +43,42 @@ type t = {
   net : Network.t;
   site_states : site_state array;
   coord : Sampler.t; (* the simulated global sampler, with approx counts *)
+  applied : (int, int) Hashtbl.t array;
+  (* Per site: item -> the absolute local count this coordinator has
+     already incorporated.  Count reports carry the absolute C_{v,i}, and
+     the coordinator applies [c - applied] — so a retransmitted or
+     duplicated report re-derives a delta of zero instead of double
+     counting.  On a reliable channel [applied.(i)] always equals the
+     site's [last_sent], reproducing the paper's delta protocol
+     byte-for-byte. *)
+  max_retries : int;
   mutable sends : int;
   mutable updates : int;
   mutable sink : Sink.t; (* protocol-decision events; see Wd_obs *)
 }
 
-let create ?(cost_model = Network.Unicast) ?(sink = Sink.null) ~algorithm
-    ~theta ~sites ~family () =
+let create ?(cost_model = Network.Unicast) ?network ?(max_retries = 5)
+    ?(sink = Sink.null) ~algorithm ~theta ~sites ~family () =
   if sites < 1 then invalid_arg "Ds_tracker.create: sites must be >= 1";
   if algorithm <> EDS && theta <= 0.0 then
     invalid_arg "Ds_tracker.create: theta must be positive";
+  let net =
+    match network with
+    | None -> Network.create ~cost_model ~sites ()
+    | Some net ->
+      if Network.sites net <> sites then
+        invalid_arg "Ds_tracker.create: shared network has wrong site count";
+      net
+  in
   let fresh_site () =
     {
       counts = Hashtbl.create 64;
       last_sent = Hashtbl.create 64;
       known_global = Hashtbl.create 64;
       level = 0;
+      down = false;
+      down_since = 0;
+      lost = 0;
     }
   in
   {
@@ -62,9 +86,11 @@ let create ?(cost_model = Network.Unicast) ?(sink = Sink.null) ~algorithm
     k = sites;
     theta;
     family;
-    net = Network.create ~cost_model ~sites ();
+    net;
     site_states = Array.init sites (fun _ -> fresh_site ());
     coord = Sampler.create family;
+    applied = Array.init sites (fun _ -> Hashtbl.create 64);
+    max_retries;
     sends = 0;
     updates = 0;
     sink;
@@ -83,6 +109,16 @@ let sample_size t = Sampler.size t.coord
 let level t = Sampler.level t.coord
 let estimate_distinct t = Sampler.estimate_distinct t.coord
 let count t v = Sampler.count t.coord v
+
+let emit t kind =
+  if Sink.enabled t.sink then Sink.emit t.sink { Event.time = t.updates; kind }
+
+let site_down_for t i =
+  let st = t.site_states.(i) in
+  if st.down then t.updates - st.down_since else 0
+
+let lost_updates t =
+  Array.fold_left (fun acc st -> acc + st.lost) 0 t.site_states
 
 let find0 table v = Option.value (Hashtbl.find_opt table v) ~default:0
 
@@ -104,18 +140,31 @@ let raise_site_level t st l =
 
 (* If processing an update pushed the coordinator's sampler over T, its
    level moved: broadcast the new level eagerly (Section 5 argues this is
-   the important step) and prune everywhere. *)
+   the important step) and prune everywhere.  Under faults a site can
+   miss the announcement; it keeps tracking below-level items the
+   coordinator will simply ignore, until a later report triggers a level
+   repair. *)
 let propagate_level_change t old_level =
   let l = Sampler.level t.coord in
   if l > old_level then begin
-    if Sink.enabled t.sink then
-      Sink.emit t.sink
-        {
-          Event.time = t.updates;
-          kind = Event.Level_advance { previous = old_level; level = l };
-        };
-    Network.broadcast_down t.net ~except:None ~payload:Wire.level_bytes;
-    Array.iter (fun st -> raise_site_level t st l) t.site_states
+    emit t (Event.Level_advance { previous = old_level; level = l });
+    let outcomes =
+      Network.transmit_broadcast t.net ~except:None ~payload:Wire.level_bytes
+    in
+    Array.iteri
+      (fun j st ->
+        match outcomes.(j) with
+        | Faults.Delivered n when n > 0 -> raise_site_level t st l
+        | Faults.Delivered _ | Faults.Lost _ -> ())
+      t.site_states;
+    (* The coordinator itself forgets below-level items everywhere. *)
+    Array.iter
+      (fun tbl ->
+        Hashtbl.iter
+          (fun v _ ->
+            if Sampler.item_level t.coord v < l then Hashtbl.remove tbl v)
+          (Hashtbl.copy tbl))
+      t.applied
   end
 
 (* The per-algorithm threshold dst(theta, C_{v,i}^t, C_{v,0}^t) of Fig. 4. *)
@@ -127,41 +176,62 @@ let send_threshold t st v =
     +. (t.theta /. Float.of_int t.k *. Float.of_int (find0 st.known_global v))
   | EDS -> assert false
 
-(* The coordinator's reaction dsm(i, v, C_{v,0}) of Fig. 4. *)
-let coordinator_react t ~sender:i v delta =
+(* The coordinator's reaction dsm(i, v, C_{v,0}) of Fig. 4.  [acked]
+   says whether the sender learned its report arrived; state installs on
+   other sites are gated on actual delivery of the share. *)
+let coordinator_react t ~sender:i ~acked v =
   match t.algorithm with
   | LCO -> ()
   | GCS ->
     (* The new global count goes to everyone; the sender reconstructs it
-       locally from the delta it just contributed. *)
+       locally from the delta it just contributed (so it only may do so
+       once the exchange is acknowledged). *)
     let c0 = Sampler.count t.coord v in
     if c0 > 0 then begin
-      Network.broadcast_down t.net ~except:(Some i)
-        ~payload:(Wire.item_bytes + Wire.count_bytes);
-      Array.iter (fun st -> Hashtbl.replace st.known_global v c0) t.site_states
-    end;
-    ignore delta
+      let outcomes =
+        Network.transmit_broadcast t.net ~except:(Some i)
+          ~payload:(Wire.item_bytes + Wire.count_bytes)
+      in
+      Array.iteri
+        (fun j st ->
+          if j = i then begin
+            if acked then Hashtbl.replace st.known_global v c0
+          end
+          else begin
+            match outcomes.(j) with
+            | Faults.Delivered n when n > 0 ->
+              Hashtbl.replace st.known_global v c0
+            | Faults.Delivered _ | Faults.Lost _ -> ()
+          end)
+        t.site_states
+    end
   | LCS ->
     let c0 = Sampler.count t.coord v in
     if c0 > 0 then begin
-      Network.send_down t.net ~site:i
-        ~payload:(Wire.item_bytes + Wire.count_bytes);
-      if Sink.enabled t.sink then
-        Sink.emit t.sink
-          {
-            Event.time = t.updates;
-            kind =
-              Event.Resync
-                {
-                  site = i;
-                  bytes =
-                    Wire.message
-                      ~payload:(Wire.item_bytes + Wire.count_bytes);
-                };
-          };
-      Hashtbl.replace t.site_states.(i).known_global v c0
+      let payload = Wire.item_bytes + Wire.count_bytes in
+      let reply =
+        Network.reliable_down ~max_retries:t.max_retries t.net ~site:i ~payload
+      in
+      emit t (Event.Resync { site = i; bytes = Wire.message ~payload });
+      if reply.Network.received then
+        Hashtbl.replace t.site_states.(i).known_global v c0
     end
   | EDS -> assert false
+
+(* A report about an item below the coordinator's current level means
+   the site missed a level announcement (lossy broadcast): replay just
+   the level so the site stops tracking pruned items. *)
+let repair_site_level t ~site st =
+  let l = Sampler.level t.coord in
+  if st.level < l then begin
+    let d =
+      Network.reliable_down ~max_retries:t.max_retries t.net ~site
+        ~payload:Wire.level_bytes
+    in
+    emit t
+      (Event.Resync { site; bytes = Wire.message ~payload:Wire.level_bytes });
+    if d.Network.received then raise_site_level t st l
+  end
 
 let observe_approx t ~site v =
   let st = t.site_states.(site) in
@@ -185,32 +255,111 @@ let observe_approx t ~site v =
             kind = Event.Count_sent { site; item = v; count = c; delta };
           }
       end;
-      Network.send_up t.net ~site
-        ~payload:(Wire.item_bytes + Wire.count_bytes);
+      (* The report carries the absolute local count, so losing it or
+         receiving it twice is harmless: the coordinator derives the
+         delta against what it has already applied. *)
+      let delivery =
+        Network.reliable_up ~max_retries:t.max_retries t.net ~site
+          ~payload:(Wire.item_bytes + Wire.count_bytes)
+      in
       t.sends <- t.sends + 1;
-      Hashtbl.replace st.last_sent v c;
-      let old_level = Sampler.level t.coord in
-      Sampler.add_count t.coord v delta;
-      coordinator_react t ~sender:site v delta;
-      propagate_level_change t old_level
+      if delivery.Network.acked then Hashtbl.replace st.last_sent v c;
+      if delivery.Network.received then begin
+        let applied = t.applied.(site) in
+        let delta0 = c - find0 applied v in
+        if delta0 > 0 then begin
+          let old_level = Sampler.level t.coord in
+          Sampler.add_count t.coord v delta0;
+          Hashtbl.replace applied v c;
+          coordinator_react t ~sender:site ~acked:delivery.Network.acked v;
+          propagate_level_change t old_level
+        end;
+        if
+          Faults.enabled (Network.faults t.net)
+          && Sampler.item_level t.coord v < Sampler.level t.coord
+        then repair_site_level t ~site st
+      end
     end
   end
 
 (* EDS forwards every raw update; the sampler lives entirely at the
-   coordinator so no level traffic is needed. *)
+   coordinator so no level traffic is needed.  Under faults each logical
+   update is applied at most once however many copies arrive — the
+   sequence-number dedup a real deployment would perform. *)
 let observe_exact t ~site v =
-  Network.send_up t.net ~site ~payload:Wire.item_bytes;
+  let d =
+    Network.reliable_up ~max_retries:t.max_retries t.net ~site
+      ~payload:Wire.item_bytes
+  in
   t.sends <- t.sends + 1;
-  Sampler.add t.coord v
+  if d.Network.received then Sampler.add t.coord v
+
+let wipe_site st =
+  Hashtbl.reset st.counts;
+  Hashtbl.reset st.last_sent;
+  Hashtbl.reset st.known_global;
+  st.level <- 0
+
+(* Re-seed a freshly restarted site: replay the sampling level and the
+   per-item counts the coordinator has credited to it, so the site
+   resumes counting where the coordinator left off instead of from
+   zero (which would silently undercount until it caught up). *)
+let resync_restarted t i st =
+  match t.algorithm with
+  | EDS -> () (* sites are stateless under the exact baseline *)
+  | LCO | GCS | LCS ->
+    let tbl = t.applied.(i) in
+    let payload =
+      Wire.level_bytes + Wire.item_count_pairs (Hashtbl.length tbl)
+    in
+    let d =
+      Network.reliable_down ~max_retries:t.max_retries t.net ~site:i ~payload
+    in
+    if d.Network.received then begin
+      st.level <- Sampler.level t.coord;
+      Hashtbl.iter
+        (fun v c ->
+          if Sampler.item_level t.coord v >= st.level then begin
+            Hashtbl.replace st.counts v c;
+            Hashtbl.replace st.last_sent v c
+          end)
+        tbl
+    end
+
+let scan_crashes t =
+  Array.iteri
+    (fun i st ->
+      let now_down = Network.site_down t.net ~site:i in
+      if now_down && not st.down then begin
+        st.down <- true;
+        st.down_since <- t.updates;
+        wipe_site st;
+        emit t (Event.Crash { site = i })
+      end
+      else if (not now_down) && st.down then begin
+        st.down <- false;
+        let before = Network.total_bytes t.net in
+        resync_restarted t i st;
+        let resync_bytes = Network.total_bytes t.net - before in
+        if resync_bytes > 0 then
+          emit t (Event.Resync { site = i; bytes = resync_bytes });
+        emit t (Event.Recover { site = i; resync_bytes })
+      end)
+    t.site_states
 
 let observe t ~site v =
   if site < 0 || site >= t.k then
     invalid_arg "Ds_tracker.observe: site index out of range";
   t.updates <- t.updates + 1;
   Network.set_time t.net t.updates;
-  match t.algorithm with
-  | EDS -> observe_exact t ~site v
-  | LCO | GCS | LCS -> observe_approx t ~site v
+  if Faults.has_crashes (Network.faults t.net) then scan_crashes t;
+  let st = t.site_states.(site) in
+  if st.down then st.lost <- st.lost + 1
+  else begin
+    match t.algorithm with
+    | EDS -> observe_exact t ~site v
+    | LCO | GCS | LCS -> observe_approx t ~site v
+  end
 
 let site_space_bytes t i =
   let st = t.site_states.(i) in

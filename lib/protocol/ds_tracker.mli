@@ -36,6 +36,8 @@ type t
 
 val create :
   ?cost_model:Wd_net.Network.cost_model ->
+  ?network:Wd_net.Network.t ->
+  ?max_retries:int ->
   ?sink:Wd_obs.Sink.t ->
   algorithm:algorithm ->
   theta:float ->
@@ -48,7 +50,15 @@ val create :
     [theta] is the count-lag budget (ignored by [EDS]).  [sink] receives
     protocol-decision trace events (threshold crossings, count reports,
     level advances, LCS resyncs); the default null sink is free on the
-    update path.  Requires [sites >= 1] and [theta > 0]. *)
+    update path.  [network] supplies a shared byte ledger (with a matching
+    site count); by default the tracker gets its own with the given
+    [cost_model].  [max_retries] (default 5) bounds retransmissions per
+    reliable exchange when the network carries an enabled
+    {!Wd_net.Faults.plan}; count reports ship the {e absolute} local count
+    and the coordinator applies the difference against what it has already
+    incorporated, so retried or duplicated reports never double count —
+    on a reliable channel this reproduces the paper's delta protocol
+    byte-for-byte.  Requires [sites >= 1] and [theta > 0]. *)
 
 val set_sink : t -> Wd_obs.Sink.t -> unit
 (** Attach a trace sink for protocol-decision events.  Network-level
@@ -88,6 +98,14 @@ val threshold : t -> int
 val network : t -> Wd_net.Network.t
 val sends : t -> int
 (** Site-to-coordinator messages so far. *)
+
+val site_down_for : t -> int -> int
+(** How many updates ago site [i] entered its current crash window; [0]
+    when the site is up. *)
+
+val lost_updates : t -> int
+(** Stream arrivals discarded because their site was inside a crash
+    window. *)
 
 val site_space_bytes : t -> int -> int
 (** Current memory footprint of one remote site: its tracked local

@@ -1,4 +1,5 @@
 module Network = Wd_net.Network
+module Faults = Wd_net.Faults
 module Wire = Wd_net.Wire
 module Fm = Wd_sketch.Fm
 
@@ -9,12 +10,14 @@ let model_to_string = function
   | Linear_growth -> "linear-growth"
 
 type site_state = {
-  sk : Fm.t;
-  coord_known : Fm.t; (* coordinator's model of the site's sketch *)
+  mutable sk : Fm.t;
+  mutable coord_known : Fm.t; (* coordinator's model of the site's sketch *)
   mutable d_est : float;
   mutable d_sync : float; (* local estimate at last sync *)
   mutable t_sync : int; (* global time of last sync *)
   mutable rate : float; (* advertised distinct-per-update growth *)
+  mutable down : bool;
+  mutable lost : int; (* arrivals discarded while down *)
 }
 
 type t = {
@@ -33,9 +36,12 @@ type t = {
   mutable claimed_total : float;
   mutable clock : int;
   mutable sends : int;
+  family : Fm.family;
+  max_retries : int;
 }
 
-let create ?(cost_model = Network.Unicast) ~model ~theta ~sites ~family () =
+let create ?(cost_model = Network.Unicast) ?(max_retries = 5) ~model ~theta
+    ~sites ~family () =
   if sites < 1 then invalid_arg "Predictive.create: sites must be >= 1";
   if theta <= 0.0 then invalid_arg "Predictive.create: theta must be positive";
   let fresh_site () =
@@ -46,6 +52,8 @@ let create ?(cost_model = Network.Unicast) ~model ~theta ~sites ~family () =
       d_sync = 0.0;
       t_sync = 0;
       rate = 0.0;
+      down = false;
+      lost = 0;
     }
   in
   {
@@ -60,6 +68,8 @@ let create ?(cost_model = Network.Unicast) ~model ~theta ~sites ~family () =
     claimed_total = 0.0;
     clock = 0;
     sends = 0;
+    family;
+    max_retries;
   }
 
 let network t = t.net
@@ -86,42 +96,89 @@ let estimate t =
     t.d0_sync +. (gamma t *. Float.max 0.0 extra)
 
 let sync t i st =
-  (* Ship the sketch delta plus the new rate advertisement. *)
+  (* Ship the sketch delta plus the new rate advertisement.  Reliable
+     when a fault plan is enabled: the coordinator learns from whatever
+     arrives, but the site rolls its sync markers forward only once the
+     exchange is acknowledged — otherwise it stays out of prediction and
+     syncs again shortly (a retransmitted sketch merge is idempotent). *)
   let payload =
     min (Fm.size_bytes st.sk) (Fm.delta_bytes ~from:st.coord_known st.sk)
     + Wire.count_bytes
   in
-  Network.send_up t.net ~site:i ~payload;
+  let delivery =
+    Network.reliable_up ~max_retries:t.max_retries t.net ~site:i ~payload
+  in
   t.sends <- t.sends + 1;
-  Fm.merge_into ~dst:st.coord_known st.sk;
-  Fm.merge_into ~dst:t.sk0 st.sk;
-  let d0_new = Fm.estimate t.sk0 in
-  (* Learn the overlap discount from what this interval actually added
-     globally versus what the site claims it added locally. *)
-  let claimed = st.d_est -. st.d_sync in
-  let observed = d0_new -. t.d0_sync in
-  if claimed > 0.0 then begin
-    t.claimed_total <- t.claimed_total +. claimed;
-    t.observed_total <- t.observed_total +. Float.max 0.0 observed
+  if delivery.Network.received then begin
+    Fm.merge_into ~dst:t.sk0 st.sk;
+    let d0_new = Fm.estimate t.sk0 in
+    (* Learn the overlap discount from what this interval actually added
+       globally versus what the site claims it added locally. *)
+    let claimed = st.d_est -. st.d_sync in
+    let observed = d0_new -. t.d0_sync in
+    if claimed > 0.0 then begin
+      t.claimed_total <- t.claimed_total +. claimed;
+      t.observed_total <- t.observed_total +. Float.max 0.0 observed
+    end;
+    t.d0_sync <- d0_new
   end;
-  t.d0_sync <- d0_new;
-  (* Advertise the growth rate of the interval that just ended. *)
-  let dt = t.clock - st.t_sync in
-  st.rate <-
-    (match t.model with
-    | Static -> 0.0
-    | Linear_growth ->
-      if dt > 0 then Float.max 0.0 ((st.d_est -. st.d_sync) /. Float.of_int dt)
-      else st.rate);
-  st.d_sync <- st.d_est;
-  st.t_sync <- t.clock
+  if delivery.Network.acked then begin
+    Fm.merge_into ~dst:st.coord_known st.sk;
+    (* Advertise the growth rate of the interval that just ended. *)
+    let dt = t.clock - st.t_sync in
+    st.rate <-
+      (match t.model with
+      | Static -> 0.0
+      | Linear_growth ->
+        if dt > 0 then
+          Float.max 0.0 ((st.d_est -. st.d_sync) /. Float.of_int dt)
+        else st.rate);
+    st.d_sync <- st.d_est;
+    st.t_sync <- t.clock
+  end
+
+let resync_restarted t i st =
+  let d =
+    Network.reliable_down ~max_retries:t.max_retries t.net ~site:i
+      ~payload:(Fm.size_bytes t.sk0)
+  in
+  if d.Network.received then begin
+    Fm.merge_into ~dst:st.sk t.sk0;
+    st.d_est <- Fm.estimate st.sk;
+    st.d_sync <- st.d_est;
+    st.t_sync <- t.clock;
+    st.rate <- 0.0
+  end;
+  if d.Network.acked then Fm.merge_into ~dst:st.coord_known t.sk0
+
+let scan_crashes t =
+  Array.iteri
+    (fun i st ->
+      let now_down = Network.site_down t.net ~site:i in
+      if now_down && not st.down then begin
+        st.down <- true;
+        st.sk <- Fm.create t.family;
+        st.coord_known <- Fm.create t.family;
+        st.d_est <- 0.0;
+        st.d_sync <- 0.0;
+        st.t_sync <- t.clock;
+        st.rate <- 0.0
+      end
+      else if (not now_down) && st.down then begin
+        st.down <- false;
+        resync_restarted t i st
+      end)
+    t.site_states
 
 let observe t ~site v =
   if site < 0 || site >= t.k then
     invalid_arg "Predictive.observe: site index out of range";
   t.clock <- t.clock + 1;
+  Network.set_time t.net t.clock;
+  if Faults.has_crashes (Network.faults t.net) then scan_crashes t;
   let st = t.site_states.(site) in
-  if Fm.add st.sk v then begin
+  if st.down then st.lost <- st.lost + 1
+  else if Fm.add st.sk v then begin
     st.d_est <- Fm.estimate st.sk;
     let predicted = predicted_local t st in
     let slack = t.theta /. Float.of_int t.k *. Float.max st.d_est 1.0 in

@@ -40,13 +40,17 @@ type t
 
 val create :
   ?cost_model:Wd_net.Network.cost_model ->
+  ?max_retries:int ->
   model:model ->
   theta:float ->
   sites:int ->
   family:Wd_sketch.Fm.family ->
   unit ->
   t
-(** Requires [sites >= 1] and [theta > 0]. *)
+(** Requires [sites >= 1] and [theta > 0].  [max_retries] (default 5)
+    bounds retransmissions per sync when {!network} carries an enabled
+    {!Wd_net.Faults.plan}; crashed sites are wiped, skipped while down,
+    and re-seeded from the coordinator's sketch on restart. *)
 
 val observe : t -> site:int -> int -> unit
 (** Process one arrival; global time is the running count of [observe]

@@ -1,0 +1,122 @@
+(* A minimal hand-rolled property-testing harness over the repo's own
+   deterministic RNG (no new dependencies).
+
+   Every property runs [count] cases (default 200) from a seed taken
+   from WD_PROP_SEED (default 42), so CI can run the suite both pinned
+   and randomized.  On falsification the counterexample is greedily
+   shrunk and the failure report carries the seed, the case index, and
+   the shrunk value — enough to reproduce with
+   [WD_PROP_SEED=<seed> dune exec test/<test>.exe]. *)
+
+module Rng = Wd_hashing.Rng
+
+let seed =
+  match Sys.getenv_opt "WD_PROP_SEED" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg "WD_PROP_SEED must be an integer")
+  | None -> 42
+
+type 'a gen = Rng.t -> 'a
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let int_range lo hi rng =
+  if hi < lo then invalid_arg "Prop.int_range: hi < lo";
+  lo + Rng.int rng (hi - lo + 1)
+
+let list ?(min_len = 0) ~max_len (g : 'a gen) rng =
+  let n = int_range min_len max_len rng in
+  List.init n (fun _ -> g rng)
+
+let pair ga gb rng =
+  let a = ga rng in
+  let b = gb rng in
+  (a, b)
+
+let triple ga gb gc rng =
+  let a = ga rng in
+  let b = gb rng in
+  let c = gc rng in
+  (a, b, c)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: candidate lists, tried in order, greedily. *)
+
+let shrink_int n =
+  if n = 0 then [] else List.sort_uniq compare [ 0; n / 2; n - 1 ]
+
+(* Halve-removal first (fast structural shrinking), then point-shrink
+   elements. *)
+let shrink_list shrink_elt l =
+  let n = List.length l in
+  let removals =
+    if n = 0 then []
+    else if n = 1 then [ [] ]
+    else
+      let half = n / 2 in
+      let front = List.filteri (fun i _ -> i < half) l in
+      let back = List.filteri (fun i _ -> i >= half) l in
+      [ front; back ]
+      @ List.init n (fun i -> List.filteri (fun j _ -> j <> i) l)
+  in
+  let elt_shrinks =
+    List.concat
+      (List.mapi
+         (fun i x ->
+           List.map
+             (fun x' -> List.mapi (fun j y -> if i = j then x' else y) l)
+             (shrink_elt x))
+         l)
+  in
+  removals @ elt_shrinks
+
+let no_shrink _ = []
+
+(* ------------------------------------------------------------------ *)
+(* Display *)
+
+let show_int = string_of_int
+
+let show_list show l =
+  "[" ^ String.concat "; " (List.map show l) ^ "]"
+
+let show_pair sa sb (a, b) = Printf.sprintf "(%s, %s)" (sa a) (sb b)
+
+(* ------------------------------------------------------------------ *)
+(* Runner *)
+
+let greedy_shrink ~shrink ~fails x0 =
+  let steps = ref 0 in
+  let rec go x =
+    if !steps > 1_000 then x
+    else
+      match List.find_opt (fun c -> incr steps; fails c) (shrink x) with
+      | Some smaller -> go smaller
+      | None -> x
+  in
+  go x0
+
+let check ?(count = 200) ?(shrink = no_shrink) ~show ~name (gen : 'a gen) prop
+    =
+  let rng = Rng.create seed in
+  for case = 1 to count do
+    let x = gen rng in
+    let ok = try prop x with e -> raise e in
+    if not ok then begin
+      let fails c = not (try prop c with _ -> false) in
+      let small = greedy_shrink ~shrink ~fails x in
+      Alcotest.failf
+        "property %S falsified (WD_PROP_SEED=%d, case %d/%d)\n\
+         counterexample: %s\n\
+         shrunk to:      %s"
+        name seed case count (show x) (show small)
+    end
+  done
+
+(* Alcotest glue: one property = one quick test case. *)
+let test_case ?count ?shrink ~show ~name gen prop =
+  Alcotest.test_case name `Quick (fun () ->
+      check ?count ?shrink ~show ~name gen prop)

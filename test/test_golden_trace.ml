@@ -1,0 +1,126 @@
+(* Golden-trace regression tests: fixed-seed DC and DS runs pinned to
+   exact byte totals and event counts captured from the reliable-channel
+   implementation.  A protocol-cost regression — or any fault-injection
+   change that leaks into the no-fault path — fails these loudly instead
+   of silently shifting every benchmark. *)
+
+module Sim = Whats_different.Simulation
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Network = Wd_net.Network
+module Sink = Wd_obs.Sink
+module Summary = Wd_obs.Summary
+module Stream_gen = Wd_workload.Stream_gen
+
+let golden_stream () =
+  Stream_gen.zipf ~seed:11 ~sites:4 ~events:20_000 ~universe:6_000 ()
+
+let check_kinds ~expected (summary : Summary.t) =
+  List.iter
+    (fun (kind, count) ->
+      let got =
+        Option.value ~default:0 (List.assoc_opt kind summary.kind_counts)
+      in
+      Alcotest.(check int) (Printf.sprintf "%s events" kind) count got)
+    expected;
+  (* And nothing unexpected appeared (e.g. stray fault events). *)
+  List.iter
+    (fun (kind, count) ->
+      if not (List.mem_assoc kind expected) then
+        Alcotest.failf "unexpected event kind %s (%d occurrences)" kind count)
+    summary.kind_counts
+
+let dc_ls_unicast () =
+  let ring = Sink.ring ~capacity:8192 in
+  let run =
+    Sim.run_dc ~seed:7 ~algorithm:Dc.LS ~theta:0.03 ~alpha:0.07 ~sink:ring
+      (golden_stream ())
+  in
+  Alcotest.(check int) "bytes up" 14088 run.Sim.dc_bytes_up;
+  Alcotest.(check int) "bytes down" 18988 run.Sim.dc_bytes_down;
+  Alcotest.(check int) "total bytes" 33076 run.Sim.dc_total_bytes;
+  Alcotest.(check int) "sends" 414 run.Sim.dc_sends;
+  Alcotest.(check (float 1e-6)) "estimate" 3362.014438 run.Sim.dc_final_estimate;
+  Alcotest.(check int) "truth" 3536 run.Sim.dc_final_truth;
+  let summary = Summary.of_events (Sink.ring_contents ring) in
+  check_kinds summary
+    ~expected:
+      [
+        ("estimate_update", 410);
+        ("message", 828);
+        ("resync", 414);
+        ("run_meta", 1);
+        ("sketch_sent", 414);
+        ("threshold_crossed", 414);
+      ];
+  Alcotest.(check int) "trace bytes up = ledger" 14088 summary.Summary.bytes_up;
+  Alcotest.(check int) "trace bytes down = ledger" 18988
+    summary.Summary.bytes_down;
+  Alcotest.(check int) "medium bytes" 0 summary.Summary.medium_bytes
+
+let dc_ss_radio () =
+  let ring = Sink.ring ~capacity:8192 in
+  let run =
+    Sim.run_dc ~seed:7 ~cost_model:Network.Radio_broadcast ~algorithm:Dc.SS
+      ~theta:0.03 ~alpha:0.07 ~sink:ring (golden_stream ())
+  in
+  Alcotest.(check int) "bytes up" 13804 run.Sim.dc_bytes_up;
+  Alcotest.(check int) "bytes down" 1516892 run.Sim.dc_bytes_down;
+  Alcotest.(check int) "total bytes" 1530696 run.Sim.dc_total_bytes;
+  Alcotest.(check int) "sends" 403 run.Sim.dc_sends;
+  Alcotest.(check (float 1e-6)) "estimate" 3386.897246
+    run.Sim.dc_final_estimate;
+  let summary = Summary.of_events (Sink.ring_contents ring) in
+  check_kinds summary
+    ~expected:
+      [
+        ("broadcast", 403);
+        ("estimate_update", 403);
+        ("message", 403);
+        ("run_meta", 1);
+        ("sketch_sent", 403);
+        ("threshold_crossed", 403);
+      ];
+  Alcotest.(check int) "medium bytes = all broadcast traffic" 1516892
+    summary.Summary.medium_bytes
+
+let ds_gcs () =
+  let ring = Sink.ring ~capacity:16384 in
+  let run =
+    Sim.run_ds ~seed:7 ~algorithm:Ds.GCS ~theta:0.25 ~threshold:256 ~sink:ring
+      (golden_stream ())
+  in
+  Alcotest.(check int) "bytes up" 35640 run.Sim.ds_bytes_up;
+  Alcotest.(check int) "bytes down" 106820 run.Sim.ds_bytes_down;
+  Alcotest.(check int) "total bytes" 142460 run.Sim.ds_total_bytes;
+  Alcotest.(check int) "sends" 1782 run.Sim.ds_sends;
+  Alcotest.(check int) "final level" 4 run.Sim.ds_final_level;
+  Alcotest.(check (float 1e-6)) "distinct estimate" 3120.0
+    run.Sim.ds_distinct_estimate;
+  Alcotest.(check (float 1e-6)) "max count error" 0.146341
+    run.Sim.ds_max_count_error;
+  let summary = Summary.of_events (Sink.ring_contents ring) in
+  check_kinds summary
+    ~expected:
+      [
+        ("broadcast", 1783);
+        ("count_sent", 1782);
+        ("level_advance", 4);
+        ("message", 1782);
+        ("run_meta", 1);
+        ("threshold_crossed", 1782);
+      ];
+  Alcotest.(check int) "trace bytes up = ledger" 35640 summary.Summary.bytes_up;
+  Alcotest.(check int) "trace bytes down = ledger" 106820
+    summary.Summary.bytes_down
+
+let () =
+  Alcotest.run "golden_trace"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "dc ls unicast" `Quick dc_ls_unicast;
+          Alcotest.test_case "dc ss radio" `Quick dc_ss_radio;
+          Alcotest.test_case "ds gcs" `Quick ds_gcs;
+        ] );
+    ]

@@ -148,6 +148,34 @@ let sample_events =
     };
     { Event.time = 15; kind = Event.Level_advance { previous = 2; level = 3 } };
     { Event.time = 16; kind = Event.Resync { site = 2; bytes = 84 } };
+    {
+      Event.time = 17;
+      kind =
+        Event.Drop
+          { dir = Event.Up; site = 1; bytes = 12; loss = Event.Link_drop };
+    };
+    {
+      Event.time = 17;
+      kind =
+        Event.Drop
+          { dir = Event.Down; site = 0; bytes = 0; loss = Event.Crash_drop };
+    };
+    {
+      Event.time = 18;
+      kind =
+        Event.Drop
+          { dir = Event.Up; site = 2; bytes = 9; loss = Event.Corrupt_drop };
+    };
+    {
+      Event.time = 19;
+      kind = Event.Duplicate { dir = Event.Down; site = 3; bytes = 8; copies = 2 };
+    };
+    {
+      Event.time = 20;
+      kind = Event.Retry { dir = Event.Up; site = 1; attempt = 2; bytes = 12 };
+    };
+    { Event.time = 21; kind = Event.Crash { site = 1 } };
+    { Event.time = 22; kind = Event.Recover { site = 1; resync_bytes = 88 } };
   ]
 
 let test_trace_roundtrip_all_kinds () =
@@ -174,6 +202,12 @@ let test_trace_decode_errors () =
       {|{"t":1,"ev":"warp_drive"}|};
       {|{"t":1,"ev":"message","dir":"up","site":0,"payload":1}|};
       {|{"t":1,"ev":"message","dir":"sideways","site":0,"payload":1,"bytes":5}|};
+      {|{"t":1,"ev":"drop","dir":"up","site":0,"bytes":5,"loss":"gremlins"}|};
+      {|{"t":1,"ev":"drop","dir":"up","site":0,"bytes":5}|};
+      {|{"t":1,"ev":"duplicate","dir":"up","site":0,"bytes":5}|};
+      {|{"t":1,"ev":"retry","dir":"down","site":0,"attempt":1}|};
+      {|{"t":1,"ev":"crash"}|};
+      {|{"t":1,"ev":"recover","site":2}|};
       "[1,2]";
       "not json";
     ]
@@ -229,6 +263,33 @@ let prop_trace_roundtrip =
             (float_bound_inclusive 1e9) (float_bound_inclusive 1e9);
           map2
             (fun site bytes -> Event.Resync { site; bytes })
+            (int_bound 31) (int_bound 4096);
+          map3
+            (fun site bytes pick ->
+              Event.Drop
+                {
+                  dir = (if pick mod 2 = 0 then Event.Up else Event.Down);
+                  site;
+                  bytes;
+                  loss =
+                    (match pick mod 3 with
+                    | 0 -> Event.Link_drop
+                    | 1 -> Event.Corrupt_drop
+                    | _ -> Event.Crash_drop);
+                })
+            (int_bound 31) (int_bound 4096) (int_bound 5);
+          map3
+            (fun site bytes copies ->
+              Event.Duplicate
+                { dir = Event.Down; site; bytes; copies = 2 + copies })
+            (int_bound 31) (int_bound 4096) (int_bound 3);
+          map3
+            (fun site attempt bytes ->
+              Event.Retry { dir = Event.Up; site; attempt = 1 + attempt; bytes })
+            (int_bound 31) (int_bound 9) (int_bound 4096);
+          map (fun site -> Event.Crash { site }) (int_bound 31);
+          map2
+            (fun site resync_bytes -> Event.Recover { site; resync_bytes })
             (int_bound 31) (int_bound 4096);
         ])
   in
@@ -450,12 +511,13 @@ let test_metrics_sink_matches_ledger () =
 let test_summary_of_crafted_events () =
   let s = Summary.of_events sample_events in
   Alcotest.(check int) "events" (List.length sample_events) s.Summary.events;
-  Alcotest.(check int) "updates = max time" 16 s.Summary.updates;
-  Alcotest.(check int) "msgs up" 1 s.Summary.msgs_up;
-  Alcotest.(check int) "bytes up" 12 s.Summary.bytes_up;
+  Alcotest.(check int) "updates = max time" 22 s.Summary.updates;
+  (* one delivered up message + two lost-but-charged up transmissions *)
+  Alcotest.(check int) "msgs up" 3 s.Summary.msgs_up;
+  Alcotest.(check int) "bytes up" 33 s.Summary.bytes_up;
   (* one unicast down (8) + unicast-model broadcast (30) + radio broadcast
-     (10) *)
-  Alcotest.(check int) "bytes down" 48 s.Summary.bytes_down;
+     (10) + duplicate extra copies (8); the bytes-0 crash drop is free *)
+  Alcotest.(check int) "bytes down" 56 s.Summary.bytes_down;
   Alcotest.(check int) "radio broadcast on the medium" 10
     s.Summary.medium_bytes;
   Alcotest.(check int) "broadcasts" 2 s.Summary.broadcasts;
@@ -465,8 +527,25 @@ let test_summary_of_crafted_events () =
   Alcotest.(check (list string)) "run metadata captured"
     [ "dc-LS-seed7"; "dc"; "LS"; "4"; "unicast" ]
     (List.map snd s.Summary.run);
+  Alcotest.(check int) "drops" 3 s.Summary.drops;
+  Alcotest.(check int) "dropped bytes" 21 s.Summary.dropped_bytes;
+  Alcotest.(check int) "duplicate copies" 2 s.Summary.duplicates;
+  Alcotest.(check int) "duplicate bytes" 8 s.Summary.duplicate_bytes;
+  Alcotest.(check int) "retries" 1 s.Summary.retries;
+  Alcotest.(check int) "crashes" 1 s.Summary.crashes;
+  Alcotest.(check int) "recovers" 1 s.Summary.recovers;
+  Alcotest.(check (list int)) "crash matched by recover" []
+    s.Summary.degraded_sites;
   let site2 = List.find (fun r -> r.Summary.site = 2) s.Summary.sites in
-  Alcotest.(check int) "site 2 up msgs" 1 site2.Summary.s_msgs_up;
+  Alcotest.(check int) "site 2 up msgs incl. charged drop" 2
+    site2.Summary.s_msgs_up;
+  let site1f = List.find (fun r -> r.Summary.site = 1) s.Summary.sites in
+  Alcotest.(check int) "site 1 drops" 1 site1f.Summary.s_drops;
+  Alcotest.(check int) "site 1 retries" 1 site1f.Summary.s_retries;
+  Alcotest.(check int) "site 1 crashes" 1 site1f.Summary.s_crashes;
+  Alcotest.(check int) "site 1 recovers" 1 site1f.Summary.s_recovers;
+  let site3 = List.find (fun r -> r.Summary.site = 3) s.Summary.sites in
+  Alcotest.(check int) "site 3 duplicate copies" 2 site3.Summary.s_duplicates;
   Alcotest.(check int) "site 2 crossings" 1 site2.Summary.s_crossings;
   Alcotest.(check int) "site 2 resyncs" 1 site2.Summary.s_resyncs;
   (* The unicast-model broadcast (30 bytes over 3 recipients, except site

@@ -1,0 +1,208 @@
+(* Property tests over the sketch algebra — the invariants that make
+   duplicate-resilient monitoring (and this PR's recovery-by-retransmission
+   machinery) sound:
+
+   - merge is commutative, associative, and idempotent for the bitmap
+     sketches (FM both variants, BJKST, HLL);
+   - merging partitioned streams equals sketching the concatenation
+     (distributed = centralized), so estimates agree;
+   - re-inserting duplicates never changes a bitmap sketch — which is
+     exactly why a retransmitted sketch merge is harmless;
+   - the distinct sampler merges commutatively/associatively, a merge of
+     partitioned streams equals one sampler over the whole stream, and a
+     self-merge preserves the retained support and level while doubling
+     counts (counts are additive, not idempotent — the reason count
+     reports ship absolute values under faults).
+
+   Cases and generators live in [Prop] (hand-rolled, seeded by
+   WD_PROP_SEED, default 42; >= 200 cases per invariant). *)
+
+module Rng = Wd_hashing.Rng
+module Fm = Wd_sketch.Fm
+module Bjkst = Wd_sketch.Bjkst
+module Hll = Wd_sketch.Hyperloglog
+module Sampler = Wd_sketch.Distinct_sampler
+
+(* One generated case: independent hash-family seed plus three item
+   streams (with duplicates, small universe to force collisions). *)
+type case = { fam_seed : int; xs : int list; ys : int list; zs : int list }
+
+let case_gen rng =
+  let items = Prop.list ~max_len:60 (Prop.int_range 0 150) in
+  {
+    fam_seed = Prop.int_range 0 10_000 rng;
+    xs = items rng;
+    ys = items rng;
+    zs = items rng;
+  }
+
+let show_case c =
+  Printf.sprintf "{fam_seed=%d; xs=%s; ys=%s; zs=%s}" c.fam_seed
+    (Prop.show_list Prop.show_int c.xs)
+    (Prop.show_list Prop.show_int c.ys)
+    (Prop.show_list Prop.show_int c.zs)
+
+let shrink_case c =
+  let sl = Prop.shrink_list Prop.shrink_int in
+  List.map (fun xs -> { c with xs }) (sl c.xs)
+  @ List.map (fun ys -> { c with ys }) (sl c.ys)
+  @ List.map (fun zs -> { c with zs }) (sl c.zs)
+
+(* ------------------------------------------------------------------ *)
+(* Generic suite over any bitmap-style sketch *)
+
+module type BITMAP_SKETCH = sig
+  type family
+  type t
+
+  val create : family -> t
+  val add : t -> int -> bool
+  val merge_into : dst:t -> t -> unit
+  val equal : t -> t -> bool
+  val estimate : t -> float
+end
+
+let bitmap_suite (type f) name (module M : BITMAP_SKETCH with type family = f)
+    (mk_family : seed:int -> f) =
+  let of_items fam items =
+    let s = M.create fam in
+    List.iter (fun v -> ignore (M.add s v)) items;
+    s
+  in
+  let merged fam a b =
+    let dst = of_items fam a in
+    M.merge_into ~dst (of_items fam b);
+    dst
+  in
+  let prop pname p =
+    Prop.test_case ~shrink:shrink_case ~show:show_case
+      ~name:(Printf.sprintf "%s %s" name pname)
+      case_gen p
+  in
+  [
+    prop "merge commutative" (fun c ->
+        let fam = mk_family ~seed:c.fam_seed in
+        M.equal (merged fam c.xs c.ys) (merged fam c.ys c.xs));
+    prop "merge associative" (fun c ->
+        let fam = mk_family ~seed:c.fam_seed in
+        let ab_c =
+          let dst = merged fam c.xs c.ys in
+          M.merge_into ~dst (of_items fam c.zs);
+          dst
+        in
+        let a_bc =
+          let dst = of_items fam c.xs in
+          M.merge_into ~dst (merged fam c.ys c.zs);
+          dst
+        in
+        M.equal ab_c a_bc);
+    prop "merge idempotent" (fun c ->
+        let fam = mk_family ~seed:c.fam_seed in
+        M.equal (merged fam c.xs c.xs) (of_items fam c.xs));
+    prop "distributed = centralized" (fun c ->
+        let fam = mk_family ~seed:c.fam_seed in
+        let whole = of_items fam (c.xs @ c.ys) in
+        let m = merged fam c.xs c.ys in
+        M.equal m whole && M.estimate m = M.estimate whole);
+    prop "duplicate insensitive" (fun c ->
+        let fam = mk_family ~seed:c.fam_seed in
+        M.equal (of_items fam (c.xs @ c.xs)) (of_items fam c.xs));
+  ]
+
+let fm_suite variant name =
+  bitmap_suite name
+    (module Fm : BITMAP_SKETCH with type family = Fm.family)
+    (fun ~seed ->
+      Fm.family_custom ~rng:(Rng.create seed) ~variant ~bitmaps:8)
+
+let bjkst_suite =
+  bitmap_suite "bjkst"
+    (module Bjkst : BITMAP_SKETCH with type family = Bjkst.family)
+    (fun ~seed -> Bjkst.family_custom ~rng:(Rng.create seed) ~k:16)
+
+let hll_suite =
+  bitmap_suite "hll"
+    (module Hll : BITMAP_SKETCH with type family = Hll.family)
+    (fun ~seed -> Hll.family_custom ~rng:(Rng.create seed) ~registers:16)
+
+(* ------------------------------------------------------------------ *)
+(* Distinct sampler: algebra over (level, retained counts) *)
+
+let sampler_family ~seed =
+  Sampler.family ~rng:(Rng.create seed) ~threshold:16
+
+let sampler_of fam items =
+  let s = Sampler.create fam in
+  List.iter (Sampler.add s) items;
+  s
+
+let sampler_state s =
+  (Sampler.level s, List.sort compare (Sampler.contents s))
+
+let sampler_merged fam a b =
+  let dst = sampler_of fam a in
+  Sampler.merge_into ~dst (sampler_of fam b);
+  dst
+
+let sampler_prop pname p =
+  Prop.test_case ~shrink:shrink_case ~show:show_case
+    ~name:(Printf.sprintf "sampler %s" pname)
+    case_gen p
+
+let sampler_suite =
+  [
+    sampler_prop "merge commutative" (fun c ->
+        let fam = sampler_family ~seed:c.fam_seed in
+        sampler_state (sampler_merged fam c.xs c.ys)
+        = sampler_state (sampler_merged fam c.ys c.xs));
+    sampler_prop "merge associative" (fun c ->
+        let fam = sampler_family ~seed:c.fam_seed in
+        let ab_c =
+          let dst = sampler_merged fam c.xs c.ys in
+          Sampler.merge_into ~dst (sampler_of fam c.zs);
+          dst
+        in
+        let a_bc =
+          let dst = sampler_of fam c.xs in
+          Sampler.merge_into ~dst (sampler_merged fam c.ys c.zs);
+          dst
+        in
+        sampler_state ab_c = sampler_state a_bc);
+    sampler_prop "distributed = centralized" (fun c ->
+        let fam = sampler_family ~seed:c.fam_seed in
+        let m = sampler_merged fam c.xs c.ys in
+        let whole = sampler_of fam (c.xs @ c.ys) in
+        sampler_state m = sampler_state whole
+        && Sampler.estimate_distinct m = Sampler.estimate_distinct whole);
+    sampler_prop "self-merge keeps support, doubles counts" (fun c ->
+        let fam = sampler_family ~seed:c.fam_seed in
+        let a = sampler_of fam c.xs in
+        let doubled = sampler_merged fam c.xs c.xs in
+        Sampler.level doubled = Sampler.level a
+        && List.sort compare
+             (List.map (fun (v, n) -> (v, 2 * n)) (Sampler.contents a))
+           = List.sort compare (Sampler.contents doubled));
+    sampler_prop "add_count ignores below-level items" (fun c ->
+        (* Validates the absolute-count recovery refactor: replaying a
+           count for an item the sampler has moved past never resurrects
+           it. *)
+        let fam = sampler_family ~seed:c.fam_seed in
+        let s = sampler_of fam (c.xs @ c.ys) in
+        let lvl = Sampler.level s in
+        let before = sampler_state s in
+        List.iter
+          (fun v ->
+            if Sampler.item_level s v < lvl then Sampler.add_count s v 3)
+          c.zs;
+        sampler_state s = before);
+  ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("fm-stochastic", fm_suite Fm.Stochastic "fm-stochastic");
+      ("fm-averaged", fm_suite Fm.Averaged "fm-averaged");
+      ("bjkst", bjkst_suite);
+      ("hll", hll_suite);
+      ("sampler", sampler_suite);
+    ]

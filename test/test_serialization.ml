@@ -121,6 +121,97 @@ let test_sampler_serialized_continues_correctly () =
     (fun (v, c) -> Alcotest.(check int) "same counts" c (Sampler.count b v))
     (Sampler.contents a)
 
+(* --- Workload trace files (Trace_io) --- *)
+
+module Stream = Wd_workload.Stream
+module Trace_io = Wd_workload.Trace_io
+
+let tmp_file suffix =
+  Filename.temp_file "wd_trace_io" suffix
+
+let stream_to_list s =
+  List.init (Stream.length s) (fun j -> (Stream.site s j, Stream.item s j))
+
+(* Random multi-site streams via the hand-rolled Prop framework. *)
+let stream_case_gen rng =
+  let n = Prop.int_range 0 80 rng in
+  let sites = Array.init n (fun _ -> Prop.int_range 0 5 rng) in
+  let items = Array.init n (fun _ -> Prop.int_range 0 1_000 rng) in
+  (Array.to_list sites, Array.to_list items)
+
+let show_stream_case (sites, items) =
+  Printf.sprintf "(sites=%s, items=%s)"
+    (Prop.show_list Prop.show_int sites)
+    (Prop.show_list Prop.show_int items)
+
+let trace_io_roundtrip ~save ~load () =
+  Prop.check ~count:50 ~show:show_stream_case ~name:"trace_io roundtrip"
+    stream_case_gen (fun (sites, items) ->
+      let s =
+        Stream.make ~sites:(Array.of_list sites) ~items:(Array.of_list items)
+      in
+      let path = tmp_file ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          save path s;
+          stream_to_list (load path) = stream_to_list s))
+
+let expect_load_failure name load path =
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match load path with
+      | (_ : Stream.t) -> Alcotest.failf "%s should fail to load" name
+      | exception Failure _ -> ())
+
+let test_binary_bad_magic () =
+  let path = tmp_file ".bin" in
+  let oc = open_out_bin path in
+  output_string oc "NOTTRACE00000000";
+  close_out oc;
+  expect_load_failure "bad magic" Trace_io.load_binary path
+
+let test_binary_truncated () =
+  let s = Stream.make ~sites:[| 0; 1; 0 |] ~items:[| 7; 8; 9 |] in
+  let whole = tmp_file ".bin" in
+  Trace_io.save_binary whole s;
+  let data =
+    let ic = open_in_bin whole in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    Sys.remove whole;
+    b
+  in
+  (* Cut inside the third record, inside the length header, and inside
+     the magic: every prefix must be rejected, never silently shortened. *)
+  List.iter
+    (fun keep ->
+      let path = tmp_file ".bin" in
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 keep);
+      close_out oc;
+      expect_load_failure
+        (Printf.sprintf "truncated at %d" keep)
+        Trace_io.load_binary path)
+    [ String.length data - 8; 12; 4 ]
+
+let test_csv_malformed () =
+  List.iter
+    (fun body ->
+      let path = tmp_file ".csv" in
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      expect_load_failure body Trace_io.load_csv path)
+    [
+      "site,item\n1\n";
+      "site,item\n1,2,3\n";
+      "site,item\nx,2\n";
+      "site,item\n-1,2\n";
+    ]
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
@@ -149,4 +240,16 @@ let () =
             test_sampler_serialized_continues_correctly;
         ] );
       ("roundtrips", props);
+      ( "trace files",
+        [
+          Alcotest.test_case "csv roundtrip" `Quick
+            (trace_io_roundtrip ~save:Trace_io.save_csv
+               ~load:Trace_io.load_csv);
+          Alcotest.test_case "binary roundtrip" `Quick
+            (trace_io_roundtrip ~save:Trace_io.save_binary
+               ~load:Trace_io.load_binary);
+          Alcotest.test_case "binary bad magic" `Quick test_binary_bad_magic;
+          Alcotest.test_case "binary truncated" `Quick test_binary_truncated;
+          Alcotest.test_case "csv malformed" `Quick test_csv_malformed;
+        ] );
     ]
