@@ -32,12 +32,37 @@ let zipf_items n =
   let dist = Wd_workload.Zipf.create ~n:100_000 ~skew:1.0 in
   Array.init n (fun _ -> Wd_workload.Zipf.sample dist rng)
 
+(* Cycle through [items] one element per call.  Wraps with a compare
+   instead of a bit mask so any array length works (the mask variant
+   silently mis-iterated non-power-of-two arrays). *)
 let cyclic items =
+  let n = Array.length items in
   let i = ref 0 in
   fun () ->
     let v = items.(!i) in
-    i := (!i + 1) land (Array.length items - 1);
+    incr i;
+    if !i = n then i := 0;
     v
+
+(* Batched benchmark runs process [batch_chunk] updates per closure call;
+   reporting divides the measured ns by this to get per-update cost. *)
+let batch_chunk = 256
+
+let cyclic_chunks items =
+  let n = Array.length items in
+  if n mod batch_chunk <> 0 then invalid_arg "cyclic_chunks: ragged chunks";
+  cyclic
+    (Array.init (n / batch_chunk) (fun c ->
+         Array.sub items (c * batch_chunk) batch_chunk))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Tests whose name marks them as batched are divided by [batch_chunk]
+   when reported, so every row of the throughput table is ns/update. *)
+let runs_per_call name = if contains name "_batch" then batch_chunk else 1
 
 let throughput_tests () =
   let open Bechamel in
@@ -103,9 +128,86 @@ let throughput_tests () =
            site := (!site + 1) land 3;
            Ds.observe t ~site:!site (next ())))
   in
+  (* Batched counterparts: one closure call consumes [batch_chunk]
+     updates through the add_batch/observe_batch entry points, isolating
+     the per-update win from hoisted hash state and bounds checks. *)
+  let fm_stochastic_batch =
+    let fam =
+      Fm.family_custom ~rng:(Rng.create 1) ~variant:Fm.Stochastic ~bitmaps:128
+    in
+    let sk = Fm.create fam in
+    let next = cyclic_chunks items in
+    Test.make ~name:"fm-add_batch(stochastic,m=128)"
+      (Staged.stage (fun () -> Fm.add_batch sk (next ())))
+  in
+  let hll_batch =
+    let fam =
+      Wd_sketch.Hyperloglog.family_custom ~rng:(Rng.create 3) ~registers:1024
+    in
+    let sk = Wd_sketch.Hyperloglog.create fam in
+    let next = cyclic_chunks items in
+    Test.make ~name:"hll-add_batch(m=1024)"
+      (Staged.stage (fun () -> Wd_sketch.Hyperloglog.add_batch sk (next ())))
+  in
+  let bjkst_batch =
+    let fam = Wd_sketch.Bjkst.family_custom ~rng:(Rng.create 4) ~k:1024 in
+    let sk = Wd_sketch.Bjkst.create fam in
+    let next = cyclic_chunks items in
+    Test.make ~name:"bjkst-add_batch(k=1024)"
+      (Staged.stage (fun () -> Wd_sketch.Bjkst.add_batch sk (next ())))
+  in
+  let sampler_batch =
+    let fam = Sampler.family ~rng:(Rng.create 5) ~threshold:1_000 in
+    let s = Sampler.create fam in
+    let next = cyclic_chunks items in
+    Test.make ~name:"sampler-add_batch(T=1000)"
+      (Staged.stage (fun () -> Sampler.add_batch s (next ())))
+  in
+  let bench_sites = Array.init (Array.length items) (fun j -> j land 3) in
+  let dc_observe_batch =
+    let fam =
+      Fm.family_custom ~rng:(Rng.create 6) ~variant:Fm.Stochastic ~bitmaps:128
+    in
+    let t = Dc.Fm.create ~algorithm:Dc.LS ~theta:0.03 ~sites:4 ~family:fam () in
+    let pos = ref 0 in
+    Test.make ~name:"dc-observe_batch(LS,4 sites)"
+      (Staged.stage (fun () ->
+           Dc.Fm.observe_batch t ~sites:bench_sites ~items ~pos:!pos
+             ~len:batch_chunk;
+           pos := !pos + batch_chunk;
+           if !pos = Array.length items then pos := 0))
+  in
+  let ds_observe_batch =
+    let fam = Sampler.family ~rng:(Rng.create 8) ~threshold:1_000 in
+    let t = Ds.create ~algorithm:Ds.LCO ~theta:0.25 ~sites:4 ~family:fam () in
+    let pos = ref 0 in
+    Test.make ~name:"ds-observe_batch(LCO,4 sites)"
+      (Staged.stage (fun () ->
+           Ds.observe_batch t ~sites:bench_sites ~items ~pos:!pos
+             ~len:batch_chunk;
+           pos := !pos + batch_chunk;
+           if !pos = Array.length items then pos := 0))
+  in
   Test.make_grouped ~name:"throughput"
-    [ fm_stochastic; fm_averaged; hll; bjkst; sampler; dc_observe; ds_observe ]
+    [
+      fm_stochastic;
+      fm_averaged;
+      hll;
+      bjkst;
+      sampler;
+      dc_observe;
+      ds_observe;
+      fm_stochastic_batch;
+      hll_batch;
+      bjkst_batch;
+      sampler_batch;
+      dc_observe_batch;
+      ds_observe_batch;
+    ]
 
+(* Measures the throughput group and returns per-update rows
+   [(name, ns_per_update, m_updates_per_s)], batch runs normalized by
+   [batch_chunk]. *)
 let run_throughput () =
   let open Bechamel in
   Report.print_section
@@ -122,17 +224,153 @@ let run_throughput () =
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
       | Some (ns :: _) when ns > 0.0 ->
-        rows :=
-          (name, ns, 1e9 /. ns) :: !rows
+        let ns = ns /. Float.of_int (runs_per_call name) in
+        rows := (name, ns, 1e9 /. ns) :: !rows
       | _ -> ())
     results;
-  let rows =
-    List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows
-    |> List.map (fun (name, ns, ips) ->
-           Report.[ S name; F ns; F (ips /. 1e6) ])
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  Report.print_table ~header:[ "operation"; "ns/update"; "M updates/s" ]
+    (List.map
+       (fun (name, ns, ips) -> Report.[ S name; F ns; F (ips /. 1e6) ])
+       rows);
+  print_newline ();
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Bytes per run: end-to-end communication of every approximate
+   algorithm on one seeded stream, for machine-readable regression
+   tracking alongside the throughput numbers. *)
+
+type bytes_row = {
+  b_protocol : string;
+  b_algorithm : string;
+  b_updates : int;
+  b_total_bytes : int;
+  b_bytes_up : int;
+  b_bytes_down : int;
+  b_sends : int;
+}
+
+let run_bytes ~scale =
+  let module Sim = Whats_different.Simulation in
+  Report.print_section
+    "bytes: total communication per algorithm on a seeded zipf stream";
+  let events = max 1_000 (int_of_float (100_000.0 *. scale)) in
+  let stream =
+    Stream_gen.zipf ~seed:11 ~sites:8 ~events ~universe:(max 500 (events / 2))
+      ()
   in
-  Report.print_table ~header:[ "operation"; "ns/update"; "M updates/s" ] rows;
-  print_newline ()
+  let dc_rows =
+    List.map
+      (fun alg ->
+        let r = Sim.run_dc ~seed:1 ~algorithm:alg ~theta:0.05 ~alpha:0.1 stream in
+        {
+          b_protocol = "dc";
+          b_algorithm = Dc.algorithm_to_string alg;
+          b_updates = r.Sim.dc_updates;
+          b_total_bytes = r.Sim.dc_total_bytes;
+          b_bytes_up = r.Sim.dc_bytes_up;
+          b_bytes_down = r.Sim.dc_bytes_down;
+          b_sends = r.Sim.dc_sends;
+        })
+      Dc.approximate_algorithms
+  in
+  let ds_rows =
+    List.map
+      (fun alg ->
+        let r =
+          Sim.run_ds ~seed:1 ~algorithm:alg ~theta:0.5 ~threshold:500 stream
+        in
+        {
+          b_protocol = "ds";
+          b_algorithm = Ds.algorithm_to_string alg;
+          b_updates = r.Sim.ds_updates;
+          b_total_bytes = r.Sim.ds_total_bytes;
+          b_bytes_up = r.Sim.ds_bytes_up;
+          b_bytes_down = r.Sim.ds_bytes_down;
+          b_sends = r.Sim.ds_sends;
+        })
+      Ds.approximate_algorithms
+  in
+  let rows = dc_rows @ ds_rows in
+  Report.print_table
+    ~header:[ "protocol"; "algorithm"; "updates"; "bytes"; "up"; "down"; "sends" ]
+    (List.map
+       (fun r ->
+         Report.
+           [
+             S r.b_protocol;
+             S r.b_algorithm;
+             I r.b_updates;
+             I r.b_total_bytes;
+             I r.b_bytes_up;
+             I r.b_bytes_down;
+             I r.b_sends;
+           ])
+       rows);
+  print_newline ();
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON result files (--json PATH): machine-readable snapshot of the
+   throughput and bytes runs, written with the in-tree codec.  The
+   committed BENCH_*.json baselines use this format; see README.md
+   "Performance" for how to regenerate and compare. *)
+
+module Json = Wd_obs.Json
+
+let json_of_results ~scale ~throughput ~bytes =
+  let fields = [ ("schema", Json.Str "wd-bench/1"); ("scale", Json.Float scale) ] in
+  let fields =
+    match throughput with
+    | None -> fields
+    | Some rows ->
+      fields
+      @ [
+          ( "throughput",
+            Json.List
+              (List.map
+                 (fun (name, ns, ips) ->
+                   Json.Obj
+                     [
+                       ("name", Json.Str name);
+                       ("ns_per_update", Json.Float ns);
+                       ("m_updates_per_s", Json.Float (ips /. 1e6));
+                     ])
+                 rows) );
+        ]
+  in
+  let fields =
+    match bytes with
+    | None -> fields
+    | Some rows ->
+      fields
+      @ [
+          ( "bytes",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [
+                       ("protocol", Json.Str r.b_protocol);
+                       ("algorithm", Json.Str r.b_algorithm);
+                       ("updates", Json.Int r.b_updates);
+                       ("total_bytes", Json.Int r.b_total_bytes);
+                       ("bytes_up", Json.Int r.b_bytes_up);
+                       ("bytes_down", Json.Int r.b_bytes_down);
+                       ("sends", Json.Int r.b_sends);
+                     ])
+                 rows) );
+        ]
+  in
+  Json.Obj fields
+
+let write_json path ~scale ~throughput ~bytes =
+  let oc = open_out path in
+  output_string oc (Json.to_string (json_of_results ~scale ~throughput ~bytes));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Sink overhead (Wd_obs acceptance: null sink must cost <= 5%) *)
@@ -249,6 +487,7 @@ let () =
   let scale = ref 1.0 in
   let with_throughput = ref true in
   let csv_dir = ref None in
+  let json_path = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -258,12 +497,15 @@ let () =
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
     | "--no-throughput" :: rest ->
       with_throughput := false;
       parse rest
     | "--list" :: _ ->
       List.iter print_endline
-        ("throughput" :: "sink-overhead" :: Experiments.ids);
+        ("throughput" :: "bytes" :: "sink-overhead" :: Experiments.ids);
       exit 0
     | id :: rest ->
       selected := id :: !selected;
@@ -275,6 +517,10 @@ let () =
     Experiments.print t;
     Option.iter (fun dir -> write_csv dir t) !csv_dir
   in
+  let throughput_rows = ref None in
+  let bytes_rows = ref None in
+  let do_throughput () = throughput_rows := Some (run_throughput ()) in
+  let do_bytes () = bytes_rows := Some (run_bytes ~scale:!scale) in
   let selected = List.rev !selected in
   let t0 = Unix.gettimeofday () in
   (match selected with
@@ -284,12 +530,14 @@ let () =
       !scale;
     List.iter emit (Experiments.all ~options ());
     if !with_throughput then (
-      run_throughput ();
+      do_throughput ();
+      do_bytes ();
       run_sink_overhead ())
   | ids ->
     List.iter
       (fun id ->
-        if id = "throughput" then run_throughput ()
+        if id = "throughput" then do_throughput ()
+        else if id = "bytes" then do_bytes ()
         else if id = "sink-overhead" then run_sink_overhead ()
         else
           match Experiments.by_id id with
@@ -298,4 +546,9 @@ let () =
             Printf.eprintf "unknown experiment %S (try --list)\n" id;
             exit 1)
       ids);
+  Option.iter
+    (fun path ->
+      write_json path ~scale:!scale ~throughput:!throughput_rows
+        ~bytes:!bytes_rows)
+    !json_path;
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,6 +1,8 @@
 type sample = (int * int) list
 
-let scale level = 2.0 ** Float.of_int level
+(* Exactly 2^level ([Float.ldexp] of 1.0), without the transcendental
+   [Float.pow] the [2.0 ** Float.of_int _] spelling compiles to. *)
+let scale level = Float.ldexp 1.0 level
 
 let unique_count ~level s =
   let ones = List.length (List.filter (fun (_, c) -> c = 1) s) in

@@ -49,7 +49,10 @@ let sample_positions n samples =
   Array.init samples (fun i -> max 1 ((i + 1) * n / samples))
 
 (* Membership test on sorted positions via cursor: returns a function to
-   call once per update index (1-based, increasing). *)
+   call once per update index (1-based, increasing).  Calling it only at a
+   superset of its own positions (as the chunked drivers do, with the
+   union of all sample positions) is equally correct: the cursor advances
+   exactly at its own positions and ignores the rest. *)
 let cursor_matcher positions =
   let next = ref 0 in
   fun j ->
@@ -62,6 +65,32 @@ let cursor_matcher positions =
       true
     end
     else false
+
+(* Sorted deduplicated union of two increasing position arrays — the
+   chunk boundaries of the batched drivers: a tracker can safely consume
+   a whole slice between consecutive sample positions in one
+   [observe_batch] call, because nothing is observed between them. *)
+let merge_positions a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let i = ref 0 and j = ref 0 and m = ref 0 in
+  let push x =
+    if !m = 0 || out.(!m - 1) <> x then begin
+      out.(!m) <- x;
+      incr m
+    end
+  in
+  while !i < la || !j < lb do
+    if !j >= lb || (!i < la && a.(!i) <= b.(!j)) then begin
+      push a.(!i);
+      incr i
+    end
+    else begin
+      push b.(!j);
+      incr j
+    end
+  done;
+  Array.sub out 0 !m
 
 module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   module Tracker = Dc.Make (Sketch)
@@ -109,30 +138,57 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         metrics
     in
     let truth = Hashtbl.create 4096 in
-    let byte_at = cursor_matcher (sample_positions n checkpoints) in
-    let err_at = cursor_matcher (sample_positions n error_samples) in
+    let byte_positions = sample_positions n checkpoints in
+    let err_positions = sample_positions n error_samples in
+    let byte_at = cursor_matcher byte_positions in
+    let err_at = cursor_matcher err_positions in
     let bytes_series = ref [] and error_series = ref [] in
-    Stream.iteri
-      (fun j0 ~site ~item ->
-        let lost0 = Tracker.lost_updates tracker in
-        Tracker.observe tracker ~site item;
-        (* Arrivals discarded inside a crash window never reached the
-           system, so they are excluded from the achievable truth too. *)
-        if
-          Tracker.lost_updates tracker = lost0
-          && not (Hashtbl.mem truth item)
-        then Hashtbl.replace truth item ();
-        let j = j0 + 1 in
-        if byte_at j then
-          bytes_series := (j, Network.total_bytes net) :: !bytes_series;
-        if err_at j then begin
-          let n0 = Float.of_int (Hashtbl.length truth) in
-          let err = Float.abs (Tracker.estimate tracker -. n0) /. n0 in
-          Option.iter (fun h -> Metrics.observe h err) err_hist;
-          Option.iter (fun g -> Metrics.set g n0) truth_gauge;
-          error_series := (j, err) :: !error_series
-        end)
-      stream;
+    let sample_at j =
+      if byte_at j then
+        bytes_series := (j, Network.total_bytes net) :: !bytes_series;
+      if err_at j then begin
+        let n0 = Float.of_int (Hashtbl.length truth) in
+        let err = Float.abs (Tracker.estimate tracker -. n0) /. n0 in
+        Option.iter (fun h -> Metrics.observe h err) err_hist;
+        Option.iter (fun g -> Metrics.set g n0) truth_gauge;
+        error_series := (j, err) :: !error_series
+      end
+    in
+    if Wd_net.Faults.has_crashes faults then
+      (* Crash windows make truth depend on per-update loss accounting:
+         arrivals discarded inside a window never reached the system, so
+         they are excluded from the achievable truth too.  Feed the
+         tracker one update at a time so the gate stays exact. *)
+      Stream.iteri
+        (fun j0 ~site ~item ->
+          let lost0 = Tracker.lost_updates tracker in
+          Tracker.observe tracker ~site item;
+          if
+            Tracker.lost_updates tracker = lost0
+            && not (Hashtbl.mem truth item)
+          then Hashtbl.replace truth item ();
+          sample_at (j0 + 1))
+        stream
+    else begin
+      (* No crash windows: no arrival can be lost, so truth is a plain
+         prefix property and the tracker can consume whole slices between
+         sample positions in one [observe_batch] call — observationally
+         identical, with the closure-per-update dispatch gone. *)
+      let sites = stream.Stream.sites and items = stream.Stream.items in
+      let boundaries = merge_positions byte_positions err_positions in
+      let prev = ref 0 in
+      Array.iter
+        (fun b ->
+          Tracker.observe_batch tracker ~sites ~items ~pos:!prev
+            ~len:(b - !prev);
+          for j = !prev to b - 1 do
+            let item = Array.unsafe_get items j in
+            if not (Hashtbl.mem truth item) then Hashtbl.replace truth item ()
+          done;
+          prev := b;
+          sample_at b)
+        boundaries
+    end;
     {
       dc_algorithm = algorithm;
       dc_updates = n;
@@ -194,23 +250,47 @@ let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
   emit_run_meta sink ~protocol:"ds"
     ~algorithm:(Ds.algorithm_to_string algorithm)
     ~sites:k ~cost_model ~seed;
-  let byte_at = cursor_matcher (sample_positions n checkpoints) in
+  let byte_positions = sample_positions n checkpoints in
+  let byte_at = cursor_matcher byte_positions in
   let bytes_series = ref [] in
+  let sample_at j =
+    if byte_at j then
+      bytes_series := (j, Network.total_bytes net) :: !bytes_series
+  in
   (* Fault-aware multiplicities: arrivals discarded inside a crash window
      never reached the system, so the achievable exact counts exclude
      them (identical to [Stream.multiplicities] when faults are off). *)
   let exact = Hashtbl.create 4096 in
-  Stream.iteri
-    (fun j0 ~site ~item ->
-      let lost0 = Ds.lost_updates tracker in
-      Ds.observe tracker ~site item;
-      if Ds.lost_updates tracker = lost0 then
-        Hashtbl.replace exact item
-          (1 + Option.value ~default:0 (Hashtbl.find_opt exact item));
-      let j = j0 + 1 in
-      if byte_at j then
-        bytes_series := (j, Network.total_bytes net) :: !bytes_series)
-    stream;
+  if Wd_net.Faults.has_crashes faults then
+    Stream.iteri
+      (fun j0 ~site ~item ->
+        let lost0 = Ds.lost_updates tracker in
+        Ds.observe tracker ~site item;
+        if Ds.lost_updates tracker = lost0 then
+          Hashtbl.replace exact item
+            (1 + Option.value ~default:0 (Hashtbl.find_opt exact item));
+        sample_at (j0 + 1))
+      stream
+  else begin
+    (* No crash windows, hence no lost arrivals: exact counts are plain
+       multiplicities, and the tracker takes whole slices between byte
+       checkpoints in one [observe_batch] call. *)
+    let sites = stream.Stream.sites and items = stream.Stream.items in
+    let prev = ref 0 in
+    Array.iter
+      (fun b ->
+        if b > !prev then begin
+          Ds.observe_batch tracker ~sites ~items ~pos:!prev ~len:(b - !prev);
+          for j = !prev to b - 1 do
+            let item = Array.unsafe_get items j in
+            Hashtbl.replace exact item
+              (1 + Option.value ~default:0 (Hashtbl.find_opt exact item))
+          done;
+          prev := b
+        end;
+        sample_at b)
+      byte_positions
+  end;
   let sample = Ds.sample tracker in
   let max_count_error =
     List.fold_left

@@ -10,6 +10,11 @@ val trailing_zeros : int64 -> int
 (** [trailing_zeros w] is the number of trailing zero bits of [w];
     [trailing_zeros 0L = 64]. *)
 
+val trailing_zeros_int : int -> int
+(** [trailing_zeros_int w] is the number of trailing zero bits of the
+    native 63-bit word [w]; [trailing_zeros_int 0 = 63].  Allocation-free
+    (no [Int64] boxing), which is why the sketch update paths prefer it. *)
+
 val level : Universal.t -> int -> int
 (** [level h v] is the geometric level of item [v] under hash [h]:
     the count of trailing zeros of the hashed word, capped at 63.

@@ -1,10 +1,14 @@
 type t =
-  | Mixer of int64 (* seed for SplitMix finalizer *)
+  (* The stored word is [Splitmix.mix seed], not the raw seed:
+     [mix_seeded] re-derives it on every call, so premixing once at
+     construction halves the per-hash work while producing bit-identical
+     hash values. *)
+  | Mixer of int64 (* premixed seed for SplitMix finalizer *)
   | Multiply_shift of int64 * int64 (* odd multiplier a, offset b *)
 
-let create ~seed = Mixer seed
+let create ~seed = Mixer (Splitmix.mix seed)
 
-let of_rng rng = Mixer (Rng.int64 rng)
+let of_rng rng = Mixer (Splitmix.mix (Rng.int64 rng))
 
 let multiply_shift rng =
   let a = Int64.logor (Rng.int64 rng) 1L in
@@ -13,7 +17,7 @@ let multiply_shift rng =
 
 let hash64 h x =
   match h with
-  | Mixer seed -> Splitmix.mix_seeded ~seed x
+  | Mixer premixed -> Splitmix.mix (Int64.add premixed x)
   | Multiply_shift (a, b) ->
     (* (a*x + b) over Z/2^64; the high bits are the universal ones, so we
        swap halves to make low bits usable by callers too. *)

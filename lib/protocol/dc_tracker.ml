@@ -163,7 +163,14 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     | NS -> st.d_last *. (1.0 +. over)
     | SC -> st.d_last +. (over *. st.d0_known)
     | SS | LS -> st.d0_known *. (1.0 +. over)
-    | EC -> assert false
+    | EC ->
+      invalid_arg
+        "Dc_tracker.send_threshold: exact algorithm EC has no send threshold"
+
+  let site_send_threshold t i =
+    if i < 0 || i >= t.k then
+      invalid_arg "Dc_tracker.site_send_threshold: site index out of range";
+    send_threshold t t.site_states.(i)
 
   let emit_sketch_sent t ~site ~payload ~items =
     if Sink.enabled t.sink then
@@ -299,7 +306,10 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         Sketch.merge_into ~dst:st.coord_known t.sk0;
         st.d_last <- st.d_est
       end
-    | EC -> assert false
+    | EC ->
+      invalid_arg
+        "Dc_tracker.coordinator_react: exact algorithm EC has no sketch \
+         reaction"
 
   let observe_exact t ~site v =
     let st = t.site_states.(site) in
@@ -405,12 +415,13 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       end
     end
 
-  let observe t ~site v =
-    if site < 0 || site >= t.k then
-      invalid_arg "Dc_tracker.observe: site index out of range";
+  (* One update with the crash-scan decision already made; [observe] and
+     [observe_batch] share this body so their behaviour is identical
+     update for update. *)
+  let[@inline] observe_one t ~crashes ~site v =
     t.updates <- t.updates + 1;
     Network.set_time t.net t.updates;
-    if Faults.has_crashes (Network.faults t.net) then scan_crashes t;
+    if crashes then scan_crashes t;
     let st = t.site_states.(site) in
     if st.down then
       (* A dead site observes nothing; the arrival is gone for good. *)
@@ -420,6 +431,30 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       | EC -> observe_exact t ~site v
       | NS | SC | SS | LS -> observe_approx t ~site v
     end
+
+  let observe t ~site v =
+    if site < 0 || site >= t.k then
+      invalid_arg "Dc_tracker.observe: site index out of range";
+    observe_one t ~crashes:(Faults.has_crashes (Network.faults t.net)) ~site v
+
+  let observe_batch t ~sites ~items ~pos ~len =
+    let n = Array.length sites in
+    if Array.length items <> n then
+      invalid_arg "Dc_tracker.observe_batch: sites/items length mismatch";
+    if pos < 0 || len < 0 || pos + len > n then
+      invalid_arg "Dc_tracker.observe_batch: slice out of range";
+    (* Whether crash windows exist is a property of the installed fault
+       plan, which cannot change mid-batch: hoist the test out of the
+       per-update loop (with no plan this also skips the per-update
+       crash scan entirely, as [observe] does). *)
+    let crashes = Faults.has_crashes (Network.faults t.net) in
+    let k = t.k in
+    for j = pos to pos + len - 1 do
+      let site = Array.unsafe_get sites j in
+      if site < 0 || site >= k then
+        invalid_arg "Dc_tracker.observe_batch: site index out of range";
+      observe_one t ~crashes ~site (Array.unsafe_get items j)
+    done
 
   let site_space_bytes t i =
     let st = t.site_states.(i) in

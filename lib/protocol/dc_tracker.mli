@@ -103,6 +103,19 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
   (** [observe t ~site v] processes the arrival of item [v] at remote site
       [site], triggering whatever communication the algorithm requires. *)
 
+  val observe_batch :
+    t -> sites:int array -> items:int array -> pos:int -> len:int -> unit
+  (** [observe_batch t ~sites ~items ~pos ~len] processes the [len]
+      arrivals [items.(pos) .. items.(pos + len - 1)], each at the site
+      given by the matching entry of [sites].  Observationally identical,
+      update for update, to calling {!observe} in a loop — every
+      threshold crossing, send and byte charged lands at the same update
+      index — but the fault-plan and bounds checks are hoisted out of the
+      per-item loop.  The preferred feed for the batched simulator, which
+      hands whole stream slices to the tracker between its sample points.
+      Raises [Invalid_argument] on a [sites]/[items] length mismatch or a
+      slice out of range. *)
+
   val estimate : t -> float
   (** The coordinator's current answer [DC] — available continuously with
       no further communication. *)
@@ -117,6 +130,13 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
   val site_estimate : t -> int -> float
   (** A site's current local-sketch estimate [D_i] (for tests and
       introspection; not a protocol output). *)
+
+  val site_send_threshold : t -> int -> float
+  (** The threshold [skt] a site's estimate must exceed before it ships
+      its sketch (Figure 2), under the current shared state — for tests
+      and introspection.  Raises [Invalid_argument] for {!EC}, naming the
+      algorithm: the exact protocol forwards items unconditionally and
+      has no send threshold. *)
 
   val coordinator_sketch : t -> Sketch.t option
   (** The coordinator's merged sketch ([None] for {!EC}). *)

@@ -174,7 +174,14 @@ let send_threshold t st v =
   | GCS | LCS ->
     Float.of_int (find0 st.last_sent v)
     +. (t.theta /. Float.of_int t.k *. Float.of_int (find0 st.known_global v))
-  | EDS -> assert false
+  | EDS ->
+    invalid_arg
+      "Ds_tracker.send_threshold: exact algorithm EDS has no send threshold"
+
+let site_send_threshold t i v =
+  if i < 0 || i >= t.k then
+    invalid_arg "Ds_tracker.site_send_threshold: site index out of range";
+  send_threshold t t.site_states.(i) v
 
 (* The coordinator's reaction dsm(i, v, C_{v,0}) of Fig. 4.  [acked]
    says whether the sender learned its report arrived; state installs on
@@ -216,7 +223,10 @@ let coordinator_react t ~sender:i ~acked v =
       if reply.Network.received then
         Hashtbl.replace t.site_states.(i).known_global v c0
     end
-  | EDS -> assert false
+  | EDS ->
+    invalid_arg
+      "Ds_tracker.coordinator_react: exact algorithm EDS has no count \
+       reaction"
 
 (* A report about an item below the coordinator's current level means
    the site missed a level announcement (lossy broadcast): replay just
@@ -347,12 +357,13 @@ let scan_crashes t =
       end)
     t.site_states
 
-let observe t ~site v =
-  if site < 0 || site >= t.k then
-    invalid_arg "Ds_tracker.observe: site index out of range";
+(* One update with the crash-scan decision already made; [observe] and
+   [observe_batch] share this body so their behaviour is identical update
+   for update. *)
+let[@inline] observe_one t ~crashes ~site v =
   t.updates <- t.updates + 1;
   Network.set_time t.net t.updates;
-  if Faults.has_crashes (Network.faults t.net) then scan_crashes t;
+  if crashes then scan_crashes t;
   let st = t.site_states.(site) in
   if st.down then st.lost <- st.lost + 1
   else begin
@@ -360,6 +371,28 @@ let observe t ~site v =
     | EDS -> observe_exact t ~site v
     | LCO | GCS | LCS -> observe_approx t ~site v
   end
+
+let observe t ~site v =
+  if site < 0 || site >= t.k then
+    invalid_arg "Ds_tracker.observe: site index out of range";
+  observe_one t ~crashes:(Faults.has_crashes (Network.faults t.net)) ~site v
+
+let observe_batch t ~sites ~items ~pos ~len =
+  let n = Array.length sites in
+  if Array.length items <> n then
+    invalid_arg "Ds_tracker.observe_batch: sites/items length mismatch";
+  if pos < 0 || len < 0 || pos + len > n then
+    invalid_arg "Ds_tracker.observe_batch: slice out of range";
+  (* The installed fault plan cannot change mid-batch: hoist the
+     crash-window test out of the per-update loop. *)
+  let crashes = Faults.has_crashes (Network.faults t.net) in
+  let k = t.k in
+  for j = pos to pos + len - 1 do
+    let site = Array.unsafe_get sites j in
+    if site < 0 || site >= k then
+      invalid_arg "Ds_tracker.observe_batch: site index out of range";
+    observe_one t ~crashes ~site (Array.unsafe_get items j)
+  done
 
 let site_space_bytes t i =
   let st = t.site_states.(i) in

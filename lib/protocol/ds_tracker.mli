@@ -73,6 +73,16 @@ val updates : t -> int
 val observe : t -> site:int -> int -> unit
 (** Process the arrival of one item at a remote site. *)
 
+val observe_batch :
+  t -> sites:int array -> items:int array -> pos:int -> len:int -> unit
+(** [observe_batch t ~sites ~items ~pos ~len] processes the [len]
+    arrivals [items.(pos) .. items.(pos + len - 1)], each at the site
+    given by the matching entry of [sites].  Observationally identical,
+    update for update, to calling {!observe} in a loop, with the
+    fault-plan and bounds checks hoisted out of the per-item loop.
+    Raises [Invalid_argument] on a [sites]/[items] length mismatch or a
+    slice out of range. *)
+
 val sample : t -> (int * int) list
 (** The coordinator's current distinct sample: retained [(item, count)]
     pairs, where each count approximates the item's global occurrence
@@ -94,6 +104,13 @@ val sites : t -> int
 val theta : t -> float
 val threshold : t -> int
 (** The sample-size bound [T] from the family. *)
+
+val site_send_threshold : t -> int -> int -> float
+(** [site_send_threshold t i v] is the count threshold [dst] site [i]'s
+    local count of [v] must pass before it reports upstream (Figure 4),
+    under the current shared state — for tests and introspection.  Raises
+    [Invalid_argument] for {!EDS}, naming the algorithm: the exact
+    protocol forwards every update and has no send threshold. *)
 
 val network : t -> Wd_net.Network.t
 val sends : t -> int

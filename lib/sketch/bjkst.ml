@@ -87,6 +87,14 @@ let insert_hash t h =
 
 let add t v = insert_hash t (Universal.hash t.fam.hash v)
 
+(* Equal to folding [add] (change flags discarded); the hash function
+   load is hoisted out of the loop. *)
+let add_batch t vs =
+  let hash = t.fam.hash in
+  for i = 0 to Array.length vs - 1 do
+    ignore (insert_hash t (Universal.hash hash (Array.unsafe_get vs i)) : bool)
+  done
+
 let merge_into ~dst src =
   for i = 0 to src.size - 1 do
     ignore (insert_hash dst src.heap.(i) : bool)

@@ -30,6 +30,11 @@ val copy : t -> t
 
 (** [add t v] inserts the item; [true] iff the retained value set changed. *)
 val add : t -> int -> bool
+
+val add_batch : t -> int array -> unit
+(** [add_batch t vs] inserts every element of [vs]; equal to folding
+    {!add} with the change flags discarded. *)
+
 val merge_into : dst:t -> t -> unit
 val estimate : t -> float
 val size_bytes : t -> int

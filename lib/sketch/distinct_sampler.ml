@@ -57,6 +57,19 @@ let add_count t v c =
 
 let add t v = add_count t v 1
 
+(* Equal to folding [add]: one arrival per element, with the level-hash
+   load and the count-positivity test hoisted out of the loop. *)
+let add_batch t vs =
+  let hash = t.fam.hash in
+  for i = 0 to Array.length vs - 1 do
+    let v = Array.unsafe_get vs i in
+    if Geometric.level hash v >= t.level then begin
+      let current = Option.value (Hashtbl.find_opt t.table v) ~default:0 in
+      Hashtbl.replace t.table v (current + 1);
+      rebalance t
+    end
+  done
+
 let delete_count t v c =
   if c < 0 then invalid_arg "Distinct_sampler.delete_count: negative count";
   if c > 0 && item_level t v >= t.level then begin
@@ -89,7 +102,9 @@ let contents t = Hashtbl.fold (fun v c acc -> (v, c) :: acc) t.table []
 
 let iter f t = Hashtbl.iter f t.table
 
-let estimate_distinct t = Float.of_int (size t) *. (2.0 ** Float.of_int t.level)
+(* [Float.ldexp 1.0 l] is exactly 2^l, bit-identical to the former
+   [2.0 ** Float.of_int l] but transcendental-free. *)
+let estimate_distinct t = Float.of_int (size t) *. Float.ldexp 1.0 t.level
 
 let merge_into ~dst src =
   dst.level <- max dst.level src.level;

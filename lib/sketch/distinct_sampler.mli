@@ -50,6 +50,10 @@ val add : t -> int -> unit
 val add_count : t -> int -> int -> unit
 (** [add_count t v c] processes [c] arrivals at once.  [c >= 0]. *)
 
+val add_batch : t -> int array -> unit
+(** [add_batch t vs] processes one arrival of every element of [vs], in
+    order; equal to folding {!add} with per-item overhead hoisted. *)
+
 val delete : t -> int -> unit
 (** [delete t v] processes one deletion of [v] (the paper's Section 8
     notes the extension to deletions).  Because the retained set is a

@@ -12,6 +12,10 @@ type family = {
      (trailing zeros), which are independent enough for PCSA. *)
   hashes : Universal.t array;
   bucket_hash : Universal.t;
+  frac_pow : float array;
+  (* frac_pow.(r) = 2^(r/m): the fractional part of the estimate's
+     [2^(sum/m)], precomputed once per family so the estimate loop is
+     free of [Float.pow] (see [pow2_mean]). *)
 }
 
 type t = { fam : family; bitmaps : Fm_bitmap.t array }
@@ -26,6 +30,9 @@ let family_custom ~rng ~variant ~bitmaps =
     m = bitmaps;
     hashes = Array.init n_hashes (fun _ -> Universal.of_rng rng);
     bucket_hash = Universal.of_rng rng;
+    frac_pow =
+      Array.init bitmaps (fun r ->
+          2.0 ** (Float.of_int r /. Float.of_int bitmaps));
   }
 
 let family ~rng ~accuracy ~confidence =
@@ -65,6 +72,44 @@ let add t v =
     let j = Universal.to_range fam.bucket_hash ~buckets:fam.m v in
     Fm_bitmap.add_level t.bitmaps.(j) (Geometric.level fam.hashes.(0) v)
 
+(* Equal to folding [add] over [vs] (change flags discarded): the family
+   dispatch, field loads and bounds checks are hoisted out of the loop,
+   which is what makes the batched path worth threading up through the
+   trackers and the simulator. *)
+let add_batch t vs =
+  let fam = t.fam in
+  let bitmaps = t.bitmaps in
+  let n = Array.length vs in
+  match fam.variant with
+  | Averaged ->
+    let hashes = fam.hashes in
+    let m = fam.m in
+    for i = 0 to n - 1 do
+      let v = Array.unsafe_get vs i in
+      for j = 0 to m - 1 do
+        ignore
+          (Fm_bitmap.add_level
+             (Array.unsafe_get bitmaps j)
+             (Geometric.level (Array.unsafe_get hashes j) v)
+            : bool)
+      done
+    done
+  | Stochastic ->
+    let bucket_hash = fam.bucket_hash in
+    let level_hash = Array.unsafe_get fam.hashes 0 in
+    let m = fam.m in
+    for i = 0 to n - 1 do
+      let v = Array.unsafe_get vs i in
+      (* [to_range] yields j in [0, m), so the bitmap access is in
+         bounds by construction. *)
+      let j = Universal.to_range bucket_hash ~buckets:m v in
+      ignore
+        (Fm_bitmap.add_level
+           (Array.unsafe_get bitmaps j)
+           (Geometric.level level_hash v)
+          : bool)
+    done
+
 let merge_into ~dst src =
   if dst.fam != src.fam && dst.fam <> src.fam then
     invalid_arg "Fm.merge_into: sketches from different families";
@@ -72,19 +117,26 @@ let merge_into ~dst src =
     (fun j bm -> Fm_bitmap.merge_into ~dst:dst.bitmaps.(j) bm)
     src.bitmaps
 
+(* [2^(sum/m)] with [sum] an integer in [0, 64m]: split into quotient and
+   remainder so the only table lookup plus an exact [ldexp] replaces a
+   transcendental [Float.pow] — this runs on the tracker hot path (the
+   estimate is refreshed whenever an add changes the sketch). *)
+let pow2_mean fam sum =
+  Float.ldexp fam.frac_pow.(sum mod fam.m) (sum / fam.m)
+
 let estimate t =
   let fam = t.fam in
   let sum = ref 0 and empty = ref 0 in
   for j = 0 to fam.m - 1 do
-    sum := !sum + Fm_bitmap.lowest_zero t.bitmaps.(j);
-    if Fm_bitmap.is_empty t.bitmaps.(j) then incr empty
+    let bm = Array.unsafe_get t.bitmaps j in
+    sum := !sum + Fm_bitmap.lowest_zero bm;
+    if Fm_bitmap.is_empty bm then incr empty
   done;
   let m = Float.of_int fam.m in
-  let mean_z = Float.of_int !sum /. m in
   match fam.variant with
-  | Averaged -> (2.0 ** mean_z) /. Fm_bitmap.phi
+  | Averaged -> pow2_mean fam !sum /. Fm_bitmap.phi
   | Stochastic ->
-    let raw = m *. (2.0 ** mean_z) /. Fm_bitmap.phi in
+    let raw = m *. pow2_mean fam !sum /. Fm_bitmap.phi in
     (* Stochastic averaging is biased upwards when the number of distinct
        items is comparable to m (many bitmaps still empty).  Fall back to
        linear counting on the empty-bitmap fraction in that regime, as in

@@ -44,6 +44,12 @@ val copy : t -> t
 
 (** [add t v] inserts the item; [true] iff some bitmap bit was newly set. *)
 val add : t -> int -> bool
+
+val add_batch : t -> int array -> unit
+(** [add_batch t vs] inserts every element of [vs]; equal to folding
+    {!add} with the change flags discarded, with the variant dispatch and
+    hash loads hoisted out of the loop. *)
+
 val merge_into : dst:t -> t -> unit
 val estimate : t -> float
 val size_bytes : t -> int

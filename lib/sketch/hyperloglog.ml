@@ -10,8 +10,10 @@ let name = "hll"
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
+let min_registers = 16
+
 let family_custom ~rng ~registers =
-  if registers < 16 || not (is_power_of_two registers) then
+  if registers < min_registers || not (is_power_of_two registers) then
     invalid_arg "Hyperloglog.family_custom: registers must be a power of two >= 16";
   let rec log2 n acc = if n = 1 then acc else log2 (n / 2) (acc + 1) in
   { m = registers; log2m = log2 registers 0; hash = Universal.of_rng rng }
@@ -23,7 +25,7 @@ let family ~rng ~accuracy ~confidence =
   let target =
     (1.04 /. accuracy) ** 2.0 *. Float.max 1.0 (Float.log (1.0 /. delta))
   in
-  let m = ref 16 in
+  let m = ref min_registers in
   while Float.of_int !m < target do
     m := !m * 2
   done;
@@ -35,18 +37,48 @@ let create fam = { fam; regs = Bytes.make fam.m '\000' }
 
 let copy t = { t with regs = Bytes.copy t.regs }
 
+(* Bucket from the top log2m bits; rank from the remaining low bits.  The
+   low [64 - log2m <= 60] bits fit a native int, so the rank (a
+   trailing-zero count of those bits, 1-based) needs no Int64 loop: when
+   they are all zero the old 64-bit count was [>= 64 - log2m] and the
+   [min 63] cap produced the same 63 the fast path returns. *)
 let add t v =
   let fam = t.fam in
+  let log2m = fam.log2m in
   let h = Universal.hash fam.hash v in
-  (* Bucket from the top log2m bits; rank from the remaining low bits. *)
-  let j = Int64.to_int (Int64.shift_right_logical h (64 - fam.log2m)) in
-  let rest = Int64.shift_left h fam.log2m in
-  let rank = min 63 (1 + Geometric.trailing_zeros (Int64.shift_right_logical rest fam.log2m)) in
-  if rank > Char.code (Bytes.get t.regs j) then begin
-    Bytes.set t.regs j (Char.chr rank);
+  let j = Int64.to_int (Int64.shift_right_logical h (64 - log2m)) in
+  let rest = Int64.to_int h land ((1 lsl (64 - log2m)) - 1) in
+  let rank =
+    if rest = 0 then 63
+    else min 63 (1 + Geometric.trailing_zeros_int rest)
+  in
+  (* j < 2^log2m = m = |regs| by construction. *)
+  if rank > Char.code (Bytes.unsafe_get t.regs j) then begin
+    Bytes.unsafe_set t.regs j (Char.unsafe_chr rank);
     true
   end
   else false
+
+(* Equal to folding [add] (change flags discarded) with the family loads
+   hoisted out of the loop. *)
+let add_batch t vs =
+  let fam = t.fam in
+  let hash = fam.hash in
+  let log2m = fam.log2m in
+  let shift = 64 - log2m in
+  let low_mask = (1 lsl shift) - 1 in
+  let regs = t.regs in
+  for i = 0 to Array.length vs - 1 do
+    let h = Universal.hash hash (Array.unsafe_get vs i) in
+    let j = Int64.to_int (Int64.shift_right_logical h shift) in
+    let rest = Int64.to_int h land low_mask in
+    let rank =
+      if rest = 0 then 63
+      else min 63 (1 + Geometric.trailing_zeros_int rest)
+    in
+    if rank > Char.code (Bytes.unsafe_get regs j) then
+      Bytes.unsafe_set regs j (Char.unsafe_chr rank)
+  done
 
 let merge_into ~dst src =
   for j = 0 to dst.fam.m - 1 do
@@ -54,19 +86,28 @@ let merge_into ~dst src =
     if Char.code b > Char.code a then Bytes.set dst.regs j b
   done
 
+(* Bias-correction constant.  Only [m >= 16] is constructible
+   ({!family_custom} rejects smaller register counts), so the asymptotic
+   formula is reached only for [m >= 128] where it is accurate; the
+   [m <= 16] clamp keeps the function total (and unbiased-by-accident)
+   should a smaller count ever be computed with. *)
 let alpha m =
-  match m with
-  | 16 -> 0.673
-  | 32 -> 0.697
-  | 64 -> 0.709
-  | _ -> 0.7213 /. (1.0 +. (1.079 /. Float.of_int m))
+  if m <= 16 then 0.673
+  else if m = 32 then 0.697
+  else if m = 64 then 0.709
+  else 0.7213 /. (1.0 +. (1.079 /. Float.of_int m))
+
+(* 2^-r for every possible register value, exact; replaces a
+   transcendental [2.0 ** Float.of_int (-r)] per register per estimate. *)
+let inv_pow2 = Array.init 64 (fun r -> Float.ldexp 1.0 (-r))
 
 let estimate t =
   let m = t.fam.m in
+  let regs = t.regs in
   let sum = ref 0.0 and zeros = ref 0 in
   for j = 0 to m - 1 do
-    let r = Char.code (Bytes.get t.regs j) in
-    sum := !sum +. (2.0 ** Float.of_int (-r));
+    let r = Char.code (Bytes.unsafe_get regs j) in
+    sum := !sum +. Array.unsafe_get inv_pow2 r;
     if r = 0 then incr zeros
   done;
   let mf = Float.of_int m in

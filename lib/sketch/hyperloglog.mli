@@ -30,6 +30,18 @@ val copy : t -> t
 
 (** [add t v] inserts the item; [true] iff some register increased. *)
 val add : t -> int -> bool
+
+val add_batch : t -> int array -> unit
+(** [add_batch t vs] inserts every element of [vs]; equal to folding
+    {!add} with the change flags discarded. *)
+
+val alpha : int -> float
+(** [alpha m] is the bias-correction constant applied to the raw harmonic
+    estimate for [m] registers (Flajolet et al., Fig. 3).  Total: register
+    counts below the constructible minimum of 16 clamp to the [m = 16]
+    constant 0.673 rather than extrapolating the asymptotic formula, which
+    would bias small-[m] estimates. *)
+
 val merge_into : dst:t -> t -> unit
 val estimate : t -> float
 val size_bytes : t -> int

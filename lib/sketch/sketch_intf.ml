@@ -42,6 +42,14 @@ module type DISTINCT_SKETCH = sig
       a [false] result lets callers skip estimate recomputation and, in the
       tracking protocols, skip threshold checks that cannot fire. *)
 
+  val add_batch : t -> int array -> unit
+  (** [add_batch t vs] inserts every element of [vs] in order.
+      Observationally equal to folding {!add} over [vs] with the change
+      flags discarded, but with hash state and bounds checks hoisted out
+      of the per-item loop — the preferred entry point when a caller
+      already holds a chunk of arrivals (the batched simulator, bulk
+      loaders, benchmarks). *)
+
   val merge_into : dst:t -> t -> unit
   (** [merge_into ~dst src] makes [dst] summarize the union of both input
       sets.  Requires both sketches to belong to the same family. *)

@@ -332,7 +332,33 @@ let test_validation () =
   let t = Dc.Fm.create ~algorithm:Dc.NS ~theta:0.1 ~sites:2 ~family () in
   Alcotest.check_raises "site range"
     (Invalid_argument "Dc_tracker.observe: site index out of range")
-    (fun () -> Dc.Fm.observe t ~site:5 42)
+    (fun () -> Dc.Fm.observe t ~site:5 42);
+  Alcotest.check_raises "observe_batch length mismatch"
+    (Invalid_argument "Dc_tracker.observe_batch: sites/items length mismatch")
+    (fun () ->
+      Dc.Fm.observe_batch t ~sites:[| 0 |] ~items:[| 1; 2 |] ~pos:0 ~len:1);
+  Alcotest.check_raises "observe_batch slice range"
+    (Invalid_argument "Dc_tracker.observe_batch: slice out of range")
+    (fun () ->
+      Dc.Fm.observe_batch t ~sites:[| 0 |] ~items:[| 1 |] ~pos:0 ~len:2)
+
+(* The exact algorithm has no send threshold: the error must name EC so a
+   caller poking the wrong mode learns which variant it holds. *)
+let test_ec_has_no_threshold () =
+  let family = mk_family () in
+  let t = Dc.Fm.create ~algorithm:Dc.EC ~theta:0.1 ~sites:2 ~family () in
+  Alcotest.check_raises "threshold names EC"
+    (Invalid_argument
+       "Dc_tracker.send_threshold: exact algorithm EC has no send threshold")
+    (fun () -> ignore (Dc.Fm.site_send_threshold t 0 : float));
+  Alcotest.check_raises "site range checked first"
+    (Invalid_argument "Dc_tracker.site_send_threshold: site index out of range")
+    (fun () -> ignore (Dc.Fm.site_send_threshold t 9 : float));
+  (* Approximate algorithms do expose a finite threshold. *)
+  let t = Dc.Fm.create ~algorithm:Dc.NS ~theta:0.1 ~sites:2 ~family () in
+  Alcotest.(check bool)
+    "NS threshold finite" true
+    (Float.is_finite (Dc.Fm.site_send_threshold t 0))
 
 let test_algorithm_strings () =
   List.iter
@@ -408,6 +434,8 @@ let () =
       ( "api",
         [
           Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "EC has no threshold" `Quick
+            test_ec_has_no_threshold;
           Alcotest.test_case "algorithm strings" `Quick test_algorithm_strings;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_no_information_loss ]);

@@ -123,6 +123,32 @@ let test_hll_family_sizing () =
     true
     (Hll.registers fam >= 433)
 
+(* The bias constant at and below the constructible minimum of 16
+   registers: small m must clamp to the m=16 constant, never extrapolate
+   the asymptotic formula downward. *)
+let test_hll_alpha_boundary () =
+  let check name expected got =
+    Alcotest.(check (float 1e-12)) name expected got
+  in
+  check "alpha 16" 0.673 (Hll.alpha 16);
+  check "alpha 8 clamps to m=16 constant" 0.673 (Hll.alpha 8);
+  check "alpha 1 clamps to m=16 constant" 0.673 (Hll.alpha 1);
+  check "alpha 32" 0.697 (Hll.alpha 32);
+  check "alpha 64" 0.709 (Hll.alpha 64);
+  check "alpha 128 asymptotic" (0.7213 /. (1.0 +. (1.079 /. 128.0)))
+    (Hll.alpha 128);
+  (* No family can be built below the clamp point, so the clamp is the
+     only path that can ever see m < 16. *)
+  Alcotest.check_raises "registers 8 rejected"
+    (Invalid_argument
+       "Hyperloglog.family_custom: registers must be a power of two >= 16")
+    (fun () ->
+      ignore (Hll.family_custom ~rng:(Rng.create 1) ~registers:8 : Hll.family));
+  let loosest = Hll.family ~rng:(Rng.create 46) ~accuracy:0.99 ~confidence:0.01 in
+  Alcotest.(check bool)
+    "sized family never below 16" true
+    (Hll.registers loosest >= 16)
+
 (* --- Cross-sketch conformance through the functor interface --- *)
 
 module Conformance (S : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
@@ -204,6 +230,7 @@ let () =
           Alcotest.test_case "register validation" `Quick
             test_hll_register_validation;
           Alcotest.test_case "family sizing" `Quick test_hll_family_sizing;
+          Alcotest.test_case "alpha boundary" `Quick test_hll_alpha_boundary;
         ] );
       ( "conformance",
         [

@@ -192,7 +192,31 @@ let test_validation () =
   let t = Ds.create ~algorithm:Ds.LCO ~theta:0.1 ~sites:2 ~family () in
   Alcotest.check_raises "site range"
     (Invalid_argument "Ds_tracker.observe: site index out of range")
-    (fun () -> Ds.observe t ~site:9 1)
+    (fun () -> Ds.observe t ~site:9 1);
+  Alcotest.check_raises "observe_batch length mismatch"
+    (Invalid_argument "Ds_tracker.observe_batch: sites/items length mismatch")
+    (fun () ->
+      Ds.observe_batch t ~sites:[| 0 |] ~items:[| 1; 2 |] ~pos:0 ~len:1);
+  Alcotest.check_raises "observe_batch slice range"
+    (Invalid_argument "Ds_tracker.observe_batch: slice out of range")
+    (fun () -> Ds.observe_batch t ~sites:[| 0 |] ~items:[| 1 |] ~pos:1 ~len:1)
+
+(* The exact algorithm has no send threshold: the error must name EDS so
+   a caller poking the wrong mode learns which variant it holds. *)
+let test_eds_has_no_threshold () =
+  let family = mk_family ~threshold:8 () in
+  let t = Ds.create ~algorithm:Ds.EDS ~theta:0.1 ~sites:2 ~family () in
+  Alcotest.check_raises "threshold names EDS"
+    (Invalid_argument
+       "Ds_tracker.send_threshold: exact algorithm EDS has no send threshold")
+    (fun () -> ignore (Ds.site_send_threshold t 0 7 : float));
+  Alcotest.check_raises "site range checked first"
+    (Invalid_argument "Ds_tracker.site_send_threshold: site index out of range")
+    (fun () -> ignore (Ds.site_send_threshold t 9 7 : float));
+  let t = Ds.create ~algorithm:Ds.LCO ~theta:0.1 ~sites:2 ~family () in
+  Alcotest.(check bool)
+    "LCO threshold finite" true
+    (Float.is_finite (Ds.site_send_threshold t 0 7))
 
 let test_algorithm_strings () =
   List.iter
@@ -276,6 +300,8 @@ let () =
       ( "api",
         [
           Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "EDS has no threshold" `Quick
+            test_eds_has_no_threshold;
           Alcotest.test_case "algorithm strings" `Quick test_algorithm_strings;
         ] );
       ( "properties",

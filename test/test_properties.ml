@@ -12,7 +12,12 @@
      partitioned streams equals one sampler over the whole stream, and a
      self-merge preserves the retained support and level while doubling
      counts (counts are additive, not idempotent — the reason count
-     reports ship absolute values under faults).
+     reports ship absolute values under faults);
+   - [add_batch] is observationally equal to folding [add], for every
+     sketch behind DISTINCT_SKETCH and for the sampler, including across
+     merges — and [observe_batch] is observationally equal to folding
+     [observe] for both trackers (same estimates, byte ledgers and send
+     counts), which is what licenses the batched simulator fast path.
 
    Cases and generators live in [Prop] (hand-rolled, seeded by
    WD_PROP_SEED, default 42; >= 200 cases per invariant). *)
@@ -57,6 +62,7 @@ module type BITMAP_SKETCH = sig
 
   val create : family -> t
   val add : t -> int -> bool
+  val add_batch : t -> int array -> unit
   val merge_into : dst:t -> t -> unit
   val equal : t -> t -> bool
   val estimate : t -> float
@@ -107,6 +113,21 @@ let bitmap_suite (type f) name (module M : BITMAP_SKETCH with type family = f)
     prop "duplicate insensitive" (fun c ->
         let fam = mk_family ~seed:c.fam_seed in
         M.equal (of_items fam (c.xs @ c.xs)) (of_items fam c.xs));
+    prop "add_batch = fold add" (fun c ->
+        let fam = mk_family ~seed:c.fam_seed in
+        let batched = M.create fam in
+        M.add_batch batched (Array.of_list c.xs);
+        let folded = of_items fam c.xs in
+        M.equal batched folded && M.estimate batched = M.estimate folded);
+    prop "add_batch = fold add across merges" (fun c ->
+        let fam = mk_family ~seed:c.fam_seed in
+        let a = M.create fam and b = M.create fam in
+        M.add_batch a (Array.of_list c.xs);
+        M.add_batch b (Array.of_list c.ys);
+        M.merge_into ~dst:a b;
+        M.add_batch a (Array.of_list c.zs);
+        let folded = merged fam (c.xs @ c.zs) c.ys in
+        M.equal a folded);
   ]
 
 let fm_suite variant name =
@@ -182,6 +203,22 @@ let sampler_suite =
         && List.sort compare
              (List.map (fun (v, n) -> (v, 2 * n)) (Sampler.contents a))
            = List.sort compare (Sampler.contents doubled));
+    sampler_prop "add_batch = fold add" (fun c ->
+        let fam = sampler_family ~seed:c.fam_seed in
+        let batched = Sampler.create fam in
+        Sampler.add_batch batched (Array.of_list c.xs);
+        sampler_state batched = sampler_state (sampler_of fam c.xs)
+        && Sampler.estimate_distinct batched
+           = Sampler.estimate_distinct (sampler_of fam c.xs));
+    sampler_prop "add_batch = fold add across merges" (fun c ->
+        let fam = sampler_family ~seed:c.fam_seed in
+        let a = Sampler.create fam and b = Sampler.create fam in
+        Sampler.add_batch a (Array.of_list c.xs);
+        Sampler.add_batch b (Array.of_list c.ys);
+        Sampler.merge_into ~dst:a b;
+        Sampler.add_batch a (Array.of_list c.zs);
+        let folded = sampler_merged fam (c.xs @ c.zs) c.ys in
+        sampler_state a = sampler_state folded);
     sampler_prop "add_count ignores below-level items" (fun c ->
         (* Validates the absolute-count recovery refactor: replaying a
            count for an item the sampler has moved past never resurrects
@@ -197,6 +234,89 @@ let sampler_suite =
         sampler_state s = before);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Trackers: observe_batch must be observationally identical to folding
+   observe — same estimates, same byte ledger, same send counts — for
+   every algorithm, or the batched simulator would not be a fast path but
+   a different protocol. *)
+
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module Network = Wd_net.Network
+
+let tracker_sites = 3
+
+(* Derive a (site, item) stream from a case: sites spread by position and
+   value so every site sees duplicates and cross-site overlap occurs. *)
+let case_stream c =
+  let items = Array.of_list (c.xs @ c.ys) in
+  let sites = Array.mapi (fun j v -> (j + v) mod tracker_sites) items in
+  (sites, items)
+
+let net_sig net =
+  (Network.total_bytes net, Network.bytes_up net, Network.bytes_down net)
+
+let tracker_prop pname p =
+  Prop.test_case ~shrink:shrink_case ~show:show_case
+    ~name:(Printf.sprintf "tracker %s" pname)
+    case_gen p
+
+let tracker_suite =
+  [
+    tracker_prop "dc observe_batch = fold observe" (fun c ->
+        let sites, items = case_stream c in
+        let n = Array.length items in
+        List.for_all
+          (fun alg ->
+            let make () =
+              let fam =
+                Fm.family_custom ~rng:(Rng.create c.fam_seed)
+                  ~variant:Fm.Stochastic ~bitmaps:8
+              in
+              Wd_protocol.Dc_tracker.Fm.create ~algorithm:alg ~theta:0.1
+                ~sites:tracker_sites ~family:fam ()
+            in
+            let folded = make () in
+            Array.iteri
+              (fun j v ->
+                Wd_protocol.Dc_tracker.Fm.observe folded ~site:sites.(j) v)
+              items;
+            let batched = make () in
+            Wd_protocol.Dc_tracker.Fm.observe_batch batched ~sites ~items
+              ~pos:0 ~len:n;
+            let module T = Wd_protocol.Dc_tracker.Fm in
+            T.estimate folded = T.estimate batched
+            && net_sig (T.network folded) = net_sig (T.network batched)
+            && T.sends folded = T.sends batched
+            && T.updates folded = T.updates batched)
+          Dc.all_algorithms);
+    tracker_prop "ds observe_batch = fold observe" (fun c ->
+        let sites, items = case_stream c in
+        let n = Array.length items in
+        List.for_all
+          (fun alg ->
+            let make () =
+              let fam =
+                Sampler.family ~rng:(Rng.create c.fam_seed) ~threshold:16
+              in
+              Ds.create ~algorithm:alg ~theta:0.5 ~sites:tracker_sites
+                ~family:fam ()
+            in
+            let folded = make () in
+            Array.iteri
+              (fun j v -> Ds.observe folded ~site:sites.(j) v)
+              items;
+            let batched = make () in
+            Ds.observe_batch batched ~sites ~items ~pos:0 ~len:n;
+            List.sort compare (Ds.sample folded)
+            = List.sort compare (Ds.sample batched)
+            && Ds.level folded = Ds.level batched
+            && net_sig (Ds.network folded) = net_sig (Ds.network batched)
+            && Ds.sends folded = Ds.sends batched
+            && Ds.updates folded = Ds.updates batched)
+          Ds.all_algorithms);
+  ]
+
 let () =
   Alcotest.run "properties"
     [
@@ -205,4 +325,5 @@ let () =
       ("bjkst", bjkst_suite);
       ("hll", hll_suite);
       ("sampler", sampler_suite);
+      ("tracker", tracker_suite);
     ]
