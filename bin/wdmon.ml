@@ -6,6 +6,8 @@
      dc          - one distinct-count tracking run with chosen parameters
      ds          - one distinct-sample tracking run
      hh          - one distinct heavy-hitters tracking run
+     coord       - run a tracking protocol over the Unix-socket transport
+     site        - one site relay process for the socket transport
      list        - list available experiments and workloads *)
 
 open Cmdliner
@@ -16,6 +18,10 @@ module Stream = Wd_workload.Stream
 module Http = Wd_workload.Http_trace
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
+module Network = Wd_net.Network
+module Wire = Wd_net.Wire
+module Transport = Wd_net.Transport
+module Socket = Wd_net.Transport_socket
 module Sink = Wd_obs.Sink
 module Metrics = Wd_obs.Metrics
 module Trace = Wd_obs.Trace
@@ -417,6 +423,204 @@ let hh_cmd =
     Term.(const run $ algo_arg $ top_arg $ scale_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* coord / site: the Unix-socket transport, sites as real processes *)
+
+let socket_path_arg =
+  let doc =
+    "Unix-domain socket path shared by the coordinator and its site relays \
+     (keep it short: the OS caps socket paths around 100 bytes)."
+  in
+  Arg.(
+    value & opt string "/tmp/wdmon.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let socket_timeout_arg =
+  let doc = "Socket send/receive timeout in seconds." in
+  Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"S" ~doc)
+
+let site_cmd =
+  let site_idx_arg =
+    let doc = "This relay's 0-based site index." in
+    Arg.(required & opt (some int) None & info [ "site" ] ~docv:"I" ~doc)
+  in
+  let run path site timeout =
+    match Socket.Site.run ~timeout ~path ~site () with
+    | r ->
+      Printf.printf
+        "site %d: received %d frames / %d bytes, sent %d frames / %d bytes\n"
+        site r.Socket.frames_received r.Socket.bytes_received
+        r.Socket.frames_sent r.Socket.bytes_sent;
+      `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc =
+    "Run one site relay for the socket transport: connect to a $(b,wdmon \
+     coord) process, answer its frames until told to finish, and print the \
+     relay-side byte counters."
+  in
+  Cmd.v (Cmd.info "site" ~doc)
+    Term.(ret (const run $ socket_path_arg $ site_idx_arg $ socket_timeout_arg))
+
+let coord_cmd =
+  let protocol_arg =
+    let doc = "Protocol to run over the socket transport: dc (LS) or ds (LCO)." in
+    Arg.(
+      value
+      & opt (enum [ ("dc", `Dc); ("ds", `Ds) ]) `Dc
+      & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
+  in
+  let spawn_arg =
+    let doc =
+      "Fork one site relay per site in this process's image instead of \
+       waiting for externally started $(b,wdmon site) processes."
+    in
+    Arg.(value & flag & info [ "spawn" ] ~doc)
+  in
+  let run protocol spawn path timeout workload scale seed epsilon sites events
+      faults_spec fault_seed =
+    match parse_faults ~fault_seed faults_spec with
+    | Error e -> `Error (false, e)
+    | Ok faults ->
+      let stream = build_workload workload ~scale ~seed ~sites ~events in
+      let k = Stream.num_sites stream in
+      let children =
+        if not spawn then []
+        else
+          List.init k (fun site ->
+            match Unix.fork () with
+            | 0 ->
+              (* Relay child: serve frames, then exit without flushing the
+                 parent's inherited stdout buffer. *)
+              (try ignore (Socket.Site.run ~path ~site () : Socket.site_report)
+               with _ -> ());
+              Unix._exit 0
+            | pid -> pid)
+      in
+      let reap () =
+        List.iter (fun pid -> ignore (Unix.waitpid [] pid)) children
+      in
+      (match Socket.Coordinator.connect ~timeout ~path ~sites:k () with
+      | exception Failure msg ->
+        List.iter
+          (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+          children;
+        reap ();
+        `Error (false, msg)
+      | coord ->
+        let transport = Socket.Coordinator.pack coord in
+        (* The runs close the transport on completion, which finishes every
+           relay and collects its stats frame. *)
+        let label, estimate, truth =
+          match protocol with
+          | `Dc ->
+            let theta = 0.3 *. epsilon in
+            let alpha = epsilon -. theta in
+            let r =
+              Simulation.run_dc ~seed ~transport ~faults ~algorithm:Dc.LS
+                ~theta ~alpha stream
+            in
+            ( "distinct count (LS)",
+              r.Simulation.dc_final_estimate,
+              r.Simulation.dc_final_truth )
+          | `Ds ->
+            let r =
+              Simulation.run_ds ~seed ~transport ~faults ~algorithm:Ds.LCO
+                ~theta:0.25 ~threshold:500 stream
+            in
+            ( "distinct sample (LCO)",
+              r.Simulation.ds_distinct_estimate,
+              Stream.distinct_count stream )
+        in
+        reap ();
+        let net = Transport.ledger transport in
+        let ws =
+          match Transport.wire_stats transport with
+          | Some ws -> ws
+          | None -> assert false (* the socket backend always reports *)
+        in
+        let extra = Wire.Frame.header_bytes - Wire.header_bytes in
+        let expect_up =
+          Network.bytes_up net - ws.Transport.skipped_up
+          + (ws.Transport.frames_up * extra)
+        in
+        let expect_down =
+          Network.bytes_down net - ws.Transport.skipped_down
+          + (ws.Transport.frames_down * extra)
+        in
+        let reports = Array.to_list (Socket.Coordinator.reports coord) in
+        let missing = List.length (List.filter Option.is_none reports) in
+        let sum f =
+          List.fold_left
+            (fun acc r -> acc + Option.fold ~none:0 ~some:f r)
+            0 reports
+        in
+        let relay_received = sum (fun r -> r.Socket.bytes_received) in
+        let relay_sent = sum (fun r -> r.Socket.bytes_sent) in
+        let expect_received =
+          ws.Transport.wire_bytes_down + ws.Transport.radio_copy_bytes
+          + ws.Transport.control_bytes
+        in
+        let check name got want =
+          Printf.printf "%-22s: %d vs %d  [%s]\n" name got want
+            (if got = want then "ok" else "MISMATCH");
+          got = want
+        in
+        Report.print_section
+          (Printf.sprintf "%s over the socket transport" label);
+        Report.print_kv
+          [
+            ("sites", string_of_int k);
+            ("updates", string_of_int (Stream.length stream));
+            ("true distinct", string_of_int truth);
+            ("estimate", Printf.sprintf "%.0f" estimate);
+            ( "ledger bytes up / down",
+              Printf.sprintf "%d / %d" (Network.bytes_up net)
+                (Network.bytes_down net) );
+            ( "wire frames up / down",
+              Printf.sprintf "%d / %d" ws.Transport.frames_up
+                ws.Transport.frames_down );
+            ( "wire bytes up / down",
+              Printf.sprintf "%d / %d" ws.Transport.wire_bytes_up
+                ws.Transport.wire_bytes_down );
+            ( "control frames / bytes",
+              Printf.sprintf "%d / %d" ws.Transport.control_frames
+                ws.Transport.control_bytes );
+            ("radio copy bytes", string_of_int ws.Transport.radio_copy_bytes);
+            ( "skipped up / down",
+              Printf.sprintf "%d / %d" ws.Transport.skipped_up
+                ws.Transport.skipped_down );
+            ("site reconnects", string_of_int ws.Transport.reconnects);
+          ];
+        print_endline "reconciliation (got vs expected):";
+        let ok_up = check "wire bytes up" ws.Transport.wire_bytes_up expect_up in
+        let ok_down =
+          check "wire bytes down" ws.Transport.wire_bytes_down expect_down
+        in
+        let ok_recv =
+          missing = 0 && check "relay bytes received" relay_received expect_received
+        in
+        let ok_sent =
+          missing = 0
+          && check "relay bytes sent" relay_sent ws.Transport.wire_bytes_up
+        in
+        if missing > 0 then
+          Printf.printf "%d site(s) never reported final stats\n" missing;
+        if ok_up && ok_down && ok_recv && ok_sent then `Ok ()
+        else `Error (false, "ledger/wire reconciliation failed"))
+  in
+  let doc =
+    "Run a tracking protocol with each site as a real process over a \
+     Unix-domain socket, then reconcile the simulator byte ledger against \
+     the bytes that actually crossed the wire (exit status reflects the \
+     reconciliation)."
+  in
+  Cmd.v (Cmd.info "coord" ~doc)
+    Term.(
+      ret
+        (const run $ protocol_arg $ spawn_arg $ socket_path_arg
+        $ socket_timeout_arg $ workload_arg $ scale_arg $ seed_arg
+        $ epsilon_arg $ sites_arg $ events_arg $ faults_arg $ fault_seed_arg))
+
+(* ------------------------------------------------------------------ *)
 (* workload *)
 
 let workload_cmd =
@@ -615,6 +819,8 @@ let () =
             dc_cmd;
             ds_cmd;
             hh_cmd;
+            coord_cmd;
+            site_cmd;
             workload_cmd;
             inspect_cmd;
             list_cmd;

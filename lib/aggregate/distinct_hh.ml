@@ -37,11 +37,12 @@ end
 module Tracked = struct
   type t = { tracked : Tracked_fm_array.t; keys : Registry.t }
 
-  let create ?cost_model ?item_batching ~algorithm ~theta ~sites ~family () =
+  let create ?cost_model ?transport ?item_batching ~algorithm ~theta ~sites
+      ~family () =
     {
       tracked =
-        Tracked_fm_array.create ?cost_model ?item_batching ~algorithm ~theta
-          ~sites ~family ();
+        Tracked_fm_array.create ?cost_model ?transport ?item_batching
+          ~algorithm ~theta ~sites ~family ();
       keys = Registry.create ();
     }
 
@@ -58,6 +59,7 @@ module Tracked = struct
   let top t ~k = top_of_candidates t ~k (Registry.to_list t.keys)
 
   let network t = Tracked_fm_array.network t.tracked
+  let transport t = Tracked_fm_array.transport t.tracked
   let sends t = Tracked_fm_array.sends t.tracked
   let set_sink t sink = Tracked_fm_array.set_sink t.tracked sink
 end

@@ -45,6 +45,7 @@ module Tracked : sig
 
   val create :
     ?cost_model:Wd_net.Network.cost_model ->
+    ?transport:Wd_net.Transport.t ->
     ?item_batching:bool ->
     algorithm:Wd_protocol.Dc_tracker.algorithm ->
     theta:float ->
@@ -52,6 +53,9 @@ module Tracked : sig
     family:Fm_array.family ->
     unit ->
     t
+  (** [transport] supplies the communication backend shared by every
+      per-cell tracker (default: a fresh in-process simulator with
+      [cost_model]). *)
 
   val observe : t -> site:int -> v:int -> w:int -> unit
   val estimate : t -> int -> float
@@ -61,6 +65,10 @@ module Tracked : sig
   val top_of_candidates : t -> k:int -> int list -> (int * float) list
 
   val network : t -> Wd_net.Network.t
+
+  val transport : t -> Wd_net.Transport.t
+  (** The communication backend shared by all cell trackers. *)
+
   val sends : t -> int
 
   val set_sink : t -> Wd_obs.Sink.t -> unit

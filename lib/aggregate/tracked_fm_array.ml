@@ -1,32 +1,40 @@
 module Network = Wd_net.Network
+module Transport = Wd_net.Transport
+module Transport_sim = Wd_net.Transport_sim
 module Dc = Wd_protocol.Dc_tracker
 
 type t = {
   fam : Fm_array.family;
   algorithm : Dc.algorithm;
-  net : Network.t;
+  transport : Transport.t; (* shared by every cell tracker *)
+  net : Network.t; (* its ledger *)
   cells : Dc.Fm.t array; (* row-major, one tracker per cell *)
 }
 
-let create ?(cost_model = Network.Unicast) ?network ?(item_batching = false)
-    ~algorithm ~theta ~sites ~family:fam () =
+let create ?(cost_model = Network.Unicast) ?network ?transport
+    ?(item_batching = false) ~algorithm ~theta ~sites ~family:fam () =
   if algorithm = Dc.EC then
     invalid_arg "Tracked_fm_array.create: EC is not a per-cell algorithm";
-  let net =
-    match network with
-    | Some net -> net
-    | None -> Network.create ~cost_model ~sites ()
+  let transport =
+    match (transport, network) with
+    | Some _, Some _ ->
+      invalid_arg
+        "Tracked_fm_array.create: pass ?network or ?transport, not both"
+    | Some tr, None -> tr
+    | None, Some net -> Transport_sim.of_network net
+    | None, None -> Transport_sim.create ~cost_model ~sites ()
   in
+  let net = Transport.ledger transport in
   let cfg = Fm_array.config fam in
   (* Every cell shares the FM hash family of [fam], so a tracked array and
      a centralized Fm_array of the same family are directly comparable. *)
   let fm_family = Fm_array.fm_family fam in
   let cells =
     Array.init (Fm_array.config_cells cfg) (fun _ ->
-        Dc.Fm.create ~network:net ~item_batching ~delta_replies:item_batching
+        Dc.Fm.create ~transport ~item_batching ~delta_replies:item_batching
           ~algorithm ~theta ~sites ~family:fm_family ())
   in
-  { fam; algorithm; net; cells }
+  { fam; algorithm; transport; net; cells }
 
 let cell t ~row ~col = t.cells.((row * (Fm_array.config t.fam).cols) + col)
 
@@ -50,6 +58,7 @@ let estimate t ~key =
 let family t = t.fam
 let algorithm t = t.algorithm
 let network t = t.net
+let transport t = t.transport
 
 let sends t = Array.fold_left (fun acc c -> acc + Dc.Fm.sends c) 0 t.cells
 

@@ -22,6 +22,7 @@ type t
 val create :
   ?cost_model:Wd_net.Network.cost_model ->
   ?network:Wd_net.Network.t ->
+  ?transport:Wd_net.Transport.t ->
   ?item_batching:bool ->
   algorithm:Wd_protocol.Dc_tracker.algorithm ->
   theta:float ->
@@ -29,9 +30,12 @@ val create :
   family:Fm_array.family ->
   unit ->
   t
-(** [network] shares an existing byte ledger (e.g. across the per-level
-    arrays of the quantile structure); by default a fresh one is created
-    with [cost_model].  Requires an approximate algorithm (NS/SC/SS/LS);
+(** [transport] supplies the communication backend every cell tracker
+    shares ({!Wd_net.Transport}); [network] instead shares an existing
+    byte ledger (e.g. across the per-level arrays of the quantile
+    structure), wrapped in a simulator backend — passing both is an
+    error.  By default a fresh simulator is created with [cost_model].
+    Requires an approximate algorithm (NS/SC/SS/LS);
     [EC] is rejected — the exact baseline for pair streams forwards raw
     pairs, which {!Wd_protocol.Dc_tracker} over pair elements already
     provides. *)
@@ -46,6 +50,10 @@ val estimate : t -> key:int -> float
 val family : t -> Fm_array.family
 val algorithm : t -> Wd_protocol.Dc_tracker.algorithm
 val network : t -> Wd_net.Network.t
+
+val transport : t -> Wd_net.Transport.t
+(** The communication backend shared by all cell trackers. *)
+
 val sends : t -> int
 (** Total upstream communications across all cells. *)
 

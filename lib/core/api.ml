@@ -32,13 +32,17 @@ module Hyperloglog = Wd_sketch.Hyperloglog
 module Distinct_sampler = Wd_sketch.Distinct_sampler
 module Sketch_intf = Wd_sketch.Sketch_intf
 
-(* Network simulation *)
+(* Network: byte ledger, fault plans, and pluggable transports *)
 module Wire = Wd_net.Wire
 module Network = Wd_net.Network
 module Faults = Wd_net.Faults
+module Transport = Wd_net.Transport
+module Transport_sim = Wd_net.Transport_sim
+module Transport_socket = Wd_net.Transport_socket
 
 (* Protocols (the paper's core) *)
 module Params = Wd_protocol.Params
+module Tracker_intf = Wd_protocol.Tracker_intf
 module Dc_tracker = Wd_protocol.Dc_tracker
 module Ds_tracker = Wd_protocol.Ds_tracker
 module Window_tracker = Wd_protocol.Window_tracker

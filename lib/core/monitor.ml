@@ -2,8 +2,11 @@ module Rng = Wd_hashing.Rng
 module Fm = Wd_sketch.Fm
 module Sampler = Wd_sketch.Distinct_sampler
 module Network = Wd_net.Network
+module Transport = Wd_net.Transport
+module Transport_sim = Wd_net.Transport_sim
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
+module Tracker = Wd_protocol.Tracker_intf
 module Fm_array = Wd_aggregate.Fm_array
 module Hh = Wd_aggregate.Distinct_hh
 module Duplication = Wd_aggregate.Duplication
@@ -50,47 +53,70 @@ type t = {
   dc : Dc.Fm.t;
   ds : Ds.t;
   hh : Hh.Tracked.t option;
+  trackers : (string * Tracker.packed) list;
+      (* The two core trackers under the shared TRACKER surface, each
+         with the label its ledger reports under; health, loss and byte
+         accounting dispatch over this list instead of per-variant. *)
 }
 
-let create cfg =
+let create ?transport cfg =
   let rng = Rng.create cfg.seed in
   let theta = cfg.theta_fraction *. cfg.epsilon in
   let alpha = cfg.epsilon -. theta in
   let dc_family = Fm.family ~rng ~accuracy:alpha ~confidence:cfg.confidence in
   let ds_family = Sampler.family ~rng ~threshold:cfg.sample_threshold in
+  let make_transport label =
+    match transport with
+    | Some factory -> factory ~label ~sites:cfg.sites
+    | None -> Transport_sim.create ~cost_model:cfg.cost_model ~sites:cfg.sites ()
+  in
   let hh =
     Option.map
       (fun shape ->
-        Hh.Tracked.create ~cost_model:cfg.cost_model ~item_batching:true
-          ~algorithm:cfg.hh_algorithm ~theta ~sites:cfg.sites
+        Hh.Tracked.create
+          ~transport:(make_transport "heavy-hitters")
+          ~item_batching:true ~algorithm:cfg.hh_algorithm ~theta
+          ~sites:cfg.sites
           ~family:(Fm_array.family ~rng shape) ())
       cfg.hh
   in
   if cfg.staleness_bound < 1 then
     invalid_arg "Monitor.create: staleness_bound must be >= 1";
   let dc =
-    Dc.Fm.create ~cost_model:cfg.cost_model ~algorithm:cfg.dc_algorithm ~theta
-      ~sites:cfg.sites ~family:dc_family ()
+    Dc.Fm.create
+      ~transport:(make_transport "distinct-count")
+      ~algorithm:cfg.dc_algorithm ~theta ~sites:cfg.sites ~family:dc_family ()
   in
   let ds =
-    Ds.create ~cost_model:cfg.cost_model ~algorithm:cfg.ds_algorithm
-      ~theta:cfg.sample_theta ~sites:cfg.sites ~family:ds_family ()
+    Ds.create
+      ~transport:(make_transport "distinct-sample")
+      ~algorithm:cfg.ds_algorithm ~theta:cfg.sample_theta ~sites:cfg.sites
+      ~family:ds_family ()
+  in
+  let trackers =
+    [ ("distinct-count", Dc.Fm.generic dc); ("distinct-sample", Ds.generic ds) ]
   in
   (* The distinct-count and distinct-sample trackers carry their own
      recovery machinery; the heavy-hitter structure stays on a reliable
      channel (its functor shares the DC recovery path when it is given a
      faulty network explicitly). *)
-  Network.set_faults (Dc.Fm.network dc) cfg.faults;
-  Network.set_faults (Ds.network ds) cfg.faults;
-  { cfg; dc; ds; hh }
+  List.iter
+    (fun (_, tr) -> Transport.set_faults (Tracker.transport tr) cfg.faults)
+    trackers;
+  { cfg; dc; ds; hh; trackers }
 
 let config t = t.cfg
 
+let close t =
+  List.iter (fun (_, tr) -> Transport.close (Tracker.transport tr)) t.trackers;
+  Option.iter (fun hh -> Transport.close (Hh.Tracked.transport hh)) t.hh
+
 let attach_sink t sink =
-  Dc.Fm.set_sink t.dc sink;
-  Network.set_sink (Dc.Fm.network t.dc) sink;
-  Ds.set_sink t.ds sink;
-  Network.set_sink (Ds.network t.ds) sink;
+  List.iter
+    (fun (_, tr) ->
+      Tracker.set_sink tr sink;
+      Network.set_sink (Tracker.network tr) sink)
+    t.trackers;
   Option.iter (fun hh -> Hh.Tracked.set_sink hh sink) t.hh
 
 let observe t ~site v =
@@ -119,29 +145,32 @@ let key_degree t v =
 
 let status t =
   (* A site is degraded when it has been inside a crash window for longer
-     than the staleness bound on either core tracker's update clock; its
+     than the staleness bound on any core tracker's update clock; its
      contribution to every answer is frozen at its last synchronization. *)
   let stale = Hashtbl.create 8 in
   for i = 0 to t.cfg.sites - 1 do
     if
-      Dc.Fm.site_down_for t.dc i > t.cfg.staleness_bound
-      || Ds.site_down_for t.ds i > t.cfg.staleness_bound
+      List.exists
+        (fun (_, tr) -> Tracker.site_down_for tr i > t.cfg.staleness_bound)
+        t.trackers
     then Hashtbl.replace stale i ()
   done;
   let sites = List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) stale []) in
   match sites with [] -> Healthy | l -> Degraded l
 
-let lost_updates t = Dc.Fm.lost_updates t.dc + Ds.lost_updates t.ds
+let lost_updates t =
+  List.fold_left (fun acc (_, tr) -> acc + Tracker.lost_updates tr) 0 t.trackers
 
 let bytes_breakdown t =
-  [
-    ("distinct-count", Network.total_bytes (Dc.Fm.network t.dc));
-    ("distinct-sample", Network.total_bytes (Ds.network t.ds));
-    ( "heavy-hitters",
-      match t.hh with
-      | None -> 0
-      | Some hh -> Network.total_bytes (Hh.Tracked.network hh) );
-  ]
+  List.map
+    (fun (label, tr) -> (label, Network.total_bytes (Tracker.network tr)))
+    t.trackers
+  @ [
+      ( "heavy-hitters",
+        match t.hh with
+        | None -> 0
+        | Some hh -> Network.total_bytes (Hh.Tracked.network hh) );
+    ]
 
 let total_bytes t =
   List.fold_left (fun acc (_, b) -> acc + b) 0 (bytes_breakdown t)

@@ -55,9 +55,20 @@ type status = Healthy | Degraded of int list
 
 type t
 
-val create : config -> t
+val create :
+  ?transport:(label:string -> sites:int -> Wd_net.Transport.t) -> config -> t
 (** Raises [Invalid_argument] on inconsistent settings (via the
-    underlying constructors). *)
+    underlying constructors).  [transport] is a factory called once per
+    tracker (labels ["distinct-count"], ["distinct-sample"],
+    ["heavy-hitters"]) to supply each communication backend; the default
+    builds a fresh in-process simulator ({!Wd_net.Transport_sim}) per
+    tracker with [config.cost_model], which is the pre-transport
+    behaviour byte for byte. *)
+
+val close : t -> unit
+(** Close every tracker's transport ({!Wd_net.Transport.close}): a
+    no-op on simulator backends, the finish/stats exchange on socket
+    backends.  Idempotent; queries remain answerable afterwards. *)
 
 val config : t -> config
 
@@ -104,7 +115,8 @@ val key_degree : t -> int -> float
 
 val status : t -> status
 (** {!Healthy}, or the sorted list of sites down past the staleness
-    bound on either core tracker. *)
+    bound on either core tracker.  Computed generically over the packed
+    {!Wd_protocol.Tracker_intf.packed} views of the core trackers. *)
 
 val lost_updates : t -> int
 (** Stream arrivals discarded across both core trackers because their

@@ -1,5 +1,7 @@
 module Stream = Wd_workload.Stream
 module Network = Wd_net.Network
+module Transport = Wd_net.Transport
+module Tracker_intf = Wd_protocol.Tracker_intf
 module Wire = Wd_net.Wire
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
@@ -92,13 +94,49 @@ let merge_positions a b =
   done;
   Array.sub out 0 !m
 
+(* Drive any packed tracker over a stream.  With crash windows in the
+   fault plan, truth depends on per-update loss accounting — arrivals
+   discarded inside a window never reached the system — so the tracker
+   is fed one update at a time and [on_arrival] fires only for arrivals
+   that got through.  Without crashes no arrival can be lost, so the
+   tracker consumes whole slices between [boundaries] in one
+   [observe_batch] call — observationally identical, with the
+   closure-per-update dispatch gone.  [sample_at] fires once per
+   boundary either way (boundaries must be increasing and end at the
+   stream length). *)
+let feed tracker ~faults ~boundaries ~on_arrival ~sample_at stream =
+  if Wd_net.Faults.has_crashes faults then
+    Stream.iteri
+      (fun j0 ~site ~item ->
+        let lost0 = Tracker_intf.lost_updates tracker in
+        Tracker_intf.observe tracker ~site item;
+        if Tracker_intf.lost_updates tracker = lost0 then on_arrival item;
+        sample_at (j0 + 1))
+      stream
+  else begin
+    let sites = stream.Stream.sites and items = stream.Stream.items in
+    let prev = ref 0 in
+    Array.iter
+      (fun b ->
+        if b > !prev then begin
+          Tracker_intf.observe_batch tracker ~sites ~items ~pos:!prev
+            ~len:(b - !prev);
+          for j = !prev to b - 1 do
+            on_arrival (Array.unsafe_get items j)
+          done;
+          prev := b
+        end;
+        sample_at b)
+      boundaries
+  end
+
 module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   module Tracker = Dc.Make (Sketch)
 
-  let run ?(cost_model = Network.Unicast) ?(item_batching = true) ?(seed = 1)
-      ?(checkpoints = 20) ?(error_samples = 200) ?(confidence = 0.9) ?family
-      ?(sink = Sink.null) ?metrics ?(faults = Wd_net.Faults.none) ~algorithm
-      ~theta ~alpha stream =
+  let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
+      ?(seed = 1) ?(checkpoints = 20) ?(error_samples = 200)
+      ?(confidence = 0.9) ?family ?(sink = Sink.null) ?metrics
+      ?(faults = Wd_net.Faults.none) ~algorithm ~theta ~alpha stream =
     let n = Stream.length stream in
     if n = 0 then invalid_arg "Simulation.run_dc: empty stream";
     let k = Stream.num_sites stream in
@@ -111,12 +149,13 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     (* EC ignores theta but the constructor validates it. *)
     let theta = if algorithm = Dc.EC then Float.max theta 0.1 else theta in
     let tracker =
-      Tracker.create ~cost_model ~item_batching ~sink ~algorithm ~theta
-        ~sites:k ~family ()
+      Tracker.create ~cost_model ?transport ~item_batching ~sink ~algorithm
+        ~theta ~sites:k ~family ()
     in
+    let transport = Tracker.transport tracker in
     let net = Tracker.network tracker in
     Network.set_sink net sink;
-    Network.set_faults net faults;
+    Transport.set_faults transport faults;
     emit_run_meta sink ~protocol:"dc"
       ~algorithm:(Dc.algorithm_to_string algorithm)
       ~sites:k ~cost_model ~seed;
@@ -154,41 +193,15 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         error_series := (j, err) :: !error_series
       end
     in
-    if Wd_net.Faults.has_crashes faults then
-      (* Crash windows make truth depend on per-update loss accounting:
-         arrivals discarded inside a window never reached the system, so
-         they are excluded from the achievable truth too.  Feed the
-         tracker one update at a time so the gate stays exact. *)
-      Stream.iteri
-        (fun j0 ~site ~item ->
-          let lost0 = Tracker.lost_updates tracker in
-          Tracker.observe tracker ~site item;
-          if
-            Tracker.lost_updates tracker = lost0
-            && not (Hashtbl.mem truth item)
-          then Hashtbl.replace truth item ();
-          sample_at (j0 + 1))
-        stream
-    else begin
-      (* No crash windows: no arrival can be lost, so truth is a plain
-         prefix property and the tracker can consume whole slices between
-         sample positions in one [observe_batch] call — observationally
-         identical, with the closure-per-update dispatch gone. *)
-      let sites = stream.Stream.sites and items = stream.Stream.items in
-      let boundaries = merge_positions byte_positions err_positions in
-      let prev = ref 0 in
-      Array.iter
-        (fun b ->
-          Tracker.observe_batch tracker ~sites ~items ~pos:!prev
-            ~len:(b - !prev);
-          for j = !prev to b - 1 do
-            let item = Array.unsafe_get items j in
-            if not (Hashtbl.mem truth item) then Hashtbl.replace truth item ()
-          done;
-          prev := b;
-          sample_at b)
-        boundaries
-    end;
+    (* Truth is a set: arrivals that reached the system, deduplicated.
+       [feed] routes the crash-gated one-at-a-time path and the batched
+       path through the shared TRACKER surface. *)
+    feed (Tracker.generic tracker) ~faults
+      ~boundaries:(merge_positions byte_positions err_positions)
+      ~on_arrival:(fun item ->
+        if not (Hashtbl.mem truth item) then Hashtbl.replace truth item ())
+      ~sample_at stream;
+    Transport.close transport;
     {
       dc_algorithm = algorithm;
       dc_updates = n;
@@ -209,10 +222,12 @@ end
 
 module Dc_fm = Make_dc (Wd_sketch.Fm)
 
-let run_dc ?cost_model ?item_batching ?seed ?checkpoints ?error_samples
-    ?confidence ?sink ?metrics ?faults ~algorithm ~theta ~alpha stream =
-  Dc_fm.run ?cost_model ?item_batching ?seed ?checkpoints ?error_samples
-    ?confidence ?sink ?metrics ?faults ~algorithm ~theta ~alpha stream
+let run_dc ?cost_model ?transport ?item_batching ?seed ?checkpoints
+    ?error_samples ?confidence ?sink ?metrics ?faults ~algorithm ~theta ~alpha
+    stream =
+  Dc_fm.run ?cost_model ?transport ?item_batching ?seed ?checkpoints
+    ?error_samples ?confidence ?sink ?metrics ?faults ~algorithm ~theta ~alpha
+    stream
 
 type ds_run = {
   ds_algorithm : Ds.algorithm;
@@ -232,9 +247,9 @@ type ds_run = {
   ds_lost_updates : int;
 }
 
-let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
-    ?(sink = Sink.null) ?(faults = Wd_net.Faults.none) ~algorithm ~theta
-    ~threshold stream =
+let run_ds ?(cost_model = Network.Unicast) ?transport ?(seed = 1)
+    ?(checkpoints = 20) ?(sink = Sink.null) ?(faults = Wd_net.Faults.none)
+    ~algorithm ~theta ~threshold stream =
   let n = Stream.length stream in
   if n = 0 then invalid_arg "Simulation.run_ds: empty stream";
   let k = Stream.num_sites stream in
@@ -242,11 +257,13 @@ let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
   let family = Wd_sketch.Distinct_sampler.family ~rng ~threshold in
   let theta = if algorithm = Ds.EDS then Float.max theta 0.1 else theta in
   let tracker =
-    Ds.create ~cost_model ~sink ~algorithm ~theta ~sites:k ~family ()
+    Ds.create ~cost_model ?transport ~sink ~algorithm ~theta ~sites:k ~family
+      ()
   in
+  let transport = Ds.transport tracker in
   let net = Ds.network tracker in
   Network.set_sink net sink;
-  Network.set_faults net faults;
+  Transport.set_faults transport faults;
   emit_run_meta sink ~protocol:"ds"
     ~algorithm:(Ds.algorithm_to_string algorithm)
     ~sites:k ~cost_model ~seed;
@@ -261,36 +278,12 @@ let run_ds ?(cost_model = Network.Unicast) ?(seed = 1) ?(checkpoints = 20)
      never reached the system, so the achievable exact counts exclude
      them (identical to [Stream.multiplicities] when faults are off). *)
   let exact = Hashtbl.create 4096 in
-  if Wd_net.Faults.has_crashes faults then
-    Stream.iteri
-      (fun j0 ~site ~item ->
-        let lost0 = Ds.lost_updates tracker in
-        Ds.observe tracker ~site item;
-        if Ds.lost_updates tracker = lost0 then
-          Hashtbl.replace exact item
-            (1 + Option.value ~default:0 (Hashtbl.find_opt exact item));
-        sample_at (j0 + 1))
-      stream
-  else begin
-    (* No crash windows, hence no lost arrivals: exact counts are plain
-       multiplicities, and the tracker takes whole slices between byte
-       checkpoints in one [observe_batch] call. *)
-    let sites = stream.Stream.sites and items = stream.Stream.items in
-    let prev = ref 0 in
-    Array.iter
-      (fun b ->
-        if b > !prev then begin
-          Ds.observe_batch tracker ~sites ~items ~pos:!prev ~len:(b - !prev);
-          for j = !prev to b - 1 do
-            let item = Array.unsafe_get items j in
-            Hashtbl.replace exact item
-              (1 + Option.value ~default:0 (Hashtbl.find_opt exact item))
-          done;
-          prev := b
-        end;
-        sample_at b)
-      byte_positions
-  end;
+  feed (Ds.generic tracker) ~faults ~boundaries:byte_positions
+    ~on_arrival:(fun item ->
+      Hashtbl.replace exact item
+        (1 + Option.value ~default:0 (Hashtbl.find_opt exact item)))
+    ~sample_at stream;
+  Transport.close transport;
   let sample = Ds.sample tracker in
   let max_count_error =
     List.fold_left
@@ -367,16 +360,16 @@ let exact_pair_bytes p =
   done;
   !bytes
 
-let run_hh ?(cost_model = Network.Unicast) ?item_batching ?(seed = 1)
-    ?(top_k = 20) ~algorithm ~theta ~config p =
+let run_hh ?(cost_model = Network.Unicast) ?transport ?item_batching
+    ?(seed = 1) ?(top_k = 20) ~algorithm ~theta ~config p =
   let n = pair_stream_length p in
   if n = 0 then invalid_arg "Simulation.run_hh: empty pair stream";
   let k = pair_stream_sites p in
   let rng = Rng.create seed in
   let family = Wd_aggregate.Fm_array.family ~rng config in
   let tracked =
-    Wd_aggregate.Distinct_hh.Tracked.create ~cost_model ?item_batching
-      ~algorithm ~theta ~sites:k ~family ()
+    Wd_aggregate.Distinct_hh.Tracked.create ~cost_model ?transport
+      ?item_batching ~algorithm ~theta ~sites:k ~family ()
   in
   for j = 0 to n - 1 do
     Wd_aggregate.Distinct_hh.Tracked.observe tracked ~site:p.psites.(j)
@@ -424,6 +417,7 @@ let run_hh ?(cost_model = Network.Unicast) ?item_batching ?(seed = 1)
       Float.of_int hits /. Float.of_int (List.length exact_top)
   in
   let net = Wd_aggregate.Distinct_hh.Tracked.network tracked in
+  Transport.close (Wd_aggregate.Distinct_hh.Tracked.transport tracked);
   {
     hh_algorithm = algorithm;
     hh_updates = n;

@@ -36,6 +36,7 @@ type dc_run = {
 
 val run_dc :
   ?cost_model:Wd_net.Network.cost_model ->
+  ?transport:Wd_net.Transport.t ->
   ?item_batching:bool ->
   ?seed:int ->
   ?checkpoints:int ->
@@ -67,13 +68,21 @@ val run_dc :
     plan to the tracker's network: per-link drop/duplicate/corruption and
     scheduled site crashes, with the tracker's recovery machinery (acked
     retries, crash resync) engaged.  The run record then carries the
-    fault counters. *)
+    fault counters.
+
+    [transport] supplies the tracker's communication backend
+    ({!Wd_net.Transport}): the default is a fresh in-process simulator
+    with [cost_model], and a {!Wd_net.Transport_socket} backend runs the
+    same protocol over per-site relay processes.  The run closes the
+    transport on completion ({!Wd_net.Transport.close} — a no-op for the
+    simulator, the finish/stats exchange for sockets). *)
 
 (** Generic variant over any {!Wd_sketch.Sketch_intf.DISTINCT_SKETCH} —
     used by the sketch-type ablation. *)
 module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
   val run :
     ?cost_model:Wd_net.Network.cost_model ->
+    ?transport:Wd_net.Transport.t ->
     ?item_batching:bool ->
     ?seed:int ->
     ?checkpoints:int ->
@@ -122,6 +131,7 @@ type ds_run = {
 
 val run_ds :
   ?cost_model:Wd_net.Network.cost_model ->
+  ?transport:Wd_net.Transport.t ->
   ?seed:int ->
   ?checkpoints:int ->
   ?sink:Wd_obs.Sink.t ->
@@ -132,7 +142,8 @@ val run_ds :
   Stream.t ->
   ds_run
 (** [sink] is attached to the tracker and its byte ledger, and [faults]
-    to the tracker's network, as in {!run_dc}. *)
+    and [transport] behave as in {!run_dc} (the transport is closed when
+    the run completes). *)
 
 (** {1 Distinct heavy-hitter runs} *)
 
@@ -171,6 +182,7 @@ type hh_run = {
 
 val run_hh :
   ?cost_model:Wd_net.Network.cost_model ->
+  ?transport:Wd_net.Transport.t ->
   ?item_batching:bool ->
   ?seed:int ->
   ?top_k:int ->

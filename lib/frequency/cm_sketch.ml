@@ -61,3 +61,13 @@ let merge_into ~dst src =
   dst.total <- dst.total + src.total
 
 let size_bytes t = 8 * t.rows * t.cols
+
+(* The uniform (alpha, delta, seed) constructor: alpha is the additive
+   error fraction (eps of the classical bound), delta the failure
+   probability. *)
+
+let of_params ~alpha ~delta ~seed =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Cm_sketch.of_params: delta must be in (0,1)";
+  create_for_error ~rng:(Rng.create seed) ~epsilon:alpha
+    ~confidence:(1.0 -. delta)

@@ -19,10 +19,18 @@ type t
 val create : rng:Wd_hashing.Rng.t -> rows:int -> cols:int -> t
 (** Requires [rows >= 1], [cols >= 1]. *)
 
+val of_params : alpha:float -> delta:float -> seed:int -> t
+(** Standard sizing under the uniform parameter names:
+    [cols = ceil (e / alpha)], [rows = ceil (ln (1 / delta))], hashes
+    from a fresh generator seeded with [seed].  A point query then
+    overestimates by at most [alpha * N] with probability [1 - delta]. *)
+
 val create_for_error :
   rng:Wd_hashing.Rng.t -> epsilon:float -> confidence:float -> t
-(** Standard sizing: [cols = ceil (e / epsilon)],
-    [rows = ceil (ln (1 / (1 - confidence)))]. *)
+[@@ocaml.deprecated
+  "use of_params ~alpha ~delta ~seed (alpha = epsilon, delta = 1 - confidence)"]
+(** @deprecated Old name of the error-driven sizing; equal to
+    {!of_params} with an explicit generator. *)
 
 val rows : t -> int
 val cols : t -> int

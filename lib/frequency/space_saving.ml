@@ -118,3 +118,12 @@ let monitored t = Hashtbl.length t.counts
 let max_error t =
   if Hashtbl.length t.counts < t.cap then 0
   else Hashtbl.fold (fun _ c acc -> min acc c) t.counts max_int
+
+(* Uniform constructor: capacity from the additive error target.  The
+   structure is deterministic, so there is no seed and no failure
+   probability — max_error <= alpha * total always holds. *)
+
+let of_params ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then
+    invalid_arg "Space_saving.of_params: alpha must be in (0,1]";
+  create ~capacity:(max 1 (int_of_float (Float.ceil (1.0 /. alpha))))

@@ -16,6 +16,12 @@ type t
 val create : capacity:int -> t
 (** Requires [capacity >= 1]. *)
 
+val of_params : alpha:float -> t
+(** [create ~capacity:(ceil (1 / alpha))]: sizes the structure so that
+    [max_error <= alpha * total].  The structure is deterministic, so
+    unlike the sketch constructors there is no [seed] and no failure
+    probability.  Requires [0 < alpha <= 1]. *)
+
 val capacity : t -> int
 
 val add : t -> ?count:int -> int -> unit

@@ -7,6 +7,12 @@ let cost_model_to_string = function
   | Unicast -> "unicast"
   | Radio_broadcast -> "radio-broadcast"
 
+type tap = {
+  on_up : site:int -> payload:int -> lost:Faults.loss option -> unit;
+  on_down : site:int -> payload:int -> lost:Faults.loss option -> unit;
+  on_medium : payload:int -> unit;
+}
+
 type t = {
   k : int;
   model : cost_model;
@@ -26,6 +32,7 @@ type t = {
   mutable crash_drops : int;
   mutable dup_deliveries : int;
   mutable retry_count : int;
+  mutable tap : tap option;
 }
 
 let create ?(cost_model = Unicast) ~sites () =
@@ -49,6 +56,7 @@ let create ?(cost_model = Unicast) ~sites () =
     crash_drops = 0;
     dup_deliveries = 0;
     retry_count = 0;
+    tap = None;
   }
 
 let sites t = t.k
@@ -64,6 +72,19 @@ let faults t = t.faults
 let set_debug_checks t on = t.debug_checks <- on
 
 let site_down t ~site = Faults.is_down t.faults ~site ~time:t.time
+let set_tap t tap = t.tap <- tap
+
+(* Tap helpers: fire once per charged message copy.  Taps observe the
+   ledger, never steer it — no randomness, no counter writes — so an
+   installed tap cannot perturb a run. *)
+let tap_up t ~site ~payload ~lost =
+  match t.tap with None -> () | Some tap -> tap.on_up ~site ~payload ~lost
+
+let tap_down t ~site ~payload ~lost =
+  match t.tap with None -> () | Some tap -> tap.on_down ~site ~payload ~lost
+
+let tap_medium t ~payload =
+  match t.tap with None -> () | Some tap -> tap.on_medium ~payload
 
 let check_site t site =
   if site < 0 || site >= t.k then invalid_arg "Network: site index out of range"
@@ -92,6 +113,7 @@ let send_up t ~site ~payload =
   t.bytes_up <- t.bytes_up + bytes;
   t.messages_up <- t.messages_up + 1;
   t.per_site_up.(site) <- t.per_site_up.(site) + bytes;
+  tap_up t ~site ~payload ~lost:None;
   if Sink.enabled t.sink then
     Sink.emit t.sink
       {
@@ -105,6 +127,7 @@ let send_down t ~site ~payload =
   t.bytes_down <- t.bytes_down + bytes;
   t.messages_down <- t.messages_down + 1;
   t.per_site_down.(site) <- t.per_site_down.(site) + bytes;
+  tap_down t ~site ~payload ~lost:None;
   check_ledger t;
   if Sink.enabled t.sink then
     Sink.emit t.sink
@@ -122,7 +145,8 @@ let broadcast_down t ~except ~payload =
       if Some site <> except then begin
         t.bytes_down <- t.bytes_down + bytes;
         t.messages_down <- t.messages_down + 1;
-        t.per_site_down.(site) <- t.per_site_down.(site) + bytes
+        t.per_site_down.(site) <- t.per_site_down.(site) + bytes;
+        tap_down t ~site ~payload ~lost:None
       end
     done;
     check_ledger t;
@@ -146,6 +170,7 @@ let broadcast_down t ~except ~payload =
     t.bytes_down <- t.bytes_down + bytes;
     t.messages_down <- t.messages_down + 1;
     t.medium <- t.medium + bytes;
+    tap_medium t ~payload;
     check_ledger t;
     if Sink.enabled t.sink then
       Sink.emit t.sink
@@ -174,6 +199,7 @@ let transmit_up t ~site ~payload =
     t.per_site_up.(site) <- t.per_site_up.(site) + bytes;
     (match outcome with
     | Faults.Delivered n ->
+      tap_up t ~site ~payload ~lost:None;
       emit t (Event.Message { dir = Event.Up; site; payload; bytes });
       if n > 1 then begin
         let copies = n - 1 in
@@ -182,10 +208,14 @@ let transmit_up t ~site ~payload =
         t.messages_up <- t.messages_up + copies;
         t.per_site_up.(site) <- t.per_site_up.(site) + extra;
         t.dup_deliveries <- t.dup_deliveries + copies;
+        for _ = 1 to copies do
+          tap_up t ~site ~payload ~lost:None
+        done;
         emit t (Event.Duplicate { dir = Event.Up; site; bytes = extra; copies })
       end
     | Faults.Lost loss ->
       note_loss t loss;
+      tap_up t ~site ~payload ~lost:(Some loss);
       emit t (Event.Drop { dir = Event.Up; site; bytes; loss }));
     outcome
   end
@@ -204,6 +234,7 @@ let transmit_down t ~site ~payload =
     t.per_site_down.(site) <- t.per_site_down.(site) + bytes;
     (match outcome with
     | Faults.Delivered n ->
+      tap_down t ~site ~payload ~lost:None;
       emit t (Event.Message { dir = Event.Down; site; payload; bytes });
       if n > 1 then begin
         let copies = n - 1 in
@@ -212,11 +243,15 @@ let transmit_down t ~site ~payload =
         t.messages_down <- t.messages_down + copies;
         t.per_site_down.(site) <- t.per_site_down.(site) + extra;
         t.dup_deliveries <- t.dup_deliveries + copies;
+        for _ = 1 to copies do
+          tap_down t ~site ~payload ~lost:None
+        done;
         emit t
           (Event.Duplicate { dir = Event.Down; site; bytes = extra; copies })
       end
     | Faults.Lost loss ->
       note_loss t loss;
+      tap_down t ~site ~payload ~lost:(Some loss);
       emit t (Event.Drop { dir = Event.Down; site; bytes; loss }));
     check_ledger t;
     outcome
@@ -248,6 +283,7 @@ let transmit_broadcast t ~except ~payload =
       t.bytes_down <- t.bytes_down + bytes;
       t.messages_down <- t.messages_down + 1;
       t.medium <- t.medium + bytes;
+      tap_medium t ~payload;
       check_ledger t;
       emit t
         (Event.Broadcast { except; payload; bytes; messages = 1; recipients });

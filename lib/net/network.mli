@@ -71,6 +71,32 @@ val set_debug_checks : t -> bool -> unit
     [bytes_down = medium_bytes + sum of site down-links], checked after
     every down-side charge and on {!reset} (default: enabled). *)
 
+(** {1 Wire taps}
+
+    A tap observes every {e charged} transmission at the moment the
+    ledger records it — one callback per message copy that occupied a
+    link (or the shared medium), including copies that were then lost.
+    Transport backends use this to realize the simulator's accounting as
+    real frames on a wire: delivery semantics (fault rolls, retries,
+    duplicate copies) stay in this module, so every backend shares them
+    by construction.  Taps never consume randomness and never affect the
+    ledger, so an installed tap leaves runs bit-identical. *)
+
+type tap = {
+  on_up : site:int -> payload:int -> lost:Faults.loss option -> unit;
+      (** one up-direction message copy charged to [site]'s uplink;
+          [lost] names the loss cause when the copy never arrived *)
+  on_down : site:int -> payload:int -> lost:Faults.loss option -> unit;
+      (** one down-direction message copy charged to [site]'s link *)
+  on_medium : payload:int -> unit;
+      (** one {!Radio_broadcast} transmission charged to the shared
+          medium (per-site reception failures charge nothing and are not
+          tapped) *)
+}
+
+val set_tap : t -> tap option -> unit
+(** Install (or remove) the wire tap (default none). *)
+
 (** {1 Recording traffic}
 
     All sizes are message payload sizes; {!Wire.header_bytes} is added per

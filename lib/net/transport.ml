@@ -1,0 +1,144 @@
+type wire_stats = {
+  frames_up : int;
+  frames_down : int;
+  wire_bytes_up : int;
+  wire_bytes_down : int;
+  control_frames : int;
+  control_bytes : int;
+  radio_copy_bytes : int;
+  skipped_up : int;
+  skipped_down : int;
+  reconnects : int;
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  val ledger : t -> Network.t
+  val sites : t -> int
+  val cost_model : t -> Network.cost_model
+  val set_sink : t -> Wd_obs.Sink.t -> unit
+  val sink : t -> Wd_obs.Sink.t
+  val set_time : t -> int -> unit
+  val time : t -> int
+  val set_faults : t -> Faults.plan -> unit
+  val faults : t -> Faults.plan
+  val site_down : t -> site:int -> bool
+  val send_up : t -> site:int -> payload:int -> unit
+  val send_down : t -> site:int -> payload:int -> unit
+  val broadcast_down : t -> except:int option -> payload:int -> unit
+  val transmit_up : t -> site:int -> payload:int -> Faults.outcome
+  val transmit_down : t -> site:int -> payload:int -> Faults.outcome
+
+  val transmit_broadcast :
+    t -> except:int option -> payload:int -> Faults.outcome array
+
+  val reliable_up :
+    ?max_retries:int -> t -> site:int -> payload:int -> Network.delivery
+
+  val reliable_down :
+    ?max_retries:int -> t -> site:int -> payload:int -> Network.delivery
+
+  val close : t -> unit
+  val wire_stats : t -> wire_stats option
+end
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+let name (Packed ((module B), _)) = B.name
+let ledger (Packed ((module B), h)) = B.ledger h
+let sites (Packed ((module B), h)) = B.sites h
+let cost_model (Packed ((module B), h)) = B.cost_model h
+let set_sink (Packed ((module B), h)) sink = B.set_sink h sink
+let sink (Packed ((module B), h)) = B.sink h
+let set_time (Packed ((module B), h)) time = B.set_time h time
+let time (Packed ((module B), h)) = B.time h
+let set_faults (Packed ((module B), h)) plan = B.set_faults h plan
+let faults (Packed ((module B), h)) = B.faults h
+let site_down (Packed ((module B), h)) ~site = B.site_down h ~site
+let send_up (Packed ((module B), h)) ~site ~payload = B.send_up h ~site ~payload
+
+let send_down (Packed ((module B), h)) ~site ~payload =
+  B.send_down h ~site ~payload
+
+let broadcast_down (Packed ((module B), h)) ~except ~payload =
+  B.broadcast_down h ~except ~payload
+
+let transmit_up (Packed ((module B), h)) ~site ~payload =
+  B.transmit_up h ~site ~payload
+
+let transmit_down (Packed ((module B), h)) ~site ~payload =
+  B.transmit_down h ~site ~payload
+
+let transmit_broadcast (Packed ((module B), h)) ~except ~payload =
+  B.transmit_broadcast h ~except ~payload
+
+let reliable_up ?max_retries (Packed ((module B), h)) ~site ~payload =
+  B.reliable_up ?max_retries h ~site ~payload
+
+let reliable_down ?max_retries (Packed ((module B), h)) ~site ~payload =
+  B.reliable_down ?max_retries h ~site ~payload
+
+let close (Packed ((module B), h)) = B.close h
+let wire_stats (Packed ((module B), h)) = B.wire_stats h
+
+module type CARRIER = sig
+  type t
+
+  val name : string
+  val ledger : t -> Network.t
+  val on_time : t -> int -> unit
+  val close : t -> unit
+  val wire_stats : t -> wire_stats option
+end
+
+(* Everything but the three carrier hooks is fixed by the ledger: the
+   delivery semantics (fault rolls, retries, duplicate copies, byte
+   charges) run in Network, and any wire machinery rides on the taps
+   the carrier has installed there.  Delegating here is what makes a
+   fixed-seed run bit-identical across backends. *)
+module Of_carrier (C : CARRIER) : S with type t = C.t = struct
+  type t = C.t
+
+  let name = C.name
+  let ledger = C.ledger
+  let sites t = Network.sites (C.ledger t)
+  let cost_model t = Network.cost_model (C.ledger t)
+  let set_sink t sink = Network.set_sink (C.ledger t) sink
+  let sink t = Network.sink (C.ledger t)
+
+  let set_time t time =
+    Network.set_time (C.ledger t) time;
+    C.on_time t time
+
+  let time t = Network.time (C.ledger t)
+  let set_faults t plan = Network.set_faults (C.ledger t) plan
+  let faults t = Network.faults (C.ledger t)
+  let site_down t ~site = Network.site_down (C.ledger t) ~site
+  let send_up t ~site ~payload = Network.send_up (C.ledger t) ~site ~payload
+
+  let send_down t ~site ~payload =
+    Network.send_down (C.ledger t) ~site ~payload
+
+  let broadcast_down t ~except ~payload =
+    Network.broadcast_down (C.ledger t) ~except ~payload
+
+  let transmit_up t ~site ~payload =
+    Network.transmit_up (C.ledger t) ~site ~payload
+
+  let transmit_down t ~site ~payload =
+    Network.transmit_down (C.ledger t) ~site ~payload
+
+  let transmit_broadcast t ~except ~payload =
+    Network.transmit_broadcast (C.ledger t) ~except ~payload
+
+  let reliable_up ?max_retries t ~site ~payload =
+    Network.reliable_up ?max_retries (C.ledger t) ~site ~payload
+
+  let reliable_down ?max_retries t ~site ~payload =
+    Network.reliable_down ?max_retries (C.ledger t) ~site ~payload
+
+  let close = C.close
+  let wire_stats = C.wire_stats
+end

@@ -1,0 +1,176 @@
+(** The [TRANSPORT] abstraction: one signature, many carriers.
+
+    Protocol code (trackers, Monitor, Simulation) talks to the network
+    through this module's packed {!t} and never names a backend.  A
+    backend is a {e carrier}: it owns a {!Network.t} ledger — the single
+    source of truth for delivery semantics, fault rolls, acked retries
+    and byte accounting — plus whatever real machinery moves frames.
+
+    Two backends ship:
+
+    - {!Transport_sim}: the in-process simulator.  The carrier is the
+      ledger itself; nothing else happens.  Byte-for-byte identical to
+      calling {!Network} directly.
+    - {!Transport_socket}: each site is a separate OS process connected
+      over a Unix-domain socket, speaking the length-prefixed,
+      version-tagged {!Wire.Frame} format.  The carrier installs a
+      {!Network.tap} so that every byte the ledger charges is realized
+      as a real frame written to (or read from) a socket, and exposes
+      {!wire_stats} so tests can reconcile the ledger against bytes that
+      actually crossed the wire.
+
+    Because the delivery logic lives in the shared ledger and carriers
+    only {e realize} its decisions, a fixed-seed run produces identical
+    estimates, message counts and byte ledgers on every backend — the
+    equivalence is by construction, and [test_transport.ml] pins it.
+
+    Construction is backend-specific ([Transport_sim.create],
+    [Transport_socket.Coordinator.connect]); the signature covers the
+    {e running} transport: sending, clock/crash hooks, accounting reads,
+    and teardown. *)
+
+type wire_stats = {
+  frames_up : int;  (** [Up] frames read off site sockets *)
+  frames_down : int;  (** [Deliver] frames written (one per ledger charge) *)
+  wire_bytes_up : int;  (** on-wire bytes of those [Up] frames *)
+  wire_bytes_down : int;  (** on-wire bytes of those [Deliver] frames *)
+  control_frames : int;  (** [Request_up] control frames written *)
+  control_bytes : int;  (** on-wire bytes of control frames *)
+  radio_copy_bytes : int;
+      (** extra per-site copies of {!Network.Radio_broadcast} frames
+          beyond the single ledger-charged transmission *)
+  skipped_up : int;
+      (** ledger bytes charged up while the site's socket was closed
+          (crash window), so no frame was exchanged; ledger units *)
+  skipped_down : int;  (** same, down direction; ledger units *)
+  reconnects : int;  (** site sockets re-accepted after a crash window *)
+}
+(** Counters a wire-backed carrier keeps alongside the ledger.  They tie
+    the two accountings together:
+    [wire_bytes_up
+     = ledger bytes_up - skipped_up
+       + frames_up * (Wire.Frame.header_bytes - Wire.header_bytes)]
+    and symmetrically for down (with [radio_copy_bytes] and
+    [control_bytes] on top of the down-direction socket traffic). *)
+
+(** Interface every transport backend implements.  Everything except
+    {!S.set_time}, {!S.close} and {!S.wire_stats} is semantically fixed
+    by the backend's {!S.ledger}; backends differ in what {e else}
+    happens (frames on a wire, socket lifecycle over crash windows). *)
+module type S = sig
+  type t
+
+  val name : string
+  (** Backend name for traces and errors, e.g. ["sim"], ["socket"]. *)
+
+  val ledger : t -> Network.t
+  (** The byte ledger this backend charges.  Shared accounting — and
+      shared delivery semantics — across all backends. *)
+
+  (** {2 Topology and observability} *)
+
+  val sites : t -> int
+  val cost_model : t -> Network.cost_model
+  val set_sink : t -> Wd_obs.Sink.t -> unit
+  val sink : t -> Wd_obs.Sink.t
+
+  (** {2 Clock and faults}
+
+      [set_time] is the crash hook: wire-backed carriers evaluate crash
+      windows here, closing a crashed site's socket at window entry and
+      re-accepting its reconnection at window exit. *)
+
+  val set_time : t -> int -> unit
+  val time : t -> int
+  val set_faults : t -> Faults.plan -> unit
+  val faults : t -> Faults.plan
+  val site_down : t -> site:int -> bool
+
+  (** {2 Sending}
+
+      Same contracts as the {!Network} functions of the same names. *)
+
+  val send_up : t -> site:int -> payload:int -> unit
+  val send_down : t -> site:int -> payload:int -> unit
+  val broadcast_down : t -> except:int option -> payload:int -> unit
+  val transmit_up : t -> site:int -> payload:int -> Faults.outcome
+  val transmit_down : t -> site:int -> payload:int -> Faults.outcome
+
+  val transmit_broadcast :
+    t -> except:int option -> payload:int -> Faults.outcome array
+
+  val reliable_up :
+    ?max_retries:int -> t -> site:int -> payload:int -> Network.delivery
+
+  val reliable_down :
+    ?max_retries:int -> t -> site:int -> payload:int -> Network.delivery
+
+  (** {2 Teardown and wire accounting} *)
+
+  val close : t -> unit
+  (** Tear the transport down: a no-op for the simulator; for the socket
+      backend, finish every site (collecting its final counters) and
+      close all sockets.  Idempotent. *)
+
+  val wire_stats : t -> wire_stats option
+  (** [None] for purely simulated carriers; [Some] once a wire-backed
+      carrier can report (socket backend: always). *)
+end
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+(** A transport with its backend hidden: protocol code holds this. *)
+
+(** {1 Dispatch}
+
+    Each function below forwards to the packed backend's implementation
+    of the same name. *)
+
+val name : t -> string
+val ledger : t -> Network.t
+val sites : t -> int
+val cost_model : t -> Network.cost_model
+val set_sink : t -> Wd_obs.Sink.t -> unit
+val sink : t -> Wd_obs.Sink.t
+val set_time : t -> int -> unit
+val time : t -> int
+val set_faults : t -> Faults.plan -> unit
+val faults : t -> Faults.plan
+val site_down : t -> site:int -> bool
+val send_up : t -> site:int -> payload:int -> unit
+val send_down : t -> site:int -> payload:int -> unit
+val broadcast_down : t -> except:int option -> payload:int -> unit
+val transmit_up : t -> site:int -> payload:int -> Faults.outcome
+val transmit_down : t -> site:int -> payload:int -> Faults.outcome
+
+val transmit_broadcast :
+  t -> except:int option -> payload:int -> Faults.outcome array
+
+val reliable_up :
+  ?max_retries:int -> t -> site:int -> payload:int -> Network.delivery
+
+val reliable_down :
+  ?max_retries:int -> t -> site:int -> payload:int -> Network.delivery
+
+val close : t -> unit
+val wire_stats : t -> wire_stats option
+
+(** {1 Building backends} *)
+
+(** What a backend actually has to supply: its ledger plus the three
+    hooks where backends differ.  {!Of_carrier} derives the rest of
+    {!S} by delegating to the ledger. *)
+module type CARRIER = sig
+  type t
+
+  val name : string
+  val ledger : t -> Network.t
+
+  val on_time : t -> int -> unit
+  (** Called by [set_time] {e after} the ledger clock has advanced; the
+      socket carrier manages crash-window socket lifecycle here. *)
+
+  val close : t -> unit
+  val wire_stats : t -> wire_stats option
+end
+
+module Of_carrier (C : CARRIER) : S with type t = C.t

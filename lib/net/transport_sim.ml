@@ -1,0 +1,16 @@
+module Backend = Transport.Of_carrier (struct
+  type t = Network.t
+
+  let name = "sim"
+  let ledger t = t
+  let on_time _ _ = ()
+  let close _ = ()
+  let wire_stats _ = None
+end)
+
+include Backend
+
+let of_network net = Transport.Packed ((module Backend), net)
+
+let create ?cost_model ~sites () =
+  of_network (Network.create ?cost_model ~sites ())

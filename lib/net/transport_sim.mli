@@ -1,0 +1,18 @@
+(** The in-process simulator backend of {!Transport}.
+
+    The carrier {e is} the ledger: every operation is the corresponding
+    {!Network} call and nothing else happens — no taps, no sockets, no
+    extra randomness.  A protocol run through this backend is
+    byte-for-byte and event-for-event identical to one that called
+    {!Network} directly, which is what keeps the pre-redesign golden
+    traces bit-identical. *)
+
+include Transport.S with type t = Network.t
+
+val create : ?cost_model:Network.cost_model -> sites:int -> unit -> Transport.t
+(** Fresh simulator transport over a fresh ledger (defaults as
+    {!Network.create}), packed for protocol code. *)
+
+val of_network : Network.t -> Transport.t
+(** Wrap an existing ledger (e.g. one a test has prepared) as a packed
+    simulator transport.  The ledger is shared, not copied. *)

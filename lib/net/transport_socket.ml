@@ -1,0 +1,486 @@
+module F = Wire.Frame
+
+type site_report = {
+  frames_received : int;
+  bytes_received : int;
+  frames_sent : int;
+  bytes_sent : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Frame I/O over file descriptors                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ignore_sigpipe () =
+  (* A peer that died mid-write must surface as EPIPE, not kill us. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let rec read_exact fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.read fd buf pos len in
+    if n = 0 then raise End_of_file;
+    read_exact fd buf (pos + n) (len - n)
+  end
+
+(* A frame as one buffer: header + zeroed payload the caller may poke. *)
+let frame_buf ~kind ~site ~payload_len =
+  let buf = Bytes.make (F.header_bytes + payload_len) '\000' in
+  F.encode_header buf ~pos:0 ~kind ~site ~length:payload_len;
+  buf
+
+let write_frame fd ~kind ~site ~payload_len =
+  let buf = frame_buf ~kind ~site ~payload_len in
+  write_all fd buf 0 (Bytes.length buf)
+
+let read_frame fd =
+  let hdr = Bytes.create F.header_bytes in
+  read_exact fd hdr 0 F.header_bytes;
+  match F.decode_header hdr ~pos:0 with
+  | Error e -> Error e
+  | Ok h ->
+    let payload = Bytes.create h.F.length in
+    read_exact fd payload 0 h.F.length;
+    Ok (h, payload)
+
+let frame_error what e =
+  failwith (Printf.sprintf "transport_socket: %s: %s" what (F.error_to_string e))
+
+let set_timeouts fd timeout =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+
+let reject fd reason =
+  let payload_len = String.length reason in
+  let buf = frame_buf ~kind:F.Reject ~site:0 ~payload_len in
+  Bytes.blit_string reason 0 buf F.header_bytes payload_len;
+  (try write_all fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> ())
+
+let stats_payload_len = 32
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type coord = {
+  net : Network.t;
+  path : string;
+  timeout : float;
+  listen_fd : Unix.file_descr;
+  conns : Unix.file_descr option array;
+  down : bool array;
+  (* Relays re-accepted before their own crash window has ended (another
+     site's window exit drained them from the backlog) wait here. *)
+  pending : (int, Unix.file_descr) Hashtbl.t;
+  reports : site_report option array;
+  mutable frames_up : int;
+  mutable frames_down : int;
+  mutable wire_bytes_up : int;
+  mutable wire_bytes_down : int;
+  mutable control_frames : int;
+  mutable control_bytes : int;
+  mutable radio_copy_bytes : int;
+  mutable skipped_up : int;
+  mutable skipped_down : int;
+  mutable reconnects : int;
+  mutable closed : bool;
+}
+
+(* Accept one connection and run the server half of the handshake.
+   Returns the accepted site id, or None if the peer was rejected
+   (wrong version, bad frame, bad site id). *)
+let accept_handshake t =
+  let fd, _ = Unix.accept t.listen_fd in
+  set_timeouts fd t.timeout;
+  match read_frame fd with
+  | exception End_of_file ->
+    Unix.close fd;
+    None
+  | Error e ->
+    reject fd (F.error_to_string e);
+    Unix.close fd;
+    None
+  | Ok (h, _) when h.F.kind <> F.Hello ->
+    reject fd (Printf.sprintf "expected hello, got %s" (F.kind_to_string h.F.kind));
+    Unix.close fd;
+    None
+  | Ok (h, _) ->
+    let site = h.F.site in
+    if site < 0 || site >= Array.length t.conns then begin
+      reject fd (Printf.sprintf "site id %d out of range" site);
+      Unix.close fd;
+      None
+    end
+    else begin
+      write_frame fd ~kind:F.Welcome ~site ~payload_len:0;
+      (match t.conns.(site) with
+      | None when not t.down.(site) -> t.conns.(site) <- Some fd
+      | _ -> Hashtbl.replace t.pending site fd);
+      Some site
+    end
+
+(* Restore a site's socket at crash-window exit: drain the backlog until
+   this site's relay is back (stashing other sites' early reconnections
+   in [pending] for their own window exits). *)
+let reattach t site =
+  match Hashtbl.find_opt t.pending site with
+  | Some fd ->
+    Hashtbl.remove t.pending site;
+    t.conns.(site) <- Some fd;
+    t.reconnects <- t.reconnects + 1
+  | None ->
+    while t.conns.(site) = None do
+      ignore (accept_handshake t);
+      (* [accept_handshake] slots this site directly (its window has
+         ended) and stashes any other still-down site in [pending]. *)
+      match Hashtbl.find_opt t.pending site with
+      | Some fd ->
+        Hashtbl.remove t.pending site;
+        t.conns.(site) <- Some fd
+      | None -> ()
+    done;
+    t.reconnects <- t.reconnects + 1
+
+let on_time t time =
+  let plan = Network.faults t.net in
+  for site = 0 to Array.length t.conns - 1 do
+    let is_down = Faults.is_down plan ~site ~time in
+    if is_down && not t.down.(site) then begin
+      (* Window entry: a crashed site is a real disconnection. *)
+      t.down.(site) <- true;
+      match t.conns.(site) with
+      | Some fd ->
+        Unix.close fd;
+        t.conns.(site) <- None
+      | None -> ()
+    end
+    else if (not is_down) && t.down.(site) then begin
+      t.down.(site) <- false;
+      reattach t site
+    end
+  done
+
+(* --- tap: realize each ledger charge as a frame on the wire --- *)
+
+let deliver t ~site ~payload =
+  match t.conns.(site) with
+  | Some fd ->
+    write_frame fd ~kind:F.Deliver ~site ~payload_len:payload;
+    t.frames_down <- t.frames_down + 1;
+    t.wire_bytes_down <- t.wire_bytes_down + F.bytes ~payload
+  | None -> t.skipped_down <- t.skipped_down + Wire.message ~payload
+
+let request_up t ~site ~payload =
+  match t.conns.(site) with
+  | Some fd ->
+    let buf = frame_buf ~kind:F.Request_up ~site ~payload_len:4 in
+    Bytes.set_int32_le buf F.header_bytes (Int32.of_int payload);
+    write_all fd buf 0 (Bytes.length buf);
+    t.control_frames <- t.control_frames + 1;
+    t.control_bytes <- t.control_bytes + F.bytes ~payload:4;
+    (match read_frame fd with
+    | exception End_of_file ->
+      failwith "transport_socket: site closed connection mid-exchange"
+    | Error e -> frame_error "reading up frame" e
+    | Ok (h, _) when h.F.kind = F.Up && h.F.site = site && h.F.length = payload
+      ->
+      t.frames_up <- t.frames_up + 1;
+      t.wire_bytes_up <- t.wire_bytes_up + F.bytes ~payload
+    | Ok (h, _) ->
+      failwith
+        (Printf.sprintf
+           "transport_socket: expected up(site=%d,len=%d), got %s(site=%d,len=%d)"
+           site payload
+           (F.kind_to_string h.F.kind)
+           h.F.site h.F.length))
+  | None -> t.skipped_up <- t.skipped_up + Wire.message ~payload
+
+let medium_broadcast t ~payload =
+  let wrote = ref 0 in
+  Array.iteri
+    (fun site conn ->
+      match conn with
+      | Some fd ->
+        write_frame fd ~kind:F.Deliver ~site ~payload_len:payload;
+        incr wrote;
+        if !wrote = 1 then begin
+          t.frames_down <- t.frames_down + 1;
+          t.wire_bytes_down <- t.wire_bytes_down + F.bytes ~payload
+        end
+        else t.radio_copy_bytes <- t.radio_copy_bytes + F.bytes ~payload
+      | None -> ())
+    t.conns;
+  if !wrote = 0 then t.skipped_down <- t.skipped_down + Wire.message ~payload
+
+let install_tap t =
+  Network.set_tap t.net
+    (Some
+       {
+         Network.on_up = (fun ~site ~payload ~lost:_ -> request_up t ~site ~payload);
+         on_down = (fun ~site ~payload ~lost:_ -> deliver t ~site ~payload);
+         on_medium = (fun ~payload -> medium_broadcast t ~payload);
+       })
+
+(* --- teardown --- *)
+
+let decode_report payload =
+  let g i = Int64.to_int (Bytes.get_int64_le payload i) in
+  {
+    frames_received = g 0;
+    bytes_received = g 8;
+    frames_sent = g 16;
+    bytes_sent = g 24;
+  }
+
+let finish_site t site fd =
+  (try
+     write_frame fd ~kind:F.Finish ~site ~payload_len:0;
+     match read_frame fd with
+     | Ok (h, payload)
+       when h.F.kind = F.Stats && h.F.length = stats_payload_len ->
+       t.reports.(site) <- Some (decode_report payload)
+     | _ | (exception End_of_file) -> ()
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Adopt relays still sitting in the listen backlog (e.g. a site whose
+   crash window never ended reconnected but was never re-accepted) so
+   they too get a clean [Finish]. *)
+let drain_backlog t =
+  Unix.setsockopt_float t.listen_fd Unix.SO_RCVTIMEO 0.2;
+  try
+    while true do
+      ignore (accept_handshake t)
+    done
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | End_of_file -> ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Network.set_tap t.net None;
+    drain_backlog t;
+    Hashtbl.iter
+      (fun site fd ->
+        if t.conns.(site) = None then t.conns.(site) <- Some fd
+        else try Unix.close fd with Unix.Unix_error _ -> ())
+      t.pending;
+    Hashtbl.reset t.pending;
+    Array.iteri
+      (fun site conn ->
+        match conn with
+        | Some fd ->
+          finish_site t site fd;
+          t.conns.(site) <- None
+        | None -> ())
+      t.conns;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.path with Unix.Unix_error _ -> ()
+  end
+
+let wire_stats t =
+  Some
+    {
+      Transport.frames_up = t.frames_up;
+      frames_down = t.frames_down;
+      wire_bytes_up = t.wire_bytes_up;
+      wire_bytes_down = t.wire_bytes_down;
+      control_frames = t.control_frames;
+      control_bytes = t.control_bytes;
+      radio_copy_bytes = t.radio_copy_bytes;
+      skipped_up = t.skipped_up;
+      skipped_down = t.skipped_down;
+      reconnects = t.reconnects;
+    }
+
+module Backend = Transport.Of_carrier (struct
+  type t = coord
+
+  let name = "socket"
+  let ledger t = t.net
+  let on_time = on_time
+  let close = close
+  let wire_stats = wire_stats
+end)
+
+module Coordinator = struct
+  include Backend
+
+  let connect ?cost_model ?(timeout = 30.) ~path ~sites () =
+    ignore_sigpipe ();
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind listen_fd (Unix.ADDR_UNIX path);
+       Unix.listen listen_fd ((2 * sites) + 8);
+       Unix.setsockopt_float listen_fd Unix.SO_RCVTIMEO timeout
+     with e ->
+       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+       raise e);
+    let t =
+      {
+        net = Network.create ?cost_model ~sites ();
+        path;
+        timeout;
+        listen_fd;
+        conns = Array.make sites None;
+        down = Array.make sites false;
+        pending = Hashtbl.create 7;
+        reports = Array.make sites None;
+        frames_up = 0;
+        frames_down = 0;
+        wire_bytes_up = 0;
+        wire_bytes_down = 0;
+        control_frames = 0;
+        control_bytes = 0;
+        radio_copy_bytes = 0;
+        skipped_up = 0;
+        skipped_down = 0;
+        reconnects = 0;
+        closed = false;
+      }
+    in
+    (try
+       let accepted = ref 0 in
+       while !accepted < sites do
+         match accept_handshake t with
+         | Some _ -> incr accepted
+         | None -> ()
+       done
+     with e ->
+       close t;
+       raise e);
+    install_tap t;
+    t
+
+  let pack c = Transport.Packed ((module Backend), c)
+  let reports c = Array.copy c.reports
+end
+
+let connect ?cost_model ?timeout ~path ~sites () =
+  Coordinator.pack (Coordinator.connect ?cost_model ?timeout ~path ~sites ())
+
+(* ------------------------------------------------------------------ *)
+(* Site relay                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Site = struct
+  let connect_retry ~attempts ~timeout path =
+    let rec go n =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () ->
+        set_timeouts fd timeout;
+        fd
+      | exception
+          Unix.Unix_error
+            ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR), _, _)
+        when n > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        go (n - 1)
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    go attempts
+
+  let handshake fd ~site =
+    write_frame fd ~kind:F.Hello ~site ~payload_len:0;
+    match read_frame fd with
+    | exception End_of_file ->
+      failwith "transport_socket: coordinator closed connection during handshake"
+    | Error e -> frame_error "handshake" e
+    | Ok (h, _) when h.F.kind = F.Welcome -> ()
+    | Ok (h, payload) when h.F.kind = F.Reject ->
+      failwith
+        (Printf.sprintf "transport_socket: rejected by coordinator: %s"
+           (Bytes.to_string payload))
+    | Ok (h, _) ->
+      failwith
+        (Printf.sprintf "transport_socket: expected welcome, got %s"
+           (F.kind_to_string h.F.kind))
+
+  let run ?(connect_attempts = 200) ?(timeout = 30.) ~path ~site () =
+    ignore_sigpipe ();
+    let frames_received = ref 0 in
+    let bytes_received = ref 0 in
+    let frames_sent = ref 0 in
+    let bytes_sent = ref 0 in
+    let connect () =
+      let fd = connect_retry ~attempts:connect_attempts ~timeout path in
+      try
+        handshake fd ~site;
+        fd
+      with e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    let fd = ref (connect ()) in
+    let report () =
+      {
+        frames_received = !frames_received;
+        bytes_received = !bytes_received;
+        frames_sent = !frames_sent;
+        bytes_sent = !bytes_sent;
+      }
+    in
+    let send_stats () =
+      let buf = frame_buf ~kind:F.Stats ~site ~payload_len:stats_payload_len in
+      let p i v = Bytes.set_int64_le buf (F.header_bytes + i) (Int64.of_int v) in
+      p 0 !frames_received;
+      p 8 !bytes_received;
+      p 16 !frames_sent;
+      p 24 !bytes_sent;
+      write_all !fd buf 0 (Bytes.length buf)
+    in
+    let finished = ref false in
+    while not !finished do
+      match read_frame !fd with
+      | exception
+          ( End_of_file
+          | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ) ->
+        (* The coordinator dropped us: a crash window.  Reconnect and
+           carry the counters across — they measure the carrier, not the
+           (coordinator-side) protocol state the crash erased. *)
+        (try Unix.close !fd with Unix.Unix_error _ -> ());
+        fd := connect ()
+      | Error e -> frame_error "reading frame" e
+      | Ok (h, payload) -> (
+        match h.F.kind with
+        | F.Deliver ->
+          incr frames_received;
+          bytes_received := !bytes_received + F.bytes ~payload:h.F.length
+        | F.Request_up ->
+          if h.F.length <> 4 then
+            failwith "transport_socket: malformed request-up frame";
+          incr frames_received;
+          bytes_received := !bytes_received + F.bytes ~payload:4;
+          let wanted = Int32.to_int (Bytes.get_int32_le payload 0) in
+          if wanted < 0 || wanted > F.max_payload then
+            failwith "transport_socket: bad requested up-payload size";
+          write_frame !fd ~kind:F.Up ~site ~payload_len:wanted;
+          incr frames_sent;
+          bytes_sent := !bytes_sent + F.bytes ~payload:wanted
+        | F.Finish ->
+          send_stats ();
+          (try Unix.close !fd with Unix.Unix_error _ -> ());
+          finished := true
+        | F.Reject ->
+          failwith
+            (Printf.sprintf "transport_socket: rejected by coordinator: %s"
+               (Bytes.to_string payload))
+        | F.Hello | F.Welcome | F.Up | F.Stats ->
+          failwith
+            (Printf.sprintf "transport_socket: unexpected %s frame"
+               (F.kind_to_string h.F.kind)))
+    done;
+    report ()
+end

@@ -1,0 +1,110 @@
+(** Unix-domain socket backend of {!Transport}: sites as real processes.
+
+    The protocol engine stays in the coordinator process, and with it the
+    {!Network.t} ledger — fault rolls, retry loops and byte charges run
+    exactly as in the simulator, consuming the same randomness in the
+    same order.  What this backend adds is a {e carrier}: a
+    {!Network.tap} that turns every charged message copy into a real
+    {!Wire.Frame} on a per-site socket, and a relay process per site
+    ({!Site.run}, spawned via [wdmon site]) that validates, counts and
+    answers those frames.  A fixed-seed run therefore produces the same
+    estimates, the same ledger and the same trace as the simulator
+    backend — the equivalence test pins this — while every accounted
+    byte (modulo the documented header-size difference) demonstrably
+    crosses a process boundary.
+
+    How each ledger charge is realized:
+
+    - down-direction message to a connected site: one [Deliver] frame
+      written to its socket (payload zeros of the accounted length —
+      the engine is centralized, so frames carry size, not state);
+    - up-direction message: one [Request_up] control frame down (its
+      4-byte payload names the requested length), answered by the relay
+      with one [Up] frame of exactly that payload — so up-direction
+      bytes are genuinely written by the site process;
+    - {!Network.Radio_broadcast} medium charge: one [Deliver] frame per
+      connected site; the first is accounted as the transmission, the
+      rest as {!Transport.wire_stats.radio_copy_bytes};
+    - a charge against a site inside a crash window (socket closed):
+      nothing is written; the ledger bytes are recorded as
+      [skipped_up]/[skipped_down] so the reconciliation stays exact.
+
+    Crash windows are real disconnections: at window entry the
+    coordinator closes the site's socket (the relay sees EOF and starts
+    a reconnect loop); at window exit it re-accepts the relay's
+    connection and counts a reconnect.  At {!Transport.close} every site
+    receives [Finish] and answers with a [Stats] frame of its own
+    counters, giving an independent, receiver-side measurement of the
+    bytes that crossed each socket. *)
+
+type site_report = {
+  frames_received : int;  (** [Deliver] + [Request_up] frames seen *)
+  bytes_received : int;  (** their total on-wire size *)
+  frames_sent : int;  (** [Up] frames written *)
+  bytes_sent : int;  (** their total on-wire size *)
+}
+(** A relay's own frame counters (handshake and teardown frames —
+    [Hello]/[Welcome]/[Finish]/[Stats]/[Reject] — are not counted on
+    either side, so these compare directly against the coordinator's
+    {!Transport.wire_stats}). *)
+
+(** The coordinator half: owns the listening socket, the ledger and the
+    tap.  [set_time] doubles as the crash hook (window entry closes the
+    site's socket, window exit re-accepts it); [close] finishes every
+    site and collects its {!site_report}. *)
+module Coordinator : sig
+  include Transport.S
+
+  val connect :
+    ?cost_model:Network.cost_model ->
+    ?timeout:float ->
+    path:string ->
+    sites:int ->
+    unit ->
+    t
+  (** Bind a Unix-domain socket at [path] (unlinking any stale one),
+      then block until all [sites] relays have completed the
+      [Hello]/[Welcome] handshake.  A [Hello] with a wrong protocol
+      version (or any malformed handshake) is answered with a [Reject]
+      frame naming the {!Wire.Frame.error} and does not count toward
+      [sites].  [timeout] (default 30s) bounds every blocking socket
+      operation so a wedged relay fails the run instead of hanging it.
+      Raises [Failure] on handshake or I/O errors. *)
+
+  val pack : t -> Transport.t
+  (** The packed transport protocol code consumes. *)
+
+  val reports : t -> site_report option array
+  (** Per-site relay reports, filled in by [close] (all [None] before);
+      [None] afterwards marks a site that never answered [Finish]. *)
+end
+
+(** The site half: a dumb carrier relay, run in its own process by
+    [wdmon site].  It holds no protocol state — sketches, thresholds and
+    estimates live in the coordinator — it answers the wire. *)
+module Site : sig
+  val run :
+    ?connect_attempts:int ->
+    ?timeout:float ->
+    path:string ->
+    site:int ->
+    unit ->
+    site_report
+  (** Connect to the coordinator at [path] as site [site] (retrying
+      [connect_attempts] times, default 200 at 50ms — the relay may be
+      started before the coordinator) and serve frames until [Finish],
+      returning the final counters also sent in the [Stats] frame.  On
+      EOF (the coordinator closed the socket: a crash window) the relay
+      re-enters the connect loop and carries its counters across the
+      reconnection.  Raises [Failure] on a [Reject] (e.g. version
+      mismatch, reported with the peer's reason) or malformed frames. *)
+end
+
+val connect :
+  ?cost_model:Network.cost_model ->
+  ?timeout:float ->
+  path:string ->
+  sites:int ->
+  unit ->
+  Transport.t
+(** [Coordinator.connect] followed by {!Coordinator.pack}. *)

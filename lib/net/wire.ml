@@ -9,3 +9,98 @@ let message ~payload = header_bytes + payload
 let items n = n * item_bytes
 
 let item_count_pairs n = n * (item_bytes + count_bytes)
+
+module Frame = struct
+  let magic = "WD"
+  let version = 1
+  let header_bytes = 12
+  let max_payload = 16 * 1024 * 1024
+
+  type kind =
+    | Hello
+    | Welcome
+    | Deliver
+    | Request_up
+    | Up
+    | Finish
+    | Stats
+    | Reject
+
+  let kind_to_string = function
+    | Hello -> "hello"
+    | Welcome -> "welcome"
+    | Deliver -> "deliver"
+    | Request_up -> "request-up"
+    | Up -> "up"
+    | Finish -> "finish"
+    | Stats -> "stats"
+    | Reject -> "reject"
+
+  let kind_to_byte = function
+    | Hello -> 1
+    | Welcome -> 2
+    | Deliver -> 3
+    | Request_up -> 4
+    | Up -> 5
+    | Finish -> 6
+    | Stats -> 7
+    | Reject -> 8
+
+  let kind_of_byte = function
+    | 1 -> Some Hello
+    | 2 -> Some Welcome
+    | 3 -> Some Deliver
+    | 4 -> Some Request_up
+    | 5 -> Some Up
+    | 6 -> Some Finish
+    | 7 -> Some Stats
+    | 8 -> Some Reject
+    | _ -> None
+
+  type header = { kind : kind; site : int; length : int }
+
+  type error =
+    | Bad_magic of string
+    | Version_mismatch of { expected : int; got : int }
+    | Bad_kind of int
+    | Bad_length of int
+    | Truncated of { wanted : int; got : int }
+
+  let error_to_string = function
+    | Bad_magic m -> Printf.sprintf "bad magic %S (want %S)" m magic
+    | Version_mismatch { expected; got } ->
+      Printf.sprintf "protocol version mismatch: peer speaks %d, we speak %d"
+        got expected
+    | Bad_kind k -> Printf.sprintf "unknown frame kind %d" k
+    | Bad_length n -> Printf.sprintf "bad frame length %d" n
+    | Truncated { wanted; got } ->
+      Printf.sprintf "truncated frame: wanted %d bytes, got %d" wanted got
+
+  let bytes ~payload = header_bytes + payload
+
+  let encode_header buf ~pos ~kind ~site ~length =
+    Bytes.set buf pos magic.[0];
+    Bytes.set buf (pos + 1) magic.[1];
+    Bytes.set_uint8 buf (pos + 2) version;
+    Bytes.set_uint8 buf (pos + 3) (kind_to_byte kind);
+    Bytes.set_int32_le buf (pos + 4) (Int32.of_int site);
+    Bytes.set_int32_le buf (pos + 8) (Int32.of_int length)
+
+  let decode_header buf ~pos =
+    let avail = Bytes.length buf - pos in
+    if avail < header_bytes then
+      Error (Truncated { wanted = header_bytes; got = max 0 avail })
+    else if Bytes.get buf pos <> magic.[0] || Bytes.get buf (pos + 1) <> magic.[1]
+    then Error (Bad_magic (Bytes.sub_string buf pos 2))
+    else
+      let v = Bytes.get_uint8 buf (pos + 2) in
+      if v <> version then Error (Version_mismatch { expected = version; got = v })
+      else
+        match kind_of_byte (Bytes.get_uint8 buf (pos + 3)) with
+        | None -> Error (Bad_kind (Bytes.get_uint8 buf (pos + 3)))
+        | Some kind ->
+          let site = Int32.to_int (Bytes.get_int32_le buf (pos + 4)) in
+          let length = Int32.to_int (Bytes.get_int32_le buf (pos + 8)) in
+          if length < 0 || length > max_payload then Error (Bad_length length)
+          else Ok { kind; site; length }
+end

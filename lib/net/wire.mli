@@ -33,3 +33,89 @@ val items : int -> int
 
 val item_count_pairs : int -> int
 (** [item_count_pairs n] is the payload size of [n] (item, count) pairs. *)
+
+(** {1 Frames}
+
+    The on-wire encoding used by the socket transport backend
+    ({!Transport_socket}): every message travels as one length-prefixed,
+    version-tagged frame.  The frame header is deliberately {e larger}
+    than the simulator's accounting {!header_bytes} (real framing needs a
+    magic, a version and an explicit length); the transport reconciles
+    the two with the documented formula
+    [wire bytes = ledger bytes + frames * (Frame.header_bytes -
+    header_bytes)].
+
+    Layout, little-endian:
+    {v
+      offset 0  magic      2 bytes  "WD"
+      offset 2  version    1 byte   {!Frame.version}
+      offset 3  kind       1 byte   {!Frame.kind}
+      offset 4  site       4 bytes  sender / addressee site id
+      offset 8  length     4 bytes  payload length in bytes
+      offset 12 payload    [length] bytes
+    v}
+
+    Decoding rejects wrong magics, unknown kinds, negative or oversized
+    lengths, and — the protocol-version gate — any version byte other
+    than {!Frame.version}, each with a distinct typed {!Frame.error}. *)
+
+module Frame : sig
+  val magic : string
+  (** ["WD"], the two leading bytes of every frame. *)
+
+  val version : int
+  (** Protocol version spoken by this build; bumped on any incompatible
+      frame or handshake change. *)
+
+  val header_bytes : int
+  (** Fixed frame-header size (12 bytes). *)
+
+  val max_payload : int
+  (** Upper bound on a frame payload accepted by {!decode_header}
+      (16 MiB); a defense against garbage lengths, far above any sketch. *)
+
+  (** Frame kinds of the site/coordinator socket protocol. *)
+  type kind =
+    | Hello  (** site -> coordinator: handshake carrying the site id *)
+    | Welcome  (** coordinator -> site: handshake accepted *)
+    | Deliver  (** coordinator -> site: one down-direction protocol message *)
+    | Request_up
+        (** coordinator -> site: control frame asking the site to emit one
+            {!Up} frame; the 4-byte payload is the requested payload size *)
+    | Up  (** site -> coordinator: one up-direction protocol message *)
+    | Finish  (** coordinator -> site: end of run, report {!Stats} *)
+    | Stats
+        (** site -> coordinator: final per-direction byte/frame counters *)
+    | Reject
+        (** either direction: handshake refused (version mismatch); the
+            payload is a UTF-8 reason *)
+
+  val kind_to_string : kind -> string
+
+  type header = { kind : kind; site : int; length : int }
+
+  (** Decode failures, each naming exactly what was wrong.  A
+      [Version_mismatch] is the typed rejection the protocol-version byte
+      exists for. *)
+  type error =
+    | Bad_magic of string  (** the two leading bytes, verbatim *)
+    | Version_mismatch of { expected : int; got : int }
+    | Bad_kind of int
+    | Bad_length of int
+    | Truncated of { wanted : int; got : int }
+        (** fewer bytes available than the header (or its length field)
+            announced *)
+
+  val error_to_string : error -> string
+
+  val bytes : payload:int -> int
+  (** [bytes ~payload] is the full on-wire size of one frame:
+      [header_bytes + payload]. *)
+
+  val encode_header : Bytes.t -> pos:int -> kind:kind -> site:int -> length:int -> unit
+  (** Write a 12-byte header at [pos]; the buffer must have room. *)
+
+  val decode_header : Bytes.t -> pos:int -> (header, error) result
+  (** Parse a 12-byte header at [pos].  Returns [Truncated] if fewer than
+      {!header_bytes} bytes remain. *)
+end

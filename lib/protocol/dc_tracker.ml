@@ -1,4 +1,6 @@
 module Network = Wd_net.Network
+module Transport = Wd_net.Transport
+module Transport_sim = Wd_net.Transport_sim
 module Faults = Wd_net.Faults
 module Wire = Wd_net.Wire
 module Sink = Wd_obs.Sink
@@ -62,7 +64,8 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     item_batching : bool;
     delta_replies : bool;
     pending_cap : int; (* max tracked pending items per site *)
-    net : Network.t;
+    transport : Transport.t; (* the pluggable carrier all traffic rides *)
+    net : Network.t; (* its ledger, cached for accounting reads *)
     site_states : site_state array;
     sk0 : Sketch.t; (* coordinator's merged sketch (unused by EC) *)
     mutable d0 : float; (* coordinator's current estimate *)
@@ -73,20 +76,27 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     mutable sink : Sink.t; (* protocol-decision events; see Wd_obs *)
   }
 
-  let create ?(cost_model = Network.Unicast) ?network ?(item_batching = true)
-      ?(delta_replies = true) ?(max_retries = 5) ?(sink = Sink.null)
-      ~algorithm ~theta ~sites ~family () =
+  let create ?(cost_model = Network.Unicast) ?network ?transport
+      ?(item_batching = true) ?(delta_replies = true) ?(max_retries = 5)
+      ?(sink = Sink.null) ~algorithm ~theta ~sites ~family () =
     if sites < 1 then invalid_arg "Dc_tracker.create: sites must be >= 1";
     if algorithm <> EC && theta <= 0.0 then
       invalid_arg "Dc_tracker.create: theta must be positive";
-    let net =
-      match network with
-      | None -> Network.create ~cost_model ~sites ()
-      | Some net ->
+    let transport =
+      match (transport, network) with
+      | Some _, Some _ ->
+        invalid_arg "Dc_tracker.create: pass ?network or ?transport, not both"
+      | Some tr, None ->
+        if Transport.sites tr <> sites then
+          invalid_arg "Dc_tracker.create: shared transport has wrong site count";
+        tr
+      | None, Some net ->
         if Network.sites net <> sites then
           invalid_arg "Dc_tracker.create: shared network has wrong site count";
-        net
+        Transport_sim.of_network net
+      | None, None -> Transport_sim.create ~cost_model ~sites ()
     in
+    let net = Transport.ledger transport in
     let fresh_site () =
       {
         sk = Sketch.create family;
@@ -111,6 +121,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       item_batching;
       delta_replies;
       pending_cap = max 1 (sketch_bytes / Wire.item_bytes);
+      transport;
       net;
       site_states = Array.init sites (fun _ -> fresh_site ());
       sk0 = Sketch.create family;
@@ -126,6 +137,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   let sites t = t.k
   let theta t = t.theta
   let network t = t.net
+  let transport t = t.transport
   let sends t = t.sends
   let updates t = t.updates
   let set_sink t sink = t.sink <- sink
@@ -202,7 +214,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       else (Sketch.size_bytes st.sk, None)
     in
     let delivery =
-      Network.reliable_up ~max_retries:t.max_retries t.net ~site:i ~payload
+      Transport.reliable_up ~max_retries:t.max_retries t.transport ~site:i ~payload
     in
     emit_sketch_sent t ~site:i ~payload ~items;
     let changed =
@@ -243,7 +255,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     | SC ->
       if t.d0 <> d0_old then begin
         let outcomes =
-          Network.transmit_broadcast t.net ~except:None
+          Transport.transmit_broadcast t.transport ~except:None
             ~payload:Wire.count_bytes
         in
         Array.iteri
@@ -262,7 +274,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       if acked then sender_st.d0_known <- sender_st.d_est;
       if sk0_changed then begin
         let outcomes =
-          Network.transmit_broadcast t.net ~except:(Some i)
+          Transport.transmit_broadcast t.transport ~except:(Some i)
             ~payload:(Sketch.size_bytes t.sk0)
         in
         Array.iteri
@@ -290,7 +302,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         else Sketch.size_bytes t.sk0
       in
       let reply =
-        Network.reliable_down ~max_retries:t.max_retries t.net ~site:i ~payload
+        Transport.reliable_down ~max_retries:t.max_retries t.transport ~site:i ~payload
       in
       emit t (Event.Resync { site = i; bytes = Wire.message ~payload });
       if reply.Network.received then begin
@@ -315,7 +327,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     let st = t.site_states.(site) in
     if not (Hashtbl.mem st.seen v) then begin
       let delivery =
-        Network.reliable_up ~max_retries:t.max_retries t.net ~site
+        Transport.reliable_up ~max_retries:t.max_retries t.transport ~site
           ~payload:Wire.item_bytes
       in
       (* Remember the item only when the coordinator confirmed it; an
@@ -344,14 +356,14 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     | NS | EC -> () (* no downstream state to replay; the site restarts cold *)
     | SC ->
       let d =
-        Network.reliable_down ~max_retries:t.max_retries t.net ~site:i
+        Transport.reliable_down ~max_retries:t.max_retries t.transport ~site:i
           ~payload:Wire.count_bytes
       in
       if d.Network.received then st.d0_known <- t.d0
     | SS | LS ->
       let payload = Sketch.size_bytes t.sk0 in
       let d =
-        Network.reliable_down ~max_retries:t.max_retries t.net ~site:i ~payload
+        Transport.reliable_down ~max_retries:t.max_retries t.transport ~site:i ~payload
       in
       if d.Network.received then begin
         Sketch.merge_into ~dst:st.sk t.sk0;
@@ -366,7 +378,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   let scan_crashes t =
     Array.iteri
       (fun i st ->
-        let now_down = Network.site_down t.net ~site:i in
+        let now_down = Transport.site_down t.transport ~site:i in
         if now_down && not st.down then begin
           st.down <- true;
           st.down_since <- t.updates;
@@ -420,7 +432,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
      update for update. *)
   let[@inline] observe_one t ~crashes ~site v =
     t.updates <- t.updates + 1;
-    Network.set_time t.net t.updates;
+    Transport.set_time t.transport t.updates;
     if crashes then scan_crashes t;
     let st = t.site_states.(site) in
     if st.down then
@@ -473,6 +485,28 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
              (fun acc st -> acc + Sketch.size_bytes st.coord_known)
              0 t.site_states
          else 0)
+
+  (* The shared-surface view drivers dispatch over (Tracker_intf). *)
+  module Generic = struct
+    type nonrec t = t
+
+    let kind = "dc"
+    let algorithm_name t = algorithm_to_string t.algorithm
+    let sites = sites
+    let observe = observe
+    let observe_batch = observe_batch
+    let estimate = estimate
+    let site_send_threshold t ~site ~item:_ = site_send_threshold t site
+    let updates = updates
+    let sends = sends
+    let lost_updates = lost_updates
+    let site_down_for = site_down_for
+    let set_sink = set_sink
+    let network = network
+    let transport = transport
+  end
+
+  let generic t = Tracker_intf.Tracker ((module Generic), t)
 end
 
 module Fm = Make (Wd_sketch.Fm)

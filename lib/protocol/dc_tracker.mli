@@ -56,6 +56,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
   val create :
     ?cost_model:Wd_net.Network.cost_model ->
     ?network:Wd_net.Network.t ->
+    ?transport:Wd_net.Transport.t ->
     ?item_batching:bool ->
     ?delta_replies:bool ->
     ?max_retries:int ->
@@ -75,12 +76,16 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
       the sender already holds — the Section 4.2 "encode the difference
       between subsequent sketches" optimization, applicable to LS because
       the reply's recipient state is known exactly; turn it off to ship
-      full sketches as the paper's plain description does.  [network]
-      supplies a shared byte
-      ledger (with a matching site count) so that many tracker instances —
-      e.g. the per-cell trackers of the distinct heavy-hitter structure —
-      can account their traffic jointly; by default each tracker gets its
-      own ledger with the given [cost_model].  [sink] receives
+      full sketches as the paper's plain description does.  [transport]
+      supplies the communication backend all traffic rides
+      ({!Wd_net.Transport}); by default the tracker builds an in-process
+      simulator ({!Wd_net.Transport_sim}) with the given [cost_model].
+      [network] instead supplies a shared byte ledger (with a matching
+      site count) so that many tracker instances — e.g. the per-cell
+      trackers of the distinct heavy-hitter structure — can account
+      their traffic jointly; it is wrapped in a simulator backend, and
+      passing both [network] and [transport] is an error.  [sink]
+      receives
       protocol-decision trace events (threshold crossings, sketch sends,
       estimate updates, LS resyncs); the default null sink is free on the
       update path.  [max_retries] (default 5) bounds retransmissions per
@@ -125,7 +130,11 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
   val theta : t -> float
 
   val network : t -> Wd_net.Network.t
-  (** The byte ledger: read it to measure communication cost. *)
+  (** The byte ledger: read it to measure communication cost.  Always
+      [Wd_net.Transport.ledger (transport t)]. *)
+
+  val transport : t -> Wd_net.Transport.t
+  (** The communication backend this tracker sends through. *)
 
   val site_estimate : t -> int -> float
   (** A site's current local-sketch estimate [D_i] (for tests and
@@ -137,6 +146,14 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
       and introspection.  Raises [Invalid_argument] for {!EC}, naming the
       algorithm: the exact protocol forwards items unconditionally and
       has no send threshold. *)
+
+  (** This tracker seen through the shared {!Tracker_intf.TRACKER}
+      surface (thresholds are per-site, so the generic view's [item] is
+      ignored). *)
+  module Generic : Tracker_intf.TRACKER with type t = t
+
+  val generic : t -> Tracker_intf.packed
+  (** Pack for generic drivers ({!Tracker_intf}). *)
 
   val coordinator_sketch : t -> Sketch.t option
   (** The coordinator's merged sketch ([None] for {!EC}). *)

@@ -1,4 +1,6 @@
 module Network = Wd_net.Network
+module Transport = Wd_net.Transport
+module Transport_sim = Wd_net.Transport_sim
 module Faults = Wd_net.Faults
 module Wire = Wd_net.Wire
 module Sampler = Wd_sketch.Distinct_sampler
@@ -40,7 +42,8 @@ type t = {
   k : int;
   theta : float;
   family : Sampler.family;
-  net : Network.t;
+  transport : Transport.t; (* the pluggable carrier all traffic rides *)
+  net : Network.t; (* its ledger, cached for accounting reads *)
   site_states : site_state array;
   coord : Sampler.t; (* the simulated global sampler, with approx counts *)
   applied : (int, int) Hashtbl.t array;
@@ -57,19 +60,27 @@ type t = {
   mutable sink : Sink.t; (* protocol-decision events; see Wd_obs *)
 }
 
-let create ?(cost_model = Network.Unicast) ?network ?(max_retries = 5)
-    ?(sink = Sink.null) ~algorithm ~theta ~sites ~family () =
+let create ?(cost_model = Network.Unicast) ?network ?transport
+    ?(max_retries = 5) ?(sink = Sink.null) ~algorithm ~theta ~sites ~family ()
+    =
   if sites < 1 then invalid_arg "Ds_tracker.create: sites must be >= 1";
   if algorithm <> EDS && theta <= 0.0 then
     invalid_arg "Ds_tracker.create: theta must be positive";
-  let net =
-    match network with
-    | None -> Network.create ~cost_model ~sites ()
-    | Some net ->
+  let transport =
+    match (transport, network) with
+    | Some _, Some _ ->
+      invalid_arg "Ds_tracker.create: pass ?network or ?transport, not both"
+    | Some tr, None ->
+      if Transport.sites tr <> sites then
+        invalid_arg "Ds_tracker.create: shared transport has wrong site count";
+      tr
+    | None, Some net ->
       if Network.sites net <> sites then
         invalid_arg "Ds_tracker.create: shared network has wrong site count";
-      net
+      Transport_sim.of_network net
+    | None, None -> Transport_sim.create ~cost_model ~sites ()
   in
+  let net = Transport.ledger transport in
   let fresh_site () =
     {
       counts = Hashtbl.create 64;
@@ -86,6 +97,7 @@ let create ?(cost_model = Network.Unicast) ?network ?(max_retries = 5)
     k = sites;
     theta;
     family;
+    transport;
     net;
     site_states = Array.init sites (fun _ -> fresh_site ());
     coord = Sampler.create family;
@@ -101,6 +113,7 @@ let sites t = t.k
 let theta t = t.theta
 let threshold t = Sampler.threshold t.family
 let network t = t.net
+let transport t = t.transport
 let sends t = t.sends
 let updates t = t.updates
 let set_sink t sink = t.sink <- sink
@@ -149,7 +162,7 @@ let propagate_level_change t old_level =
   if l > old_level then begin
     emit t (Event.Level_advance { previous = old_level; level = l });
     let outcomes =
-      Network.transmit_broadcast t.net ~except:None ~payload:Wire.level_bytes
+      Transport.transmit_broadcast t.transport ~except:None ~payload:Wire.level_bytes
     in
     Array.iteri
       (fun j st ->
@@ -196,7 +209,7 @@ let coordinator_react t ~sender:i ~acked v =
     let c0 = Sampler.count t.coord v in
     if c0 > 0 then begin
       let outcomes =
-        Network.transmit_broadcast t.net ~except:(Some i)
+        Transport.transmit_broadcast t.transport ~except:(Some i)
           ~payload:(Wire.item_bytes + Wire.count_bytes)
       in
       Array.iteri
@@ -217,7 +230,7 @@ let coordinator_react t ~sender:i ~acked v =
     if c0 > 0 then begin
       let payload = Wire.item_bytes + Wire.count_bytes in
       let reply =
-        Network.reliable_down ~max_retries:t.max_retries t.net ~site:i ~payload
+        Transport.reliable_down ~max_retries:t.max_retries t.transport ~site:i ~payload
       in
       emit t (Event.Resync { site = i; bytes = Wire.message ~payload });
       if reply.Network.received then
@@ -235,7 +248,7 @@ let repair_site_level t ~site st =
   let l = Sampler.level t.coord in
   if st.level < l then begin
     let d =
-      Network.reliable_down ~max_retries:t.max_retries t.net ~site
+      Transport.reliable_down ~max_retries:t.max_retries t.transport ~site
         ~payload:Wire.level_bytes
     in
     emit t
@@ -269,7 +282,7 @@ let observe_approx t ~site v =
          receiving it twice is harmless: the coordinator derives the
          delta against what it has already applied. *)
       let delivery =
-        Network.reliable_up ~max_retries:t.max_retries t.net ~site
+        Transport.reliable_up ~max_retries:t.max_retries t.transport ~site
           ~payload:(Wire.item_bytes + Wire.count_bytes)
       in
       t.sends <- t.sends + 1;
@@ -298,7 +311,7 @@ let observe_approx t ~site v =
    sequence-number dedup a real deployment would perform. *)
 let observe_exact t ~site v =
   let d =
-    Network.reliable_up ~max_retries:t.max_retries t.net ~site
+    Transport.reliable_up ~max_retries:t.max_retries t.transport ~site
       ~payload:Wire.item_bytes
   in
   t.sends <- t.sends + 1;
@@ -323,7 +336,7 @@ let resync_restarted t i st =
       Wire.level_bytes + Wire.item_count_pairs (Hashtbl.length tbl)
     in
     let d =
-      Network.reliable_down ~max_retries:t.max_retries t.net ~site:i ~payload
+      Transport.reliable_down ~max_retries:t.max_retries t.transport ~site:i ~payload
     in
     if d.Network.received then begin
       st.level <- Sampler.level t.coord;
@@ -339,7 +352,7 @@ let resync_restarted t i st =
 let scan_crashes t =
   Array.iteri
     (fun i st ->
-      let now_down = Network.site_down t.net ~site:i in
+      let now_down = Transport.site_down t.transport ~site:i in
       if now_down && not st.down then begin
         st.down <- true;
         st.down_since <- t.updates;
@@ -362,7 +375,7 @@ let scan_crashes t =
    for update. *)
 let[@inline] observe_one t ~crashes ~site v =
   t.updates <- t.updates + 1;
-  Network.set_time t.net t.updates;
+  Transport.set_time t.transport t.updates;
   if crashes then scan_crashes t;
   let st = t.site_states.(site) in
   if st.down then st.lost <- st.lost + 1
@@ -401,3 +414,25 @@ let site_space_bytes t i =
     + Hashtbl.length st.known_global)
 
 let coordinator_space_bytes t = Sampler.size_bytes t.coord
+
+(* The shared-surface view drivers dispatch over (Tracker_intf). *)
+module Generic = struct
+  type nonrec t = t
+
+  let kind = "ds"
+  let algorithm_name t = algorithm_to_string t.algorithm
+  let sites = sites
+  let observe = observe
+  let observe_batch = observe_batch
+  let estimate = estimate_distinct
+  let site_send_threshold t ~site ~item = site_send_threshold t site item
+  let updates = updates
+  let sends = sends
+  let lost_updates = lost_updates
+  let site_down_for = site_down_for
+  let set_sink = set_sink
+  let network = network
+  let transport = transport
+end
+
+let generic t = Tracker_intf.Tracker ((module Generic), t)

@@ -37,6 +37,7 @@ type t
 val create :
   ?cost_model:Wd_net.Network.cost_model ->
   ?network:Wd_net.Network.t ->
+  ?transport:Wd_net.Transport.t ->
   ?max_retries:int ->
   ?sink:Wd_obs.Sink.t ->
   algorithm:algorithm ->
@@ -50,9 +51,12 @@ val create :
     [theta] is the count-lag budget (ignored by [EDS]).  [sink] receives
     protocol-decision trace events (threshold crossings, count reports,
     level advances, LCS resyncs); the default null sink is free on the
-    update path.  [network] supplies a shared byte ledger (with a matching
-    site count); by default the tracker gets its own with the given
-    [cost_model].  [max_retries] (default 5) bounds retransmissions per
+    update path.  [transport] supplies the communication backend all
+    traffic rides ({!Wd_net.Transport}); by default the tracker builds an
+    in-process simulator ({!Wd_net.Transport_sim}) with the given
+    [cost_model].  [network] instead supplies a shared byte ledger (with
+    a matching site count), wrapped in a simulator backend; passing both
+    is an error.  [max_retries] (default 5) bounds retransmissions per
     reliable exchange when the network carries an enabled
     {!Wd_net.Faults.plan}; count reports ship the {e absolute} local count
     and the coordinator applies the difference against what it has already
@@ -112,7 +116,19 @@ val site_send_threshold : t -> int -> int -> float
     [Invalid_argument] for {!EDS}, naming the algorithm: the exact
     protocol forwards every update and has no send threshold. *)
 
+(** This tracker seen through the shared {!Tracker_intf.TRACKER} surface
+    (the generic [estimate] is {!estimate_distinct}). *)
+module Generic : Tracker_intf.TRACKER with type t = t
+
+val generic : t -> Tracker_intf.packed
+(** Pack for generic drivers ({!Tracker_intf}). *)
+
 val network : t -> Wd_net.Network.t
+(** The byte ledger: always [Wd_net.Transport.ledger (transport t)]. *)
+
+val transport : t -> Wd_net.Transport.t
+(** The communication backend this tracker sends through. *)
+
 val sends : t -> int
 (** Site-to-coordinator messages so far. *)
 

@@ -1,0 +1,85 @@
+(** The shared [TRACKER] signature both continuous-monitoring protocols
+    implement.
+
+    {!Dc_tracker} (distinct counts, Section 4) and {!Ds_tracker}
+    (distinct samples, Section 5) expose the same operational surface:
+    feed updates in, read a continuously-valid estimate out, introspect
+    the send threshold that decides when a site speaks.  This module
+    names that surface once so drivers — Monitor's health scan,
+    Simulation's feed loop — dispatch over a [packed] tracker instead of
+    duplicating per-variant glue.
+
+    Construction stays per-tracker (the two [create]s legitimately
+    differ: sketch families vs. sampler families, item batching vs.
+    delta dedup), so the signature covers a {e running} tracker; each
+    tracker module provides [generic : t -> packed] to enter it. *)
+
+module type TRACKER = sig
+  type t
+
+  val kind : string
+  (** Which protocol family: ["dc"] or ["ds"]. *)
+
+  val algorithm_name : t -> string
+  (** The paper's name for the running algorithm (["LS"], ["GCS"], …). *)
+
+  val sites : t -> int
+
+  val observe : t -> site:int -> int -> unit
+  (** Process one arrival at a remote site. *)
+
+  val observe_batch :
+    t -> sites:int array -> items:int array -> pos:int -> len:int -> unit
+  (** Process a slice of arrivals; update-for-update identical to a loop
+      of {!observe}. *)
+
+  val estimate : t -> float
+  (** The coordinator's continuously-valid answer: the distinct-count
+      estimate for ["dc"], the sampler's distinct estimate for ["ds"]. *)
+
+  val site_send_threshold : t -> site:int -> item:int -> float
+  (** The threshold governing when [site] next speaks, under current
+      shared state.  ["dc"] thresholds are per-site ([item] is ignored);
+      ["ds"] thresholds are per-(site, item) counts.  Raises
+      [Invalid_argument] for the exact algorithms (EC/EDS), which have
+      no threshold. *)
+
+  val updates : t -> int
+  val sends : t -> int
+
+  val lost_updates : t -> int
+  (** Arrivals discarded because their site was inside a crash window. *)
+
+  val site_down_for : t -> int -> int
+  (** Updates since the site's crash-window entry ([0] when up). *)
+
+  val set_sink : t -> Wd_obs.Sink.t -> unit
+  val network : t -> Wd_net.Network.t
+  val transport : t -> Wd_net.Transport.t
+end
+
+type packed = Tracker : (module TRACKER with type t = 'a) * 'a -> packed
+(** A running tracker with its protocol hidden; drivers hold this. *)
+
+(** {1 Dispatch} *)
+
+let kind (Tracker ((module T), _)) = T.kind
+let algorithm_name (Tracker ((module T), tr)) = T.algorithm_name tr
+let sites (Tracker ((module T), tr)) = T.sites tr
+let observe (Tracker ((module T), tr)) ~site v = T.observe tr ~site v
+
+let observe_batch (Tracker ((module T), tr)) ~sites ~items ~pos ~len =
+  T.observe_batch tr ~sites ~items ~pos ~len
+
+let estimate (Tracker ((module T), tr)) = T.estimate tr
+
+let site_send_threshold (Tracker ((module T), tr)) ~site ~item =
+  T.site_send_threshold tr ~site ~item
+
+let updates (Tracker ((module T), tr)) = T.updates tr
+let sends (Tracker ((module T), tr)) = T.sends tr
+let lost_updates (Tracker ((module T), tr)) = T.lost_updates tr
+let site_down_for (Tracker ((module T), tr)) site = T.site_down_for tr site
+let set_sink (Tracker ((module T), tr)) sink = T.set_sink tr sink
+let network (Tracker ((module T), tr)) = T.network tr
+let transport (Tracker ((module T), tr)) = T.transport tr

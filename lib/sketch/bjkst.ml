@@ -148,3 +148,17 @@ let of_bytes fam buf =
     insert_hash t (Bytes.get_int64_le buf (4 + (8 * i))) |> ignore
   done;
   t
+
+(* The uniform (alpha, delta, seed) constructor pair: the paper's
+   parameter names over the (accuracy, confidence) sizing above. *)
+
+let family_of_params ~alpha ~delta ~seed =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Bjkst.family_of_params: delta must be in (0,1)";
+  family
+    ~rng:(Wd_hashing.Rng.create seed)
+    ~accuracy:alpha
+    ~confidence:(1.0 -. delta)
+
+let of_params ~alpha ~delta ~seed =
+  create (family_of_params ~alpha ~delta ~seed)

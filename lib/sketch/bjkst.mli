@@ -23,9 +23,18 @@ val family :
 val family_custom : rng:Wd_hashing.Rng.t -> k:int -> family
 (** Keep exactly the [k] smallest hash values.  Requires [k >= 1]. *)
 
+val family_of_params : alpha:float -> delta:float -> seed:int -> family
+(** {!family} under the paper's parameter names: relative error [alpha],
+    failure probability [delta = 1 - confidence], hashes drawn from a
+    fresh generator seeded with [seed]. *)
+
+
 val k : family -> int
 
 val create : family -> t
+val of_params : alpha:float -> delta:float -> seed:int -> t
+(** [create (family_of_params ~alpha ~delta ~seed)]. *)
+
 val copy : t -> t
 
 (** [add t v] inserts the item; [true] iff the retained value set changed. *)

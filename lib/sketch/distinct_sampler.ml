@@ -154,3 +154,15 @@ let of_bytes fam buf =
     Hashtbl.replace t.table v c
   done;
   t
+
+(* The uniform (alpha, delta, seed) constructor pair over the
+   error-driven threshold sizing. *)
+
+let family_of_params ~alpha ~delta ~seed =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Distinct_sampler.family_of_params: delta must be in (0,1)";
+  family_for_error ~rng:(Rng.create seed) ~accuracy:alpha
+    ~confidence:(1.0 -. delta)
+
+let of_params ~alpha ~delta ~seed =
+  create (family_of_params ~alpha ~delta ~seed)

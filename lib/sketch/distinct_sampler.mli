@@ -25,14 +25,26 @@ val family : rng:Wd_hashing.Rng.t -> threshold:int -> family
 (** [family ~rng ~threshold] draws the level hash.  Requires
     [threshold >= 1]. *)
 
+val family_of_params : alpha:float -> delta:float -> seed:int -> family
+(** Chooses [threshold = ceil ((1/alpha)^2 * ln (1/delta))] per the
+    paper's [T = Omega(1/alpha^2 log 1/delta)], with the level hash
+    drawn from a fresh generator seeded with [seed]. *)
+
 val family_for_error :
   rng:Wd_hashing.Rng.t -> accuracy:float -> confidence:float -> family
-(** Chooses [threshold = ceil ((1/accuracy)^2 * ln (1/(1-confidence)))]
-    per the paper's [T = Omega(1/alpha^2 log 1/delta)]. *)
+[@@ocaml.deprecated
+  "use family_of_params ~alpha ~delta ~seed (delta = 1 - confidence)"]
+(** @deprecated Old name of the error-driven sizing; equal to
+    {!family_of_params} with [alpha = accuracy],
+    [delta = 1 - confidence] and an explicit generator. *)
 
 val threshold : family -> int
 
 val create : family -> t
+
+val of_params : alpha:float -> delta:float -> seed:int -> t
+(** [create (family_of_params ~alpha ~delta ~seed)]. *)
+
 val copy : t -> t
 
 val level : t -> int

@@ -190,3 +190,17 @@ let of_bytes fam buf =
       Array.init fam.m (fun j ->
           Fm_bitmap.of_bits (Bytes.get_int64_le buf (8 * j)));
   }
+
+(* The uniform (alpha, delta, seed) constructor pair: the paper's
+   parameter names over the (accuracy, confidence) sizing above. *)
+
+let family_of_params ~alpha ~delta ~seed =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Fm.family_of_params: delta must be in (0,1)";
+  family
+    ~rng:(Wd_hashing.Rng.create seed)
+    ~accuracy:alpha
+    ~confidence:(1.0 -. delta)
+
+let of_params ~alpha ~delta ~seed =
+  create (family_of_params ~alpha ~delta ~seed)

@@ -34,12 +34,21 @@ val family_custom :
 (** [family_custom ~rng ~variant ~bitmaps] uses exactly [bitmaps] bitmaps
     with the given update discipline.  Requires [bitmaps >= 1]. *)
 
+val family_of_params : alpha:float -> delta:float -> seed:int -> family
+(** {!family} under the paper's parameter names: relative error [alpha],
+    failure probability [delta = 1 - confidence], hashes drawn from a
+    fresh generator seeded with [seed]. *)
+
 val bitmaps : family -> int
 (** Number of bitmaps [m] in the family. *)
 
 val variant : family -> variant
 
 val create : family -> t
+
+val of_params : alpha:float -> delta:float -> seed:int -> t
+(** [create (family_of_params ~alpha ~delta ~seed)]. *)
+
 val copy : t -> t
 
 (** [add t v] inserts the item; [true] iff some bitmap bit was newly set. *)

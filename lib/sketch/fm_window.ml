@@ -88,3 +88,17 @@ let delta_bytes ~from target =
     (fun idx time -> if time > from.cells.(idx) then incr missing)
     target.cells;
   8 * !missing
+
+(* The uniform (alpha, delta, seed) constructor pair: the paper's
+   parameter names over the (accuracy, confidence) sizing above. *)
+
+let family_of_params ~alpha ~delta ~seed =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Fm_window.family_of_params: delta must be in (0,1)";
+  family
+    ~rng:(Wd_hashing.Rng.create seed)
+    ~accuracy:alpha
+    ~confidence:(1.0 -. delta)
+
+let of_params ~alpha ~delta ~seed =
+  create (family_of_params ~alpha ~delta ~seed)

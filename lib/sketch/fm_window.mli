@@ -29,9 +29,18 @@ val family : rng:Wd_hashing.Rng.t -> accuracy:float -> confidence:float ->
   family
 (** Same sizing rule as {!Fm.family}. *)
 
+val family_of_params : alpha:float -> delta:float -> seed:int -> family
+(** {!family} under the paper's parameter names: relative error [alpha],
+    failure probability [delta = 1 - confidence], hashes drawn from a
+    fresh generator seeded with [seed]. *)
+
+
 val bitmaps : family -> int
 
 val create : family -> t
+val of_params : alpha:float -> delta:float -> seed:int -> t
+(** [create (family_of_params ~alpha ~delta ~seed)]. *)
+
 val copy : t -> t
 
 val add : t -> time:int -> int -> bool

@@ -142,3 +142,17 @@ let of_bytes fam buf =
         invalid_arg "Hyperloglog.of_bytes: register value out of range")
     buf;
   { fam; regs = Bytes.copy buf }
+
+(* The uniform (alpha, delta, seed) constructor pair: the paper's
+   parameter names over the (accuracy, confidence) sizing above. *)
+
+let family_of_params ~alpha ~delta ~seed =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Hyperloglog.family_of_params: delta must be in (0,1)";
+  family
+    ~rng:(Wd_hashing.Rng.create seed)
+    ~accuracy:alpha
+    ~confidence:(1.0 -. delta)
+
+let of_params ~alpha ~delta ~seed =
+  create (family_of_params ~alpha ~delta ~seed)

@@ -29,8 +29,18 @@ module type DISTINCT_SKETCH = sig
       factor of the true distinct count with probability at least
       [confidence].  Requires [0 < accuracy < 1] and [0 < confidence < 1]. *)
 
+  val family_of_params : alpha:float -> delta:float -> seed:int -> family
+  (** {!family} under the paper's parameter names: relative error
+      [alpha], failure probability [delta = 1 - confidence], hash
+      functions drawn from a fresh generator seeded with [seed].
+      Requires [0 < alpha < 1] and [0 < delta < 1]. *)
+
   val create : family -> t
   (** [create fam] is an empty summary of the family [fam]. *)
+
+  val of_params : alpha:float -> delta:float -> seed:int -> t
+  (** [create (family_of_params ~alpha ~delta ~seed)]: the uniform
+      one-call constructor every sketch module provides. *)
 
   val copy : t -> t
   (** Deep copy; subsequent mutations of either side are independent. *)

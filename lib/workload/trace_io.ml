@@ -1,3 +1,26 @@
+type error =
+  | Bad_magic of { expected : string; got : string }
+  | Truncated of { wanted : int; got : int }
+  | Bad_count of int
+  | Malformed_line of { line : int; text : string }
+
+exception Error of string * error
+
+let error_to_string = function
+  | Bad_magic { expected; got } ->
+    Printf.sprintf "bad magic: expected %S, got %S" expected got
+  | Truncated { wanted; got } ->
+    Printf.sprintf "truncated: wanted %d bytes, got %d" wanted got
+  | Bad_count n -> Printf.sprintf "bad record count %d" n
+  | Malformed_line { line; text } ->
+    Printf.sprintf "line %d: malformed record %S" line text
+
+let () =
+  Printexc.register_printer (function
+    | Error (path, e) ->
+      Some (Printf.sprintf "Trace_io.Error (%s: %s)" path (error_to_string e))
+    | _ -> None)
+
 let with_out path f =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
@@ -21,6 +44,9 @@ let load_csv path =
            incr lineno;
            let line = String.trim (input_line ic) in
            if line <> "" && line <> "site,item" then
+             let malformed () =
+               raise (Error (path, Malformed_line { line = !lineno; text = line }))
+             in
              match String.split_on_char ',' line with
              | [ s; v ] -> (
                match (int_of_string_opt (String.trim s),
@@ -28,13 +54,8 @@ let load_csv path =
                | Some site, Some item when site >= 0 ->
                  sites := site :: !sites;
                  items := item :: !items
-               | _ ->
-                 failwith
-                   (Printf.sprintf "%s: line %d: malformed record %S" path
-                      !lineno line))
-             | _ ->
-               failwith
-                 (Printf.sprintf "%s: line %d: expected 2 fields" path !lineno)
+               | _ -> malformed ())
+             | _ -> malformed ()
          done
        with End_of_file -> ());
       Stream.make
@@ -58,24 +79,34 @@ let save_binary path stream =
           output_bytes oc rec_buf)
         stream)
 
+(* Read exactly [wanted] bytes or raise the typed truncation error with
+   how far the file actually reached. *)
+let read_exact path ic buf wanted =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < wanted do
+    let r = input ic buf !got (wanted - !got) in
+    if r = 0 then eof := true else got := !got + r
+  done;
+  if !got < wanted then raise (Error (path, Truncated { wanted; got = !got }))
+
 let load_binary path =
   with_in path (fun ic ->
-      let header = Bytes.create (String.length magic) in
-      (try really_input ic header 0 (String.length magic)
-       with End_of_file -> failwith (path ^ ": truncated header"));
+      let mlen = String.length magic in
+      let header = Bytes.create mlen in
+      read_exact path ic header mlen;
       if Bytes.to_string header <> magic then
-        failwith (path ^ ": not a WDTRACE1 file");
+        raise
+          (Error
+             (path, Bad_magic { expected = magic; got = Bytes.to_string header }));
       let buf = Bytes.create 8 in
-      (try really_input ic buf 0 8
-       with End_of_file -> failwith (path ^ ": truncated length"));
+      read_exact path ic buf 8;
       let n = Int64.to_int (Bytes.get_int64_le buf 0) in
-      if n < 0 then failwith (path ^ ": negative record count");
+      if n < 0 then raise (Error (path, Bad_count n));
       let sites = Array.make n 0 and items = Array.make n 0 in
       let rec_buf = Bytes.create 16 in
       for j = 0 to n - 1 do
-        (try really_input ic rec_buf 0 16
-         with End_of_file ->
-           failwith (Printf.sprintf "%s: truncated at record %d" path j));
+        read_exact path ic rec_buf 16;
         sites.(j) <- Int64.to_int (Bytes.get_int64_le rec_buf 0);
         items.(j) <- Int64.to_int (Bytes.get_int64_le rec_buf 8)
       done;

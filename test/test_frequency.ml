@@ -82,7 +82,7 @@ let test_cm_merge () =
 
 let test_cm_sizing () =
   let cm =
-    Cm.create_for_error ~rng:(Rng.create 187) ~epsilon:0.01 ~confidence:0.99
+    Cm.of_params ~alpha:0.01 ~delta:0.01 ~seed:187
   in
   Alcotest.(check bool) "cols >= e/eps" true (Cm.cols cm >= 271);
   Alcotest.(check bool) "rows >= ln(1/delta)" true (Cm.rows cm >= 5)

@@ -114,10 +114,9 @@ let test_copy_independent () =
   feed b 10 20;
   Alcotest.(check bool) "sizes differ" true (Sampler.size a < Sampler.size b)
 
-let test_family_for_error () =
+let test_family_of_params () =
   let fam =
-    Sampler.family_for_error ~rng:(Rng.create 72) ~accuracy:0.1
-      ~confidence:0.9
+    Sampler.family_of_params ~alpha:0.1 ~delta:0.1 ~seed:72
   in
   Alcotest.(check bool)
     (Printf.sprintf "T=%d >= 1/eps^2" (Sampler.threshold fam))
@@ -278,7 +277,7 @@ let () =
           Alcotest.test_case "merge = centralized" `Quick
             test_merge_equals_centralized;
           Alcotest.test_case "copy independent" `Quick test_copy_independent;
-          Alcotest.test_case "family_for_error" `Quick test_family_for_error;
+          Alcotest.test_case "family_of_params" `Quick test_family_of_params;
           Alcotest.test_case "size bytes" `Quick test_size_bytes;
           Alcotest.test_case "multiplicity-unbiased" `Quick
             test_uniformity_of_sample;

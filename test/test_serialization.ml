@@ -163,14 +163,22 @@ let expect_load_failure name load path =
     (fun () ->
       match load path with
       | (_ : Stream.t) -> Alcotest.failf "%s should fail to load" name
-      | exception Failure _ -> ())
+      | exception Trace_io.Error _ -> ())
 
 let test_binary_bad_magic () =
   let path = tmp_file ".bin" in
   let oc = open_out_bin path in
   output_string oc "NOTTRACE00000000";
   close_out oc;
-  expect_load_failure "bad magic" Trace_io.load_binary path
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Trace_io.load_binary path with
+      | (_ : Stream.t) -> Alcotest.fail "bad magic should fail to load"
+      | exception Trace_io.Error (_, Trace_io.Bad_magic { got; _ }) ->
+        Alcotest.(check string) "found magic reported" "NOTTRACE" got
+      | exception Trace_io.Error (_, e) ->
+        Alcotest.failf "expected Bad_magic, got %s" (Trace_io.error_to_string e))
 
 let test_binary_truncated () =
   let s = Stream.make ~sites:[| 0; 1; 0 |] ~items:[| 7; 8; 9 |] in

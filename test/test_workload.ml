@@ -362,9 +362,10 @@ let test_trace_csv_rejects () =
       close_out oc;
       match Tio.load_csv path with
       | _ -> Alcotest.fail "malformed CSV accepted"
-      | exception Failure msg ->
-        Alcotest.(check bool) "line number in message" true
-          (String.length msg > 0))
+      | exception Tio.Error (_, Tio.Malformed_line { line; _ }) ->
+        Alcotest.(check int) "offending line number" 3 line
+      | exception Tio.Error (_, e) ->
+        Alcotest.failf "expected Malformed_line, got %s" (Tio.error_to_string e))
 
 let test_trace_binary_rejects () =
   with_temp (fun path ->
@@ -373,7 +374,7 @@ let test_trace_binary_rejects () =
       close_out oc;
       match Tio.load_binary path with
       | _ -> Alcotest.fail "bad magic accepted"
-      | exception Failure _ -> ())
+      | exception Tio.Error (_, (Tio.Bad_magic _ | Tio.Truncated _)) -> ())
 
 let () =
   Alcotest.run "workload"
