@@ -8,6 +8,7 @@
      hh          - one distinct heavy-hitters tracking run
      coord       - run a tracking protocol over the Unix-socket transport
      site        - one site relay process for the socket transport
+     eval        - run the acceptance grid and diff against a baseline
      list        - list available experiments and workloads *)
 
 open Cmdliner
@@ -26,6 +27,9 @@ module Sink = Wd_obs.Sink
 module Metrics = Wd_obs.Metrics
 module Trace = Wd_obs.Trace
 module Summary = Wd_obs.Summary
+module Espec = Wd_eval.Spec
+module Runner = Wd_eval.Runner
+module Artifact = Wd_eval.Artifact
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments *)
@@ -621,6 +625,182 @@ let coord_cmd =
         $ epsilon_arg $ sites_arg $ events_arg $ faults_arg $ fault_seed_arg))
 
 (* ------------------------------------------------------------------ *)
+(* eval *)
+
+let eval_cmd =
+  let grid_arg =
+    let small =
+      ( `Small,
+        Arg.info [ "small" ]
+          ~doc:"Run the committed 19-cell acceptance grid (the default)." )
+    in
+    let full =
+      ( `Full,
+        Arg.info [ "full" ]
+          ~doc:
+            "Run the full matrix: every DC/DS algorithm, the two-phase and \
+             HTTP workloads, fault cells, HH and window trackers." )
+    in
+    Arg.(value & vflag `Small [ small; full ])
+  in
+  let reps_arg =
+    let doc =
+      "Seeded repetitions per cell; the binomial acceptance test needs at \
+       least 5."
+    in
+    Arg.(value & opt int 5 & info [ "reps"; "R" ] ~docv:"R" ~doc)
+  in
+  let significance_arg =
+    let doc =
+      "Rejection level of the binomial acceptance test (a cell fails only \
+       when its in-band count is this implausible under the configured \
+       confidence)."
+    in
+    Arg.(
+      value & opt float 0.005 & info [ "significance" ] ~docv:"P" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the wd-eval/1 JSON artifact to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let csv_arg =
+    let doc = "Also write the per-cell results as CSV to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let diff_arg =
+    let doc =
+      "Diff this run against the baseline artifact at $(docv); exit \
+       non-zero on any regression."
+    in
+    Arg.(value & opt (some string) None & info [ "diff" ] ~docv:"BASELINE" ~doc)
+  in
+  let update_arg =
+    let doc =
+      "Write this run as the new baseline (to the $(b,--diff) path, or \
+       EVAL_BASELINE.json) instead of diffing."
+    in
+    Arg.(value & flag & info [ "update" ] ~doc)
+  in
+  let handicap_arg =
+    let doc =
+      "Injected-estimator-bug dial for self-tests: scale the sketch error \
+       budget so a value of 2 emulates halving the FM repetitions.  The \
+       grid is expected to FAIL for values above 1."
+    in
+    Arg.(
+      value & opt float 1.0 & info [ "inject-handicap" ] ~docv:"H" ~doc)
+  in
+  let run grid reps seed significance handicap out csv diff_path update
+      metrics_out =
+    if reps < 1 then `Error (false, "--reps must be >= 1")
+    else begin
+      let name = match grid with `Small -> "small" | `Full -> "full" in
+      let cells = Option.get (Espec.by_name name) in
+      let metrics = Option.map (fun _ -> Metrics.create ()) metrics_out in
+      let cfg =
+        {
+          Runner.default_config with
+          reps;
+          base_seed = seed;
+          significance;
+          handicap;
+          progress = Some (fun line -> Printf.eprintf "%s\n%!" line);
+          metrics;
+        }
+      in
+      let artifact = Runner.run_grid ~name cfg cells in
+      Report.print_section
+        (Printf.sprintf "eval grid %s: %d cells x %d reps, seed %d" name
+           (List.length artifact.Artifact.cells)
+           reps seed);
+      Report.print_table
+        ~header:
+          [ "cell"; "in-band"; "p-value"; "err p90"; "ratio"; "verdict" ]
+        (List.map
+           (fun (c : Artifact.cell_result) ->
+             Report.
+               [
+                 S c.id;
+                 S (Printf.sprintf "%d/%d" c.successes c.reps);
+                 S (Printf.sprintf "%.3g" c.p_value);
+                 S (Printf.sprintf "%.4f" c.err_p90);
+                 S (Printf.sprintf "%.3g" c.ratio_max);
+                 S (if Artifact.cell_pass c then "pass" else "FAIL");
+               ])
+           artifact.Artifact.cells);
+      Option.iter
+        (fun path ->
+          Artifact.save ~path artifact;
+          Printf.printf "artifact written to %s\n" path)
+        out;
+      Option.iter
+        (fun path ->
+          Artifact.save_csv ~path artifact;
+          Printf.printf "csv written to %s\n" path)
+        csv;
+      (match (metrics_out, metrics) with
+      | Some path, Some m ->
+        let oc = open_out path in
+        if Filename.check_suffix path ".json" then
+          output_string oc (Wd_obs.Json.to_string (Metrics.to_json m))
+        else output_string oc (Metrics.to_prometheus m);
+        close_out oc;
+        Printf.printf "metrics written to %s\n" path
+      | _ -> ());
+      let acceptance_ok = Artifact.pass artifact in
+      if not acceptance_ok then
+        print_endline "acceptance: FAIL (see table above)";
+      if update then begin
+        let path = Option.value diff_path ~default:"EVAL_BASELINE.json" in
+        Artifact.save ~path artifact;
+        Printf.printf "baseline updated: %s\n" path;
+        if acceptance_ok then `Ok ()
+        else `Error (false, "grid failed acceptance (baseline written anyway)")
+      end
+      else
+        match diff_path with
+        | None ->
+          if acceptance_ok then `Ok ()
+          else `Error (false, "grid failed acceptance")
+        | Some path -> (
+          match Artifact.load path with
+          | Error e ->
+            `Error (false, Printf.sprintf "cannot load baseline %s: %s" path e)
+          | Ok baseline ->
+            let d = Artifact.diff ~baseline ~current:artifact in
+            List.iter
+              (fun n -> Printf.printf "note: %s\n" n)
+              d.Artifact.notes;
+            List.iter
+              (fun r -> Printf.printf "regression: %s\n" r)
+              d.Artifact.regressions;
+            if Artifact.clean d && acceptance_ok then begin
+              print_endline "baseline diff: clean";
+              `Ok ()
+            end
+            else if not acceptance_ok then
+              `Error (false, "grid failed acceptance")
+            else
+              `Error
+                ( false,
+                  Printf.sprintf "%d regression(s) against %s"
+                    (List.length d.Artifact.regressions)
+                    path ))
+    end
+  in
+  let doc =
+    "Run the experiment-matrix acceptance grid (protocol x sketch x alpha \
+     over seeded workloads), emit the versioned wd-eval/1 artifact, and \
+     gate on the binomial acceptance test and the committed baseline."
+  in
+  Cmd.v (Cmd.info "eval" ~doc)
+    Term.(
+      ret
+        (const run $ grid_arg $ reps_arg $ seed_arg $ significance_arg
+        $ handicap_arg $ out_arg $ csv_arg $ diff_arg $ update_arg
+        $ metrics_out_arg))
+
+(* ------------------------------------------------------------------ *)
 (* workload *)
 
 let workload_cmd =
@@ -666,6 +846,13 @@ let inspect_cmd =
     else
       match Trace.read_file file with
       | Error e -> `Error (false, e)
+      | Ok events when events = [] ->
+        (* A trace file with no events (e.g. a run that recorded nothing,
+           or a freshly truncated file) gets a clean one-line summary
+           instead of a page of degenerate zero tables. *)
+        Report.print_section (Printf.sprintf "trace summary: %s" file);
+        print_endline "empty trace: no events";
+        `Ok ()
       | Ok events ->
         let s = Summary.of_events events in
         Report.print_section (Printf.sprintf "trace summary: %s" file);
@@ -821,6 +1008,7 @@ let () =
             hh_cmd;
             coord_cmd;
             site_cmd;
+            eval_cmd;
             workload_cmd;
             inspect_cmd;
             list_cmd;

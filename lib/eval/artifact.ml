@@ -1,0 +1,289 @@
+(* The wd-eval/1 result artifact: versioned JSON (committed baselines,
+   CI uploads), CSV (spreadsheet digestion), and the baseline diff that
+   gates CI. *)
+
+module Json = Wd_obs.Json
+
+let version = "wd-eval/1"
+
+type cell_result = {
+  id : string;
+  family : string;
+  algorithm : string;
+  sketch : string;
+  alpha : float;
+  delta : float;
+  sites : int;
+  events : int;
+  workload : string;
+  transport : string;
+  faults : string option;
+  reps : int;
+  successes : int;
+  accept_pass : bool;
+  p_value : float;
+  err_mean : float;
+  err_p50 : float;
+  err_p90 : float;
+  err_max : float;
+  bytes_mean : float;
+  ratio_mean : float;
+  ratio_max : float;
+  ratio_ceiling : float;
+  bytes_pass : bool;
+  msgs_mean : float;
+  wall_s : float;  (* informational only: never diffed *)
+}
+
+let cell_pass c = c.accept_pass && c.bytes_pass
+
+type t = {
+  grid : string;
+  base_seed : int;
+  reps : int;
+  significance : float;
+  cells : cell_result list;
+}
+
+let pass t = List.for_all cell_pass t.cells
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let cell_to_json c =
+  Json.Obj
+    [
+      ("id", Json.Str c.id);
+      ("family", Json.Str c.family);
+      ("algorithm", Json.Str c.algorithm);
+      ("sketch", Json.Str c.sketch);
+      ("alpha", Json.Float c.alpha);
+      ("delta", Json.Float c.delta);
+      ("sites", Json.Int c.sites);
+      ("events", Json.Int c.events);
+      ("workload", Json.Str c.workload);
+      ("transport", Json.Str c.transport);
+      ( "faults",
+        match c.faults with None -> Json.Null | Some f -> Json.Str f );
+      ("reps", Json.Int c.reps);
+      ("successes", Json.Int c.successes);
+      ("accept_pass", Json.Bool c.accept_pass);
+      ("p_value", Json.Float c.p_value);
+      ("err_mean", Json.Float c.err_mean);
+      ("err_p50", Json.Float c.err_p50);
+      ("err_p90", Json.Float c.err_p90);
+      ("err_max", Json.Float c.err_max);
+      ("bytes_mean", Json.Float c.bytes_mean);
+      ("ratio_mean", Json.Float c.ratio_mean);
+      ("ratio_max", Json.Float c.ratio_max);
+      ("ratio_ceiling", Json.Float c.ratio_ceiling);
+      ("bytes_pass", Json.Bool c.bytes_pass);
+      ("msgs_mean", Json.Float c.msgs_mean);
+      ("wall_s", Json.Float c.wall_s);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Str version);
+      ("grid", Json.Str t.grid);
+      ("base_seed", Json.Int t.base_seed);
+      ("reps", Json.Int t.reps);
+      ("significance", Json.Float t.significance);
+      ("pass", Json.Bool (pass t));
+      ("cells", Json.List (List.map cell_to_json t.cells));
+    ]
+
+(* Total decoding with one error message per missing/mistyped field. *)
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+
+let ( let* ) = Result.bind
+
+let cell_of_json j =
+  let str n = field n Json.to_str j in
+  let int n = field n Json.to_int j in
+  let flt n = field n Json.to_float j in
+  let bool n = field n Json.to_bool j in
+  let* id = str "id" in
+  let* family = str "family" in
+  let* algorithm = str "algorithm" in
+  let* sketch = str "sketch" in
+  let* alpha = flt "alpha" in
+  let* delta = flt "delta" in
+  let* sites = int "sites" in
+  let* events = int "events" in
+  let* workload = str "workload" in
+  let* transport = str "transport" in
+  let faults = Option.bind (Json.member "faults" j) Json.to_str in
+  let* reps = int "reps" in
+  let* successes = int "successes" in
+  let* accept_pass = bool "accept_pass" in
+  let* p_value = flt "p_value" in
+  let* err_mean = flt "err_mean" in
+  let* err_p50 = flt "err_p50" in
+  let* err_p90 = flt "err_p90" in
+  let* err_max = flt "err_max" in
+  let* bytes_mean = flt "bytes_mean" in
+  let* ratio_mean = flt "ratio_mean" in
+  let* ratio_max = flt "ratio_max" in
+  let* ratio_ceiling = flt "ratio_ceiling" in
+  let* bytes_pass = bool "bytes_pass" in
+  let* msgs_mean = flt "msgs_mean" in
+  let* wall_s = flt "wall_s" in
+  Ok
+    {
+      id;
+      family;
+      algorithm;
+      sketch;
+      alpha;
+      delta;
+      sites;
+      events;
+      workload;
+      transport;
+      faults;
+      reps;
+      successes;
+      accept_pass;
+      p_value;
+      err_mean;
+      err_p50;
+      err_p90;
+      err_max;
+      bytes_mean;
+      ratio_mean;
+      ratio_max;
+      ratio_ceiling;
+      bytes_pass;
+      msgs_mean;
+      wall_s;
+    }
+
+let of_json j =
+  let* v = field "version" Json.to_str j in
+  if v <> version then
+    Error (Printf.sprintf "unsupported artifact version %S (want %S)" v version)
+  else
+    let* grid = field "grid" Json.to_str j in
+    let* base_seed = field "base_seed" Json.to_int j in
+    let* reps = field "reps" Json.to_int j in
+    let* significance = field "significance" Json.to_float j in
+    let* cells =
+      match Json.member "cells" j with
+      | Some (Json.List l) ->
+        List.fold_left
+          (fun acc c ->
+            let* acc = acc in
+            let* c = cell_of_json c in
+            Ok (c :: acc))
+          (Ok []) l
+        |> Result.map List.rev
+      | _ -> Error "missing or mistyped field \"cells\""
+    in
+    Ok { grid; base_seed; reps; significance; cells }
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let save ~path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let csv_header =
+  "id,family,algorithm,sketch,alpha,delta,sites,events,workload,transport,\
+   faults,reps,successes,accept_pass,p_value,err_mean,err_p50,err_p90,\
+   err_max,bytes_mean,ratio_mean,ratio_max,ratio_ceiling,bytes_pass,\
+   msgs_mean,wall_s"
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b csv_header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s,%s,%s,%s,%g,%g,%d,%d,%s,%s,%s,%d,%d,%b,%.6g,%.6g,%.6g,%.6g,\
+            %.6g,%.6g,%.6g,%.6g,%.6g,%b,%.6g,%.3f\n"
+           c.id c.family c.algorithm c.sketch c.alpha c.delta c.sites c.events
+           c.workload c.transport
+           (Option.value c.faults ~default:"")
+           c.reps c.successes c.accept_pass c.p_value c.err_mean c.err_p50
+           c.err_p90 c.err_max c.bytes_mean c.ratio_mean c.ratio_max
+           c.ratio_ceiling c.bytes_pass c.msgs_mean c.wall_s))
+    t.cells;
+  Buffer.contents b
+
+let save_csv ~path t =
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Baseline diff *)
+
+type diff = {
+  regressions : string list;
+  notes : string list;  (* non-gating observations: new cells, improvements *)
+}
+
+let clean d = d.regressions = []
+
+(* Tolerances: a current run regresses when it fails where the baseline
+   passed, or drifts past 1.5x the baseline on the traffic ratio or the
+   p90 error (with an absolute floor so near-zero baselines don't turn
+   noise into alarms).  Wall time is never compared. *)
+let ratio_slack = 1.5
+
+let err_floor = 0.01
+
+let diff ~baseline ~current =
+  let regressions = ref [] in
+  let notes = ref [] in
+  let reg fmt = Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let current_ids =
+    List.fold_left (fun acc c -> c.id :: acc) [] current.cells
+  in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> c.id = b.id) current.cells with
+      | None -> reg "%s: cell present in baseline but missing from this run" b.id
+      | Some c ->
+        if b.accept_pass && not c.accept_pass then
+          reg "%s: accuracy acceptance now fails (%d/%d in-band, p=%.4g)" c.id
+            c.successes c.reps c.p_value;
+        if b.bytes_pass && not c.bytes_pass then
+          reg "%s: traffic now exceeds its envelope (ratio %.3g > ceiling %.3g)"
+            c.id c.ratio_max c.ratio_ceiling;
+        if c.ratio_max > b.ratio_max *. ratio_slack then
+          reg "%s: traffic ratio %.3g drifted past %.1fx the baseline %.3g" c.id
+            c.ratio_max ratio_slack b.ratio_max;
+        if c.err_p90 > Float.max (b.err_p90 *. ratio_slack) (b.err_p90 +. err_floor)
+        then
+          reg "%s: p90 error %.4g drifted past the baseline %.4g" c.id c.err_p90
+            b.err_p90;
+        if (not b.accept_pass) && c.accept_pass then
+          note "%s: accuracy acceptance newly passes" c.id)
+    baseline.cells;
+  List.iter
+    (fun id ->
+      if not (List.exists (fun b -> b.id = id) baseline.cells) then
+        note "%s: new cell, not in baseline" id)
+    current_ids;
+  { regressions = List.rev !regressions; notes = List.rev !notes }

@@ -1,0 +1,84 @@
+(** The [wd-eval/1] result artifact.
+
+    One evaluation run serializes to a versioned JSON document (the
+    committed {e baseline} and CI uploads use the pretty rendering so
+    humans can diff them in review) and a CSV flattening; {!diff}
+    implements the regression gate between a stored baseline and a fresh
+    run. *)
+
+val version : string
+(** ["wd-eval/1"]; {!of_json} rejects documents claiming any other. *)
+
+type cell_result = {
+  id : string;  (** {!Spec.id} of the cell — the diff join key *)
+  family : string;
+  algorithm : string;
+  sketch : string;
+  alpha : float;
+  delta : float;
+  sites : int;
+  events : int;
+  workload : string;
+  transport : string;
+  faults : string option;
+  reps : int;  (** seeded repetitions measured *)
+  successes : int;  (** repetitions whose error landed in the alpha band *)
+  accept_pass : bool;  (** verdict of the binomial acceptance test *)
+  p_value : float;
+  err_mean : float;
+  err_p50 : float;
+  err_p90 : float;
+  err_max : float;  (** error statistics over the repetitions *)
+  bytes_mean : float;  (** mean measured protocol traffic *)
+  ratio_mean : float;  (** mean of measured / {!Theory} envelope *)
+  ratio_max : float;
+  ratio_ceiling : float;  (** {!Theory.ceiling} at measurement time *)
+  bytes_pass : bool;  (** [ratio_max <= ratio_ceiling] *)
+  msgs_mean : float;  (** mean site-to-coordinator messages *)
+  wall_s : float;  (** total wall time — informational, never diffed *)
+}
+
+val cell_pass : cell_result -> bool
+(** Accuracy and traffic checks both pass. *)
+
+type t = {
+  grid : string;
+  base_seed : int;
+  reps : int;
+  significance : float;
+  cells : cell_result list;
+}
+
+val pass : t -> bool
+
+val to_json : t -> Wd_obs.Json.t
+
+val of_json : Wd_obs.Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+
+val save : path:string -> t -> unit
+(** Pretty JSON, trailing newline. *)
+
+val load : string -> (t, string) result
+
+val to_csv : t -> string
+
+val save_csv : path:string -> t -> unit
+
+(** {1 Baseline diff} *)
+
+type diff = {
+  regressions : string list;
+      (** human-readable, one per gate violation; empty = clean *)
+  notes : string list;
+      (** non-gating observations (new cells, newly passing cells) *)
+}
+
+val clean : diff -> bool
+
+val diff : baseline:t -> current:t -> diff
+(** A cell regresses when it disappears, flips a passing check to
+    failing, or drifts past 1.5x the baseline on traffic ratio or p90
+    error (with a 0.01 absolute error floor so near-zero baselines don't
+    alarm on noise).  Wall time is never compared. *)

@@ -1,0 +1,380 @@
+(* Execute experiment-matrix cells: R seeded repetitions per cell
+   through the Simulation drivers (or a direct Window_tracker drive),
+   aggregated into Artifact.cell_result records with the binomial
+   acceptance verdict attached. *)
+
+module Sim = Whats_different.Simulation
+module Stream = Wd_workload.Stream
+module Gen = Wd_workload.Stream_gen
+module Http = Wd_workload.Http_trace
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module W = Wd_protocol.Window_tracker
+module Socket = Wd_net.Transport_socket
+module Metrics = Wd_obs.Metrics
+
+module Dc_bjkst = Sim.Make_dc (Wd_sketch.Bjkst)
+module Dc_hll = Sim.Make_dc (Wd_sketch.Hyperloglog)
+
+type config = {
+  reps : int;
+  base_seed : int;
+  significance : float;
+  handicap : float;
+  ds_threshold : int;
+  socket_dir : string;
+  progress : (string -> unit) option;
+  metrics : Metrics.t option;
+}
+
+let default_config =
+  {
+    reps = 5;
+    base_seed = 42;
+    significance = 0.005;
+    handicap = 1.0;
+    ds_threshold = 400;
+    socket_dir = Filename.get_temp_dir_name ();
+    progress = None;
+    metrics = None;
+  }
+
+(* One repetition's measurements, before aggregation. *)
+type rep = { err : float; success : bool; bytes : int; msgs : int }
+
+let build_stream (cell : Spec.cell) ~seed =
+  let sites = cell.sites and events = cell.events in
+  match cell.workload with
+  | Spec.Zipf ->
+    let universe =
+      max 16 (Float.to_int (Float.of_int events /. Float.max 1.0 cell.dup))
+    in
+    Gen.zipf ~seed ~sites ~events ~universe ()
+  | Spec.Two_phase ->
+    (* k*n + k*k*n events total: solve per-site n for the event target. *)
+    let per_site = max 20 (events / (sites * (sites + 1))) in
+    Wd_workload.Two_phase.generate ~seed ~sites ~per_site ()
+  | Spec.Http_trace ->
+    let cfg =
+      Http.scaled ~seed (Float.of_int events /. Float.of_int Http.default.requests)
+    in
+    Http.view cfg Http.Object_id Http.Per_region (Http.generate cfg)
+
+let parse_faults (cell : Spec.cell) ~seed =
+  match cell.faults with
+  | None -> Wd_net.Faults.none
+  | Some spec -> (
+    match Wd_net.Faults.of_spec ~seed spec with
+    | Ok plan -> plan
+    | Error e ->
+      failwith (Printf.sprintf "cell %s: bad fault spec: %s" (Spec.id cell) e))
+
+(* Wire size of a fully loaded sketch of the cell's (honest, i.e.
+   handicap-free) family — the message-size input of the Theory
+   envelopes. *)
+let sketch_wire_bytes (cell : Spec.cell) ~seed (stream : Stream.t) =
+  let alpha = Spec.sketch_alpha cell and delta = cell.delta in
+  let measure (module S : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) =
+    let t = S.of_params ~alpha ~delta ~seed in
+    S.add_batch t stream.Stream.items;
+    S.size_bytes t
+  in
+  match cell.sketch with
+  | Spec.Fm -> measure (module Wd_sketch.Fm)
+  | Spec.Bjkst -> measure (module Wd_sketch.Bjkst)
+  | Spec.Hll -> measure (module Wd_sketch.Hyperloglog)
+
+(* Run [f transport] with one forked relay process per site, wdmon
+   coord --spawn style: children serve frames until the run closes the
+   transport, then exit without flushing the parent's inherited stdout
+   buffer.  Any child still alive after [f] (or an exception) is
+   killed before reaping. *)
+let with_socket_sites ~dir ~sites ~seed f =
+  let path = Printf.sprintf "%s/wde-%d-%d.sock" dir (Unix.getpid ()) seed in
+  let children =
+    List.init sites (fun site ->
+      match Unix.fork () with
+      | 0 ->
+        (try ignore (Socket.Site.run ~path ~site () : Socket.site_report)
+         with _ -> ());
+        Unix._exit 0
+      | pid -> pid)
+  in
+  let reap () =
+    List.iter
+      (fun pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      children
+  in
+  Fun.protect ~finally:reap (fun () ->
+    let coord = Socket.Coordinator.connect ~timeout:30.0 ~path ~sites () in
+    f (Socket.Coordinator.pack coord))
+
+(* ------------------------------------------------------------------ *)
+(* Per-protocol repetitions.  Each returns the rep measurements plus
+   the Theory envelope (computed once per repetition: workloads are
+   regenerated per seed, so the envelope inputs move with them). *)
+
+let dc_rep cfg (cell : Spec.cell) ~seed ?transport stream =
+  let theta = Spec.theta cell in
+  (* The injected-bug dial: scaling sketch accuracy by sqrt(h) is
+     exactly an h-fold cut in FM repetitions (m ~ 1/accuracy^2). *)
+  let acc = Spec.sketch_alpha cell *. Float.sqrt cfg.handicap in
+  let delta = cell.delta in
+  let faults = parse_faults cell ~seed:(seed + 500) in
+  let algorithm =
+    match cell.protocol with Spec.Dc a -> a | _ -> assert false
+  in
+  let run =
+    match cell.sketch with
+    | Spec.Fm ->
+      Sim.Dc_fm.run ?transport ~seed ~faults
+        ~family:(Wd_sketch.Fm.family_of_params ~alpha:acc ~delta ~seed)
+        ~algorithm ~theta ~alpha:acc stream
+    | Spec.Bjkst ->
+      Dc_bjkst.run ?transport ~seed ~faults
+        ~family:(Wd_sketch.Bjkst.family_of_params ~alpha:acc ~delta ~seed)
+        ~algorithm ~theta ~alpha:acc stream
+    | Spec.Hll ->
+      Dc_hll.run ?transport ~seed ~faults
+        ~family:(Wd_sketch.Hyperloglog.family_of_params ~alpha:acc ~delta ~seed)
+        ~algorithm ~theta ~alpha:acc stream
+  in
+  let truth = max 1 run.Sim.dc_final_truth in
+  let err =
+    Float.abs (run.Sim.dc_final_estimate -. Float.of_int truth)
+    /. Float.of_int truth
+  in
+  (* Continuous-tracking check: over the settled second half of the run,
+     the coordinator's estimate must sit inside the alpha band nearly
+     always (the pointwise guarantee holds with probability 1 - delta,
+     so demand 1 - 2*delta of the samples). *)
+  let series = run.Sim.dc_error_series in
+  let n = Array.length series in
+  let tail = Array.sub series (n / 2) (n - (n / 2)) in
+  let in_band =
+    Array.fold_left
+      (fun a (_, e) -> if e <= cell.alpha then a + 1 else a)
+      0 tail
+  in
+  let coverage =
+    Float.of_int in_band /. Float.of_int (max 1 (Array.length tail))
+  in
+  let success =
+    err <= cell.alpha && coverage >= 1.0 -. (2.0 *. cell.delta)
+  in
+  let bound =
+    Theory.dc_bound ~algorithm ~sites:(Stream.num_sites stream)
+      ~distinct:(Stream.distinct_count stream) ~theta
+      ~sketch_bytes:(sketch_wire_bytes cell ~seed stream)
+      ~exact_bytes:(Sim.exact_dc_bytes stream)
+  in
+  ( { err; success; bytes = run.Sim.dc_total_bytes; msgs = run.Sim.dc_sends },
+    bound )
+
+let ds_rep cfg (cell : Spec.cell) ~seed ?transport stream =
+  (* The whole budget is the count-lag theta here (Lemma 2 bounds the
+     tracked-count error by theta deterministically); the handicap
+     inflates the lag the tracker runs with while acceptance still
+     judges against the honest alpha. *)
+  let theta = cell.alpha *. cfg.handicap *. cfg.handicap in
+  let faults = parse_faults cell ~seed:(seed + 500) in
+  let algorithm =
+    match cell.protocol with Spec.Ds a -> a | _ -> assert false
+  in
+  let run =
+    Sim.run_ds ?transport ~seed ~faults ~algorithm ~theta
+      ~threshold:cfg.ds_threshold stream
+  in
+  let err = run.Sim.ds_max_count_error in
+  let mults = Stream.multiplicities stream in
+  let max_mult = Hashtbl.fold (fun _ m acc -> max m acc) mults 1 in
+  let bound =
+    Theory.ds_bound ~algorithm ~sites:(Stream.num_sites stream)
+      ~threshold:cfg.ds_threshold ~theta:cell.alpha ~max_mult
+      ~updates:(Stream.length stream) ~exact_bytes:(Sim.exact_ds_bytes stream)
+  in
+  ( {
+      err;
+      success = err <= cell.alpha;
+      bytes = run.Sim.ds_total_bytes;
+      msgs = run.Sim.ds_sends;
+    },
+    bound )
+
+let hh_rep cfg (cell : Spec.cell) ~seed =
+  ignore cfg.handicap;
+  let algorithm =
+    match cell.protocol with Spec.Hh a -> a | _ -> assert false
+  in
+  let http =
+    Http.scaled ~seed
+      (Float.of_int cell.events /. Float.of_int Http.default.requests)
+  in
+  let pairs =
+    Sim.pair_stream_of_requests http Http.Per_region (Http.generate http)
+  in
+  let run =
+    Sim.run_hh ~seed ~top_k:10 ~algorithm ~theta:(Spec.theta cell)
+      ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 500; bitmaps = 10 }
+      pairs
+  in
+  let err = run.Sim.hh_avg_norm_error in
+  ( {
+      err;
+      success = err <= cell.alpha && run.Sim.hh_topk_recall >= 0.5;
+      bytes = run.Sim.hh_total_bytes;
+      msgs = run.Sim.hh_sends;
+    },
+    Theory.hh_bound ~exact_bytes:run.Sim.hh_exact_bytes )
+
+let window_rep cfg (cell : Spec.cell) ~seed stream =
+  let algorithm =
+    match cell.protocol with Spec.Window a -> a | _ -> assert false
+  in
+  let theta = Spec.theta cell in
+  let acc = Spec.sketch_alpha cell *. Float.sqrt cfg.handicap in
+  let family =
+    Wd_sketch.Fm_window.family_of_params ~alpha:acc ~delta:cell.delta ~seed
+  in
+  let n = Stream.length stream in
+  let window = max 1 (n / 4) in
+  let t =
+    W.create ~algorithm ~theta ~window ~sites:(Stream.num_sites stream)
+      ~family ()
+  in
+  let truth = Wd_workload.Window_truth.create () in
+  (* Sample the windowed error at ~64 positions in the settled second
+     half (once the window is full). *)
+  let samples = ref [] in
+  let stride = max 1 (n / 128) in
+  Stream.iteri
+    (fun i ~site ~item ->
+      W.observe t ~site ~time:i item;
+      Wd_workload.Window_truth.add truth item;
+      if i >= n / 2 && i mod stride = 0 then begin
+        let exact = Wd_workload.Window_truth.distinct_last truth window in
+        let est = W.estimate t ~now:i in
+        samples :=
+          (Float.abs (est -. Float.of_int (max 1 exact))
+          /. Float.of_int (max 1 exact))
+          :: !samples
+      end)
+    stream;
+  let errs = Array.of_list !samples in
+  let err = Stats.quantile errs 0.5 in
+  let net = W.network t in
+  ( {
+      err;
+      success = err <= cell.alpha;
+      bytes = Wd_net.Network.total_bytes net;
+      msgs = W.sends t;
+    },
+    Theory.window_bound ~updates:n )
+
+let run_rep cfg (cell : Spec.cell) ~seed =
+  match (cell.protocol, cell.transport) with
+  | Spec.Hh _, Spec.Sim -> hh_rep cfg cell ~seed
+  | Spec.Window _, Spec.Sim ->
+    window_rep cfg cell ~seed (build_stream cell ~seed)
+  | Spec.Dc _, Spec.Sim -> dc_rep cfg cell ~seed (build_stream cell ~seed)
+  | Spec.Ds _, Spec.Sim -> ds_rep cfg cell ~seed (build_stream cell ~seed)
+  | Spec.Dc _, Spec.Socket ->
+    let stream = build_stream cell ~seed in
+    with_socket_sites ~dir:cfg.socket_dir ~sites:(Stream.num_sites stream)
+      ~seed (fun transport -> dc_rep cfg cell ~seed ~transport stream)
+  | Spec.Ds _, Spec.Socket ->
+    let stream = build_stream cell ~seed in
+    with_socket_sites ~dir:cfg.socket_dir ~sites:(Stream.num_sites stream)
+      ~seed (fun transport -> ds_rep cfg cell ~seed ~transport stream)
+  | (Spec.Hh _ | Spec.Window _), Spec.Socket ->
+    failwith
+      (Printf.sprintf "cell %s: no socket backend for this protocol family"
+         (Spec.id cell))
+
+let run_cell cfg (cell : Spec.cell) =
+  let id = Spec.id cell in
+  Option.iter (fun p -> p (Printf.sprintf "running %s" id)) cfg.progress;
+  let t0 = Unix.gettimeofday () in
+  let measured =
+    List.init cfg.reps (fun r -> run_rep cfg cell ~seed:(cfg.base_seed + r))
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let reps = List.map fst measured in
+  let arr f = Array.of_list (List.map f reps) in
+  let errs = arr (fun m -> m.err) in
+  let ratios =
+    Array.of_list
+      (List.map
+         (fun (m, bound) -> Float.of_int m.bytes /. Float.max 1.0 bound)
+         measured)
+  in
+  let successes =
+    List.fold_left (fun a m -> if m.success then a + 1 else a) 0 reps
+  in
+  let verdict =
+    Stats.binomial_accept ~trials:cfg.reps ~successes
+      ~null_p:(1.0 -. cell.delta) ~significance:cfg.significance
+  in
+  let ratio_ceiling = Theory.ceiling cell in
+  let ratio_max = Stats.max_value ratios in
+  let result =
+    {
+      Artifact.id;
+      family = Spec.protocol_family cell.protocol;
+      algorithm = Spec.protocol_algorithm cell.protocol;
+      sketch = Spec.sketch_to_string cell.sketch;
+      alpha = cell.alpha;
+      delta = cell.delta;
+      sites = cell.sites;
+      events = cell.events;
+      workload = Spec.workload_to_string cell.workload;
+      transport = Spec.transport_to_string cell.transport;
+      faults = cell.faults;
+      reps = cfg.reps;
+      successes;
+      accept_pass = verdict.Stats.pass;
+      p_value = verdict.Stats.p_value;
+      err_mean = Stats.mean errs;
+      err_p50 = Stats.quantile errs 0.5;
+      err_p90 = Stats.quantile errs 0.9;
+      err_max = Stats.max_value errs;
+      bytes_mean = Stats.mean (arr (fun m -> Float.of_int m.bytes));
+      ratio_mean = Stats.mean ratios;
+      ratio_max;
+      ratio_ceiling;
+      bytes_pass = ratio_max <= ratio_ceiling;
+      msgs_mean = Stats.mean (arr (fun m -> Float.of_int m.msgs));
+      wall_s;
+    }
+  in
+  Option.iter
+    (fun m ->
+      Metrics.inc (Metrics.counter m "wd_eval_cells_total");
+      Metrics.add (Metrics.counter m "wd_eval_reps_total") cfg.reps;
+      if not (Artifact.cell_pass result) then
+        Metrics.inc (Metrics.counter m "wd_eval_cells_failed");
+      Metrics.observe
+        (Metrics.histogram m "wd_eval_cell_wall_ms")
+        (wall_s *. 1000.0))
+    cfg.metrics;
+  Option.iter
+    (fun p ->
+      p
+        (Printf.sprintf
+           "%-44s %d/%d in-band (p=%.3g) err p90 %.4f ratio %.3g [%s]" id
+           successes cfg.reps verdict.Stats.p_value result.Artifact.err_p90
+           ratio_max
+           (if Artifact.cell_pass result then "pass" else "FAIL")))
+    cfg.progress;
+  result
+
+let run_grid ?(name = "custom") cfg cells =
+  {
+    Artifact.grid = name;
+    base_seed = cfg.base_seed;
+    reps = cfg.reps;
+    significance = cfg.significance;
+    cells = List.map (run_cell cfg) cells;
+  }

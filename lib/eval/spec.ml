@@ -1,0 +1,147 @@
+(* Declarative experiment-matrix cells for the eval harness. *)
+
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+module W = Wd_protocol.Window_tracker
+
+type sketch = Fm | Bjkst | Hll
+
+let sketch_to_string = function Fm -> "fm" | Bjkst -> "bjkst" | Hll -> "hll"
+let all_sketches = [ Fm; Bjkst; Hll ]
+
+type workload = Zipf | Two_phase | Http_trace
+
+let workload_to_string = function
+  | Zipf -> "zipf"
+  | Two_phase -> "two_phase"
+  | Http_trace -> "http_trace"
+
+type transport = Sim | Socket
+
+let transport_to_string = function Sim -> "sim" | Socket -> "socket"
+
+type protocol =
+  | Dc of Dc.algorithm  (* EC is [Dc EC] *)
+  | Ds of Ds.algorithm  (* EDS is [Ds EDS] *)
+  | Hh of Dc.algorithm
+  | Window of W.algorithm
+
+let protocol_family = function
+  | Dc _ -> "dc"
+  | Ds _ -> "ds"
+  | Hh _ -> "hh"
+  | Window _ -> "window"
+
+let protocol_algorithm = function
+  | Dc a -> Dc.algorithm_to_string a
+  | Ds a -> Ds.algorithm_to_string a
+  | Hh a -> Dc.algorithm_to_string a
+  | Window a -> W.algorithm_to_string a
+
+type cell = {
+  protocol : protocol;
+  sketch : sketch;
+      (* which mergeable distinct sketch backs the trackers; only the
+         sketch-based protocols consult it (grids collapse the axis for
+         EC/EDS, whose estimators carry no sketch) *)
+  alpha : float;  (* total relative-error budget (the paper's epsilon) *)
+  delta : float;  (* failure probability; confidence is 1 - delta *)
+  theta_frac : float;  (* lag share: theta = theta_frac * alpha *)
+  sites : int;
+  events : int;
+  dup : float;  (* target duplication factor dial (zipf: universe = events/dup) *)
+  workload : workload;
+  transport : transport;
+  faults : string option;  (* Wd_net.Faults.of_spec syntax, seeded per rep *)
+}
+
+let theta cell = cell.theta_frac *. cell.alpha
+
+(* Sketch accuracy left after the lag share of the budget. *)
+let sketch_alpha cell = cell.alpha -. theta cell
+
+let id cell =
+  String.concat "-"
+    ([
+       protocol_family cell.protocol;
+       protocol_algorithm cell.protocol;
+       sketch_to_string cell.sketch;
+       Printf.sprintf "a%g" cell.alpha;
+       Printf.sprintf "k%d" cell.sites;
+       workload_to_string cell.workload;
+       Printf.sprintf "n%d" cell.events;
+       transport_to_string cell.transport;
+     ]
+    @ match cell.faults with None -> [] | Some f -> [ "faults:" ^ f ])
+
+let base ?(sketch = Fm) ?(alpha = 0.1) ?(delta = 0.1) ?(theta_frac = 0.3)
+    ?(sites = 4) ?(events = 120_000) ?(dup = 3.0) ?(workload = Zipf)
+    ?(transport = Sim) ?faults protocol =
+  {
+    protocol;
+    sketch;
+    alpha;
+    delta;
+    theta_frac;
+    sites;
+    events;
+    dup;
+    workload;
+    transport;
+    faults;
+  }
+
+let small_alphas = [ 0.05; 0.1; 0.2 ]
+
+(* The acceptance grid: EC/EDS/DC/DS x {FM, BJKST, HLL} x alpha.  The
+   sketch axis collapses for the exact baselines (EC counts items and
+   EDS forwards updates — no sketch to vary) and for the sampler-based
+   DS protocol, so those run once per alpha; DC (represented by LS, the
+   paper's winner) spans the full sketch axis.  One Unix-socket smoke
+   cell rides along so the wire path is exercised by every eval run. *)
+let small () =
+  let dc_cells =
+    List.concat_map
+      (fun alpha ->
+        List.map (fun sk -> base ~sketch:sk ~alpha (Dc Dc.LS)) all_sketches)
+      small_alphas
+  in
+  let baseline_cells =
+    List.concat_map
+      (fun alpha ->
+        [ base ~alpha (Dc Dc.EC); base ~alpha (Ds Ds.LCO);
+          base ~alpha (Ds Ds.EDS) ])
+      small_alphas
+  in
+  let socket_smoke =
+    [ base ~alpha:0.1 ~events:20_000 ~transport:Socket (Dc Dc.LS) ]
+  in
+  dc_cells @ baseline_cells @ socket_smoke
+
+(* The full matrix adds the remaining DC algorithms, the DS sharing
+   variants, the paper's two-phase and HTTP workloads, a fault-plan
+   column, a wider site count, and the HH / sliding-window trackers. *)
+let full () =
+  small ()
+  @ List.concat_map
+      (fun a -> [ base (Dc a); base ~workload:Two_phase (Dc a) ])
+      [ Dc.NS; Dc.SC; Dc.SS ]
+  @ [
+      base (Ds Ds.GCS);
+      base (Ds Ds.LCS);
+      base ~workload:Two_phase (Ds Ds.LCO);
+      base ~workload:Http_trace ~events:40_000 (Dc Dc.LS);
+      base ~workload:Http_trace ~events:40_000 (Ds Ds.LCO);
+      base ~sites:8 (Dc Dc.LS);
+      base ~faults:"drop=0.05,dup=0.01" (Dc Dc.LS);
+      base ~faults:"drop=0.05,dup=0.01" (Ds Ds.LCO);
+      base ~workload:Http_trace ~events:40_000 (Hh Dc.LS);
+      base ~workload:Http_trace ~events:40_000 (Hh Dc.NS);
+      base ~events:60_000 (Window W.NS);
+      base ~events:60_000 (Window W.LS);
+    ]
+
+let by_name = function
+  | "small" -> Some (small ())
+  | "full" -> Some (full ())
+  | _ -> None

@@ -1,0 +1,91 @@
+(** Declarative experiment-matrix cells for the eval harness.
+
+    A {!cell} names one point of the sweep — protocol x sketch backend x
+    accuracy target x workload x transport (x optional fault plan) — and
+    nothing about how to execute it; {!Runner} turns cells into measured
+    {!Artifact.cell_result}s.  The committed acceptance grid is
+    {!small}; {!full} adds the long-tail axes. *)
+
+type sketch = Fm | Bjkst | Hll
+
+val sketch_to_string : sketch -> string
+val all_sketches : sketch list
+
+type workload = Zipf | Two_phase | Http_trace
+
+val workload_to_string : workload -> string
+
+type transport = Sim | Socket
+
+val transport_to_string : transport -> string
+
+type protocol =
+  | Dc of Wd_protocol.Dc_tracker.algorithm  (** [Dc EC] is the exact baseline *)
+  | Ds of Wd_protocol.Ds_tracker.algorithm  (** [Ds EDS] is the exact baseline *)
+  | Hh of Wd_protocol.Dc_tracker.algorithm
+      (** distinct heavy hitters over (objectID, clientID) pairs *)
+  | Window of Wd_protocol.Window_tracker.algorithm
+
+val protocol_family : protocol -> string
+(** ["dc"], ["ds"], ["hh"] or ["window"]. *)
+
+val protocol_algorithm : protocol -> string
+
+type cell = {
+  protocol : protocol;
+  sketch : sketch;
+      (** which mergeable distinct sketch backs the trackers; only the
+          sketch-based protocols consult it (grids collapse the axis for
+          EC/EDS, whose estimators carry no sketch) *)
+  alpha : float;  (** total relative-error budget (the paper's epsilon) *)
+  delta : float;  (** failure probability; confidence is [1 - delta] *)
+  theta_frac : float;  (** lag share: [theta = theta_frac * alpha] *)
+  sites : int;
+  events : int;
+  dup : float;
+      (** target duplication factor dial (zipf: [universe = events/dup]) *)
+  workload : workload;
+  transport : transport;
+  faults : string option;
+      (** {!Wd_net.Faults.of_spec} syntax, seeded per repetition *)
+}
+
+val theta : cell -> float
+(** [theta_frac * alpha]. *)
+
+val sketch_alpha : cell -> float
+(** Sketch accuracy left after the lag share of the budget:
+    [alpha - theta]. *)
+
+val id : cell -> string
+(** Stable human-readable identifier, the join key of baseline diffs. *)
+
+val base :
+  ?sketch:sketch ->
+  ?alpha:float ->
+  ?delta:float ->
+  ?theta_frac:float ->
+  ?sites:int ->
+  ?events:int ->
+  ?dup:float ->
+  ?workload:workload ->
+  ?transport:transport ->
+  ?faults:string ->
+  protocol ->
+  cell
+(** A cell with the acceptance-grid defaults (alpha 0.1, delta 0.1,
+    theta_frac 0.3, 4 sites, 120k zipf events at duplication 3, simulated
+    transport, no faults). *)
+
+val small : unit -> cell list
+(** The committed acceptance grid: DC(LS) x {FM, BJKST, HLL} and the
+    EC / DS(LCO) / EDS baselines, each at alpha in {0.05, 0.1, 0.2},
+    plus one Unix-socket smoke cell — 19 cells. *)
+
+val full : unit -> cell list
+(** {!small} plus the remaining DC/DS algorithms, the two-phase and HTTP
+    workloads, fault-injected cells, a wider site count, and the HH and
+    sliding-window trackers. *)
+
+val by_name : string -> cell list option
+(** ["small"] and ["full"]. *)

@@ -1,0 +1,69 @@
+(* Order statistics and the binomial acceptance test behind the eval
+   harness (Clifford & Cosma's statistical treatment of probabilistic
+   counting is the model: accept on a confidence statement over seeded
+   repetitions, never on a single-run golden value). *)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]"
+  else begin
+    let s = Array.copy xs in
+    Array.sort compare s;
+    (* Linear interpolation between closest ranks (type-7 estimator). *)
+    let h = q *. Float.of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = h -. Float.of_int lo in
+    (s.(lo) *. (1.0 -. frac)) +. (s.(hi) *. frac)
+  end
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan
+  else Array.fold_left ( +. ) 0.0 xs /. Float.of_int n
+
+let max_value xs =
+  if Array.length xs = 0 then Float.nan
+  else Array.fold_left Float.max neg_infinity xs
+
+(* C(n, k) in float; n is the repetition count, so tiny. *)
+let choose n k =
+  let k = min k (n - k) in
+  let acc = ref 1.0 in
+  for i = 1 to k do
+    acc := !acc *. Float.of_int (n - k + i) /. Float.of_int i
+  done;
+  !acc
+
+let binom_pmf ~n ~p k =
+  if p <= 0.0 then (if k = 0 then 1.0 else 0.0)
+  else if p >= 1.0 then (if k = n then 1.0 else 0.0)
+  else
+    choose n k
+    *. Float.exp
+         ((Float.of_int k *. Float.log p)
+         +. (Float.of_int (n - k) *. Float.log (1.0 -. p)))
+
+let binom_cdf ~n ~p k =
+  if k < 0 then 0.0
+  else if k >= n then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k do
+      acc := !acc +. binom_pmf ~n ~p i
+    done;
+    Float.min 1.0 !acc
+  end
+
+type verdict = { pass : bool; p_value : float }
+
+let binomial_accept ~trials ~successes ~null_p ~significance =
+  if trials <= 0 then invalid_arg "Stats.binomial_accept: trials must be > 0";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.binomial_accept: successes outside [0, trials]";
+  (* One-sided test of H0: per-trial success probability >= null_p.  The
+     p-value is the chance of seeing this few successes (or fewer) if H0
+     holds; reject only when that is below the significance level. *)
+  let p_value = binom_cdf ~n:trials ~p:null_p successes in
+  { pass = p_value >= significance; p_value }

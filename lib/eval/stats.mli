@@ -1,0 +1,37 @@
+(** Order statistics and the binomial acceptance test behind the eval
+    harness.
+
+    The acceptance discipline follows the statistical analyses of
+    probabilistic counting (Clifford & Cosma; see PAPERS.md): a cell is
+    judged on a confidence statement over [R] seeded repetitions — "at
+    least this many repetitions landed inside the [(1 ± alpha)] band" —
+    tested against the binomial law that the configured confidence
+    implies, never on a single-run golden value. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] is the [q]-quantile ([0 <= q <= 1]) of [xs] with
+    linear interpolation between closest ranks (the common "type 7"
+    estimator); [nan] on an empty array.  Does not mutate [xs]. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on an empty array. *)
+
+val max_value : float array -> float
+(** Largest element; [nan] on an empty array. *)
+
+val binom_pmf : n:int -> p:float -> int -> float
+(** [binom_pmf ~n ~p k] is [P(X = k)] for [X ~ Binomial(n, p)]. *)
+
+val binom_cdf : n:int -> p:float -> int -> float
+(** [binom_cdf ~n ~p k] is [P(X <= k)] for [X ~ Binomial(n, p)]. *)
+
+type verdict = { pass : bool; p_value : float }
+
+val binomial_accept :
+  trials:int -> successes:int -> null_p:float -> significance:float -> verdict
+(** One-sided exact binomial test of [H0: per-trial success probability
+    >= null_p].  [p_value = P(X <= successes | Binomial(trials, null_p))];
+    the cell {e fails} only when the p-value drops below [significance]
+    — i.e. when seeing so few in-band repetitions would be implausible
+    under the configured confidence.  Raises [Invalid_argument] on
+    [trials <= 0] or [successes] outside [0, trials]. *)

@@ -1,0 +1,88 @@
+(* Communication envelopes: per-cell upper bounds on protocol traffic,
+   against which measured bytes are normalized.  The bounds follow the
+   paper's cost analyses (Theorem 1 and the per-algorithm down-traffic
+   discussion for DC; Theorem 2's retained-item accounting for DS) but
+   are envelopes, not tight constants — the acceptance ceilings absorb
+   the constant-factor slack. *)
+
+module Wire = Wd_net.Wire
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+
+let dc_sends_bound ~sites ~distinct ~theta =
+  (* Theorem 1: each site crosses its (1 + theta/k) threshold ladder at
+     most log_{1+theta/k} N0 times, plus one initial send. *)
+  let k = Float.of_int sites in
+  let n0 = Float.of_int (max 2 distinct) in
+  k *. ((Float.log n0 /. Float.log (1.0 +. (theta /. k))) +. 1.0)
+
+let dc_bound ~algorithm ~sites ~distinct ~theta ~sketch_bytes ~exact_bytes =
+  match algorithm with
+  | Dc.EC -> Float.of_int exact_bytes
+  | _ ->
+    let s = dc_sends_bound ~sites ~distinct ~theta in
+    let k = Float.of_int sites in
+    let sketch_msg = Float.of_int (Wire.message ~payload:sketch_bytes) in
+    let count_msg = Float.of_int (Wire.message ~payload:Wire.count_bytes) in
+    let up = s *. sketch_msg in
+    (* Down-traffic shape is what separates the algorithms (Section 5):
+       NS sends nothing back, SC broadcasts counts, SS broadcasts the
+       merged sketch, LS refreshes only the triggering site. *)
+    let down =
+      match algorithm with
+      | Dc.NS -> 0.0
+      | Dc.SC -> s *. k *. count_msg
+      | Dc.SS -> s *. k *. sketch_msg
+      | Dc.LS -> s *. sketch_msg
+      | Dc.EC -> assert false
+    in
+    up +. down
+
+let ds_bound ~algorithm ~sites ~threshold ~theta ~max_mult ~updates
+    ~exact_bytes =
+  match algorithm with
+  | Ds.EDS -> Float.of_int exact_bytes
+  | _ ->
+    (* Theorem 2 accounting: at most 2T items are retained per sampling
+       level, levels never exceed log2 of the update count, and each
+       retained item re-reports its count at most log_{1+theta} of its
+       final multiplicity times (plus the insertion itself). *)
+    let levels = Float.log2 (Float.of_int (max 2 updates)) +. 1.0 in
+    let retained = 2.0 *. Float.of_int threshold *. levels in
+    let reports_per_item =
+      1.0
+      +. (Float.log (Float.of_int (max 2 max_mult))
+         /. Float.log (1.0 +. theta))
+    in
+    let pair_msg = Float.of_int (Wire.item_count_pairs 1) in
+    let level_msg = Float.of_int (Wire.message ~payload:Wire.level_bytes) in
+    let up = retained *. reports_per_item *. pair_msg in
+    let down = levels *. Float.of_int sites *. level_msg in
+    up +. down
+
+let hh_bound ~exact_bytes = Float.of_int exact_bytes
+
+let window_bound ~updates =
+  Float.of_int (Wd_protocol.Window_tracker.exact_bytes ~updates)
+
+(* Acceptance ceilings on measured/bound: how much constant-factor slack
+   each envelope is granted before the bytes check fails.  The exact
+   baselines are computed, not bounded, so they get a whisker; the
+   sketch protocols get room for delta-encoding overheads and the
+   non-worst-case stream reaching thresholds faster than the ladder
+   argument assumes; HH and windows are normalized against their exact
+   baselines, which the approximate protocols are merely expected not to
+   exceed wildly at this scale. *)
+let ceiling cell =
+  match cell.Spec.protocol with
+  | Spec.Dc Dc.EC | Spec.Ds Ds.EDS -> 1.01
+  | Spec.Dc _ -> 2.0
+  | Spec.Ds _ -> 3.0
+  | Spec.Hh _ -> 12.0
+      (* At the eval's scaled-down trace the FM-array refreshes dominate
+         and cost several times the exact pair-forwarding baseline
+         (measured ~6-8x); the paper's win materializes at full trace
+         scale.  The ratio is tracked against the committed baseline, so
+         drift is still gated — the ceiling only needs to catch
+         blow-ups. *)
+  | Spec.Window _ -> 3.0

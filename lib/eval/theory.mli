@@ -1,0 +1,48 @@
+(** Communication envelopes: per-cell upper bounds on protocol traffic.
+
+    The eval harness normalizes measured bytes against these bounds
+    ([bytes_ratio = measured / bound]) so acceptance is scale-free: the
+    committed baseline stays meaningful when grid sizes change.  The
+    bounds follow the paper's cost analyses (Theorem 1 for DC, Theorem 2
+    for DS) as envelopes; {!ceiling} grants each protocol family its
+    constant-factor slack. *)
+
+val dc_sends_bound : sites:int -> distinct:int -> theta:float -> float
+(** Theorem 1's ladder bound on site-to-coordinator messages:
+    [k * (log_{1+theta/k} N0 + 1)]. *)
+
+val dc_bound :
+  algorithm:Wd_protocol.Dc_tracker.algorithm ->
+  sites:int ->
+  distinct:int ->
+  theta:float ->
+  sketch_bytes:int ->
+  exact_bytes:int ->
+  float
+(** Total-byte envelope for a DC run; [sketch_bytes] is the measured
+    wire size of a fully loaded sketch of the cell's family, and
+    [exact_bytes] the EC baseline ({!Whats_different.Simulation.exact_dc_bytes}),
+    which is also the (computed, not bounded) envelope for [EC] itself. *)
+
+val ds_bound :
+  algorithm:Wd_protocol.Ds_tracker.algorithm ->
+  sites:int ->
+  threshold:int ->
+  theta:float ->
+  max_mult:int ->
+  updates:int ->
+  exact_bytes:int ->
+  float
+(** Total-byte envelope for a DS run from Theorem 2's retained-item
+    accounting; [max_mult] is the stream's largest multiplicity. *)
+
+val hh_bound : exact_bytes:int -> float
+(** The HH envelope is the exact pair-forwarding baseline. *)
+
+val window_bound : updates:int -> float
+(** The window envelope is
+    {!Wd_protocol.Window_tracker.exact_bytes}. *)
+
+val ceiling : Spec.cell -> float
+(** Acceptance ceiling on [measured / bound] for this cell's protocol
+    family; the bytes check fails above it. *)

@@ -353,6 +353,17 @@ module Coordinator = struct
          match accept_handshake t with
          | Some _ -> incr accepted
          | None -> ()
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+           ->
+           (* SO_RCVTIMEO expired on the listening socket: a spawned site
+              never connected.  Surface the documented Failure instead of
+              the raw Unix_error so callers' error paths (and their child
+              cleanup) engage. *)
+           failwith
+             (Printf.sprintf
+                "socket coordinator: timed out after %gs waiting for %d of \
+                 %d site(s) to connect"
+                timeout (sites - !accepted) sites)
        done
      with e ->
        close t;

@@ -68,8 +68,11 @@ module Coordinator : sig
       version (or any malformed handshake) is answered with a [Reject]
       frame naming the {!Wire.Frame.error} and does not count toward
       [sites].  [timeout] (default 30s) bounds every blocking socket
-      operation so a wedged relay fails the run instead of hanging it.
-      Raises [Failure] on handshake or I/O errors. *)
+      operation so a wedged relay fails the run instead of hanging it;
+      in particular, a site that never connects (or stalls mid-handshake)
+      raises [Failure] naming the missing site count once the timeout
+      expires, never a raw [Unix_error].  Raises [Failure] on handshake
+      or I/O errors. *)
 
   val pack : t -> Transport.t
   (** The packed transport protocol code consumes. *)

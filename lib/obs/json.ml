@@ -63,6 +63,44 @@ let to_string v =
   write buf v;
   Buffer.contents buf
 
+(* Two-space indentation; scalars and empty containers stay on one
+   line.  The token stream is identical to [to_string] modulo
+   whitespace, so both parse back to the same value. *)
+let rec write_pretty buf ~indent v =
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  match v with
+  | Null | Bool _ | Int _ | Float _ | Str _ | List [] | Obj [] ->
+    write buf v
+  | List l ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        pad (indent + 1);
+        write_pretty buf ~indent:(indent + 1) x)
+      l;
+    Buffer.add_char buf '\n';
+    pad indent;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        pad (indent + 1);
+        escape_into buf k;
+        Buffer.add_string buf ": ";
+        write_pretty buf ~indent:(indent + 1) x)
+      kvs;
+    Buffer.add_char buf '\n';
+    pad indent;
+    Buffer.add_char buf '}'
+
+let to_string_pretty v =
+  let buf = Buffer.create 256 in
+  write_pretty buf ~indent:0 v;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Parsing: plain recursive descent over the input string. *)
 

@@ -18,6 +18,11 @@ val to_string : t -> string
 (** Compact (single-line) rendering.  Non-finite floats render as [null]
     since JSON cannot represent them. *)
 
+val to_string_pretty : t -> string
+(** Multi-line rendering with two-space indentation — for committed
+    artifacts (eval baselines, bench records) that humans diff in
+    review.  Parses back to the same value as {!to_string}. *)
+
 val of_string : string -> (t, string) result
 (** Parse one JSON document; the error string carries a character
     position.  Numbers without [.], [e] or [E] that fit an OCaml [int]

@@ -103,6 +103,16 @@ let load_binary path =
       read_exact path ic buf 8;
       let n = Int64.to_int (Bytes.get_int64_le buf 0) in
       if n < 0 then raise (Error (path, Bad_count n));
+      (* Bound the allocation by what the file can actually hold: a
+         corrupted count field must surface as a typed truncation, not
+         as Array.make blowing up on an astronomical length. *)
+      let file_len = in_channel_length ic in
+      if n > (file_len - mlen - 8) / 16 then begin
+        let wanted =
+          if n > (max_int - mlen - 8) / 16 then max_int else mlen + 8 + (16 * n)
+        in
+        raise (Error (path, Truncated { wanted; got = file_len }))
+      end;
       let sites = Array.make n 0 and items = Array.make n 0 in
       let rec_buf = Bytes.create 16 in
       for j = 0 to n - 1 do

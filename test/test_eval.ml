@@ -1,0 +1,353 @@
+(* The eval harness: statistics, artifact serialization, the baseline
+   diff gates, and a miniature end-to-end grid run (including the
+   injected-handicap bug detector).  Also the CLI regression test for
+   [wdmon inspect] on an empty trace, which rides along because it needs
+   the built binary. *)
+
+module Stats = Wd_eval.Stats
+module Spec = Wd_eval.Spec
+module Theory = Wd_eval.Theory
+module Runner = Wd_eval.Runner
+module Artifact = Wd_eval.Artifact
+module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let checkf ?eps msg expected got =
+  if not (feq ?eps expected got) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected got
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_quantile () =
+  let xs = [| 3.0; 1.0; 2.0; 4.0 |] in
+  checkf "q0" 1.0 (Stats.quantile xs 0.0);
+  checkf "q1" 4.0 (Stats.quantile xs 1.0);
+  checkf "median" 2.5 (Stats.quantile xs 0.5);
+  (* type-7: rank = q * (n-1); q=0.9 on 4 points -> 2.7 -> 3 + 0.7*(4-3) *)
+  checkf "p90" 3.7 (Stats.quantile xs 0.9);
+  checkf "singleton" 7.0 (Stats.quantile [| 7.0 |] 0.25);
+  Alcotest.(check bool)
+    "empty is nan" true
+    (Float.is_nan (Stats.quantile [||] 0.5));
+  (* input must not be reordered *)
+  Alcotest.(check bool) "no mutation" true (xs = [| 3.0; 1.0; 2.0; 4.0 |])
+
+let test_mean_max () =
+  checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "max" 3.0 (Stats.max_value [| 1.0; 3.0; 2.0 |]);
+  Alcotest.(check bool) "empty mean nan" true (Float.is_nan (Stats.mean [||]))
+
+let test_binomial_law () =
+  (* pmf sums to 1; cdf at n is 1 *)
+  let n = 9 and p = 0.37 in
+  let total = ref 0.0 in
+  for k = 0 to n do
+    total := !total +. Stats.binom_pmf ~n ~p k
+  done;
+  checkf "pmf sums to 1" 1.0 !total;
+  checkf "cdf at n" 1.0 (Stats.binom_cdf ~n ~p n);
+  checkf "pmf 0" (0.63 ** 9.0) (Stats.binom_pmf ~n ~p 0);
+  (* monotone cdf *)
+  for k = 1 to n do
+    if Stats.binom_cdf ~n ~p k < Stats.binom_cdf ~n ~p (k - 1) then
+      Alcotest.failf "cdf not monotone at %d" k
+  done
+
+let test_binomial_accept () =
+  (* With 5 reps at confidence 0.9 and significance 0.005 the test
+     rejects iff at most 1 rep succeeded: P(X<=1) ~ 4.6e-4 < 0.005 but
+     P(X<=2) ~ 8.6e-3 > 0.005. *)
+  let accept successes =
+    Stats.binomial_accept ~trials:5 ~successes ~null_p:0.9
+      ~significance:0.005
+  in
+  List.iter
+    (fun (s, expect_pass) ->
+      let v = accept s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d/5 pass" s)
+        expect_pass v.Stats.pass;
+      if v.Stats.p_value < 0.0 || v.Stats.p_value > 1.0 then
+        Alcotest.failf "p-value out of range: %g" v.Stats.p_value)
+    [ (0, false); (1, false); (2, true); (3, true); (5, true) ];
+  checkf ~eps:1e-6 "p-value 1/5"
+    (Stats.binom_cdf ~n:5 ~p:0.9 1)
+    (accept 1).Stats.p_value;
+  Alcotest.check_raises "trials 0"
+    (Invalid_argument "Stats.binomial_accept: trials must be > 0")
+    (fun () -> ignore (Stats.binomial_accept ~trials:0 ~successes:0
+                         ~null_p:0.9 ~significance:0.005))
+
+(* ------------------------------------------------------------------ *)
+(* Artifact *)
+
+let mk_cell ?(id = "cell-a") ?(accept_pass = true) ?(bytes_pass = true)
+    ?(ratio_max = 0.5) ?(err_p90 = 0.04) ?faults () =
+  {
+    Artifact.id;
+    family = "dc";
+    algorithm = "LS";
+    sketch = "fm";
+    alpha = 0.1;
+    delta = 0.1;
+    sites = 4;
+    events = 1000;
+    workload = "zipf";
+    transport = "sim";
+    faults;
+    reps = 5;
+    successes = (if accept_pass then 5 else 1);
+    accept_pass;
+    p_value = (if accept_pass then 1.0 else 0.00046);
+    err_mean = 0.03;
+    err_p50 = 0.03;
+    err_p90;
+    err_max = err_p90 +. 0.01;
+    bytes_mean = 1234.5;
+    ratio_mean = ratio_max /. 2.0;
+    ratio_max;
+    ratio_ceiling = 2.0;
+    bytes_pass;
+    msgs_mean = 42.0;
+    wall_s = 0.125;
+  }
+
+let mk_artifact cells =
+  {
+    Artifact.grid = "small";
+    base_seed = 42;
+    reps = 5;
+    significance = 0.005;
+    cells;
+  }
+
+let test_artifact_roundtrip () =
+  let t =
+    mk_artifact
+      [ mk_cell (); mk_cell ~id:"cell-b" ~faults:"drop=0.05" ~ratio_max:1.9 () ]
+  in
+  (match Artifact.of_json (Artifact.to_json t) with
+  | Ok t' -> Alcotest.(check bool) "json roundtrip" true (t = t')
+  | Error e -> Alcotest.failf "of_json failed: %s" e);
+  (* through the actual text rendering too (%.17g floats: lossless) *)
+  (match
+     Artifact.of_string (Wd_obs.Json.to_string_pretty (Artifact.to_json t))
+   with
+  | Ok t' -> Alcotest.(check bool) "string roundtrip" true (t = t')
+  | Error e -> Alcotest.failf "of_string failed: %s" e);
+  Alcotest.(check bool) "passes" true (Artifact.pass t);
+  Alcotest.(check bool)
+    "failing cell fails artifact" false
+    (Artifact.pass (mk_artifact [ mk_cell ~accept_pass:false () ]))
+
+let test_artifact_version_gate () =
+  match Artifact.of_string {|{"version":"wd-eval/999","grid":"x"}|} with
+  | Ok _ -> Alcotest.fail "accepted an unknown artifact version"
+  | Error e ->
+    Alcotest.(check bool)
+      "error names the version" true
+      (let re = "wd-eval/999" in
+       let len = String.length re in
+       let rec find i =
+         i + len <= String.length e && (String.sub e i len = re || find (i + 1))
+       in
+       find 0)
+
+let test_artifact_csv () =
+  let t = mk_artifact [ mk_cell (); mk_cell ~id:"cell-b" () ] in
+  let csv = Artifact.to_csv t in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  Alcotest.(check int) "header + one row per cell" 3 (List.length lines);
+  let header = List.hd lines in
+  let cols = String.split_on_char ',' header in
+  List.iter
+    (fun row ->
+      Alcotest.(check int)
+        "row width matches header" (List.length cols)
+        (List.length (String.split_on_char ',' row)))
+    (List.tl lines);
+  Alcotest.(check bool)
+    "header has id column" true
+    (List.mem "id" cols)
+
+let test_diff_gates () =
+  let baseline = mk_artifact [ mk_cell () ] in
+  let clean_of current = Artifact.clean (Artifact.diff ~baseline ~current) in
+  Alcotest.(check bool) "identical is clean" true (clean_of baseline);
+  Alcotest.(check bool)
+    "missing cell regresses" false
+    (clean_of (mk_artifact []));
+  Alcotest.(check bool)
+    "accuracy flip regresses" false
+    (clean_of (mk_artifact [ mk_cell ~accept_pass:false () ]));
+  Alcotest.(check bool)
+    "bytes flip regresses" false
+    (clean_of (mk_artifact [ mk_cell ~bytes_pass:false () ]));
+  Alcotest.(check bool)
+    "ratio drift past 1.5x regresses" false
+    (clean_of (mk_artifact [ mk_cell ~ratio_max:0.8 () ]));
+  Alcotest.(check bool)
+    "ratio drift under 1.5x is clean" true
+    (clean_of (mk_artifact [ mk_cell ~ratio_max:0.7 () ]));
+  Alcotest.(check bool)
+    "err drift past the gate regresses" false
+    (clean_of (mk_artifact [ mk_cell ~err_p90:0.08 () ]));
+  (* near-zero baselines get the 0.01 absolute floor *)
+  let tiny = mk_artifact [ mk_cell ~err_p90:0.001 () ] in
+  Alcotest.(check bool)
+    "error floor absorbs noise on tiny baselines" true
+    (Artifact.clean
+       (Artifact.diff ~baseline:tiny
+          ~current:(mk_artifact [ mk_cell ~err_p90:0.009 () ])));
+  (* a new cell is a note, not a regression *)
+  let d =
+    Artifact.diff ~baseline
+      ~current:(mk_artifact [ mk_cell (); mk_cell ~id:"cell-new" () ])
+  in
+  Alcotest.(check bool) "new cell is clean" true (Artifact.clean d);
+  Alcotest.(check bool) "new cell is noted" true (d.Artifact.notes <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Runner: a miniature grid, and the handicap bug-detector *)
+
+let tiny_config =
+  { Runner.default_config with Runner.reps = 5; base_seed = 7 }
+
+let test_runner_exact_cell () =
+  let cell = Spec.base ~events:4_000 ~sites:3 (Spec.Dc Dc.EC) in
+  let r = Runner.run_cell tiny_config cell in
+  Alcotest.(check string) "id" (Spec.id cell) r.Artifact.id;
+  Alcotest.(check int) "reps" 5 r.Artifact.reps;
+  Alcotest.(check int) "all in band" 5 r.Artifact.successes;
+  Alcotest.(check bool) "accept" true r.Artifact.accept_pass;
+  Alcotest.(check bool) "bytes" true r.Artifact.bytes_pass;
+  checkf "exact tracker has zero error" 0.0 r.Artifact.err_max;
+  if r.Artifact.ratio_max > 1.01 then
+    Alcotest.failf "exact envelope overshoot: %g" r.Artifact.ratio_max;
+  if r.Artifact.msgs_mean <= 0.0 then
+    Alcotest.failf "no messages measured: %g" r.Artifact.msgs_mean
+
+let test_runner_sketch_cell_deterministic () =
+  let cell = Spec.base ~events:6_000 ~alpha:0.2 (Spec.Dc Dc.LS) in
+  let a = Runner.run_cell tiny_config cell in
+  let b = Runner.run_cell tiny_config cell in
+  Alcotest.(check bool)
+    "rerun reproduces everything but wall time" true
+    ({ a with Artifact.wall_s = 0.0 } = { b with Artifact.wall_s = 0.0 });
+  Alcotest.(check bool) "cell passes" true (Artifact.cell_pass a);
+  if a.Artifact.bytes_mean <= 0.0 then Alcotest.fail "no traffic measured"
+
+let test_runner_grid_artifact () =
+  let cells =
+    [
+      Spec.base ~events:3_000 (Spec.Dc Dc.EC);
+      Spec.base ~events:3_000 ~alpha:0.2 (Spec.Ds Ds.EDS);
+    ]
+  in
+  let t = Runner.run_grid ~name:"tiny" tiny_config cells in
+  Alcotest.(check string) "grid name" "tiny" t.Artifact.grid;
+  Alcotest.(check int) "cell count" 2 (List.length t.Artifact.cells);
+  Alcotest.(check int) "base seed recorded" 7 t.Artifact.base_seed;
+  Alcotest.(check bool) "grid passes" true (Artifact.pass t)
+
+let test_handicap_detected () =
+  (* The injected-bug dial must flip the DS acceptance verdict: handicap
+     h inflates the count-lag theta by h^2 while the verdict still
+     judges against the honest alpha, so err_max lands deterministically
+     outside the band (Lemma 2 makes the lag, and hence the failure,
+     non-probabilistic). *)
+  let cell = Spec.base ~events:30_000 (Spec.Ds Ds.LCO) in
+  let honest = Runner.run_cell tiny_config cell in
+  Alcotest.(check bool) "honest run passes" true honest.Artifact.accept_pass;
+  let rigged =
+    Runner.run_cell { tiny_config with Runner.handicap = 2.0 } cell
+  in
+  Alcotest.(check bool)
+    "handicapped run fails acceptance" false rigged.Artifact.accept_pass;
+  Alcotest.(check int) "no rep survives" 0 rigged.Artifact.successes;
+  if rigged.Artifact.p_value >= 0.005 then
+    Alcotest.failf "failure not significant: p = %g" rigged.Artifact.p_value
+
+(* ------------------------------------------------------------------ *)
+(* wdmon inspect on an empty trace (CLI regression) *)
+
+(* Under [dune runtest] the cwd is [_build/default/test]; under
+   [dune exec] it is the project root — look in both places. *)
+let wdmon =
+  List.find_opt Sys.file_exists
+    [
+      Filename.concat ".." (Filename.concat "bin" "wdmon.exe");
+      "_build/default/bin/wdmon.exe";
+    ]
+
+let test_inspect_empty_trace () =
+  match wdmon with
+  | None -> Alcotest.skip ()
+  | Some wdmon ->
+    let dir = Filename.get_temp_dir_name () in
+    let trace =
+      Filename.concat dir (Printf.sprintf "wd-empty-%d.jsonl" (Unix.getpid ()))
+    in
+    let out = trace ^ ".out" in
+    let oc = open_out trace in
+    close_out oc;
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ trace; out ])
+      (fun () ->
+        let cmd =
+          Printf.sprintf "%s inspect %s > %s 2>&1"
+            (Filename.quote wdmon) (Filename.quote trace) (Filename.quote out)
+        in
+        let status = Sys.command cmd in
+        let text = In_channel.with_open_bin out In_channel.input_all in
+        if status <> 0 then
+          Alcotest.failf "inspect on empty trace exited %d:\n%s" status text;
+        Alcotest.(check bool)
+          "says the trace is empty" true
+          (let re = "empty trace" in
+           let len = String.length re in
+           let rec find i =
+             i + len <= String.length text
+             && (String.sub text i len = re || find (i + 1))
+           in
+           find 0))
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "mean/max" `Quick test_mean_max;
+          Alcotest.test_case "binomial law" `Quick test_binomial_law;
+          Alcotest.test_case "binomial acceptance" `Quick test_binomial_accept;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_artifact_roundtrip;
+          Alcotest.test_case "version gate" `Quick test_artifact_version_gate;
+          Alcotest.test_case "csv shape" `Quick test_artifact_csv;
+          Alcotest.test_case "diff gates" `Quick test_diff_gates;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "exact cell" `Quick test_runner_exact_cell;
+          Alcotest.test_case "deterministic rerun" `Quick
+            test_runner_sketch_cell_deterministic;
+          Alcotest.test_case "grid artifact" `Quick test_runner_grid_artifact;
+          Alcotest.test_case "handicap detected" `Slow test_handicap_detected;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "inspect empty trace" `Quick
+            test_inspect_empty_trace;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Mutation fuzzing of the two binary decoders: Wire.Frame headers and
+   Trace_io trace files.  Start from a valid encoding, corrupt it (bit
+   flips, truncations, length/count-field garbage), and require the
+   decoder to answer with its typed error channel — Ok/Error for frame
+   headers, the Trace_io.Error exception for loaders — and never leak
+   Invalid_argument, Out_of_memory, or friends. *)
+
+module Frame = Wd_net.Wire.Frame
+module Trace_io = Wd_workload.Trace_io
+module Stream = Wd_workload.Stream
+
+let kinds =
+  [|
+    Frame.Hello;
+    Frame.Welcome;
+    Frame.Deliver;
+    Frame.Request_up;
+    Frame.Up;
+    Frame.Finish;
+    Frame.Stats;
+    Frame.Reject;
+  |]
+
+(* One fuzz case: a valid header plus a mutation plan.  Everything is
+   plain ints so cases print and shrink naturally. *)
+type frame_case = {
+  kind_i : int;
+  site : int;
+  length : int;
+  mutation : int;  (* 0 = none, 1 = bit flip, 2 = truncate, 3 = garbage length *)
+  m_a : int;  (* mutation operand: byte index / kept prefix / random word *)
+  m_b : int;  (* mutation operand: bit index / spare randomness *)
+}
+
+let show_frame_case c =
+  Printf.sprintf "{kind=%d site=%d len=%d mut=%d a=%d b=%d}" c.kind_i c.site
+    c.length c.mutation c.m_a c.m_b
+
+let gen_frame_case rng =
+  {
+    kind_i = Prop.int_range 0 (Array.length kinds - 1) rng;
+    site = Prop.int_range 0 0xFFFF rng;
+    length = Prop.int_range 0 Frame.max_payload rng;
+    mutation = Prop.int_range 0 3 rng;
+    m_a = Prop.int_range 0 0x3FFFFFFF rng;
+    m_b = Prop.int_range 0 0x3FFFFFFF rng;
+  }
+
+let shrink_frame_case c =
+  List.concat
+    [
+      List.map (fun site -> { c with site }) (Prop.shrink_int c.site);
+      List.map (fun length -> { c with length }) (Prop.shrink_int c.length);
+      List.map (fun m_a -> { c with m_a }) (Prop.shrink_int c.m_a);
+      List.map (fun m_b -> { c with m_b }) (Prop.shrink_int c.m_b);
+    ]
+
+(* Build the (possibly shortened) buffer and decode position. *)
+let realize_frame c =
+  let buf = Bytes.create Frame.header_bytes in
+  Frame.encode_header buf ~pos:0 ~kind:kinds.(c.kind_i) ~site:c.site
+    ~length:c.length;
+  match c.mutation with
+  | 0 -> (buf, 0)
+  | 1 ->
+    let byte = c.m_a mod Frame.header_bytes in
+    let bit = c.m_b mod 8 in
+    Bytes.set_uint8 buf byte (Bytes.get_uint8 buf byte lxor (1 lsl bit));
+    (buf, 0)
+  | 2 ->
+    (* Keep a strict prefix; also exercise pos pointing past the end. *)
+    let keep = c.m_a mod Frame.header_bytes in
+    (Bytes.sub buf 0 keep, c.m_b mod (keep + 2))
+  | _ ->
+    (* Stomp the length field with four random bytes (covers negative
+       and far-beyond-max_payload values). *)
+    Bytes.set_int32_le buf 8 (Int32.of_int c.m_a);
+    (buf, 0)
+
+let frame_decode_total c =
+  let buf, pos = realize_frame c in
+  match Frame.decode_header buf ~pos with
+  | Ok h ->
+    (* Whatever decodes must satisfy the decoder's own invariants. *)
+    h.Frame.length >= 0 && h.Frame.length <= Frame.max_payload
+  | Error _ -> true
+  | exception e ->
+    Printf.eprintf "decode_header raised %s\n" (Printexc.to_string e);
+    false
+
+let frame_roundtrip c =
+  let c = { c with mutation = 0 } in
+  let buf, pos = realize_frame c in
+  match Frame.decode_header buf ~pos with
+  | Ok h ->
+    h.Frame.kind = kinds.(c.kind_i)
+    && h.Frame.site = c.site
+    && h.Frame.length = c.length
+  | Error _ | (exception _) -> false
+
+let frame_truncation_typed c =
+  (* Every strict prefix of a valid header must decode to Truncated
+     specifically — the error callers use to wait for more bytes. *)
+  let c = { c with mutation = 0 } in
+  let buf, _ = realize_frame c in
+  let keep = c.m_a mod Frame.header_bytes in
+  match Frame.decode_header (Bytes.sub buf 0 keep) ~pos:0 with
+  | Error (Frame.Truncated { wanted; got }) ->
+    wanted = Frame.header_bytes && got = keep
+  | Ok _ | Error _ | (exception _) -> false
+
+(* ------------------------------------------------------------------ *)
+(* Trace_io *)
+
+type trace_case = {
+  events : (int * int) list;
+  t_mutation : int;  (* 0 = none, 1 = bit flip, 2 = truncate, 3 = count field *)
+  t_a : int;
+  t_b : int;
+}
+
+let show_trace_case c =
+  Printf.sprintf "{events=%s mut=%d a=%d b=%d}"
+    (Prop.show_list
+       (Prop.show_pair Prop.show_int Prop.show_int)
+       c.events)
+    c.t_mutation c.t_a c.t_b
+
+let gen_trace_case rng =
+  {
+    events =
+      Prop.list ~max_len:12
+        (Prop.pair (Prop.int_range 0 7) (Prop.int_range 0 1000))
+        rng;
+    t_mutation = Prop.int_range 0 3 rng;
+    t_a = Prop.int_range 0 0x3FFFFFFF rng;
+    t_b = Prop.int_range 0 0x3FFFFFFF rng;
+  }
+
+let shrink_trace_case c =
+  List.concat
+    [
+      List.map
+        (fun events -> { c with events })
+        (Prop.shrink_list Prop.no_shrink c.events);
+      List.map (fun t_a -> { c with t_a }) (Prop.shrink_int c.t_a);
+      List.map (fun t_b -> { c with t_b }) (Prop.shrink_int c.t_b);
+    ]
+
+let tmp_name =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wd-fuzz-%d-%d.trace" (Unix.getpid ()) !counter)
+
+let with_tmp_file bytes f =
+  let path = tmp_name () in
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let realize_trace c =
+  let path = tmp_name () in
+  Trace_io.save_binary path (Stream.of_events c.events);
+  let bytes =
+    In_channel.with_open_bin path (fun ic ->
+      Bytes.of_string (In_channel.input_all ic))
+  in
+  Sys.remove path;
+  let n = Bytes.length bytes in
+  match c.t_mutation with
+  | 0 -> bytes
+  | 1 ->
+    let byte = c.t_a mod n in
+    let bit = c.t_b mod 8 in
+    Bytes.set_uint8 bytes byte (Bytes.get_uint8 bytes byte lxor (1 lsl bit));
+    bytes
+  | 2 -> Bytes.sub bytes 0 (c.t_a mod n)
+  | _ ->
+    (* Stomp the 8-byte record-count field after the magic: random
+       63-bit value, optionally negated — astronomical counts must fail
+       as typed truncations, not as gigantic allocations. *)
+    let v = Int64.of_int ((c.t_a lsl 30) lxor c.t_b) in
+    let v = if c.t_b land 1 = 1 then Int64.neg v else v in
+    Bytes.set_int64_le bytes 8 v;
+    bytes
+
+let trace_binary_load_typed c =
+  let bytes = realize_trace c in
+  with_tmp_file bytes (fun path ->
+    match Trace_io.load_binary path with
+    | (_ : Stream.t) -> true
+    | exception Trace_io.Error _ -> true
+    | exception e ->
+      Printf.eprintf "load_binary raised %s\n" (Printexc.to_string e);
+      false)
+
+let trace_binary_roundtrip c =
+  let c = { c with t_mutation = 0 } in
+  let bytes = realize_trace c in
+  with_tmp_file bytes (fun path ->
+    match Trace_io.load_binary path with
+    | s ->
+      Stream.length s = List.length c.events
+      && List.for_all2
+           (fun (site, item) j -> Stream.site s j = site && Stream.item s j = item)
+           c.events
+           (List.init (Stream.length s) Fun.id)
+    | exception _ -> false)
+
+(* CSV: corrupt the text with a printable-garbage splice or truncation;
+   the loader must answer with Malformed_line (or parse fine: plenty of
+   corruptions still read as valid integer pairs). *)
+let trace_csv_load_typed c =
+  let path = tmp_name () in
+  Trace_io.save_csv path (Stream.of_events c.events);
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  let n = String.length text in
+  let mutated =
+    match c.t_mutation with
+    | 0 -> text
+    | 1 ->
+      let i = c.t_a mod n in
+      let garbage = Char.chr (0x20 + (c.t_b mod 0x5f)) in
+      String.mapi (fun j ch -> if j = i then garbage else ch) text
+    | 2 -> String.sub text 0 (c.t_a mod n)
+    | _ -> String.sub text 0 (c.t_a mod n) ^ "#!garbage," ^ string_of_int c.t_b
+  in
+  with_tmp_file (Bytes.of_string mutated) (fun path ->
+    match Trace_io.load_csv path with
+    | (_ : Stream.t) -> true
+    | exception Trace_io.Error (_, Trace_io.Malformed_line _) -> true
+    | exception e ->
+      Printf.eprintf "load_csv raised %s\n" (Printexc.to_string e);
+      false)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "frame",
+        [
+          Prop.test_case ~count:400 ~shrink:shrink_frame_case
+            ~show:show_frame_case ~name:"mutated header decode is total"
+            gen_frame_case frame_decode_total;
+          Prop.test_case ~count:200 ~shrink:shrink_frame_case
+            ~show:show_frame_case ~name:"clean header roundtrips"
+            gen_frame_case frame_roundtrip;
+          Prop.test_case ~count:200 ~shrink:shrink_frame_case
+            ~show:show_frame_case ~name:"every strict prefix is Truncated"
+            gen_frame_case frame_truncation_typed;
+        ] );
+      ( "trace_io",
+        [
+          Prop.test_case ~count:200 ~shrink:shrink_trace_case
+            ~show:show_trace_case ~name:"mutated binary load is typed"
+            gen_trace_case trace_binary_load_typed;
+          Prop.test_case ~count:100 ~shrink:shrink_trace_case
+            ~show:show_trace_case ~name:"clean binary roundtrips"
+            gen_trace_case trace_binary_roundtrip;
+          Prop.test_case ~count:200 ~shrink:shrink_trace_case
+            ~show:show_trace_case ~name:"mutated csv load is typed"
+            gen_trace_case trace_csv_load_typed;
+        ] );
+    ]

@@ -221,18 +221,27 @@ let read_exact fd buf =
   in
   go 0
 
+(* Retry connect until a wall-clock deadline, not a sleep count: under
+   load the coordinator may take arbitrarily long to bind, and a retry
+   budget measured in sleeps silently shrinks with scheduling jitter. *)
+let connect_by_deadline fd path ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    try Unix.connect fd (Unix.ADDR_UNIX path)
+    with
+    | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when Unix.gettimeofday () < deadline
+      ->
+      Unix.sleepf 0.02;
+      go ()
+  in
+  go ()
+
 (* Speak a Hello with the wrong version byte; the coordinator must
    answer Reject (and not count us toward its site quorum). *)
 let bad_version_client path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let rec connect n =
-    try Unix.connect fd (Unix.ADDR_UNIX path)
-    with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n > 0
-      ->
-      Unix.sleepf 0.05;
-      connect (n - 1)
-  in
-  connect 200;
+  connect_by_deadline fd path ~timeout:10.0;
   let hello = encode ~kind:Frame.Hello ~site:0 ~length:0 in
   Bytes.set_uint8 hello 2 (Frame.version + 1);
   ignore (Unix.write fd hello 0 (Bytes.length hello));
@@ -274,6 +283,54 @@ let test_version_mismatch_rejected () =
       | _, _ -> Alcotest.failf "%s exited abnormally" name)
     [ ("bad-version client", bad_pid); ("relay", good_pid) ]
 
+(* Regression: a coordinator waiting on a site that never connects must
+   fail with the documented [Failure] naming the missing sites once the
+   timeout expires — it used to leak the raw [Unix_error EAGAIN] from
+   the receive-timeout on the listening socket. *)
+let test_coordinator_times_out_cleanly () =
+  let path = sock_path () in
+  (* Spawn only 3 of the 4 expected relays; give them a short connect
+     budget so they exit on their own once the coordinator dies. *)
+  let pids =
+    List.init 3 (fun site ->
+        match Unix.fork () with
+        | 0 ->
+          (try
+             ignore
+               (Socket.Site.run ~connect_attempts:40 ~path ~site ()
+                 : Socket.site_report);
+             Unix._exit 0
+           with _ -> Unix._exit 0)
+        | pid -> pid)
+  in
+  let started = Unix.gettimeofday () in
+  (match Socket.Coordinator.connect ~timeout:0.4 ~path ~sites:4 () with
+  | (_ : Socket.Coordinator.t) ->
+    Alcotest.fail "coordinator connected without its fourth site"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "failure names the timeout: %S" msg)
+      true
+      (let re = "timed out" in
+       let len = String.length re in
+       let rec find i =
+         i + len <= String.length msg
+         && (String.sub msg i len = re || find (i + 1))
+       in
+       find 0)
+  | exception Unix.Unix_error (e, fn, _) ->
+    Alcotest.failf "raw Unix_error leaked: %s in %s" (Unix.error_message e) fn);
+  let waited = Unix.gettimeofday () -. started in
+  if waited > 5.0 then
+    Alcotest.failf "coordinator hung %.1fs against a 0.4s timeout" waited;
+  (* The orphaned relays notice the dead socket and exit; don't leak
+     them past the test. *)
+  List.iter
+    (fun pid ->
+      ignore (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    pids
+
 let () =
   Alcotest.run "transport"
     [
@@ -290,5 +347,7 @@ let () =
             test_crash_reconnect_equivalence;
           Alcotest.test_case "version mismatch rejected" `Quick
             test_version_mismatch_rejected;
+          Alcotest.test_case "coordinator times out cleanly" `Quick
+            test_coordinator_times_out_cleanly;
         ] );
     ]

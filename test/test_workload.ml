@@ -139,6 +139,44 @@ let test_two_phase_structure () =
         (k * n) (Hashtbl.length tbl))
     seen
 
+let test_two_phase_boundary_counts () =
+  (* The workload's defining property: the distinct count is exactly the
+     universe at the phase boundary and never grows again — phase 2
+     contributes duplicates only. *)
+  let k = 3 and n = 40 in
+  let s = Two_phase.generate ~sites:k ~per_site:n () in
+  let boundary = Two_phase.phase_boundary ~sites:k ~per_site:n in
+  Alcotest.(check int) "boundary = k*n" (k * n) boundary;
+  Alcotest.(check int) "all distinct by the boundary" (k * n)
+    (Stream.distinct_count (Stream.prefix s boundary));
+  (* Growth stops: sampling prefixes across phase 2 never adds an item. *)
+  List.iter
+    (fun extra ->
+      Alcotest.(check int)
+        (Printf.sprintf "distinct frozen at boundary + %d" extra)
+        (k * n)
+        (Stream.distinct_count (Stream.prefix s (boundary + extra))))
+    [ 1; n; (k * k * n) / 2; k * k * n ];
+  (* One before the boundary the last phase-1 item is still missing. *)
+  Alcotest.(check int) "one short before the boundary" ((k * n) - 1)
+    (Stream.distinct_count (Stream.prefix s (boundary - 1)))
+
+let test_two_phase_duplication_accounting () =
+  (* Every item appears once in phase 1 and once per site in phase 2, so
+     the multiplicity is exactly 1 + k and the duplication factor of the
+     whole stream is 1 + k. *)
+  let k = 4 and n = 25 in
+  let s = Two_phase.generate ~sites:k ~per_site:n () in
+  Alcotest.(check (float 1e-9))
+    "duplication factor = 1 + k"
+    (Float.of_int (1 + k))
+    (Stream.duplication_factor s);
+  Hashtbl.iter
+    (fun item c ->
+      if c <> 1 + k then
+        Alcotest.failf "item %d seen %d times, wanted %d" item c (1 + k))
+    (Stream.multiplicities s)
+
 let test_two_phase_deterministic () =
   let a = Two_phase.generate ~seed:3 ~sites:3 ~per_site:20 () in
   let b = Two_phase.generate ~seed:3 ~sites:3 ~per_site:20 () in
@@ -202,6 +240,40 @@ let test_http_deterministic () =
   let cfg = { Http.default with requests = 2_000 } in
   let a = Http.generate cfg and b = Http.generate cfg in
   Alcotest.(check bool) "same seed reproduces" true (a = b)
+
+let test_http_seed_variation () =
+  let a = Http.generate { Http.default with requests = 2_000 } in
+  let b = Http.generate { Http.default with requests = 2_000; seed = 99 } in
+  Alcotest.(check bool) "different seed differs" false (a = b);
+  (* Structural invariants hold for any seed. *)
+  Array.iter
+    (fun r ->
+      if r.Http.server < 0 || r.Http.server >= Http.default.Http.servers then
+        Alcotest.failf "server %d out of range" r.Http.server)
+    b
+
+let test_http_duplication_accounting () =
+  (* The generator only ever duplicates (retransmit/mirror), so the log
+     is at least [requests] long, and the surplus is exactly the events
+     beyond each pair's first occurrence in the pair view — duplication
+     bookkeeping must agree between the raw log and the stream. *)
+  let cfg = { Http.default with requests = 30_000 } in
+  let reqs = Http.generate cfg in
+  let pairs = Http.view cfg Http.Client_object_pair Http.Per_region reqs in
+  Alcotest.(check int) "view keeps every request" (Array.length reqs)
+    (Stream.length pairs);
+  let m = Stream.multiplicities pairs in
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) m 0 in
+  Alcotest.(check int) "multiplicities cover the log" (Array.length reqs)
+    total;
+  let duplicates = total - Hashtbl.length m in
+  (* The calibration targets pair duplication ~1.25, i.e. a surplus of
+     roughly a fifth of the log: a wide but telling band around it. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicate surplus %d plausible" duplicates)
+    true
+    (duplicates > Array.length reqs / 20
+    && duplicates < Array.length reqs / 2)
 
 let test_http_scaled () =
   let cfg = Http.scaled 0.1 in
@@ -400,6 +472,10 @@ let () =
       ( "two-phase",
         [
           Alcotest.test_case "structure" `Quick test_two_phase_structure;
+          Alcotest.test_case "boundary counts" `Quick
+            test_two_phase_boundary_counts;
+          Alcotest.test_case "duplication accounting" `Quick
+            test_two_phase_duplication_accounting;
           Alcotest.test_case "deterministic" `Quick test_two_phase_deterministic;
         ] );
       ( "http trace",
@@ -409,6 +485,9 @@ let () =
           Alcotest.test_case "duplication regimes" `Quick
             test_http_duplication_regimes;
           Alcotest.test_case "deterministic" `Quick test_http_deterministic;
+          Alcotest.test_case "seed variation" `Quick test_http_seed_variation;
+          Alcotest.test_case "duplication accounting" `Quick
+            test_http_duplication_accounting;
           Alcotest.test_case "scaled" `Quick test_http_scaled;
           Alcotest.test_case "flash crowds" `Quick
             test_http_flash_crowds_concentrate_traffic;
