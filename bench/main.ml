@@ -10,7 +10,13 @@
      dune exec bench/main.exe -- --scale 0.2  # smaller/faster workloads
      dune exec bench/main.exe -- --csv DIR    # also write one CSV per table
      dune exec bench/main.exe -- --list       # available experiment ids
-     dune exec bench/main.exe -- --no-throughput *)
+     dune exec bench/main.exe -- --no-throughput
+
+   CI gate:
+     dune exec bench/main.exe -- --assert-overhead [--baseline BENCH_PR3.json]
+       runs only the observability overhead checks (null-sink guard
+       budget, and the disabled-span batch hot path vs the committed
+       baseline) and exits nonzero when either exceeds its 5% budget. *)
 
 module Experiments = Whats_different.Experiments
 module Report = Whats_different.Report
@@ -205,30 +211,38 @@ let throughput_tests () =
       ds_observe_batch;
     ]
 
+(* Runs one Bechamel group and returns raw [(name, ns_per_call)] rows —
+   the shared measurement core of every microbenchmark section. *)
+let measure_ols tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let measured = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (ns :: _) when ns > 0.0 -> measured := (name, ns) :: !measured
+      | _ -> ())
+    results;
+  !measured
+
 (* Measures the throughput group and returns per-update rows
    [(name, ns_per_update, m_updates_per_s)], batch runs normalized by
    [batch_chunk]. *)
 let run_throughput () =
-  let open Bechamel in
   Report.print_section
     "throughput: update cost per primitive (paper 7.2: sampling ~10x faster than sketching)";
-  let cfg = Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (throughput_tests ()) in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0
-      ~predictors:[| Measure.run |]
+  let rows =
+    measure_ols (throughput_tests ())
+    |> List.map (fun (name, ns) ->
+           let ns = ns /. Float.of_int (runs_per_call name) in
+           (name, ns, 1e9 /. ns))
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some (ns :: _) when ns > 0.0 ->
-        let ns = ns /. Float.of_int (runs_per_call name) in
-        rows := (name, ns, 1e9 /. ns) :: !rows
-      | _ -> ())
-    results;
-  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
   Report.print_table ~header:[ "operation"; "ns/update"; "M updates/s" ]
     (List.map
        (fun (name, ns, ips) -> Report.[ S name; F ns; F (ips /. 1e6) ])
@@ -416,35 +430,24 @@ let sink_overhead_tests () =
       guard;
     ]
 
+(* Returns whether the null-sink guard landed within its 5% budget
+   (vacuously true when the measurement is unavailable, so the default
+   figure run never turns benchmark hiccups into failures — the
+   [--assert-overhead] gate is what consumes the verdict). *)
 let run_sink_overhead () =
-  let open Bechamel in
   Report.print_section
     "sink overhead: Dc_tracker.observe with trace sinks attached";
-  let cfg = Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) () in
-  let raw =
-    Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ]
-      (sink_overhead_tests ())
-  in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let measured = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some (ns :: _) when ns > 0.0 -> measured := (name, ns) :: !measured
-      | _ -> ())
-    results;
+  let measured = measure_ols (sink_overhead_tests ()) in
   let find needle =
-    List.find_opt (fun (name, _) -> Filename.check_suffix name needle)
-      !measured
+    List.find_opt (fun (name, _) -> Filename.check_suffix name needle) measured
   in
   match find "dc-observe(null)" with
-  | None -> print_endline "  (no baseline measurement; skipped)"
+  | None ->
+    print_endline "  (no baseline measurement; skipped)";
+    true
   | Some (_, base_ns) ->
     let rows =
-      List.sort (fun (a, _) (b, _) -> compare a b) !measured
+      List.sort (fun (a, _) (b, _) -> compare a b) measured
       |> List.filter (fun (name, _) ->
              not (Filename.check_suffix name "null-guard(x16)"))
       |> List.map (fun (name, ns) ->
@@ -459,16 +462,226 @@ let run_sink_overhead () =
                ])
     in
     Report.print_table ~header:[ "case"; "ns/update"; "vs null sink" ] rows;
-    (match find "null-guard(x16)" with
-    | Some (_, batch_ns) ->
-      let guard_ns = batch_ns /. 16.0 in
-      let pct = 100.0 *. guard_ns /. base_ns in
-      Printf.printf
-        "null-sink guard costs %.2f ns/event = %.2f%% of an observe (budget 5%%): %s\n"
-        guard_ns pct
-        (if pct <= 5.0 then "OK" else "OVER BUDGET")
-    | None -> ());
-    print_newline ()
+    let guard_ok =
+      match find "null-guard(x16)" with
+      | Some (_, batch_ns) ->
+        let guard_ns = batch_ns /. 16.0 in
+        let pct = 100.0 *. guard_ns /. base_ns in
+        let ok = pct <= 5.0 in
+        Printf.printf
+          "null-sink guard costs %.2f ns/event = %.2f%% of an observe (budget 5%%): %s\n"
+          guard_ns pct
+          (if ok then "OK" else "OVER BUDGET");
+        ok
+      | None -> true
+    in
+    print_newline ();
+    guard_ok
+
+(* ------------------------------------------------------------------ *)
+(* Span overhead on the batched hot path, and the --assert-overhead CI
+   gate.
+
+   The observability acceptance bound: with no recorder attached the
+   span check on [observe_batch] is a single option match per
+   [batch_chunk]-update batch, and that disabled path must stay within
+   5% of the committed throughput baseline.  The recorder-attached
+   cases are informational — they price two clock reads and one event
+   per batch. *)
+
+let span_batch_tests ?(with_recorder = true) () =
+  let open Bechamel in
+  let items = zipf_items 65_536 in
+  let bench_sites = Array.init (Array.length items) (fun j -> j land 3) in
+  let recorder () =
+    Wd_obs.Span.create ~clock:Wd_net.Clock.ns ~emit:(fun _ -> ()) ()
+  in
+  let dc_case ~name ~spans =
+    let fam =
+      Fm.family_custom ~rng:(Rng.create 6) ~variant:Fm.Stochastic ~bitmaps:128
+    in
+    let t = Dc.Fm.create ~algorithm:Dc.LS ~theta:0.03 ~sites:4 ~family:fam () in
+    if spans then
+      Wd_net.Network.set_spans (Dc.Fm.network t) (Some (recorder ()));
+    let pos = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Dc.Fm.observe_batch t ~sites:bench_sites ~items ~pos:!pos
+             ~len:batch_chunk;
+           pos := !pos + batch_chunk;
+           if !pos = Array.length items then pos := 0))
+  in
+  let ds_case ~name ~spans =
+    let fam = Sampler.family ~rng:(Rng.create 8) ~threshold:1_000 in
+    let t = Ds.create ~algorithm:Ds.LCO ~theta:0.25 ~sites:4 ~family:fam () in
+    if spans then Wd_net.Network.set_spans (Ds.network t) (Some (recorder ()));
+    let pos = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Ds.observe_batch t ~sites:bench_sites ~items ~pos:!pos
+             ~len:batch_chunk;
+           pos := !pos + batch_chunk;
+           if !pos = Array.length items then pos := 0))
+  in
+  let off =
+    [
+      dc_case ~name:"dc-observe_batch(spans off)" ~spans:false;
+      ds_case ~name:"ds-observe_batch(spans off)" ~spans:false;
+    ]
+  in
+  let on =
+    if with_recorder then
+      [
+        dc_case ~name:"dc-observe_batch(recorder)" ~spans:true;
+        ds_case ~name:"ds-observe_batch(recorder)" ~spans:true;
+      ]
+    else []
+  in
+  Test.make_grouped ~name:"span-overhead" (off @ on)
+
+let run_span_overhead () =
+  Report.print_section
+    "span overhead: observe_batch with the span recorder detached vs attached";
+  let per_update =
+    measure_ols (span_batch_tests ())
+    |> List.map (fun (name, ns) -> (name, ns /. Float.of_int batch_chunk))
+  in
+  let find needle =
+    List.find_opt (fun (name, _) -> Filename.check_suffix name needle)
+      per_update
+  in
+  let row proto off_case on_case =
+    match (find off_case, find on_case) with
+    | Some (_, off), Some (_, on) ->
+      [
+        Report.
+          [
+            S proto;
+            F off;
+            F on;
+            S (Printf.sprintf "%+.1f%%" (100.0 *. (on -. off) /. off));
+          ];
+      ]
+    | _ -> []
+  in
+  let rows =
+    row "dc-observe_batch" "dc-observe_batch(spans off)"
+      "dc-observe_batch(recorder)"
+    @ row "ds-observe_batch" "ds-observe_batch(spans off)"
+        "ds-observe_batch(recorder)"
+  in
+  Report.print_table
+    ~header:[ "hot path"; "spans off ns/up"; "recorder ns/up"; "delta" ]
+    rows;
+  print_newline ()
+
+(* The baseline's observe_batch throughput rows: [(name, ns_per_update)]
+   from a committed wd-bench/1 file. *)
+let baseline_batch_rows path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s -> (
+    match Json.of_string s with
+    | Error e -> Error e
+    | Ok j -> (
+      match Json.member "throughput" j with
+      | Some (Json.List rows) ->
+        Ok
+          (List.filter_map
+             (fun row ->
+               match
+                 ( Option.bind (Json.member "name" row) Json.to_str,
+                   Option.bind (Json.member "ns_per_update" row) Json.to_float
+                 )
+               with
+               | Some name, Some ns when contains name "observe_batch" ->
+                 Some (name, ns)
+               | _ -> None)
+             rows)
+      | _ -> Error "no \"throughput\" rows in baseline"))
+
+let overhead_slack = 1.05
+
+(* Cross-run wall-clock gates flake: the first Bechamel estimate after
+   process start is routinely a large outlier (observed 5687 ns for a
+   ~50 ns case, settling on the immediate rerun), so the gate discards
+   one warm-up round and then judges the best of three estimates —
+   the minimum is the noise-robust statistic for "how fast can this
+   path go", which is what an overhead bound asks. *)
+let run_assert_overhead ~baseline =
+  Report.print_section
+    (Printf.sprintf
+       "--assert-overhead: disabled-span batch hot path vs %s (budget +5%%)"
+       baseline);
+  match baseline_batch_rows baseline with
+  | Error e ->
+    Printf.eprintf "cannot load baseline %s: %s\n" baseline e;
+    false
+  | Ok [] ->
+    Printf.eprintf "baseline %s has no observe_batch throughput rows\n"
+      baseline;
+    false
+  | Ok base ->
+    (* Baseline names come from the throughput group
+       ("dc-observe_batch(LS,4 sites)"); the gate measures the matching
+       spans-off case of the span-overhead group. *)
+    let case_for name =
+      if contains name "dc-observe_batch" then
+        Some "dc-observe_batch(spans off)"
+      else if contains name "ds-observe_batch" then
+        Some "ds-observe_batch(spans off)"
+      else None
+    in
+    let base =
+      List.filter_map
+        (fun (name, ns) ->
+          Option.map (fun case -> (name, case, ns)) (case_for name))
+        base
+    in
+    let gate_tests () = span_batch_tests ~with_recorder:false () in
+    ignore (measure_ols (gate_tests ()) : (string * float) list);
+    let best = Hashtbl.create 8 in
+    for _ = 1 to 3 do
+      List.iter
+        (fun (name, ns) ->
+          let ns = ns /. Float.of_int batch_chunk in
+          match Hashtbl.find_opt best name with
+          | Some prev when prev <= ns -> ()
+          | _ -> Hashtbl.replace best name ns)
+        (measure_ols (gate_tests ()))
+    done;
+    let ok = ref true in
+    let rows =
+      List.map
+        (fun (bname, case, base_ns) ->
+          let measured =
+            Hashtbl.fold
+              (fun name ns acc ->
+                if Filename.check_suffix name case then Some ns else acc)
+              best None
+          in
+          match measured with
+          | None ->
+            ok := false;
+            Report.[ S bname; F base_ns; S "-"; S "-"; S "NOT MEASURED" ]
+          | Some ns ->
+            let ratio = ns /. base_ns in
+            if ratio > overhead_slack then ok := false;
+            Report.
+              [
+                S bname;
+                F base_ns;
+                F ns;
+                S (Printf.sprintf "%.3fx" ratio);
+                S (if ratio <= overhead_slack then "OK" else "OVER BUDGET");
+              ])
+        base
+    in
+    Report.print_table
+      ~header:[ "baseline row"; "baseline ns"; "best-of-3 ns"; "ratio"; "verdict" ]
+      rows;
+    print_newline ();
+    !ok
 
 (* ------------------------------------------------------------------ *)
 (* Driver *)
@@ -488,6 +701,8 @@ let () =
   let with_throughput = ref true in
   let csv_dir = ref None in
   let json_path = ref None in
+  let assert_overhead = ref false in
+  let baseline = ref "BENCH_PR3.json" in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -503,9 +718,16 @@ let () =
     | "--no-throughput" :: rest ->
       with_throughput := false;
       parse rest
+    | "--assert-overhead" :: rest ->
+      assert_overhead := true;
+      parse rest
+    | "--baseline" :: path :: rest ->
+      baseline := path;
+      parse rest
     | "--list" :: _ ->
       List.iter print_endline
-        ("throughput" :: "bytes" :: "sink-overhead" :: Experiments.ids);
+        ("throughput" :: "bytes" :: "sink-overhead" :: "span-overhead"
+       :: Experiments.ids);
       exit 0
     | id :: rest ->
       selected := id :: !selected;
@@ -523,7 +745,17 @@ let () =
   let do_bytes () = bytes_rows := Some (run_bytes ~scale:!scale) in
   let selected = List.rev !selected in
   let t0 = Unix.gettimeofday () in
+  let gate_ok = ref true in
+  let run_gate () =
+    let sink_ok = run_sink_overhead () in
+    let span_ok = run_assert_overhead ~baseline:!baseline in
+    if not (sink_ok && span_ok) then gate_ok := false
+  in
   (match selected with
+  | [] when !assert_overhead ->
+    (* Gate-only mode (the CI bench step): skip the figure
+       reproduction, just price the observability overheads. *)
+    run_gate ()
   | [] ->
     Printf.printf
       "Reproducing all figures of 'What's Different' (ICDE 2006) at scale %g\n"
@@ -532,23 +764,29 @@ let () =
     if !with_throughput then (
       do_throughput ();
       do_bytes ();
-      run_sink_overhead ())
+      ignore (run_sink_overhead () : bool);
+      run_span_overhead ())
   | ids ->
     List.iter
       (fun id ->
         if id = "throughput" then do_throughput ()
         else if id = "bytes" then do_bytes ()
-        else if id = "sink-overhead" then run_sink_overhead ()
+        else if id = "sink-overhead" then ignore (run_sink_overhead () : bool)
+        else if id = "span-overhead" then run_span_overhead ()
         else
           match Experiments.by_id id with
           | Some f -> emit (f options)
           | None ->
             Printf.eprintf "unknown experiment %S (try --list)\n" id;
             exit 1)
-      ids);
+      ids;
+    if !assert_overhead then run_gate ());
   Option.iter
     (fun path ->
       write_json path ~scale:!scale ~throughput:!throughput_rows
         ~bytes:!bytes_rows)
     !json_path;
-  Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  if not !gate_ok then (
+    prerr_endline "overhead assertion FAILED";
+    exit 1)

@@ -9,6 +9,8 @@
      coord       - run a tracking protocol over the Unix-socket transport
      site        - one site relay process for the socket transport
      eval        - run the acceptance grid and diff against a baseline
+     inspect     - replay a JSONL trace into summary tables
+     top         - live /metrics dashboard, or a one-shot trace view
      list        - list available experiments and workloads *)
 
 open Cmdliner
@@ -479,8 +481,28 @@ let coord_cmd =
     in
     Arg.(value & flag & info [ "spawn" ] ~doc)
   in
+  let metrics_port_arg =
+    let doc =
+      "Serve $(b,GET /metrics) (Prometheus text exposition) on \
+       127.0.0.1:$(docv) for the duration of the run, polled from the \
+       coordinator's event loop; 0 lets the kernel pick a free port \
+       (printed at startup)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+  in
+  let spans_flag =
+    let doc =
+      "Record causal wall-clock spans: every message, broadcast and \
+       tracker batch becomes a span event, and frames carry span \
+       contexts across the process boundary (cross-process round-trip \
+       timing).  Combine with $(b,--trace-out) to keep the spans and/or \
+       $(b,--metrics-port) to see latency histograms."
+    in
+    Arg.(value & flag & info [ "spans" ] ~doc)
+  in
   let run protocol spawn path timeout workload scale seed epsilon sites events
-      faults_spec fault_seed =
+      faults_spec fault_seed metrics_port spans trace_out =
     match parse_faults ~fault_seed faults_spec with
     | Error e -> `Error (false, e)
     | Ok faults ->
@@ -511,6 +533,40 @@ let coord_cmd =
         `Error (false, msg)
       | coord ->
         let transport = Socket.Coordinator.pack coord in
+        (* Live telemetry: a metrics registry fed by the event sink, a
+           scrape endpoint polled from the coordinator's clock ticks,
+           and an optional span trace. *)
+        let metrics = Option.map (fun _ -> Metrics.create ()) metrics_port in
+        let trace_sink = Option.map Sink.jsonl trace_out in
+        let sinks =
+          Option.to_list trace_sink
+          @ Option.to_list (Option.map Sink.metrics metrics)
+        in
+        let sink =
+          match sinks with [] -> None | l -> Some (Sink.fanout l)
+        in
+        let http =
+          Option.map
+            (fun port ->
+              let h = Wd_net.Metrics_http.create ~port () in
+              Printf.printf "metrics: listening on http://127.0.0.1:%d/metrics\n%!"
+                (Wd_net.Metrics_http.port h);
+              h)
+            metrics_port
+        in
+        (match (http, metrics) with
+        | Some h, Some m ->
+          (* Polled on every clock tick; throttle the accept syscall to
+             one per 64 updates. *)
+          let tick = ref 0 in
+          Socket.Coordinator.set_on_poll coord
+            (Some
+               (fun () ->
+                 incr tick;
+                 if !tick land 63 = 0 then
+                   Wd_net.Metrics_http.poll h ~body:(fun () ->
+                       Metrics.to_prometheus m)))
+        | _ -> ());
         (* The runs close the transport on completion, which finishes every
            relay and collects its stats frame. *)
         let label, estimate, truth =
@@ -519,22 +575,33 @@ let coord_cmd =
             let theta = 0.3 *. epsilon in
             let alpha = epsilon -. theta in
             let r =
-              Simulation.run_dc ~seed ~transport ~faults ~algorithm:Dc.LS
-                ~theta ~alpha stream
+              Simulation.run_dc ~seed ~transport ~faults ?sink ?metrics ~spans
+                ~algorithm:Dc.LS ~theta ~alpha stream
             in
             ( "distinct count (LS)",
               r.Simulation.dc_final_estimate,
               r.Simulation.dc_final_truth )
           | `Ds ->
             let r =
-              Simulation.run_ds ~seed ~transport ~faults ~algorithm:Ds.LCO
-                ~theta:0.25 ~threshold:500 stream
+              Simulation.run_ds ~seed ~transport ~faults ?sink ~spans
+                ~algorithm:Ds.LCO ~theta:0.25 ~threshold:500 stream
             in
             ( "distinct sample (LCO)",
               r.Simulation.ds_distinct_estimate,
               Stream.distinct_count stream )
         in
         reap ();
+        (* Serve any scrape that arrived after the last clock tick, then
+           stop listening. *)
+        (match (http, metrics) with
+        | Some h, Some m ->
+          Wd_net.Metrics_http.poll h ~body:(fun () -> Metrics.to_prometheus m);
+          Wd_net.Metrics_http.close h
+        | _ -> ());
+        Option.iter Sink.close trace_sink;
+        Option.iter
+          (fun path -> Printf.printf "trace written to %s\n" path)
+          trace_out;
         let net = Transport.ledger transport in
         let ws =
           match Transport.wire_stats transport with
@@ -559,9 +626,17 @@ let coord_cmd =
         in
         let relay_received = sum (fun r -> r.Socket.bytes_received) in
         let relay_sent = sum (fun r -> r.Socket.bytes_sent) in
+        (* Span context blocks (frames stamped when a span recorder is
+           attached) are wire overhead outside wire_bytes_*; the relays'
+           raw byte reports include them. *)
         let expect_received =
           ws.Transport.wire_bytes_down + ws.Transport.radio_copy_bytes
           + ws.Transport.control_bytes
+          + (ws.Transport.span_frames_down * Wire.Frame.span_bytes)
+        in
+        let expect_sent =
+          ws.Transport.wire_bytes_up
+          + (ws.Transport.span_frames_up * Wire.Frame.span_bytes)
         in
         let check name got want =
           Printf.printf "%-22s: %d vs %d  [%s]\n" name got want
@@ -571,7 +646,7 @@ let coord_cmd =
         Report.print_section
           (Printf.sprintf "%s over the socket transport" label);
         Report.print_kv
-          [
+          ([
             ("sites", string_of_int k);
             ("updates", string_of_int (Stream.length stream));
             ("true distinct", string_of_int truth);
@@ -593,7 +668,21 @@ let coord_cmd =
               Printf.sprintf "%d / %d" ws.Transport.skipped_up
                 ws.Transport.skipped_down );
             ("site reconnects", string_of_int ws.Transport.reconnects);
-          ];
+          ]
+          @ (if spans then
+               [
+                 ( "span frames up / down",
+                   Printf.sprintf "%d / %d" ws.Transport.span_frames_up
+                     ws.Transport.span_frames_down );
+               ]
+             else [])
+          @ Option.fold ~none:[]
+              ~some:(fun h ->
+                [
+                  ( "metrics scrapes served",
+                    string_of_int (Wd_net.Metrics_http.served h) );
+                ])
+              http);
         print_endline "reconciliation (got vs expected):";
         let ok_up = check "wire bytes up" ws.Transport.wire_bytes_up expect_up in
         let ok_down =
@@ -603,8 +692,7 @@ let coord_cmd =
           missing = 0 && check "relay bytes received" relay_received expect_received
         in
         let ok_sent =
-          missing = 0
-          && check "relay bytes sent" relay_sent ws.Transport.wire_bytes_up
+          missing = 0 && check "relay bytes sent" relay_sent expect_sent
         in
         if missing > 0 then
           Printf.printf "%d site(s) never reported final stats\n" missing;
@@ -622,7 +710,8 @@ let coord_cmd =
       ret
         (const run $ protocol_arg $ spawn_arg $ socket_path_arg
         $ socket_timeout_arg $ workload_arg $ scale_arg $ seed_arg
-        $ epsilon_arg $ sites_arg $ events_arg $ faults_arg $ fault_seed_arg))
+        $ epsilon_arg $ sites_arg $ events_arg $ faults_arg $ fault_seed_arg
+        $ metrics_port_arg $ spans_flag $ trace_out_arg))
 
 (* ------------------------------------------------------------------ *)
 (* eval *)
@@ -828,10 +917,44 @@ let workload_cmd =
 (* ------------------------------------------------------------------ *)
 (* inspect *)
 
+(* Load a JSONL trace from a file path, or from stdin when the path is
+   "-" (so traces can be piped straight out of a run or a filter). *)
+let read_trace_events path =
+  if path = "-" then
+    Result.map List.rev
+      (Trace.fold_channel ~name:"<stdin>"
+         ~f:(fun acc ev -> ev :: acc)
+         ~init:[] stdin)
+  else if Sys.file_exists path then Trace.read_file path
+  else Error (Printf.sprintf "no such trace file: %s" path)
+
+(* Humanize a nanosecond duration for dashboards. *)
+let fmt_ns ns =
+  if Float.is_nan ns then "-"
+  else if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let span_stats_table (stats : (string * Summary.span_stat) list) =
+  Report.print_table
+    ~header:[ "span"; "count"; "p50"; "p90"; "max" ]
+    (List.map
+       (fun (name, (st : Summary.span_stat)) ->
+         Report.
+           [
+             S name;
+             I st.Summary.sp_count;
+             S (fmt_ns st.Summary.sp_p50_ns);
+             S (fmt_ns st.Summary.sp_p90_ns);
+             S (fmt_ns st.Summary.sp_max_ns);
+           ])
+       stats)
+
 let inspect_cmd =
   let file_arg =
-    let doc = "JSONL trace produced by --trace-out." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+    let doc = "JSONL trace produced by --trace-out, or - for stdin." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
   in
   let phases_arg =
     let doc = "Number of equal update-index spans in the phase table." in
@@ -844,7 +967,7 @@ let inspect_cmd =
   let run file phases =
     if phases < 1 then `Error (false, "--phases must be >= 1")
     else
-      match Trace.read_file file with
+      match read_trace_events file with
       | Error e -> `Error (false, e)
       | Ok events when events = [] ->
         (* A trace file with no events (e.g. a run that recorded nothing,
@@ -904,24 +1027,42 @@ let inspect_cmd =
              (fun (k, n) -> Report.[ S k; I n ])
              s.Summary.kind_counts);
         print_newline ();
+        (* Fault columns only when the trace contains fault events at
+           all — a clean run's table should not be half zeros. *)
+        let with_faults =
+          List.exists
+            (fun (r : Summary.site_row) ->
+              r.s_drops > 0 || r.s_duplicates > 0 || r.s_retries > 0
+              || r.s_crashes > 0 || r.s_recovers > 0)
+            s.Summary.sites
+          || s.Summary.drops > 0 || s.Summary.duplicates > 0
+          || s.Summary.retries > 0 || s.Summary.crashes > 0
+        in
+        let fault_header = [ "drops"; "dups"; "retries"; "cr/rec" ] in
+        let fault_cells (r : Summary.site_row) =
+          Report.
+            [
+              I r.s_drops;
+              I r.s_duplicates;
+              I r.s_retries;
+              S (Printf.sprintf "%d/%d" r.s_crashes r.s_recovers);
+            ]
+        in
         Report.print_table
           ~header:
-            [
-              "site";
-              "msgs up";
-              "bytes up";
-              "bytes down";
-              "sketch";
-              "items";
-              "counts";
-              "crossings";
-              "resyncs";
-              "drops";
-              "dups";
-              "retries";
-              "cr/rec";
-              "mean gap";
-            ]
+            ([
+               "site";
+               "msgs up";
+               "bytes up";
+               "bytes down";
+               "sketch";
+               "items";
+               "counts";
+               "crossings";
+               "resyncs";
+             ]
+            @ (if with_faults then fault_header else [])
+            @ [ "mean gap" ])
           (List.map
              (fun (r : Summary.site_row) ->
                Report.
@@ -935,15 +1076,18 @@ let inspect_cmd =
                    I r.s_count_sends;
                    I r.s_crossings;
                    I r.s_resyncs;
-                   I r.s_drops;
-                   I r.s_duplicates;
-                   I r.s_retries;
-                   S (Printf.sprintf "%d/%d" r.s_crashes r.s_recovers);
-                   (if Float.is_nan r.s_mean_send_gap then S "-"
-                    else F r.s_mean_send_gap);
+                 ]
+               @ (if with_faults then fault_cells r else [])
+               @ [
+                   (if Float.is_nan r.s_mean_send_gap then Report.S "-"
+                    else Report.F r.s_mean_send_gap);
                  ])
              s.Summary.sites);
         print_newline ();
+        if s.Summary.span_stats <> [] then begin
+          span_stats_table s.Summary.span_stats;
+          print_newline ()
+        end;
         Report.print_table
           ~header:
             [
@@ -980,6 +1124,457 @@ let inspect_cmd =
     Term.(ret (const run $ file_arg $ phases_arg))
 
 (* ------------------------------------------------------------------ *)
+(* top *)
+
+(* Live per-site dashboard.  Two sources: a running coordinator's
+   /metrics endpoint (hand-rolled HTTP GET + the exposition parser —
+   refreshed every --interval seconds with per-site byte rates computed
+   from successive scrapes), or a finished run's JSONL trace (one frame
+   from the Summary fold, with headroom and degradation columns the
+   metrics registry does not carry). *)
+
+(* One GET against host:port.  The endpoint answers Connection: close,
+   so the response is simply everything until EOF. *)
+let http_get_metrics ~host ~port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+  with
+  | [] | (exception Not_found) ->
+    Error (Printf.sprintf "cannot resolve %s:%d" host port)
+  | ai :: _ -> (
+    let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype 0 in
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    match
+      Fun.protect ~finally (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0;
+          Unix.connect fd ai.Unix.ai_addr;
+          let req =
+            Printf.sprintf
+              "GET /metrics HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n"
+              host port
+          in
+          let b = Bytes.of_string req in
+          let rec send pos =
+            if pos < Bytes.length b then
+              send (pos + Unix.write fd b pos (Bytes.length b - pos))
+          in
+          send 0;
+          let buf = Buffer.create 8192 in
+          let chunk = Bytes.create 8192 in
+          let rec recv () =
+            let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+            if n > 0 then begin
+              Buffer.add_subbytes buf chunk 0 n;
+              recv ()
+            end
+          in
+          recv ();
+          Buffer.contents buf)
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "scrape http://%s:%d/metrics: %s" host port
+           (Unix.error_message e))
+    | raw -> (
+      (* Split the status line and headers off; require a 200. *)
+      match String.index_opt raw ' ' with
+      | None -> Error "malformed HTTP response"
+      | Some sp ->
+        let status =
+          let rest = String.sub raw (sp + 1) (String.length raw - sp - 1) in
+          match String.index_opt rest ' ' with
+          | Some sp2 -> String.sub rest 0 sp2
+          | None -> String.trim rest
+        in
+        if status <> "200" then Error ("HTTP status " ^ status)
+        else
+          let rec find_sep i =
+            if i + 3 >= String.length raw then None
+            else if
+              raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+              && raw.[i + 3] = '\n'
+            then Some (i + 4)
+            else find_sep (i + 1)
+          in
+          (match find_sep 0 with
+          | None -> Error "HTTP response without header terminator"
+          | Some body ->
+            Ok (String.sub raw body (String.length raw - body)))))
+
+(* Scrape-sample lookups. *)
+
+let sample_matches name labels (s : Metrics.sample) =
+  s.Metrics.sample_name = name
+  && List.for_all
+       (fun (k, v) -> List.assoc_opt k s.Metrics.sample_labels = Some v)
+       labels
+
+let sample_value ?(labels = []) samples name =
+  Option.map
+    (fun s -> s.Metrics.sample_value)
+    (List.find_opt (sample_matches name labels) samples)
+
+let sample_int ?labels samples name =
+  match sample_value ?labels samples name with
+  | Some v -> int_of_float v
+  | None -> 0
+
+let label_values samples name label =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (s : Metrics.sample) ->
+         if s.Metrics.sample_name = name then
+           List.assoc_opt label s.Metrics.sample_labels
+         else None)
+       samples)
+
+(* Nearest-upper-bound quantile from cumulative _bucket samples: the
+   smallest [le] whose cumulative count reaches [q] of the total. *)
+let bucket_quantile samples name labels q =
+  let parse_le le =
+    match String.lowercase_ascii le with
+    | "+inf" | "inf" -> Float.infinity
+    | _ -> ( try float_of_string le with Failure _ -> Float.nan)
+  in
+  let buckets =
+    List.filter_map
+      (fun (s : Metrics.sample) ->
+        if sample_matches (name ^ "_bucket") labels s then
+          Option.map
+            (fun le -> (parse_le le, s.Metrics.sample_value))
+            (List.assoc_opt "le" s.Metrics.sample_labels)
+        else None)
+      samples
+  in
+  let buckets = List.sort (fun (a, _) (b, _) -> compare a b) buckets in
+  match List.rev buckets with
+  | [] -> Float.nan
+  | (_, total) :: _ ->
+    if total <= 0. then Float.nan
+    else
+      let target = q *. total in
+      (match List.find_opt (fun (_, c) -> c >= target) buckets with
+      | Some (ub, _) -> ub
+      | None -> Float.nan)
+
+let fmt_rate bytes_per_s =
+  if Float.is_nan bytes_per_s then "-"
+  else if bytes_per_s < 1024. then Printf.sprintf "%.0f B/s" bytes_per_s
+  else if bytes_per_s < 1024. *. 1024. then
+    Printf.sprintf "%.1f KiB/s" (bytes_per_s /. 1024.)
+  else Printf.sprintf "%.1f MiB/s" (bytes_per_s /. (1024. *. 1024.))
+
+(* Render one live frame.  [prev] is the previous (timestamp, samples)
+   scrape, for rate columns. *)
+let render_scrape_frame ~source ~prev ~now samples =
+  let dt =
+    match prev with
+    | Some (t0, _) when now > t0 -> now -. t0
+    | _ -> Float.nan
+  in
+  let prev_samples = match prev with Some (_, s) -> s | None -> [] in
+  let rate ?labels name =
+    if Float.is_nan dt then Float.nan
+    else
+      float_of_int (sample_int ?labels samples name - sample_int ?labels prev_samples name)
+      /. dt
+  in
+  let fmt_opt = function
+    | Some v -> Printf.sprintf "%.1f" v
+    | None -> "-"
+  in
+  Report.print_section (Printf.sprintf "wdmon top: %s" source);
+  let crashes = sample_int samples "wd_crashes_total" in
+  let recovers = sample_int samples "wd_recovers_total" in
+  Report.print_kv
+    [
+      ("estimate", fmt_opt (sample_value samples "wd_estimate"));
+      ( "level",
+        match sample_value samples "wd_level" with
+        | Some v -> string_of_int (int_of_float v)
+        | None -> "-" );
+      ( "messages up / down",
+        Printf.sprintf "%d / %d"
+          (sample_int ~labels:[ ("dir", "up") ] samples "wd_messages_total")
+          (sample_int ~labels:[ ("dir", "down") ] samples "wd_messages_total")
+      );
+      ( "bytes up / down",
+        Printf.sprintf "%d / %d"
+          (sample_int ~labels:[ ("dir", "up") ] samples "wd_bytes_total")
+          (sample_int ~labels:[ ("dir", "down") ] samples "wd_bytes_total") );
+      ( "rate up / down",
+        Printf.sprintf "%s / %s"
+          (fmt_rate (rate ~labels:[ ("dir", "up") ] "wd_bytes_total"))
+          (fmt_rate (rate ~labels:[ ("dir", "down") ] "wd_bytes_total")) );
+      ("broadcasts", string_of_int (sample_int samples "wd_broadcasts_total"));
+      ( "crossings / resyncs",
+        Printf.sprintf "%d / %d"
+          (sample_int samples "wd_threshold_crossings_total")
+          (sample_int samples "wd_resyncs_total") );
+      ( "drops / dups / retries",
+        Printf.sprintf "%d / %d / %d"
+          (sample_int samples "wd_drops_total")
+          (sample_int samples "wd_duplicates_total")
+          (sample_int samples "wd_retries_total") );
+      ( "crashes / recovers",
+        Printf.sprintf "%d / %d%s" crashes recovers
+          (if crashes > recovers then
+             Printf.sprintf "  (%d site(s) DEGRADED)" (crashes - recovers)
+           else "") );
+    ];
+  (match label_values samples "wd_site_bytes_total" "site" with
+  | [] -> ()
+  | sites ->
+    let sites =
+      List.sort compare
+        (List.filter_map int_of_string_opt sites)
+    in
+    print_newline ();
+    Report.print_table
+      ~header:[ "site"; "bytes up"; "bytes down"; "up rate"; "down rate" ]
+      (List.map
+         (fun site ->
+           let labels dir =
+             [ ("dir", dir); ("site", string_of_int site) ]
+           in
+           Report.
+             [
+               I site;
+               I (sample_int ~labels:(labels "up") samples "wd_site_bytes_total");
+               I
+                 (sample_int ~labels:(labels "down") samples
+                    "wd_site_bytes_total");
+               S (fmt_rate (rate ~labels:(labels "up") "wd_site_bytes_total"));
+               S
+                 (fmt_rate (rate ~labels:(labels "down") "wd_site_bytes_total"));
+             ])
+         sites));
+  (* Histograms expose only their expanded series, so enumerate span
+     names from the _count samples. *)
+  (match label_values samples "wd_span_duration_ns_count" "span" with
+  | [] -> ()
+  | spans ->
+    print_newline ();
+    Report.print_table
+      ~header:[ "span"; "count"; "p50 <="; "p90 <="; "p99 <=" ]
+      (List.map
+         (fun span ->
+           let labels = [ ("span", span) ] in
+           let q p = bucket_quantile samples "wd_span_duration_ns" labels p in
+           Report.
+             [
+               S span;
+               I
+                 (sample_int ~labels samples "wd_span_duration_ns_count");
+               S (fmt_ns (q 0.5));
+               S (fmt_ns (q 0.9));
+               S (fmt_ns (q 0.99));
+             ])
+         spans));
+  print_newline ()
+
+(* Render one frame from a finished run's trace: the Summary fold plus
+   the per-site headroom (last threshold crossing's estimate vs the
+   threshold it had to beat) and degradation status. *)
+let render_trace_frame file events =
+  let s = Summary.of_events events in
+  let last_cross = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Wd_obs.Event.t) ->
+      match ev.Wd_obs.Event.kind with
+      | Wd_obs.Event.Threshold_crossed { site; estimate; threshold } ->
+        Hashtbl.replace last_cross site (estimate, threshold)
+      | _ -> ())
+    events;
+  let fmt_estimate = function
+    | Some e -> Printf.sprintf "%.1f" e
+    | None -> "-"
+  in
+  Report.print_section (Printf.sprintf "wdmon top: %s" file);
+  Report.print_kv
+    (s.Summary.run
+    @ [
+        ("updates covered", string_of_int s.Summary.updates);
+        ( "estimate first -> last",
+          Printf.sprintf "%s -> %s"
+            (fmt_estimate s.Summary.first_estimate)
+            (fmt_estimate s.Summary.last_estimate) );
+        ("final level", string_of_int s.Summary.level);
+        ( "messages up / down",
+          Printf.sprintf "%d / %d" s.Summary.msgs_up s.Summary.msgs_down );
+        ( "bytes up / down",
+          Printf.sprintf "%d / %d" s.Summary.bytes_up s.Summary.bytes_down );
+        ( "drops / dups / retries",
+          Printf.sprintf "%d / %d / %d" s.Summary.drops s.Summary.duplicates
+            s.Summary.retries );
+        ( "crashes / recovers",
+          Printf.sprintf "%d / %d" s.Summary.crashes s.Summary.recovers );
+        ( "degraded sites",
+          match s.Summary.degraded_sites with
+          | [] -> "none"
+          | l -> String.concat "," (List.map string_of_int l) );
+      ]);
+  print_newline ();
+  Report.print_table
+    ~header:
+      [
+        "site";
+        "msgs up";
+        "bytes up";
+        "bytes down";
+        "sends";
+        "retries";
+        "drops";
+        "dups";
+        "cr/rec";
+        "gap";
+        "est/thr";
+        "status";
+      ]
+    (List.map
+       (fun (r : Summary.site_row) ->
+         let headroom =
+           match Hashtbl.find_opt last_cross r.Summary.site with
+           | Some (est, thr) when thr > 0. ->
+             Printf.sprintf "%.2fx" (est /. thr)
+           | _ -> "-"
+         in
+         Report.
+           [
+             I r.site;
+             I r.s_msgs_up;
+             I r.s_bytes_up;
+             I r.s_bytes_down;
+             I (r.s_sketch_sends + r.s_item_sends + r.s_count_sends);
+             I r.s_retries;
+             I r.s_drops;
+             I r.s_duplicates;
+             S (Printf.sprintf "%d/%d" r.s_crashes r.s_recovers);
+             (if Float.is_nan r.s_mean_send_gap then S "-"
+              else F r.s_mean_send_gap);
+             S headroom;
+             S
+               (if List.mem r.site s.Summary.degraded_sites then "DEGRADED"
+                else "ok");
+           ])
+       s.Summary.sites);
+  if s.Summary.span_stats <> [] then begin
+    print_newline ();
+    span_stats_table s.Summary.span_stats
+  end;
+  print_newline ()
+
+let top_cmd =
+  let scrape_arg =
+    let doc =
+      "Scrape a live coordinator's /metrics endpoint.  HOST:PORT, or just \
+       PORT for 127.0.0.1 (see coord --metrics-port)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "scrape" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Render one dashboard frame from a JSONL trace file (- for stdin)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"TRACE" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between scrapes in live mode." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SEC" ~doc)
+  in
+  let once_flag =
+    let doc = "Render a single frame and exit (no screen clearing)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let frames_arg =
+    let doc = "Stop after N frames (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "frames" ] ~docv:"N" ~doc)
+  in
+  let parse_endpoint addr =
+    match int_of_string_opt addr with
+    | Some port -> Ok ("127.0.0.1", port)
+    | None -> (
+      match String.rindex_opt addr ':' with
+      | None -> Error (Printf.sprintf "bad endpoint %S (want HOST:PORT)" addr)
+      | Some i -> (
+        let host = String.sub addr 0 i in
+        let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+        match int_of_string_opt port with
+        | Some p when host <> "" -> Ok (host, p)
+        | _ ->
+          Error (Printf.sprintf "bad endpoint %S (want HOST:PORT)" addr)))
+  in
+  let run_live ~host ~port ~interval ~once ~frames =
+    let source = Printf.sprintf "http://%s:%d/metrics" host port in
+    let prev = ref None in
+    let frame = ref 0 in
+    let errors = ref 0 in
+    let result = ref (`Ok ()) in
+    let continue = ref true in
+    while !continue do
+      (match http_get_metrics ~host ~port with
+      | Error e ->
+        (* In loop modes a failed scrape is retried — the dashboard may
+           be attached before the coordinator opens its port, or outlive
+           the run — but bounded, so a dead endpoint cannot hang CI. *)
+        incr errors;
+        if once || !errors >= 50 then begin
+          result := `Error (false, e);
+          continue := false
+        end
+        else Printf.printf "%s (retrying)\n%!" e
+      | Ok body -> (
+        match Metrics.parse_prometheus body with
+        | Error e ->
+          result := `Error (false, "bad exposition: " ^ e);
+          continue := false
+        | Ok samples ->
+          errors := 0;
+          let now = Unix.gettimeofday () in
+          if not once then print_string "\027[2J\027[H";
+          render_scrape_frame ~source ~prev:!prev ~now samples;
+          prev := Some (now, samples);
+          incr frame));
+      if !continue then begin
+        if once || (frames > 0 && !frame >= frames) then continue := false
+        else Unix.sleepf interval
+      end
+    done;
+    !result
+  in
+  let run scrape trace interval once frames =
+    if interval <= 0. then `Error (false, "--interval must be > 0")
+    else
+      match (scrape, trace) with
+      | None, None -> `Error (true, "one of --scrape or --trace is required")
+      | Some _, Some _ ->
+        `Error (true, "--scrape and --trace are mutually exclusive")
+      | None, Some file -> (
+        match read_trace_events file with
+        | Error e -> `Error (false, e)
+        | Ok events ->
+          render_trace_frame file events;
+          `Ok ())
+      | Some addr, None -> (
+        match parse_endpoint addr with
+        | Error e -> `Error (false, e)
+        | Ok (host, port) -> run_live ~host ~port ~interval ~once ~frames)
+  in
+  let doc =
+    "Live per-site dashboard: refreshing /metrics scrape of a running \
+     coordinator, or a one-shot view of a finished run's trace."
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(
+      ret
+        (const run $ scrape_arg $ trace_arg $ interval_arg $ once_flag
+       $ frames_arg))
+
+(* ------------------------------------------------------------------ *)
 (* list *)
 
 let list_cmd =
@@ -1011,5 +1606,6 @@ let () =
             eval_cmd;
             workload_cmd;
             inspect_cmd;
+            top_cmd;
             list_cmd;
           ]))

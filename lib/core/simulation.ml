@@ -9,6 +9,21 @@ module Rng = Wd_hashing.Rng
 module Sink = Wd_obs.Sink
 module Event = Wd_obs.Event
 module Metrics = Wd_obs.Metrics
+module Span = Wd_obs.Span
+
+(* Attach a span recorder to the run's ledger: every message/broadcast
+   tap and tracker batch becomes a wall-clock span in the trace (and the
+   socket transport starts shipping span contexts in its frames).  The
+   trace id is derived from the seed so traces of different runs can be
+   aggregated without id collisions; wall stamps come from the shared
+   epoch clock so they are comparable across processes on one host. *)
+let attach_spans ~spans ?metrics ~seed ~sink net =
+  if spans then
+    Network.set_spans net
+      (Some
+         (Span.create
+            ~trace_id:(Int64.of_int seed)
+            ?metrics ~clock:Wd_net.Clock.ns ~emit:(Sink.emit sink) ()))
 
 (* Identify an instrumented run in its trace. *)
 let emit_run_meta sink ~protocol ~algorithm ~sites ~cost_model ~seed =
@@ -136,7 +151,8 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
       ?(seed = 1) ?(checkpoints = 20) ?(error_samples = 200)
       ?(confidence = 0.9) ?family ?(sink = Sink.null) ?metrics
-      ?(faults = Wd_net.Faults.none) ~algorithm ~theta ~alpha stream =
+      ?(spans = false) ?(faults = Wd_net.Faults.none) ~algorithm ~theta ~alpha
+      stream =
     let n = Stream.length stream in
     if n = 0 then invalid_arg "Simulation.run_dc: empty stream";
     let k = Stream.num_sites stream in
@@ -155,6 +171,7 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     let transport = Tracker.transport tracker in
     let net = Tracker.network tracker in
     Network.set_sink net sink;
+    attach_spans ~spans ?metrics ~seed ~sink net;
     Transport.set_faults transport faults;
     emit_run_meta sink ~protocol:"dc"
       ~algorithm:(Dc.algorithm_to_string algorithm)
@@ -223,11 +240,11 @@ end
 module Dc_fm = Make_dc (Wd_sketch.Fm)
 
 let run_dc ?cost_model ?transport ?item_batching ?seed ?checkpoints
-    ?error_samples ?confidence ?sink ?metrics ?faults ~algorithm ~theta ~alpha
-    stream =
+    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ~algorithm ~theta
+    ~alpha stream =
   Dc_fm.run ?cost_model ?transport ?item_batching ?seed ?checkpoints
-    ?error_samples ?confidence ?sink ?metrics ?faults ~algorithm ~theta ~alpha
-    stream
+    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ~algorithm ~theta
+    ~alpha stream
 
 type ds_run = {
   ds_algorithm : Ds.algorithm;
@@ -248,8 +265,8 @@ type ds_run = {
 }
 
 let run_ds ?(cost_model = Network.Unicast) ?transport ?(seed = 1)
-    ?(checkpoints = 20) ?(sink = Sink.null) ?(faults = Wd_net.Faults.none)
-    ~algorithm ~theta ~threshold stream =
+    ?(checkpoints = 20) ?(sink = Sink.null) ?(spans = false)
+    ?(faults = Wd_net.Faults.none) ~algorithm ~theta ~threshold stream =
   let n = Stream.length stream in
   if n = 0 then invalid_arg "Simulation.run_ds: empty stream";
   let k = Stream.num_sites stream in
@@ -263,6 +280,7 @@ let run_ds ?(cost_model = Network.Unicast) ?transport ?(seed = 1)
   let transport = Ds.transport tracker in
   let net = Ds.network tracker in
   Network.set_sink net sink;
+  attach_spans ~spans ~seed ~sink net;
   Transport.set_faults transport faults;
   emit_run_meta sink ~protocol:"ds"
     ~algorithm:(Ds.algorithm_to_string algorithm)

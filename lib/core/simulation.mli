@@ -44,6 +44,7 @@ val run_dc :
   ?confidence:float ->
   ?sink:Wd_obs.Sink.t ->
   ?metrics:Wd_obs.Metrics.t ->
+  ?spans:bool ->
   ?faults:Wd_net.Faults.plan ->
   algorithm:Wd_protocol.Dc_tracker.algorithm ->
   theta:float ->
@@ -63,6 +64,14 @@ val run_dc :
     [wd_true_distinct]) at the error-sample positions — combine with
     {!Wd_obs.Sink.metrics} over the same registry to collect traffic
     metrics in one place.
+
+    [spans] (default [false]) attaches a {!Wd_obs.Span} recorder to the
+    run's ledger: every message, broadcast and tracker batch is emitted
+    to [sink] as a wall-clock {!Wd_obs.Event.kind.Span} event (trace id
+    derived from [seed]), and a socket transport starts shipping span
+    contexts in its frames, timing real cross-process round trips.
+    Span events carry wall-clock stamps and are therefore never
+    bit-stable across runs — leave this off for golden traces.
 
     [faults] (default {!Wd_net.Faults.none}) attaches a fault-injection
     plan to the tracker's network: per-link drop/duplicate/corruption and
@@ -91,6 +100,7 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
     ?family:Sketch.family ->
     ?sink:Wd_obs.Sink.t ->
     ?metrics:Wd_obs.Metrics.t ->
+    ?spans:bool ->
     ?faults:Wd_net.Faults.plan ->
     algorithm:Wd_protocol.Dc_tracker.algorithm ->
     theta:float ->
@@ -135,15 +145,16 @@ val run_ds :
   ?seed:int ->
   ?checkpoints:int ->
   ?sink:Wd_obs.Sink.t ->
+  ?spans:bool ->
   ?faults:Wd_net.Faults.plan ->
   algorithm:Wd_protocol.Ds_tracker.algorithm ->
   theta:float ->
   threshold:int ->
   Stream.t ->
   ds_run
-(** [sink] is attached to the tracker and its byte ledger, and [faults]
-    and [transport] behave as in {!run_dc} (the transport is closed when
-    the run completes). *)
+(** [sink] is attached to the tracker and its byte ledger; [spans],
+    [faults] and [transport] behave as in {!run_dc} (the transport is
+    closed when the run completes). *)
 
 (** {1 Distinct heavy-hitter runs} *)
 

@@ -6,6 +6,8 @@ module Json = Wd_obs.Json
 
 let version = "wd-eval/1"
 
+type quantiles = { q_p50 : float; q_p90 : float; q_max : float }
+
 type cell_result = {
   id : string;
   family : string;
@@ -33,6 +35,12 @@ type cell_result = {
   bytes_pass : bool;
   msgs_mean : float;
   wall_s : float;  (* informational only: never diffed *)
+  (* Timing digests, informational only like wall_s: per-repetition wall
+     seconds, and observe_batch span durations (ns) when the cell ran
+     with a span recorder.  Absent in artifacts written before these
+     fields existed — decode is lenient so old baselines still load. *)
+  rep_wall_s : quantiles option;
+  batch_span_ns : quantiles option;
 }
 
 let cell_pass c = c.accept_pass && c.bytes_pass
@@ -49,6 +57,23 @@ let pass t = List.for_all cell_pass t.cells
 
 (* ------------------------------------------------------------------ *)
 (* JSON *)
+
+let quantiles_to_json q =
+  Json.Obj
+    [
+      ("p50", Json.Float q.q_p50);
+      ("p90", Json.Float q.q_p90);
+      ("max", Json.Float q.q_max);
+    ]
+
+let quantiles_of_json j =
+  match
+    ( Option.bind (Json.member "p50" j) Json.to_float,
+      Option.bind (Json.member "p90" j) Json.to_float,
+      Option.bind (Json.member "max" j) Json.to_float )
+  with
+  | Some q_p50, Some q_p90, Some q_max -> Some { q_p50; q_p90; q_max }
+  | _ -> None
 
 let cell_to_json c =
   Json.Obj
@@ -80,6 +105,14 @@ let cell_to_json c =
       ("bytes_pass", Json.Bool c.bytes_pass);
       ("msgs_mean", Json.Float c.msgs_mean);
       ("wall_s", Json.Float c.wall_s);
+      ( "rep_wall_s",
+        match c.rep_wall_s with
+        | None -> Json.Null
+        | Some q -> quantiles_to_json q );
+      ( "batch_span_ns",
+        match c.batch_span_ns with
+        | None -> Json.Null
+        | Some q -> quantiles_to_json q );
     ]
 
 let to_json t =
@@ -133,6 +166,13 @@ let cell_of_json j =
   let* bytes_pass = bool "bytes_pass" in
   let* msgs_mean = flt "msgs_mean" in
   let* wall_s = flt "wall_s" in
+  (* Informational timing digests: lenient like "faults", so artifacts
+     written before these fields existed (or by newer writers with more
+     of them) still load. *)
+  let rep_wall_s = Option.bind (Json.member "rep_wall_s" j) quantiles_of_json in
+  let batch_span_ns =
+    Option.bind (Json.member "batch_span_ns" j) quantiles_of_json
+  in
   Ok
     {
       id;
@@ -161,6 +201,8 @@ let cell_of_json j =
       bytes_pass;
       msgs_mean;
       wall_s;
+      rep_wall_s;
+      batch_span_ns;
     }
 
 let of_json j =
@@ -208,24 +250,32 @@ let csv_header =
   "id,family,algorithm,sketch,alpha,delta,sites,events,workload,transport,\
    faults,reps,successes,accept_pass,p_value,err_mean,err_p50,err_p90,\
    err_max,bytes_mean,ratio_mean,ratio_max,ratio_ceiling,bytes_pass,\
-   msgs_mean,wall_s"
+   msgs_mean,wall_s,wall_p50_s,wall_p90_s,wall_max_s,batch_p50_ns,\
+   batch_p90_ns,batch_max_ns"
 
 let to_csv t =
   let b = Buffer.create 1024 in
   Buffer.add_string b csv_header;
   Buffer.add_char b '\n';
+  let q3 fmt = function
+    | None -> ",,"
+    | Some q ->
+      Printf.sprintf "%s,%s,%s" (fmt q.q_p50) (fmt q.q_p90) (fmt q.q_max)
+  in
   List.iter
     (fun c ->
       Buffer.add_string b
         (Printf.sprintf
            "%s,%s,%s,%s,%g,%g,%d,%d,%s,%s,%s,%d,%d,%b,%.6g,%.6g,%.6g,%.6g,\
-            %.6g,%.6g,%.6g,%.6g,%.6g,%b,%.6g,%.3f\n"
+            %.6g,%.6g,%.6g,%.6g,%.6g,%b,%.6g,%.3f,%s,%s\n"
            c.id c.family c.algorithm c.sketch c.alpha c.delta c.sites c.events
            c.workload c.transport
            (Option.value c.faults ~default:"")
            c.reps c.successes c.accept_pass c.p_value c.err_mean c.err_p50
            c.err_p90 c.err_max c.bytes_mean c.ratio_mean c.ratio_max
-           c.ratio_ceiling c.bytes_pass c.msgs_mean c.wall_s))
+           c.ratio_ceiling c.bytes_pass c.msgs_mean c.wall_s
+           (q3 (Printf.sprintf "%.3f") c.rep_wall_s)
+           (q3 (Printf.sprintf "%.0f") c.batch_span_ns)))
     t.cells;
   Buffer.contents b
 

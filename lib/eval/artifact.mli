@@ -9,6 +9,9 @@
 val version : string
 (** ["wd-eval/1"]; {!of_json} rejects documents claiming any other. *)
 
+type quantiles = { q_p50 : float; q_p90 : float; q_max : float }
+(** Nearest-rank digest of one informational measurement series. *)
+
 type cell_result = {
   id : string;  (** {!Spec.id} of the cell — the diff join key *)
   family : string;
@@ -36,6 +39,13 @@ type cell_result = {
   bytes_pass : bool;  (** [ratio_max <= ratio_ceiling] *)
   msgs_mean : float;  (** mean site-to-coordinator messages *)
   wall_s : float;  (** total wall time — informational, never diffed *)
+  rep_wall_s : quantiles option;
+      (** per-repetition wall seconds — informational, never diffed *)
+  batch_span_ns : quantiles option;
+      (** [observe_batch] span durations in nanoseconds, when the cell
+          ran with a span recorder — informational, never diffed.
+          Both digests decode leniently: artifacts written before these
+          fields existed load as [None]. *)
 }
 
 val cell_pass : cell_result -> bool

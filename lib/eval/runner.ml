@@ -12,6 +12,8 @@ module Ds = Wd_protocol.Ds_tracker
 module W = Wd_protocol.Window_tracker
 module Socket = Wd_net.Transport_socket
 module Metrics = Wd_obs.Metrics
+module Sink = Wd_obs.Sink
+module Event = Wd_obs.Event
 
 module Dc_bjkst = Sim.Make_dc (Wd_sketch.Bjkst)
 module Dc_hll = Sim.Make_dc (Wd_sketch.Hyperloglog)
@@ -116,7 +118,7 @@ let with_socket_sites ~dir ~sites ~seed f =
    the Theory envelope (computed once per repetition: workloads are
    regenerated per seed, so the envelope inputs move with them). *)
 
-let dc_rep cfg (cell : Spec.cell) ~seed ?transport stream =
+let dc_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
   let theta = Spec.theta cell in
   (* The injected-bug dial: scaling sketch accuracy by sqrt(h) is
      exactly an h-fold cut in FM repetitions (m ~ 1/accuracy^2). *)
@@ -129,15 +131,15 @@ let dc_rep cfg (cell : Spec.cell) ~seed ?transport stream =
   let run =
     match cell.sketch with
     | Spec.Fm ->
-      Sim.Dc_fm.run ?transport ~seed ~faults
+      Sim.Dc_fm.run ?transport ?sink ?spans ~seed ~faults
         ~family:(Wd_sketch.Fm.family_of_params ~alpha:acc ~delta ~seed)
         ~algorithm ~theta ~alpha:acc stream
     | Spec.Bjkst ->
-      Dc_bjkst.run ?transport ~seed ~faults
+      Dc_bjkst.run ?transport ?sink ?spans ~seed ~faults
         ~family:(Wd_sketch.Bjkst.family_of_params ~alpha:acc ~delta ~seed)
         ~algorithm ~theta ~alpha:acc stream
     | Spec.Hll ->
-      Dc_hll.run ?transport ~seed ~faults
+      Dc_hll.run ?transport ?sink ?spans ~seed ~faults
         ~family:(Wd_sketch.Hyperloglog.family_of_params ~alpha:acc ~delta ~seed)
         ~algorithm ~theta ~alpha:acc stream
   in
@@ -173,7 +175,7 @@ let dc_rep cfg (cell : Spec.cell) ~seed ?transport stream =
   ( { err; success; bytes = run.Sim.dc_total_bytes; msgs = run.Sim.dc_sends },
     bound )
 
-let ds_rep cfg (cell : Spec.cell) ~seed ?transport stream =
+let ds_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
   (* The whole budget is the count-lag theta here (Lemma 2 bounds the
      tracked-count error by theta deterministically); the handicap
      inflates the lag the tracker runs with while acceptance still
@@ -184,7 +186,7 @@ let ds_rep cfg (cell : Spec.cell) ~seed ?transport stream =
     match cell.protocol with Spec.Ds a -> a | _ -> assert false
   in
   let run =
-    Sim.run_ds ?transport ~seed ~faults ~algorithm ~theta
+    Sim.run_ds ?transport ?sink ?spans ~seed ~faults ~algorithm ~theta
       ~threshold:cfg.ds_threshold stream
   in
   let err = run.Sim.ds_max_count_error in
@@ -273,34 +275,71 @@ let window_rep cfg (cell : Spec.cell) ~seed stream =
     },
     Theory.window_bound ~updates:n )
 
-let run_rep cfg (cell : Spec.cell) ~seed =
+let run_rep cfg (cell : Spec.cell) ~seed ?sink ?spans () =
   match (cell.protocol, cell.transport) with
   | Spec.Hh _, Spec.Sim -> hh_rep cfg cell ~seed
   | Spec.Window _, Spec.Sim ->
     window_rep cfg cell ~seed (build_stream cell ~seed)
-  | Spec.Dc _, Spec.Sim -> dc_rep cfg cell ~seed (build_stream cell ~seed)
-  | Spec.Ds _, Spec.Sim -> ds_rep cfg cell ~seed (build_stream cell ~seed)
+  | Spec.Dc _, Spec.Sim ->
+    dc_rep cfg cell ~seed ?sink ?spans (build_stream cell ~seed)
+  | Spec.Ds _, Spec.Sim ->
+    ds_rep cfg cell ~seed ?sink ?spans (build_stream cell ~seed)
   | Spec.Dc _, Spec.Socket ->
     let stream = build_stream cell ~seed in
     with_socket_sites ~dir:cfg.socket_dir ~sites:(Stream.num_sites stream)
-      ~seed (fun transport -> dc_rep cfg cell ~seed ~transport stream)
+      ~seed (fun transport -> dc_rep cfg cell ~seed ~transport ?sink ?spans stream)
   | Spec.Ds _, Spec.Socket ->
     let stream = build_stream cell ~seed in
     with_socket_sites ~dir:cfg.socket_dir ~sites:(Stream.num_sites stream)
-      ~seed (fun transport -> ds_rep cfg cell ~seed ~transport stream)
+      ~seed (fun transport -> ds_rep cfg cell ~seed ~transport ?sink ?spans stream)
   | (Spec.Hh _ | Spec.Window _), Spec.Socket ->
     failwith
       (Printf.sprintf "cell %s: no socket backend for this protocol family"
          (Spec.id cell))
 
+(* Nearest-rank digest of an informational measurement series. *)
+let quantiles_of samples =
+  if Array.length samples = 0 then None
+  else
+    Some
+      {
+        Artifact.q_p50 = Stats.quantile samples 0.5;
+        q_p90 = Stats.quantile samples 0.9;
+        q_max = Stats.max_value samples;
+      }
+
 let run_cell cfg (cell : Spec.cell) =
   let id = Spec.id cell in
   Option.iter (fun p -> p (Printf.sprintf "running %s" id)) cfg.progress;
+  (* Timing instrumentation (informational artifact fields): each rep is
+     individually wall-timed, and dc/ds reps run with a span recorder
+     emitting into a bounded in-memory ring, from which observe_batch
+     durations are digested.  Spans never influence the measured
+     estimates or ledger bytes, only the timing digests. *)
+  let ring = Sink.ring ~capacity:65536 in
   let t0 = Unix.gettimeofday () in
-  let measured =
-    List.init cfg.reps (fun r -> run_rep cfg cell ~seed:(cfg.base_seed + r))
+  let timed =
+    List.init cfg.reps (fun r ->
+      let r0 = Unix.gettimeofday () in
+      let m = run_rep cfg cell ~seed:(cfg.base_seed + r) ~sink:ring ~spans:true () in
+      (m, Unix.gettimeofday () -. r0))
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  let measured = List.map fst timed in
+  let rep_wall_s =
+    quantiles_of (Array.of_list (List.map snd timed))
+  in
+  let batch_span_ns =
+    quantiles_of
+      (Array.of_list
+         (List.filter_map
+            (fun (ev : Event.t) ->
+              match ev.Event.kind with
+              | Event.Span { name = "observe_batch"; start_ns; end_ns; _ } ->
+                Some (Int64.to_float (Int64.sub end_ns start_ns))
+              | _ -> None)
+            (Sink.ring_contents ring)))
+  in
   let reps = List.map fst measured in
   let arr f = Array.of_list (List.map f reps) in
   let errs = arr (fun m -> m.err) in
@@ -347,6 +386,8 @@ let run_cell cfg (cell : Spec.cell) =
       bytes_pass = ratio_max <= ratio_ceiling;
       msgs_mean = Stats.mean (arr (fun m -> Float.of_int m.msgs));
       wall_s;
+      rep_wall_s;
+      batch_span_ns;
     }
   in
   Option.iter

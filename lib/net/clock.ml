@@ -1,0 +1,18 @@
+(* Wall-clock nanoseconds for span timing, without an external monotonic
+   clock dependency: [Unix.gettimeofday] scaled to nanoseconds and
+   clamped monotone non-decreasing.  Readings are microsecond-granular
+   (the resolution of gettimeofday) but exact at that granularity: the
+   float is converted at microseconds, where doubles still have sub-unit
+   precision, then widened.  Relays and the coordinator run on one host
+   (Unix-domain sockets), so stamps from different processes share a
+   clock source and cross-process latencies are meaningful.  Epoch
+   nanoseconds (~1.7e18) fit both int64 and OCaml's 63-bit int, so the
+   values survive the JSONL trace codec exactly. *)
+
+let last = ref 0L
+
+let ns () =
+  let raw = Int64.mul (Int64.of_float (Unix.gettimeofday () *. 1e6)) 1000L in
+  let v = if Int64.compare raw !last < 0 then !last else raw in
+  last := v;
+  v

@@ -1,0 +1,140 @@
+(* Minimal single-threaded HTTP scrape endpoint.
+
+   The coordinator's event loop is synchronous (one process, no threads),
+   so the server is a non-blocking listening socket the driver polls
+   between protocol steps: [poll] accepts whatever connections are
+   pending, serves each one completely (bounded by socket timeouts so a
+   stalled scraper cannot wedge the run for long), and returns.  One
+   request per connection, [Connection: close] — exactly the shape of a
+   Prometheus scrape or a curl. *)
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  timeout : float;
+  mutable served : int;
+  mutable closed : bool;
+}
+
+let create ?(host = "127.0.0.1") ?(port = 0) ?(timeout = 1.0) () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 16;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false (* bound to ADDR_INET above *)
+  in
+  { fd; port; timeout; served = 0; closed = false }
+
+let port t = t.port
+let served t = t.served
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let contains_terminator s =
+  let n = String.length s in
+  let rec go i =
+    i + 3 < n
+    && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+         && s.[i + 3] = '\n')
+       || go (i + 1))
+  in
+  (* Bare "\n\n" tolerated for hand-typed requests. *)
+  let rec go_lf i = (i + 1 < n && s.[i] = '\n' && s.[i + 1] = '\n') || go_lf (i + 1) in
+  n > 3 && (go 0 || go_lf 0)
+
+(* Read until the end of the request headers (the request body, if any,
+   is ignored: we only ever serve GET). *)
+let read_request conn =
+  let chunk = Bytes.create 4096 in
+  let acc = Buffer.create 256 in
+  let rec go () =
+    if Buffer.length acc > 16384 then Buffer.contents acc
+    else
+      let n = Unix.read conn chunk 0 (Bytes.length chunk) in
+      if n = 0 then Buffer.contents acc
+      else begin
+        Buffer.add_subbytes acc chunk 0 n;
+        let s = Buffer.contents acc in
+        if contains_terminator s then s else go ()
+      end
+  in
+  go ()
+
+let request_target req =
+  match String.index_opt req '\n' with
+  | None -> None
+  | Some eol -> (
+    let line = String.trim (String.sub req 0 eol) in
+    match String.split_on_char ' ' line with
+    | meth :: target :: _ -> Some (meth, target)
+    | _ -> None)
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status content_type (String.length body) body
+
+(* Prometheus text exposition format version. *)
+let exposition_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let serve t conn ~body =
+  Unix.setsockopt_float conn Unix.SO_RCVTIMEO t.timeout;
+  Unix.setsockopt_float conn Unix.SO_SNDTIMEO t.timeout;
+  let reply =
+    match request_target (read_request conn) with
+    | Some ("GET", target)
+      when target = "/metrics"
+           || String.length target > 8
+              && String.sub target 0 9 = "/metrics?" ->
+      response ~status:"200 OK" ~content_type:exposition_content_type (body ())
+    | Some ("GET", _) ->
+      response ~status:"404 Not Found" ~content_type:"text/plain"
+        "not found; scrape /metrics\n"
+    | Some _ ->
+      response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+        "only GET is supported\n"
+    | None ->
+      response ~status:"400 Bad Request" ~content_type:"text/plain"
+        "malformed request\n"
+  in
+  write_all conn (Bytes.of_string reply) 0 (String.length reply);
+  t.served <- t.served + 1
+
+let poll t ~body =
+  if not t.closed then begin
+    let continue = ref true in
+    while !continue do
+      match Unix.accept t.fd with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        continue := false
+      | conn, _ ->
+        (try serve t conn ~body
+         with Unix.Unix_error _ | End_of_file -> ());
+        (try Unix.close conn with Unix.Unix_error _ -> ())
+    done
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,37 @@
+(** Polled HTTP scrape endpoint for live telemetry.
+
+    Serves [GET /metrics] (Prometheus text exposition format 0.0.4) from
+    a synchronous, single-threaded event loop: the listening socket is
+    non-blocking and {!poll} — called by the driver between protocol
+    steps — accepts and serves whatever scrapes are pending, then
+    returns immediately.  There are no threads and no buffering of
+    half-served connections; each request is answered completely under a
+    per-socket timeout, [Connection: close].
+
+    The body callback is invoked once per served scrape, so the endpoint
+    always exposes the registry's state as of the most recent poll. *)
+
+type t
+
+val create : ?host:string -> ?port:int -> ?timeout:float -> unit -> t
+(** Bind and listen.  [host] defaults to ["127.0.0.1"] (loopback only);
+    [port] defaults to 0 — let the kernel pick, then read {!port}.
+    [timeout] (default 1.0 s) bounds each accepted socket's reads and
+    writes, so a stalled client delays the caller at most briefly.
+    Raises [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val served : t -> int
+(** Requests answered so far (any status). *)
+
+val poll : t -> body:(unit -> string) -> unit
+(** Accept and serve every pending connection, then return.  Returns
+    immediately when none are waiting.  [body] produces the exposition
+    text for [GET /metrics] (see {!Wd_obs.Metrics.to_prometheus}); other
+    targets get 404/405/400.  Per-connection I/O errors are swallowed —
+    a dying scraper must not kill the monitored run. *)
+
+val close : t -> unit
+(** Stop listening.  Idempotent; {!poll} becomes a no-op. *)

@@ -1,5 +1,6 @@
 module Sink = Wd_obs.Sink
 module Event = Wd_obs.Event
+module Span = Wd_obs.Span
 
 type cost_model = Unicast | Radio_broadcast
 
@@ -33,6 +34,7 @@ type t = {
   mutable dup_deliveries : int;
   mutable retry_count : int;
   mutable tap : tap option;
+  mutable spans : Span.t option;
 }
 
 let create ?(cost_model = Unicast) ~sites () =
@@ -57,6 +59,7 @@ let create ?(cost_model = Unicast) ~sites () =
     dup_deliveries = 0;
     retry_count = 0;
     tap = None;
+    spans = None;
   }
 
 let sites t = t.k
@@ -73,18 +76,43 @@ let set_debug_checks t on = t.debug_checks <- on
 
 let site_down t ~site = Faults.is_down t.faults ~site ~time:t.time
 let set_tap t tap = t.tap <- tap
+let set_spans t spans = t.spans <- spans
+let spans t = t.spans
 
 (* Tap helpers: fire once per charged message copy.  Taps observe the
    ledger, never steer it — no randomness, no counter writes — so an
-   installed tap cannot perturb a run. *)
+   installed tap cannot perturb a run.  With a span recorder attached,
+   each charged copy becomes a span wrapped around the tap call — under
+   the socket transport the tap is where the real I/O happens, so the
+   span measures the wire, and any spans the transport emits inside it
+   (request/reply halves) become its children via [current_parent]. *)
+let[@inline] tap_timed t ~name ~site run =
+  match t.spans with
+  | None -> run ()
+  | Some r ->
+    let start_ns = Span.now r in
+    let id = Span.fresh_id r in
+    let parent = Span.current_parent r in
+    Span.set_current_parent r id;
+    run ();
+    Span.set_current_parent r parent;
+    ignore
+      (Span.finish r ~name ?site ~parent ~span_id:id ~time:t.time ~start_ns ()
+        : Span.ctx)
+
 let tap_up t ~site ~payload ~lost =
-  match t.tap with None -> () | Some tap -> tap.on_up ~site ~payload ~lost
+  tap_timed t ~name:"message.up" ~site:(Some site) (fun () ->
+      match t.tap with None -> () | Some tap -> tap.on_up ~site ~payload ~lost)
 
 let tap_down t ~site ~payload ~lost =
-  match t.tap with None -> () | Some tap -> tap.on_down ~site ~payload ~lost
+  tap_timed t ~name:"message.down" ~site:(Some site) (fun () ->
+      match t.tap with
+      | None -> ()
+      | Some tap -> tap.on_down ~site ~payload ~lost)
 
 let tap_medium t ~payload =
-  match t.tap with None -> () | Some tap -> tap.on_medium ~payload
+  tap_timed t ~name:"broadcast" ~site:None (fun () ->
+      match t.tap with None -> () | Some tap -> tap.on_medium ~payload)
 
 let check_site t site =
   if site < 0 || site >= t.k then invalid_arg "Network: site index out of range"

@@ -9,6 +9,8 @@ type wire_stats = {
   skipped_up : int;
   skipped_down : int;
   reconnects : int;
+  span_frames_up : int;
+  span_frames_down : int;
 }
 
 module type S = sig

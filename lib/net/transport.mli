@@ -44,6 +44,12 @@ type wire_stats = {
           (crash window), so no frame was exchanged; ledger units *)
   skipped_down : int;  (** same, down direction; ledger units *)
   reconnects : int;  (** site sockets re-accepted after a crash window *)
+  span_frames_up : int;
+      (** frames read that carried a {!Wire.Frame.span} context block;
+          0 unless a span recorder was attached to the ledger *)
+  span_frames_down : int;
+      (** frames written with a span context block (delivers, radio
+          copies and [Request_up] control frames alike) *)
 }
 (** Counters a wire-backed carrier keeps alongside the ledger.  They tie
     the two accountings together:
@@ -51,7 +57,11 @@ type wire_stats = {
      = ledger bytes_up - skipped_up
        + frames_up * (Wire.Frame.header_bytes - Wire.header_bytes)]
     and symmetrically for down (with [radio_copy_bytes] and
-    [control_bytes] on top of the down-direction socket traffic). *)
+    [control_bytes] on top of the down-direction socket traffic).
+    Span context blocks are wire overhead outside both byte counts:
+    actual socket traffic additionally includes
+    [span_frames_* * Wire.Frame.span_bytes] in each direction, which is
+    how the relays' raw byte reports reconcile when spans are on. *)
 
 (** Interface every transport backend implements.  Everything except
     {!S.set_time}, {!S.close} and {!S.wire_stats} is semantically fixed

@@ -1,4 +1,5 @@
 module F = Wire.Frame
+module Span = Wd_obs.Span
 
 type site_report = {
   frames_received : int;
@@ -39,15 +40,47 @@ let write_frame fd ~kind ~site ~payload_len =
   let buf = frame_buf ~kind ~site ~payload_len in
   write_all fd buf 0 (Bytes.length buf)
 
-let read_frame fd =
+(* Like [frame_buf], but a version-2 spanned frame: header with the span
+   flag set, then the 40-byte span context block, then the payload.  The
+   header's length field still counts only the payload. *)
+let spanned_buf ~kind ~site ~payload_len ~span =
+  let buf = Bytes.make (F.header_bytes + F.span_bytes + payload_len) '\000' in
+  F.encode_header_spanned buf ~pos:0 ~kind ~site ~length:payload_len;
+  F.encode_span buf ~pos:F.header_bytes span;
+  buf
+
+(* Read one frame: header, span context block when the header announces
+   one, payload.  Consuming the span block here is what keeps the stream
+   in sync whether or not the peer stamps its frames.  [spans] only adds
+   a [frame.decode] histogram stamp; decoding is identical without it. *)
+let read_frame ?spans fd =
   let hdr = Bytes.create F.header_bytes in
   read_exact fd hdr 0 F.header_bytes;
-  match F.decode_header hdr ~pos:0 with
+  let decoded =
+    match spans with
+    | None -> F.decode_header hdr ~pos:0
+    | Some r ->
+      let t0 = Span.now r in
+      let d = F.decode_header hdr ~pos:0 in
+      Span.observe_ns r ~name:"frame.decode" (Int64.sub (Span.now r) t0);
+      d
+  in
+  match decoded with
   | Error e -> Error e
   | Ok h ->
+    let span =
+      if not h.F.has_span then None
+      else begin
+        let sbuf = Bytes.create F.span_bytes in
+        read_exact fd sbuf 0 F.span_bytes;
+        match F.decode_span sbuf ~pos:0 with
+        | Ok s -> Some s
+        | Error _ -> None (* unreachable: the buffer is exactly span_bytes *)
+      end
+    in
     let payload = Bytes.create h.F.length in
     read_exact fd payload 0 h.F.length;
-    Ok (h, payload)
+    Ok (h, span, payload)
 
 let frame_error what e =
   failwith (Printf.sprintf "transport_socket: %s: %s" what (F.error_to_string e))
@@ -89,6 +122,11 @@ type coord = {
   mutable skipped_up : int;
   mutable skipped_down : int;
   mutable reconnects : int;
+  mutable span_frames_up : int;
+  mutable span_frames_down : int;
+  (* Driver hook run on every clock tick (after crash-window handling):
+     the place a live telemetry endpoint gets polled from. *)
+  mutable on_poll : (unit -> unit) option;
   mutable closed : bool;
 }
 
@@ -106,11 +144,11 @@ let accept_handshake t =
     reject fd (F.error_to_string e);
     Unix.close fd;
     None
-  | Ok (h, _) when h.F.kind <> F.Hello ->
+  | Ok (h, _, _) when h.F.kind <> F.Hello ->
     reject fd (Printf.sprintf "expected hello, got %s" (F.kind_to_string h.F.kind));
     Unix.close fd;
     None
-  | Ok (h, _) ->
+  | Ok (h, _, _) ->
     let site = h.F.site in
     if site < 0 || site >= Array.length t.conns then begin
       reject fd (Printf.sprintf "site id %d out of range" site);
@@ -164,42 +202,117 @@ let on_time t time =
       t.down.(site) <- false;
       reattach t site
     end
-  done
+  done;
+  match t.on_poll with None -> () | Some f -> f ()
 
 (* --- tap: realize each ledger charge as a frame on the wire --- *)
+
+(* One down-direction frame on [site]'s socket.  With a recorder on the
+   ledger, the frame carries the span context of the message span the
+   ledger tap opened around us ([Span.current_parent]), so the receiving
+   process sees which traced operation caused the delivery. *)
+let write_deliver t fd ~site ~payload =
+  match Network.spans t.net with
+  | None -> write_frame fd ~kind:F.Deliver ~site ~payload_len:payload
+  | Some r ->
+    let t0 = Span.now r in
+    let span =
+      {
+        F.trace_id = Span.trace_id r;
+        span_id = Span.current_parent r;
+        parent_id = Span.root_parent;
+        t1_ns = t0;
+        t2_ns = 0L;
+      }
+    in
+    let buf = spanned_buf ~kind:F.Deliver ~site ~payload_len:payload ~span in
+    Span.observe_ns r ~name:"frame.encode" (Int64.sub (Span.now r) t0);
+    write_all fd buf 0 (Bytes.length buf);
+    t.span_frames_down <- t.span_frames_down + 1
 
 let deliver t ~site ~payload =
   match t.conns.(site) with
   | Some fd ->
-    write_frame fd ~kind:F.Deliver ~site ~payload_len:payload;
+    write_deliver t fd ~site ~payload;
     t.frames_down <- t.frames_down + 1;
     t.wire_bytes_down <- t.wire_bytes_down + F.bytes ~payload
   | None -> t.skipped_down <- t.skipped_down + Wire.message ~payload
 
+(* The synchronous Request_up -> Up exchange is the transport's natural
+   round-trip point.  With a recorder attached the request ships a span
+   context (fresh id, parented under the ledger's open message span) plus
+   the coordinator's send stamp; the relay echoes the ids back with its
+   own receive/send stamps, and the coordinator emits two spans: the
+   relay's half ([relay.turnaround], stamped by the other process) as a
+   child of the full round trip ([request_up], stamped here). *)
 let request_up t ~site ~payload =
   match t.conns.(site) with
+  | None -> t.skipped_up <- t.skipped_up + Wire.message ~payload
   | Some fd ->
-    let buf = frame_buf ~kind:F.Request_up ~site ~payload_len:4 in
-    Bytes.set_int32_le buf F.header_bytes (Int32.of_int payload);
-    write_all fd buf 0 (Bytes.length buf);
+    let spans = Network.spans t.net in
+    let pending =
+      match spans with
+      | None ->
+        let buf = frame_buf ~kind:F.Request_up ~site ~payload_len:4 in
+        Bytes.set_int32_le buf F.header_bytes (Int32.of_int payload);
+        write_all fd buf 0 (Bytes.length buf);
+        None
+      | Some r ->
+        let parent = Span.current_parent r in
+        let rtt_id = Span.fresh_id r in
+        let t0 = Span.now r in
+        let span =
+          {
+            F.trace_id = Span.trace_id r;
+            span_id = rtt_id;
+            parent_id = parent;
+            t1_ns = t0;
+            t2_ns = 0L;
+          }
+        in
+        let buf = spanned_buf ~kind:F.Request_up ~site ~payload_len:4 ~span in
+        Bytes.set_int32_le buf
+          (F.header_bytes + F.span_bytes)
+          (Int32.of_int payload);
+        Span.observe_ns r ~name:"frame.encode" (Int64.sub (Span.now r) t0);
+        write_all fd buf 0 (Bytes.length buf);
+        t.span_frames_down <- t.span_frames_down + 1;
+        Some (r, parent, rtt_id, t0)
+    in
     t.control_frames <- t.control_frames + 1;
     t.control_bytes <- t.control_bytes + F.bytes ~payload:4;
-    (match read_frame fd with
+    (match read_frame ?spans fd with
     | exception End_of_file ->
       failwith "transport_socket: site closed connection mid-exchange"
     | Error e -> frame_error "reading up frame" e
-    | Ok (h, _) when h.F.kind = F.Up && h.F.site = site && h.F.length = payload
-      ->
+    | Ok (h, relay_span, _)
+      when h.F.kind = F.Up && h.F.site = site && h.F.length = payload ->
       t.frames_up <- t.frames_up + 1;
-      t.wire_bytes_up <- t.wire_bytes_up + F.bytes ~payload
-    | Ok (h, _) ->
+      t.wire_bytes_up <- t.wire_bytes_up + F.bytes ~payload;
+      if h.F.has_span then t.span_frames_up <- t.span_frames_up + 1;
+      (match pending with
+      | None -> ()
+      | Some (r, parent, rtt_id, t0) ->
+        let t1 = Span.now r in
+        let time = Network.time t.net in
+        (match relay_span with
+        | Some sp ->
+          ignore
+            (Span.finish r ~name:"relay.turnaround" ~site ~parent:rtt_id
+               ~time ~start_ns:sp.F.t1_ns ~end_ns:sp.F.t2_ns ()
+              : Span.ctx)
+        | None -> ());
+        ignore
+          (Span.finish r ~name:"request_up" ~site ~parent ~span_id:rtt_id
+             ~time ~start_ns:t0 ~end_ns:t1 ()
+            : Span.ctx))
+    | Ok (h, _, _) ->
       failwith
         (Printf.sprintf
            "transport_socket: expected up(site=%d,len=%d), got %s(site=%d,len=%d)"
            site payload
            (F.kind_to_string h.F.kind)
            h.F.site h.F.length))
-  | None -> t.skipped_up <- t.skipped_up + Wire.message ~payload
 
 let medium_broadcast t ~payload =
   let wrote = ref 0 in
@@ -207,7 +320,7 @@ let medium_broadcast t ~payload =
     (fun site conn ->
       match conn with
       | Some fd ->
-        write_frame fd ~kind:F.Deliver ~site ~payload_len:payload;
+        write_deliver t fd ~site ~payload;
         incr wrote;
         if !wrote = 1 then begin
           t.frames_down <- t.frames_down + 1;
@@ -242,7 +355,7 @@ let finish_site t site fd =
   (try
      write_frame fd ~kind:F.Finish ~site ~payload_len:0;
      match read_frame fd with
-     | Ok (h, payload)
+     | Ok (h, _, payload)
        when h.F.kind = F.Stats && h.F.length = stats_payload_len ->
        t.reports.(site) <- Some (decode_report payload)
      | _ | (exception End_of_file) -> ()
@@ -298,6 +411,8 @@ let wire_stats t =
       skipped_up = t.skipped_up;
       skipped_down = t.skipped_down;
       reconnects = t.reconnects;
+      span_frames_up = t.span_frames_up;
+      span_frames_down = t.span_frames_down;
     }
 
 module Backend = Transport.Of_carrier (struct
@@ -344,6 +459,9 @@ module Coordinator = struct
         skipped_up = 0;
         skipped_down = 0;
         reconnects = 0;
+        span_frames_up = 0;
+        span_frames_down = 0;
+        on_poll = None;
         closed = false;
       }
     in
@@ -373,6 +491,7 @@ module Coordinator = struct
 
   let pack c = Transport.Packed ((module Backend), c)
   let reports c = Array.copy c.reports
+  let set_on_poll c f = c.on_poll <- f
 end
 
 let connect ?cost_model ?timeout ~path ~sites () =
@@ -409,12 +528,12 @@ module Site = struct
     | exception End_of_file ->
       failwith "transport_socket: coordinator closed connection during handshake"
     | Error e -> frame_error "handshake" e
-    | Ok (h, _) when h.F.kind = F.Welcome -> ()
-    | Ok (h, payload) when h.F.kind = F.Reject ->
+    | Ok (h, _, _) when h.F.kind = F.Welcome -> ()
+    | Ok (h, _, payload) when h.F.kind = F.Reject ->
       failwith
         (Printf.sprintf "transport_socket: rejected by coordinator: %s"
            (Bytes.to_string payload))
-    | Ok (h, _) ->
+    | Ok (h, _, _) ->
       failwith
         (Printf.sprintf "transport_socket: expected welcome, got %s"
            (F.kind_to_string h.F.kind))
@@ -464,22 +583,48 @@ module Site = struct
         (try Unix.close !fd with Unix.Unix_error _ -> ());
         fd := connect ()
       | Error e -> frame_error "reading frame" e
-      | Ok (h, payload) -> (
+      | Ok (h, rspan, payload) -> (
+        (* Stamp arrival before any other work so the relay-side span
+           half measures the exchange, not our bookkeeping. *)
+        let recv_ns = if h.F.has_span then Clock.ns () else 0L in
+        let span_extra = if h.F.has_span then F.span_bytes else 0 in
         match h.F.kind with
         | F.Deliver ->
           incr frames_received;
-          bytes_received := !bytes_received + F.bytes ~payload:h.F.length
+          bytes_received :=
+            !bytes_received + F.bytes ~payload:h.F.length + span_extra
         | F.Request_up ->
           if h.F.length <> 4 then
             failwith "transport_socket: malformed request-up frame";
           incr frames_received;
-          bytes_received := !bytes_received + F.bytes ~payload:4;
+          bytes_received := !bytes_received + F.bytes ~payload:4 + span_extra;
           let wanted = Int32.to_int (Bytes.get_int32_le payload 0) in
           if wanted < 0 || wanted > F.max_payload then
             failwith "transport_socket: bad requested up-payload size";
-          write_frame !fd ~kind:F.Up ~site ~payload_len:wanted;
-          incr frames_sent;
-          bytes_sent := !bytes_sent + F.bytes ~payload:wanted
+          (match rspan with
+          | Some sp ->
+            (* Our half of the round trip: echo the coordinator's ids,
+               replace the stamps with our receive/send times.  The
+               coordinator renders this as a [relay.turnaround] span. *)
+            let reply =
+              {
+                F.trace_id = sp.F.trace_id;
+                span_id = sp.F.span_id;
+                parent_id = sp.F.parent_id;
+                t1_ns = recv_ns;
+                t2_ns = Clock.ns ();
+              }
+            in
+            let buf =
+              spanned_buf ~kind:F.Up ~site ~payload_len:wanted ~span:reply
+            in
+            write_all !fd buf 0 (Bytes.length buf);
+            incr frames_sent;
+            bytes_sent := !bytes_sent + F.bytes ~payload:wanted + F.span_bytes
+          | None ->
+            write_frame !fd ~kind:F.Up ~site ~payload_len:wanted;
+            incr frames_sent;
+            bytes_sent := !bytes_sent + F.bytes ~payload:wanted)
         | F.Finish ->
           send_stats ();
           (try Unix.close !fd with Unix.Unix_error _ -> ());

@@ -29,6 +29,19 @@
       nothing is written; the ledger bytes are recorded as
       [skipped_up]/[skipped_down] so the reconciliation stays exact.
 
+    With a span recorder attached to the ledger ({!Network.set_spans})
+    every frame written additionally carries a {!Wire.Frame.span}
+    context block (trace id, span id, parent, wall stamps), so the
+    causal trace crosses the process boundary.  The synchronous
+    [Request_up]/[Up] exchange is timed end-to-end: the request ships
+    the coordinator's send stamp, the relay echoes the ids back with its
+    own receive/send stamps, and the coordinator emits a [request_up]
+    round-trip span with a [relay.turnaround] child whose stamps were
+    taken in the relay process — a true cross-process latency
+    measurement.  Span blocks are wire overhead outside the byte ledger,
+    reconciled via {!Transport.wire_stats.span_frames_up} /
+    [span_frames_down].
+
     Crash windows are real disconnections: at window entry the
     coordinator closes the site's socket (the relay sees EOF and starts
     a reconnect loop); at window exit it re-accepts the relay's
@@ -80,6 +93,13 @@ module Coordinator : sig
   val reports : t -> site_report option array
   (** Per-site relay reports, filled in by [close] (all [None] before);
       [None] afterwards marks a site that never answered [Finish]. *)
+
+  val set_on_poll : t -> (unit -> unit) option -> unit
+  (** Install a driver hook run on every [set_time] tick, after crash
+      windows are handled — the natural place to poll a
+      {!Metrics_http.t} endpoint from the synchronous event loop.  The
+      hook runs once per protocol update, so it should throttle itself
+      if its work is not trivially cheap. *)
 end
 
 (** The site half: a dumb carrier relay, run in its own process by

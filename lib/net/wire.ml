@@ -12,8 +12,11 @@ let item_count_pairs n = n * (item_bytes + count_bytes)
 
 module Frame = struct
   let magic = "WD"
-  let version = 1
+  let version = 2
+  let legacy_version = 1
   let header_bytes = 12
+  let span_bytes = 40
+  let span_flag = 0x80
   let max_payload = 16 * 1024 * 1024
 
   type kind =
@@ -57,7 +60,20 @@ module Frame = struct
     | 8 -> Some Reject
     | _ -> None
 
-  type header = { kind : kind; site : int; length : int }
+  type header = { kind : kind; site : int; length : int; has_span : bool }
+
+  (* Span context block, between header and payload when the kind byte's
+     top bit is set (version 2 frames only).  [t1_ns]/[t2_ns] are the
+     sender's two wall-clock stamps; their meaning depends on the frame
+     kind (e.g. a Request_up carries the coordinator's send time, the Up
+     reply carries the relay's receive and send times). *)
+  type span = {
+    trace_id : int64;
+    span_id : int64;
+    parent_id : int64;
+    t1_ns : int64;
+    t2_ns : int64;
+  }
 
   type error =
     | Bad_magic of string
@@ -78,13 +94,21 @@ module Frame = struct
 
   let bytes ~payload = header_bytes + payload
 
-  let encode_header buf ~pos ~kind ~site ~length =
+  let encode_header_raw buf ~pos ~kind_byte ~site ~length =
     Bytes.set buf pos magic.[0];
     Bytes.set buf (pos + 1) magic.[1];
     Bytes.set_uint8 buf (pos + 2) version;
-    Bytes.set_uint8 buf (pos + 3) (kind_to_byte kind);
+    Bytes.set_uint8 buf (pos + 3) kind_byte;
     Bytes.set_int32_le buf (pos + 4) (Int32.of_int site);
     Bytes.set_int32_le buf (pos + 8) (Int32.of_int length)
+
+  let encode_header buf ~pos ~kind ~site ~length =
+    encode_header_raw buf ~pos ~kind_byte:(kind_to_byte kind) ~site ~length
+
+  let encode_header_spanned buf ~pos ~kind ~site ~length =
+    encode_header_raw buf ~pos
+      ~kind_byte:(kind_to_byte kind lor span_flag)
+      ~site ~length
 
   let decode_header buf ~pos =
     let avail = Bytes.length buf - pos in
@@ -94,13 +118,40 @@ module Frame = struct
     then Error (Bad_magic (Bytes.sub_string buf pos 2))
     else
       let v = Bytes.get_uint8 buf (pos + 2) in
-      if v <> version then Error (Version_mismatch { expected = version; got = v })
+      if v <> version && v <> legacy_version then
+        Error (Version_mismatch { expected = version; got = v })
       else
-        match kind_of_byte (Bytes.get_uint8 buf (pos + 3)) with
-        | None -> Error (Bad_kind (Bytes.get_uint8 buf (pos + 3)))
+        (* The span flag exists since version 2; on a legacy frame a set
+           top bit is just an unknown kind. *)
+        let kind_byte = Bytes.get_uint8 buf (pos + 3) in
+        let has_span = v >= 2 && kind_byte land span_flag <> 0 in
+        let plain = if has_span then kind_byte land lnot span_flag else kind_byte in
+        match kind_of_byte plain with
+        | None -> Error (Bad_kind kind_byte)
         | Some kind ->
           let site = Int32.to_int (Bytes.get_int32_le buf (pos + 4)) in
           let length = Int32.to_int (Bytes.get_int32_le buf (pos + 8)) in
           if length < 0 || length > max_payload then Error (Bad_length length)
-          else Ok { kind; site; length }
+          else Ok { kind; site; length; has_span }
+
+  let encode_span buf ~pos (s : span) =
+    Bytes.set_int64_le buf pos s.trace_id;
+    Bytes.set_int64_le buf (pos + 8) s.span_id;
+    Bytes.set_int64_le buf (pos + 16) s.parent_id;
+    Bytes.set_int64_le buf (pos + 24) s.t1_ns;
+    Bytes.set_int64_le buf (pos + 32) s.t2_ns
+
+  let decode_span buf ~pos =
+    let avail = Bytes.length buf - pos in
+    if avail < span_bytes then
+      Error (Truncated { wanted = span_bytes; got = max 0 avail })
+    else
+      Ok
+        {
+          trace_id = Bytes.get_int64_le buf pos;
+          span_id = Bytes.get_int64_le buf (pos + 8);
+          parent_id = Bytes.get_int64_le buf (pos + 16);
+          t1_ns = Bytes.get_int64_le buf (pos + 24);
+          t2_ns = Bytes.get_int64_le buf (pos + 32);
+        }
 end

@@ -49,26 +49,44 @@ val item_count_pairs : int -> int
     {v
       offset 0  magic      2 bytes  "WD"
       offset 2  version    1 byte   {!Frame.version}
-      offset 3  kind       1 byte   {!Frame.kind}
+      offset 3  kind       1 byte   {!Frame.kind}; top bit = span flag (v2)
       offset 4  site       4 bytes  sender / addressee site id
       offset 8  length     4 bytes  payload length in bytes
-      offset 12 payload    [length] bytes
+      offset 12 span ctx   40 bytes, only when the span flag is set
+      ...       payload    [length] bytes
     v}
+
+    Version 2 (current) optionally carries a 40-byte span-context block
+    between header and payload, announced by the top bit of the kind
+    byte ({!Frame.span_flag}) — this is how causal trace context crosses
+    process boundaries.  Version 1 frames (no span flag, no block) are
+    still accepted on decode, so a v1 peer's frames remain readable; the
+    fixed 12-byte header is common to both.
 
     Decoding rejects wrong magics, unknown kinds, negative or oversized
     lengths, and — the protocol-version gate — any version byte other
-    than {!Frame.version}, each with a distinct typed {!Frame.error}. *)
+    than {!Frame.version} or {!Frame.legacy_version}, each with a
+    distinct typed {!Frame.error}. *)
 
 module Frame : sig
   val magic : string
   (** ["WD"], the two leading bytes of every frame. *)
 
   val version : int
-  (** Protocol version spoken by this build; bumped on any incompatible
-      frame or handshake change. *)
+  (** Protocol version written by this build (2: optional span-context
+      block); bumped on any incompatible frame or handshake change. *)
+
+  val legacy_version : int
+  (** Oldest version still accepted on decode (1: no span support). *)
 
   val header_bytes : int
-  (** Fixed frame-header size (12 bytes). *)
+  (** Fixed frame-header size (12 bytes), identical across versions. *)
+
+  val span_bytes : int
+  (** Size of the optional span-context block (40 bytes). *)
+
+  val span_flag : int
+  (** Kind-byte bit announcing a span-context block ([0x80]). *)
 
   val max_payload : int
   (** Upper bound on a frame payload accepted by {!decode_header}
@@ -92,7 +110,22 @@ module Frame : sig
 
   val kind_to_string : kind -> string
 
-  type header = { kind : kind; site : int; length : int }
+  type header = { kind : kind; site : int; length : int; has_span : bool }
+  (** [has_span] is true when a {!span} block sits between this header
+      and the payload (version 2 frames only). *)
+
+  type span = {
+    trace_id : int64;
+    span_id : int64;
+    parent_id : int64;
+    t1_ns : int64;
+    t2_ns : int64;
+  }
+  (** The span-context block: the run-scoped trace id, the sender's span
+      and its parent, and two wall-clock stamps whose meaning depends on
+      the frame kind (a [Request_up] carries the coordinator's send
+      time; the [Up] reply carries the relay's receive and send
+      times). *)
 
   (** Decode failures, each naming exactly what was wrong.  A
       [Version_mismatch] is the typed rejection the protocol-version byte
@@ -113,9 +146,22 @@ module Frame : sig
       [header_bytes + payload]. *)
 
   val encode_header : Bytes.t -> pos:int -> kind:kind -> site:int -> length:int -> unit
-  (** Write a 12-byte header at [pos]; the buffer must have room. *)
+  (** Write a 12-byte header at [pos] (no span flag); the buffer must
+      have room. *)
+
+  val encode_header_spanned :
+    Bytes.t -> pos:int -> kind:kind -> site:int -> length:int -> unit
+  (** Like {!encode_header} with the span flag set: the sender must
+      follow the header with an {!encode_span} block. *)
 
   val decode_header : Bytes.t -> pos:int -> (header, error) result
   (** Parse a 12-byte header at [pos].  Returns [Truncated] if fewer than
       {!header_bytes} bytes remain. *)
+
+  val encode_span : Bytes.t -> pos:int -> span -> unit
+  (** Write a 40-byte span-context block at [pos]. *)
+
+  val decode_span : Bytes.t -> pos:int -> (span, error) result
+  (** Parse a 40-byte span-context block at [pos].  Returns [Truncated]
+      if fewer than {!span_bytes} bytes remain. *)
 end

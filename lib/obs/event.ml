@@ -47,6 +47,15 @@ type kind =
   | Retry of { dir : direction; site : int; attempt : int; bytes : int }
   | Crash of { site : int }
   | Recover of { site : int; resync_bytes : int }
+  | Span of {
+      name : string;
+      site : int option;
+      trace_id : int64;
+      span_id : int64;
+      parent_id : int64;
+      start_ns : int64;
+      end_ns : int64;
+    }
 
 type t = { time : int; kind : kind }
 
@@ -65,6 +74,7 @@ let kind_name = function
   | Retry _ -> "retry"
   | Crash _ -> "crash"
   | Recover _ -> "recover"
+  | Span _ -> "span"
 
 let site t =
   match t.kind with
@@ -78,4 +88,5 @@ let site t =
   | Retry { site; _ }
   | Crash { site }
   | Recover { site; _ } -> Some site
+  | Span { site; _ } -> site
   | Run_meta _ | Broadcast _ | Estimate_update _ | Level_advance _ -> None

@@ -79,6 +79,23 @@ type kind =
   | Recover of { site : int; resync_bytes : int }
       (** A crashed site came back; [resync_bytes] is the total cost of the
           state resynchronization exchange that reintegrated it. *)
+  | Span of {
+      name : string;  (** ["message.up"], ["broadcast"], ["request_up"],
+                          ["relay.turnaround"], ["observe_batch"], … *)
+      site : int option;
+      trace_id : int64;  (** run-scoped; shared by every span of one run *)
+      span_id : int64;
+      parent_id : int64;  (** [0L] for a root span *)
+      start_ns : int64;
+      end_ns : int64;
+    }
+      (** One timed operation, causally linked to its parent span.  The
+          timestamps are monotonic wall-clock nanoseconds from the
+          recorder's injected clock (conventionally Unix-epoch-based, see
+          [Wd_net.Clock]) — meaningful as durations and, within one
+          host, as cross-process orderings; never stable across runs.
+          Span events are only emitted when a recorder is attached (off
+          by default), so golden logical traces never contain them. *)
 
 type t = { time : int; kind : kind }
 (** [time] is the emitter's update index (1-based count of [observe]
@@ -89,7 +106,7 @@ val kind_name : kind -> string
     ["run_meta"], ["message"], ["broadcast"], ["sketch_sent"],
     ["count_sent"], ["threshold_crossed"], ["estimate_update"],
     ["level_advance"], ["resync"], ["drop"], ["duplicate"], ["retry"],
-    ["crash"], ["recover"]. *)
+    ["crash"], ["recover"], ["span"]. *)
 
 val site : t -> int option
 (** The remote site an event concerns, when it concerns exactly one. *)

@@ -78,10 +78,12 @@ let add c n = c.c_value <- c.c_value + n
 let set g v = g.g_value <- v
 
 let observe h v =
-  (* First bucket whose upper bound covers [v]; values beyond the last
-     bound land in the +Inf bucket. *)
+  (* First bound strictly above [v]: bucket [i] covers [2^(min_exp+i-1),
+     2^(min_exp+i)), so an exact power of two starts its bucket rather
+     than closing the one below.  Values beyond the last bound land in
+     the +Inf bucket. *)
   let n = Array.length h.h_bounds in
-  let rec find i = if i >= n || v <= h.h_bounds.(i) then i else find (i + 1) in
+  let rec find i = if i >= n || v < h.h_bounds.(i) then i else find (i + 1) in
   let idx = find 0 in
   h.h_buckets.(idx) <- h.h_buckets.(idx) + 1;
   h.h_sum <- h.h_sum +. v;
@@ -202,6 +204,130 @@ let to_prometheus t =
              h.h_count))
     (sorted_instruments t);
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Scrape parsing: the inverse of [to_prometheus], enough to read back
+   what this module (or any well-formed exporter) writes.  [wdmon top]
+   uses it to render a live dashboard from an HTTP scrape. *)
+
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;
+  sample_value : float;
+}
+
+let parse_value s =
+  match s with
+  | "+Inf" -> Some Float.infinity
+  | "-Inf" -> Some Float.neg_infinity
+  | "NaN" -> Some Float.nan
+  | s -> float_of_string_opt s
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+exception Parse of string
+
+let parse_labels line pos =
+  (* [pos] points just past '{'; returns labels and position past '}'. *)
+  let n = String.length line in
+  let labels = ref [] in
+  let pos = ref pos in
+  let rec skip_ws () =
+    if !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') then begin
+      incr pos;
+      skip_ws ()
+    end
+  in
+  let rec one () =
+    skip_ws ();
+    if !pos < n && line.[!pos] = '}' then incr pos
+    else begin
+      let start = !pos in
+      while !pos < n && is_name_char line.[!pos] do
+        incr pos
+      done;
+      if !pos = start then raise (Parse "expected label name");
+      let key = String.sub line start (!pos - start) in
+      if !pos >= n || line.[!pos] <> '=' then raise (Parse "expected '='");
+      incr pos;
+      if !pos >= n || line.[!pos] <> '"' then raise (Parse "expected '\"'");
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec value () =
+        if !pos >= n then raise (Parse "unterminated label value")
+        else
+          match line.[!pos] with
+          | '"' -> incr pos
+          | '\\' when !pos + 1 < n ->
+            (match line.[!pos + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | c -> Buffer.add_char buf c);
+            pos := !pos + 2;
+            value ()
+          | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            value ()
+      in
+      value ();
+      labels := (key, Buffer.contents buf) :: !labels;
+      skip_ws ();
+      if !pos < n && line.[!pos] = ',' then begin
+        incr pos;
+        one ()
+      end
+      else if !pos < n && line.[!pos] = '}' then incr pos
+      else raise (Parse "expected ',' or '}'")
+    end
+  in
+  one ();
+  (List.rev !labels, !pos)
+
+let parse_sample line =
+  let n = String.length line in
+  let pos = ref 0 in
+  while !pos < n && is_name_char line.[!pos] do
+    incr pos
+  done;
+  if !pos = 0 then raise (Parse "expected metric name");
+  let name = String.sub line 0 !pos in
+  let labels =
+    if !pos < n && line.[!pos] = '{' then begin
+      let labels, p = parse_labels line (!pos + 1) in
+      pos := p;
+      labels
+    end
+    else []
+  in
+  let rest = String.trim (String.sub line !pos (n - !pos)) in
+  (* Value, optionally followed by a timestamp we ignore. *)
+  let value_str =
+    match String.index_opt rest ' ' with
+    | Some i -> String.sub rest 0 i
+    | None -> rest
+  in
+  match parse_value value_str with
+  | Some v -> { sample_name = name; sample_labels = labels; sample_value = v }
+  | None -> raise (Parse (Printf.sprintf "invalid sample value %S" value_str))
+
+let parse_prometheus text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then loop (lineno + 1) acc rest
+      else (
+        match parse_sample line with
+        | sample -> loop (lineno + 1) (sample :: acc) rest
+        | exception Parse msg ->
+          Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  loop 1 [] lines
 
 let to_json t =
   let label_obj labels =

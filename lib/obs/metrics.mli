@@ -8,9 +8,12 @@
     [Invalid_argument].
 
     Histograms use base-2 log-scale buckets: upper bounds [2^e] for
-    [e = min_exp .. max_exp] plus a [+Inf] overflow bucket.  The defaults
-    suit byte- and count-valued observations; pass a negative [min_exp]
-    for sub-unit values such as relative errors. *)
+    [e = min_exp .. max_exp] plus a [+Inf] overflow bucket.  Binning
+    follows the half-open convention [[2^k, 2^(k+1))]: an observation of
+    exactly [2^k] counts toward the bucket bounded by [2^(k+1)], never
+    the one bounded by [2^k].  The defaults suit byte- and count-valued
+    observations; pass a negative [min_exp] for sub-unit values such as
+    relative errors. *)
 
 type t
 
@@ -66,3 +69,19 @@ val to_prometheus : t -> string
 
 val to_json : t -> Json.t
 (** [{"metrics": [...]}] with one object per instrument. *)
+
+(** {1 Scrape parsing} *)
+
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;
+  sample_value : float;
+}
+(** One exposition line: [name{labels} value].  Histogram expansions
+    appear as their [_bucket]/[_sum]/[_count] series. *)
+
+val parse_prometheus : string -> (sample list, string) result
+(** Parse Prometheus text exposition (the inverse of {!to_prometheus}):
+    comment and blank lines are skipped, [+Inf]/[-Inf]/[NaN] values and
+    escaped label values are understood, trailing timestamps are
+    ignored.  Errors name the offending line. *)

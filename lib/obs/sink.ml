@@ -43,6 +43,7 @@ type metrics_state = {
   retries : Metrics.counter;
   crashes : Metrics.counter;
   recovers : Metrics.counter;
+  span_hists : (string, Metrics.histogram) Hashtbl.t;
 }
 
 type t =
@@ -120,6 +121,7 @@ let metrics reg =
       retries = c "wd_retries_total" "reliable-send retransmissions";
       crashes = c "wd_crashes_total" "site crash windows entered";
       recovers = c "wd_recovers_total" "site recoveries after crashes";
+      span_hists = Hashtbl.create 8;
     }
 
 let fanout sinks = Fanout sinks
@@ -140,6 +142,16 @@ let site_counter m table dir site =
     in
     Hashtbl.replace table site c;
     c
+
+(* Same instrument {!Span.observe_ns} feeds for eventless stamps, so
+   live histograms and trace-replay histograms land in one family. *)
+let span_hist m name =
+  match Hashtbl.find_opt m.span_hists name with
+  | Some h -> h
+  | None ->
+    let h = Span.duration_hist m.reg name in
+    Hashtbl.replace m.span_hists name h;
+    h
 
 let observe_gap m ~site ~time =
   (match Hashtbl.find_opt m.last_send site with
@@ -191,6 +203,9 @@ let record m (ev : Event.t) =
   | Event.Retry _ -> Metrics.inc m.retries
   | Event.Crash _ -> Metrics.inc m.crashes
   | Event.Recover _ -> Metrics.inc m.recovers
+  | Event.Span { name; start_ns; end_ns; _ } ->
+    Metrics.observe (span_hist m name)
+      (Int64.to_float (Int64.sub end_ns start_ns))
 
 let jsonl_flush j =
   match j.oc with

@@ -1,0 +1,92 @@
+(* Causal span recorder: the wall-clock half of the trace layer.
+   Logical events ({!Event}) stamp the update index; a span additionally
+   carries monotonic wall-clock nanoseconds and a parent link, so a
+   distributed run can be read as a latency tree.  The recorder is a
+   plain value handed to whoever wants to stamp (network, transports,
+   trackers); when none is attached nothing here runs, which is what
+   keeps golden logical traces free of wall-clock noise. *)
+
+type ctx = { trace_id : int64; span_id : int64; parent_id : int64 }
+
+let root_parent = 0L
+
+type t = {
+  trace_id : int64;
+  mutable next_id : int64;  (* next span id to hand out; 0 is "no parent" *)
+  clock : unit -> int64;
+  emit : Event.t -> unit;
+  mutable metrics : Metrics.t option;
+  mutable last_ns : int64;  (* monotonic clamp over a possibly-stepping clock *)
+  mutable current_parent : int64;  (* innermost open span, for children *)
+}
+
+let create ?(trace_id = 1L) ?metrics ~clock ~emit () =
+  {
+    trace_id;
+    next_id = 1L;
+    clock;
+    emit;
+    metrics;
+    last_ns = 0L;
+    current_parent = 0L;
+  }
+
+let trace_id t = t.trace_id
+let set_metrics t m = t.metrics <- m
+let metrics t = t.metrics
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- Int64.add id 1L;
+  id
+
+let current_parent t = t.current_parent
+let set_current_parent t id = t.current_parent <- id
+
+(* Wall clocks can step backwards (NTP); durations must not.  Clamp to
+   the last value handed out so [now] is monotone non-decreasing. *)
+let now t =
+  let n = t.clock () in
+  let n = if Int64.compare n t.last_ns < 0 then t.last_ns else n in
+  t.last_ns <- n;
+  n
+
+(* Histogram of span durations by name, in nanoseconds.  2^7 ns .. 2^34
+   ns covers 128 ns to ~17 s, the full range from a frame decode to a
+   stalled socket exchange. *)
+let duration_hist m name =
+  Metrics.histogram m ~help:"span durations by span name, nanoseconds"
+    ~labels:[ ("span", name) ]
+    ~min_exp:7 ~max_exp:34 "wd_span_duration_ns"
+
+let observe_ns t ~name ns =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.observe (duration_hist m name) (Int64.to_float ns)
+
+(* Record one finished span as a trace event.  Duration histograms are
+   fed by the metrics *sink* when it sees the event (so replayed traces
+   produce the same histograms as live runs, and nothing double-counts);
+   [observe_ns] is only for stamps that never become events.  [span_id]
+   defaults to a fresh id (pass one to report a span whose id was
+   already shipped to a peer); [end_ns] defaults to the current clock. *)
+let finish t ~name ?site ?(parent = root_parent) ?span_id ?end_ns ~time
+    ~start_ns () =
+  let span_id = match span_id with Some id -> id | None -> fresh_id t in
+  let end_ns = match end_ns with Some e -> e | None -> now t in
+  t.emit
+    {
+      Event.time;
+      kind =
+        Event.Span
+          {
+            name;
+            site;
+            trace_id = t.trace_id;
+            span_id;
+            parent_id = parent;
+            start_ns;
+            end_ns;
+          };
+    };
+  { trace_id = t.trace_id; span_id; parent_id = parent }

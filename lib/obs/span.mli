@@ -1,0 +1,93 @@
+(** Causal span recorder — the wall-clock half of the trace layer.
+
+    A span is one timed operation (a message send, a coordinator
+    broadcast, a cross-process request/reply, a tracker batch) stamped
+    with monotonic wall-clock nanoseconds and linked to a parent span,
+    so a distributed run reads as a latency tree rooted at the
+    coordinator.  Finished spans are emitted as {!Event.Span} trace
+    events and folded into a [wd_span_duration_ns] log2 histogram when a
+    {!Metrics} registry is attached.
+
+    Recorders are attached explicitly (e.g. [Network.set_spans]); with
+    no recorder attached the instrumented code paths reduce to one
+    [option] match, and no span ever reaches a trace — which is what
+    keeps fixed-seed golden traces bit-identical.
+
+    {b Clock discipline.}  The recorder does not read a clock itself:
+    callers inject [clock : unit -> int64] returning wall-clock
+    nanoseconds (conventionally Unix-epoch-based — see
+    [Wd_net.Clock.ns]).  {!now} additionally clamps the reading to be
+    monotone non-decreasing, so durations never go negative even if the
+    underlying wall clock steps backwards.  Timestamps are comparable
+    across processes on one host (same clock source), never across
+    runs. *)
+
+type ctx = { trace_id : int64; span_id : int64; parent_id : int64 }
+(** A span identity as propagated across process boundaries (see
+    [Wd_net.Wire.Frame] version 2). *)
+
+val root_parent : int64
+(** [0L] — the parent id of a root span. *)
+
+type t
+(** A recorder: run-scoped trace id, span-id allocator, clock, and the
+    event emission target. *)
+
+val create :
+  ?trace_id:int64 ->
+  ?metrics:Metrics.t ->
+  clock:(unit -> int64) ->
+  emit:(Event.t -> unit) ->
+  unit ->
+  t
+(** [trace_id] defaults to [1L]; give each run its own (e.g. derived
+    from the seed) when traces may be aggregated. *)
+
+val trace_id : t -> int64
+val set_metrics : t -> Metrics.t option -> unit
+val metrics : t -> Metrics.t option
+
+val fresh_id : t -> int64
+(** Allocate the next span id (1-based; 0 means "no parent"). *)
+
+val current_parent : t -> int64
+(** The innermost span currently open (set by instrumented callers
+    around nested work), or {!root_parent}.  Lets a lower layer parent
+    its spans under the operation that triggered it without threading
+    context through every signature. *)
+
+val set_current_parent : t -> int64 -> unit
+(** Callers restoring must save the previous value around the nested
+    call. *)
+
+val now : t -> int64
+(** Current clock reading, clamped monotone non-decreasing. *)
+
+val duration_hist : Metrics.t -> string -> Metrics.histogram
+(** The [wd_span_duration_ns{span=name}] histogram (2^7 … 2^34 ns
+    buckets) — the family both {!observe_ns} and the metrics sink's
+    span handling feed. *)
+
+val observe_ns : t -> name:string -> int64 -> unit
+(** Feed a duration into the [wd_span_duration_ns{span=name}] histogram
+    without emitting a trace event — for very high-volume stamps (frame
+    encode/decode) where per-operation events would swamp the trace. *)
+
+val finish :
+  t ->
+  name:string ->
+  ?site:int ->
+  ?parent:int64 ->
+  ?span_id:int64 ->
+  ?end_ns:int64 ->
+  time:int ->
+  start_ns:int64 ->
+  unit ->
+  ctx
+(** Record one finished span as an {!Event.Span}.  Duration histograms
+    for span {e events} are fed by the metrics sink when the event
+    reaches it (so replayed traces produce the same histograms as live
+    runs); {!observe_ns} exists only for stamps that never become
+    events.  [span_id] defaults to a fresh id — pass one explicitly to
+    report a span whose id was already shipped to a peer; [end_ns]
+    defaults to {!now}; [time] is the logical update index. *)

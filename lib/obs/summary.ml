@@ -31,6 +31,13 @@ type phase_row = {
   p_estimate : float option;
 }
 
+type span_stat = {
+  sp_count : int;
+  sp_p50_ns : float;
+  sp_p90_ns : float;
+  sp_max_ns : float;
+}
+
 type t = {
   run : (string * string) list;
   events : int;
@@ -54,6 +61,7 @@ type t = {
   degraded_sites : int list;
   kind_counts : (string * int) list;
   sites : site_row list;
+  span_stats : (string * span_stat) list;
 }
 
 (* Mutable per-site accumulator. *)
@@ -137,6 +145,7 @@ let of_events events =
   let duplicates = ref 0 and duplicate_bytes = ref 0 in
   let retries = ref 0 in
   let crashes = ref 0 and recovers = ref 0 in
+  let span_durs : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun ev ->
       incr n_events;
@@ -251,7 +260,17 @@ let of_events events =
       | Recover { site; _ } ->
         incr recovers;
         let a = site_acc site in
-        a.a_recovers <- a.a_recovers + 1)
+        a.a_recovers <- a.a_recovers + 1
+      | Span { name; start_ns; end_ns; _ } ->
+        let durs =
+          match Hashtbl.find_opt span_durs name with
+          | Some d -> d
+          | None ->
+            let d = ref [] in
+            Hashtbl.replace span_durs name d;
+            d
+        in
+        durs := Int64.to_float (Int64.sub end_ns start_ns) :: !durs)
     events;
   let site_rows =
     Hashtbl.fold
@@ -285,6 +304,28 @@ let of_events events =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
+  let span_stats =
+    (* Nearest-rank quantiles are plenty for a trace digest. *)
+    let quantile sorted q =
+      let n = Array.length sorted in
+      sorted.(min (n - 1) (Float.to_int (q *. Float.of_int n)))
+    in
+    Hashtbl.fold
+      (fun name durs acc ->
+        let sorted = Array.of_list !durs in
+        Array.sort compare sorted;
+        let n = Array.length sorted in
+        ( name,
+          {
+            sp_count = n;
+            sp_p50_ns = quantile sorted 0.5;
+            sp_p90_ns = quantile sorted 0.9;
+            sp_max_ns = sorted.(n - 1);
+          } )
+        :: acc)
+      span_durs []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   {
     run = !run;
     events = !n_events;
@@ -312,6 +353,7 @@ let of_events events =
         site_rows;
     kind_counts;
     sites = site_rows;
+    span_stats;
   }
 
 let phases ~n events =
@@ -361,7 +403,7 @@ let phases ~n events =
           | Drop { dir = Down; bytes; _ } | Duplicate { dir = Down; bytes; _ }
             -> { r with p_bytes_down = r.p_bytes_down + bytes }
           | Run_meta _ | Level_advance _ | Resync _ | Retry _ | Crash _
-          | Recover _ -> r
+          | Recover _ | Span _ -> r
         in
         rows.(idx) <- r)
       events;

@@ -42,6 +42,14 @@ type phase_row = {
   p_estimate : float option;  (** last coordinator estimate in phase *)
 }
 
+type span_stat = {
+  sp_count : int;
+  sp_p50_ns : float;  (** nearest-rank median duration, nanoseconds *)
+  sp_p90_ns : float;
+  sp_max_ns : float;
+}
+(** Duration digest of one span name (see {!Event.kind.Span}). *)
+
 type t = {
   run : (string * string) list;
       (** metadata key/values from the trace's [Run_meta] event, if any *)
@@ -67,6 +75,9 @@ type t = {
       (** sites with a [Crash] and no matching [Recover] by end of trace *)
   kind_counts : (string * int) list;  (** sorted by kind name *)
   sites : site_row list;  (** sorted by site index *)
+  span_stats : (string * span_stat) list;
+      (** per-span-name latency digests, sorted by name; empty for traces
+          recorded without a span recorder *)
 }
 
 val of_events : Event.t list -> t

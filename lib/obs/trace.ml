@@ -76,6 +76,18 @@ let to_json (ev : Event.t) : Json.t =
     | Crash { site } -> [ ("site", Json.Int site) ]
     | Recover { site; resync_bytes } ->
       [ ("site", Json.Int site); ("resync_bytes", Json.Int resync_bytes) ]
+    | Span { name; site; trace_id; span_id; parent_id; start_ns; end_ns } ->
+      [
+        ("name", Json.Str name);
+        ("site", match site with Some s -> Json.Int s | None -> Json.Null);
+        (* Trace ids are opaque 64-bit tokens: hex strings in JSON so the
+           top bit survives codecs that read numbers as doubles. *)
+        ("trace", Json.Str (Printf.sprintf "%Lx" trace_id));
+        ("span", Json.Int (Int64.to_int span_id));
+        ("parent", Json.Int (Int64.to_int parent_id));
+        ("start_ns", Json.Int (Int64.to_int start_ns));
+        ("end_ns", Json.Int (Int64.to_int end_ns));
+      ]
   in
   Json.Obj
     (("t", Json.Int ev.time) :: ("ev", Json.Str (kind_name ev.kind)) :: fields)
@@ -207,6 +219,23 @@ let of_json j =
             site = get j "site" Json.to_int;
             resync_bytes = get j "resync_bytes" Json.to_int;
           }
+      | "span" ->
+        let trace_id =
+          let s = get j "trace" Json.to_str in
+          match Int64.of_string_opt ("0x" ^ s) with
+          | Some id -> id
+          | None -> raise (Bad "invalid field \"trace\"")
+        in
+        Span
+          {
+            name = get j "name" Json.to_str;
+            site = get_opt j "site" Json.to_int;
+            trace_id;
+            span_id = Int64.of_int (get j "span" Json.to_int);
+            parent_id = Int64.of_int (get j "parent" Json.to_int);
+            start_ns = Int64.of_int (get j "start_ns" Json.to_int);
+            end_ns = Int64.of_int (get j "end_ns" Json.to_int);
+          }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     { time; kind }
@@ -221,24 +250,25 @@ let decode_line line =
   | Error e -> Error e
   | Ok j -> of_json j
 
+let fold_channel ?(name = "<channel>") ~f ~init ic =
+  let rec loop lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok acc
+    | line ->
+      let line = String.trim line in
+      if line = "" then loop (lineno + 1) acc
+      else (
+        match decode_line line with
+        | Error e -> Error (Printf.sprintf "%s:%d: %s" name lineno e)
+        | Ok ev -> loop (lineno + 1) (f acc ev))
+  in
+  loop 1 init
+
 let fold_file ~f ~init path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let rec loop lineno acc =
-        match input_line ic with
-        | exception End_of_file -> Ok acc
-        | line ->
-          let line = String.trim line in
-          if line = "" then loop (lineno + 1) acc
-          else (
-            match decode_line line with
-            | Error e ->
-              Error (Printf.sprintf "%s:%d: %s" path lineno e)
-            | Ok ev -> loop (lineno + 1) (f acc ev))
-      in
-      loop 1 init)
+    (fun () -> fold_channel ~name:path ~f ~init ic)
 
 let read_file path =
   Result.map List.rev

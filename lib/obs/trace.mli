@@ -31,3 +31,13 @@ val read_file : string -> (Event.t list, string) result
 val fold_file :
   f:('a -> Event.t -> 'a) -> init:'a -> string -> ('a, string) result
 (** Streaming variant of {!read_file}. *)
+
+val fold_channel :
+  ?name:string ->
+  f:('a -> Event.t -> 'a) ->
+  init:'a ->
+  in_channel ->
+  ('a, string) result
+(** {!fold_file} over an already-open channel (e.g. stdin); [name] is
+    used in error messages (default ["<channel>"]).  The channel is not
+    closed. *)

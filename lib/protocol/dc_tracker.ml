@@ -461,12 +461,26 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
        crash scan entirely, as [observe] does). *)
     let crashes = Faults.has_crashes (Network.faults t.net) in
     let k = t.k in
+    (* Span timing wraps the whole batch (one recorder lookup per call,
+       not per update), so the disabled cost on the hot path is a single
+       option match per batch. *)
+    let spans = Network.spans t.net in
+    let start_ns =
+      match spans with None -> 0L | Some r -> Wd_obs.Span.now r
+    in
     for j = pos to pos + len - 1 do
       let site = Array.unsafe_get sites j in
       if site < 0 || site >= k then
         invalid_arg "Dc_tracker.observe_batch: site index out of range";
       observe_one t ~crashes ~site (Array.unsafe_get items j)
-    done
+    done;
+    match spans with
+    | None -> ()
+    | Some r ->
+      ignore
+        (Wd_obs.Span.finish r ~name:"observe_batch"
+           ~time:(Network.time t.net) ~start_ns ()
+          : Wd_obs.Span.ctx)
 
   let site_space_bytes t i =
     let st = t.site_states.(i) in

@@ -400,12 +400,23 @@ let observe_batch t ~sites ~items ~pos ~len =
      crash-window test out of the per-update loop. *)
   let crashes = Faults.has_crashes (Network.faults t.net) in
   let k = t.k in
+  (* One recorder lookup per batch: the disabled-span cost on the hot
+     path is a single option match. *)
+  let spans = Network.spans t.net in
+  let start_ns = match spans with None -> 0L | Some r -> Wd_obs.Span.now r in
   for j = pos to pos + len - 1 do
     let site = Array.unsafe_get sites j in
     if site < 0 || site >= k then
       invalid_arg "Ds_tracker.observe_batch: site index out of range";
     observe_one t ~crashes ~site (Array.unsafe_get items j)
-  done
+  done;
+  match spans with
+  | None -> ()
+  | Some r ->
+    ignore
+      (Wd_obs.Span.finish r ~name:"observe_batch" ~time:(Network.time t.net)
+         ~start_ns ()
+        : Wd_obs.Span.ctx)
 
 let site_space_bytes t i =
   let st = t.site_states.(i) in

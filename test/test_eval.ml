@@ -113,6 +113,10 @@ let mk_cell ?(id = "cell-a") ?(accept_pass = true) ?(bytes_pass = true)
     bytes_pass;
     msgs_mean = 42.0;
     wall_s = 0.125;
+    rep_wall_s =
+      Some { Artifact.q_p50 = 0.02; q_p90 = 0.03; q_max = 0.031 };
+    batch_span_ns =
+      Some { Artifact.q_p50 = 250_000.0; q_p90 = 900_000.0; q_max = 1.2e6 };
   }
 
 let mk_artifact cells =
@@ -123,6 +127,53 @@ let mk_artifact cells =
     significance = 0.005;
     cells;
   }
+
+(* Artifacts written before the informational timing digests existed
+   (e.g. the committed baseline) must still load, with the new fields
+   reading as None — and a cell without digests must roundtrip as-is. *)
+let test_artifact_lenient_timing () =
+  let t = mk_artifact [ mk_cell () ] in
+  let stripped =
+    let open Wd_obs.Json in
+    match Artifact.to_json t with
+    | Obj fields ->
+      Obj
+        (List.map
+           (function
+             | ("cells", List cells) ->
+               ( "cells",
+                 List
+                   (List.map
+                      (function
+                        | Obj cf ->
+                          Obj
+                            (List.filter
+                               (fun (k, _) ->
+                                 k <> "rep_wall_s" && k <> "batch_span_ns")
+                               cf)
+                        | j -> j)
+                      cells) )
+             | kv -> kv)
+           fields)
+    | j -> j
+  in
+  (match Artifact.of_json stripped with
+  | Ok t' ->
+    List.iter
+      (fun (c : Artifact.cell_result) ->
+        Alcotest.(check bool) "rep_wall_s is None" true (c.rep_wall_s = None);
+        Alcotest.(check bool)
+          "batch_span_ns is None" true
+          (c.batch_span_ns = None))
+      t'.Artifact.cells
+  | Error e -> Alcotest.failf "stripped artifact rejected: %s" e);
+  let none =
+    mk_artifact
+      [ { (mk_cell ()) with Artifact.rep_wall_s = None; batch_span_ns = None } ]
+  in
+  match Artifact.of_json (Artifact.to_json none) with
+  | Ok t' -> Alcotest.(check bool) "digest-free roundtrip" true (none = t')
+  | Error e -> Alcotest.failf "digest-free artifact rejected: %s" e
 
 let test_artifact_roundtrip () =
   let t =
@@ -236,10 +287,33 @@ let test_runner_sketch_cell_deterministic () =
   let cell = Spec.base ~events:6_000 ~alpha:0.2 (Spec.Dc Dc.LS) in
   let a = Runner.run_cell tiny_config cell in
   let b = Runner.run_cell tiny_config cell in
+  (* The informational timing digests are wall-clock measurements, so
+     only the logical fields are required to reproduce. *)
+  let untimed c =
+    {
+      c with
+      Artifact.wall_s = 0.0;
+      rep_wall_s = None;
+      batch_span_ns = None;
+    }
+  in
   Alcotest.(check bool)
     "rerun reproduces everything but wall time" true
-    ({ a with Artifact.wall_s = 0.0 } = { b with Artifact.wall_s = 0.0 });
+    (untimed a = untimed b);
   Alcotest.(check bool) "cell passes" true (Artifact.cell_pass a);
+  Alcotest.(check bool)
+    "per-rep wall digest measured" true
+    (a.Artifact.rep_wall_s <> None);
+  Alcotest.(check bool)
+    "observe_batch span digest measured" true
+    (a.Artifact.batch_span_ns <> None);
+  (match a.Artifact.batch_span_ns with
+  | Some q ->
+    if not (q.Artifact.q_p50 >= 0.0 && q.Artifact.q_p50 <= q.Artifact.q_max)
+    then
+      Alcotest.failf "span digest out of order: p50 %g max %g"
+        q.Artifact.q_p50 q.Artifact.q_max
+  | None -> ());
   if a.Artifact.bytes_mean <= 0.0 then Alcotest.fail "no traffic measured"
 
 let test_runner_grid_artifact () =
@@ -285,6 +359,30 @@ let wdmon =
       "_build/default/bin/wdmon.exe";
     ]
 
+let contains text re =
+  let len = String.length re in
+  let rec find i =
+    i + len <= String.length text && (String.sub text i len = re || find (i + 1))
+  in
+  find 0
+
+(* Run a shell command, capturing combined output; fail the test on a
+   nonzero exit unless [expect_fail]. *)
+let run_cli ?(expect_fail = false) cmd =
+  let out =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wd-cli-%d-%d.out" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let status = Sys.command (cmd ^ " > " ^ Filename.quote out ^ " 2>&1") in
+      let text = In_channel.with_open_bin out In_channel.input_all in
+      if (status <> 0) <> expect_fail then
+        Alcotest.failf "%s exited %d:\n%s" cmd status text;
+      text)
+
 let test_inspect_empty_trace () =
   match wdmon with
   | None -> Alcotest.skip ()
@@ -293,32 +391,116 @@ let test_inspect_empty_trace () =
     let trace =
       Filename.concat dir (Printf.sprintf "wd-empty-%d.jsonl" (Unix.getpid ()))
     in
-    let out = trace ^ ".out" in
     let oc = open_out trace in
     close_out oc;
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove trace with Sys_error _ -> ())
+      (fun () ->
+        let text =
+          run_cli
+            (Printf.sprintf "%s inspect %s" (Filename.quote wdmon)
+               (Filename.quote trace))
+        in
+        Alcotest.(check bool)
+          "says the trace is empty" true
+          (contains text "empty trace"))
+
+(* Record a small simulator run's trace via the CLI; returns the path. *)
+let record_trace wdmon ~faults ~tag =
+  let trace =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wd-%s-%d.jsonl" tag (Unix.getpid ()))
+  in
+  let fault_args =
+    if faults then " --faults drop=0.05,dup=0.05 --fault-seed 7" else ""
+  in
+  ignore
+    (run_cli
+       (Printf.sprintf
+          "%s dc --workload http-pairs --scale 0.2 --sites 3 --trace-out %s%s"
+          (Filename.quote wdmon) (Filename.quote trace) fault_args));
+  trace
+
+(* inspect reads a trace from stdin when the path is "-". *)
+let test_inspect_stdin () =
+  match wdmon with
+  | None -> Alcotest.skip ()
+  | Some wdmon ->
+    let trace = record_trace wdmon ~faults:false ~tag:"stdin" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove trace with Sys_error _ -> ())
+      (fun () ->
+        let text =
+          run_cli
+            (Printf.sprintf "%s inspect - < %s" (Filename.quote wdmon)
+               (Filename.quote trace))
+        in
+        Alcotest.(check bool)
+          "renders the site table" true (contains text "mean gap");
+        Alcotest.(check bool)
+          "names the stdin source" true (contains text "trace summary: -"))
+
+(* The site table's fault columns appear only when the trace actually
+   contains fault events. *)
+let test_inspect_fault_columns () =
+  match wdmon with
+  | None -> Alcotest.skip ()
+  | Some wdmon ->
+    let clean = record_trace wdmon ~faults:false ~tag:"clean" in
+    let faulty = record_trace wdmon ~faults:true ~tag:"faulty" in
     Fun.protect
       ~finally:(fun () ->
         List.iter
           (fun p -> try Sys.remove p with Sys_error _ -> ())
-          [ trace; out ])
+          [ clean; faulty ])
       (fun () ->
-        let cmd =
-          Printf.sprintf "%s inspect %s > %s 2>&1"
-            (Filename.quote wdmon) (Filename.quote trace) (Filename.quote out)
+        let inspect path =
+          run_cli
+            (Printf.sprintf "%s inspect %s" (Filename.quote wdmon)
+               (Filename.quote path))
         in
-        let status = Sys.command cmd in
-        let text = In_channel.with_open_bin out In_channel.input_all in
-        if status <> 0 then
-          Alcotest.failf "inspect on empty trace exited %d:\n%s" status text;
+        let clean_text = inspect clean in
         Alcotest.(check bool)
-          "says the trace is empty" true
-          (let re = "empty trace" in
-           let len = String.length re in
-           let rec find i =
-             i + len <= String.length text
-             && (String.sub text i len = re || find (i + 1))
-           in
-           find 0))
+          "clean trace hides fault columns" false
+          (contains clean_text "cr/rec");
+        Alcotest.(check bool)
+          "clean trace still has the site table" true
+          (contains clean_text "mean gap");
+        let faulty_text = inspect faulty in
+        Alcotest.(check bool)
+          "faulted trace shows fault columns" true
+          (contains faulty_text "cr/rec");
+        Alcotest.(check bool)
+          "faulted trace reports drops" true
+          (contains faulty_text "dropped transmissions"))
+
+(* wdmon top --trace renders the one-shot dashboard frame. *)
+let test_top_trace_frame () =
+  match wdmon with
+  | None -> Alcotest.skip ()
+  | Some wdmon ->
+    let trace = record_trace wdmon ~faults:false ~tag:"top" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove trace with Sys_error _ -> ())
+      (fun () ->
+        let text =
+          run_cli
+            (Printf.sprintf "%s top --trace %s" (Filename.quote wdmon)
+               (Filename.quote trace))
+        in
+        Alcotest.(check bool)
+          "renders headroom column" true (contains text "est/thr");
+        Alcotest.(check bool)
+          "renders status column" true (contains text "status");
+        let missing =
+          run_cli ~expect_fail:true
+            (Printf.sprintf "%s top --trace %s" (Filename.quote wdmon)
+               (Filename.quote (trace ^ ".does-not-exist")))
+        in
+        Alcotest.(check bool)
+          "missing trace is a clean error" true
+          (contains missing "no such trace file"))
 
 let () =
   Alcotest.run "eval"
@@ -333,6 +515,8 @@ let () =
       ( "artifact",
         [
           Alcotest.test_case "roundtrip" `Quick test_artifact_roundtrip;
+          Alcotest.test_case "lenient timing digests" `Quick
+            test_artifact_lenient_timing;
           Alcotest.test_case "version gate" `Quick test_artifact_version_gate;
           Alcotest.test_case "csv shape" `Quick test_artifact_csv;
           Alcotest.test_case "diff gates" `Quick test_diff_gates;
@@ -349,5 +533,9 @@ let () =
         [
           Alcotest.test_case "inspect empty trace" `Quick
             test_inspect_empty_trace;
+          Alcotest.test_case "inspect stdin" `Quick test_inspect_stdin;
+          Alcotest.test_case "inspect fault columns" `Quick
+            test_inspect_fault_columns;
+          Alcotest.test_case "top trace frame" `Quick test_top_trace_frame;
         ] );
     ]

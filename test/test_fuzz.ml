@@ -27,20 +27,22 @@ type frame_case = {
   kind_i : int;
   site : int;
   length : int;
+  spanned : int;  (* 1 = frame carries a span context block *)
   mutation : int;  (* 0 = none, 1 = bit flip, 2 = truncate, 3 = garbage length *)
   m_a : int;  (* mutation operand: byte index / kept prefix / random word *)
   m_b : int;  (* mutation operand: bit index / spare randomness *)
 }
 
 let show_frame_case c =
-  Printf.sprintf "{kind=%d site=%d len=%d mut=%d a=%d b=%d}" c.kind_i c.site
-    c.length c.mutation c.m_a c.m_b
+  Printf.sprintf "{kind=%d site=%d len=%d span=%d mut=%d a=%d b=%d}" c.kind_i
+    c.site c.length c.spanned c.mutation c.m_a c.m_b
 
 let gen_frame_case rng =
   {
     kind_i = Prop.int_range 0 (Array.length kinds - 1) rng;
     site = Prop.int_range 0 0xFFFF rng;
     length = Prop.int_range 0 Frame.max_payload rng;
+    spanned = Prop.int_range 0 1 rng;
     mutation = Prop.int_range 0 3 rng;
     m_a = Prop.int_range 0 0x3FFFFFFF rng;
     m_b = Prop.int_range 0 0x3FFFFFFF rng;
@@ -55,21 +57,42 @@ let shrink_frame_case c =
       List.map (fun m_b -> { c with m_b }) (Prop.shrink_int c.m_b);
     ]
 
-(* Build the (possibly shortened) buffer and decode position. *)
+(* Build the (possibly shortened) buffer and decode position.  Spanned
+   cases append a 40-byte span context block after the header, with ids
+   and stamps derived from the case's randomness; mutations then range
+   over the whole buffer, so span bytes get flipped, truncated and
+   stomped alongside header bytes. *)
 let realize_frame c =
-  let buf = Bytes.create Frame.header_bytes in
-  Frame.encode_header buf ~pos:0 ~kind:kinds.(c.kind_i) ~site:c.site
-    ~length:c.length;
+  let total =
+    Frame.header_bytes + if c.spanned = 1 then Frame.span_bytes else 0
+  in
+  let buf = Bytes.create total in
+  if c.spanned = 1 then begin
+    Frame.encode_header_spanned buf ~pos:0 ~kind:kinds.(c.kind_i) ~site:c.site
+      ~length:c.length;
+    Frame.encode_span buf ~pos:Frame.header_bytes
+      Frame.
+        {
+          trace_id = Int64.of_int c.m_a;
+          span_id = Int64.of_int c.m_b;
+          parent_id = Int64.of_int (c.m_a lxor c.m_b);
+          t1_ns = Int64.of_int ((c.m_a lsl 20) lor c.m_b);
+          t2_ns = Int64.of_int ((c.m_b lsl 20) lor c.m_a);
+        }
+  end
+  else
+    Frame.encode_header buf ~pos:0 ~kind:kinds.(c.kind_i) ~site:c.site
+      ~length:c.length;
   match c.mutation with
   | 0 -> (buf, 0)
   | 1 ->
-    let byte = c.m_a mod Frame.header_bytes in
+    let byte = c.m_a mod total in
     let bit = c.m_b mod 8 in
     Bytes.set_uint8 buf byte (Bytes.get_uint8 buf byte lxor (1 lsl bit));
     (buf, 0)
   | 2 ->
     (* Keep a strict prefix; also exercise pos pointing past the end. *)
-    let keep = c.m_a mod Frame.header_bytes in
+    let keep = c.m_a mod total in
     (Bytes.sub buf 0 keep, c.m_b mod (keep + 2))
   | _ ->
     (* Stomp the length field with four random bytes (covers negative
@@ -80,9 +103,23 @@ let realize_frame c =
 let frame_decode_total c =
   let buf, pos = realize_frame c in
   match Frame.decode_header buf ~pos with
-  | Ok h ->
-    (* Whatever decodes must satisfy the decoder's own invariants. *)
-    h.Frame.length >= 0 && h.Frame.length <= Frame.max_payload
+  | Ok h -> (
+    (* Whatever decodes must satisfy the decoder's own invariants; when
+       the header announces a span block, reading it must be equally
+       total — any 40 bytes are a valid block, fewer are Truncated. *)
+    h.Frame.length >= 0
+    && h.Frame.length <= Frame.max_payload
+    &&
+    if not h.Frame.has_span then true
+    else
+      match Frame.decode_span buf ~pos:(pos + Frame.header_bytes) with
+      | Ok _ -> true
+      | Error (Frame.Truncated _) ->
+        Bytes.length buf - (pos + Frame.header_bytes) < Frame.span_bytes
+      | Error _ -> false
+      | exception e ->
+        Printf.eprintf "decode_span raised %s\n" (Printexc.to_string e);
+        false)
   | Error _ -> true
   | exception e ->
     Printf.eprintf "decode_header raised %s\n" (Printexc.to_string e);
@@ -96,6 +133,14 @@ let frame_roundtrip c =
     h.Frame.kind = kinds.(c.kind_i)
     && h.Frame.site = c.site
     && h.Frame.length = c.length
+    && h.Frame.has_span = (c.spanned = 1)
+    && (c.spanned = 0
+       ||
+       match Frame.decode_span buf ~pos:Frame.header_bytes with
+       | Ok s ->
+         s.Frame.trace_id = Int64.of_int c.m_a
+         && s.Frame.span_id = Int64.of_int c.m_b
+       | Error _ | (exception _) -> false)
   | Error _ | (exception _) -> false
 
 let frame_truncation_typed c =
@@ -108,6 +153,25 @@ let frame_truncation_typed c =
   | Error (Frame.Truncated { wanted; got }) ->
     wanted = Frame.header_bytes && got = keep
   | Ok _ | Error _ | (exception _) -> false
+
+let frame_span_prefix_typed c =
+  (* A spanned frame cut anywhere inside its span block: the header
+     decodes fine, the span block must answer Truncated with the exact
+     byte counts — the signal socket readers use to keep the stream in
+     sync. *)
+  let c = { c with spanned = 1; mutation = 0 } in
+  let buf, _ = realize_frame c in
+  let keep = Frame.header_bytes + (c.m_a mod Frame.span_bytes) in
+  let buf = Bytes.sub buf 0 keep in
+  match Frame.decode_header buf ~pos:0 with
+  | Ok h -> (
+    h.Frame.has_span
+    &&
+    match Frame.decode_span buf ~pos:Frame.header_bytes with
+    | Error (Frame.Truncated { wanted; got }) ->
+      wanted = Frame.span_bytes && got = keep - Frame.header_bytes
+    | Ok _ | Error _ | (exception _) -> false)
+  | Error _ | (exception _) -> false
 
 (* ------------------------------------------------------------------ *)
 (* Trace_io *)
@@ -253,6 +317,9 @@ let () =
           Prop.test_case ~count:200 ~shrink:shrink_frame_case
             ~show:show_frame_case ~name:"every strict prefix is Truncated"
             gen_frame_case frame_truncation_typed;
+          Prop.test_case ~count:200 ~shrink:shrink_frame_case
+            ~show:show_frame_case ~name:"cut span block is Truncated"
+            gen_frame_case frame_span_prefix_typed;
         ] );
       ( "trace_io",
         [

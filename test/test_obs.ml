@@ -394,12 +394,41 @@ let test_metrics_histogram_buckets () =
   List.iter (fun x -> Metrics.observe h x) [ 0.5; 1.0; 3.0; 9.0; 100.0 ];
   Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
   Alcotest.(check (float 1e-9)) "sum" 113.5 (Metrics.histogram_sum h);
-  (* Bounds 1,2,4,8,+inf; cumulative counts with le semantics. *)
+  (* Bounds 1,2,4,8,+inf.  Assignment is the half-open [2^k, 2^(k+1))
+     convention, so an observation of exactly 1.0 falls in the bucket
+     bounded by 2, not the one bounded by 1; cumulative le counts. *)
   let buckets = Metrics.histogram_buckets h in
   Alcotest.(check (list (pair (float 0.0) int)))
     "cumulative buckets"
-    [ (1.0, 2); (2.0, 2); (4.0, 3); (8.0, 3); (Float.infinity, 5) ]
+    [ (1.0, 1); (2.0, 2); (4.0, 3); (8.0, 3); (Float.infinity, 5) ]
     buckets
+
+(* Pin the [2^k, 2^(k+1)) convention at the boundaries themselves: an
+   exact power of two opens its own bucket rather than closing the one
+   below (the off-by-one this guards against put 2^k in the [le = 2^k]
+   bucket). *)
+let test_metrics_histogram_power_of_two_edges () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~min_exp:0 ~max_exp:6 "wd_test_edges" in
+  (* k = 4: probe below, at, and above the 2^k boundary, plus the two
+     smallest powers. *)
+  List.iter (fun x -> Metrics.observe h x) [ 1.0; 2.0; 15.0; 16.0; 17.0 ];
+  (* Bounds 1,2,4,8,16,32,64,+inf; counts per bucket (not cumulative):
+     1.0 -> (1,2]-bucket? no: [1,2) -> le=2; 2.0 -> [2,4) -> le=4;
+     15.0 -> [8,16) -> le=16; 16.0, 17.0 -> [16,32) -> le=32. *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "power-of-two edges"
+    [
+      (1.0, 0);
+      (2.0, 1);
+      (4.0, 2);
+      (8.0, 2);
+      (16.0, 3);
+      (32.0, 5);
+      (64.0, 5);
+      (Float.infinity, 5);
+    ]
+    (Metrics.histogram_buckets h)
 
 let test_metrics_prometheus_text () =
   let m = Metrics.create () in
@@ -621,6 +650,8 @@ let () =
           Alcotest.test_case "counters and gauges" `Quick test_metrics_basics;
           Alcotest.test_case "histogram buckets" `Quick
             test_metrics_histogram_buckets;
+          Alcotest.test_case "power-of-two bucket edges" `Quick
+            test_metrics_histogram_power_of_two_edges;
           Alcotest.test_case "prometheus text" `Quick
             test_metrics_prometheus_text;
           Alcotest.test_case "json dump" `Quick test_metrics_json_parses;

@@ -83,6 +83,71 @@ let test_header_rejects () =
       wanted = Frame.header_bytes && got = 6
     | _ -> false)
 
+(* A version-1 frame (no span support) must still decode: the header
+   layout is unchanged, only the span flag was added in version 2. *)
+let test_legacy_v1_decodes () =
+  let b = encode ~kind:Frame.Up ~site:7 ~length:32 in
+  Bytes.set_uint8 b 2 Frame.legacy_version;
+  (match Frame.decode_header b ~pos:0 with
+  | Ok h ->
+    Alcotest.(check bool) "kind" true (h.Frame.kind = Frame.Up);
+    Alcotest.(check int) "site" 7 h.Frame.site;
+    Alcotest.(check int) "length" 32 h.Frame.length;
+    Alcotest.(check bool) "v1 never has a span" false h.Frame.has_span
+  | Error e -> Alcotest.failf "v1 decode failed: %s" (Frame.error_to_string e));
+  (* On a v1 frame the span flag is not a flag, just an unknown kind. *)
+  let b = encode ~kind:Frame.Up ~site:7 ~length:32 in
+  Bytes.set_uint8 b 2 Frame.legacy_version;
+  Bytes.set_uint8 b 3 (Bytes.get_uint8 b 3 lor Frame.span_flag);
+  expect_error "v1 + span flag" b 0 (function
+    | Frame.Bad_kind _ -> true
+    | _ -> false)
+
+let test_spanned_roundtrip () =
+  let span =
+    Frame.
+      {
+        trace_id = 0x1122334455667788L;
+        span_id = 42L;
+        parent_id = 7L;
+        t1_ns = 1_722_000_000_123_456_000L;
+        t2_ns = 1_722_000_000_123_789_000L;
+      }
+  in
+  let b = Bytes.create (Frame.header_bytes + Frame.span_bytes) in
+  Frame.encode_header_spanned b ~pos:0 ~kind:Frame.Deliver ~site:3 ~length:64;
+  Frame.encode_span b ~pos:Frame.header_bytes span;
+  (match Frame.decode_header b ~pos:0 with
+  | Ok h ->
+    Alcotest.(check bool) "kind" true (h.Frame.kind = Frame.Deliver);
+    Alcotest.(check int) "site" 3 h.Frame.site;
+    Alcotest.(check int) "length excludes span block" 64 h.Frame.length;
+    Alcotest.(check bool) "has_span" true h.Frame.has_span
+  | Error e ->
+    Alcotest.failf "spanned decode failed: %s" (Frame.error_to_string e));
+  (match Frame.decode_span b ~pos:Frame.header_bytes with
+  | Ok s ->
+    Alcotest.(check int64) "trace_id" span.Frame.trace_id s.Frame.trace_id;
+    Alcotest.(check int64) "span_id" span.Frame.span_id s.Frame.span_id;
+    Alcotest.(check int64) "parent_id" span.Frame.parent_id s.Frame.parent_id;
+    Alcotest.(check int64) "t1_ns" span.Frame.t1_ns s.Frame.t1_ns;
+    Alcotest.(check int64) "t2_ns" span.Frame.t2_ns s.Frame.t2_ns
+  | Error e ->
+    Alcotest.failf "span block decode failed: %s" (Frame.error_to_string e));
+  (* A truncated span block is a typed error, not an exception. *)
+  match
+    Frame.decode_span
+      (Bytes.sub b 0 (Frame.header_bytes + Frame.span_bytes - 1))
+      ~pos:Frame.header_bytes
+  with
+  | Ok _ -> Alcotest.fail "truncated span block decoded"
+  | Error (Frame.Truncated { wanted; got }) ->
+    Alcotest.(check int) "wanted" Frame.span_bytes wanted;
+    Alcotest.(check int) "got" (Frame.span_bytes - 1) got
+  | Error e ->
+    Alcotest.failf "wrong error for truncated span: %s"
+      (Frame.error_to_string e)
+
 (* --- equivalence harness --- *)
 
 let sites = 4
@@ -338,6 +403,8 @@ let () =
         [
           Alcotest.test_case "header roundtrip" `Quick test_header_roundtrip;
           Alcotest.test_case "header rejects" `Quick test_header_rejects;
+          Alcotest.test_case "legacy v1 decodes" `Quick test_legacy_v1_decodes;
+          Alcotest.test_case "spanned roundtrip" `Quick test_spanned_roundtrip;
         ] );
       ( "socket",
         [
