@@ -326,6 +326,78 @@ let run_bytes ~scale =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Site-count scaling: end-to-end LS tracking at k = 10 / 100 / 1000
+   sites on one seeded stream, plus the sharded coordinator at k = 1000
+   with 1 vs 4 worker domains.  The shard comparison is only meaningful
+   on a multicore host; the committed JSON records the runner's
+   recommended domain count so single-core baselines are not misread as
+   a parallel-speedup regression. *)
+
+type scaling_row = {
+  s_sites : int;
+  s_shards : int;
+  s_updates : int;
+  s_wall_s : float;
+  s_total_bytes : int;
+  s_sends : int;
+}
+
+let run_scaling ~scale =
+  let module Sim = Whats_different.Simulation in
+  Report.print_section
+    "scaling: LS tracking at k sites (and the sharded coordinator at k=1000)";
+  let events = max 10_000 (int_of_float (200_000.0 *. scale)) in
+  let one ~sites ~shards =
+    let stream =
+      Stream_gen.zipf ~seed:11 ~sites ~events ~universe:(max 500 (events / 2))
+        ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Sim.run_dc ~seed:1 ~shards ~algorithm:Dc.LS ~theta:0.05 ~alpha:0.1
+        stream
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    {
+      s_sites = sites;
+      s_shards = shards;
+      s_updates = r.Sim.dc_updates;
+      s_wall_s = wall;
+      s_total_bytes = r.Sim.dc_total_bytes;
+      s_sends = r.Sim.dc_sends;
+    }
+  in
+  let rows =
+    [
+      one ~sites:10 ~shards:1;
+      one ~sites:100 ~shards:1;
+      one ~sites:1000 ~shards:1;
+      one ~sites:1000 ~shards:4;
+    ]
+  in
+  Report.print_table
+    ~header:
+      [ "sites"; "shards"; "updates"; "wall s"; "M updates/s"; "ledger bytes";
+        "sends" ]
+    (List.map
+       (fun r ->
+         Report.
+           [
+             I r.s_sites;
+             I r.s_shards;
+             I r.s_updates;
+             F r.s_wall_s;
+             F (Float.of_int r.s_updates /. r.s_wall_s /. 1e6);
+             I r.s_total_bytes;
+             I r.s_sends;
+           ])
+       rows);
+  Printf.printf "host recommended domain count: %d\n"
+    (Domain.recommended_domain_count ());
+  print_newline ();
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* JSON result files (--json PATH): machine-readable snapshot of the
    throughput and bytes runs, written with the in-tree codec.  The
    committed BENCH_*.json baselines use this format; see README.md
@@ -333,7 +405,7 @@ let run_bytes ~scale =
 
 module Json = Wd_obs.Json
 
-let json_of_results ~scale ~throughput ~bytes =
+let json_of_results ~scale ~throughput ~bytes ~scaling =
   let fields = [ ("schema", Json.Str "wd-bench/1"); ("scale", Json.Float scale) ] in
   let fields =
     match throughput with
@@ -377,11 +449,37 @@ let json_of_results ~scale ~throughput ~bytes =
                  rows) );
         ]
   in
+  let fields =
+    match scaling with
+    | None -> fields
+    | Some rows ->
+      fields
+      @ [
+          ("cores", Json.Int (Domain.recommended_domain_count ()));
+          ( "scaling",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [
+                       ("sites", Json.Int r.s_sites);
+                       ("shards", Json.Int r.s_shards);
+                       ("updates", Json.Int r.s_updates);
+                       ("wall_s", Json.Float r.s_wall_s);
+                       ( "updates_per_s",
+                         Json.Float (Float.of_int r.s_updates /. r.s_wall_s) );
+                       ("ledger_bytes", Json.Int r.s_total_bytes);
+                       ("sends", Json.Int r.s_sends);
+                     ])
+                 rows) );
+        ]
+  in
   Json.Obj fields
 
-let write_json path ~scale ~throughput ~bytes =
+let write_json path ~scale ~throughput ~bytes ~scaling =
   let oc = open_out path in
-  output_string oc (Json.to_string (json_of_results ~scale ~throughput ~bytes));
+  output_string oc
+    (Json.to_string (json_of_results ~scale ~throughput ~bytes ~scaling));
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -726,8 +824,8 @@ let () =
       parse rest
     | "--list" :: _ ->
       List.iter print_endline
-        ("throughput" :: "bytes" :: "sink-overhead" :: "span-overhead"
-       :: Experiments.ids);
+        ("throughput" :: "bytes" :: "scaling" :: "sink-overhead"
+       :: "span-overhead" :: Experiments.ids);
       exit 0
     | id :: rest ->
       selected := id :: !selected;
@@ -741,8 +839,10 @@ let () =
   in
   let throughput_rows = ref None in
   let bytes_rows = ref None in
+  let scaling_rows = ref None in
   let do_throughput () = throughput_rows := Some (run_throughput ()) in
   let do_bytes () = bytes_rows := Some (run_bytes ~scale:!scale) in
+  let do_scaling () = scaling_rows := Some (run_scaling ~scale:!scale) in
   let selected = List.rev !selected in
   let t0 = Unix.gettimeofday () in
   let gate_ok = ref true in
@@ -764,6 +864,7 @@ let () =
     if !with_throughput then (
       do_throughput ();
       do_bytes ();
+      do_scaling ();
       ignore (run_sink_overhead () : bool);
       run_span_overhead ())
   | ids ->
@@ -771,6 +872,7 @@ let () =
       (fun id ->
         if id = "throughput" then do_throughput ()
         else if id = "bytes" then do_bytes ()
+        else if id = "scaling" then do_scaling ()
         else if id = "sink-overhead" then ignore (run_sink_overhead () : bool)
         else if id = "span-overhead" then run_span_overhead ()
         else
@@ -784,7 +886,7 @@ let () =
   Option.iter
     (fun path ->
       write_json path ~scale:!scale ~throughput:!throughput_rows
-        ~bytes:!bytes_rows)
+        ~bytes:!bytes_rows ~scaling:!scaling_rows)
     !json_path;
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
   if not !gate_ok then (

@@ -6,8 +6,9 @@
      dc          - one distinct-count tracking run with chosen parameters
      ds          - one distinct-sample tracking run
      hh          - one distinct heavy-hitters tracking run
-     coord       - run a tracking protocol over the Unix-socket transport
+     coord       - run a tracking protocol over the socket or TCP transport
      site        - one site relay process for the socket transport
+     relay       - one multiplexed relay process for the TCP transport
      eval        - run the acceptance grid and diff against a baseline
      inspect     - replay a JSONL trace into summary tables
      top         - live /metrics dashboard, or a one-shot trace view
@@ -25,6 +26,7 @@ module Network = Wd_net.Network
 module Wire = Wd_net.Wire
 module Transport = Wd_net.Transport
 module Socket = Wd_net.Transport_socket
+module Tcp = Wd_net.Transport_tcp
 module Sink = Wd_obs.Sink
 module Metrics = Wd_obs.Metrics
 module Trace = Wd_obs.Trace
@@ -466,6 +468,63 @@ let site_cmd =
   Cmd.v (Cmd.info "site" ~doc)
     Term.(ret (const run $ socket_path_arg $ site_idx_arg $ socket_timeout_arg))
 
+let relay_cmd =
+  let port_arg =
+    let doc = "Coordinator TCP port (see $(b,wdmon coord --tcp-port))." in
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let first_site_arg =
+    let doc = "First 0-based site index this relay serves." in
+    Arg.(value & opt int 0 & info [ "first-site" ] ~docv:"I" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of contiguous sites this relay serves." in
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let connect_timeout_arg =
+    let doc =
+      "Wall-clock deadline in seconds for the initial connect (retried \
+       while the coordinator is still binding)."
+    in
+    Arg.(value & opt float 10.0 & info [ "connect-timeout" ] ~docv:"S" ~doc)
+  in
+  let run port first_site count timeout connect_timeout =
+    match
+      Tcp.Relay.run ~connect_timeout ~timeout ~port ~first_site ~count ()
+    with
+    | r ->
+      Printf.printf
+        "relay %d+%d: received %d frames / %d bytes, sent %d frames / %d \
+         bytes\n"
+        first_site count r.Socket.frames_received r.Socket.bytes_received
+        r.Socket.frames_sent r.Socket.bytes_sent;
+      `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc =
+    "Run one multiplexed relay for the TCP transport: connect to a \
+     $(b,wdmon coord --tcp-port) process, claim a contiguous range of \
+     sites, answer its (batched) frames until told to finish, and print \
+     the relay-side byte counters."
+  in
+  Cmd.v (Cmd.info "relay" ~doc)
+    Term.(
+      ret
+        (const run $ port_arg $ first_site_arg $ count_arg
+        $ socket_timeout_arg $ connect_timeout_arg))
+
+(* Split [k] sites into [n] contiguous ranges, as evenly as possible. *)
+let site_ranges ~k ~n =
+  let n = max 1 (min n k) in
+  let base = k / n and rem = k mod n in
+  let rec go first i acc =
+    if i = n then List.rev acc
+    else
+      let count = base + if i < rem then 1 else 0 in
+      go (first + count) (i + 1) ((first, count) :: acc)
+  in
+  go 0 0 []
+
 let coord_cmd =
   let protocol_arg =
     let doc = "Protocol to run over the socket transport: dc (LS) or ds (LCO)." in
@@ -501,38 +560,104 @@ let coord_cmd =
     in
     Arg.(value & flag & info [ "spans" ] ~doc)
   in
+  let tcp_port_arg =
+    let doc =
+      "Use the multiplexed TCP transport instead of the Unix socket: \
+       listen on 127.0.0.1:$(docv) (0 picks an ephemeral port, printed at \
+       startup); sites are served by $(b,wdmon relay) processes, each \
+       carrying a contiguous range over one connection with frame \
+       batching."
+    in
+    Arg.(value & opt (some int) None & info [ "tcp-port" ] ~docv:"PORT" ~doc)
+  in
+  let relays_arg =
+    let doc =
+      "With $(b,--tcp-port) and $(b,--spawn): fork this many relay \
+       processes, each serving an even contiguous slice of the sites."
+    in
+    Arg.(value & opt int 4 & info [ "relays" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Shard the coordinator's sketch merges across this many OCaml 5 \
+       worker domains (dc only; the merge laws make the published \
+       results identical to $(b,--shards 1))."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
   let run protocol spawn path timeout workload scale seed epsilon sites events
-      faults_spec fault_seed metrics_port spans trace_out =
+      faults_spec fault_seed metrics_port spans trace_out tcp_port relays
+      shards =
     match parse_faults ~fault_seed faults_spec with
     | Error e -> `Error (false, e)
+    | Ok _ when shards > 1 && protocol = `Ds ->
+      `Error (false, "--shards applies to the dc protocol only")
     | Ok faults ->
       let stream = build_workload workload ~scale ~seed ~sites ~events in
       let k = Stream.num_sites stream in
-      let children =
-        if not spawn then []
-        else
+      let children = ref [] in
+      (* Relay children: serve frames, then exit without flushing the
+         parent's inherited stdout buffer. *)
+      let spawn_socket_children () =
+        children :=
           List.init k (fun site ->
-            match Unix.fork () with
-            | 0 ->
-              (* Relay child: serve frames, then exit without flushing the
-                 parent's inherited stdout buffer. *)
-              (try ignore (Socket.Site.run ~path ~site () : Socket.site_report)
-               with _ -> ());
-              Unix._exit 0
-            | pid -> pid)
+              match Unix.fork () with
+              | 0 ->
+                (try
+                   ignore (Socket.Site.run ~path ~site () : Socket.site_report)
+                 with _ -> ());
+                Unix._exit 0
+              | pid -> pid)
+      in
+      let spawn_tcp_children port =
+        children :=
+          List.map
+            (fun (first_site, count) ->
+              match Unix.fork () with
+              | 0 ->
+                (try
+                   ignore
+                     (Tcp.Relay.run ~timeout ~port ~first_site ~count ()
+                       : Socket.site_report)
+                 with _ -> ());
+                Unix._exit 0
+              | pid -> pid)
+            (site_ranges ~k ~n:relays)
       in
       let reap () =
-        List.iter (fun pid -> ignore (Unix.waitpid [] pid)) children
+        List.iter (fun pid -> ignore (Unix.waitpid [] pid)) !children
       in
-      (match Socket.Coordinator.connect ~timeout ~path ~sites:k () with
+      let connect_backend () =
+        match tcp_port with
+        | None ->
+          if spawn then spawn_socket_children ();
+          `Sock (Socket.Coordinator.connect ~timeout ~path ~sites:k ())
+        | Some port ->
+          `Tcp
+            (Tcp.Coordinator.connect ~timeout ~port ~sites:k
+               ~on_listening:(fun port ->
+                 Printf.printf "tcp: listening on 127.0.0.1:%d\n%!" port;
+                 if spawn then spawn_tcp_children port)
+               ())
+      in
+      (match connect_backend () with
       | exception Failure msg ->
         List.iter
           (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
-          children;
+          !children;
         reap ();
         `Error (false, msg)
-      | coord ->
-        let transport = Socket.Coordinator.pack coord in
+      | backend ->
+        let transport =
+          match backend with
+          | `Sock c -> Socket.Coordinator.pack c
+          | `Tcp c -> Tcp.Coordinator.pack c
+        in
+        let set_on_poll f =
+          match backend with
+          | `Sock c -> Socket.Coordinator.set_on_poll c f
+          | `Tcp c -> Tcp.Coordinator.set_on_poll c f
+        in
         (* Live telemetry: a metrics registry fed by the event sink, a
            scrape endpoint polled from the coordinator's clock ticks,
            and an optional span trace. *)
@@ -559,7 +684,7 @@ let coord_cmd =
           (* Polled on every clock tick; throttle the accept syscall to
              one per 64 updates. *)
           let tick = ref 0 in
-          Socket.Coordinator.set_on_poll coord
+          set_on_poll
             (Some
                (fun () ->
                  incr tick;
@@ -576,7 +701,7 @@ let coord_cmd =
             let alpha = epsilon -. theta in
             let r =
               Simulation.run_dc ~seed ~transport ~faults ?sink ?metrics ~spans
-                ~algorithm:Dc.LS ~theta ~alpha stream
+                ~shards ~algorithm:Dc.LS ~theta ~alpha stream
             in
             ( "distinct count (LS)",
               r.Simulation.dc_final_estimate,
@@ -617,7 +742,11 @@ let coord_cmd =
           Network.bytes_down net - ws.Transport.skipped_down
           + (ws.Transport.frames_down * extra)
         in
-        let reports = Array.to_list (Socket.Coordinator.reports coord) in
+        let reports =
+          match backend with
+          | `Sock c -> Array.to_list (Socket.Coordinator.reports c)
+          | `Tcp c -> List.map (fun (_, _, r) -> r) (Tcp.Coordinator.reports c)
+        in
         let missing = List.length (List.filter Option.is_none reports) in
         let sum f =
           List.fold_left
@@ -630,9 +759,12 @@ let coord_cmd =
            attached) are wire overhead outside wire_bytes_*; the relays'
            raw byte reports include them. *)
         let expect_received =
+          (* batch_envelopes is 0 on the socket backend, so the law is
+             uniform across carriers. *)
           ws.Transport.wire_bytes_down + ws.Transport.radio_copy_bytes
           + ws.Transport.control_bytes
           + (ws.Transport.span_frames_down * Wire.Frame.span_bytes)
+          + (ws.Transport.batch_envelopes * Wire.Frame.header_bytes)
         in
         let expect_sent =
           ws.Transport.wire_bytes_up
@@ -644,7 +776,8 @@ let coord_cmd =
           got = want
         in
         Report.print_section
-          (Printf.sprintf "%s over the socket transport" label);
+          (Printf.sprintf "%s over the %s transport" label
+             (match backend with `Sock _ -> "socket" | `Tcp _ -> "tcp"));
         Report.print_kv
           ([
             ("sites", string_of_int k);
@@ -669,6 +802,17 @@ let coord_cmd =
                 ws.Transport.skipped_down );
             ("site reconnects", string_of_int ws.Transport.reconnects);
           ]
+          @ (match backend with
+            | `Sock _ -> []
+            | `Tcp _ ->
+              [
+                ( "batch envelopes / inner frames",
+                  Printf.sprintf "%d / %d" ws.Transport.batch_envelopes
+                    ws.Transport.batch_inner_frames );
+              ])
+          @ (if shards > 1 then
+               [ ("coordinator shards", string_of_int shards) ]
+             else [])
           @ (if spans then
                [
                  ( "span frames up / down",
@@ -700,8 +844,9 @@ let coord_cmd =
         else `Error (false, "ledger/wire reconciliation failed"))
   in
   let doc =
-    "Run a tracking protocol with each site as a real process over a \
-     Unix-domain socket, then reconcile the simulator byte ledger against \
+    "Run a tracking protocol with sites as real processes — one per site \
+     over a Unix-domain socket, or multiplexed relay ranges over TCP with \
+     $(b,--tcp-port) — then reconcile the simulator byte ledger against \
      the bytes that actually crossed the wire (exit status reflects the \
      reconciliation)."
   in
@@ -711,7 +856,8 @@ let coord_cmd =
         (const run $ protocol_arg $ spawn_arg $ socket_path_arg
         $ socket_timeout_arg $ workload_arg $ scale_arg $ seed_arg
         $ epsilon_arg $ sites_arg $ events_arg $ faults_arg $ fault_seed_arg
-        $ metrics_port_arg $ spans_flag $ trace_out_arg))
+        $ metrics_port_arg $ spans_flag $ trace_out_arg $ tcp_port_arg
+        $ relays_arg $ shards_arg))
 
 (* ------------------------------------------------------------------ *)
 (* eval *)
@@ -721,7 +867,7 @@ let eval_cmd =
     let small =
       ( `Small,
         Arg.info [ "small" ]
-          ~doc:"Run the committed 19-cell acceptance grid (the default)." )
+          ~doc:"Run the committed 20-cell acceptance grid (the default)." )
     in
     let full =
       ( `Full,
@@ -1603,6 +1749,7 @@ let () =
             hh_cmd;
             coord_cmd;
             site_cmd;
+            relay_cmd;
             eval_cmd;
             workload_cmd;
             inspect_cmd;

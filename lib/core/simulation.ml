@@ -151,8 +151,8 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
   let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
       ?(seed = 1) ?(checkpoints = 20) ?(error_samples = 200)
       ?(confidence = 0.9) ?family ?(sink = Sink.null) ?metrics
-      ?(spans = false) ?(faults = Wd_net.Faults.none) ~algorithm ~theta ~alpha
-      stream =
+      ?(spans = false) ?(faults = Wd_net.Faults.none) ?(shards = 1) ~algorithm
+      ~theta ~alpha stream =
     let n = Stream.length stream in
     if n = 0 then invalid_arg "Simulation.run_dc: empty stream";
     let k = Stream.num_sites stream in
@@ -165,8 +165,8 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     (* EC ignores theta but the constructor validates it. *)
     let theta = if algorithm = Dc.EC then Float.max theta 0.1 else theta in
     let tracker =
-      Tracker.create ~cost_model ?transport ~item_batching ~sink ~algorithm
-        ~theta ~sites:k ~family ()
+      Tracker.create ~cost_model ?transport ~item_batching ~sink ~shards
+        ~algorithm ~theta ~sites:k ~family ()
     in
     let transport = Tracker.transport tracker in
     let net = Tracker.network tracker in
@@ -218,6 +218,9 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       ~on_arrival:(fun item ->
         if not (Hashtbl.mem truth item) then Hashtbl.replace truth item ())
       ~sample_at stream;
+    (* Publish deferred sharded merges and join worker domains before
+       the final estimate is read. *)
+    Tracker.close tracker;
     Transport.close transport;
     {
       dc_algorithm = algorithm;
@@ -240,11 +243,11 @@ end
 module Dc_fm = Make_dc (Wd_sketch.Fm)
 
 let run_dc ?cost_model ?transport ?item_batching ?seed ?checkpoints
-    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ~algorithm ~theta
-    ~alpha stream =
+    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ?shards ~algorithm
+    ~theta ~alpha stream =
   Dc_fm.run ?cost_model ?transport ?item_batching ?seed ?checkpoints
-    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ~algorithm ~theta
-    ~alpha stream
+    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ?shards ~algorithm
+    ~theta ~alpha stream
 
 type ds_run = {
   ds_algorithm : Ds.algorithm;

@@ -46,6 +46,7 @@ val run_dc :
   ?metrics:Wd_obs.Metrics.t ->
   ?spans:bool ->
   ?faults:Wd_net.Faults.plan ->
+  ?shards:int ->
   algorithm:Wd_protocol.Dc_tracker.algorithm ->
   theta:float ->
   alpha:float ->
@@ -84,7 +85,12 @@ val run_dc :
     with [cost_model], and a {!Wd_net.Transport_socket} backend runs the
     same protocol over per-site relay processes.  The run closes the
     transport on completion ({!Wd_net.Transport.close} — a no-op for the
-    simulator, the finish/stats exchange for sockets). *)
+    simulator, the finish/stats exchange for sockets).
+
+    [shards] (default 1) > 1 routes the coordinator's global sketch
+    merges through that many OCaml 5 worker domains
+    ({!Wd_protocol.Sharded}); the published estimates are equal to the
+    single-domain run by the sketch merge laws.  Not applicable to [EC]. *)
 
 (** Generic variant over any {!Wd_sketch.Sketch_intf.DISTINCT_SKETCH} —
     used by the sketch-type ablation. *)
@@ -102,6 +108,7 @@ module Make_dc (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
     ?metrics:Wd_obs.Metrics.t ->
     ?spans:bool ->
     ?faults:Wd_net.Faults.plan ->
+    ?shards:int ->
     algorithm:Wd_protocol.Dc_tracker.algorithm ->
     theta:float ->
     alpha:float ->

@@ -11,6 +11,7 @@ module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
 module W = Wd_protocol.Window_tracker
 module Socket = Wd_net.Transport_socket
+module Tcp = Wd_net.Transport_tcp
 module Metrics = Wd_obs.Metrics
 module Sink = Wd_obs.Sink
 module Event = Wd_obs.Event
@@ -112,6 +113,47 @@ let with_socket_sites ~dir ~sites ~seed f =
   Fun.protect ~finally:reap (fun () ->
     let coord = Socket.Coordinator.connect ~timeout:30.0 ~path ~sites () in
     f (Socket.Coordinator.pack coord))
+
+(* Same shape for the TCP backend: multiplexed relay processes, two
+   sites each, forked once the listener has its (ephemeral) port. *)
+let with_tcp_relays ~sites f =
+  let children = ref [] in
+  let reap () =
+    List.iter
+      (fun pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      !children
+  in
+  let ranges =
+    let rec go first acc =
+      if first >= sites then List.rev acc
+      else
+        let count = min 2 (sites - first) in
+        go (first + count) ((first, count) :: acc)
+    in
+    go 0 []
+  in
+  Fun.protect ~finally:reap (fun () ->
+    let coord =
+      Tcp.Coordinator.connect ~timeout:30.0 ~port:0 ~sites
+        ~on_listening:(fun port ->
+          children :=
+            List.map
+              (fun (first_site, count) ->
+                match Unix.fork () with
+                | 0 ->
+                  (try
+                     ignore
+                       (Tcp.Relay.run ~port ~first_site ~count ()
+                         : Wd_net.Frame_io.site_report)
+                   with _ -> ());
+                  Unix._exit 0
+                | pid -> pid)
+              ranges)
+        ()
+    in
+    f (Tcp.Coordinator.pack coord))
 
 (* ------------------------------------------------------------------ *)
 (* Per-protocol repetitions.  Each returns the rep measurements plus
@@ -292,9 +334,17 @@ let run_rep cfg (cell : Spec.cell) ~seed ?sink ?spans () =
     let stream = build_stream cell ~seed in
     with_socket_sites ~dir:cfg.socket_dir ~sites:(Stream.num_sites stream)
       ~seed (fun transport -> ds_rep cfg cell ~seed ~transport ?sink ?spans stream)
-  | (Spec.Hh _ | Spec.Window _), Spec.Socket ->
+  | Spec.Dc _, Spec.Tcp ->
+    let stream = build_stream cell ~seed in
+    with_tcp_relays ~sites:(Stream.num_sites stream) (fun transport ->
+        dc_rep cfg cell ~seed ~transport ?sink ?spans stream)
+  | Spec.Ds _, Spec.Tcp ->
+    let stream = build_stream cell ~seed in
+    with_tcp_relays ~sites:(Stream.num_sites stream) (fun transport ->
+        ds_rep cfg cell ~seed ~transport ?sink ?spans stream)
+  | (Spec.Hh _ | Spec.Window _), (Spec.Socket | Spec.Tcp) ->
     failwith
-      (Printf.sprintf "cell %s: no socket backend for this protocol family"
+      (Printf.sprintf "cell %s: no wire backend for this protocol family"
          (Spec.id cell))
 
 (* Nearest-rank digest of an informational measurement series. *)

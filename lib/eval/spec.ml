@@ -16,9 +16,12 @@ let workload_to_string = function
   | Two_phase -> "two_phase"
   | Http_trace -> "http_trace"
 
-type transport = Sim | Socket
+type transport = Sim | Socket | Tcp
 
-let transport_to_string = function Sim -> "sim" | Socket -> "socket"
+let transport_to_string = function
+  | Sim -> "sim"
+  | Socket -> "socket"
+  | Tcp -> "tcp"
 
 type protocol =
   | Dc of Dc.algorithm  (* EC is [Dc EC] *)
@@ -98,7 +101,8 @@ let small_alphas = [ 0.05; 0.1; 0.2 ]
    EDS forwards updates — no sketch to vary) and for the sampler-based
    DS protocol, so those run once per alpha; DC (represented by LS, the
    paper's winner) spans the full sketch axis.  One Unix-socket smoke
-   cell rides along so the wire path is exercised by every eval run. *)
+   cell and one multiplexed-TCP smoke cell ride along so both wire
+   paths are exercised by every eval run. *)
 let small () =
   let dc_cells =
     List.concat_map
@@ -113,10 +117,13 @@ let small () =
           base ~alpha (Ds Ds.EDS) ])
       small_alphas
   in
-  let socket_smoke =
-    [ base ~alpha:0.1 ~events:20_000 ~transport:Socket (Dc Dc.LS) ]
+  let wire_smoke =
+    [
+      base ~alpha:0.1 ~events:20_000 ~transport:Socket (Dc Dc.LS);
+      base ~alpha:0.1 ~events:20_000 ~transport:Tcp (Dc Dc.LS);
+    ]
   in
-  dc_cells @ baseline_cells @ socket_smoke
+  dc_cells @ baseline_cells @ wire_smoke
 
 (* The full matrix adds the remaining DC algorithms, the DS sharing
    variants, the paper's two-phase and HTTP workloads, a fault-plan

@@ -15,7 +15,7 @@ type workload = Zipf | Two_phase | Http_trace
 
 val workload_to_string : workload -> string
 
-type transport = Sim | Socket
+type transport = Sim | Socket | Tcp
 
 val transport_to_string : transport -> string
 

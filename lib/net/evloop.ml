@@ -1,0 +1,47 @@
+(* Readiness waits for the TCP backend, in one place.  OCaml's Unix
+   module exposes [select] portably (no [poll]/[epoll] binding without a
+   C stub), so this is a select loop; the interface is
+   registration-based so a poll/epoll implementation can slot in without
+   touching callers. *)
+
+type t = { mutable fds : Unix.file_descr list }
+
+let create () = { fds = [] }
+
+let add t fd = if not (List.memq fd t.fds) then t.fds <- fd :: t.fds
+
+let remove t fd = t.fds <- List.filter (fun fd' -> fd' != fd) t.fds
+
+let registered t = List.length t.fds
+
+(* Remaining budget of a wall-clock deadline, clamped so [select] never
+   gets a negative timeout; 0 means "poll once, don't sleep". *)
+let remaining ~deadline =
+  let r = deadline -. Unix.gettimeofday () in
+  if r < 0. then 0. else r
+
+let rec select_retry read timeout =
+  match Unix.select read [] [] timeout with
+  | ready, _, _ -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    (* Retrying with the same timeout could stretch the wait under a
+       signal storm; callers loop against their own deadline, so a
+       shortened wait here is safe and simpler. *)
+    select_retry read timeout
+
+let wait t ~deadline =
+  if t.fds = [] then []
+  else select_retry t.fds (remaining ~deadline)
+
+let wait_readable fd ~deadline =
+  match select_retry [ fd ] (remaining ~deadline) with
+  | [] -> false
+  | _ :: _ -> true
+
+(* Block until [fd] is readable or the deadline passes, re-polling after
+   spurious wakeups; the loop is bounded by wall clock, never by an
+   iteration count. *)
+let rec await_readable fd ~deadline =
+  if wait_readable fd ~deadline then true
+  else if Unix.gettimeofday () >= deadline then false
+  else await_readable fd ~deadline

@@ -1,0 +1,33 @@
+(** A minimal readiness event loop for the TCP backend.
+
+    Wraps [Unix.select] behind a registration interface so the one place
+    that blocks on socket readiness is swappable for a [poll]/[epoll]
+    implementation without touching callers.  All waits are bounded by a
+    wall-clock {e deadline}, never a retry count — the flakiness class
+    the PR 5 connect-retry hardening removed stays removed. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Unix.file_descr -> unit
+(** Register [fd] for readability interest (idempotent). *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Unregister [fd]; unknown descriptors are ignored. *)
+
+val registered : t -> int
+(** Number of registered descriptors. *)
+
+val wait : t -> deadline:float -> Unix.file_descr list
+(** Descriptors readable now, blocking until at least one is ready or
+    the wall-clock [deadline] (as of [Unix.gettimeofday]) passes —
+    whichever is first.  An expired deadline degrades to a non-blocking
+    poll; with nothing registered the result is immediately []. *)
+
+val wait_readable : Unix.file_descr -> deadline:float -> bool
+(** One-shot readiness wait on a single descriptor. *)
+
+val await_readable : Unix.file_descr -> deadline:float -> bool
+(** Like {!wait_readable}, but re-polls after spurious wakeups until
+    readable ([true]) or the deadline passes ([false]). *)

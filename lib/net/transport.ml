@@ -11,6 +11,8 @@ type wire_stats = {
   reconnects : int;
   span_frames_up : int;
   span_frames_down : int;
+  batch_envelopes : int;
+  batch_inner_frames : int;
 }
 
 module type S = sig

@@ -50,6 +50,12 @@ type wire_stats = {
   span_frames_down : int;
       (** frames written with a span context block (delivers, radio
           copies and [Request_up] control frames alike) *)
+  batch_envelopes : int;
+      (** {!Wire.Frame.Batch} envelopes written (TCP backend flushes);
+          0 on carriers that write every frame individually *)
+  batch_inner_frames : int;
+      (** frames carried inside those envelopes; each is also counted in
+          [frames_down]/[radio_copy_bytes] as if written alone *)
 }
 (** Counters a wire-backed carrier keeps alongside the ledger.  They tie
     the two accountings together:
@@ -61,7 +67,12 @@ type wire_stats = {
     Span context blocks are wire overhead outside both byte counts:
     actual socket traffic additionally includes
     [span_frames_* * Wire.Frame.span_bytes] in each direction, which is
-    how the relays' raw byte reports reconcile when spans are on. *)
+    how the relays' raw byte reports reconcile when spans are on.
+    Batch envelopes are the same kind of overhead in the down direction:
+    a batching carrier's raw traffic additionally includes
+    [batch_envelopes * Wire.Frame.header_bytes], while the inner frames
+    keep their stand-alone accounting in [frames_down] /
+    [wire_bytes_down] / [radio_copy_bytes]. *)
 
 (** Interface every transport backend implements.  Everything except
     {!S.set_time}, {!S.close} and {!S.wire_stats} is semantically fixed

@@ -1,101 +1,18 @@
 module F = Wire.Frame
 module Span = Wd_obs.Span
 
-type site_report = {
+type site_report = Frame_io.site_report = {
   frames_received : int;
   bytes_received : int;
   frames_sent : int;
   bytes_sent : int;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Frame I/O over file descriptors                                     *)
-(* ------------------------------------------------------------------ *)
+(* Frame I/O over file descriptors lives in {!Frame_io}, shared with the
+   TCP backend. *)
+open Frame_io
 
-let ignore_sigpipe () =
-  (* A peer that died mid-write must surface as EPIPE, not kill us. *)
-  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-  with Invalid_argument _ -> ()
-
-let rec write_all fd buf pos len =
-  if len > 0 then begin
-    let n = Unix.write fd buf pos len in
-    write_all fd buf (pos + n) (len - n)
-  end
-
-let rec read_exact fd buf pos len =
-  if len > 0 then begin
-    let n = Unix.read fd buf pos len in
-    if n = 0 then raise End_of_file;
-    read_exact fd buf (pos + n) (len - n)
-  end
-
-(* A frame as one buffer: header + zeroed payload the caller may poke. *)
-let frame_buf ~kind ~site ~payload_len =
-  let buf = Bytes.make (F.header_bytes + payload_len) '\000' in
-  F.encode_header buf ~pos:0 ~kind ~site ~length:payload_len;
-  buf
-
-let write_frame fd ~kind ~site ~payload_len =
-  let buf = frame_buf ~kind ~site ~payload_len in
-  write_all fd buf 0 (Bytes.length buf)
-
-(* Like [frame_buf], but a version-2 spanned frame: header with the span
-   flag set, then the 40-byte span context block, then the payload.  The
-   header's length field still counts only the payload. *)
-let spanned_buf ~kind ~site ~payload_len ~span =
-  let buf = Bytes.make (F.header_bytes + F.span_bytes + payload_len) '\000' in
-  F.encode_header_spanned buf ~pos:0 ~kind ~site ~length:payload_len;
-  F.encode_span buf ~pos:F.header_bytes span;
-  buf
-
-(* Read one frame: header, span context block when the header announces
-   one, payload.  Consuming the span block here is what keeps the stream
-   in sync whether or not the peer stamps its frames.  [spans] only adds
-   a [frame.decode] histogram stamp; decoding is identical without it. *)
-let read_frame ?spans fd =
-  let hdr = Bytes.create F.header_bytes in
-  read_exact fd hdr 0 F.header_bytes;
-  let decoded =
-    match spans with
-    | None -> F.decode_header hdr ~pos:0
-    | Some r ->
-      let t0 = Span.now r in
-      let d = F.decode_header hdr ~pos:0 in
-      Span.observe_ns r ~name:"frame.decode" (Int64.sub (Span.now r) t0);
-      d
-  in
-  match decoded with
-  | Error e -> Error e
-  | Ok h ->
-    let span =
-      if not h.F.has_span then None
-      else begin
-        let sbuf = Bytes.create F.span_bytes in
-        read_exact fd sbuf 0 F.span_bytes;
-        match F.decode_span sbuf ~pos:0 with
-        | Ok s -> Some s
-        | Error _ -> None (* unreachable: the buffer is exactly span_bytes *)
-      end
-    in
-    let payload = Bytes.create h.F.length in
-    read_exact fd payload 0 h.F.length;
-    Ok (h, span, payload)
-
-let frame_error what e =
-  failwith (Printf.sprintf "transport_socket: %s: %s" what (F.error_to_string e))
-
-let set_timeouts fd timeout =
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
-
-let reject fd reason =
-  let payload_len = String.length reason in
-  let buf = frame_buf ~kind:F.Reject ~site:0 ~payload_len in
-  Bytes.blit_string reason 0 buf F.header_bytes payload_len;
-  (try write_all fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> ())
-
-let stats_payload_len = 32
+let frame_error what e = Frame_io.frame_error ~backend:"transport_socket" what e
 
 (* ------------------------------------------------------------------ *)
 (* Coordinator                                                         *)
@@ -342,15 +259,6 @@ let install_tap t =
 
 (* --- teardown --- *)
 
-let decode_report payload =
-  let g i = Int64.to_int (Bytes.get_int64_le payload i) in
-  {
-    frames_received = g 0;
-    bytes_received = g 8;
-    frames_sent = g 16;
-    bytes_sent = g 24;
-  }
-
 let finish_site t site fd =
   (try
      write_frame fd ~kind:F.Finish ~site ~payload_len:0;
@@ -413,6 +321,8 @@ let wire_stats t =
       reconnects = t.reconnects;
       span_frames_up = t.span_frames_up;
       span_frames_down = t.span_frames_down;
+      batch_envelopes = 0;
+      batch_inner_frames = 0;
     }
 
 module Backend = Transport.Of_carrier (struct
@@ -466,8 +376,23 @@ module Coordinator = struct
       }
     in
     (try
+       (* One wall-clock deadline covers the whole accept phase: the
+          per-accept receive timeout is re-armed with the remaining
+          budget, so k stragglers cost at most [timeout] total rather
+          than [k * timeout]. *)
+       let deadline = Unix.gettimeofday () +. timeout in
+       let timed_out accepted =
+         failwith
+           (Printf.sprintf
+              "socket coordinator: timed out after %gs waiting for %d of \
+               %d site(s) to connect"
+              timeout (sites - accepted) sites)
+       in
        let accepted = ref 0 in
        while !accepted < sites do
+         let remaining = deadline -. Unix.gettimeofday () in
+         if remaining <= 0. then timed_out !accepted;
+         Unix.setsockopt_float t.listen_fd Unix.SO_RCVTIMEO remaining;
          match accept_handshake t with
          | Some _ -> incr accepted
          | None -> ()
@@ -477,12 +402,9 @@ module Coordinator = struct
               never connected.  Surface the documented Failure instead of
               the raw Unix_error so callers' error paths (and their child
               cleanup) engage. *)
-           failwith
-             (Printf.sprintf
-                "socket coordinator: timed out after %gs waiting for %d of \
-                 %d site(s) to connect"
-                timeout (sites - !accepted) sites)
-       done
+           timed_out !accepted
+       done;
+       Unix.setsockopt_float t.listen_fd Unix.SO_RCVTIMEO timeout
      with e ->
        close t;
        raise e);
@@ -502,25 +424,38 @@ let connect ?cost_model ?timeout ~path ~sites () =
 (* ------------------------------------------------------------------ *)
 
 module Site = struct
-  let connect_retry ~attempts ~timeout path =
-    let rec go n =
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      match Unix.connect fd (Unix.ADDR_UNIX path) with
-      | () ->
+  (* Deadline-based connect retry: the budget is wall-clock, not an
+     attempt count, so a slow-to-bind coordinator costs exactly the time
+     it takes rather than [attempts * sleep] of luck.  The short sleep
+     between polls only paces the loop; the deadline bounds it. *)
+  let connect_retry ~deadline ~timeout connect_fn =
+    let rec go () =
+      let fd = connect_fn () in
+      match fd with
+      | Ok fd ->
         set_timeouts fd timeout;
         fd
-      | exception
-          Unix.Unix_error
-            ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR), _, _)
-        when n > 0 ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        Unix.sleepf 0.05;
-        go (n - 1)
-      | exception e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        raise e
+      | Error e when Unix.gettimeofday () < deadline ->
+        ignore (e : exn);
+        Unix.sleepf 0.02;
+        go ()
+      | Error e -> raise e
     in
-    go attempts
+    go ()
+
+  let connect_unix_once path () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok fd
+    | exception
+        (Unix.Unix_error
+           ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR), _, _)
+         as e) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error e
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
 
   let handshake fd ~site =
     write_frame fd ~kind:F.Hello ~site ~payload_len:0;
@@ -538,14 +473,15 @@ module Site = struct
         (Printf.sprintf "transport_socket: expected welcome, got %s"
            (F.kind_to_string h.F.kind))
 
-  let run ?(connect_attempts = 200) ?(timeout = 30.) ~path ~site () =
+  let run ?(connect_timeout = 10.) ?(timeout = 30.) ~path ~site () =
     ignore_sigpipe ();
     let frames_received = ref 0 in
     let bytes_received = ref 0 in
     let frames_sent = ref 0 in
     let bytes_sent = ref 0 in
     let connect () =
-      let fd = connect_retry ~attempts:connect_attempts ~timeout path in
+      let deadline = Unix.gettimeofday () +. connect_timeout in
+      let fd = connect_retry ~deadline ~timeout (connect_unix_once path) in
       try
         handshake fd ~site;
         fd
@@ -562,15 +498,7 @@ module Site = struct
         bytes_sent = !bytes_sent;
       }
     in
-    let send_stats () =
-      let buf = frame_buf ~kind:F.Stats ~site ~payload_len:stats_payload_len in
-      let p i v = Bytes.set_int64_le buf (F.header_bytes + i) (Int64.of_int v) in
-      p 0 !frames_received;
-      p 8 !bytes_received;
-      p 16 !frames_sent;
-      p 24 !bytes_sent;
-      write_all !fd buf 0 (Bytes.length buf)
-    in
+    let send_stats () = Frame_io.send_stats !fd ~site (report ()) in
     let finished = ref false in
     while not !finished do
       match read_frame !fd with
@@ -633,7 +561,7 @@ module Site = struct
           failwith
             (Printf.sprintf "transport_socket: rejected by coordinator: %s"
                (Bytes.to_string payload))
-        | F.Hello | F.Welcome | F.Up | F.Stats ->
+        | F.Hello | F.Welcome | F.Up | F.Stats | F.Batch ->
           failwith
             (Printf.sprintf "transport_socket: unexpected %s frame"
                (F.kind_to_string h.F.kind)))

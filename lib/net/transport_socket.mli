@@ -50,7 +50,7 @@
     counters, giving an independent, receiver-side measurement of the
     bytes that crossed each socket. *)
 
-type site_report = {
+type site_report = Frame_io.site_report = {
   frames_received : int;  (** [Deliver] + [Request_up] frames seen *)
   bytes_received : int;  (** their total on-wire size *)
   frames_sent : int;  (** [Up] frames written *)
@@ -107,15 +107,16 @@ end
     estimates live in the coordinator — it answers the wire. *)
 module Site : sig
   val run :
-    ?connect_attempts:int ->
+    ?connect_timeout:float ->
     ?timeout:float ->
     path:string ->
     site:int ->
     unit ->
     site_report
-  (** Connect to the coordinator at [path] as site [site] (retrying
-      [connect_attempts] times, default 200 at 50ms — the relay may be
-      started before the coordinator) and serve frames until [Finish],
+  (** Connect to the coordinator at [path] as site [site] (retrying on
+      refusal until the wall-clock [connect_timeout] deadline, default
+      10s — the relay may be started before the coordinator; the budget
+      is time, never a fixed attempt count) and serve frames until [Finish],
       returning the final counters also sent in the [Stats] frame.  On
       EOF (the coordinator closed the socket: a crash window) the relay
       re-enters the connect loop and carries its counters across the

@@ -1,0 +1,108 @@
+(** TCP backend of {!Transport}: many sites multiplexed per connection,
+    frame batching on the wire.
+
+    Like {!Transport_socket}, the protocol engine and the {!Network.t}
+    ledger stay in the coordinator; this carrier only {e realizes}
+    ledger charges as real {!Wire.Frame}s — so a fixed-seed run is
+    byte-identical (estimates, ledger, logical trace) to the simulator
+    and socket backends by construction.  What changes is the wire
+    shape, built for thousands of sites:
+
+    - {b TCP listener + event loop}: one loopback TCP listener; all
+      readiness waits go through {!Evloop} (select today, poll/epoll
+      behind the same interface) and are wall-clock-deadline bounded.
+    - {b Multiplexing}: each relay connection carries a contiguous
+      range of sites ([first_site, first_site + count)), declared in a
+      ranged [Hello] (site field = first site, 4-byte payload = count).
+      Ranges must partition [0, sites); overlaps and bad versions are
+      answered with a typed [Reject].
+    - {b Batching}: down-direction [Deliver] frames accumulate per
+      connection and leave as one {!Wire.Frame.Batch} envelope per
+      flush — a single write call coalescing many complete v2 inner
+      frames (span blocks included, carried unchanged).  Flushes happen
+      on high water ([flush_bytes]), before any [Request_up] on the same
+      connection (TCP ordering then guarantees the relay consumed every
+      buffered Deliver before answering), and at close.  The up
+      direction stays synchronous and unbatched: [Request_up]/[Up]
+      round trips as in the socket backend, span-stamped the same way.
+    - {b Crash windows are logical}: the connection carries other sites,
+      so window entry detaches the site (charges are recorded as
+      [skipped_up]/[skipped_down] exactly like the socket backend's
+      closed-socket case) and window exit counts a reconnect — no
+      socket churn.  The per-tick scan only runs when the fault plan
+      contains crashes, so a clean k=1000 run pays nothing per tick.
+
+    Reconciliation gains the batch terms: a relay's received bytes are
+    [wire_bytes_down + radio_copy_bytes + control_bytes
+     + span_frames_down * Wire.Frame.span_bytes
+     + batch_envelopes * Wire.Frame.header_bytes],
+    while the up-direction law is unchanged from the socket backend. *)
+
+(** The coordinator half: owns the listener, the ledger, the tap and
+    the per-connection batch buffers. *)
+module Coordinator : sig
+  include Transport.S
+
+  val connect :
+    ?cost_model:Network.cost_model ->
+    ?timeout:float ->
+    ?flush_bytes:int ->
+    ?on_listening:(int -> unit) ->
+    port:int ->
+    sites:int ->
+    unit ->
+    t
+  (** Listen on [127.0.0.1:port] ([port = 0] requests an ephemeral
+      port), call [on_listening] with the bound port (the hook to spawn
+      relays from), then block until ranged handshakes cover all
+      [sites].  One wall-clock [timeout] (default 30s) bounds the whole
+      accept phase and every later blocking operation; [flush_bytes]
+      (default 8192) is the batch high-water mark.  Raises [Failure] on
+      timeout or handshake errors. *)
+
+  val pack : t -> Transport.t
+  val port : t -> int
+  (** The actually-bound listener port. *)
+
+  val reports : t -> (int * int * Frame_io.site_report option) list
+  (** Per-connection [(first_site, count, report)] in accept order;
+      reports are collected by [close] ([None] marks a relay that never
+      answered [Finish]). *)
+
+  val set_on_poll : t -> (unit -> unit) option -> unit
+  (** As {!Transport_socket.Coordinator.set_on_poll}. *)
+end
+
+(** The relay half: one process serving a contiguous range of sites
+    over a single multiplexed connection (run via [wdmon relay]). *)
+module Relay : sig
+  val run :
+    ?connect_timeout:float ->
+    ?timeout:float ->
+    ?host:string ->
+    port:int ->
+    first_site:int ->
+    count:int ->
+    unit ->
+    Frame_io.site_report
+  (** Connect to the coordinator (retrying on refusal until the
+      wall-clock [connect_timeout] deadline, default 10s), declare the
+      site range, then serve frames until [Finish]: batch envelopes are
+      decoded with {!Wire.Frame.decode_batch} and validated (inner
+      frames must be in-range [Deliver]s), [Request_up]s are answered
+      with [Up] frames of the requested size.  Returns (and reports in
+      its [Stats] frame) connection-level counters.  Raises [Failure]
+      on a [Reject], malformed frames, or a coordinator silence longer
+      than [timeout]. *)
+end
+
+val connect :
+  ?cost_model:Network.cost_model ->
+  ?timeout:float ->
+  ?flush_bytes:int ->
+  ?on_listening:(int -> unit) ->
+  port:int ->
+  sites:int ->
+  unit ->
+  Transport.t
+(** [Coordinator.connect] followed by {!Coordinator.pack}. *)

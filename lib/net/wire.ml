@@ -28,6 +28,7 @@ module Frame = struct
     | Finish
     | Stats
     | Reject
+    | Batch
 
   let kind_to_string = function
     | Hello -> "hello"
@@ -38,6 +39,7 @@ module Frame = struct
     | Finish -> "finish"
     | Stats -> "stats"
     | Reject -> "reject"
+    | Batch -> "batch"
 
   let kind_to_byte = function
     | Hello -> 1
@@ -48,6 +50,7 @@ module Frame = struct
     | Finish -> 6
     | Stats -> 7
     | Reject -> 8
+    | Batch -> 9
 
   let kind_of_byte = function
     | 1 -> Some Hello
@@ -58,6 +61,7 @@ module Frame = struct
     | 6 -> Some Finish
     | 7 -> Some Stats
     | 8 -> Some Reject
+    | 9 -> Some Batch
     | _ -> None
 
   type header = { kind : kind; site : int; length : int; has_span : bool }
@@ -81,6 +85,7 @@ module Frame = struct
     | Bad_kind of int
     | Bad_length of int
     | Truncated of { wanted : int; got : int }
+    | Bad_count of { expected : int; got : int }
 
   let error_to_string = function
     | Bad_magic m -> Printf.sprintf "bad magic %S (want %S)" m magic
@@ -91,6 +96,9 @@ module Frame = struct
     | Bad_length n -> Printf.sprintf "bad frame length %d" n
     | Truncated { wanted; got } ->
       Printf.sprintf "truncated frame: wanted %d bytes, got %d" wanted got
+    | Bad_count { expected; got } ->
+      Printf.sprintf "batch count mismatch: envelope announced %d frame(s), found %d"
+        expected got
 
   let bytes ~payload = header_bytes + payload
 
@@ -154,4 +162,57 @@ module Frame = struct
           t1_ns = Bytes.get_int64_le buf (pos + 24);
           t2_ns = Bytes.get_int64_le buf (pos + 32);
         }
+
+  (* --- batch envelope ---
+
+     A [Batch] frame coalesces several complete v2 frames into one wire
+     write: the envelope header's site field carries the inner-frame
+     count and its length field the total size of the inner region; the
+     payload is the inner frames back to back, each with its own header
+     (and span block when flagged) carried unchanged.  Nesting is
+     forbidden. *)
+
+  let encode_batch_header buf ~pos ~count ~length =
+    encode_header buf ~pos ~kind:Batch ~site:count ~length
+
+  (* Decode the payload region of a batch envelope: [buf] is exactly the
+     inner region, [count] the envelope's announced frame count.  Returns
+     the inner frames newest-last as (header, span, payload offset); the
+     payloads stay in [buf], so decoding allocates only the result list
+     (bounded by [length / header_bytes]).  Every failure is typed: a
+     short header/span/payload is [Truncated] against the region end, a
+     nested envelope is [Bad_kind], and a region that parses clean but
+     holds a different number of frames than announced is [Bad_count]. *)
+  let decode_batch buf ~count =
+    let limit = Bytes.length buf in
+    let rec go off acc n =
+      if off = limit then
+        if n = count then Ok (List.rev acc)
+        else Error (Bad_count { expected = count; got = n })
+      else if limit - off < header_bytes then
+        Error (Truncated { wanted = header_bytes; got = limit - off })
+      else
+        match decode_header buf ~pos:off with
+        | Error e -> Error e
+        | Ok h when h.kind = Batch -> Error (Bad_kind (kind_to_byte Batch))
+        | Ok h ->
+          let span_extra = if h.has_span then span_bytes else 0 in
+          let body = off + header_bytes in
+          if limit - body < span_extra then
+            Error (Truncated { wanted = span_bytes; got = limit - body })
+          else begin
+            let span =
+              if not h.has_span then None
+              else
+                match decode_span buf ~pos:body with
+                | Ok s -> Some s
+                | Error _ -> None (* unreachable: bounds checked above *)
+            in
+            let payload = body + span_extra in
+            if limit - payload < h.length then
+              Error (Truncated { wanted = h.length; got = limit - payload })
+            else go (payload + h.length) ((h, span, payload) :: acc) (n + 1)
+          end
+    in
+    go 0 [] 0
 end

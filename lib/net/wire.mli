@@ -107,6 +107,13 @@ module Frame : sig
     | Reject
         (** either direction: handshake refused (version mismatch); the
             payload is a UTF-8 reason *)
+    | Batch
+        (** coordinator -> site: envelope coalescing several complete
+            frames into one wire write; the site field carries the
+            inner-frame count, the length field the size of the inner
+            region, and the payload is the inner frames back to back,
+            carried unchanged (span blocks included).  Nesting is
+            forbidden. *)
 
   val kind_to_string : kind -> string
 
@@ -138,6 +145,9 @@ module Frame : sig
     | Truncated of { wanted : int; got : int }
         (** fewer bytes available than the header (or its length field)
             announced *)
+    | Bad_count of { expected : int; got : int }
+        (** a batch envelope whose inner region parsed clean but held a
+            different number of frames than the envelope announced *)
 
   val error_to_string : error -> string
 
@@ -164,4 +174,27 @@ module Frame : sig
   val decode_span : Bytes.t -> pos:int -> (span, error) result
   (** Parse a 40-byte span-context block at [pos].  Returns [Truncated]
       if fewer than {!span_bytes} bytes remain. *)
+
+  (** {2 Batch envelopes}
+
+      The TCP backend coalesces per-site deliveries into one write per
+      flush: a {!Batch} frame whose payload is several complete v2
+      frames back to back, each with its own header and optional span
+      block, byte-for-byte as they would have travelled alone. *)
+
+  val encode_batch_header : Bytes.t -> pos:int -> count:int -> length:int -> unit
+  (** Write a batch-envelope header at [pos]: kind {!Batch}, the site
+      field carrying [count] (inner frames) and the length field
+      [length] (total bytes of the inner region). *)
+
+  val decode_batch :
+    Bytes.t -> count:int -> ((header * span option * int) list, error) result
+  (** [decode_batch buf ~count] parses [buf] — exactly the payload
+      region of a batch envelope announcing [count] inner frames — into
+      [(header, span, payload offset)] triples in wire order, payloads
+      left in place in [buf].  Allocation is bounded by the region size.
+      Typed failures: short headers/spans/payloads (including stomped
+      inner length fields) are [Truncated] against the region end, a
+      nested {!Batch} is [Bad_kind], a clean parse with the wrong number
+      of frames is [Bad_count]. *)
 end

@@ -1,0 +1,188 @@
+(* Sharded coordinator merge engine: the global Sk_0 merge fanned out
+   across OCaml 5 domains.
+
+   Contributions (a site's sketch, or a batch of raw items) are routed
+   to a shard by site id and merged into that shard's private partial
+   sketch by a worker domain; idle workers steal from the longest other
+   queue, so a hot shard cannot serialize the engine.  Nothing is locked
+   on the merge path itself — each partial belongs to exactly one worker
+   — and the published global sketch is produced by merging the partials
+   at a sync point (merge-then-publish).
+
+   Correctness leans entirely on the PR 2 sketch-algebra laws:
+   commutativity and associativity make the shard assignment and steal
+   order irrelevant, and idempotence makes re-merging a still-growing
+   partial at the next sync harmless — which is why [sync] can merge
+   partials without clearing them and the publish path needs no delta
+   tracking.  The property suite in [test_sharded.ml] pins published ==
+   single-domain for every sketch family under randomized interleavings.
+
+   One global mutex guards the queues and counters only; merge work runs
+   outside it.  Signaling a job's completion under the lock after the
+   merge is what makes the partials safely readable at a drained sync
+   point. *)
+
+module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
+  type job = Merge of Sketch.t | Add of int array
+
+  type t = {
+    shards : int;
+    partials : Sketch.t array; (* partials.(w) touched only by worker w *)
+    queues : job Queue.t array;
+    lock : Mutex.t;
+    work : Condition.t; (* new job or shutdown *)
+    done_ : Condition.t; (* a job completed *)
+    space : Condition.t; (* a queue drained below capacity *)
+    capacity : int;
+    mutable submitted : int;
+    mutable completed : int;
+    mutable stolen : int;
+    merges : int array; (* jobs merged by worker w (incl. stolen) *)
+    mutable closing : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let perform t w job =
+    (match job with
+    | Merge sk -> Sketch.merge_into ~dst:t.partials.(w) sk
+    | Add items -> Sketch.add_batch t.partials.(w) items);
+    t.merges.(w) <- t.merges.(w) + 1
+
+  (* Pop from our own queue, else steal one job from the longest other
+     queue. *)
+  let take_locked t w =
+    if not (Queue.is_empty t.queues.(w)) then Some (Queue.pop t.queues.(w))
+    else begin
+      let best = ref (-1) and best_len = ref 0 in
+      Array.iteri
+        (fun i q ->
+          if i <> w then begin
+            let len = Queue.length q in
+            if len > !best_len then begin
+              best := i;
+              best_len := len
+            end
+          end)
+        t.queues;
+      if !best < 0 then None
+      else begin
+        t.stolen <- t.stolen + 1;
+        Some (Queue.pop t.queues.(!best))
+      end
+    end
+
+  let worker t w () =
+    Mutex.lock t.lock;
+    let rec loop () =
+      match take_locked t w with
+      | Some job ->
+        Condition.signal t.space;
+        Mutex.unlock t.lock;
+        perform t w job;
+        Mutex.lock t.lock;
+        t.completed <- t.completed + 1;
+        Condition.broadcast t.done_;
+        loop ()
+      | None ->
+        if t.closing then Mutex.unlock t.lock
+        else begin
+          Condition.wait t.work t.lock;
+          loop ()
+        end
+    in
+    loop ()
+
+  let create ?(queue_capacity = 128) ~shards ~family () =
+    if shards < 1 then invalid_arg "Sharded.create: shards must be >= 1";
+    if queue_capacity < 1 then
+      invalid_arg "Sharded.create: queue_capacity must be >= 1";
+    let t =
+      {
+        shards;
+        partials = Array.init shards (fun _ -> Sketch.create family);
+        queues = Array.init shards (fun _ -> Queue.create ());
+        lock = Mutex.create ();
+        work = Condition.create ();
+        done_ = Condition.create ();
+        space = Condition.create ();
+        capacity = queue_capacity;
+        submitted = 0;
+        completed = 0;
+        stolen = 0;
+        merges = Array.make shards 0;
+        closing = false;
+        domains = [||];
+      }
+    in
+    if shards > 1 then
+      t.domains <- Array.init shards (fun w -> Domain.spawn (worker t w));
+    t
+
+  let shard_of t ~site = ((site mod t.shards) + t.shards) mod t.shards
+
+  let enqueue t ~site job =
+    if t.shards = 1 then begin
+      (* Single shard: no domains, merge inline.  This is the
+         deterministic reference the property tests compare against. *)
+      perform t 0 job;
+      t.submitted <- t.submitted + 1;
+      t.completed <- t.completed + 1
+    end
+    else begin
+      let w = shard_of t ~site in
+      Mutex.lock t.lock;
+      if t.closing then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Sharded.submit: engine is closed"
+      end;
+      (* Bounded queues: block (deadline-free, a worker always drains)
+         rather than grow without bound under a fast producer. *)
+      while Queue.length t.queues.(w) >= t.capacity do
+        Condition.wait t.space t.lock
+      done;
+      Queue.push job t.queues.(w);
+      t.submitted <- t.submitted + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.lock
+    end
+
+  let submit t ~site sk = enqueue t ~site (Merge sk)
+  let submit_items t ~site items = enqueue t ~site (Add items)
+
+  (* Wait until every submitted job has been merged into some partial. *)
+  let drain_locked t =
+    while t.completed < t.submitted do
+      Condition.wait t.done_ t.lock
+    done
+
+  let sync t ~into =
+    if t.shards = 1 then Sketch.merge_into ~dst:into t.partials.(0)
+    else begin
+      Mutex.lock t.lock;
+      drain_locked t;
+      (* Merge-then-publish: partials are not cleared; idempotence makes
+         re-merging them at the next sync a no-op for items already
+         published. *)
+      Array.iter (fun p -> Sketch.merge_into ~dst:into p) t.partials;
+      Mutex.unlock t.lock
+    end
+
+  let shards t = t.shards
+  let submitted t = t.submitted
+  let stolen t = t.stolen
+  let merges_per_shard t = Array.copy t.merges
+
+  let close t =
+    if not t.closing then begin
+      if t.shards = 1 then t.closing <- true
+      else begin
+        Mutex.lock t.lock;
+        drain_locked t;
+        t.closing <- true;
+        Condition.broadcast t.work;
+        Mutex.unlock t.lock;
+        Array.iter Domain.join t.domains;
+        t.domains <- [||]
+      end
+    end
+end

@@ -1,0 +1,65 @@
+(** Sharded coordinator merge engine: the global [Sk_0] merge fanned out
+    across OCaml 5 domains.
+
+    At CDN scale the coordinator's work is dominated by merging site
+    contributions into the global sketch.  This engine shards that work
+    by site id: each shard has a bounded job queue and a private partial
+    sketch owned by one worker domain; idle workers steal from the
+    longest other queue.  The published global state is produced at a
+    {e sync point} by draining the queues and merging every partial into
+    the caller's sketch — merge-then-publish.
+
+    The PR 2 sketch-algebra property suite (merge commutativity,
+    associativity, idempotence) is the correctness argument, not an
+    optimization: commutativity/associativity make shard routing and
+    steal order irrelevant to the merged result, and idempotence lets
+    {!sync} re-merge still-growing partials without clearing them or
+    tracking deltas.  Hence no lock is held on the merge path — each
+    partial has exactly one writer — and the result is {e equal} (not
+    just close) to the single-domain merge, which [test_sharded.ml]
+    pins for every sketch family under randomized shard counts and
+    interleavings.
+
+    With [shards = 1] no domains are spawned and every submit merges
+    inline — the deterministic reference. *)
+
+module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) : sig
+  type t
+
+  val create :
+    ?queue_capacity:int -> shards:int -> family:Sketch.family -> unit -> t
+  (** [create ~shards ~family ()] spawns [shards] worker domains (none
+      when [shards = 1]) with empty partials of [family].  Each shard
+      queue holds at most [queue_capacity] (default 128) pending jobs;
+      submits beyond that block until a worker drains.  Raises
+      [Invalid_argument] if [shards < 1]. *)
+
+  val submit : t -> site:int -> Sketch.t -> unit
+  (** Queue a site's sketch contribution for merging.  The engine takes
+      ownership of the sketch — pass a copy if the caller keeps mutating
+      it.  Routed to shard [site mod shards]. *)
+
+  val submit_items : t -> site:int -> int array -> unit
+  (** Queue a batch of raw items (the tracker's pending-item fast path). *)
+
+  val sync : t -> into:Sketch.t -> unit
+  (** Publish: wait until every submitted job is merged, then merge all
+      shard partials into [into].  Safe to call repeatedly; partials are
+      never cleared (idempotence makes re-merging harmless). *)
+
+  val shards : t -> int
+  (** The shard (and worker-domain) count this engine was created with. *)
+
+  val submitted : t -> int
+  (** Jobs accepted so far. *)
+
+  val stolen : t -> int
+  (** Jobs a worker stole from another shard's queue. *)
+
+  val merges_per_shard : t -> int array
+  (** Jobs merged by each worker (steals count for the thief). *)
+
+  val close : t -> unit
+  (** Drain outstanding jobs, stop and join the worker domains.
+      Idempotent; {!submit} after close raises. *)
+end

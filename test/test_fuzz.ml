@@ -174,6 +174,219 @@ let frame_span_prefix_typed c =
   | Error _ | (exception _) -> false
 
 (* ------------------------------------------------------------------ *)
+(* Batch envelopes *)
+
+(* Kind table including Batch itself: a nested envelope is a corruption
+   the decoder must answer with Bad_kind, never by recursing. *)
+let inner_kinds = Array.append kinds [| Frame.Batch |]
+
+type inner = { i_kind : int; i_site : int; i_len : int; i_span : int }
+
+type batch_case = {
+  b_inners : inner list;
+  b_delta : int;  (* announced count = real count + (delta - 2) *)
+  b_mutation : int;
+      (* 0 = none, 1 = bit flip, 2 = truncate, 3 = oversize (append
+         garbage), 4 = stomp one inner length field *)
+  b_a : int;
+  b_b : int;
+}
+
+let show_inner i =
+  Printf.sprintf "{k=%d s=%d l=%d sp=%d}" i.i_kind i.i_site i.i_len i.i_span
+
+let show_batch_case c =
+  Printf.sprintf "{inners=%s delta=%d mut=%d a=%d b=%d}"
+    (Prop.show_list show_inner c.b_inners)
+    (c.b_delta - 2) c.b_mutation c.b_a c.b_b
+
+let gen_inner rng =
+  {
+    i_kind = Prop.int_range 0 (Array.length inner_kinds - 1) rng;
+    i_site = Prop.int_range 0 0xFFFF rng;
+    i_len = Prop.int_range 0 200 rng;
+    i_span = Prop.int_range 0 1 rng;
+  }
+
+let gen_batch_case rng =
+  {
+    b_inners = Prop.list ~max_len:8 gen_inner rng;
+    b_delta = Prop.int_range 0 4 rng;
+    b_mutation = Prop.int_range 0 4 rng;
+    b_a = Prop.int_range 0 0x3FFFFFFF rng;
+    b_b = Prop.int_range 0 0x3FFFFFFF rng;
+  }
+
+let shrink_batch_case c =
+  List.concat
+    [
+      List.map
+        (fun b_inners -> { c with b_inners })
+        (Prop.shrink_list Prop.no_shrink c.b_inners);
+      List.map (fun b_a -> { c with b_a }) (Prop.shrink_int c.b_a);
+      List.map (fun b_b -> { c with b_b }) (Prop.shrink_int c.b_b);
+    ]
+
+(* Build the inner region (complete back-to-back frames) plus the list
+   of header offsets, so the length-stomp mutation can aim precisely at
+   a per-frame length field. *)
+let realize_batch c =
+  let buf = Buffer.create 256 in
+  let offsets =
+    List.map
+      (fun i ->
+        let off = Buffer.length buf in
+        let kind = inner_kinds.(i.i_kind) in
+        let total =
+          Frame.header_bytes
+          + (if i.i_span = 1 then Frame.span_bytes else 0)
+          + i.i_len
+        in
+        let b = Bytes.make total '\042' in
+        if i.i_span = 1 then begin
+          Frame.encode_header_spanned b ~pos:0 ~kind ~site:i.i_site
+            ~length:i.i_len;
+          Frame.encode_span b ~pos:Frame.header_bytes
+            Frame.
+              {
+                trace_id = 1L;
+                span_id = 2L;
+                parent_id = 0L;
+                t1_ns = 3L;
+                t2_ns = 4L;
+              }
+        end
+        else Frame.encode_header b ~pos:0 ~kind ~site:i.i_site ~length:i.i_len;
+        Buffer.add_bytes buf b;
+        off)
+      c.b_inners
+  in
+  let region = Buffer.to_bytes buf in
+  let n = Bytes.length region in
+  let region =
+    match c.b_mutation with
+    | 0 -> region
+    | 1 when n > 0 ->
+      let byte = c.b_a mod n in
+      let bit = c.b_b mod 8 in
+      Bytes.set_uint8 region byte
+        (Bytes.get_uint8 region byte lxor (1 lsl bit));
+      region
+    | 2 when n > 0 ->
+      (* Truncate anywhere: mid-header, mid-span-block, mid-payload. *)
+      Bytes.sub region 0 (c.b_a mod n)
+    | 3 ->
+      (* Oversized region: trailing garbage after the last frame. *)
+      let extra = Bytes.make (1 + (c.b_b mod 64)) '\161' in
+      Bytes.cat region extra
+    | 4 when offsets <> [] ->
+      (* Stomp one inner frame's 4-byte length field (negative and
+         beyond-max_payload values included). *)
+      let off = List.nth offsets (c.b_a mod List.length offsets) in
+      Bytes.set_int32_le region (off + 8) (Int32.of_int c.b_b);
+      region
+    | _ -> region
+  in
+  (region, List.length c.b_inners + c.b_delta - 2)
+
+let batch_decode_total c =
+  let region, count = realize_batch c in
+  match Frame.decode_batch region ~count with
+  | Ok frames ->
+    (* Whatever decodes must satisfy the decoder's contract: exactly the
+       announced number of frames, every payload inside the region. *)
+    List.length frames = count
+    && List.for_all
+         (fun (h, _, payload_off) ->
+           h.Frame.length >= 0
+           && h.Frame.length <= Frame.max_payload
+           && payload_off >= 0
+           && payload_off + h.Frame.length <= Bytes.length region)
+         frames
+  | Error _ -> true
+  | exception e ->
+    Printf.eprintf "decode_batch raised %s\n" (Printexc.to_string e);
+    false
+
+let batch_roundtrip c =
+  (* A clean envelope (no mutation, true count, no nested Batch kinds)
+     must decode to exactly what was encoded, spans included. *)
+  let c =
+    {
+      c with
+      b_mutation = 0;
+      b_delta = 2;
+      b_inners =
+        List.map
+          (fun i -> { i with i_kind = i.i_kind mod Array.length kinds })
+          c.b_inners;
+    }
+  in
+  let region, count = realize_batch c in
+  match Frame.decode_batch region ~count with
+  | Error _ | (exception _) -> false
+  | Ok frames ->
+    List.length frames = List.length c.b_inners
+    && List.for_all2
+         (fun i (h, span, _) ->
+           h.Frame.kind = kinds.(i.i_kind mod Array.length kinds)
+           && h.Frame.site = i.i_site
+           && h.Frame.length = i.i_len
+           && h.Frame.has_span = (i.i_span = 1)
+           && (span <> None) = (i.i_span = 1))
+         c.b_inners frames
+
+let batch_cut_typed c =
+  (* Every strict prefix of a clean envelope region is a typed error:
+     Truncated when the cut lands inside a frame (header, span block or
+     payload), Bad_count when it lands exactly on a frame boundary. *)
+  let c =
+    {
+      c with
+      b_mutation = 0;
+      b_delta = 2;
+      b_inners =
+        (match c.b_inners with
+        | [] -> [ { i_kind = 2; i_site = 0; i_len = 8; i_span = 1 } ]
+        | l -> List.map (fun i -> { i with i_kind = i.i_kind mod Array.length kinds }) l);
+    }
+  in
+  let region, count = realize_batch c in
+  let keep = c.b_a mod Bytes.length region in
+  match Frame.decode_batch (Bytes.sub region 0 keep) ~count with
+  | Error (Frame.Truncated _) -> true
+  | Error (Frame.Bad_count { expected; got }) -> expected = count && got < count
+  | Ok _ | Error _ | (exception _) -> false
+
+let batch_nested_rejected c =
+  (* Force at least one nested envelope among the inner frames. *)
+  let c =
+    match c.b_inners with
+    | [] ->
+      {
+        c with
+        b_mutation = 0;
+        b_inners = [ { i_kind = Array.length kinds; i_site = 0; i_len = 0; i_span = 0 } ];
+      }
+    | l ->
+      let nest_at = c.b_a mod List.length l in
+      {
+        c with
+        b_mutation = 0;
+        b_inners =
+          List.mapi
+            (fun j i ->
+              if j = nest_at then { i with i_kind = Array.length kinds }
+              else { i with i_kind = i.i_kind mod Array.length kinds })
+            l;
+      }
+  in
+  let region, _ = realize_batch c in
+  match Frame.decode_batch region ~count:(List.length c.b_inners) with
+  | Error (Frame.Bad_kind 9) -> true
+  | Ok _ | Error _ | (exception _) -> false
+
+(* ------------------------------------------------------------------ *)
 (* Trace_io *)
 
 type trace_case = {
@@ -320,6 +533,21 @@ let () =
           Prop.test_case ~count:200 ~shrink:shrink_frame_case
             ~show:show_frame_case ~name:"cut span block is Truncated"
             gen_frame_case frame_span_prefix_typed;
+        ] );
+      ( "batch",
+        [
+          Prop.test_case ~count:400 ~shrink:shrink_batch_case
+            ~show:show_batch_case ~name:"mutated envelope decode is total"
+            gen_batch_case batch_decode_total;
+          Prop.test_case ~count:200 ~shrink:shrink_batch_case
+            ~show:show_batch_case ~name:"clean envelope roundtrips"
+            gen_batch_case batch_roundtrip;
+          Prop.test_case ~count:200 ~shrink:shrink_batch_case
+            ~show:show_batch_case ~name:"every strict prefix is typed"
+            gen_batch_case batch_cut_typed;
+          Prop.test_case ~count:200 ~shrink:shrink_batch_case
+            ~show:show_batch_case ~name:"nested envelope is Bad_kind"
+            gen_batch_case batch_nested_rejected;
         ] );
       ( "trace_io",
         [

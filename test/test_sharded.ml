@@ -1,0 +1,224 @@
+(* The sharded coordinator merge engine: randomized shard counts and
+   job interleavings must publish exactly the single-domain result for
+   every sketch family (the PR 2 merge laws made executable), and a
+   sharded tracker run — including one under a fault plan — must be
+   bit-identical to the historical single-domain run. *)
+
+module Dc = Wd_protocol.Dc_tracker
+module Sharded = Wd_protocol.Sharded
+module Faults = Wd_net.Faults
+module Simulation = Whats_different.Simulation
+module Stream_gen = Wd_workload.Stream_gen
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level properties, per sketch family *)
+
+(* One randomized workload: a list of jobs, each either a batch of raw
+   items or a pre-built sketch contribution, attributed to a site. *)
+type job = { site : int; items : int list; as_sketch : bool }
+
+let gen_job rng =
+  {
+    site = Prop.int_range 0 63 rng;
+    items = Prop.list ~max_len:40 (Prop.int_range 0 5_000) rng;
+    as_sketch = Prop.int_range 0 1 rng = 1;
+  }
+
+let gen_case rng =
+  let shards = Prop.int_range 1 5 rng in
+  (* Sync points: after which job indices to force a mid-stream publish
+     (exercises idempotent re-merging of still-growing partials). *)
+  let jobs = Prop.list ~min_len:1 ~max_len:60 gen_job rng in
+  let syncs = Prop.list ~max_len:3 (Prop.int_range 0 59 rng |> Fun.const) rng in
+  (shards, jobs, syncs)
+
+let show_job j =
+  Printf.sprintf "{site=%d;%s;items=%s}" j.site
+    (if j.as_sketch then "sketch" else "raw")
+    (Prop.show_list Prop.show_int j.items)
+
+let show_case (shards, jobs, syncs) =
+  Printf.sprintf "shards=%d syncs=%s jobs=%s" shards
+    (Prop.show_list Prop.show_int syncs)
+    (Prop.show_list show_job jobs)
+
+let shrink_case (shards, jobs, syncs) =
+  List.map (fun jobs -> (shards, jobs, syncs)) (Prop.shrink_list (fun _ -> []) jobs)
+  @ (if shards > 1 then [ (shards - 1, jobs, syncs) ] else [])
+  @ if syncs <> [] then [ (shards, jobs, []) ] else []
+
+module Check_family (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
+  module Engine = Sharded.Make (Sketch)
+
+  let family = Sketch.family_of_params ~alpha:0.2 ~delta:0.1 ~seed:5
+
+  (* Feed the same jobs to an engine and read back the published global
+     sketch, honoring the case's mid-stream sync points. *)
+  let publish ~shards (jobs, syncs) =
+    let eng = Engine.create ~shards ~family () in
+    let scratch = Sketch.create family in
+    List.iteri
+      (fun i j ->
+        (if j.as_sketch then begin
+           let sk = Sketch.create family in
+           List.iter (fun v -> ignore (Sketch.add sk v : bool)) j.items;
+           Engine.submit eng ~site:j.site sk
+         end
+         else Engine.submit_items eng ~site:j.site (Array.of_list j.items));
+        if List.mem i syncs then Engine.sync eng ~into:scratch)
+      jobs;
+    let out = Sketch.create family in
+    Engine.sync eng ~into:out;
+    (* Re-syncing after everything drained must change nothing. *)
+    Engine.sync eng ~into:out;
+    Engine.close eng;
+    out
+
+  (* The plain sequential reference: no engine at all. *)
+  let reference jobs =
+    let out = Sketch.create family in
+    List.iter
+      (fun j -> List.iter (fun v -> ignore (Sketch.add out v : bool)) j.items)
+      jobs;
+    out
+
+  let prop (shards, jobs, syncs) =
+    let sharded = publish ~shards (jobs, syncs) in
+    let single = publish ~shards:1 (jobs, syncs) in
+    Sketch.equal sharded single
+    && Sketch.equal sharded (reference jobs)
+    && Sketch.estimate sharded = Sketch.estimate single
+
+  let test_case ~name =
+    Prop.test_case ~count:40 ~shrink:shrink_case ~show:show_case ~name
+      gen_case prop
+end
+
+(* Every DISTINCT_SKETCH family in the repo (the distinct sampler is a
+   different structure, not a mergeable cardinality sketch). *)
+module P_fm = Check_family (Wd_sketch.Fm)
+module P_bjkst = Check_family (Wd_sketch.Bjkst)
+module P_hll = Check_family (Wd_sketch.Hyperloglog)
+
+(* ------------------------------------------------------------------ *)
+(* Engine mechanics *)
+
+module Engine = Sharded.Make (Wd_sketch.Fm)
+
+let fm_family = Wd_sketch.Fm.family_of_params ~alpha:0.2 ~delta:0.1 ~seed:5
+
+let test_engine_counters () =
+  let eng = Engine.create ~shards:3 ~family:fm_family () in
+  Alcotest.(check int) "shards" 3 (Engine.shards eng);
+  for site = 0 to 199 do
+    Engine.submit_items eng ~site [| site; site + 1 |]
+  done;
+  let out = Wd_sketch.Fm.create fm_family in
+  Engine.sync eng ~into:out;
+  Alcotest.(check int) "submitted" 200 (Engine.submitted eng);
+  let merges = Engine.merges_per_shard eng in
+  Alcotest.(check int)
+    "every job merged by someone" 200
+    (Array.fold_left ( + ) 0 merges);
+  Engine.close eng;
+  Alcotest.check_raises "submit after close"
+    (Invalid_argument "Sharded.submit: engine is closed") (fun () ->
+      Engine.submit_items eng ~site:0 [| 1 |])
+
+let test_engine_rejects () =
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Sharded.create: shards must be >= 1") (fun () ->
+      ignore (Engine.create ~shards:0 ~family:fm_family ()));
+  (* A bounded queue far smaller than the job count must not deadlock:
+     submits block until workers drain. *)
+  let eng = Engine.create ~queue_capacity:2 ~shards:2 ~family:fm_family () in
+  for site = 0 to 499 do
+    Engine.submit_items eng ~site [| site |]
+  done;
+  let out = Wd_sketch.Fm.create fm_family in
+  Engine.sync eng ~into:out;
+  Engine.close eng;
+  Alcotest.(check bool)
+    "all items published" true
+    (Wd_sketch.Fm.estimate out > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Tracker-level: a sharded run is the single-domain run *)
+
+let stream =
+  lazy (Stream_gen.zipf ~seed:11 ~sites:4 ~events:20_000 ~universe:6_000 ())
+
+let run ?faults ~shards ~algorithm () =
+  Simulation.run_dc ~seed:7 ?faults ~shards ~algorithm ~theta:0.015
+    ~alpha:0.085 (Lazy.force stream)
+
+let check_identical algorithm (a : Simulation.dc_run) (b : Simulation.dc_run)
+    =
+  let name = Dc.algorithm_to_string algorithm in
+  Alcotest.(check (float 0.0))
+    (name ^ ": estimate")
+    a.Simulation.dc_final_estimate b.Simulation.dc_final_estimate;
+  Alcotest.(check int)
+    (name ^ ": sends")
+    a.Simulation.dc_sends b.Simulation.dc_sends;
+  Alcotest.(check int)
+    (name ^ ": total bytes")
+    a.Simulation.dc_total_bytes b.Simulation.dc_total_bytes;
+  Alcotest.(check bool) (name ^ ": full record") true (a = b)
+
+let test_sharded_run_identical () =
+  List.iter
+    (fun algorithm ->
+      let single = run ~shards:1 ~algorithm () in
+      let sharded = run ~shards:3 ~algorithm () in
+      check_identical algorithm single sharded)
+    Dc.approximate_algorithms
+
+(* The stress case: four worker domains under a drop+crash fault plan.
+   Recovery resyncs and crash-window losses must not perturb the
+   merge-then-publish equality. *)
+let stress_faults () =
+  match Faults.of_spec ~seed:3 "drop=0.05,crash=1:5000:8000" with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let test_sharded_run_identical_under_faults () =
+  List.iter
+    (fun algorithm ->
+      let single = run ~faults:(stress_faults ()) ~shards:1 ~algorithm () in
+      let sharded = run ~faults:(stress_faults ()) ~shards:4 ~algorithm () in
+      Alcotest.(check bool)
+        (Dc.algorithm_to_string algorithm ^ ": faults actually bit")
+        true
+        (single.Simulation.dc_lost_updates > 0
+        || single.Simulation.dc_drops > 0);
+      check_identical algorithm single sharded)
+    Dc.approximate_algorithms
+
+let test_ec_refuses_shards () =
+  match run ~shards:2 ~algorithm:Dc.EC () with
+  | (_ : Simulation.dc_run) -> Alcotest.fail "EC accepted shards > 1"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "sharded"
+    [
+      ( "engine",
+        [
+          P_fm.test_case ~name:"fm: sharded = single-domain";
+          P_bjkst.test_case ~name:"bjkst: sharded = single-domain";
+          P_hll.test_case ~name:"hyperloglog: sharded = single-domain";
+          Alcotest.test_case "counters and close" `Quick test_engine_counters;
+          Alcotest.test_case "bounded queues, bad args" `Quick
+            test_engine_rejects;
+        ] );
+      ( "tracker",
+        [
+          Alcotest.test_case "sharded run = single-domain run" `Quick
+            test_sharded_run_identical;
+          Alcotest.test_case "shards=4 under drop+crash faults" `Quick
+            test_sharded_run_identical_under_faults;
+          Alcotest.test_case "EC refuses sharding" `Quick
+            test_ec_refuses_shards;
+        ] );
+    ]

@@ -9,9 +9,15 @@ module Network = Wd_net.Network
 module Faults = Wd_net.Faults
 module Transport = Wd_net.Transport
 module Socket = Wd_net.Transport_socket
+module Tcp = Wd_net.Transport_tcp
+module Frame_io = Wd_net.Frame_io
 module Dc = Wd_protocol.Dc_tracker
+module Ds = Wd_protocol.Ds_tracker
 module Simulation = Whats_different.Simulation
 module Stream_gen = Wd_workload.Stream_gen
+module Http = Wd_workload.Http_trace
+module Sink = Wd_obs.Sink
+module Event = Wd_obs.Event
 
 (* --- Frame codec --- *)
 
@@ -148,6 +154,122 @@ let test_spanned_roundtrip () =
     Alcotest.failf "wrong error for truncated span: %s"
       (Frame.error_to_string e)
 
+(* --- batch envelopes --- *)
+
+(* Build one complete inner frame (optionally span-stamped) and append
+   it to the envelope's inner region. *)
+let add_inner ?span buf ~kind ~site ~length =
+  (match span with
+  | None ->
+    let f = Bytes.make (Frame.header_bytes + length) '\042' in
+    Frame.encode_header f ~pos:0 ~kind ~site ~length;
+    Buffer.add_bytes buf f
+  | Some span ->
+    let f =
+      Bytes.make (Frame.header_bytes + Frame.span_bytes + length) '\042'
+    in
+    Frame.encode_header_spanned f ~pos:0 ~kind ~site ~length;
+    Frame.encode_span f ~pos:Frame.header_bytes span;
+    Buffer.add_bytes buf f)
+
+let some_span =
+  Frame.
+    {
+      trace_id = 99L;
+      span_id = 3L;
+      parent_id = 0L;
+      t1_ns = 1_722_000_000_000_000_000L;
+      t2_ns = 0L;
+    }
+
+let test_batch_roundtrip () =
+  let buf = Buffer.create 256 in
+  add_inner buf ~kind:Frame.Deliver ~site:0 ~length:10;
+  add_inner buf ~kind:Frame.Deliver ~site:3 ~length:0 ~span:some_span;
+  add_inner buf ~kind:Frame.Deliver ~site:1 ~length:7;
+  let inner = Buffer.to_bytes buf in
+  (* The envelope header itself: site field carries the inner count. *)
+  let env = Bytes.create Frame.header_bytes in
+  Frame.encode_batch_header env ~pos:0 ~count:3 ~length:(Bytes.length inner);
+  (match Frame.decode_header env ~pos:0 with
+  | Ok h ->
+    Alcotest.(check bool) "kind is batch" true (h.Frame.kind = Frame.Batch);
+    Alcotest.(check int) "count in site field" 3 h.Frame.site;
+    Alcotest.(check int) "length is inner region" (Bytes.length inner)
+      h.Frame.length
+  | Error e ->
+    Alcotest.failf "envelope header: %s" (Frame.error_to_string e));
+  match Frame.decode_batch inner ~count:3 with
+  | Error e -> Alcotest.failf "decode_batch: %s" (Frame.error_to_string e)
+  | Ok frames ->
+    Alcotest.(check int) "three inner frames" 3 (List.length frames);
+    let sites = List.map (fun (h, _, _) -> h.Frame.site) frames in
+    Alcotest.(check (list int)) "sites in order" [ 0; 3; 1 ] sites;
+    List.iteri
+      (fun i (h, span, payload_off) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "inner %d is deliver" i)
+          true
+          (h.Frame.kind = Frame.Deliver);
+        (match (i, span) with
+        | 1, Some s ->
+          Alcotest.(check int64) "span carried" 99L s.Frame.trace_id
+        | 1, None -> Alcotest.fail "span block lost in batch"
+        | _, None -> ()
+        | _, Some _ -> Alcotest.failf "inner %d grew a span" i);
+        if h.Frame.length > 0 then
+          Alcotest.(check char)
+            (Printf.sprintf "inner %d payload offset" i)
+            '\042'
+            (Bytes.get inner payload_off))
+      frames
+
+let expect_batch_error name inner ~count pred =
+  match Frame.decode_batch inner ~count with
+  | Ok _ -> Alcotest.failf "%s: decode_batch should fail" name
+  | Error e ->
+    if not (pred e) then
+      Alcotest.failf "%s: wrong error %s" name (Frame.error_to_string e)
+
+let test_batch_rejects () =
+  let buf = Buffer.create 64 in
+  add_inner buf ~kind:Frame.Deliver ~site:0 ~length:10;
+  add_inner buf ~kind:Frame.Deliver ~site:1 ~length:4;
+  let inner = Buffer.to_bytes buf in
+  (* Announced count disagrees with the walked region, both ways. *)
+  expect_batch_error "count too low" inner ~count:1 (function
+    | Frame.Bad_count { expected = 1; got = 2 } -> true
+    | _ -> false);
+  expect_batch_error "count too high" inner ~count:3 (function
+    | Frame.Bad_count { expected = 3; got = 2 } -> true
+    | _ -> false);
+  (* A cut anywhere in the region is a typed Truncated, not a crash. *)
+  for cut = 1 to Bytes.length inner - 1 do
+    expect_batch_error
+      (Printf.sprintf "cut at %d" cut)
+      (Bytes.sub inner 0 cut)
+      ~count:2
+      (function
+        | Frame.Truncated _ -> true
+        | Frame.Bad_count _ -> true (* cut exactly on a frame boundary *)
+        | _ -> false)
+  done;
+  (* Nested envelopes are forbidden. *)
+  let nested = Buffer.create 32 in
+  let env = Bytes.create Frame.header_bytes in
+  Frame.encode_batch_header env ~pos:0 ~count:0 ~length:0;
+  Buffer.add_bytes nested env;
+  expect_batch_error "nested batch" (Buffer.to_bytes nested) ~count:1
+    (function
+      | Frame.Bad_kind 9 -> true
+      | _ -> false);
+  (* A stomped inner length field overruns the region: typed error. *)
+  let stomped = Bytes.copy inner in
+  Bytes.set_int32_le stomped 8 1_000_000l;
+  expect_batch_error "stomped inner length" stomped ~count:2 (function
+    | Frame.Truncated _ -> true
+    | _ -> false)
+
 (* --- equivalence harness --- *)
 
 let sites = 4
@@ -180,9 +302,9 @@ let reap pids =
       | _, _ -> Alcotest.fail "relay exited abnormally")
     pids
 
-let run_dc ?transport ?(faults = Faults.none) () =
-  Simulation.run_dc ~seed:7 ?transport ~faults ~algorithm:Dc.LS ~theta:0.015
-    ~alpha:0.085 (Lazy.force stream)
+let run_dc ?transport ?(faults = Faults.none) ?sink () =
+  Simulation.run_dc ~seed:7 ?transport ~faults ?sink ~algorithm:Dc.LS
+    ~theta:0.015 ~alpha:0.085 (Lazy.force stream)
 
 (* The documented ledger-vs-wire laws, plus the relays' own counters. *)
 let reconcile coord ws net =
@@ -217,16 +339,122 @@ let reconcile coord ws net =
     (sum (fun r -> r.Socket.bytes_sent))
 
 (* One socket-backed dc run; returns the run record and the wire stats. *)
-let socket_run ?faults () =
+let socket_run ?faults ?sink () =
   let path = sock_path () in
   let pids = spawn_relays ~path in
   let coord = Socket.Coordinator.connect ~path ~sites () in
   let transport = Socket.Coordinator.pack coord in
-  let r = run_dc ~transport ?faults () in
+  let r = run_dc ~transport ?faults ?sink () in
   reap pids;
   let ws = Option.get (Transport.wire_stats transport) in
   reconcile coord ws (Transport.ledger transport);
   (r, ws)
+
+(* --- tcp harness --- *)
+
+(* Two relays, two sites each: exercises the multiplexed connection,
+   not just a per-site socket with a different address family. *)
+let default_ranges = [ (0, 2); (2, 2) ]
+
+let spawn_tcp_relays ~port ranges =
+  List.map
+    (fun (first_site, count) ->
+      match Unix.fork () with
+      | 0 ->
+        (try
+           ignore
+             (Tcp.Relay.run ~port ~first_site ~count ()
+               : Frame_io.site_report);
+           Unix._exit 0
+         with _ -> Unix._exit 1)
+      | pid -> pid)
+    ranges
+
+let tcp_coordinator ?(ranges = default_ranges) ~sites () =
+  let pids = ref [] in
+  let coord =
+    Tcp.Coordinator.connect ~timeout:30. ~port:0 ~sites
+      ~on_listening:(fun port -> pids := spawn_tcp_relays ~port ranges)
+      ()
+  in
+  (coord, !pids)
+
+(* The TCP reconciliation laws: the up direction is unchanged from the
+   socket backend, the down direction gains the batch-envelope term. *)
+let reconcile_tcp coord ws net =
+  let extra = Frame.header_bytes - Wire.header_bytes in
+  Alcotest.(check int)
+    "wire bytes up reconcile"
+    (Network.bytes_up net - ws.Transport.skipped_up
+    + (ws.Transport.frames_up * extra))
+    ws.Transport.wire_bytes_up;
+  Alcotest.(check int)
+    "wire bytes down reconcile"
+    (Network.bytes_down net - ws.Transport.skipped_down
+    + (ws.Transport.frames_down * extra))
+    ws.Transport.wire_bytes_down;
+  let reports = Tcp.Coordinator.reports coord in
+  List.iter
+    (fun (first, count, r) ->
+      if r = None then
+        Alcotest.failf "relay %d+%d never reported stats" first count)
+    reports;
+  let sum f =
+    List.fold_left
+      (fun acc (_, _, r) -> acc + Option.fold ~none:0 ~some:f r)
+      0 reports
+  in
+  Alcotest.(check int)
+    "relay bytes received (incl. batch envelopes)"
+    (ws.Transport.wire_bytes_down + ws.Transport.radio_copy_bytes
+   + ws.Transport.control_bytes
+    + (ws.Transport.span_frames_down * Frame.span_bytes)
+    + (ws.Transport.batch_envelopes * Frame.header_bytes))
+    (sum (fun r -> r.Frame_io.bytes_received));
+  Alcotest.(check int)
+    "relay bytes sent"
+    (ws.Transport.wire_bytes_up
+    + (ws.Transport.span_frames_up * Frame.span_bytes))
+    (sum (fun r -> r.Frame_io.bytes_sent));
+  Alcotest.(check int)
+    "relay frames received = batch inner + control"
+    (ws.Transport.batch_inner_frames + ws.Transport.control_frames)
+    (sum (fun r -> r.Frame_io.frames_received));
+  Alcotest.(check bool) "deliveries actually batched" true
+    (ws.Transport.batch_envelopes > 0
+    && ws.Transport.batch_inner_frames >= ws.Transport.batch_envelopes)
+
+(* One tcp-backed dc run over two multiplexed relay processes. *)
+let tcp_run ?faults ?sink () =
+  let coord, pids = tcp_coordinator ~sites () in
+  let transport = Tcp.Coordinator.pack coord in
+  let r = run_dc ~transport ?faults ?sink () in
+  reap pids;
+  let ws = Option.get (Transport.wire_stats transport) in
+  reconcile_tcp coord ws (Transport.ledger transport);
+  (r, ws)
+
+(* --- logical traces --- *)
+
+(* The strongest equivalence check: the full protocol-decision and
+   ledger event trace, event for event.  Span events are off (they
+   carry wall clocks) and everything else — including Run_meta, whose
+   run id is seed-derived — must be bit-identical across backends. *)
+let trace_capacity = 300_000
+
+let check_traces_equal label (a : Event.t list) (b : Event.t list) =
+  Alcotest.(check int)
+    (label ^ ": trace length")
+    (List.length a) (List.length b);
+  List.iteri
+    (fun i (ea, eb) ->
+      if ea <> eb then
+        Alcotest.failf "%s: traces diverge at event %d (%s vs %s, time %d/%d)"
+          label i
+          (Event.kind_name ea.Event.kind)
+          (Event.kind_name eb.Event.kind)
+          ea.Event.time eb.Event.time)
+    (List.combine a b)
 
 let check_runs_equal (a : Simulation.dc_run) (b : Simulation.dc_run) =
   Alcotest.(check (float 0.0))
@@ -256,6 +484,27 @@ let test_sim_socket_equivalence () =
   Alcotest.(check bool) "frames actually crossed the wire" true
     (ws.Transport.frames_up > 0 && ws.Transport.frames_down > 0)
 
+(* The three-way battery, DC cell: the same fixed-seed run through the
+   simulator, the per-site socket backend and the multiplexed tcp
+   backend must produce identical run records AND identical logical
+   event traces. *)
+let test_three_way_dc_equivalence () =
+  let ring_sim = Sink.ring ~capacity:trace_capacity in
+  let r_sim = run_dc ~sink:ring_sim () in
+  let ring_sock = Sink.ring ~capacity:trace_capacity in
+  let r_sock, _ = socket_run ~sink:ring_sock () in
+  let ring_tcp = Sink.ring ~capacity:trace_capacity in
+  let r_tcp, ws = tcp_run ~sink:ring_tcp () in
+  check_runs_equal r_sim r_sock;
+  check_runs_equal r_sim r_tcp;
+  let t_sim = Sink.ring_contents ring_sim in
+  check_traces_equal "sim=socket" t_sim (Sink.ring_contents ring_sock);
+  check_traces_equal "sim=tcp" t_sim (Sink.ring_contents ring_tcp);
+  Alcotest.(check bool) "trace non-trivial" true (List.length t_sim > 100);
+  Alcotest.(check int) "no reconnects" 0 ws.Transport.reconnects;
+  Alcotest.(check bool) "tcp actually carried frames" true
+    (ws.Transport.frames_up > 0 && ws.Transport.frames_down > 0)
+
 let crash_faults () =
   (* A fresh plan per run: plans carry generator state, so sharing one
      across two runs would break the fixed-seed equivalence. *)
@@ -272,6 +521,109 @@ let test_crash_reconnect_equivalence () =
   Alcotest.(check bool) "site reconnected" true (ws.Transport.reconnects >= 1);
   Alcotest.(check bool) "crash-window charges skipped on the wire" true
     (ws.Transport.skipped_up + ws.Transport.skipped_down >= 0)
+
+(* Crash windows over tcp are logical detaches on a shared connection;
+   the skipped/reconnect accounting must still match both the simulator
+   and the socket backend's real disconnections, frame for frame. *)
+let test_tcp_crash_reconnect_equivalence () =
+  let r_sim = run_dc ~faults:(crash_faults ()) () in
+  let r_sock, ws_sock = socket_run ~faults:(crash_faults ()) () in
+  let r_tcp, ws_tcp = tcp_run ~faults:(crash_faults ()) () in
+  check_runs_equal r_sim r_tcp;
+  check_runs_equal r_sock r_tcp;
+  Alcotest.(check bool) "run actually lost updates" true
+    (r_tcp.Simulation.dc_lost_updates > 0);
+  Alcotest.(check bool) "crashed site detached and reattached" true
+    (ws_tcp.Transport.reconnects >= 1);
+  Alcotest.(check int) "same reconnect count as socket"
+    ws_sock.Transport.reconnects ws_tcp.Transport.reconnects;
+  Alcotest.(check int) "same skipped charges as socket"
+    (ws_sock.Transport.skipped_up + ws_sock.Transport.skipped_down)
+    (ws_tcp.Transport.skipped_up + ws_tcp.Transport.skipped_down)
+
+(* --- three-way battery: DS and HH cells --- *)
+
+let run_ds ?transport () =
+  Simulation.run_ds ~seed:7 ?transport ~algorithm:Ds.GCS ~theta:0.25
+    ~threshold:256 (Lazy.force stream)
+
+let with_socket_transport ~sites f =
+  let path = sock_path () in
+  let pids =
+    List.init sites (fun site ->
+        match Unix.fork () with
+        | 0 ->
+          (try
+             ignore (Socket.Site.run ~path ~site () : Socket.site_report);
+             Unix._exit 0
+           with _ -> Unix._exit 1)
+        | pid -> pid)
+  in
+  let transport =
+    Socket.Coordinator.pack (Socket.Coordinator.connect ~path ~sites ())
+  in
+  let r = f transport in
+  reap pids;
+  r
+
+let with_tcp_transport ~sites f =
+  (* One relay per two sites (odd trailing range of one). *)
+  let ranges =
+    let rec go first acc =
+      if first >= sites then List.rev acc
+      else
+        let count = min 2 (sites - first) in
+        go (first + count) ((first, count) :: acc)
+    in
+    go 0 []
+  in
+  let coord, pids = tcp_coordinator ~ranges ~sites () in
+  let transport = Tcp.Coordinator.pack coord in
+  let r = f transport in
+  reap pids;
+  let ws = Option.get (Transport.wire_stats transport) in
+  reconcile_tcp coord ws (Transport.ledger transport);
+  r
+
+let test_three_way_ds_equivalence () =
+  let r_sim = run_ds () in
+  let r_sock =
+    with_socket_transport ~sites (fun transport -> run_ds ~transport ())
+  in
+  let r_tcp =
+    with_tcp_transport ~sites (fun transport -> run_ds ~transport ())
+  in
+  Alcotest.(check bool) "ds paid communication" true
+    (r_sim.Simulation.ds_total_bytes > 0);
+  Alcotest.(check bool) "sim = socket (full ds record)" true (r_sim = r_sock);
+  Alcotest.(check bool) "sim = tcp (full ds record)" true (r_sim = r_tcp)
+
+let hh_inputs =
+  lazy
+    (let cfg = { Http.default with Http.requests = 5_000 } in
+     let p = Simulation.pair_stream_of_requests cfg Http.Per_region (Http.generate cfg) in
+     (p, Simulation.pair_stream_sites p))
+
+let run_hh ?transport () =
+  let p, _ = Lazy.force hh_inputs in
+  Simulation.run_hh ~seed:7 ?transport ~algorithm:Dc.LS ~theta:0.2
+    ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 128; bitmaps = 10 }
+    p
+
+let test_three_way_hh_equivalence () =
+  let _, hh_sites = Lazy.force hh_inputs in
+  let r_sim = run_hh () in
+  let r_sock =
+    with_socket_transport ~sites:hh_sites (fun transport ->
+        run_hh ~transport ())
+  in
+  let r_tcp =
+    with_tcp_transport ~sites:hh_sites (fun transport -> run_hh ~transport ())
+  in
+  Alcotest.(check bool) "hh paid communication" true
+    (r_sim.Simulation.hh_total_bytes > 0);
+  Alcotest.(check bool) "sim = socket (full hh record)" true (r_sim = r_sock);
+  Alcotest.(check bool) "sim = tcp (full hh record)" true (r_sim = r_tcp)
 
 (* --- handshake rejection --- *)
 
@@ -348,6 +700,58 @@ let test_version_mismatch_rejected () =
       | _, _ -> Alcotest.failf "%s exited abnormally" name)
     [ ("bad-version client", bad_pid); ("relay", good_pid) ]
 
+(* Same check over TCP: a wrong version byte in the ranged Hello must
+   draw a typed Reject and must not count toward the site quorum. *)
+let tcp_bad_version_client port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec connect () =
+    try Unix.connect fd addr
+    with
+    | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET), _, _)
+      when Unix.gettimeofday () < deadline
+      ->
+      Unix.sleepf 0.02;
+      connect ()
+  in
+  connect ();
+  let hello = Bytes.create (Frame.header_bytes + 4) in
+  Frame.encode_header hello ~pos:0 ~kind:Frame.Hello ~site:0 ~length:4;
+  Bytes.set_int32_le hello Frame.header_bytes 1l;
+  Bytes.set_uint8 hello 2 (Frame.version + 1);
+  ignore (Unix.write fd hello 0 (Bytes.length hello));
+  let resp = Bytes.create Frame.header_bytes in
+  read_exact fd resp;
+  let ok =
+    match Frame.decode_header resp ~pos:0 with
+    | Ok { Frame.kind = Frame.Reject; _ } -> true
+    | _ -> false
+  in
+  Unix.close fd;
+  ok
+
+let test_tcp_version_mismatch_rejected () =
+  let bad_pid = ref None in
+  let good_pids = ref [] in
+  let coord =
+    Tcp.Coordinator.connect ~port:0 ~sites:1
+      ~on_listening:(fun port ->
+        (bad_pid :=
+           match Unix.fork () with
+           | 0 -> (
+             try Unix._exit (if tcp_bad_version_client port then 0 else 1)
+             with _ -> Unix._exit 1)
+           | pid -> Some pid);
+        good_pids := spawn_tcp_relays ~port [ (0, 1) ])
+      ()
+  in
+  Transport.close (Tcp.Coordinator.pack coord);
+  reap !good_pids;
+  match Unix.waitpid [] (Option.get !bad_pid) with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "bad-version tcp client was not rejected"
+
 (* Regression: a coordinator waiting on a site that never connects must
    fail with the documented [Failure] naming the missing sites once the
    timeout expires — it used to leak the raw [Unix_error EAGAIN] from
@@ -362,7 +766,7 @@ let test_coordinator_times_out_cleanly () =
         | 0 ->
           (try
              ignore
-               (Socket.Site.run ~connect_attempts:40 ~path ~site ()
+               (Socket.Site.run ~connect_timeout:2. ~path ~site ()
                  : Socket.site_report);
              Unix._exit 0
            with _ -> Unix._exit 0)
@@ -405,6 +809,8 @@ let () =
           Alcotest.test_case "header rejects" `Quick test_header_rejects;
           Alcotest.test_case "legacy v1 decodes" `Quick test_legacy_v1_decodes;
           Alcotest.test_case "spanned roundtrip" `Quick test_spanned_roundtrip;
+          Alcotest.test_case "batch roundtrip" `Quick test_batch_roundtrip;
+          Alcotest.test_case "batch rejects" `Quick test_batch_rejects;
         ] );
       ( "socket",
         [
@@ -416,5 +822,18 @@ let () =
             test_version_mismatch_rejected;
           Alcotest.test_case "coordinator times out cleanly" `Quick
             test_coordinator_times_out_cleanly;
+        ] );
+      ( "three-way",
+        [
+          Alcotest.test_case "dc: sim = socket = tcp (traces)" `Quick
+            test_three_way_dc_equivalence;
+          Alcotest.test_case "ds: sim = socket = tcp" `Quick
+            test_three_way_ds_equivalence;
+          Alcotest.test_case "hh: sim = socket = tcp" `Quick
+            test_three_way_hh_equivalence;
+          Alcotest.test_case "tcp crash windows detach and reattach" `Quick
+            test_tcp_crash_reconnect_equivalence;
+          Alcotest.test_case "tcp version mismatch rejected" `Quick
+            test_tcp_version_mismatch_rejected;
         ] );
     ]
