@@ -12,16 +12,20 @@
      dune exec bench/main.exe -- --list       # available experiment ids
      dune exec bench/main.exe -- --no-throughput
 
-   CI gate:
+   CI gates:
      dune exec bench/main.exe -- --assert-overhead [--baseline BENCH_PR3.json]
        runs only the observability overhead checks (null-sink guard
        budget, and the disabled-span batch hot path vs the committed
-       baseline) and exits nonzero when either exceeds its 5% budget. *)
+       baseline) and exits nonzero when either exceeds its 5% budget.
+     dune exec bench/main.exe -- --assert-concentrated [--baseline ...]
+       asserts the concentrated-hashing FM family's batched per-update
+       cost beats the committed averaged-FM throughput row. *)
 
 module Experiments = Whats_different.Experiments
 module Report = Whats_different.Report
 module Rng = Wd_hashing.Rng
 module Fm = Wd_sketch.Fm
+module Fmc = Wd_sketch.Fm_concentrated
 module Sampler = Wd_sketch.Distinct_sampler
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
@@ -105,6 +109,15 @@ let throughput_tests () =
     Test.make ~name:"bjkst-add(k=1024)"
       (Staged.stage (fun () -> ignore (Wd_sketch.Bjkst.add sk (next ()) : bool)))
   in
+  let fmc =
+    (* Sized for the same (0.1, 0.1) guarantee the eval grid's default
+       cells use; one mixed-tabulation hash per add regardless of m. *)
+    let fam = Fmc.family_of_params ~alpha:0.1 ~delta:0.1 ~seed:9 in
+    let sk = Fmc.create fam in
+    let next = cyclic items in
+    Test.make ~name:(Printf.sprintf "fmc-add(m=%d)" (Fmc.buckets fam))
+      (Staged.stage (fun () -> ignore (Fmc.add sk (next ()) : bool)))
+  in
   let sampler =
     let fam = Sampler.family ~rng:(Rng.create 5) ~threshold:1_000 in
     let s = Sampler.create fam in
@@ -162,6 +175,37 @@ let throughput_tests () =
     Test.make ~name:"bjkst-add_batch(k=1024)"
       (Staged.stage (fun () -> Wd_sketch.Bjkst.add_batch sk (next ())))
   in
+  let fmc_batch =
+    let fam = Fmc.family_of_params ~alpha:0.1 ~delta:0.1 ~seed:9 in
+    let sk = Fmc.create fam in
+    let next = cyclic_chunks items in
+    Test.make ~name:(Printf.sprintf "fmc-add_batch(m=%d)" (Fmc.buckets fam))
+      (Staged.stage (fun () -> Fmc.add_batch sk (next ())))
+  in
+  (* Estimate cost, classic vs MLE, on fully loaded sketches: the MLE
+     pays a short Newton/bisection loop per call and must stay cheap
+     enough for the trackers' per-send refresh. *)
+  let fmc_estimate est label =
+    let fam =
+      Fmc.with_estimator est (Fmc.family_of_params ~alpha:0.1 ~delta:0.1 ~seed:9)
+    in
+    let sk = Fmc.create fam in
+    Fmc.add_batch sk items;
+    Test.make ~name:(Printf.sprintf "fmc-estimate(%s)" label)
+      (Staged.stage (fun () -> ignore (Fmc.estimate sk : float)))
+  in
+  let hll_estimate est label =
+    let fam =
+      Wd_sketch.Hyperloglog.with_estimator est
+        (Wd_sketch.Hyperloglog.family_custom ~rng:(Rng.create 3)
+           ~registers:1024)
+    in
+    let sk = Wd_sketch.Hyperloglog.create fam in
+    Wd_sketch.Hyperloglog.add_batch sk items;
+    Test.make ~name:(Printf.sprintf "hll-estimate(%s,m=1024)" label)
+      (Staged.stage (fun () ->
+           ignore (Wd_sketch.Hyperloglog.estimate sk : float)))
+  in
   let sampler_batch =
     let fam = Sampler.family ~rng:(Rng.create 5) ~threshold:1_000 in
     let s = Sampler.create fam in
@@ -198,17 +242,23 @@ let throughput_tests () =
     [
       fm_stochastic;
       fm_averaged;
+      fmc;
       hll;
       bjkst;
       sampler;
       dc_observe;
       ds_observe;
       fm_stochastic_batch;
+      fmc_batch;
       hll_batch;
       bjkst_batch;
       sampler_batch;
       dc_observe_batch;
       ds_observe_batch;
+      fmc_estimate Wd_sketch.Sketch_intf.Classic "classic";
+      fmc_estimate Wd_sketch.Sketch_intf.Mle "mle";
+      hll_estimate Wd_sketch.Sketch_intf.Classic "classic";
+      hll_estimate Wd_sketch.Sketch_intf.Mle "mle";
     ]
 
 (* Runs one Bechamel group and returns raw [(name, ns_per_call)] rows —
@@ -326,6 +376,54 @@ let run_bytes ~scale =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Serialized sketch size at equal (alpha, delta): what each broadcast
+   of the DC protocols pays per site, the concrete bytes win of the
+   concentrated-hashing family over the averaged-FM repetitions. *)
+
+type sketch_bytes_row = {
+  k_alpha : float;
+  k_delta : float;
+  k_fm_bytes : int;
+  k_fmc_bytes : int;
+}
+
+let run_sketch_bytes () =
+  Report.print_section
+    "sketch bytes: serialized size at equal (alpha, delta), averaged FM vs concentrated FM";
+  let delta = 0.1 in
+  let rows =
+    List.map
+      (fun alpha ->
+        let size (module S : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) =
+          S.size_bytes (S.of_params ~alpha ~delta ~seed:9)
+        in
+        {
+          k_alpha = alpha;
+          k_delta = delta;
+          k_fm_bytes = size (module Fm);
+          k_fmc_bytes = size (module Fmc);
+        })
+      [ 0.05; 0.1; 0.2 ]
+  in
+  Report.print_table
+    ~header:[ "alpha"; "delta"; "fm bytes"; "fmc bytes"; "fmc/fm" ]
+    (List.map
+       (fun r ->
+         Report.
+           [
+             F r.k_alpha;
+             F r.k_delta;
+             I r.k_fm_bytes;
+             I r.k_fmc_bytes;
+             S
+               (Printf.sprintf "%.2fx"
+                  (Float.of_int r.k_fmc_bytes /. Float.of_int r.k_fm_bytes));
+           ])
+       rows);
+  print_newline ();
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Site-count scaling: end-to-end LS tracking at k = 10 / 100 / 1000
    sites on one seeded stream, plus the sharded coordinator at k = 1000
    with 1 vs 4 worker domains.  The shard comparison is only meaningful
@@ -405,7 +503,7 @@ let run_scaling ~scale =
 
 module Json = Wd_obs.Json
 
-let json_of_results ~scale ~throughput ~bytes ~scaling =
+let json_of_results ~scale ~throughput ~bytes ~scaling ~sketch_bytes =
   let fields = [ ("schema", Json.Str "wd-bench/1"); ("scale", Json.Float scale) ] in
   let fields =
     match throughput with
@@ -450,6 +548,26 @@ let json_of_results ~scale ~throughput ~bytes ~scaling =
         ]
   in
   let fields =
+    match sketch_bytes with
+    | None -> fields
+    | Some rows ->
+      fields
+      @ [
+          ( "sketch_bytes",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [
+                       ("alpha", Json.Float r.k_alpha);
+                       ("delta", Json.Float r.k_delta);
+                       ("fm_bytes", Json.Int r.k_fm_bytes);
+                       ("fmc_bytes", Json.Int r.k_fmc_bytes);
+                     ])
+                 rows) );
+        ]
+  in
+  let fields =
     match scaling with
     | None -> fields
     | Some rows ->
@@ -476,10 +594,11 @@ let json_of_results ~scale ~throughput ~bytes ~scaling =
   in
   Json.Obj fields
 
-let write_json path ~scale ~throughput ~bytes ~scaling =
+let write_json path ~scale ~throughput ~bytes ~scaling ~sketch_bytes =
   let oc = open_out path in
   output_string oc
-    (Json.to_string (json_of_results ~scale ~throughput ~bytes ~scaling));
+    (Json.to_string
+       (json_of_results ~scale ~throughput ~bytes ~scaling ~sketch_bytes));
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -782,6 +901,91 @@ let run_assert_overhead ~baseline =
     !ok
 
 (* ------------------------------------------------------------------ *)
+(* --assert-concentrated: the tentpole's perf claim as a CI gate.  The
+   concentrated-hashing FM family pays one mixed-tabulation hash per
+   update where the averaged FM family pays one weak hash and one bitmap
+   update per repetition, so its batched per-update cost must land below
+   the committed averaged-FM throughput baseline — not merely within a
+   slack band of it. *)
+
+(* The ns/update of one exactly-named throughput row of a committed
+   wd-bench/1 file. *)
+let baseline_throughput_row path ~name:wanted =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s -> (
+    match Json.of_string s with
+    | Error e -> Error e
+    | Ok j -> (
+      match Json.member "throughput" j with
+      | Some (Json.List rows) -> (
+        let found =
+          List.find_map
+            (fun row ->
+              match
+                ( Option.bind (Json.member "name" row) Json.to_str,
+                  Option.bind (Json.member "ns_per_update" row) Json.to_float
+                )
+              with
+              | Some name, Some ns when contains name wanted -> Some ns
+              | _ -> None)
+            rows
+        in
+        match found with
+        | Some ns -> Ok ns
+        | None -> Error (Printf.sprintf "no %S row in baseline" wanted))
+      | _ -> Error "no \"throughput\" rows in baseline"))
+
+let concentrated_gate_tests () =
+  let open Bechamel in
+  let items = zipf_items 65_536 in
+  let fam = Fmc.family_of_params ~alpha:0.1 ~delta:0.1 ~seed:9 in
+  let sk = Fmc.create fam in
+  let next = cyclic_chunks items in
+  Test.make_grouped ~name:"concentrated"
+    [
+      Test.make ~name:"fmc-add_batch(gate)"
+        (Staged.stage (fun () -> Fmc.add_batch sk (next ())));
+    ]
+
+let averaged_fm_row = "fm-add(averaged,m=10)"
+
+let run_assert_concentrated ~baseline =
+  Report.print_section
+    (Printf.sprintf
+       "--assert-concentrated: fmc-add_batch ns/update vs the committed %s row of %s"
+       averaged_fm_row baseline);
+  match baseline_throughput_row baseline ~name:averaged_fm_row with
+  | Error e ->
+    Printf.eprintf "cannot load baseline %s: %s\n" baseline e;
+    false
+  | Ok base_ns ->
+    (* Same noise discipline as --assert-overhead: discard one warm-up
+       round, judge the best of three estimates. *)
+    ignore (measure_ols (concentrated_gate_tests ()) : (string * float) list);
+    let best = ref Float.infinity in
+    for _ = 1 to 3 do
+      List.iter
+        (fun (_, ns) -> best := Float.min !best (ns /. Float.of_int batch_chunk))
+        (measure_ols (concentrated_gate_tests ()))
+    done;
+    let measured = !best in
+    let ok = Float.is_finite measured && measured < base_ns in
+    Report.print_table
+      ~header:[ "case"; "baseline ns"; "best-of-3 ns"; "verdict" ]
+      [
+        Report.
+          [
+            S "fmc-add_batch vs averaged fm-add";
+            F base_ns;
+            F measured;
+            S (if ok then "FASTER" else "NOT FASTER");
+          ];
+      ];
+    print_newline ();
+    ok
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let write_csv dir (t : Experiments.table) =
@@ -800,6 +1004,7 @@ let () =
   let csv_dir = ref None in
   let json_path = ref None in
   let assert_overhead = ref false in
+  let assert_concentrated = ref false in
   let baseline = ref "BENCH_PR3.json" in
   let selected = ref [] in
   let rec parse = function
@@ -819,13 +1024,16 @@ let () =
     | "--assert-overhead" :: rest ->
       assert_overhead := true;
       parse rest
+    | "--assert-concentrated" :: rest ->
+      assert_concentrated := true;
+      parse rest
     | "--baseline" :: path :: rest ->
       baseline := path;
       parse rest
     | "--list" :: _ ->
       List.iter print_endline
-        ("throughput" :: "bytes" :: "scaling" :: "sink-overhead"
-       :: "span-overhead" :: Experiments.ids);
+        ("throughput" :: "bytes" :: "scaling" :: "sketch-bytes"
+       :: "sink-overhead" :: "span-overhead" :: Experiments.ids);
       exit 0
     | id :: rest ->
       selected := id :: !selected;
@@ -840,22 +1048,29 @@ let () =
   let throughput_rows = ref None in
   let bytes_rows = ref None in
   let scaling_rows = ref None in
+  let sketch_bytes_rows = ref None in
   let do_throughput () = throughput_rows := Some (run_throughput ()) in
   let do_bytes () = bytes_rows := Some (run_bytes ~scale:!scale) in
   let do_scaling () = scaling_rows := Some (run_scaling ~scale:!scale) in
+  let do_sketch_bytes () = sketch_bytes_rows := Some (run_sketch_bytes ()) in
   let selected = List.rev !selected in
   let t0 = Unix.gettimeofday () in
   let gate_ok = ref true in
-  let run_gate () =
-    let sink_ok = run_sink_overhead () in
-    let span_ok = run_assert_overhead ~baseline:!baseline in
-    if not (sink_ok && span_ok) then gate_ok := false
+  let run_gates () =
+    if !assert_overhead then begin
+      let sink_ok = run_sink_overhead () in
+      let span_ok = run_assert_overhead ~baseline:!baseline in
+      if not (sink_ok && span_ok) then gate_ok := false
+    end;
+    if !assert_concentrated then
+      if not (run_assert_concentrated ~baseline:!baseline) then
+        gate_ok := false
   in
   (match selected with
-  | [] when !assert_overhead ->
-    (* Gate-only mode (the CI bench step): skip the figure
-       reproduction, just price the observability overheads. *)
-    run_gate ()
+  | [] when !assert_overhead || !assert_concentrated ->
+    (* Gate-only mode (the CI bench steps): skip the figure
+       reproduction, just run the requested assertions. *)
+    run_gates ()
   | [] ->
     Printf.printf
       "Reproducing all figures of 'What's Different' (ICDE 2006) at scale %g\n"
@@ -865,6 +1080,7 @@ let () =
       do_throughput ();
       do_bytes ();
       do_scaling ();
+      do_sketch_bytes ();
       ignore (run_sink_overhead () : bool);
       run_span_overhead ())
   | ids ->
@@ -873,6 +1089,7 @@ let () =
         if id = "throughput" then do_throughput ()
         else if id = "bytes" then do_bytes ()
         else if id = "scaling" then do_scaling ()
+        else if id = "sketch-bytes" then do_sketch_bytes ()
         else if id = "sink-overhead" then ignore (run_sink_overhead () : bool)
         else if id = "span-overhead" then run_span_overhead ()
         else
@@ -882,11 +1099,12 @@ let () =
             Printf.eprintf "unknown experiment %S (try --list)\n" id;
             exit 1)
       ids;
-    if !assert_overhead then run_gate ());
+    run_gates ());
   Option.iter
     (fun path ->
       write_json path ~scale:!scale ~throughput:!throughput_rows
-        ~bytes:!bytes_rows ~scaling:!scaling_rows)
+        ~bytes:!bytes_rows ~scaling:!scaling_rows
+        ~sketch_bytes:!sketch_bytes_rows)
     !json_path;
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
   if not !gate_ok then (

@@ -18,6 +18,12 @@ module Event = Wd_obs.Event
 
 module Dc_bjkst = Sim.Make_dc (Wd_sketch.Bjkst)
 module Dc_hll = Sim.Make_dc (Wd_sketch.Hyperloglog)
+module Dc_fmc = Sim.Make_dc (Wd_sketch.Fm_concentrated)
+
+let sketch_estimator (cell : Spec.cell) =
+  match cell.estimator with
+  | Spec.Classic -> Wd_sketch.Sketch_intf.Classic
+  | Spec.Mle -> Wd_sketch.Sketch_intf.Mle
 
 type config = {
   reps : int;
@@ -86,6 +92,7 @@ let sketch_wire_bytes (cell : Spec.cell) ~seed (stream : Stream.t) =
   | Spec.Fm -> measure (module Wd_sketch.Fm)
   | Spec.Bjkst -> measure (module Wd_sketch.Bjkst)
   | Spec.Hll -> measure (module Wd_sketch.Hyperloglog)
+  | Spec.Fmc -> measure (module Wd_sketch.Fm_concentrated)
 
 (* Run [f transport] with one forked relay process per site, wdmon
    coord --spawn style: children serve frames until the run closes the
@@ -170,19 +177,33 @@ let dc_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
   let algorithm =
     match cell.protocol with Spec.Dc a -> a | _ -> assert false
   in
+  let est = sketch_estimator cell in
   let run =
     match cell.sketch with
     | Spec.Fm ->
       Sim.Dc_fm.run ?transport ?sink ?spans ~seed ~faults
-        ~family:(Wd_sketch.Fm.family_of_params ~alpha:acc ~delta ~seed)
+        ~family:
+          (Wd_sketch.Fm.with_estimator est
+             (Wd_sketch.Fm.family_of_params ~alpha:acc ~delta ~seed))
         ~algorithm ~theta ~alpha:acc stream
     | Spec.Bjkst ->
       Dc_bjkst.run ?transport ?sink ?spans ~seed ~faults
-        ~family:(Wd_sketch.Bjkst.family_of_params ~alpha:acc ~delta ~seed)
+        ~family:
+          (Wd_sketch.Bjkst.with_estimator est
+             (Wd_sketch.Bjkst.family_of_params ~alpha:acc ~delta ~seed))
         ~algorithm ~theta ~alpha:acc stream
     | Spec.Hll ->
       Dc_hll.run ?transport ?sink ?spans ~seed ~faults
-        ~family:(Wd_sketch.Hyperloglog.family_of_params ~alpha:acc ~delta ~seed)
+        ~family:
+          (Wd_sketch.Hyperloglog.with_estimator est
+             (Wd_sketch.Hyperloglog.family_of_params ~alpha:acc ~delta ~seed))
+        ~algorithm ~theta ~alpha:acc stream
+    | Spec.Fmc ->
+      Dc_fmc.run ?transport ?sink ?spans ~seed ~faults
+        ~family:
+          (Wd_sketch.Fm_concentrated.with_estimator est
+             (Wd_sketch.Fm_concentrated.family_of_params ~alpha:acc ~delta
+                ~seed))
         ~algorithm ~theta ~alpha:acc stream
   in
   let truth = max 1 run.Sim.dc_final_truth in
@@ -413,7 +434,7 @@ let run_cell cfg (cell : Spec.cell) =
       Artifact.id;
       family = Spec.protocol_family cell.protocol;
       algorithm = Spec.protocol_algorithm cell.protocol;
-      sketch = Spec.sketch_to_string cell.sketch;
+      sketch = Spec.sketch_label cell;
       alpha = cell.alpha;
       delta = cell.delta;
       sites = cell.sites;

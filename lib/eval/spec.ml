@@ -4,10 +4,19 @@ module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
 module W = Wd_protocol.Window_tracker
 
-type sketch = Fm | Bjkst | Hll
+type sketch = Fm | Bjkst | Hll | Fmc
 
-let sketch_to_string = function Fm -> "fm" | Bjkst -> "bjkst" | Hll -> "hll"
+let sketch_to_string = function
+  | Fm -> "fm"
+  | Bjkst -> "bjkst"
+  | Hll -> "hll"
+  | Fmc -> "fmc"
+
 let all_sketches = [ Fm; Bjkst; Hll ]
+
+type estimator = Classic | Mle
+
+let estimator_to_string = function Classic -> "classic" | Mle -> "mle"
 
 type workload = Zipf | Two_phase | Http_trace
 
@@ -47,6 +56,9 @@ type cell = {
       (* which mergeable distinct sketch backs the trackers; only the
          sketch-based protocols consult it (grids collapse the axis for
          EC/EDS, whose estimators carry no sketch) *)
+  estimator : estimator;
+      (* Classic bias-corrected estimates or the Clifford–Cosma MLE;
+         consulted by the same protocols as [sketch] *)
   alpha : float;  (* total relative-error budget (the paper's epsilon) *)
   delta : float;  (* failure probability; confidence is 1 - delta *)
   theta_frac : float;  (* lag share: theta = theta_frac * alpha *)
@@ -63,12 +75,19 @@ let theta cell = cell.theta_frac *. cell.alpha
 (* Sketch accuracy left after the lag share of the budget. *)
 let sketch_alpha cell = cell.alpha -. theta cell
 
+(* Classic cells keep the pre-estimator-axis labels so committed
+   baselines stay joinable; Mle tags the sketch component. *)
+let sketch_label cell =
+  match cell.estimator with
+  | Classic -> sketch_to_string cell.sketch
+  | Mle -> sketch_to_string cell.sketch ^ "+mle"
+
 let id cell =
   String.concat "-"
     ([
        protocol_family cell.protocol;
        protocol_algorithm cell.protocol;
-       sketch_to_string cell.sketch;
+       sketch_label cell;
        Printf.sprintf "a%g" cell.alpha;
        Printf.sprintf "k%d" cell.sites;
        workload_to_string cell.workload;
@@ -77,12 +96,13 @@ let id cell =
      ]
     @ match cell.faults with None -> [] | Some f -> [ "faults:" ^ f ])
 
-let base ?(sketch = Fm) ?(alpha = 0.1) ?(delta = 0.1) ?(theta_frac = 0.3)
-    ?(sites = 4) ?(events = 120_000) ?(dup = 3.0) ?(workload = Zipf)
-    ?(transport = Sim) ?faults protocol =
+let base ?(sketch = Fm) ?(estimator = Classic) ?(alpha = 0.1) ?(delta = 0.1)
+    ?(theta_frac = 0.3) ?(sites = 4) ?(events = 120_000) ?(dup = 3.0)
+    ?(workload = Zipf) ?(transport = Sim) ?faults protocol =
   {
     protocol;
     sketch;
+    estimator;
     alpha;
     delta;
     theta_frac;
@@ -96,19 +116,29 @@ let base ?(sketch = Fm) ?(alpha = 0.1) ?(delta = 0.1) ?(theta_frac = 0.3)
 
 let small_alphas = [ 0.05; 0.1; 0.2 ]
 
-(* The acceptance grid: EC/EDS/DC/DS x {FM, BJKST, HLL} x alpha.  The
-   sketch axis collapses for the exact baselines (EC counts items and
-   EDS forwards updates — no sketch to vary) and for the sampler-based
-   DS protocol, so those run once per alpha; DC (represented by LS, the
-   paper's winner) spans the full sketch axis.  One Unix-socket smoke
-   cell and one multiplexed-TCP smoke cell ride along so both wire
-   paths are exercised by every eval run. *)
+(* The acceptance grid: EC/EDS/DC/DS x {FM, BJKST, HLL, FMC} x alpha x
+   estimator.  The sketch axis collapses for the exact baselines (EC
+   counts items and EDS forwards updates — no sketch to vary) and for
+   the sampler-based DS protocol, so those run once per alpha; DC
+   (represented by LS, the paper's winner) spans the full sketch axis.
+   The concentrated-hashing FM family runs at every alpha, and the MLE
+   estimator rides along on one cell per sketch family that supports it
+   at the default alpha.  One Unix-socket smoke cell and one
+   multiplexed-TCP smoke cell ride along so both wire paths are
+   exercised by every eval run. *)
 let small () =
   let dc_cells =
     List.concat_map
       (fun alpha ->
-        List.map (fun sk -> base ~sketch:sk ~alpha (Dc Dc.LS)) all_sketches)
+        List.map
+          (fun sk -> base ~sketch:sk ~alpha (Dc Dc.LS))
+          (all_sketches @ [ Fmc ]))
       small_alphas
+  in
+  let mle_cells =
+    List.map
+      (fun sk -> base ~sketch:sk ~estimator:Mle (Dc Dc.LS))
+      [ Fm; Hll; Fmc ]
   in
   let baseline_cells =
     List.concat_map
@@ -123,7 +153,7 @@ let small () =
       base ~alpha:0.1 ~events:20_000 ~transport:Tcp (Dc Dc.LS);
     ]
   in
-  dc_cells @ baseline_cells @ wire_smoke
+  dc_cells @ mle_cells @ baseline_cells @ wire_smoke
 
 (* The full matrix adds the remaining DC algorithms, the DS sharing
    variants, the paper's two-phase and HTTP workloads, a fault-plan

@@ -6,10 +6,20 @@
     {!Artifact.cell_result}s.  The committed acceptance grid is
     {!small}; {!full} adds the long-tail axes. *)
 
-type sketch = Fm | Bjkst | Hll
+type sketch = Fm | Bjkst | Hll | Fmc
 
 val sketch_to_string : sketch -> string
+
 val all_sketches : sketch list
+(** The original trio; the concentrated-hashing family [Fmc] is added
+    to grids explicitly so existing sweeps keep their size. *)
+
+type estimator = Classic | Mle
+(** Which estimate the sketch-backed trackers run with: the classic
+    bias-corrected estimators or the Clifford–Cosma maximum-likelihood
+    ones ({!Wd_sketch.Estimators}). *)
+
+val estimator_to_string : estimator -> string
 
 type workload = Zipf | Two_phase | Http_trace
 
@@ -37,6 +47,10 @@ type cell = {
       (** which mergeable distinct sketch backs the trackers; only the
           sketch-based protocols consult it (grids collapse the axis for
           EC/EDS, whose estimators carry no sketch) *)
+  estimator : estimator;
+      (** Classic or MLE estimates; consulted by the same protocols as
+          [sketch].  [Classic] cells keep their pre-axis ids; [Mle]
+          appends ["+mle"] to the id's sketch component. *)
   alpha : float;  (** total relative-error budget (the paper's epsilon) *)
   delta : float;  (** failure probability; confidence is [1 - delta] *)
   theta_frac : float;  (** lag share: [theta = theta_frac * alpha] *)
@@ -57,11 +71,16 @@ val sketch_alpha : cell -> float
 (** Sketch accuracy left after the lag share of the budget:
     [alpha - theta]. *)
 
+val sketch_label : cell -> string
+(** The id's sketch component: [sketch_to_string], with ["+mle"]
+    appended for [Mle] cells. *)
+
 val id : cell -> string
 (** Stable human-readable identifier, the join key of baseline diffs. *)
 
 val base :
   ?sketch:sketch ->
+  ?estimator:estimator ->
   ?alpha:float ->
   ?delta:float ->
   ?theta_frac:float ->
@@ -78,9 +97,10 @@ val base :
     transport, no faults). *)
 
 val small : unit -> cell list
-(** The committed acceptance grid: DC(LS) x {FM, BJKST, HLL} and the
-    EC / DS(LCO) / EDS baselines, each at alpha in {0.05, 0.1, 0.2},
-    plus one Unix-socket smoke cell — 19 cells. *)
+(** The committed acceptance grid: DC(LS) x {FM, BJKST, HLL, FMC} and
+    the EC / DS(LCO) / EDS baselines, each at alpha in {0.05, 0.1, 0.2},
+    one MLE cell per MLE-capable sketch family (FM, HLL, FMC) at the
+    default alpha, plus the Unix-socket and TCP smoke cells. *)
 
 val full : unit -> cell list
 (** {!small} plus the remaining DC/DS algorithms, the two-phase and HTTP

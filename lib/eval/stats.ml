@@ -6,7 +6,11 @@
 let quantile xs q =
   let n = Array.length xs in
   if n = 0 then Float.nan
-  else if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]"
+    (* Negated-range form so a NaN q is rejected too: [q < 0.0 || q > 1.0]
+       is false for NaN, which would otherwise propagate silently into
+       the rank arithmetic and come back as a NaN quantile. *)
+  else if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Stats.quantile: q outside [0,1]"
   else begin
     let s = Array.copy xs in
     Array.sort compare s;
@@ -37,7 +41,8 @@ let choose n k =
   !acc
 
 let binom_pmf ~n ~p k =
-  if p <= 0.0 then (if k = 0 then 1.0 else 0.0)
+  if k < 0 || k > n then 0.0
+  else if p <= 0.0 then (if k = 0 then 1.0 else 0.0)
   else if p >= 1.0 then (if k = n then 1.0 else 0.0)
   else
     choose n k

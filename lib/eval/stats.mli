@@ -20,7 +20,9 @@ val max_value : float array -> float
 (** Largest element; [nan] on an empty array. *)
 
 val binom_pmf : n:int -> p:float -> int -> float
-(** [binom_pmf ~n ~p k] is [P(X = k)] for [X ~ Binomial(n, p)]. *)
+(** [binom_pmf ~n ~p k] is [P(X = k)] for [X ~ Binomial(n, p)]; [0] for
+    [k] outside [0, n].  Total at the parameter boundaries: [p = 0]
+    puts all mass on [k = 0], [p = 1] on [k = n]. *)
 
 val binom_cdf : n:int -> p:float -> int -> float
 (** [binom_cdf ~n ~p k] is [P(X <= k)] for [X ~ Binomial(n, p)]. *)

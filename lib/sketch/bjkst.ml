@@ -1,7 +1,7 @@
 module Rng = Wd_hashing.Rng
 module Universal = Wd_hashing.Universal
 
-type family = { k : int; hash : Universal.t }
+type family = { k : int; hash : Universal.t; estimator : Sketch_intf.estimator }
 
 (* The k smallest hash values, as a max-heap of unsigned 64-bit words so the
    largest retained value is evicted in O(log k); a hash set mirrors the heap
@@ -17,7 +17,10 @@ let name = "bjkst"
 
 let family_custom ~rng ~k =
   if k < 1 then invalid_arg "Bjkst.family_custom: k must be >= 1";
-  { k; hash = Universal.of_rng rng }
+  { k; hash = Universal.of_rng rng; estimator = Sketch_intf.Classic }
+
+let with_estimator estimator fam = { fam with estimator }
+let estimator fam = fam.estimator
 
 let family ~rng ~accuracy ~confidence =
   if accuracy <= 0.0 || accuracy >= 1.0 then
@@ -108,9 +111,18 @@ let normalized h =
 let estimate t =
   if t.size = 0 then 0.0
   else if t.size < t.fam.k then Float.of_int t.size
-  else
+  else begin
     (* kth smallest value is the heap root (max of the retained minima). *)
-    Float.of_int (t.fam.k - 1) /. normalized t.heap.(0)
+    let u = normalized t.heap.(0) in
+    match t.fam.estimator with
+    | Sketch_intf.Classic -> Float.of_int (t.fam.k - 1) /. u
+    | Sketch_intf.Mle ->
+      (* The likelihood of the kth order statistic of n uniforms,
+         C(n,k) k u^(k-1) (1-u)^(n-k), is maximized over n at
+         n ~= k/u - 1 (the integer MLE is its floor): the Clifford-Cosma
+         counterpart for KMV, against the classical unbiased (k-1)/u. *)
+      (Float.of_int t.fam.k /. u) -. 1.0
+  end
 
 let size_bytes t = 8 * t.size
 

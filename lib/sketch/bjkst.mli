@@ -31,6 +31,15 @@ val family_of_params : alpha:float -> delta:float -> seed:int -> family
 
 val k : family -> int
 
+val with_estimator : Sketch_intf.estimator -> family -> family
+(** [with_estimator e fam] selects the estimate computation (default
+    [Classic]: the unbiased [(k-1)/u_k]; [Mle]: the order-statistic
+    maximum-likelihood [k/u_k - 1]).  The retained value set, [add] and
+    [merge_into] are estimator-independent, so MLE composes with
+    merging. *)
+
+val estimator : family -> Sketch_intf.estimator
+
 val create : family -> t
 val of_params : alpha:float -> delta:float -> seed:int -> t
 (** [create (family_of_params ~alpha ~delta ~seed)]. *)

@@ -1,0 +1,144 @@
+(* Shared estimation machinery for the distinct sketches: the blended
+   linear-counting crossover used by every Classic estimate, and the
+   Clifford–Cosma maximum-likelihood solvers used by the Mle estimates.
+   All tables are precomputed at module init so the per-estimate work is
+   table lookups, [expm1] and a short Newton/bisection loop — no
+   allocation beyond the caller-owned counts scratch. *)
+
+let lc_low = 2.0
+let lc_high = 3.0
+
+(* Crossfade between linear counting on the empty-bucket fraction and
+   the bias-corrected raw estimate over raw/m in [lc_low, lc_high],
+   instead of hard-switching at raw = 2.5m: a hard switch makes the
+   estimate jump by the (nonzero) gap between the two estimators exactly
+   where a threshold protocol is most likely to sit, and a jump across
+   the threshold is a spurious send.  When [empty = 0] linear counting
+   is undefined (log of m/0), so the raw estimate is used regardless of
+   how small it is — the explicit low-raw fallback documented in
+   [Fm.estimate]. *)
+let linear_blend ~m ~empty ~raw =
+  if empty <= 0 || m <= 1.0 then raw
+  else begin
+    let lc = m *. Float.log (m /. Float.of_int empty) in
+    if raw <= lc_low *. m then lc
+    else if raw >= lc_high *. m then raw
+    else begin
+      let w = ((raw /. m) -. lc_low) /. (lc_high -. lc_low) in
+      ((1.0 -. w) *. lc) +. (w *. raw)
+    end
+  end
+
+(* Both likelihood scores below share one canonical shape.  Under
+   Poissonization with per-bucket intensity [lambda], the derivative of
+   the log-likelihood aggregated over bucket-value counts is
+
+     f(lambda) = sum_i a.(i) * w.(i) / expm1 (lambda * w.(i)) - total
+
+   with nonnegative integer coefficients [a] and positive [total]: a
+   strictly decreasing function of [lambda] falling from +inf to
+   [-total], so the MLE is its unique root and safeguarded Newton
+   (bisection fallback inside a maintained bracket) cannot diverge.
+   Terms with [lambda * w > 45] contribute < 3e-20 and are skipped,
+   which also keeps the [exp] in the derivative finite. *)
+let solve ~w ~a ~total ~init =
+  let n = Array.length a in
+  let any = ref false in
+  for i = 0 to n - 1 do
+    if Array.unsafe_get a i > 0 then any := true
+  done;
+  if not !any then 0.0
+  else begin
+    let eval lambda =
+      let s = ref 0.0 in
+      for i = 0 to n - 1 do
+        let ai = Array.unsafe_get a i in
+        if ai > 0 then begin
+          let wi = Array.unsafe_get w i in
+          let x = lambda *. wi in
+          if x < 45.0 then
+            s := !s +. (Float.of_int ai *. wi /. Float.expm1 x)
+        end
+      done;
+      !s -. total
+    in
+    let eval' lambda =
+      let s = ref 0.0 in
+      for i = 0 to n - 1 do
+        let ai = Array.unsafe_get a i in
+        if ai > 0 then begin
+          let wi = Array.unsafe_get w i in
+          let x = lambda *. wi in
+          if x < 45.0 then begin
+            let e = Float.expm1 x in
+            s := !s -. (Float.of_int ai *. wi *. wi *. (e +. 1.0) /. (e *. e))
+          end
+        end
+      done;
+      !s
+    in
+    let lo = ref 0.0 and hi = ref (if init > 0.0 then init else 1.0) in
+    let rounds = ref 0 in
+    while eval !hi > 0.0 && !rounds < 300 do
+      lo := !hi;
+      hi := !hi *. 2.0;
+      incr rounds
+    done;
+    let lambda = ref (0.5 *. (!lo +. !hi)) in
+    let converged = ref false in
+    let iter = ref 0 in
+    while (not !converged) && !iter < 80 do
+      incr iter;
+      let f = eval !lambda in
+      if f > 0.0 then lo := !lambda else hi := !lambda;
+      let f' = eval' !lambda in
+      let next = if f' < 0.0 then !lambda -. (f /. f') else 0.5 *. (!lo +. !hi) in
+      let next = if next > !lo && next < !hi then next else 0.5 *. (!lo +. !hi) in
+      if Float.abs (next -. !lambda) <= 1e-10 *. Float.max next 1.0 then
+        converged := true;
+      lambda := next
+    done;
+    !lambda
+  end
+
+(* P(level = i) = 2^-(i+1): bit i of an FM bitmap with intensity lambda
+   is set with probability 1 - exp (-lambda * w i), w i = 2^-(i+1).
+   Observing lowest zero z has log-likelihood
+   sum_{i<z} log (1 - exp (-lambda * w i)) - lambda * w z. *)
+let fm_weights = Array.init 65 (fun i -> Float.ldexp 1.0 (-(i + 1)))
+
+let fm ~counts ~init =
+  if Array.length counts < 65 then
+    invalid_arg "Estimators.fm: counts must have length >= 65";
+  let total = ref 0.0 in
+  for z = 0 to 64 do
+    total :=
+      !total +. (Float.of_int (Array.unsafe_get counts z) *. fm_weights.(z))
+  done;
+  (* In place: counts.(i) becomes the number of observations with z > i,
+     the coefficient of the log (1 - e^-lambda.w_i) terms. *)
+  let acc = ref 0 in
+  for i = 64 downto 0 do
+    let c = counts.(i) in
+    counts.(i) <- !acc;
+    acc := !acc + c
+  done;
+  solve ~w:fm_weights ~a:counts ~total:!total ~init
+
+(* P(register = r) = e^(-lambda * x_r) * (1 - e^(-lambda * x_r)) for
+   r >= 1 with x_r = 2^-r, and e^-lambda for r = 0 (Poissonized HLL
+   register law). *)
+let hll_weights = Array.init 64 (fun r -> Float.ldexp 1.0 (-r))
+
+let hll ~counts ~init =
+  if Array.length counts < 64 then
+    invalid_arg "Estimators.hll: counts must have length >= 64";
+  let total = ref 0.0 in
+  for r = 0 to 63 do
+    total :=
+      !total +. (Float.of_int (Array.unsafe_get counts r) *. hll_weights.(r))
+  done;
+  (* The r = 0 likelihood term is linear in lambda (coefficient folded
+     into [total]); only r >= 1 contributes an expm1 term. *)
+  counts.(0) <- 0;
+  solve ~w:hll_weights ~a:counts ~total:!total ~init

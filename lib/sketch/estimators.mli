@@ -1,0 +1,39 @@
+(** Shared estimation machinery: the blended linear-counting crossover
+    and the Clifford–Cosma maximum-likelihood solvers ("A Statistical
+    Analysis of Probabilistic Counting Algorithms", Clifford & Cosma).
+
+    The MLE solvers work on the Poissonized per-bucket model: the items
+    landing in one bucket are Poisson with intensity [lambda], every
+    bucket observation (an FM lowest-zero index, an HLL register value)
+    has an explicit likelihood in [lambda], and the aggregated score
+    function is strictly decreasing — safeguarded Newton with a
+    bisection bracket finds the unique root.  Callers own a small
+    integer counts scratch (one slot per possible bucket value) so the
+    estimate path allocates nothing; the weight tables are precomputed
+    at module initialization. *)
+
+val linear_blend : m:float -> empty:int -> raw:float -> float
+(** [linear_blend ~m ~empty ~raw] is the Classic small-range policy
+    shared by the PCSA-style estimates: linear counting
+    [m * ln (m / empty)] below [raw = 2m], the bias-corrected [raw]
+    above [raw = 3m], and a linear crossfade between the two inside the
+    band — continuous in [raw] where the old hard switch at [2.5m]
+    could step discontinuously.  When [empty = 0] (no empty bucket to
+    count) or [m <= 1], returns [raw] unconditionally. *)
+
+val fm : counts:int array -> init:float -> float
+(** [fm ~counts ~init] is the MLE per-bucket intensity for FM bitmaps
+    observed through their lowest-zero statistic. [counts.(z)] must be
+    the number of bitmaps with lowest zero [z], [z] in [0, 64] (length
+    >= 65); the array is clobbered.  [init] seeds the Newton iteration
+    (use the Classic estimate divided by the bucket count; any
+    non-positive value falls back to 1).  Returns 0 when every bitmap
+    has lowest zero 0.  The distinct estimate is [m * lambda] for
+    stochastic averaging and [lambda] for the Averaged variant (where
+    every bitmap sees the full stream). *)
+
+val hll : counts:int array -> init:float -> float
+(** [hll ~counts ~init] is the MLE per-register intensity for HLL
+    registers: [counts.(r)] must be the number of registers holding
+    value [r], [r] in [0, 63] (length >= 64); the array is clobbered.
+    The distinct estimate is [m * lambda]. *)

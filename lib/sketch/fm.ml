@@ -6,6 +6,7 @@ type variant = Averaged | Stochastic
 
 type family = {
   variant : variant;
+  estimator : Sketch_intf.estimator;
   m : int;
   (* Averaged: m level hashes, one per bitmap.
      Stochastic: hashes.(0) provides both bucket (high bits) and level
@@ -18,7 +19,11 @@ type family = {
      free of [Float.pow] (see [pow2_mean]). *)
 }
 
-type t = { fam : family; bitmaps : Fm_bitmap.t array }
+(* [scratch] is the MLE counts buffer (one slot per lowest-zero value,
+   clobbered by every Mle estimate); owning it per sketch keeps the
+   estimate path allocation-free without sharing mutable state between
+   sketches living on different domains. *)
+type t = { fam : family; bitmaps : Fm_bitmap.t array; scratch : int array }
 
 let name = "fm"
 
@@ -27,6 +32,7 @@ let family_custom ~rng ~variant ~bitmaps =
   let n_hashes = match variant with Averaged -> bitmaps | Stochastic -> 1 in
   {
     variant;
+    estimator = Sketch_intf.Classic;
     m = bitmaps;
     hashes = Array.init n_hashes (fun _ -> Universal.of_rng rng);
     bucket_hash = Universal.of_rng rng;
@@ -53,10 +59,18 @@ let family ~rng ~accuracy ~confidence =
 
 let bitmaps fam = fam.m
 let variant fam = fam.variant
+let with_estimator estimator fam = { fam with estimator }
+let estimator fam = fam.estimator
 
-let create fam = { fam; bitmaps = Array.init fam.m (fun _ -> Fm_bitmap.create ()) }
+let create fam =
+  {
+    fam;
+    bitmaps = Array.init fam.m (fun _ -> Fm_bitmap.create ());
+    scratch = Array.make 65 0;
+  }
 
-let copy t = { t with bitmaps = Array.map Fm_bitmap.copy t.bitmaps }
+let copy t =
+  { t with bitmaps = Array.map Fm_bitmap.copy t.bitmaps; scratch = Array.make 65 0 }
 
 let add t v =
   let fam = t.fam in
@@ -133,17 +147,31 @@ let estimate t =
     if Fm_bitmap.is_empty bm then incr empty
   done;
   let m = Float.of_int fam.m in
-  match fam.variant with
-  | Averaged -> pow2_mean fam !sum /. Fm_bitmap.phi
-  | Stochastic ->
-    let raw = m *. pow2_mean fam !sum /. Fm_bitmap.phi in
-    (* Stochastic averaging is biased upwards when the number of distinct
-       items is comparable to m (many bitmaps still empty).  Fall back to
-       linear counting on the empty-bitmap fraction in that regime, as in
-       PCSA/LogLog implementations. *)
-    if fam.m > 1 && !empty > 0 && raw < 2.5 *. m then
-      m *. Float.log (m /. Float.of_int !empty)
-    else raw
+  let classic =
+    match fam.variant with
+    | Averaged -> pow2_mean fam !sum /. Fm_bitmap.phi
+    | Stochastic ->
+      (* Stochastic averaging is biased upwards when the number of
+         distinct items is comparable to m (many bitmaps still empty):
+         blend towards linear counting on the empty-bitmap fraction in
+         that regime.  When no bitmap is empty — reachable with low raw,
+         e.g. bitmaps whose only set bits sit above bit 0 — linear
+         counting has no signal to read and [linear_blend] keeps the raw
+         estimate unconditionally. *)
+      let raw = m *. pow2_mean fam !sum /. Fm_bitmap.phi in
+      Estimators.linear_blend ~m ~empty:!empty ~raw
+  in
+  match fam.estimator with
+  | Sketch_intf.Classic -> classic
+  | Sketch_intf.Mle ->
+    let counts = t.scratch in
+    Array.fill counts 0 65 0;
+    for j = 0 to fam.m - 1 do
+      let z = Fm_bitmap.lowest_zero (Array.unsafe_get t.bitmaps j) in
+      counts.(z) <- counts.(z) + 1
+    done;
+    let scale = match fam.variant with Averaged -> 1.0 | Stochastic -> m in
+    scale *. Estimators.fm ~counts ~init:(classic /. scale)
 
 let size_bytes t = Fm_bitmap.size_bytes * t.fam.m
 
@@ -189,6 +217,7 @@ let of_bytes fam buf =
     bitmaps =
       Array.init fam.m (fun j ->
           Fm_bitmap.of_bits (Bytes.get_int64_le buf (8 * j)));
+    scratch = Array.make 65 0;
   }
 
 (* The uniform (alpha, delta, seed) constructor pair: the paper's

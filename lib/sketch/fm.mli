@@ -44,6 +44,14 @@ val bitmaps : family -> int
 
 val variant : family -> variant
 
+val with_estimator : Sketch_intf.estimator -> family -> family
+(** [with_estimator e fam] is [fam] with its estimate computed by [e]
+    (families default to [Classic]).  Summary state, [add] and
+    [merge_into] are unchanged, so the MLE is merge-compatible: the
+    estimate of a merged sketch is the MLE of the merged state. *)
+
+val estimator : family -> Sketch_intf.estimator
+
 val create : family -> t
 
 val of_params : alpha:float -> delta:float -> seed:int -> t
@@ -60,7 +68,28 @@ val add_batch : t -> int array -> unit
     hash loads hoisted out of the loop. *)
 
 val merge_into : dst:t -> t -> unit
+
 val estimate : t -> float
+(** Under [Classic], the bias-corrected mean [2^(mean z) / phi] (times
+    [m] for [Stochastic]).  The [Stochastic] small range blends towards
+    linear counting on the empty-bitmap count: linear counting below
+    [raw = 2m], raw above [raw = 3m], a continuous crossfade between —
+    never a hard switch, so the estimate cannot step across a protocol
+    threshold by changing regime (see {!Estimators.linear_blend}).
+
+    When {e no} bitmap is empty the linear-counting correction is
+    skipped and the raw estimate is returned {e even if} [raw < 2.5m].
+    This corner is reachable — a bitmap whose only set bits lie above
+    bit 0 has lowest zero 0, so all [m] bitmaps can be non-empty while
+    [raw] is as small as [m / phi] — and with [empty = 0] linear
+    counting has no observation to invert ([log (m / 0)]), so raw is
+    the only defined estimate.  The behavior is deliberate and
+    regression-tested, not an accident of guard ordering.
+
+    Under [Mle], the Clifford–Cosma maximum-likelihood estimate from
+    the per-bitmap lowest-zero counts ({!Estimators.fm}); no crossover
+    exists because the likelihood already models the small range. *)
+
 val size_bytes : t -> int
 (** [8 * m] bytes: the bitmaps are the wire payload. *)
 

@@ -2,9 +2,16 @@ module Rng = Wd_hashing.Rng
 module Universal = Wd_hashing.Universal
 module Geometric = Wd_hashing.Geometric
 
-type family = { m : int; log2m : int; hash : Universal.t }
+type family = {
+  m : int;
+  log2m : int;
+  hash : Universal.t;
+  estimator : Sketch_intf.estimator;
+}
 
-type t = { fam : family; regs : Bytes.t }
+(* [scratch] is the MLE register-value counts buffer (clobbered by every
+   Mle estimate); per-sketch so estimates never share mutable state. *)
+type t = { fam : family; regs : Bytes.t; scratch : int array }
 
 let name = "hll"
 
@@ -16,7 +23,12 @@ let family_custom ~rng ~registers =
   if registers < min_registers || not (is_power_of_two registers) then
     invalid_arg "Hyperloglog.family_custom: registers must be a power of two >= 16";
   let rec log2 n acc = if n = 1 then acc else log2 (n / 2) (acc + 1) in
-  { m = registers; log2m = log2 registers 0; hash = Universal.of_rng rng }
+  {
+    m = registers;
+    log2m = log2 registers 0;
+    hash = Universal.of_rng rng;
+    estimator = Sketch_intf.Classic;
+  }
 
 let family ~rng ~accuracy ~confidence =
   if accuracy <= 0.0 || accuracy >= 1.0 then
@@ -32,10 +44,12 @@ let family ~rng ~accuracy ~confidence =
   family_custom ~rng ~registers:!m
 
 let registers fam = fam.m
+let with_estimator estimator fam = { fam with estimator }
+let estimator fam = fam.estimator
 
-let create fam = { fam; regs = Bytes.make fam.m '\000' }
+let create fam = { fam; regs = Bytes.make fam.m '\000'; scratch = Array.make 64 0 }
 
-let copy t = { t with regs = Bytes.copy t.regs }
+let copy t = { t with regs = Bytes.copy t.regs; scratch = Array.make 64 0 }
 
 (* Bucket from the top log2m bits; rank from the remaining low bits.  The
    low [64 - log2m <= 60] bits fit a native int, so the rank (a
@@ -111,9 +125,22 @@ let estimate t =
     if r = 0 then incr zeros
   done;
   let mf = Float.of_int m in
+  (* Small range blends towards linear counting on the zero-register
+     count instead of hard-switching at 2.5m — see
+     [Estimators.linear_blend] for the crossfade and the zeros = 0
+     fallback. *)
   let raw = alpha m *. mf *. mf /. !sum in
-  if raw <= 2.5 *. mf && !zeros > 0 then mf *. Float.log (mf /. Float.of_int !zeros)
-  else raw
+  let classic = Estimators.linear_blend ~m:mf ~empty:!zeros ~raw in
+  match t.fam.estimator with
+  | Sketch_intf.Classic -> classic
+  | Sketch_intf.Mle ->
+    let counts = t.scratch in
+    Array.fill counts 0 64 0;
+    for j = 0 to m - 1 do
+      let r = Char.code (Bytes.unsafe_get regs j) in
+      counts.(r) <- counts.(r) + 1
+    done;
+    mf *. Estimators.hll ~counts ~init:(classic /. mf)
 
 let size_bytes t = t.fam.m
 
@@ -141,7 +168,7 @@ let of_bytes fam buf =
       if Char.code c > 63 then
         invalid_arg "Hyperloglog.of_bytes: register value out of range")
     buf;
-  { fam; regs = Bytes.copy buf }
+  { fam; regs = Bytes.copy buf; scratch = Array.make 64 0 }
 
 (* The uniform (alpha, delta, seed) constructor pair: the paper's
    parameter names over the (accuracy, confidence) sizing above. *)

@@ -31,6 +31,13 @@ val family_of_params : alpha:float -> delta:float -> seed:int -> family
 
 val registers : family -> int
 
+val with_estimator : Sketch_intf.estimator -> family -> family
+(** [with_estimator e fam] selects the estimate computation (default
+    [Classic]).  State, [add] and [merge_into] are estimator-independent,
+    so MLE estimates compose with merging. *)
+
+val estimator : family -> Sketch_intf.estimator
+
 val create : family -> t
 val of_params : alpha:float -> delta:float -> seed:int -> t
 (** [create (family_of_params ~alpha ~delta ~seed)]. *)
@@ -52,7 +59,16 @@ val alpha : int -> float
     would bias small-[m] estimates. *)
 
 val merge_into : dst:t -> t -> unit
+
 val estimate : t -> float
+(** Under [Classic], the bias-corrected harmonic mean with the small
+    range blended towards linear counting on the zero-register count
+    (continuous crossfade over [raw/m] in [2, 3] rather than a hard
+    switch at [2.5m]; raw alone when no register is zero — see
+    {!Estimators.linear_blend}).  Under [Mle], the Clifford–Cosma
+    maximum-likelihood estimate from the register-value counts
+    ({!Estimators.hll}). *)
+
 val size_bytes : t -> int
 (** One byte per register. *)
 

@@ -12,6 +12,24 @@
     the coordinator of a tracking protocol share a single family, mirroring
     the shared public hash functions of the paper's model. *)
 
+type estimator = Classic | Mle
+(** How a family turns summary state into a distinct-count estimate.
+
+    [Classic] is each sketch's textbook bias-corrected estimator (with
+    the blended linear-counting crossover of {!Estimators.linear_blend}
+    in the small range).  [Mle] is the Clifford–Cosma maximum-likelihood
+    estimator over the same state ({!Estimators}): strictly tighter in
+    the observed-information sense, hence fewer spurious threshold
+    crossings in the tracking protocols.
+
+    The estimator is {e family} state, set with each sketch module's
+    [with_estimator]: the summary representation, [add] and [merge_into]
+    are identical under both, so sketches from [with_estimator Mle fam]
+    merge exactly like their [Classic] siblings and the estimate of a
+    merged sketch is the estimator applied to the merged state — MLE is
+    merge-compatible by construction, which the protocols rely on
+    (state merges first, estimation happens at the coordinator). *)
+
 module type DISTINCT_SKETCH = sig
   type family
   (** Shared hash functions and dimensioning. *)

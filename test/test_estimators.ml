@@ -1,0 +1,444 @@
+(* Estimator-focused tests: the crossover-continuity property (the
+   estimate must stay inside the family's accuracy envelope with no
+   single-add step larger than the envelope width, across the
+   linear-counting crossover raw ~ 2.5m where the pre-fix code hard-
+   switched regimes), the empty = 0 low-raw fallback corner, MLE
+   accuracy / merge-compatibility for every family, and the
+   Fm_concentrated sketch's serialization and sizing. *)
+
+module Rng = Wd_hashing.Rng
+module Mt = Wd_hashing.Mixed_tabulation
+module Fm = Wd_sketch.Fm
+module Fmc = Wd_sketch.Fm_concentrated
+module Bjkst = Wd_sketch.Bjkst
+module Hll = Wd_sketch.Hyperloglog
+
+let mle = Wd_sketch.Sketch_intf.Mle
+
+(* ------------------------------------------------------------------ *)
+(* Mixed tabulation *)
+
+let test_mixed_tabulation_deterministic () =
+  let h1 = Mt.create (Rng.create 7) and h2 = Mt.create (Rng.create 7) in
+  for v = 0 to 1000 do
+    Alcotest.(check int64)
+      (Printf.sprintf "hash %d" v)
+      (Mt.hash h1 v) (Mt.hash h2 v)
+  done;
+  let h3 = Mt.create (Rng.create 8) in
+  let differs = ref false in
+  for v = 0 to 100 do
+    if Mt.hash h1 v <> Mt.hash h3 v then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_mixed_tabulation_spread () =
+  let h = Mt.create (Rng.create 11) in
+  let seen = Hashtbl.create 20_000 in
+  let n = 10_000 in
+  for v = 0 to n - 1 do
+    Hashtbl.replace seen (Mt.hash h v) ()
+  done;
+  Alcotest.(check bool)
+    "10k keys, no collisions expected" true
+    (Hashtbl.length seen = n);
+  (* Low-bit balance: trailing-zero levels must look geometric. *)
+  let zero_low = ref 0 in
+  for v = 0 to n - 1 do
+    if Int64.to_int (Mt.hash h v) land 1 = 0 then incr zero_low
+  done;
+  let frac = float_of_int !zero_low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "low bit balanced (%.3f)" frac)
+    true
+    (frac > 0.47 && frac < 0.53)
+
+let test_concentrated_sizing () =
+  let m1 = Mt.concentrated_buckets ~alpha:0.1 ~delta:0.1 in
+  let m2 = Mt.concentrated_buckets ~alpha:0.05 ~delta:0.1 in
+  let m3 = Mt.concentrated_buckets ~alpha:0.1 ~delta:0.01 in
+  Alcotest.(check bool) "tighter alpha, more buckets" true (m2 > m1);
+  Alcotest.(check bool) "tighter delta, more buckets" true (m3 > m1);
+  (* The single-repetition sizing beats Fm's conservative-constant m at
+     equal parameters — the serialized-bytes saving the broadcast
+     protocols inherit. *)
+  let fm_m = Fm.bitmaps (Fm.family_of_params ~alpha:0.1 ~delta:0.1 ~seed:1) in
+  let fmc_m =
+    Fmc.buckets (Fmc.family_of_params ~alpha:0.1 ~delta:0.1 ~seed:1)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fmc %d < fm %d buckets" fmc_m fm_m)
+    true (fmc_m < fm_m);
+  Alcotest.(check bool) "invalid alpha rejected" true
+    (try
+       ignore (Mt.concentrated_buckets ~alpha:0.0 ~delta:0.1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Crossover continuity: sweep n across the linear-counting band *)
+
+module type EST_SKETCH = sig
+  type family
+  type t
+
+  val create : family -> t
+  val add : t -> int -> bool
+  val estimate : t -> float
+end
+
+(* Sweep n = 1 .. 4m adding one fresh item at a time.  The estimate must
+   stay inside +-env(n) of the truth, env(n) = rel * n + slack with
+   [rel] a few standard errors of the family, and no single add may move
+   the estimate by more than the envelope width 2 * env(n) — the hard
+   2.5m switch failed exactly this (a regime change is a jump the size
+   of the estimator gap, unbounded by any per-item increment). *)
+let sweep (type f) (module M : EST_SKETCH with type family = f) ~label ~fam ~m
+    ~rel ~slack ~seed =
+  let s = M.create fam in
+  let prev = ref 0.0 in
+  for n = 1 to 4 * m do
+    ignore (M.add s ((seed * 1_000_003) + n) : bool);
+    let est = M.estimate s in
+    let nf = float_of_int n in
+    let env = (rel *. nf) +. slack in
+    if Float.abs (est -. nf) > env then
+      Alcotest.failf "%s seed=%d: estimate %.2f off truth %d beyond +-%.2f"
+        label seed est n env;
+    if Float.abs (est -. !prev) > 2.0 *. env then
+      Alcotest.failf
+        "%s seed=%d: step %.2f -> %.2f at n=%d exceeds envelope width %.2f"
+        label seed !prev est n (2.0 *. env);
+    prev := est
+  done
+
+let fm_sto fam_of m seed =
+  sweep
+    (module Fm : EST_SKETCH with type family = Fm.family)
+    ~label:(Printf.sprintf "fm-stochastic m=%d" m)
+    ~fam:(fam_of (Fm.family_custom ~rng:(Rng.create seed) ~variant:Fm.Stochastic ~bitmaps:m))
+    ~m
+    ~rel:(Float.max 0.3 (2.8 *. 0.78 /. Float.sqrt (float_of_int m)))
+    ~slack:(6.0 +. (0.05 *. float_of_int m))
+    ~seed
+
+let hll_of fam_of m seed =
+  sweep
+    (module Hll : EST_SKETCH with type family = Hll.family)
+    ~label:(Printf.sprintf "hll m=%d" m)
+    ~fam:(fam_of (Hll.family_custom ~rng:(Rng.create seed) ~registers:m))
+    ~m
+    ~rel:(Float.max 0.3 (2.8 *. 1.04 /. Float.sqrt (float_of_int m)))
+    ~slack:(6.0 +. (0.05 *. float_of_int m))
+    ~seed
+
+let fmc_of fam_of m seed =
+  sweep
+    (module Fmc : EST_SKETCH with type family = Fmc.family)
+    ~label:(Printf.sprintf "fmc m=%d" m)
+    ~fam:(fam_of (Fmc.family_custom ~rng:(Rng.create seed) ~buckets:m))
+    ~m
+    ~rel:(Float.max 0.3 (2.8 *. 0.78 /. Float.sqrt (float_of_int m)))
+    ~slack:(6.0 +. (0.05 *. float_of_int m))
+    ~seed
+
+let seeds = [ 3; 17; 101 ]
+
+let test_crossover_fm () =
+  List.iter
+    (fun seed ->
+      List.iter (fun m -> fm_sto (fun f -> f) m seed) [ 64; 256 ])
+    seeds
+
+let test_crossover_fm_mle () =
+  List.iter
+    (fun seed -> List.iter (fun m -> fm_sto (Fm.with_estimator mle) m seed) [ 64; 256 ])
+    seeds
+
+let test_crossover_hll () =
+  List.iter
+    (fun seed -> List.iter (fun m -> hll_of (fun f -> f) m seed) [ 64; 256 ])
+    seeds
+
+let test_crossover_hll_mle () =
+  List.iter
+    (fun seed ->
+      List.iter (fun m -> hll_of (Hll.with_estimator mle) m seed) [ 64; 256 ])
+    seeds
+
+let test_crossover_fmc () =
+  List.iter
+    (fun seed ->
+      List.iter (fun m -> fmc_of (fun f -> f) m seed) [ 128 ];
+      List.iter (fun m -> fmc_of (Fmc.with_estimator mle) m seed) [ 128 ])
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* The empty = 0, low-raw corner: every bitmap non-empty (so linear
+   counting has no observation) while raw sits far below 2.5m.  A
+   bitmap whose only set bit is bit 3 has lowest zero 0, so raw = m/phi
+   ~ 1.29m.  The documented behavior: Classic returns raw itself. *)
+
+let test_fm_empty_zero_guard () =
+  let m = 8 in
+  let fam =
+    Fm.family_custom ~rng:(Rng.create 5) ~variant:Fm.Stochastic ~bitmaps:m
+  in
+  let buf = Bytes.create (8 * m) in
+  for j = 0 to m - 1 do
+    Bytes.set_int64_le buf (8 * j) 8L (* only bit 3 set: lowest zero 0 *)
+  done;
+  let s = Fm.of_bytes fam buf in
+  let est = Fm.estimate s in
+  let raw = float_of_int m /. Wd_sketch.Fm_bitmap.phi in
+  Alcotest.(check bool)
+    (Printf.sprintf "raw %.3f < 2.5m yet returned as-is (est %.3f)" raw est)
+    true
+    (Float.abs (est -. raw) < 1e-9);
+  (* Same corner through the MLE: every lowest-zero is 0, and the
+     z-statistic likelihood is then maximized at zero intensity. *)
+  let s_mle = Fm.of_bytes (Fm.with_estimator mle fam) buf in
+  Alcotest.(check (float 1e-9)) "mle of all-z=0 state" 0.0 (Fm.estimate s_mle)
+
+let test_hll_zeros_guard () =
+  let m = 16 in
+  let fam = Hll.family_custom ~rng:(Rng.create 5) ~registers:m in
+  let buf = Bytes.make m '\001' (* every register 1: zeros = 0 *) in
+  let s = Hll.of_bytes fam buf in
+  let est = Hll.estimate s in
+  let mf = float_of_int m in
+  let raw = Hll.alpha m *. mf *. mf /. (mf *. 0.5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "zeros=0: raw %.3f returned (est %.3f)" raw est)
+    true
+    (Float.abs (est -. raw) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* MLE accuracy and merge-compatibility *)
+
+let distinct_items ~seed n =
+  Array.init n (fun i -> (seed * 10_000_019) + i)
+
+let rel_err est truth = Float.abs (est -. truth) /. truth
+
+let test_mle_accuracy_fm () =
+  let fam =
+    Fm.with_estimator mle
+      (Fm.family_custom ~rng:(Rng.create 23) ~variant:Fm.Stochastic
+         ~bitmaps:256)
+  in
+  List.iter
+    (fun n ->
+      let s = Fm.create fam in
+      Fm.add_batch s (distinct_items ~seed:23 n);
+      let e = rel_err (Fm.estimate s) (float_of_int n) in
+      if e > 0.15 then
+        Alcotest.failf "fm-mle n=%d rel err %.3f > 0.15" n e)
+    [ 2_000; 20_000; 100_000 ]
+
+let test_mle_accuracy_fm_averaged () =
+  let fam =
+    Fm.with_estimator mle
+      (Fm.family_custom ~rng:(Rng.create 29) ~variant:Fm.Averaged ~bitmaps:32)
+  in
+  let n = 20_000 in
+  let s = Fm.create fam in
+  Fm.add_batch s (distinct_items ~seed:29 n);
+  let e = rel_err (Fm.estimate s) (float_of_int n) in
+  if e > 0.25 then Alcotest.failf "fm-averaged-mle rel err %.3f > 0.25" e
+
+let test_mle_accuracy_hll () =
+  let fam =
+    Hll.with_estimator mle
+      (Hll.family_custom ~rng:(Rng.create 31) ~registers:1024)
+  in
+  List.iter
+    (fun n ->
+      let s = Hll.create fam in
+      Hll.add_batch s (distinct_items ~seed:31 n);
+      let e = rel_err (Hll.estimate s) (float_of_int n) in
+      if e > 0.1 then Alcotest.failf "hll-mle n=%d rel err %.3f > 0.1" n e)
+    [ 2_000; 100_000 ]
+
+let test_mle_accuracy_bjkst () =
+  let fam =
+    Bjkst.with_estimator mle (Bjkst.family_custom ~rng:(Rng.create 37) ~k:1024)
+  in
+  let n = 20_000 in
+  let s = Bjkst.create fam in
+  Bjkst.add_batch s (distinct_items ~seed:37 n);
+  let e = rel_err (Bjkst.estimate s) (float_of_int n) in
+  if e > 0.15 then Alcotest.failf "bjkst-mle rel err %.3f > 0.15" e
+
+let test_fmc_accuracy () =
+  List.iter
+    (fun (est, label) ->
+      let fam =
+        est (Fmc.family_of_params ~alpha:0.1 ~delta:0.1 ~seed:41)
+      in
+      List.iter
+        (fun n ->
+          let s = Fmc.create fam in
+          Fmc.add_batch s (distinct_items ~seed:41 n);
+          let e = rel_err (Fmc.estimate s) (float_of_int n) in
+          if e > 0.2 then
+            Alcotest.failf "fmc(%s) n=%d rel err %.3f > 0.2" label n e)
+        [ 1_000; 20_000; 200_000 ])
+    [ ((fun f -> f), "classic"); (Fmc.with_estimator mle, "mle") ]
+
+(* MLE sees only merged state, so the estimate of a merge must equal the
+   estimate of the centralized sketch bit for bit. *)
+let test_mle_merge_compatible () =
+  let items = distinct_items ~seed:47 30_000 in
+  let third = Array.length items / 3 in
+  let parts =
+    [ Array.sub items 0 third;
+      Array.sub items third third;
+      Array.sub items (2 * third) (Array.length items - (2 * third)) ]
+  in
+  let check_eq label whole merged =
+    if whole <> merged then
+      Alcotest.failf "%s: merged mle %.6f <> centralized mle %.6f" label
+        merged whole
+  in
+  (* Fm *)
+  let fam =
+    Fm.with_estimator mle
+      (Fm.family_custom ~rng:(Rng.create 47) ~variant:Fm.Stochastic
+         ~bitmaps:128)
+  in
+  let whole = Fm.create fam in
+  Fm.add_batch whole items;
+  let dst = Fm.create fam in
+  List.iter
+    (fun part ->
+      let s = Fm.create fam in
+      Fm.add_batch s part;
+      Fm.merge_into ~dst s)
+    parts;
+  check_eq "fm" (Fm.estimate whole) (Fm.estimate dst);
+  (* Fmc *)
+  let fam = Fmc.with_estimator mle (Fmc.family_custom ~rng:(Rng.create 47) ~buckets:128) in
+  let whole = Fmc.create fam in
+  Fmc.add_batch whole items;
+  let dst = Fmc.create fam in
+  List.iter
+    (fun part ->
+      let s = Fmc.create fam in
+      Fmc.add_batch s part;
+      Fmc.merge_into ~dst s)
+    parts;
+  check_eq "fmc" (Fmc.estimate whole) (Fmc.estimate dst);
+  (* Hll *)
+  let fam =
+    Hll.with_estimator mle (Hll.family_custom ~rng:(Rng.create 47) ~registers:256)
+  in
+  let whole = Hll.create fam in
+  Hll.add_batch whole items;
+  let dst = Hll.create fam in
+  List.iter
+    (fun part ->
+      let s = Hll.create fam in
+      Hll.add_batch s part;
+      Hll.merge_into ~dst s)
+    parts;
+  check_eq "hll" (Hll.estimate whole) (Hll.estimate dst)
+
+(* The point of the MLE: tighter than Classic on average over seeds. *)
+let test_mle_tighter_on_average () =
+  let n = 2_000 in
+  let truth = float_of_int n in
+  let total_classic = ref 0.0 and total_mle = ref 0.0 in
+  let n_seeds = 40 in
+  for seed = 1 to n_seeds do
+    let base = Hll.family_custom ~rng:(Rng.create seed) ~registers:64 in
+    let items = distinct_items ~seed:(seed * 7) n in
+    let classic = Hll.create base in
+    Hll.add_batch classic items;
+    let m = Hll.create (Hll.with_estimator mle base) in
+    Hll.add_batch m items;
+    total_classic := !total_classic +. rel_err (Hll.estimate classic) truth;
+    total_mle := !total_mle +. rel_err (Hll.estimate m) truth
+  done;
+  let mc = !total_classic /. float_of_int n_seeds
+  and mm = !total_mle /. float_of_int n_seeds in
+  if mm > mc *. 1.05 then
+    Alcotest.failf "mle mean rel err %.4f vs classic %.4f: not tighter" mm mc
+
+(* ------------------------------------------------------------------ *)
+(* Fm_concentrated serialization and sketch laws not covered by the
+   generic property suite *)
+
+let test_fmc_roundtrip () =
+  let fam = Fmc.family_custom ~rng:(Rng.create 53) ~buckets:64 in
+  let s = Fmc.create fam in
+  Fmc.add_batch s (distinct_items ~seed:53 5_000);
+  let s' = Fmc.of_bytes fam (Fmc.to_bytes s) in
+  Alcotest.(check bool) "roundtrip equal" true (Fmc.equal s s');
+  Alcotest.(check (float 1e-9)) "roundtrip estimate" (Fmc.estimate s)
+    (Fmc.estimate s');
+  Alcotest.(check bool) "bad length rejected" true
+    (try
+       ignore (Fmc.of_bytes fam (Bytes.create 12));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "size_bytes is the wire size" (8 * 64)
+    (Bytes.length (Fmc.to_bytes s))
+
+let test_fmc_delta_bytes () =
+  let fam = Fmc.family_custom ~rng:(Rng.create 59) ~buckets:32 in
+  let a = Fmc.create fam in
+  Fmc.add_batch a (distinct_items ~seed:59 1_000);
+  let b = Fmc.copy a in
+  Alcotest.(check int) "delta of equal sketches" 0 (Fmc.delta_bytes ~from:a b);
+  Fmc.add_batch b (distinct_items ~seed:61 1_000);
+  let d = Fmc.delta_bytes ~from:a b in
+  Alcotest.(check bool) "delta positive and bounded" true
+    (d > 0 && d <= 4 * 64 * 32)
+
+let () =
+  Alcotest.run "estimators"
+    [
+      ( "mixed-tabulation",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_mixed_tabulation_deterministic;
+          Alcotest.test_case "spread" `Quick test_mixed_tabulation_spread;
+          Alcotest.test_case "concentrated sizing" `Quick
+            test_concentrated_sizing;
+        ] );
+      ( "crossover-continuity",
+        [
+          Alcotest.test_case "fm stochastic classic" `Quick test_crossover_fm;
+          Alcotest.test_case "fm stochastic mle" `Quick test_crossover_fm_mle;
+          Alcotest.test_case "hll classic" `Quick test_crossover_hll;
+          Alcotest.test_case "hll mle" `Quick test_crossover_hll_mle;
+          Alcotest.test_case "fmc both estimators" `Quick test_crossover_fmc;
+        ] );
+      ( "fallback-guards",
+        [
+          Alcotest.test_case "fm empty=0 low raw" `Quick
+            test_fm_empty_zero_guard;
+          Alcotest.test_case "hll zeros=0" `Quick test_hll_zeros_guard;
+        ] );
+      ( "mle",
+        [
+          Alcotest.test_case "fm stochastic accuracy" `Quick
+            test_mle_accuracy_fm;
+          Alcotest.test_case "fm averaged accuracy" `Quick
+            test_mle_accuracy_fm_averaged;
+          Alcotest.test_case "hll accuracy" `Quick test_mle_accuracy_hll;
+          Alcotest.test_case "bjkst accuracy" `Quick test_mle_accuracy_bjkst;
+          Alcotest.test_case "fmc accuracy" `Quick test_fmc_accuracy;
+          Alcotest.test_case "merge compatible" `Quick
+            test_mle_merge_compatible;
+          Alcotest.test_case "tighter on average" `Quick
+            test_mle_tighter_on_average;
+        ] );
+      ( "fm-concentrated",
+        [
+          Alcotest.test_case "serialization roundtrip" `Quick
+            test_fmc_roundtrip;
+          Alcotest.test_case "delta bytes" `Quick test_fmc_delta_bytes;
+        ] );
+    ]

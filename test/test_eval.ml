@@ -81,6 +81,61 @@ let test_binomial_accept () =
     (fun () -> ignore (Stats.binomial_accept ~trials:0 ~successes:0
                          ~null_p:0.9 ~significance:0.005))
 
+(* Degenerate inputs the acceptance machinery must survive without NaN
+   or misordered results: boundary quantile ranks, NaN ranks, p at the
+   {0, 1} parameter boundary, single-trial laws, and out-of-range k. *)
+let test_stats_boundaries () =
+  (* quantile: q at the boundaries on a singleton, and a NaN q must be
+     rejected, not silently propagated into the rank arithmetic. *)
+  checkf "singleton q0" 5.0 (Stats.quantile [| 5.0 |] 0.0);
+  checkf "singleton q1" 5.0 (Stats.quantile [| 5.0 |] 1.0);
+  Alcotest.check_raises "nan q rejected"
+    (Invalid_argument "Stats.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.quantile [| 1.0; 2.0 |] Float.nan));
+  Alcotest.check_raises "q over 1 rejected"
+    (Invalid_argument "Stats.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.quantile [| 1.0; 2.0 |] 1.5));
+  (* binomial pmf at the parameter boundaries: all mass on one point,
+     never NaN (the log-space form would produce log 0 here). *)
+  checkf "p=0 all mass at 0" 1.0 (Stats.binom_pmf ~n:7 ~p:0.0 0);
+  checkf "p=0 elsewhere" 0.0 (Stats.binom_pmf ~n:7 ~p:0.0 3);
+  checkf "p=1 all mass at n" 1.0 (Stats.binom_pmf ~n:7 ~p:1.0 7);
+  checkf "p=1 elsewhere" 0.0 (Stats.binom_pmf ~n:7 ~p:1.0 6);
+  (* out-of-range k is probability zero, not garbage from the falling
+     factorial. *)
+  checkf "k < 0" 0.0 (Stats.binom_pmf ~n:5 ~p:0.4 (-1));
+  checkf "k > n" 0.0 (Stats.binom_pmf ~n:5 ~p:0.4 6);
+  checkf "cdf k < 0" 0.0 (Stats.binom_cdf ~n:5 ~p:0.4 (-1));
+  checkf "cdf k >= n" 1.0 (Stats.binom_cdf ~n:5 ~p:0.4 5);
+  (* n = 1: the two-point law, and the acceptance verdict on it. *)
+  checkf "n=1 pmf 0" 0.6 (Stats.binom_pmf ~n:1 ~p:0.4 0);
+  checkf "n=1 pmf 1" 0.4 (Stats.binom_pmf ~n:1 ~p:0.4 1);
+  let v1 =
+    Stats.binomial_accept ~trials:1 ~successes:1 ~null_p:0.9
+      ~significance:0.005
+  in
+  Alcotest.(check bool) "1/1 passes" true v1.Stats.pass;
+  (* all-successes / all-failures at the null_p boundaries: p_values are
+     exact 1 and 0, never NaN. *)
+  let all_good =
+    Stats.binomial_accept ~trials:5 ~successes:5 ~null_p:1.0
+      ~significance:0.005
+  in
+  checkf "5/5 under null_p=1" 1.0 all_good.Stats.p_value;
+  Alcotest.(check bool) "5/5 passes" true all_good.Stats.pass;
+  let all_bad =
+    Stats.binomial_accept ~trials:5 ~successes:0 ~null_p:1.0
+      ~significance:0.005
+  in
+  checkf "0/5 under null_p=1" 0.0 all_bad.Stats.p_value;
+  Alcotest.(check bool) "0/5 fails" false all_bad.Stats.pass;
+  let free =
+    Stats.binomial_accept ~trials:5 ~successes:0 ~null_p:0.0
+      ~significance:0.005
+  in
+  Alcotest.(check bool) "0/5 under null_p=0 passes" true free.Stats.pass;
+  if Float.is_nan free.Stats.p_value then Alcotest.fail "p-value NaN"
+
 (* ------------------------------------------------------------------ *)
 (* Artifact *)
 
@@ -347,6 +402,29 @@ let test_handicap_detected () =
   if rigged.Artifact.p_value >= 0.005 then
     Alcotest.failf "failure not significant: p = %g" rigged.Artifact.p_value
 
+let test_handicap_detected_mle () =
+  (* Same dial on the new grid axes: a concentrated-hashing cell running
+     the MLE estimator.  Scaling accuracy by sqrt(h) shrinks the bucket
+     count h-fold, so the widened MLE must push enough repetitions out
+     of the honest alpha band to flip the binomial verdict — proving the
+     acceptance machinery is live for the new cells, not vacuously
+     green. *)
+  let cell =
+    Spec.base ~sketch:Spec.Fmc ~estimator:Spec.Mle ~events:30_000
+      (Spec.Dc Dc.LS)
+  in
+  let honest = Runner.run_cell tiny_config cell in
+  Alcotest.(check bool) "honest run passes" true honest.Artifact.accept_pass;
+  Alcotest.(check string)
+    "artifact records the estimator" "fmc+mle" honest.Artifact.sketch;
+  let rigged =
+    Runner.run_cell { tiny_config with Runner.handicap = 16.0 } cell
+  in
+  Alcotest.(check bool)
+    "handicapped run fails acceptance" false rigged.Artifact.accept_pass;
+  if rigged.Artifact.p_value >= 0.005 then
+    Alcotest.failf "failure not significant: p = %g" rigged.Artifact.p_value
+
 (* ------------------------------------------------------------------ *)
 (* wdmon inspect on an empty trace (CLI regression) *)
 
@@ -511,6 +589,7 @@ let () =
           Alcotest.test_case "mean/max" `Quick test_mean_max;
           Alcotest.test_case "binomial law" `Quick test_binomial_law;
           Alcotest.test_case "binomial acceptance" `Quick test_binomial_accept;
+          Alcotest.test_case "boundary cases" `Quick test_stats_boundaries;
         ] );
       ( "artifact",
         [
@@ -528,6 +607,8 @@ let () =
             test_runner_sketch_cell_deterministic;
           Alcotest.test_case "grid artifact" `Quick test_runner_grid_artifact;
           Alcotest.test_case "handicap detected" `Slow test_handicap_detected;
+          Alcotest.test_case "handicap detected (fmc+mle)" `Slow
+            test_handicap_detected_mle;
         ] );
       ( "cli",
         [

@@ -2,7 +2,10 @@
    exact byte totals and event counts captured from the reliable-channel
    implementation.  A protocol-cost regression — or any fault-injection
    change that leaks into the no-fault path — fails these loudly instead
-   of silently shifting every benchmark. *)
+   of silently shifting every benchmark.  The DC constants were
+   re-pinned when the linear-counting crossover became a blend
+   (Estimators.linear_blend): the ramp-up estimates changed, so the
+   threshold-crossing counts moved with them. *)
 
 module Sim = Whats_different.Simulation
 module Dc = Wd_protocol.Dc_tracker
@@ -36,25 +39,25 @@ let dc_ls_unicast () =
     Sim.run_dc ~seed:7 ~algorithm:Dc.LS ~theta:0.03 ~alpha:0.07 ~sink:ring
       (golden_stream ())
   in
-  Alcotest.(check int) "bytes up" 14088 run.Sim.dc_bytes_up;
-  Alcotest.(check int) "bytes down" 18988 run.Sim.dc_bytes_down;
-  Alcotest.(check int) "total bytes" 33076 run.Sim.dc_total_bytes;
-  Alcotest.(check int) "sends" 414 run.Sim.dc_sends;
+  Alcotest.(check int) "bytes up" 14204 run.Sim.dc_bytes_up;
+  Alcotest.(check int) "bytes down" 19140 run.Sim.dc_bytes_down;
+  Alcotest.(check int) "total bytes" 33344 run.Sim.dc_total_bytes;
+  Alcotest.(check int) "sends" 449 run.Sim.dc_sends;
   Alcotest.(check (float 1e-6)) "estimate" 3362.014438 run.Sim.dc_final_estimate;
   Alcotest.(check int) "truth" 3536 run.Sim.dc_final_truth;
   let summary = Summary.of_events (Sink.ring_contents ring) in
   check_kinds summary
     ~expected:
       [
-        ("estimate_update", 410);
-        ("message", 828);
-        ("resync", 414);
+        ("estimate_update", 445);
+        ("message", 898);
+        ("resync", 449);
         ("run_meta", 1);
-        ("sketch_sent", 414);
-        ("threshold_crossed", 414);
+        ("sketch_sent", 449);
+        ("threshold_crossed", 449);
       ];
-  Alcotest.(check int) "trace bytes up = ledger" 14088 summary.Summary.bytes_up;
-  Alcotest.(check int) "trace bytes down = ledger" 18988
+  Alcotest.(check int) "trace bytes up = ledger" 14204 summary.Summary.bytes_up;
+  Alcotest.(check int) "trace bytes down = ledger" 19140
     summary.Summary.bytes_down;
   Alcotest.(check int) "medium bytes" 0 summary.Summary.medium_bytes
 
@@ -64,24 +67,24 @@ let dc_ss_radio () =
     Sim.run_dc ~seed:7 ~cost_model:Network.Radio_broadcast ~algorithm:Dc.SS
       ~theta:0.03 ~alpha:0.07 ~sink:ring (golden_stream ())
   in
-  Alcotest.(check int) "bytes up" 13804 run.Sim.dc_bytes_up;
-  Alcotest.(check int) "bytes down" 1516892 run.Sim.dc_bytes_down;
-  Alcotest.(check int) "total bytes" 1530696 run.Sim.dc_total_bytes;
-  Alcotest.(check int) "sends" 403 run.Sim.dc_sends;
+  Alcotest.(check int) "bytes up" 13920 run.Sim.dc_bytes_up;
+  Alcotest.(check int) "bytes down" 1633576 run.Sim.dc_bytes_down;
+  Alcotest.(check int) "total bytes" 1647496 run.Sim.dc_total_bytes;
+  Alcotest.(check int) "sends" 434 run.Sim.dc_sends;
   Alcotest.(check (float 1e-6)) "estimate" 3386.897246
     run.Sim.dc_final_estimate;
   let summary = Summary.of_events (Sink.ring_contents ring) in
   check_kinds summary
     ~expected:
       [
-        ("broadcast", 403);
-        ("estimate_update", 403);
-        ("message", 403);
+        ("broadcast", 434);
+        ("estimate_update", 434);
+        ("message", 434);
         ("run_meta", 1);
-        ("sketch_sent", 403);
-        ("threshold_crossed", 403);
+        ("sketch_sent", 434);
+        ("threshold_crossed", 434);
       ];
-  Alcotest.(check int) "medium bytes = all broadcast traffic" 1516892
+  Alcotest.(check int) "medium bytes = all broadcast traffic" 1633576
     summary.Summary.medium_bytes
 
 let ds_gcs () =

@@ -24,9 +24,12 @@
 
 module Rng = Wd_hashing.Rng
 module Fm = Wd_sketch.Fm
+module Fmc = Wd_sketch.Fm_concentrated
 module Bjkst = Wd_sketch.Bjkst
 module Hll = Wd_sketch.Hyperloglog
 module Sampler = Wd_sketch.Distinct_sampler
+
+let mle = Wd_sketch.Sketch_intf.Mle
 
 (* One generated case: independent hash-family seed plus three item
    streams (with duplicates, small universe to force collisions). *)
@@ -136,15 +139,42 @@ let fm_suite variant name =
     (fun ~seed ->
       Fm.family_custom ~rng:(Rng.create seed) ~variant ~bitmaps:8)
 
-let bjkst_suite =
-  bitmap_suite "bjkst"
-    (module Bjkst : BITMAP_SKETCH with type family = Bjkst.family)
-    (fun ~seed -> Bjkst.family_custom ~rng:(Rng.create seed) ~k:16)
+(* The concentrated family and the Mle estimator mode run through the
+   same generic suite: merge laws, distributed = centralized (including
+   estimate equality — MLE merge-compatibility), duplicate insensitivity
+   and batch = fold must hold for every family x estimator the eval grid
+   exercises. *)
+let fmc_suite est name =
+  bitmap_suite name
+    (module Fmc : BITMAP_SKETCH with type family = Fmc.family)
+    (fun ~seed ->
+      Fmc.with_estimator est
+        (Fmc.family_custom ~rng:(Rng.create seed) ~buckets:8))
 
-let hll_suite =
-  bitmap_suite "hll"
+let fm_mle_suite =
+  bitmap_suite "fm-stochastic-mle"
+    (module Fm : BITMAP_SKETCH with type family = Fm.family)
+    (fun ~seed ->
+      Fm.with_estimator mle
+        (Fm.family_custom ~rng:(Rng.create seed) ~variant:Fm.Stochastic
+           ~bitmaps:8))
+
+let bjkst_suite_with est name =
+  bitmap_suite name
+    (module Bjkst : BITMAP_SKETCH with type family = Bjkst.family)
+    (fun ~seed ->
+      Bjkst.with_estimator est (Bjkst.family_custom ~rng:(Rng.create seed) ~k:16))
+
+let bjkst_suite = bjkst_suite_with Wd_sketch.Sketch_intf.Classic "bjkst"
+
+let hll_suite_with est name =
+  bitmap_suite name
     (module Hll : BITMAP_SKETCH with type family = Hll.family)
-    (fun ~seed -> Hll.family_custom ~rng:(Rng.create seed) ~registers:16)
+    (fun ~seed ->
+      Hll.with_estimator est
+        (Hll.family_custom ~rng:(Rng.create seed) ~registers:16))
+
+let hll_suite = hll_suite_with Wd_sketch.Sketch_intf.Classic "hll"
 
 (* ------------------------------------------------------------------ *)
 (* Distinct sampler: algebra over (level, retained counts) *)
@@ -322,8 +352,13 @@ let () =
     [
       ("fm-stochastic", fm_suite Fm.Stochastic "fm-stochastic");
       ("fm-averaged", fm_suite Fm.Averaged "fm-averaged");
+      ("fm-stochastic-mle", fm_mle_suite);
+      ("fmc", fmc_suite Wd_sketch.Sketch_intf.Classic "fmc");
+      ("fmc-mle", fmc_suite mle "fmc-mle");
       ("bjkst", bjkst_suite);
+      ("bjkst-mle", bjkst_suite_with mle "bjkst-mle");
       ("hll", hll_suite);
+      ("hll-mle", hll_suite_with mle "hll-mle");
       ("sampler", sampler_suite);
       ("tracker", tracker_suite);
     ]
