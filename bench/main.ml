@@ -19,7 +19,12 @@
        baseline) and exits nonzero when either exceeds its 5% budget.
      dune exec bench/main.exe -- --assert-concentrated [--baseline ...]
        asserts the concentrated-hashing FM family's batched per-update
-       cost beats the committed averaged-FM throughput row. *)
+       cost beats the committed averaged-FM throughput row.
+     dune exec bench/main.exe -- --assert-fanout [--scale S]
+       measures the view-registry fan-out (1 / 100 / 10k standing views
+       over one stream) and exits nonzero when the marginal per-view
+       update cost at 10k views exceeds 0.25x a standalone tracker
+       update. *)
 
 module Experiments = Whats_different.Experiments
 module Report = Whats_different.Report
@@ -327,15 +332,19 @@ let run_bytes ~scale =
   let dc_rows =
     List.map
       (fun alg ->
-        let r = Sim.run_dc ~seed:1 ~algorithm:alg ~theta:0.05 ~alpha:0.1 stream in
+        let r =
+          Sim.run ~seed:1
+            (Wd_view.Query.dc ~theta:0.05 ~alpha:0.1 alg)
+            stream
+        in
         {
           b_protocol = "dc";
           b_algorithm = Dc.algorithm_to_string alg;
-          b_updates = r.Sim.dc_updates;
-          b_total_bytes = r.Sim.dc_total_bytes;
-          b_bytes_up = r.Sim.dc_bytes_up;
-          b_bytes_down = r.Sim.dc_bytes_down;
-          b_sends = r.Sim.dc_sends;
+          b_updates = r.Sim.updates;
+          b_total_bytes = r.Sim.total_bytes;
+          b_bytes_up = r.Sim.bytes_up;
+          b_bytes_down = r.Sim.bytes_down;
+          b_sends = r.Sim.sends;
         })
       Dc.approximate_algorithms
   in
@@ -343,16 +352,18 @@ let run_bytes ~scale =
     List.map
       (fun alg ->
         let r =
-          Sim.run_ds ~seed:1 ~algorithm:alg ~theta:0.5 ~threshold:500 stream
+          Sim.run ~seed:1
+            (Wd_view.Query.ds ~theta:0.5 ~threshold:500 alg)
+            stream
         in
         {
           b_protocol = "ds";
           b_algorithm = Ds.algorithm_to_string alg;
-          b_updates = r.Sim.ds_updates;
-          b_total_bytes = r.Sim.ds_total_bytes;
-          b_bytes_up = r.Sim.ds_bytes_up;
-          b_bytes_down = r.Sim.ds_bytes_down;
-          b_sends = r.Sim.ds_sends;
+          b_updates = r.Sim.updates;
+          b_total_bytes = r.Sim.total_bytes;
+          b_bytes_up = r.Sim.bytes_up;
+          b_bytes_down = r.Sim.bytes_down;
+          b_sends = r.Sim.sends;
         })
       Ds.approximate_algorithms
   in
@@ -452,17 +463,18 @@ let run_scaling ~scale =
     in
     let t0 = Unix.gettimeofday () in
     let r =
-      Sim.run_dc ~seed:1 ~shards ~algorithm:Dc.LS ~theta:0.05 ~alpha:0.1
+      Sim.run ~seed:1 ~shards
+        (Wd_view.Query.dc ~theta:0.05 ~alpha:0.1 Dc.LS)
         stream
     in
     let wall = Unix.gettimeofday () -. t0 in
     {
       s_sites = sites;
       s_shards = shards;
-      s_updates = r.Sim.dc_updates;
+      s_updates = r.Sim.updates;
       s_wall_s = wall;
-      s_total_bytes = r.Sim.dc_total_bytes;
-      s_sends = r.Sim.dc_sends;
+      s_total_bytes = r.Sim.total_bytes;
+      s_sends = r.Sim.sends;
     }
   in
   let rows =
@@ -496,6 +508,132 @@ let run_scaling ~scale =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* View fan-out: end-to-end cost of V standing views sharing one
+   hash-once stream, and the marginal per-view cost of each extra view.
+   Satellites are key-class fanout queries (one residue each, all on one
+   modulus), so the registry routes them through a single dispatch
+   table; the gate below asserts the resulting marginal cost stays a
+   small fraction of a standalone tracker update. *)
+
+type views_row = {
+  w_views : int;
+  w_updates : int;
+  w_wall_s : float;
+  w_ns_per_update : float;
+  w_marginal_ns : float;
+      (* extra ns per update per added view vs the 1-view run; nan at V=1 *)
+}
+
+let view_counts = [ 1; 100; 10_000 ]
+
+let fanout_satellites ~views =
+  let sats = views - 1 in
+  List.init sats (fun i ->
+      Wd_view.Query.dc
+        ~name:(Printf.sprintf "v%d" (i + 1))
+        ~sketch:Wd_view.Query.Fanout
+        ~selector:(Wd_view.Query.Key_mod { modulus = sats; residue = i })
+        ~theta:0.05 ~alpha:0.1 Dc.NS)
+
+let measure_views ~scale =
+  let module Sim = Whats_different.Simulation in
+  let events = max 10_000 (int_of_float (200_000.0 *. scale)) in
+  let stream =
+    Stream_gen.zipf ~seed:11 ~sites:4 ~events ~universe:(max 500 (events / 2))
+      ()
+  in
+  let one views =
+    let satellites = if views > 1 then fanout_satellites ~views else [] in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Sim.run ~seed:1 ~views:satellites
+        (Wd_view.Query.dc ~theta:0.05 ~alpha:0.1 Dc.NS)
+        stream
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (r.Sim.updates, wall)
+  in
+  (* Warm-up so allocator and page-fault effects don't land on the
+     baseline 1-view row. *)
+  ignore (one 1);
+  let base = ref Float.nan in
+  List.map
+    (fun views ->
+      let updates, wall = one views in
+      let ns = wall *. 1e9 /. Float.of_int updates in
+      if views = 1 then base := ns;
+      let marginal =
+        if views = 1 then Float.nan
+        else (ns -. !base) /. Float.of_int (views - 1)
+      in
+      {
+        w_views = views;
+        w_updates = updates;
+        w_wall_s = wall;
+        w_ns_per_update = ns;
+        w_marginal_ns = marginal;
+      })
+    view_counts
+
+let print_views_rows rows =
+  Report.print_table
+    ~header:
+      [ "views"; "updates"; "wall s"; "ns/update"; "marginal ns/update/view" ]
+    (List.map
+       (fun r ->
+         Report.
+           [
+             I r.w_views;
+             I r.w_updates;
+             F r.w_wall_s;
+             F r.w_ns_per_update;
+             (if Float.is_nan r.w_marginal_ns then S "baseline"
+              else F r.w_marginal_ns);
+           ])
+       rows)
+
+let run_views ~scale =
+  Report.print_section
+    "views: V standing views over one hash-once stream (key-class fanout satellites)";
+  let rows = measure_views ~scale in
+  print_views_rows rows;
+  print_newline ();
+  rows
+
+(* The fan-out CI gate: at the largest view count, adding one more view
+   must cost at most a quarter of a standalone tracker update — i.e. the
+   registry's fan-out is strongly sublinear in V, not a per-view scan. *)
+let fanout_budget = 0.25
+
+let run_assert_fanout ~scale =
+  Report.print_section
+    (Printf.sprintf
+       "--assert-fanout: marginal view cost at V=%d vs the standalone \
+        per-update cost (budget %.2fx)"
+       (List.fold_left max 1 view_counts)
+       fanout_budget);
+  let rows = measure_views ~scale in
+  print_views_rows rows;
+  let base =
+    List.find_opt (fun r -> r.w_views = 1) rows
+    |> Option.map (fun r -> r.w_ns_per_update)
+  in
+  let last = List.nth rows (List.length rows - 1) in
+  match base with
+  | None ->
+    print_endline "no 1-view baseline row measured";
+    false
+  | Some base_ns ->
+    let ratio = last.w_marginal_ns /. base_ns in
+    let ok = Float.is_finite ratio && ratio <= fanout_budget in
+    Printf.printf
+      "marginal cost at %d views: %.3f ns/update/view = %.4fx of a \
+       standalone update (%.1f ns): %s\n\n"
+      last.w_views last.w_marginal_ns ratio base_ns
+      (if ok then "OK" else "OVER BUDGET");
+    ok
+
+(* ------------------------------------------------------------------ *)
 (* JSON result files (--json PATH): machine-readable snapshot of the
    throughput and bytes runs, written with the in-tree codec.  The
    committed BENCH_*.json baselines use this format; see README.md
@@ -503,7 +641,7 @@ let run_scaling ~scale =
 
 module Json = Wd_obs.Json
 
-let json_of_results ~scale ~throughput ~bytes ~scaling ~sketch_bytes =
+let json_of_results ~scale ~throughput ~bytes ~scaling ~sketch_bytes ~views =
   let fields = [ ("schema", Json.Str "wd-bench/1"); ("scale", Json.Float scale) ] in
   let fields =
     match throughput with
@@ -568,6 +706,29 @@ let json_of_results ~scale ~throughput ~bytes ~scaling ~sketch_bytes =
         ]
   in
   let fields =
+    match views with
+    | None -> fields
+    | Some rows ->
+      fields
+      @ [
+          ( "views",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [
+                       ("views", Json.Int r.w_views);
+                       ("updates", Json.Int r.w_updates);
+                       ("wall_s", Json.Float r.w_wall_s);
+                       ("ns_per_update", Json.Float r.w_ns_per_update);
+                       ( "marginal_ns_per_update_per_view",
+                         if Float.is_nan r.w_marginal_ns then Json.Null
+                         else Json.Float r.w_marginal_ns );
+                     ])
+                 rows) );
+        ]
+  in
+  let fields =
     match scaling with
     | None -> fields
     | Some rows ->
@@ -594,11 +755,12 @@ let json_of_results ~scale ~throughput ~bytes ~scaling ~sketch_bytes =
   in
   Json.Obj fields
 
-let write_json path ~scale ~throughput ~bytes ~scaling ~sketch_bytes =
+let write_json path ~scale ~throughput ~bytes ~scaling ~sketch_bytes ~views =
   let oc = open_out path in
   output_string oc
     (Json.to_string
-       (json_of_results ~scale ~throughput ~bytes ~scaling ~sketch_bytes));
+       (json_of_results ~scale ~throughput ~bytes ~scaling ~sketch_bytes
+          ~views));
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -1005,6 +1167,7 @@ let () =
   let json_path = ref None in
   let assert_overhead = ref false in
   let assert_concentrated = ref false in
+  let assert_fanout = ref false in
   let baseline = ref "BENCH_PR3.json" in
   let selected = ref [] in
   let rec parse = function
@@ -1027,12 +1190,15 @@ let () =
     | "--assert-concentrated" :: rest ->
       assert_concentrated := true;
       parse rest
+    | "--assert-fanout" :: rest ->
+      assert_fanout := true;
+      parse rest
     | "--baseline" :: path :: rest ->
       baseline := path;
       parse rest
     | "--list" :: _ ->
       List.iter print_endline
-        ("throughput" :: "bytes" :: "scaling" :: "sketch-bytes"
+        ("throughput" :: "bytes" :: "scaling" :: "sketch-bytes" :: "views"
        :: "sink-overhead" :: "span-overhead" :: Experiments.ids);
       exit 0
     | id :: rest ->
@@ -1049,10 +1215,12 @@ let () =
   let bytes_rows = ref None in
   let scaling_rows = ref None in
   let sketch_bytes_rows = ref None in
+  let views_rows = ref None in
   let do_throughput () = throughput_rows := Some (run_throughput ()) in
   let do_bytes () = bytes_rows := Some (run_bytes ~scale:!scale) in
   let do_scaling () = scaling_rows := Some (run_scaling ~scale:!scale) in
   let do_sketch_bytes () = sketch_bytes_rows := Some (run_sketch_bytes ()) in
+  let do_views () = views_rows := Some (run_views ~scale:!scale) in
   let selected = List.rev !selected in
   let t0 = Unix.gettimeofday () in
   let gate_ok = ref true in
@@ -1064,10 +1232,12 @@ let () =
     end;
     if !assert_concentrated then
       if not (run_assert_concentrated ~baseline:!baseline) then
-        gate_ok := false
+        gate_ok := false;
+    if !assert_fanout then
+      if not (run_assert_fanout ~scale:!scale) then gate_ok := false
   in
   (match selected with
-  | [] when !assert_overhead || !assert_concentrated ->
+  | [] when !assert_overhead || !assert_concentrated || !assert_fanout ->
     (* Gate-only mode (the CI bench steps): skip the figure
        reproduction, just run the requested assertions. *)
     run_gates ()
@@ -1081,6 +1251,7 @@ let () =
       do_bytes ();
       do_scaling ();
       do_sketch_bytes ();
+      do_views ();
       ignore (run_sink_overhead () : bool);
       run_span_overhead ())
   | ids ->
@@ -1090,6 +1261,7 @@ let () =
         else if id = "bytes" then do_bytes ()
         else if id = "scaling" then do_scaling ()
         else if id = "sketch-bytes" then do_sketch_bytes ()
+        else if id = "views" then do_views ()
         else if id = "sink-overhead" then ignore (run_sink_overhead () : bool)
         else if id = "span-overhead" then run_span_overhead ()
         else
@@ -1104,7 +1276,7 @@ let () =
     (fun path ->
       write_json path ~scale:!scale ~throughput:!throughput_rows
         ~bytes:!bytes_rows ~scaling:!scaling_rows
-        ~sketch_bytes:!sketch_bytes_rows)
+        ~sketch_bytes:!sketch_bytes_rows ~views:!views_rows)
     !json_path;
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0);
   if not !gate_ok then (

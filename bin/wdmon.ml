@@ -6,6 +6,8 @@
      dc          - one distinct-count tracking run with chosen parameters
      ds          - one distinct-sample tracking run
      hh          - one distinct heavy-hitters tracking run
+     run         - one simulation from a declarative query spec, with
+                   optional --views standing satellite queries
      coord       - run a tracking protocol over the socket or TCP transport
      site        - one site relay process for the socket transport
      relay       - one multiplexed relay process for the TCP transport
@@ -34,6 +36,7 @@ module Summary = Wd_obs.Summary
 module Espec = Wd_eval.Spec
 module Runner = Wd_eval.Runner
 module Artifact = Wd_eval.Artifact
+module Query = Wd_view.Query
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments *)
@@ -156,6 +159,55 @@ let finish_obs ~trace_out ~metrics_out sink metrics =
     Printf.printf "metrics written to %s\n" path
   | _ -> ()
 
+(* --views: satellite standing queries riding on a run's stream. *)
+let views_arg =
+  let doc =
+    "Satellite standing views sharing the run's stream: a file of one \
+     query spec per line ($(i,#) comments allowed), or $(i,;)-separated \
+     specs, e.g. \
+     $(i,dc:ls:sketch=fanout,mod=10/3;ds:lco:threshold=200).  Per-view \
+     answers are reported at the end of the run and, with \
+     $(b,--trace-out), as $(i,view_report) trace events."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "views" ] ~docv:"FILE|SPEC" ~doc)
+
+let parse_views = function
+  | None -> Ok []
+  | Some s ->
+    if Sys.file_exists s then Query.of_file s
+    else
+      let specs =
+        String.split_on_char ';' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | sp :: rest -> (
+          match Query.of_spec sp with
+          | Ok q -> go (q :: acc) rest
+          | Error e -> Error (Printf.sprintf "--views %S: %s" sp e))
+      in
+      go [] specs
+
+let view_report_table (reports : Simulation.view_report array) =
+  if Array.length reports > 1 then begin
+    print_newline ();
+    Report.print_table
+      ~header:[ "view"; "spec"; "estimate"; "routed"; "bytes" ]
+      (Array.to_list reports
+      |> List.map (fun (vr : Simulation.view_report) ->
+             Report.
+               [
+                 S vr.Simulation.view_label;
+                 S vr.Simulation.view_spec;
+                 F vr.Simulation.view_estimate;
+                 I vr.Simulation.view_routed;
+                 I vr.Simulation.view_total_bytes;
+               ]))
+  end
+
 let build_workload which ~scale ~seed ~sites ~events =
   match which with
   | `Http_pairs ->
@@ -246,7 +298,8 @@ let dc_cmd =
       let alpha = epsilon -. theta in
       let sink, metrics = build_obs ~trace_out ~metrics_out in
       let r =
-        Simulation.run_dc ~seed ?sink ?metrics ~faults ~algorithm ~theta ~alpha
+        Simulation.run ~seed ?sink ?metrics ~faults
+          (Query.dc ~theta ~alpha algorithm)
           stream
       in
       let exact = Simulation.exact_dc_bytes stream in
@@ -256,35 +309,35 @@ let dc_cmd =
       Report.print_kv
         ([
            ("sites", string_of_int (Stream.num_sites stream));
-           ("updates", string_of_int r.Simulation.dc_updates);
-           ("true distinct", string_of_int r.Simulation.dc_final_truth);
-           ("estimate", Printf.sprintf "%.0f" r.Simulation.dc_final_estimate);
+           ("updates", string_of_int r.Simulation.updates);
+           ("true distinct", string_of_int r.Simulation.final_truth);
+           ("estimate", Printf.sprintf "%.0f" r.Simulation.final_estimate);
            ( "relative error",
              Printf.sprintf "%.4f"
                (Float.abs
-                  (r.Simulation.dc_final_estimate
-                  -. Float.of_int r.Simulation.dc_final_truth)
-               /. Float.of_int (max 1 r.Simulation.dc_final_truth)) );
+                  (r.Simulation.final_estimate
+                  -. Float.of_int r.Simulation.final_truth)
+               /. Float.of_int (max 1 r.Simulation.final_truth)) );
            ("bytes up / down",
-            Printf.sprintf "%d / %d" r.Simulation.dc_bytes_up
-              r.Simulation.dc_bytes_down);
-           ("total bytes", string_of_int r.Simulation.dc_total_bytes);
+            Printf.sprintf "%d / %d" r.Simulation.bytes_up
+              r.Simulation.bytes_down);
+           ("total bytes", string_of_int r.Simulation.total_bytes);
            ("exact (EC) bytes", string_of_int exact);
            ( "cost ratio",
              Printf.sprintf "%.3e"
-               (Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact)
+               (Float.of_int r.Simulation.total_bytes /. Float.of_int exact)
            );
-           ("site->coord messages", string_of_int r.Simulation.dc_sends);
+           ("site->coord messages", string_of_int r.Simulation.sends);
          ]
-        @ fault_kv ~drops:r.Simulation.dc_drops
-            ~duplicates:r.Simulation.dc_duplicates
-            ~retries:r.Simulation.dc_retries ~lost:r.Simulation.dc_lost_updates
+        @ fault_kv ~drops:r.Simulation.drops
+            ~duplicates:r.Simulation.duplicates
+            ~retries:r.Simulation.retries ~lost:r.Simulation.lost_updates
             faults);
       (* The asymmetric information flow the paper's conclusion highlights:
          per-direction traffic differs sharply across algorithms. *)
       Printf.printf "up/down asymmetry    : %.2f\n"
-        (Float.of_int r.Simulation.dc_bytes_up
-        /. Float.of_int (max 1 r.Simulation.dc_bytes_down));
+        (Float.of_int r.Simulation.bytes_up
+        /. Float.of_int (max 1 r.Simulation.bytes_down));
       finish_obs ~trace_out ~metrics_out sink metrics;
       `Ok ()
   in
@@ -328,12 +381,17 @@ let ds_cmd =
       in
       let sink, metrics = build_obs ~trace_out ~metrics_out in
       let r =
-        Simulation.run_ds ~seed ?sink ~faults ~algorithm ~theta ~threshold
+        Simulation.run ~seed ?sink ~faults
+          (Query.ds ~theta ~threshold algorithm)
           stream
       in
       let exact = Simulation.exact_ds_bytes stream in
-      let sample = r.Simulation.ds_final_sample in
-      let level = r.Simulation.ds_final_level in
+      let level, sample, max_count_error =
+        match r.Simulation.aux with
+        | Simulation.Ds_aux { level; sample; max_count_error } ->
+          (level, sample, max_count_error)
+        | _ -> assert false
+      in
       let module D = Wd_aggregate.Duplication in
       Report.print_section
         (Printf.sprintf "distinct sample tracking (%s)"
@@ -341,12 +399,12 @@ let ds_cmd =
       Report.print_kv
         ([
            ("sites", string_of_int (Stream.num_sites stream));
-           ("updates", string_of_int r.Simulation.ds_updates);
+           ("updates", string_of_int r.Simulation.updates);
            ("sample size / T",
             Printf.sprintf "%d / %d" (List.length sample) threshold);
            ("sampling level", string_of_int level);
            ("distinct estimate",
-            Printf.sprintf "%.0f" r.Simulation.ds_distinct_estimate);
+            Printf.sprintf "%.0f" r.Simulation.final_estimate);
            ("true distinct", string_of_int (Stream.distinct_count stream));
            ("unique-event estimate",
             Printf.sprintf "%.0f" (D.unique_count ~level sample));
@@ -354,18 +412,17 @@ let ds_cmd =
              match D.median_count sample with
              | Some m -> string_of_int m
              | None -> "n/a" );
-           ("max count error",
-            Printf.sprintf "%.4f" r.Simulation.ds_max_count_error);
-           ("total bytes", string_of_int r.Simulation.ds_total_bytes);
+           ("max count error", Printf.sprintf "%.4f" max_count_error);
+           ("total bytes", string_of_int r.Simulation.total_bytes);
            ("exact (EDS) bytes", string_of_int exact);
            ( "cost ratio",
              Printf.sprintf "%.3e"
-               (Float.of_int r.Simulation.ds_total_bytes /. Float.of_int exact)
+               (Float.of_int r.Simulation.total_bytes /. Float.of_int exact)
            );
          ]
-        @ fault_kv ~drops:r.Simulation.ds_drops
-            ~duplicates:r.Simulation.ds_duplicates
-            ~retries:r.Simulation.ds_retries ~lost:r.Simulation.ds_lost_updates
+        @ fault_kv ~drops:r.Simulation.drops
+            ~duplicates:r.Simulation.duplicates
+            ~retries:r.Simulation.retries ~lost:r.Simulation.lost_updates
             faults);
       finish_obs ~trace_out ~metrics_out sink metrics;
       `Ok ()
@@ -404,31 +461,118 @@ let hh_cmd =
       Simulation.pair_stream_of_requests cfg Http.Per_region (Http.generate cfg)
     in
     let r =
-      Simulation.run_hh ~seed ~top_k ~algorithm ~theta:0.03
-        ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 500; bitmaps = 10 }
-        pairs
+      Simulation.run ~seed ~top_k
+        (Query.hh
+           ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 500; bitmaps = 10 }
+           ~theta:0.03 algorithm)
+        (Simulation.stream_of_pairs pairs)
+    in
+    let avg_norm_error, topk_recall, exact_bytes =
+      match r.Simulation.aux with
+      | Simulation.Hh_aux { avg_norm_error; topk_recall; exact_bytes } ->
+        (avg_norm_error, topk_recall, exact_bytes)
+      | _ -> assert false
     in
     Report.print_section
       (Printf.sprintf "distinct heavy hitters (%s): objects by distinct clients"
          (Dc.algorithm_to_string algorithm));
     Report.print_kv
       [
-        ("updates", string_of_int r.Simulation.hh_updates);
-        ("total bytes", string_of_int r.Simulation.hh_total_bytes);
-        ("exact-pair bytes", string_of_int r.Simulation.hh_exact_bytes);
+        ("updates", string_of_int r.Simulation.updates);
+        ("total bytes", string_of_int r.Simulation.total_bytes);
+        ("exact-pair bytes", string_of_int exact_bytes);
         ( "cost ratio",
           Printf.sprintf "%.3e"
-            (Float.of_int r.Simulation.hh_total_bytes
-            /. Float.of_int r.Simulation.hh_exact_bytes) );
+            (Float.of_int r.Simulation.total_bytes
+            /. Float.of_int exact_bytes) );
         (Printf.sprintf "recall@%d" top_k,
-         Printf.sprintf "%.2f" r.Simulation.hh_topk_recall);
-        ("normalized degree error",
-         Printf.sprintf "%.5f" r.Simulation.hh_avg_norm_error);
+         Printf.sprintf "%.2f" topk_recall);
+        ("normalized degree error", Printf.sprintf "%.5f" avg_norm_error);
       ]
   in
   let doc = "Run one distinct heavy-hitters tracking simulation." in
   Cmd.v (Cmd.info "hh" ~doc)
     Term.(const run $ algo_arg $ top_arg $ scale_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run: the generic entry point — one declarative query, any protocol,
+   plus optional satellite views sharing the stream *)
+
+let run_cmd =
+  let query_arg =
+    let doc =
+      "The primary query spec: $(i,family:alg\\[:key=value,...\\]), e.g. \
+       $(i,dc:ls:alpha=0.07,theta=0.03) or $(i,ds:lco:threshold=500).  \
+       Families: dc, ds, hh, window."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let run spec views_spec workload trace scale seed sites events trace_out
+      metrics_out faults_spec fault_seed =
+    match
+      let ( let* ) = Result.bind in
+      let* q = Query.of_spec spec in
+      let* views = parse_views views_spec in
+      let* faults =
+        Result.map_error
+          (fun e -> e)
+          (parse_faults ~fault_seed faults_spec)
+      in
+      Ok (q, views, faults)
+    with
+    | Error e -> `Error (false, e)
+    | Ok (q, views, faults) -> (
+      let stream =
+        match trace with
+        | Some path -> load_trace path
+        | None -> (
+          match q.Query.protocol with
+          | Query.Hh _ ->
+            (* HH queries consume packed (v, w) pairs; satellites then
+               track the packed pair keys. *)
+            let cfg = Http.scaled ~seed scale in
+            Simulation.stream_of_pairs
+              (Simulation.pair_stream_of_requests cfg Http.Per_region
+                 (Http.generate cfg))
+          | _ -> build_workload workload ~scale ~seed ~sites ~events)
+      in
+      let sink, metrics = build_obs ~trace_out ~metrics_out in
+      match Simulation.run ~seed ?sink ?metrics ~faults ~views q stream with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | r ->
+        Report.print_section
+          (Printf.sprintf "continuous run: %s" (Query.to_spec q));
+        Report.print_kv
+          ([
+             ("views", string_of_int (Array.length r.Simulation.view_reports));
+             ("sites", string_of_int (Stream.num_sites stream));
+             ("updates", string_of_int r.Simulation.updates);
+             ("estimate", Printf.sprintf "%.1f" r.Simulation.final_estimate);
+             ("true distinct", string_of_int r.Simulation.final_truth);
+             ( "bytes up / down",
+               Printf.sprintf "%d / %d" r.Simulation.bytes_up
+                 r.Simulation.bytes_down );
+             ("total bytes", string_of_int r.Simulation.total_bytes);
+             ("site->coord messages", string_of_int r.Simulation.sends);
+           ]
+          @ fault_kv ~drops:r.Simulation.drops
+              ~duplicates:r.Simulation.duplicates
+              ~retries:r.Simulation.retries ~lost:r.Simulation.lost_updates
+              faults);
+        view_report_table r.Simulation.view_reports;
+        finish_obs ~trace_out ~metrics_out sink metrics;
+        `Ok ())
+  in
+  let doc =
+    "Run one simulation from a declarative query spec, optionally with \
+     satellite standing views sharing the stream."
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ query_arg $ views_arg $ workload_arg $ trace_arg
+        $ scale_arg $ seed_arg $ sites_arg $ events_arg $ trace_out_arg
+        $ metrics_out_arg $ faults_arg $ fault_seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* coord / site: the Unix-socket transport, sites as real processes *)
@@ -587,12 +731,17 @@ let coord_cmd =
   in
   let run protocol spawn path timeout workload scale seed epsilon sites events
       faults_spec fault_seed metrics_port spans trace_out tcp_port relays
-      shards =
-    match parse_faults ~fault_seed faults_spec with
+      shards views_spec =
+    match
+      let ( let* ) = Result.bind in
+      let* faults = parse_faults ~fault_seed faults_spec in
+      let* views = parse_views views_spec in
+      Ok (faults, views)
+    with
     | Error e -> `Error (false, e)
     | Ok _ when shards > 1 && protocol = `Ds ->
       `Error (false, "--shards applies to the dc protocol only")
-    | Ok faults ->
+    | Ok (faults, views) ->
       let stream = build_workload workload ~scale ~seed ~sites ~events in
       let k = Stream.num_sites stream in
       let children = ref [] in
@@ -694,26 +843,31 @@ let coord_cmd =
         | _ -> ());
         (* The runs close the transport on completion, which finishes every
            relay and collects its stats frame. *)
-        let label, estimate, truth =
+        let label, estimate, truth, view_reports =
           match protocol with
           | `Dc ->
             let theta = 0.3 *. epsilon in
             let alpha = epsilon -. theta in
             let r =
-              Simulation.run_dc ~seed ~transport ~faults ?sink ?metrics ~spans
-                ~shards ~algorithm:Dc.LS ~theta ~alpha stream
+              Simulation.run ~seed ~transport ~faults ?sink ?metrics ~spans
+                ~shards ~views
+                (Query.dc ~theta ~alpha Dc.LS)
+                stream
             in
             ( "distinct count (LS)",
-              r.Simulation.dc_final_estimate,
-              r.Simulation.dc_final_truth )
+              r.Simulation.final_estimate,
+              r.Simulation.final_truth,
+              r.Simulation.view_reports )
           | `Ds ->
             let r =
-              Simulation.run_ds ~seed ~transport ~faults ?sink ~spans
-                ~algorithm:Ds.LCO ~theta:0.25 ~threshold:500 stream
+              Simulation.run ~seed ~transport ~faults ?sink ~spans ~views
+                (Query.ds ~theta:0.25 ~threshold:500 Ds.LCO)
+                stream
             in
             ( "distinct sample (LCO)",
-              r.Simulation.ds_distinct_estimate,
-              Stream.distinct_count stream )
+              r.Simulation.final_estimate,
+              Stream.distinct_count stream,
+              r.Simulation.view_reports )
         in
         reap ();
         (* Serve any scrape that arrived after the last clock tick, then
@@ -827,6 +981,7 @@ let coord_cmd =
                     string_of_int (Wd_net.Metrics_http.served h) );
                 ])
               http);
+        view_report_table view_reports;
         print_endline "reconciliation (got vs expected):";
         let ok_up = check "wire bytes up" ws.Transport.wire_bytes_up expect_up in
         let ok_down =
@@ -857,7 +1012,7 @@ let coord_cmd =
         $ socket_timeout_arg $ workload_arg $ scale_arg $ seed_arg
         $ epsilon_arg $ sites_arg $ events_arg $ faults_arg $ fault_seed_arg
         $ metrics_port_arg $ spans_flag $ trace_out_arg $ tcp_port_arg
-        $ relays_arg $ shards_arg))
+        $ relays_arg $ shards_arg $ views_arg))
 
 (* ------------------------------------------------------------------ *)
 (* eval *)
@@ -1232,6 +1387,22 @@ let inspect_cmd =
         print_newline ();
         if s.Summary.span_stats <> [] then begin
           span_stats_table s.Summary.span_stats;
+          print_newline ()
+        end;
+        if s.Summary.views <> [] then begin
+          Report.print_table
+            ~header:[ "view"; "spec"; "estimate"; "routed"; "bytes" ]
+            (List.map
+               (fun (v : Summary.view_row) ->
+                 Report.
+                   [
+                     S v.v_label;
+                     S v.v_spec;
+                     F v.v_estimate;
+                     I v.v_routed;
+                     I v.v_bytes;
+                   ])
+               s.Summary.views);
           print_newline ()
         end;
         Report.print_table
@@ -1610,6 +1781,16 @@ let render_trace_frame file events =
     print_newline ();
     span_stats_table s.Summary.span_stats
   end;
+  if s.Summary.views <> [] then begin
+    print_newline ();
+    Report.print_table
+      ~header:[ "view"; "spec"; "estimate"; "routed"; "bytes" ]
+      (List.map
+         (fun (v : Summary.view_row) ->
+           Report.
+             [ S v.v_label; S v.v_spec; F v.v_estimate; I v.v_routed; I v.v_bytes ])
+         s.Summary.views)
+  end;
   print_newline ()
 
 let top_cmd =
@@ -1747,6 +1928,7 @@ let () =
             dc_cmd;
             ds_cmd;
             hh_cmd;
+            run_cmd;
             coord_cmd;
             site_cmd;
             relay_cmd;

@@ -39,18 +39,18 @@ let () =
   List.iter
     (fun algorithm ->
       let r =
-        Sim.run_dc ~seed:7 ~algorithm ~theta:0.03 ~alpha:0.07
-          ~error_samples:1 replayed
+        Sim.run ~seed:7 ~error_samples:1
+          (Wd_view.Query.dc ~theta:0.03 ~alpha:0.07 algorithm)
+          replayed
       in
       let err =
-        Float.abs
-          (r.Sim.dc_final_estimate -. Float.of_int r.Sim.dc_final_truth)
-        /. Float.of_int r.Sim.dc_final_truth
+        Float.abs (r.Sim.final_estimate -. Float.of_int r.Sim.final_truth)
+        /. Float.of_int r.Sim.final_truth
       in
       Printf.printf "%-4s  %12d  %10.3e  %9.4f\n"
         (Dc.algorithm_to_string algorithm)
-        r.Sim.dc_total_bytes
-        (Float.of_int r.Sim.dc_total_bytes /. Float.of_int exact)
+        r.Sim.total_bytes
+        (Float.of_int r.Sim.total_bytes /. Float.of_int exact)
         err)
     Dc.all_algorithms;
 

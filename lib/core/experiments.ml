@@ -6,11 +6,24 @@ module Ds = Wd_protocol.Ds_tracker
 module Network = Wd_net.Network
 module Rng = Wd_hashing.Rng
 module Duplication = Wd_aggregate.Duplication
+module Query = Wd_view.Query
 open Report
 
 type options = { scale : float; seed : int; epsilon : float; confidence : float }
 
 let default_options = { scale = 1.0; seed = 42; epsilon = 0.1; confidence = 0.9 }
+
+(* Unified-run projections: the protocol-specific extras live in [aux]. *)
+let ds_level_sample (r : Simulation.run) =
+  match r.Simulation.aux with
+  | Simulation.Ds_aux { level; sample; _ } -> (level, sample)
+  | _ -> invalid_arg "ds_level_sample: not a DS run"
+
+let hh_extras (r : Simulation.run) =
+  match r.Simulation.aux with
+  | Simulation.Hh_aux { avg_norm_error; topk_recall; exact_bytes } ->
+    (avg_norm_error, topk_recall, exact_bytes)
+  | _ -> invalid_arg "hh_extras: not an HH run"
 
 type table = {
   id : string;
@@ -82,10 +95,11 @@ let dc_theta_sweep o stream =
       List.map
         (fun algorithm ->
           let r =
-            Simulation.run_dc ~seed:o.seed ~confidence:o.confidence ~algorithm
-              ~theta ~alpha ~error_samples:1 stream
+            Simulation.run ~seed:o.seed ~error_samples:1
+              (Query.dc ~confidence:o.confidence ~theta ~alpha algorithm)
+              stream
           in
-          R (Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact))
+          R (Float.of_int r.Simulation.total_bytes /. Float.of_int exact))
         Dc.approximate_algorithms
     in
     F frac :: ratios
@@ -116,8 +130,9 @@ let fig5a ?(options = default_options) () =
 let dc_progress_series o ?(algorithms = Dc.approximate_algorithms) stream =
   let checkpoints = 10 in
   let ec =
-    Simulation.run_dc ~seed:o.seed ~algorithm:Dc.EC ~theta:0.1 ~alpha:0.1
-      ~checkpoints ~error_samples:1 stream
+    Simulation.run ~seed:o.seed ~checkpoints ~error_samples:1
+      (Query.dc ~theta:0.1 ~alpha:0.1 Dc.EC)
+      stream
   in
   let runs =
     List.map
@@ -126,17 +141,18 @@ let dc_progress_series o ?(algorithms = Dc.approximate_algorithms) stream =
         let theta = frac *. o.epsilon in
         let alpha = o.epsilon -. theta in
         ( algorithm,
-          Simulation.run_dc ~seed:o.seed ~confidence:o.confidence ~algorithm
-            ~theta ~alpha ~checkpoints ~error_samples:1 stream ))
+          Simulation.run ~seed:o.seed ~checkpoints ~error_samples:1
+            (Query.dc ~confidence:o.confidence ~theta ~alpha algorithm)
+            stream ))
       algorithms
   in
   let rows =
     List.init checkpoints (fun i ->
-        let updates, ec_bytes = ec.Simulation.dc_bytes_series.(i) in
+        let updates, ec_bytes = ec.Simulation.bytes_series.(i) in
         I updates
         :: List.map
              (fun (_, r) ->
-               let _, b = r.Simulation.dc_bytes_series.(i) in
+               let _, b = r.Simulation.bytes_series.(i) in
                R (Float.of_int b /. Float.of_int (max 1 ec_bytes)))
              runs)
   in
@@ -181,14 +197,15 @@ let fig5d ?(options = default_options) () =
     List.map
       (fun algorithm ->
         ( algorithm,
-          Simulation.run_dc ~seed:o.seed ~confidence:o.confidence ~algorithm
-            ~theta ~alpha ~error_samples:400 stream ))
+          Simulation.run ~seed:o.seed ~error_samples:400
+            (Query.dc ~confidence:o.confidence ~theta ~alpha algorithm)
+            stream ))
       Dc.approximate_algorithms
   in
   let sorted_errors =
     List.map
       (fun (_, r) ->
-        let errs = Array.map snd r.Simulation.dc_error_series in
+        let errs = Array.map snd r.Simulation.error_series in
         Array.sort Float.compare errs;
         errs)
       runs
@@ -268,9 +285,11 @@ let ds_threshold_sweep o ~theta stream =
       List.map
         (fun algorithm ->
           let r =
-            Simulation.run_ds ~seed:o.seed ~algorithm ~theta ~threshold stream
+            Simulation.run ~seed:o.seed
+              (Query.ds ~theta ~threshold algorithm)
+              stream
           in
-          R (Float.of_int r.Simulation.ds_total_bytes /. Float.of_int exact))
+          R (Float.of_int r.Simulation.total_bytes /. Float.of_int exact))
         Ds.approximate_algorithms
     in
     I threshold :: ratios
@@ -324,9 +343,11 @@ let fig6c ?(options = default_options) () =
       List.map
         (fun algorithm ->
           let r =
-            Simulation.run_ds ~seed:o.seed ~algorithm ~theta ~threshold stream
+            Simulation.run ~seed:o.seed
+              (Query.ds ~theta ~threshold algorithm)
+              stream
           in
-          R (Float.of_int r.Simulation.ds_total_bytes /. Float.of_int exact))
+          R (Float.of_int r.Simulation.total_bytes /. Float.of_int exact))
         Ds.approximate_algorithms
     in
     F theta :: ratios
@@ -369,16 +390,15 @@ let fig7a ?(options = default_options) () =
           let runs =
             List.map
               (fun seed ->
-                Simulation.run_ds ~seed ~algorithm ~theta ~threshold stream)
+                Simulation.run ~seed (Query.ds ~theta ~threshold algorithm)
+                  stream)
               seeds
           in
           let avg_err =
             List.fold_left
               (fun acc r ->
-                let est =
-                  Duplication.unique_count ~level:r.Simulation.ds_final_level
-                    r.Simulation.ds_final_sample
-                in
+                let level, sample = ds_level_sample r in
+                let est = Duplication.unique_count ~level sample in
                 acc
                 +. (Float.abs (est -. Float.of_int exact)
                    /. Float.of_int exact))
@@ -387,7 +407,7 @@ let fig7a ?(options = default_options) () =
           in
           let avg_cost =
             List.fold_left
-              (fun acc r -> acc + r.Simulation.ds_total_bytes)
+              (fun acc r -> acc + r.Simulation.total_bytes)
               0 runs
             / List.length runs
           in
@@ -431,13 +451,14 @@ let fig7b ?(options = default_options) () =
             List.filter_map
               (fun seed ->
                 let r =
-                  Simulation.run_ds ~seed ~algorithm ~theta ~threshold stream
+                  Simulation.run ~seed (Query.ds ~theta ~threshold algorithm)
+                    stream
                 in
                 Option.map
                   (fun est ->
                     Float.abs (Float.of_int (est - exact_median))
                     /. Float.of_int exact_median)
-                  (Duplication.median_count r.Simulation.ds_final_sample))
+                  (Duplication.median_count (snd (ds_level_sample r))))
               seeds
           in
           match errs with
@@ -477,16 +498,17 @@ let fig7c ?(options = default_options) () =
     List.map
       (fun algorithm ->
         let r =
-          Simulation.run_hh ~seed:o.seed ~algorithm ~theta ~config pairs
+          Simulation.run ~seed:o.seed
+            (Query.hh ~config ~theta algorithm)
+            (Simulation.stream_of_pairs pairs)
         in
+        let avg_norm_error, topk_recall, exact_bytes = hh_extras r in
         [
           dc_algo_cell algorithm;
-          I r.Simulation.hh_total_bytes;
-          R
-            (Float.of_int r.Simulation.hh_total_bytes
-            /. Float.of_int r.Simulation.hh_exact_bytes);
-          F r.Simulation.hh_avg_norm_error;
-          F r.Simulation.hh_topk_recall;
+          I r.Simulation.total_bytes;
+          R (Float.of_int r.Simulation.total_bytes /. Float.of_int exact_bytes);
+          F avg_norm_error;
+          F topk_recall;
         ])
       Dc.approximate_algorithms
   in
@@ -523,10 +545,11 @@ let ablation_radio ?(options = default_options) () =
       (fun algorithm ->
         let run cost_model =
           let r =
-            Simulation.run_dc ~cost_model ~seed:o.seed ~algorithm ~theta
-              ~alpha ~error_samples:1 stream
+            Simulation.run ~cost_model ~seed:o.seed ~error_samples:1
+              (Query.dc ~theta ~alpha algorithm)
+              stream
           in
-          Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact
+          Float.of_int r.Simulation.total_bytes /. Float.of_int exact
         in
         [
           dc_algo_cell algorithm;
@@ -556,10 +579,11 @@ let ablation_radio_ds ?(options = default_options) () =
       (fun algorithm ->
         let run cost_model =
           let r =
-            Simulation.run_ds ~cost_model ~seed:o.seed ~algorithm ~theta
-              ~threshold stream
+            Simulation.run ~cost_model ~seed:o.seed
+              (Query.ds ~theta ~threshold algorithm)
+              stream
           in
-          Float.of_int r.Simulation.ds_total_bytes /. Float.of_int exact
+          Float.of_int r.Simulation.total_bytes /. Float.of_int exact
         in
         [
           S (Ds.algorithm_to_string algorithm);
@@ -596,10 +620,11 @@ let ext_scaling ?(options = default_options) () =
         let exact = Simulation.exact_dc_bytes stream in
         let ratio algorithm =
           let r =
-            Simulation.run_dc ~seed:o.seed ~algorithm ~theta ~alpha
-              ~error_samples:1 stream
+            Simulation.run ~seed:o.seed ~error_samples:1
+              (Query.dc ~theta ~alpha algorithm)
+              stream
           in
-          Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact
+          Float.of_int r.Simulation.total_bytes /. Float.of_int exact
         in
         [
           F s;
@@ -624,35 +649,29 @@ let ablation_sketch_type ?(options = default_options) () =
   let exact = Simulation.exact_dc_bytes stream in
   let frac = 0.3 in
   let theta = frac *. o.epsilon and alpha = (1.0 -. frac) *. o.epsilon in
-  let module Bj = Simulation.Make_dc (Wd_sketch.Bjkst) in
-  let module Hl = Simulation.Make_dc (Wd_sketch.Hyperloglog) in
-  let measure name run =
+  let measure sketch =
     List.map
       (fun algorithm ->
-        let r : Simulation.dc_run = run algorithm in
+        let r =
+          Simulation.run ~seed:o.seed ~error_samples:1
+            (Query.dc ~sketch ~theta ~alpha algorithm)
+            stream
+        in
         let err =
           Float.abs
-            (r.Simulation.dc_final_estimate
-            -. Float.of_int r.Simulation.dc_final_truth)
-          /. Float.of_int r.Simulation.dc_final_truth
+            (r.Simulation.final_estimate
+            -. Float.of_int r.Simulation.final_truth)
+          /. Float.of_int r.Simulation.final_truth
         in
         [
-          S name;
+          S (Query.sketch_to_string sketch);
           dc_algo_cell algorithm;
-          R (Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact);
+          R (Float.of_int r.Simulation.total_bytes /. Float.of_int exact);
           F err;
         ])
       [ Dc.NS; Dc.LS ]
   in
-  let rows =
-    measure "fm" (fun algorithm ->
-        Simulation.run_dc ~seed:o.seed ~algorithm ~theta ~alpha
-          ~error_samples:1 stream)
-    @ measure "bjkst" (fun algorithm ->
-          Bj.run ~seed:o.seed ~algorithm ~theta ~alpha ~error_samples:1 stream)
-    @ measure "hll" (fun algorithm ->
-          Hl.run ~seed:o.seed ~algorithm ~theta ~alpha ~error_samples:1 stream)
-  in
+  let rows = measure Query.Fm @ measure Query.Bjkst @ measure Query.Hll in
   {
     id = "ablation_sketch_type";
     title = "Sketch-type ablation: any mergeable distinct sketch plugs in (Section 4.2)";
@@ -717,10 +736,11 @@ let ablation_batching ?(options = default_options) () =
       (fun algorithm ->
         let run item_batching =
           let r =
-            Simulation.run_dc ~item_batching ~seed:o.seed ~algorithm ~theta
-              ~alpha ~error_samples:1 stream
+            Simulation.run ~item_batching ~seed:o.seed ~error_samples:1
+              (Query.dc ~theta ~alpha algorithm)
+              stream
           in
-          Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact
+          Float.of_int r.Simulation.total_bytes /. Float.of_int exact
         in
         [ dc_algo_cell algorithm; R (run true); R (run false) ])
       Dc.approximate_algorithms
@@ -777,17 +797,18 @@ let ablation_quantiles ?(options = default_options) () =
     List.map
       (fun algorithm ->
         let r =
-          Simulation.run_ds ~seed:o.seed ~algorithm ~theta:0.25 ~threshold:1_000
+          Simulation.run ~seed:o.seed
+            (Query.ds ~theta:0.25 ~threshold:1_000 algorithm)
             stream
         in
         let median =
           Option.value
-            (Duplication.value_median r.Simulation.ds_final_sample)
+            (Duplication.value_median (snd (ds_level_sample r)))
             ~default:0
         in
         [
           S ("sample/" ^ Ds.algorithm_to_string algorithm);
-          I r.Simulation.ds_total_bytes;
+          I r.Simulation.total_bytes;
           I median;
           I exact;
           F
@@ -993,19 +1014,20 @@ let ext_predictive ?(options = default_options) () =
   in
   let dc_row algorithm =
     let r =
-      Simulation.run_dc ~seed:o.seed ~algorithm ~theta ~alpha ~error_samples:1
+      Simulation.run ~seed:o.seed ~error_samples:1
+        (Query.dc ~theta ~alpha algorithm)
         stream
     in
     let err =
-      Float.abs (r.Simulation.dc_final_estimate -. Float.of_int truth)
+      Float.abs (r.Simulation.final_estimate -. Float.of_int truth)
       /. Float.of_int truth
     in
     [
       S (Dc.algorithm_to_string algorithm);
-      I r.Simulation.dc_total_bytes;
-      R (Float.of_int r.Simulation.dc_total_bytes /. Float.of_int exact);
+      I r.Simulation.total_bytes;
+      R (Float.of_int r.Simulation.total_bytes /. Float.of_int exact);
       F err;
-      I r.Simulation.dc_sends;
+      I r.Simulation.sends;
     ]
   in
   {

@@ -242,13 +242,6 @@ end
 
 module Dc_fm = Make_dc (Wd_sketch.Fm)
 
-let run_dc ?cost_model ?transport ?item_batching ?seed ?checkpoints
-    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ?shards ~algorithm
-    ~theta ~alpha stream =
-  Dc_fm.run ?cost_model ?transport ?item_batching ?seed ?checkpoints
-    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ?shards ~algorithm
-    ~theta ~alpha stream
-
 type ds_run = {
   ds_algorithm : Ds.algorithm;
   ds_updates : int;
@@ -266,73 +259,6 @@ type ds_run = {
   ds_retries : int;
   ds_lost_updates : int;
 }
-
-let run_ds ?(cost_model = Network.Unicast) ?transport ?(seed = 1)
-    ?(checkpoints = 20) ?(sink = Sink.null) ?(spans = false)
-    ?(faults = Wd_net.Faults.none) ~algorithm ~theta ~threshold stream =
-  let n = Stream.length stream in
-  if n = 0 then invalid_arg "Simulation.run_ds: empty stream";
-  let k = Stream.num_sites stream in
-  let rng = Rng.create seed in
-  let family = Wd_sketch.Distinct_sampler.family ~rng ~threshold in
-  let theta = if algorithm = Ds.EDS then Float.max theta 0.1 else theta in
-  let tracker =
-    Ds.create ~cost_model ?transport ~sink ~algorithm ~theta ~sites:k ~family
-      ()
-  in
-  let transport = Ds.transport tracker in
-  let net = Ds.network tracker in
-  Network.set_sink net sink;
-  attach_spans ~spans ~seed ~sink net;
-  Transport.set_faults transport faults;
-  emit_run_meta sink ~protocol:"ds"
-    ~algorithm:(Ds.algorithm_to_string algorithm)
-    ~sites:k ~cost_model ~seed;
-  let byte_positions = sample_positions n checkpoints in
-  let byte_at = cursor_matcher byte_positions in
-  let bytes_series = ref [] in
-  let sample_at j =
-    if byte_at j then
-      bytes_series := (j, Network.total_bytes net) :: !bytes_series
-  in
-  (* Fault-aware multiplicities: arrivals discarded inside a crash window
-     never reached the system, so the achievable exact counts exclude
-     them (identical to [Stream.multiplicities] when faults are off). *)
-  let exact = Hashtbl.create 4096 in
-  feed (Ds.generic tracker) ~faults ~boundaries:byte_positions
-    ~on_arrival:(fun item ->
-      Hashtbl.replace exact item
-        (1 + Option.value ~default:0 (Hashtbl.find_opt exact item)))
-    ~sample_at stream;
-  Transport.close transport;
-  let sample = Ds.sample tracker in
-  let max_count_error =
-    List.fold_left
-      (fun acc (v, c) ->
-        match Hashtbl.find_opt exact v with
-        | None -> acc (* cannot happen: sampled items exist in the stream *)
-        | Some c_true ->
-          Float.max acc
-            (Float.abs (Float.of_int (c - c_true)) /. Float.of_int c_true))
-      0.0 sample
-  in
-  {
-    ds_algorithm = algorithm;
-    ds_updates = n;
-    ds_total_bytes = Network.total_bytes net;
-    ds_bytes_up = Network.bytes_up net;
-    ds_bytes_down = Network.bytes_down net;
-    ds_sends = Ds.sends tracker;
-    ds_final_level = Ds.level tracker;
-    ds_final_sample = sample;
-    ds_distinct_estimate = Ds.estimate_distinct tracker;
-    ds_bytes_series = Array.of_list (List.rev !bytes_series);
-    ds_max_count_error = max_count_error;
-    ds_drops = Network.drops net;
-    ds_duplicates = Network.duplicate_deliveries net;
-    ds_retries = Network.retries net;
-    ds_lost_updates = Ds.lost_updates tracker;
-  }
 
 type pair_stream = { psites : int array; vs : int array; ws : int array }
 
@@ -365,92 +291,6 @@ type hh_run = {
   hh_exact_bytes : int;
 }
 
-(* EC baseline over a pair stream: one message per locally-new pair. *)
-let exact_pair_bytes p =
-  let k = pair_stream_sites p in
-  let seen = Array.init k (fun _ -> Hashtbl.create 1024) in
-  let bytes = ref 0 in
-  for j = 0 to pair_stream_length p - 1 do
-    let key = (p.vs.(j), p.ws.(j)) in
-    let site = p.psites.(j) in
-    if not (Hashtbl.mem seen.(site) key) then begin
-      Hashtbl.replace seen.(site) key ();
-      (* v and w both cross the wire. *)
-      bytes := !bytes + Wire.message ~payload:(2 * Wire.item_bytes)
-    end
-  done;
-  !bytes
-
-let run_hh ?(cost_model = Network.Unicast) ?transport ?item_batching
-    ?(seed = 1) ?(top_k = 20) ~algorithm ~theta ~config p =
-  let n = pair_stream_length p in
-  if n = 0 then invalid_arg "Simulation.run_hh: empty pair stream";
-  let k = pair_stream_sites p in
-  let rng = Rng.create seed in
-  let family = Wd_aggregate.Fm_array.family ~rng config in
-  let tracked =
-    Wd_aggregate.Distinct_hh.Tracked.create ~cost_model ?transport
-      ?item_batching ~algorithm ~theta ~sites:k ~family ()
-  in
-  for j = 0 to n - 1 do
-    Wd_aggregate.Distinct_hh.Tracked.observe tracked ~site:p.psites.(j)
-      ~v:p.vs.(j) ~w:p.ws.(j)
-  done;
-  (* Ground truth: exact degrees and distinct pair total. *)
-  let pair_seq =
-    Seq.init n (fun j -> (p.vs.(j), p.ws.(j)))
-  in
-  let degrees = Wd_aggregate.Distinct_hh.exact_degrees pair_seq in
-  let distinct_pairs =
-    Hashtbl.fold (fun _ d acc -> acc + d) degrees 0
-  in
-  let exact_top =
-    Hashtbl.fold (fun v d acc -> (v, d) :: acc) degrees []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
-    |> List.filteri (fun i _ -> i < top_k)
-  in
-  let avg_norm_error =
-    match exact_top with
-    | [] -> 0.0
-    | _ ->
-      let total =
-        List.fold_left
-          (fun acc (v, d) ->
-            let est = Wd_aggregate.Distinct_hh.Tracked.estimate tracked v in
-            acc +. (Float.abs (est -. Float.of_int d)
-                    /. Float.of_int (max 1 distinct_pairs)))
-          0.0 exact_top
-      in
-      total /. Float.of_int (List.length exact_top)
-  in
-  let estimated_top =
-    Wd_aggregate.Distinct_hh.Tracked.top tracked ~k:top_k
-    |> List.map fst
-  in
-  let recall =
-    match exact_top with
-    | [] -> 1.0
-    | _ ->
-      let hits =
-        List.length
-          (List.filter (fun (v, _) -> List.mem v estimated_top) exact_top)
-      in
-      Float.of_int hits /. Float.of_int (List.length exact_top)
-  in
-  let net = Wd_aggregate.Distinct_hh.Tracked.network tracked in
-  Transport.close (Wd_aggregate.Distinct_hh.Tracked.transport tracked);
-  {
-    hh_algorithm = algorithm;
-    hh_updates = n;
-    hh_total_bytes = Network.total_bytes net;
-    hh_bytes_up = Network.bytes_up net;
-    hh_bytes_down = Network.bytes_down net;
-    hh_sends = Wd_aggregate.Distinct_hh.Tracked.sends tracked;
-    hh_avg_norm_error = avg_norm_error;
-    hh_topk_recall = recall;
-    hh_exact_bytes = exact_pair_bytes p;
-  }
-
 let true_distinct_prefixes stream ~samples =
   let n = Stream.length stream in
   let at = cursor_matcher (sample_positions n samples) in
@@ -478,3 +318,393 @@ let exact_dc_bytes stream =
 
 let exact_ds_bytes stream =
   Stream.length stream * Wire.message ~payload:Wire.item_bytes
+
+(* ------------------------------------------------------------------ *)
+(* The unified run API: one driver over declarative standing queries. *)
+
+module Query = Wd_view.Query
+module Registry = Wd_view.Registry
+module Window_truth = Wd_workload.Window_truth
+
+type view_report = {
+  view_label : string;
+  view_spec : string;
+  view_estimate : float;
+  view_routed : int;
+  view_sends : int;
+  view_bytes_up : int;
+  view_bytes_down : int;
+  view_total_bytes : int;
+}
+
+type aux =
+  | Dc_aux
+  | Ds_aux of {
+      level : int;
+      sample : (int * int) list;
+      max_count_error : float;
+    }
+  | Hh_aux of {
+      avg_norm_error : float;
+      topk_recall : float;
+      exact_bytes : int;
+    }
+  | Window_aux of { window : int; exact_bytes : int }
+
+type run = {
+  query : Query.t;
+  updates : int;
+  total_bytes : int;
+  bytes_up : int;
+  bytes_down : int;
+  sends : int;
+  final_estimate : float;
+  final_truth : int;
+  bytes_series : (int * int) array;
+  error_series : (int * float) array;
+  drops : int;
+  duplicates : int;
+  retries : int;
+  lost_updates : int;
+  aux : aux;
+  view_reports : view_report array;
+}
+
+let stream_of_pairs p =
+  let n = pair_stream_length p in
+  let items =
+    Array.init n (fun j -> Query.pack_pair ~v:p.vs.(j) ~w:p.ws.(j))
+  in
+  Stream.make ~sites:(Array.copy p.psites) ~items
+
+(* EC baseline over a packed pair stream: one message per locally-new
+   pair, both halves on the wire (as [exact_pair_bytes]). *)
+let exact_packed_pair_bytes stream =
+  let k = Stream.num_sites stream in
+  let seen = Array.init (max 1 k) (fun _ -> Hashtbl.create 1024) in
+  let bytes = ref 0 in
+  Stream.iter
+    (fun ~site ~item ->
+      if not (Hashtbl.mem seen.(site) item) then begin
+        Hashtbl.replace seen.(site) item ();
+        bytes := !bytes + Wire.message ~payload:(2 * Wire.item_bytes)
+      end)
+    stream;
+  !bytes
+
+let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
+    ?(seed = 1) ?(checkpoints = 20) ?(error_samples = 200) ?(sink = Sink.null)
+    ?metrics ?(spans = false) ?(faults = Wd_net.Faults.none) ?(shards = 1)
+    ?(top_k = 20) ?(views = []) (query : Query.t) stream =
+  let n = Stream.length stream in
+  if n = 0 then invalid_arg "Simulation.run: empty stream";
+  let k = Stream.num_sites stream in
+  let is_window, is_hh, is_ds, sample_error =
+    match query.Query.protocol with
+    | Query.Dc _ -> (false, false, false, true)
+    | Query.Ds _ -> (false, false, true, false)
+    | Query.Hh _ -> (false, true, false, false)
+    | Query.Window _ -> (true, false, false, true)
+  in
+  if is_window && Wd_net.Faults.enabled faults then
+    invalid_arg
+      "Simulation.run: fault injection is not supported for window queries";
+  let default_window = max 1 (n / 4) in
+  let resolved_window =
+    if query.Query.window > 0 then query.Query.window else default_window
+  in
+  let reg =
+    Registry.create ~cost_model ?transport ~item_batching ~sink ~shards
+      ~default_window ~seed ~sites:k (query :: views)
+  in
+  let tracker = Registry.packed reg in
+  let net = Tracker_intf.network tracker in
+  Network.set_sink net sink;
+  attach_spans ~spans ?metrics ~seed ~sink net;
+  if not is_window then
+    Transport.set_faults (Tracker_intf.transport tracker) faults;
+  emit_run_meta sink
+    ~protocol:(Query.protocol_family query.Query.protocol)
+    ~algorithm:(Query.protocol_algorithm query.Query.protocol)
+    ~sites:k ~cost_model ~seed;
+  (* Harness-side accuracy instruments, for the protocols whose scalar
+     estimate is continuously comparable to exact ground truth. *)
+  let err_hist =
+    if sample_error then
+      Option.map
+        (fun m ->
+          Metrics.histogram m
+            ~help:"relative error of the coordinator estimate, sampled"
+            ~min_exp:(-20) ~max_exp:4 "wd_estimate_rel_error")
+        metrics
+    else None
+  in
+  let truth_gauge =
+    if sample_error then
+      Option.map
+        (fun m ->
+          Metrics.gauge m ~help:"exact distinct count at last error sample"
+            "wd_true_distinct")
+        metrics
+    else None
+  in
+  (* Ground truth over arrivals that reached the system: multiplicities
+     (DS needs counts; the table's size is the distinct truth), a
+     windowed structure for window queries, and the surviving arrival
+     order for HH degree evaluation. *)
+  let truth = Hashtbl.create 4096 in
+  let wtruth = if is_window then Some (Window_truth.create ()) else None in
+  let hh_log = ref [] in
+  let on_arrival item =
+    Hashtbl.replace truth item
+      (1 + Option.value ~default:0 (Hashtbl.find_opt truth item));
+    (match wtruth with Some w -> Window_truth.add w item | None -> ());
+    if is_hh then hh_log := item :: !hh_log
+  in
+  let truth_now () =
+    match wtruth with
+    | Some w -> Window_truth.distinct_last w resolved_window
+    | None -> Hashtbl.length truth
+  in
+  let byte_positions = sample_positions n checkpoints in
+  let err_positions =
+    if sample_error then sample_positions n error_samples else [||]
+  in
+  let byte_at = cursor_matcher byte_positions in
+  let err_at = cursor_matcher err_positions in
+  let bytes_series = ref [] and error_series = ref [] in
+  let sample_at j =
+    if byte_at j then
+      bytes_series := (j, Network.total_bytes net) :: !bytes_series;
+    if sample_error && err_at j then begin
+      let n0 = Float.of_int (truth_now ()) in
+      let err = Float.abs (Tracker_intf.estimate tracker -. n0) /. n0 in
+      Option.iter (fun h -> Metrics.observe h err) err_hist;
+      Option.iter (fun g -> Metrics.set g n0) truth_gauge;
+      error_series := (j, err) :: !error_series
+    end
+  in
+  feed tracker ~faults
+    ~boundaries:(merge_positions byte_positions err_positions)
+    ~on_arrival ~sample_at stream;
+  (* Publish deferred sharded merges, join worker domains and close the
+     transports before the final answers are read. *)
+  Registry.close reg;
+  let aux =
+    if is_ds then begin
+      let ds = Option.get (Registry.ds_tracker reg 0) in
+      let sample = Ds.sample ds in
+      let max_count_error =
+        List.fold_left
+          (fun acc (v, c) ->
+            match Hashtbl.find_opt truth v with
+            | None -> acc (* cannot happen: sampled items are in the stream *)
+            | Some c_true ->
+              Float.max acc
+                (Float.abs (Float.of_int (c - c_true))
+                /. Float.of_int c_true))
+          0.0 sample
+      in
+      Ds_aux { level = Ds.level ds; sample; max_count_error }
+    end
+    else if is_hh then begin
+      let h = Option.get (Registry.hh_tracker reg 0) in
+      let arrivals = Array.of_list (List.rev !hh_log) in
+      let pair_seq =
+        Seq.init (Array.length arrivals) (fun j ->
+            (Query.unpack_v arrivals.(j), Query.unpack_w arrivals.(j)))
+      in
+      let degrees = Wd_aggregate.Distinct_hh.exact_degrees pair_seq in
+      let distinct_pairs = Hashtbl.fold (fun _ d acc -> acc + d) degrees 0 in
+      let exact_top =
+        Hashtbl.fold (fun v d acc -> (v, d) :: acc) degrees []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> List.filteri (fun i _ -> i < top_k)
+      in
+      let avg_norm_error =
+        match exact_top with
+        | [] -> 0.0
+        | _ ->
+          let total =
+            List.fold_left
+              (fun acc (v, d) ->
+                let est = Wd_aggregate.Distinct_hh.Tracked.estimate h v in
+                acc
+                +. Float.abs (est -. Float.of_int d)
+                   /. Float.of_int (max 1 distinct_pairs))
+              0.0 exact_top
+          in
+          total /. Float.of_int (List.length exact_top)
+      in
+      let estimated_top =
+        Wd_aggregate.Distinct_hh.Tracked.top h ~k:top_k |> List.map fst
+      in
+      let recall =
+        match exact_top with
+        | [] -> 1.0
+        | _ ->
+          let hits =
+            List.length
+              (List.filter (fun (v, _) -> List.mem v estimated_top) exact_top)
+          in
+          Float.of_int hits /. Float.of_int (List.length exact_top)
+      in
+      Hh_aux
+        {
+          avg_norm_error;
+          topk_recall = recall;
+          exact_bytes = exact_packed_pair_bytes stream;
+        }
+    end
+    else if is_window then
+      Window_aux
+        {
+          window = resolved_window;
+          exact_bytes = Wd_protocol.Window_tracker.exact_bytes ~updates:n;
+        }
+    else Dc_aux
+  in
+  let view_reports =
+    Array.init (Registry.views reg) (fun i ->
+        let vt = Registry.view_tracker reg i in
+        let vnet = Tracker_intf.network vt in
+        {
+          view_label = Registry.label reg i;
+          view_spec = Query.to_spec (Registry.query reg i);
+          view_estimate = Registry.estimate reg i;
+          view_routed = Registry.routed reg i;
+          view_sends = Tracker_intf.sends vt;
+          view_bytes_up = Network.bytes_up vnet;
+          view_bytes_down = Network.bytes_down vnet;
+          view_total_bytes = Network.total_bytes vnet;
+        })
+  in
+  (* Trace the per-view answers, but only for genuinely multi-view runs:
+     single-view traces must stay bit-identical to the legacy drivers. *)
+  if Registry.views reg > 1 then
+    Array.iteri
+      (fun i (vr : view_report) ->
+        Sink.emit sink
+          {
+            Event.time = n;
+            kind =
+              Event.View_report
+                {
+                  index = i;
+                  label = vr.view_label;
+                  spec = vr.view_spec;
+                  estimate = vr.view_estimate;
+                  routed = vr.view_routed;
+                  bytes = vr.view_total_bytes;
+                };
+          })
+      view_reports;
+  {
+    query;
+    updates = n;
+    total_bytes = Network.total_bytes net;
+    bytes_up = Network.bytes_up net;
+    bytes_down = Network.bytes_down net;
+    sends = Tracker_intf.sends tracker;
+    final_estimate = Tracker_intf.estimate tracker;
+    final_truth = truth_now ();
+    bytes_series = Array.of_list (List.rev !bytes_series);
+    error_series = Array.of_list (List.rev !error_series);
+    drops = Network.drops net;
+    duplicates = Network.duplicate_deliveries net;
+    retries = Network.retries net;
+    lost_updates = Tracker_intf.lost_updates tracker;
+    aux;
+    view_reports;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Legacy entry points, kept as wrappers over {!run}. *)
+
+let run_dc ?cost_model ?transport ?item_batching ?seed ?checkpoints
+    ?error_samples ?confidence ?sink ?metrics ?spans ?faults ?shards ~algorithm
+    ~theta ~alpha stream =
+  if Stream.length stream = 0 then
+    invalid_arg "Simulation.run_dc: empty stream";
+  let r =
+    run ?cost_model ?transport ?item_batching ?seed ?checkpoints
+      ?error_samples ?sink ?metrics ?spans ?faults ?shards
+      (Query.dc ?confidence ~theta ~alpha algorithm)
+      stream
+  in
+  {
+    dc_algorithm = algorithm;
+    dc_updates = r.updates;
+    dc_total_bytes = r.total_bytes;
+    dc_bytes_up = r.bytes_up;
+    dc_bytes_down = r.bytes_down;
+    dc_sends = r.sends;
+    dc_final_estimate = r.final_estimate;
+    dc_final_truth = r.final_truth;
+    dc_bytes_series = r.bytes_series;
+    dc_error_series = r.error_series;
+    dc_drops = r.drops;
+    dc_duplicates = r.duplicates;
+    dc_retries = r.retries;
+    dc_lost_updates = r.lost_updates;
+  }
+
+let run_ds ?cost_model ?transport ?seed ?checkpoints ?sink ?spans ?faults
+    ~algorithm ~theta ~threshold stream =
+  if Stream.length stream = 0 then
+    invalid_arg "Simulation.run_ds: empty stream";
+  let r =
+    run ?cost_model ?transport ?seed ?checkpoints ?sink ?spans ?faults
+      (Query.ds ~theta ~threshold algorithm)
+      stream
+  in
+  let level, sample, max_count_error =
+    match r.aux with
+    | Ds_aux { level; sample; max_count_error } ->
+      (level, sample, max_count_error)
+    | _ -> assert false
+  in
+  {
+    ds_algorithm = algorithm;
+    ds_updates = r.updates;
+    ds_total_bytes = r.total_bytes;
+    ds_bytes_up = r.bytes_up;
+    ds_bytes_down = r.bytes_down;
+    ds_sends = r.sends;
+    ds_final_level = level;
+    ds_final_sample = sample;
+    ds_distinct_estimate = r.final_estimate;
+    ds_bytes_series = r.bytes_series;
+    ds_max_count_error = max_count_error;
+    ds_drops = r.drops;
+    ds_duplicates = r.duplicates;
+    ds_retries = r.retries;
+    ds_lost_updates = r.lost_updates;
+  }
+
+let run_hh ?cost_model ?transport ?item_batching ?seed ?top_k ~algorithm
+    ~theta ~config p =
+  if pair_stream_length p = 0 then
+    invalid_arg "Simulation.run_hh: empty pair stream";
+  let r =
+    run ?cost_model ?transport ?item_batching ?seed ?top_k
+      (Query.hh ~config ~theta algorithm)
+      (stream_of_pairs p)
+  in
+  let avg_norm_error, topk_recall, exact_bytes =
+    match r.aux with
+    | Hh_aux { avg_norm_error; topk_recall; exact_bytes } ->
+      (avg_norm_error, topk_recall, exact_bytes)
+    | _ -> assert false
+  in
+  {
+    hh_algorithm = algorithm;
+    hh_updates = r.updates;
+    hh_total_bytes = r.total_bytes;
+    hh_bytes_up = r.bytes_up;
+    hh_bytes_down = r.bytes_down;
+    hh_sends = r.sends;
+    hh_avg_norm_error = avg_norm_error;
+    hh_topk_recall = topk_recall;
+    hh_exact_bytes = exact_bytes;
+  }

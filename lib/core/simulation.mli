@@ -10,6 +10,109 @@
 
 module Stream = Wd_workload.Stream
 
+(** {1 The unified run API}
+
+    One driver for every protocol family, over declarative
+    {!Wd_view.Query} standing queries.  [run query stream] compiles the
+    query (plus any satellite [views]) into a {!Wd_view.Registry},
+    drives the whole stream through it, and reports cost and accuracy
+    against ground truth maintained harness-side.  The legacy
+    [run_dc]/[run_ds]/[run_hh] entry points below are thin wrappers and
+    produce bit-identical results for the queries they can express. *)
+
+type view_report = {
+  view_label : string;
+  view_spec : string;  (** {!Wd_view.Query.to_spec} of the view's query *)
+  view_estimate : float;
+  view_routed : int;  (** arrivals the view's selector accepted *)
+  view_sends : int;
+  view_bytes_up : int;
+  view_bytes_down : int;
+  view_total_bytes : int;
+}
+
+(** Protocol-specific extras of a {!run}. *)
+type aux =
+  | Dc_aux
+  | Ds_aux of {
+      level : int;  (** final global sampling level *)
+      sample : (int * int) list;  (** final (item, count) sample *)
+      max_count_error : float;
+          (** max relative error of tracked counts vs exact counts over
+              the final sample (Lemma 2 bounds this by [theta]) *)
+    }
+  | Hh_aux of {
+      avg_norm_error : float;
+          (** mean over the exact top-[k] of
+              [|estimate - d_v| / distinct_pairs] *)
+      topk_recall : float;
+      exact_bytes : int;  (** EC baseline on the same pair stream *)
+    }
+  | Window_aux of {
+      window : int;  (** resolved window width in updates *)
+      exact_bytes : int;  (** forward-every-update baseline *)
+    }
+
+type run = {
+  query : Wd_view.Query.t;
+  updates : int;
+  total_bytes : int;
+  bytes_up : int;
+  bytes_down : int;
+  sends : int;
+  final_estimate : float;
+      (** the primary view's final answer: DC/window distinct estimate,
+          DS sampler estimate, HH top degree *)
+  final_truth : int;
+      (** exact counterpart: distinct arrivals that reached the system
+          (DC/DS), distinct pairs (HH), windowed distinct count
+          (window) *)
+  bytes_series : (int * int) array;
+  error_series : (int * float) array;
+      (** sampled relative error — DC and window queries only *)
+  drops : int;
+  duplicates : int;
+  retries : int;
+  lost_updates : int;
+  aux : aux;
+  view_reports : view_report array;
+      (** one row per view, the primary first *)
+}
+
+val run :
+  ?cost_model:Wd_net.Network.cost_model ->
+  ?transport:Wd_net.Transport.t ->
+  ?item_batching:bool ->
+  ?seed:int ->
+  ?checkpoints:int ->
+  ?error_samples:int ->
+  ?sink:Wd_obs.Sink.t ->
+  ?metrics:Wd_obs.Metrics.t ->
+  ?spans:bool ->
+  ?faults:Wd_net.Faults.plan ->
+  ?shards:int ->
+  ?top_k:int ->
+  ?views:Wd_view.Query.t list ->
+  Wd_view.Query.t ->
+  Stream.t ->
+  run
+(** [run query stream] drives [stream] through [query] and any
+    satellite [views], all sharing the single feed pass.
+
+    The primary [query] receives [transport], [sink] and [shards], and
+    its byte ledger supplies the run's cost fields — exactly as the
+    legacy per-protocol entry points did.  Satellites run on private
+    in-process simulator transports (per-view costs are in
+    [view_reports]).  A view's hash seed defaults to [seed + index], so
+    the primary reproduces a standalone run at [seed] bit-for-bit.
+
+    [faults] applies to the primary's transport (window queries reject
+    enabled fault plans — they have no transport); satellite trackers
+    see the full arrival stream either way.  [top_k] sizes the HH
+    evaluation ([default 20]).  HH queries expect a stream of
+    {!Wd_view.Query.pack_pair}ed [(v, w)] keys — see
+    {!stream_of_pairs}. *)
+
 (** {1 Distinct-count runs} *)
 
 type dc_run = {
@@ -52,6 +155,7 @@ val run_dc :
   alpha:float ->
   Stream.t ->
   dc_run
+[@@ocaml.deprecated "Use Simulation.run with a Wd_view.Query.dc query."]
 (** [run_dc ~algorithm ~theta ~alpha stream] runs one protocol over the
     whole stream.  [alpha] sizes the FM family; [confidence] defaults to
     0.9 ([delta = 0.1], as in all paper experiments); [checkpoints]
@@ -159,8 +263,9 @@ val run_ds :
   threshold:int ->
   Stream.t ->
   ds_run
+[@@ocaml.deprecated "Use Simulation.run with a Wd_view.Query.ds query."]
 (** [sink] is attached to the tracker and its byte ledger; [spans],
-    [faults] and [transport] behave as in {!run_dc} (the transport is
+    [faults] and [transport] behave as in [run_dc] (the transport is
     closed when the run completes). *)
 
 (** {1 Distinct heavy-hitter runs} *)
@@ -178,6 +283,11 @@ val pair_stream_of_requests :
   pair_stream
 (** [(v, w) = (objectID, clientID)]: track the objects requested by the
     most distinct clients, as in Figure 7(c). *)
+
+val stream_of_pairs : pair_stream -> Stream.t
+(** The pair stream as a single-item stream of
+    {!Wd_view.Query.pack_pair}ed keys — the form {!run} consumes for HH
+    queries.  Requires [0 <= v, w < 2^31]. *)
 
 type hh_run = {
   hh_algorithm : Wd_protocol.Dc_tracker.algorithm;
@@ -209,6 +319,8 @@ val run_hh :
   config:Wd_aggregate.Fm_array.config ->
   pair_stream ->
   hh_run
+[@@ocaml.deprecated
+  "Use Simulation.run with a Wd_view.Query.hh query over stream_of_pairs."]
 
 (** {1 Ground truth helpers} *)
 

@@ -15,6 +15,7 @@ module Tcp = Wd_net.Transport_tcp
 module Metrics = Wd_obs.Metrics
 module Sink = Wd_obs.Sink
 module Event = Wd_obs.Event
+module Query = Wd_view.Query
 
 module Dc_bjkst = Sim.Make_dc (Wd_sketch.Bjkst)
 module Dc_hll = Sim.Make_dc (Wd_sketch.Hyperloglog)
@@ -167,6 +168,24 @@ let with_tcp_relays ~sites f =
    the Theory envelope (computed once per repetition: workloads are
    regenerated per seed, so the envelope inputs move with them). *)
 
+(* Key-class fanout satellites for a multi-view cell: [views - 1]
+   standing queries, each scoped to one residue class of the item key,
+   all sharing the primary's hash-once plane via the Fanout sketch. *)
+let dc_satellites (cell : Spec.cell) ~theta ~alpha algorithm =
+  let sats = cell.views - 1 in
+  List.init sats (fun i ->
+      Query.dc
+        ~name:(Printf.sprintf "v%d" (i + 1))
+        ~sketch:Query.Fanout
+        ~selector:(Query.Key_mod { modulus = sats; residue = i })
+        ~theta ~alpha algorithm)
+
+let query_sketch = function
+  | Spec.Fm -> Query.Fm
+  | Spec.Bjkst -> Query.Bjkst
+  | Spec.Hll -> Query.Hll
+  | Spec.Fmc -> Query.Fmc
+
 let dc_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
   let theta = Spec.theta cell in
   (* The injected-bug dial: scaling sketch accuracy by sqrt(h) is
@@ -178,6 +197,49 @@ let dc_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
     match cell.protocol with Spec.Dc a -> a | _ -> assert false
   in
   let est = sketch_estimator cell in
+  if cell.views > 1 then begin
+    (* Multi-view cells go through the registry entry point; the primary
+       runs at [seed] and must match the standalone tracker, so the
+       acceptance judgement below is unchanged. *)
+    let run =
+      Sim.run ?transport ?sink ?spans ~seed ~faults
+        ~views:(dc_satellites cell ~theta ~alpha:acc algorithm)
+        (Query.dc
+           ~sketch:(query_sketch cell.sketch)
+           ~estimator:est
+           ~confidence:(1.0 -. delta)
+           ~theta ~alpha:acc algorithm)
+        stream
+    in
+    let truth = max 1 run.Sim.final_truth in
+    let err =
+      Float.abs (run.Sim.final_estimate -. Float.of_int truth)
+      /. Float.of_int truth
+    in
+    let series = run.Sim.error_series in
+    let n = Array.length series in
+    let tail = Array.sub series (n / 2) (n - (n / 2)) in
+    let in_band =
+      Array.fold_left
+        (fun a (_, e) -> if e <= cell.alpha then a + 1 else a)
+        0 tail
+    in
+    let coverage =
+      Float.of_int in_band /. Float.of_int (max 1 (Array.length tail))
+    in
+    let success =
+      err <= cell.alpha && coverage >= 1.0 -. (2.0 *. cell.delta)
+    in
+    let bound =
+      Theory.dc_bound ~algorithm ~sites:(Stream.num_sites stream)
+        ~distinct:(Stream.distinct_count stream) ~theta
+        ~sketch_bytes:(sketch_wire_bytes cell ~seed stream)
+        ~exact_bytes:(Sim.exact_dc_bytes stream)
+    in
+    ( { err; success; bytes = run.Sim.total_bytes; msgs = run.Sim.sends },
+      bound )
+  end
+  else
   let run =
     match cell.sketch with
     | Spec.Fm ->
@@ -249,10 +311,15 @@ let ds_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
     match cell.protocol with Spec.Ds a -> a | _ -> assert false
   in
   let run =
-    Sim.run_ds ?transport ?sink ?spans ~seed ~faults ~algorithm ~theta
-      ~threshold:cfg.ds_threshold stream
+    Sim.run ?transport ?sink ?spans ~seed ~faults
+      (Query.ds ~theta ~threshold:cfg.ds_threshold algorithm)
+      stream
   in
-  let err = run.Sim.ds_max_count_error in
+  let err =
+    match run.Sim.aux with
+    | Sim.Ds_aux { max_count_error; _ } -> max_count_error
+    | _ -> assert false
+  in
   let mults = Stream.multiplicities stream in
   let max_mult = Hashtbl.fold (fun _ m acc -> max m acc) mults 1 in
   let bound =
@@ -263,8 +330,8 @@ let ds_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
   ( {
       err;
       success = err <= cell.alpha;
-      bytes = run.Sim.ds_total_bytes;
-      msgs = run.Sim.ds_sends;
+      bytes = run.Sim.total_bytes;
+      msgs = run.Sim.sends;
     },
     bound )
 
@@ -281,18 +348,25 @@ let hh_rep cfg (cell : Spec.cell) ~seed =
     Sim.pair_stream_of_requests http Http.Per_region (Http.generate http)
   in
   let run =
-    Sim.run_hh ~seed ~top_k:10 ~algorithm ~theta:(Spec.theta cell)
-      ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 500; bitmaps = 10 }
-      pairs
+    Sim.run ~seed ~top_k:10
+      (Query.hh
+         ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 500; bitmaps = 10 }
+         ~theta:(Spec.theta cell) algorithm)
+      (Sim.stream_of_pairs pairs)
   in
-  let err = run.Sim.hh_avg_norm_error in
+  let avg_norm_error, topk_recall, exact_bytes =
+    match run.Sim.aux with
+    | Sim.Hh_aux { avg_norm_error; topk_recall; exact_bytes } ->
+      (avg_norm_error, topk_recall, exact_bytes)
+    | _ -> assert false
+  in
   ( {
-      err;
-      success = err <= cell.alpha && run.Sim.hh_topk_recall >= 0.5;
-      bytes = run.Sim.hh_total_bytes;
-      msgs = run.Sim.hh_sends;
+      err = avg_norm_error;
+      success = avg_norm_error <= cell.alpha && topk_recall >= 0.5;
+      bytes = run.Sim.total_bytes;
+      msgs = run.Sim.sends;
     },
-    Theory.hh_bound ~exact_bytes:run.Sim.hh_exact_bytes )
+    Theory.hh_bound ~exact_bytes )
 
 let window_rep cfg (cell : Spec.cell) ~seed stream =
   let algorithm =

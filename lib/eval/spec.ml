@@ -68,6 +68,9 @@ type cell = {
   workload : workload;
   transport : transport;
   faults : string option;  (* Wd_net.Faults.of_spec syntax, seeded per rep *)
+  views : int;
+      (* standing views sharing the run's stream: 1 = just the primary;
+         N > 1 adds N-1 key-class fanout satellites to the registry *)
 }
 
 let theta cell = cell.theta_frac *. cell.alpha
@@ -94,11 +97,12 @@ let id cell =
        Printf.sprintf "n%d" cell.events;
        transport_to_string cell.transport;
      ]
+    @ (if cell.views > 1 then [ Printf.sprintf "v%d" cell.views ] else [])
     @ match cell.faults with None -> [] | Some f -> [ "faults:" ^ f ])
 
 let base ?(sketch = Fm) ?(estimator = Classic) ?(alpha = 0.1) ?(delta = 0.1)
     ?(theta_frac = 0.3) ?(sites = 4) ?(events = 120_000) ?(dup = 3.0)
-    ?(workload = Zipf) ?(transport = Sim) ?faults protocol =
+    ?(workload = Zipf) ?(transport = Sim) ?faults ?(views = 1) protocol =
   {
     protocol;
     sketch;
@@ -112,6 +116,7 @@ let base ?(sketch = Fm) ?(estimator = Classic) ?(alpha = 0.1) ?(delta = 0.1)
     workload;
     transport;
     faults;
+    views;
   }
 
 let small_alphas = [ 0.05; 0.1; 0.2 ]
@@ -153,7 +158,12 @@ let small () =
       base ~alpha:0.1 ~events:20_000 ~transport:Tcp (Dc Dc.LS);
     ]
   in
-  dc_cells @ mle_cells @ baseline_cells @ wire_smoke
+  (* Multi-view smoke: the default DC(LS) cell re-run with 99 key-class
+     fanout satellites sharing the primary's hash-once stream.  The
+     primary's accuracy must be unchanged by the fan-out, so this cell's
+     err/bytes join 1:1 against the views-free LS-fm cell. *)
+  let view_cells = [ base ~views:100 (Dc Dc.LS) ] in
+  dc_cells @ mle_cells @ baseline_cells @ wire_smoke @ view_cells
 
 (* The full matrix adds the remaining DC algorithms, the DS sharing
    variants, the paper's two-phase and HTTP workloads, a fault-plan

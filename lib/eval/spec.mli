@@ -62,6 +62,10 @@ type cell = {
   transport : transport;
   faults : string option;
       (** {!Wd_net.Faults.of_spec} syntax, seeded per repetition *)
+  views : int;
+      (** standing views sharing the run's stream: [1] = just the
+          primary; [N > 1] adds [N - 1] key-class fanout satellites to
+          the registry (DC cells only).  Ids get a ["-vN"] suffix. *)
 }
 
 val theta : cell -> float
@@ -90,6 +94,7 @@ val base :
   ?workload:workload ->
   ?transport:transport ->
   ?faults:string ->
+  ?views:int ->
   protocol ->
   cell
 (** A cell with the acceptance-grid defaults (alpha 0.1, delta 0.1,
@@ -100,7 +105,8 @@ val small : unit -> cell list
 (** The committed acceptance grid: DC(LS) x {FM, BJKST, HLL, FMC} and
     the EC / DS(LCO) / EDS baselines, each at alpha in {0.05, 0.1, 0.2},
     one MLE cell per MLE-capable sketch family (FM, HLL, FMC) at the
-    default alpha, plus the Unix-socket and TCP smoke cells. *)
+    default alpha, the Unix-socket and TCP smoke cells, and one 100-view
+    registry smoke cell. *)
 
 val full : unit -> cell list
 (** {!small} plus the remaining DC/DS algorithms, the two-phase and HTTP

@@ -20,17 +20,6 @@ let create ~rng ~rows ~cols =
     total = 0;
   }
 
-let create_for_error ~rng ~epsilon ~confidence =
-  if epsilon <= 0.0 || epsilon >= 1.0 then
-    invalid_arg "Cm_sketch.create_for_error: epsilon must be in (0,1)";
-  if confidence <= 0.0 || confidence >= 1.0 then
-    invalid_arg "Cm_sketch.create_for_error: confidence must be in (0,1)";
-  let cols = int_of_float (Float.ceil (Float.exp 1.0 /. epsilon)) in
-  let rows =
-    max 1 (int_of_float (Float.ceil (Float.log (1.0 /. (1.0 -. confidence)))))
-  in
-  create ~rng ~rows ~cols
-
 let rows t = t.rows
 let cols t = t.cols
 
@@ -67,7 +56,10 @@ let size_bytes t = 8 * t.rows * t.cols
    probability. *)
 
 let of_params ~alpha ~delta ~seed =
+  if alpha <= 0.0 || alpha >= 1.0 then
+    invalid_arg "Cm_sketch.of_params: alpha must be in (0,1)";
   if delta <= 0.0 || delta >= 1.0 then
     invalid_arg "Cm_sketch.of_params: delta must be in (0,1)";
-  create_for_error ~rng:(Rng.create seed) ~epsilon:alpha
-    ~confidence:(1.0 -. delta)
+  let cols = int_of_float (Float.ceil (Float.exp 1.0 /. alpha)) in
+  let rows = max 1 (int_of_float (Float.ceil (Float.log (1.0 /. delta)))) in
+  create ~rng:(Rng.create seed) ~rows ~cols

@@ -25,13 +25,6 @@ val of_params : alpha:float -> delta:float -> seed:int -> t
     from a fresh generator seeded with [seed].  A point query then
     overestimates by at most [alpha * N] with probability [1 - delta]. *)
 
-val create_for_error :
-  rng:Wd_hashing.Rng.t -> epsilon:float -> confidence:float -> t
-[@@ocaml.deprecated
-  "use of_params ~alpha ~delta ~seed (alpha = epsilon, delta = 1 - confidence)"]
-(** @deprecated Old name of the error-driven sizing; equal to
-    {!of_params} with an explicit generator. *)
-
 val rows : t -> int
 val cols : t -> int
 

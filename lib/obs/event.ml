@@ -56,6 +56,14 @@ type kind =
       start_ns : int64;
       end_ns : int64;
     }
+  | View_report of {
+      index : int;
+      label : string;
+      spec : string;
+      estimate : float;
+      routed : int;
+      bytes : int;
+    }
 
 type t = { time : int; kind : kind }
 
@@ -75,6 +83,7 @@ let kind_name = function
   | Crash _ -> "crash"
   | Recover _ -> "recover"
   | Span _ -> "span"
+  | View_report _ -> "view_report"
 
 let site t =
   match t.kind with
@@ -89,4 +98,5 @@ let site t =
   | Crash { site }
   | Recover { site; _ } -> Some site
   | Span { site; _ } -> site
-  | Run_meta _ | Broadcast _ | Estimate_update _ | Level_advance _ -> None
+  | Run_meta _ | Broadcast _ | Estimate_update _ | Level_advance _
+  | View_report _ -> None

@@ -96,6 +96,17 @@ type kind =
           host, as cross-process orderings; never stable across runs.
           Span events are only emitted when a recorder is attached (off
           by default), so golden logical traces never contain them. *)
+  | View_report of {
+      index : int;  (** view position in the registry; 0 is the primary *)
+      label : string;
+      spec : string;  (** the view's query in spec syntax *)
+      estimate : float;
+      routed : int;  (** arrivals the view's selector accepted *)
+      bytes : int;  (** the view tracker's total ledger bytes *)
+    }
+      (** A standing view's final answer and cost, emitted once per view
+          at the end of a multi-view run (single-view runs emit none, so
+          legacy traces are unchanged). *)
 
 type t = { time : int; kind : kind }
 (** [time] is the emitter's update index (1-based count of [observe]
@@ -106,7 +117,7 @@ val kind_name : kind -> string
     ["run_meta"], ["message"], ["broadcast"], ["sketch_sent"],
     ["count_sent"], ["threshold_crossed"], ["estimate_update"],
     ["level_advance"], ["resync"], ["drop"], ["duplicate"], ["retry"],
-    ["crash"], ["recover"], ["span"]. *)
+    ["crash"], ["recover"], ["span"], ["view_report"]. *)
 
 val site : t -> int option
 (** The remote site an event concerns, when it concerns exactly one. *)

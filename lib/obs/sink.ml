@@ -44,6 +44,7 @@ type metrics_state = {
   crashes : Metrics.counter;
   recovers : Metrics.counter;
   span_hists : (string, Metrics.histogram) Hashtbl.t;
+  view_estimates : (string, Metrics.gauge) Hashtbl.t;
 }
 
 type t =
@@ -122,6 +123,7 @@ let metrics reg =
       crashes = c "wd_crashes_total" "site crash windows entered";
       recovers = c "wd_recovers_total" "site recoveries after crashes";
       span_hists = Hashtbl.create 8;
+      view_estimates = Hashtbl.create 8;
     }
 
 let fanout sinks = Fanout sinks
@@ -206,6 +208,20 @@ let record m (ev : Event.t) =
   | Event.Span { name; start_ns; end_ns; _ } ->
     Metrics.observe (span_hist m name)
       (Int64.to_float (Int64.sub end_ns start_ns))
+  | Event.View_report { label; estimate; _ } ->
+    let g =
+      match Hashtbl.find_opt m.view_estimates label with
+      | Some g -> g
+      | None ->
+        let g =
+          Metrics.gauge m.reg ~help:"standing view's reported estimate"
+            ~labels:[ ("view", label) ]
+            "wd_view_estimate"
+        in
+        Hashtbl.replace m.view_estimates label g;
+        g
+    in
+    Metrics.set g estimate
 
 let jsonl_flush j =
   match j.oc with

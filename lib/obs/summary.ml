@@ -38,6 +38,15 @@ type span_stat = {
   sp_max_ns : float;
 }
 
+type view_row = {
+  v_index : int;
+  v_label : string;
+  v_spec : string;
+  v_estimate : float;
+  v_routed : int;
+  v_bytes : int;
+}
+
 type t = {
   run : (string * string) list;
   events : int;
@@ -62,6 +71,7 @@ type t = {
   kind_counts : (string * int) list;
   sites : site_row list;
   span_stats : (string * span_stat) list;
+  views : view_row list;
 }
 
 (* Mutable per-site accumulator. *)
@@ -146,6 +156,7 @@ let of_events events =
   let retries = ref 0 in
   let crashes = ref 0 and recovers = ref 0 in
   let span_durs : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let view_rows = ref [] in
   List.iter
     (fun ev ->
       incr n_events;
@@ -270,7 +281,18 @@ let of_events events =
             Hashtbl.replace span_durs name d;
             d
         in
-        durs := Int64.to_float (Int64.sub end_ns start_ns) :: !durs)
+        durs := Int64.to_float (Int64.sub end_ns start_ns) :: !durs
+      | View_report { index; label; spec; estimate; routed; bytes } ->
+        view_rows :=
+          {
+            v_index = index;
+            v_label = label;
+            v_spec = spec;
+            v_estimate = estimate;
+            v_routed = routed;
+            v_bytes = bytes;
+          }
+          :: !view_rows)
     events;
   let site_rows =
     Hashtbl.fold
@@ -354,6 +376,7 @@ let of_events events =
     kind_counts;
     sites = site_rows;
     span_stats;
+    views = List.sort (fun a b -> compare a.v_index b.v_index) !view_rows;
   }
 
 let phases ~n events =
@@ -403,7 +426,7 @@ let phases ~n events =
           | Drop { dir = Down; bytes; _ } | Duplicate { dir = Down; bytes; _ }
             -> { r with p_bytes_down = r.p_bytes_down + bytes }
           | Run_meta _ | Level_advance _ | Resync _ | Retry _ | Crash _
-          | Recover _ | Span _ -> r
+          | Recover _ | Span _ | View_report _ -> r
         in
         rows.(idx) <- r)
       events;

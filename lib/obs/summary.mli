@@ -50,6 +50,16 @@ type span_stat = {
 }
 (** Duration digest of one span name (see {!Event.kind.Span}). *)
 
+type view_row = {
+  v_index : int;  (** registry position; 0 is the primary *)
+  v_label : string;
+  v_spec : string;
+  v_estimate : float;
+  v_routed : int;  (** arrivals the view's selector accepted *)
+  v_bytes : int;
+}
+(** One standing view's final report (see {!Event.kind.View_report}). *)
+
 type t = {
   run : (string * string) list;
       (** metadata key/values from the trace's [Run_meta] event, if any *)
@@ -78,6 +88,9 @@ type t = {
   span_stats : (string * span_stat) list;
       (** per-span-name latency digests, sorted by name; empty for traces
           recorded without a span recorder *)
+  views : view_row list;
+      (** per-view final reports, sorted by index; empty for single-view
+          traces *)
 }
 
 val of_events : Event.t list -> t

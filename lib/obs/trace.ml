@@ -88,6 +88,15 @@ let to_json (ev : Event.t) : Json.t =
         ("start_ns", Json.Int (Int64.to_int start_ns));
         ("end_ns", Json.Int (Int64.to_int end_ns));
       ]
+    | View_report { index; label; spec; estimate; routed; bytes } ->
+      [
+        ("index", Json.Int index);
+        ("label", Json.Str label);
+        ("spec", Json.Str spec);
+        ("estimate", Json.Float estimate);
+        ("routed", Json.Int routed);
+        ("bytes", Json.Int bytes);
+      ]
   in
   Json.Obj
     (("t", Json.Int ev.time) :: ("ev", Json.Str (kind_name ev.kind)) :: fields)
@@ -235,6 +244,16 @@ let of_json j =
             parent_id = Int64.of_int (get j "parent" Json.to_int);
             start_ns = Int64.of_int (get j "start_ns" Json.to_int);
             end_ns = Int64.of_int (get j "end_ns" Json.to_int);
+          }
+      | "view_report" ->
+        View_report
+          {
+            index = get j "index" Json.to_int;
+            label = get j "label" Json.to_str;
+            spec = get j "spec" Json.to_str;
+            estimate = get j "estimate" Json.to_float;
+            routed = get j "routed" Json.to_int;
+            bytes = get j "bytes" Json.to_int;
           }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in

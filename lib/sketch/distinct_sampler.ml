@@ -14,17 +14,6 @@ let family ~rng ~threshold =
   if threshold < 1 then invalid_arg "Distinct_sampler.family: threshold must be >= 1";
   { hash = Universal.of_rng rng; threshold }
 
-let family_for_error ~rng ~accuracy ~confidence =
-  if accuracy <= 0.0 || accuracy >= 1.0 then
-    invalid_arg "Distinct_sampler.family_for_error: accuracy must be in (0,1)";
-  let delta = 1.0 -. confidence in
-  let threshold =
-    int_of_float
-      (Float.ceil
-         ((1.0 /. accuracy) ** 2.0 *. Float.max 1.0 (Float.log (1.0 /. delta))))
-  in
-  family ~rng ~threshold
-
 let threshold fam = fam.threshold
 
 let create fam = { fam; level = 0; table = Hashtbl.create 64 }
@@ -159,10 +148,16 @@ let of_bytes fam buf =
    error-driven threshold sizing. *)
 
 let family_of_params ~alpha ~delta ~seed =
+  if alpha <= 0.0 || alpha >= 1.0 then
+    invalid_arg "Distinct_sampler.family_of_params: alpha must be in (0,1)";
   if delta <= 0.0 || delta >= 1.0 then
     invalid_arg "Distinct_sampler.family_of_params: delta must be in (0,1)";
-  family_for_error ~rng:(Rng.create seed) ~accuracy:alpha
-    ~confidence:(1.0 -. delta)
+  let threshold =
+    int_of_float
+      (Float.ceil
+         ((1.0 /. alpha) ** 2.0 *. Float.max 1.0 (Float.log (1.0 /. delta))))
+  in
+  family ~rng:(Rng.create seed) ~threshold
 
 let of_params ~alpha ~delta ~seed =
   create (family_of_params ~alpha ~delta ~seed)

@@ -30,14 +30,6 @@ val family_of_params : alpha:float -> delta:float -> seed:int -> family
     paper's [T = Omega(1/alpha^2 log 1/delta)], with the level hash
     drawn from a fresh generator seeded with [seed]. *)
 
-val family_for_error :
-  rng:Wd_hashing.Rng.t -> accuracy:float -> confidence:float -> family
-[@@ocaml.deprecated
-  "use family_of_params ~alpha ~delta ~seed (delta = 1 - confidence)"]
-(** @deprecated Old name of the error-driven sizing; equal to
-    {!family_of_params} with [alpha = accuracy],
-    [delta = 1 - confidence] and an explicit generator. *)
-
 val threshold : family -> int
 
 val create : family -> t

@@ -1,0 +1,43 @@
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { mutable buf : buf; mutable used : int }
+
+let make_buf n : buf =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill b 0;
+  b
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Arena.create: capacity must be >= 1";
+  { buf = make_buf capacity; used = 0 }
+
+let alloc t n =
+  if n < 0 then invalid_arg "Arena.alloc: negative size";
+  let cap = Bigarray.Array1.dim t.buf in
+  if t.used + n > cap then begin
+    let cap' = ref cap in
+    while t.used + n > !cap' do
+      cap' := !cap' * 2
+    done;
+    let b = make_buf !cap' in
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub t.buf 0 t.used)
+      (Bigarray.Array1.sub b 0 t.used);
+    t.buf <- b
+  end;
+  let off = t.used in
+  t.used <- t.used + n;
+  off
+
+let used t = t.used
+let capacity t = Bigarray.Array1.dim t.buf
+let buf t = t.buf
+let get t i = Bigarray.Array1.get t.buf i
+let set t i x = Bigarray.Array1.set t.buf i x
+let unsafe_get t i = Bigarray.Array1.unsafe_get t.buf i
+let unsafe_set t i x = Bigarray.Array1.unsafe_set t.buf i x
+
+let blit t ~src ~dst ~len =
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub t.buf src len)
+    (Bigarray.Array1.sub t.buf dst len)

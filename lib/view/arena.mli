@@ -1,0 +1,48 @@
+(** A flat bump allocator for sketch registers.
+
+    Thousands of concurrent views would otherwise mean thousands of
+    separately heap-allocated register arrays, each a pointer hop and a
+    GC-scanned object.  The arena packs every register of every view
+    into one [Bigarray] of unboxed native ints — a single malloc'd block
+    the GC never scans — and hands out integer offsets instead of
+    pointers.  Allocation is a bump; there is no free (views live as
+    long as their registry).
+
+    The backing buffer grows by doubling, so offsets are stable but the
+    buffer identity is not: readers must go through {!get}/{!set} (or
+    re-read {!buf}) rather than caching the bigarray across
+    allocations. *)
+
+type t
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] is an empty arena with [capacity] words reserved
+    (default 1024).  Requires [capacity >= 1]. *)
+
+val alloc : t -> int -> int
+(** [alloc t n] reserves [n] zero-initialized words and returns the
+    offset of the first.  Grows the backing buffer (doubling) as
+    needed.  Requires [n >= 0]. *)
+
+val used : t -> int
+(** Words allocated so far. *)
+
+val capacity : t -> int
+(** Words reserved in the current backing buffer. *)
+
+val buf : t -> buf
+(** The current backing buffer — invalidated by the next growing
+    {!alloc}; use for tight loops over a region allocated earlier in
+    the same phase, or re-read after any allocation. *)
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** [blit t ~src ~dst ~len] copies [len] words between two regions of
+    the arena (the regions may not overlap). *)

@@ -1,6 +1,10 @@
 (* Edge-case tests across the protocol stack: single-site topologies,
    empty states, saturation, and boundary parameters. *)
 
+(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
+   purpose: they must stay bit-identical to the unified Simulation.run. *)
+[@@@ocaml.alert "-deprecated"]
+
 module Rng = Wd_hashing.Rng
 module Fm = Wd_sketch.Fm
 module Sampler = Wd_sketch.Distinct_sampler

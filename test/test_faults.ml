@@ -3,6 +3,10 @@
    end-to-end convergence of the DC and DS protocols over an unreliable
    network with a mid-run site crash. *)
 
+(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
+   purpose: they must stay bit-identical to the unified Simulation.run. *)
+[@@@ocaml.alert "-deprecated"]
+
 module Faults = Wd_net.Faults
 module Network = Wd_net.Network
 module Wire = Wd_net.Wire

@@ -7,6 +7,10 @@
    (Estimators.linear_blend): the ramp-up estimates changed, so the
    threshold-crossing counts moved with them. *)
 
+(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
+   purpose: they must stay bit-identical to the unified Simulation.run. *)
+[@@@ocaml.alert "-deprecated"]
+
 module Sim = Whats_different.Simulation
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker

@@ -2,6 +2,10 @@
    metrics, and trace summarization — including the acceptance criterion
    that trace byte sums reproduce the network ledger exactly. *)
 
+(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
+   purpose: they must stay bit-identical to the unified Simulation.run. *)
+[@@@ocaml.alert "-deprecated"]
+
 module Json = Wd_obs.Json
 module Event = Wd_obs.Event
 module Trace = Wd_obs.Trace

@@ -4,6 +4,10 @@
    sharded tracker run — including one under a fault plan — must be
    bit-identical to the historical single-domain run. *)
 
+(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
+   purpose: they must stay bit-identical to the unified Simulation.run. *)
+[@@@ocaml.alert "-deprecated"]
+
 module Dc = Wd_protocol.Dc_tracker
 module Sharded = Wd_protocol.Sharded
 module Faults = Wd_net.Faults

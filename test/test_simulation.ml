@@ -1,5 +1,9 @@
 (* Tests for the simulation / measurement harness. *)
 
+(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
+   purpose: they must stay bit-identical to the unified Simulation.run. *)
+[@@@ocaml.alert "-deprecated"]
+
 module Sim = Whats_different.Simulation
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker

@@ -3,6 +3,10 @@
    byte ledgers), the ledger-vs-wire byte reconciliation, crash windows
    as real disconnections, and version-mismatch handshake rejection. *)
 
+(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
+   purpose: they must stay bit-identical to the unified Simulation.run. *)
+[@@@ocaml.alert "-deprecated"]
+
 module Wire = Wd_net.Wire
 module Frame = Wd_net.Wire.Frame
 module Network = Wd_net.Network
