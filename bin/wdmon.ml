@@ -96,6 +96,15 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
+let topology_arg =
+  let doc =
+    "Tree topology spec routing sites through intermediate aggregators: \
+     $(i,flat), $(i,tree:regions=R\\[,fanout=F\\]), or an explicit \
+     $(i,edges:s0>a0,a0>root,...) list.  Backbone hops are charged \
+     separately from the site links in the ledger."
+  in
+  Arg.(value & opt (some string) None & info [ "topology" ] ~docv:"SPEC" ~doc)
+
 let fault_seed_arg =
   let doc = "Seed of the fault-injection randomness (independent of --seed)." in
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
@@ -508,7 +517,7 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
   in
   let run spec views_spec workload trace scale seed sites events trace_out
-      metrics_out faults_spec fault_seed =
+      metrics_out faults_spec fault_seed topology_spec =
     match
       let ( let* ) = Result.bind in
       let* q = Query.of_spec spec in
@@ -536,32 +545,59 @@ let run_cmd =
                  (Http.generate cfg))
           | _ -> build_workload workload ~scale ~seed ~sites ~events)
       in
-      let sink, metrics = build_obs ~trace_out ~metrics_out in
-      match Simulation.run ~seed ?sink ?metrics ~faults ~views q stream with
-      | exception Invalid_argument msg -> `Error (false, msg)
-      | r ->
-        Report.print_section
-          (Printf.sprintf "continuous run: %s" (Query.to_spec q));
-        Report.print_kv
-          ([
-             ("views", string_of_int (Array.length r.Simulation.view_reports));
-             ("sites", string_of_int (Stream.num_sites stream));
-             ("updates", string_of_int r.Simulation.updates);
-             ("estimate", Printf.sprintf "%.1f" r.Simulation.final_estimate);
-             ("true distinct", string_of_int r.Simulation.final_truth);
-             ( "bytes up / down",
-               Printf.sprintf "%d / %d" r.Simulation.bytes_up
-                 r.Simulation.bytes_down );
-             ("total bytes", string_of_int r.Simulation.total_bytes);
-             ("site->coord messages", string_of_int r.Simulation.sends);
-           ]
-          @ fault_kv ~drops:r.Simulation.drops
-              ~duplicates:r.Simulation.duplicates
-              ~retries:r.Simulation.retries ~lost:r.Simulation.lost_updates
-              faults);
-        view_report_table r.Simulation.view_reports;
-        finish_obs ~trace_out ~metrics_out sink metrics;
-        `Ok ())
+      (* The tree is validated against the stream's own site count, which
+         a trace may dictate independently of --sites. *)
+      match
+        match topology_spec with
+        | None -> Ok None
+        | Some s ->
+          Result.map Option.some
+            (Wd_net.Topology.of_spec ~sites:(Stream.num_sites stream) s)
+      with
+      | Error e -> `Error (false, e)
+      | Ok topology -> (
+        let sink, metrics = build_obs ~trace_out ~metrics_out in
+        match
+          Simulation.run ~seed ?sink ?metrics ?topology ~faults ~views q
+            stream
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | r ->
+          Report.print_section
+            (Printf.sprintf "continuous run: %s" (Query.to_spec q));
+          Report.print_kv
+            ([
+               ( "views",
+                 string_of_int (Array.length r.Simulation.view_reports) );
+               ("sites", string_of_int (Stream.num_sites stream));
+               ("updates", string_of_int r.Simulation.updates);
+               ("estimate", Printf.sprintf "%.1f" r.Simulation.final_estimate);
+               ("true distinct", string_of_int r.Simulation.final_truth);
+               ( "bytes up / down",
+                 Printf.sprintf "%d / %d" r.Simulation.bytes_up
+                   r.Simulation.bytes_down );
+               ("total bytes", string_of_int r.Simulation.total_bytes);
+               ("site->coord messages", string_of_int r.Simulation.sends);
+             ]
+            @ (match topology with
+              | None -> []
+              | Some t ->
+                [
+                  ("topology", Wd_net.Topology.to_spec t);
+                  ( "backbone bytes",
+                    string_of_int r.Simulation.backbone_bytes );
+                  ( "grand total bytes",
+                    string_of_int
+                      (r.Simulation.total_bytes + r.Simulation.backbone_bytes)
+                  );
+                ])
+            @ fault_kv ~drops:r.Simulation.drops
+                ~duplicates:r.Simulation.duplicates
+                ~retries:r.Simulation.retries ~lost:r.Simulation.lost_updates
+                faults);
+          view_report_table r.Simulation.view_reports;
+          finish_obs ~trace_out ~metrics_out sink metrics;
+          `Ok ()))
   in
   let doc =
     "Run one simulation from a declarative query spec, optionally with \
@@ -572,7 +608,7 @@ let run_cmd =
       ret
         (const run $ query_arg $ views_arg $ workload_arg $ trace_arg
         $ scale_arg $ seed_arg $ sites_arg $ events_arg $ trace_out_arg
-        $ metrics_out_arg $ faults_arg $ fault_seed_arg))
+        $ metrics_out_arg $ faults_arg $ fault_seed_arg $ topology_arg))
 
 (* ------------------------------------------------------------------ *)
 (* coord / site: the Unix-socket transport, sites as real processes *)

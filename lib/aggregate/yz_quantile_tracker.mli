@@ -1,0 +1,102 @@
+(** Continuous duplicate-resilient quantile tracking in the Yi–Zhang
+    style (PODS'09): round-based batched forwarding with worst-case
+    communication O((k/eps) log U log D) — the quantile counterpart of
+    {!Wd_protocol.Yz_hh_tracker}, and the optimality target the eval
+    harness gates the measured bytes against.
+
+    Each site keeps a dedup set of the items it has already shipped;
+    locally-new items accumulate into a batch that is sent when it
+    reaches [Delta = eps * ~D / (2k)] items, where [~D] is the
+    coordinator's current distinct estimate (maintained by doubling,
+    announced by broadcast).  The coordinator feeds every arriving item
+    into a {!Distinct_quantiles.Centralized} dyadic structure — which is
+    duplicate-resilient, so the cross-site duplicates this protocol
+    never filters (and any fault-driven re-sends) are absorbed for
+    free.  Ranks and quantiles are then continuously available within
+    [eps * D] of the duplicate-resilient truth, on top of the dyadic
+    structure's own sketching error.
+
+    Items are folded into [\[0, universe)] (a power of two) by absolute
+    value and mask; compare against ground truth computed over the same
+    folding.
+
+    Under a tree topology ({!Wd_net.Topology}) delivered batches
+    store-and-forward over the backbone unchanged. *)
+
+type t
+
+val default_config : Distinct_quantiles.config
+(** {!Distinct_quantiles.default_config} widened to [cols = 4096],
+    [bitmaps = 128].  The coordinator structure is purely local — sites
+    ship raw item batches, never sketches — so its dimensioning costs
+    memory, not communication, and it must be accurate enough that the
+    dyadic FM noise stays well inside the [epsilon] rank budget the
+    protocol promises. *)
+
+val create :
+  ?cost_model:Wd_net.Network.cost_model ->
+  ?network:Wd_net.Network.t ->
+  ?transport:Wd_net.Transport.t ->
+  ?max_retries:int ->
+  ?sink:Wd_obs.Sink.t ->
+  ?universe:int ->
+  ?config:Distinct_quantiles.config ->
+  rng:Wd_hashing.Rng.t ->
+  epsilon:float ->
+  sites:int ->
+  unit ->
+  t
+(** [create ~rng ~epsilon ~sites ()] builds a fresh tracker.  [epsilon]
+    sets the batching lag (rank error at most [epsilon * D] beyond the
+    sketch error); [universe] (default [2^20], rounded up to a power of
+    two) overrides the item domain of the dyadic structure; [config]
+    (default {!default_config}) overrides its dimensioning (its
+    [universe] field is replaced).
+    [network]/[transport]/[max_retries]/[sink] behave as in
+    {!Wd_protocol.Ds_tracker.create}.  Requires [sites >= 1] and
+    [0 < epsilon < 1]. *)
+
+val observe : t -> site:int -> int -> unit
+
+val observe_batch :
+  t -> sites:int array -> items:int array -> pos:int -> len:int -> unit
+
+val sites : t -> int
+val epsilon : t -> float
+val universe : t -> int
+
+val clamp : t -> int -> int
+(** The folding applied to every observed item — use it to fold ground
+    truth identically. *)
+
+val distinct : t -> float
+(** The coordinator's distinct estimate over everything applied. *)
+
+val rank : t -> int -> float
+(** Approximate number of distinct items [<= x]. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [\[0, 1\]]. *)
+
+val median : t -> int
+
+val round : t -> int
+(** The current round threshold [~D]. *)
+
+val site_send_threshold : t -> int -> float
+(** The site's current batch threshold [Delta], in items. *)
+
+val sends : t -> int
+val updates : t -> int
+val lost_updates : t -> int
+val site_down_for : t -> int -> int
+val set_sink : t -> Wd_obs.Sink.t -> unit
+val network : t -> Wd_net.Network.t
+val transport : t -> Wd_net.Transport.t
+
+(** This tracker seen through the shared
+    {!Wd_protocol.Tracker_intf.TRACKER} surface ([estimate] is the
+    distinct estimate; [item] is ignored by the threshold). *)
+module Generic : Wd_protocol.Tracker_intf.TRACKER with type t = t
+
+val generic : t -> Wd_protocol.Tracker_intf.packed

@@ -1043,6 +1043,63 @@ let ext_predictive ?(options = default_options) () =
         dc_row Dc.NS; dc_row Dc.LS ];
   }
 
+let ext_topology ?(options = default_options) () =
+  let o = options in
+  (* Hierarchical deployment: the same stream routed through deeper and
+     deeper aggregation trees.  The site links pay exactly the flat-star
+     traffic regardless of the tree (the protocol is unchanged); what the
+     table exposes is the backbone surcharge per added layer — the cost
+     of making the CDN hierarchy explicit in the ledger. *)
+  let sites = 16 in
+  let events = max 2_000 (Float.to_int (100_000.0 *. o.scale)) in
+  let stream =
+    Wd_workload.Stream_gen.zipf ~seed:o.seed ~sites ~events
+      ~universe:(events / 4) ()
+  in
+  let theta = 0.3 *. o.epsilon and alpha = 0.7 *. o.epsilon in
+  let specs =
+    [ "flat"; "tree:regions=4"; "tree:regions=8,fanout=2" ]
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        let topo =
+          match Wd_net.Topology.of_spec ~sites spec with
+          | Ok t -> t
+          | Error e -> invalid_arg e
+        in
+        let r =
+          Simulation.run ~seed:o.seed ~error_samples:1 ~topology:topo
+            (Query.dc ~theta ~alpha Dc.LS)
+            stream
+        in
+        let err =
+          Float.abs
+            (r.Simulation.final_estimate
+            -. Float.of_int r.Simulation.final_truth)
+          /. Float.of_int r.Simulation.final_truth
+        in
+        [
+          S spec;
+          I (Wd_net.Topology.depth topo);
+          I r.Simulation.total_bytes;
+          I r.Simulation.backbone_bytes;
+          I (r.Simulation.total_bytes + r.Simulation.backbone_bytes);
+          F err;
+        ])
+      specs
+  in
+  {
+    id = "ext_topology";
+    title =
+      "Extension: tree topologies — site links are depth-invariant, the \
+       backbone pays per hop";
+    params = common_params o "Zipf items, 16 sites, LS";
+    header =
+      [ "topology"; "depth"; "site bytes"; "backbone"; "grand total"; "err" ];
+    rows;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Suites *)
 
@@ -1070,6 +1127,7 @@ let registry : (string * (options -> table)) list =
     ("ext_windows", fun o -> ext_windows ~options:o ());
     ("ext_predictive", fun o -> ext_predictive ~options:o ());
     ("ext_scaling", fun o -> ext_scaling ~options:o ());
+    ("ext_topology", fun o -> ext_topology ~options:o ());
   ]
 
 let ids = List.map fst registry

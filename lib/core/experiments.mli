@@ -126,6 +126,11 @@ val ext_scaling : ?options:options -> unit -> table
 (** Cost ratios across workload scales: the savings grow with the
     stream because protocol state is scale-independent. *)
 
+val ext_topology : ?options:options -> unit -> table
+(** Tree-topology extension: one stream routed through flat, depth-2
+    and depth-3 aggregation trees — site-link traffic is invariant,
+    the backbone surcharge grows with depth. *)
+
 (** {1 Suites} *)
 
 val all : ?options:options -> unit -> table list

@@ -325,6 +325,8 @@ let exact_ds_bytes stream =
 module Query = Wd_view.Query
 module Registry = Wd_view.Registry
 module Window_truth = Wd_workload.Window_truth
+module Yzh = Wd_protocol.Yz_hh_tracker
+module Yzq = Wd_aggregate.Yz_quantile_tracker
 
 type view_report = {
   view_label : string;
@@ -350,6 +352,12 @@ type aux =
       exact_bytes : int;
     }
   | Window_aux of { window : int; exact_bytes : int }
+  | Yz_hh_aux of {
+      total_rel_error : float;
+      max_rel_error : float;
+      topk_recall : float;
+    }
+  | Yz_q_aux of { rank_error : float; universe : int }
 
 type run = {
   query : Query.t;
@@ -357,6 +365,7 @@ type run = {
   total_bytes : int;
   bytes_up : int;
   bytes_down : int;
+  backbone_bytes : int;
   sends : int;
   final_estimate : float;
   final_truth : int;
@@ -392,10 +401,11 @@ let exact_packed_pair_bytes stream =
     stream;
   !bytes
 
-let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
-    ?(seed = 1) ?(checkpoints = 20) ?(error_samples = 200) ?(sink = Sink.null)
-    ?metrics ?(spans = false) ?(faults = Wd_net.Faults.none) ?(shards = 1)
-    ?(top_k = 20) ?(views = []) (query : Query.t) stream =
+let run ?(cost_model = Network.Unicast) ?transport ?topology
+    ?(item_batching = true) ?(seed = 1) ?(checkpoints = 20)
+    ?(error_samples = 200) ?(sink = Sink.null) ?metrics ?(spans = false)
+    ?(faults = Wd_net.Faults.none) ?(shards = 1) ?(top_k = 20) ?(views = [])
+    (query : Query.t) stream =
   let n = Stream.length stream in
   if n = 0 then invalid_arg "Simulation.run: empty stream";
   let k = Stream.num_sites stream in
@@ -405,7 +415,10 @@ let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
     | Query.Ds _ -> (false, false, true, false)
     | Query.Hh _ -> (false, true, false, false)
     | Query.Window _ -> (true, false, false, true)
+    | Query.Yz_hh | Query.Yz_q -> (false, false, false, true)
   in
+  let is_yzhh = query.Query.protocol = Query.Yz_hh in
+  let is_yzq = query.Query.protocol = Query.Yz_q in
   if is_window && Wd_net.Faults.enabled faults then
     invalid_arg
       "Simulation.run: fault injection is not supported for window queries";
@@ -420,6 +433,10 @@ let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
   let tracker = Registry.packed reg in
   let net = Tracker_intf.network tracker in
   Network.set_sink net sink;
+  (* Install the tree before any traffic: the primary's trackers read it
+     through the shared ledger on every delivered contribution, so sim,
+     socket and TCP backends all route identically. *)
+  Option.iter (fun topo -> Network.set_topology net topo) topology;
   attach_spans ~spans ?metrics ~seed ~sink net;
   if not is_window then
     Transport.set_faults (Tracker_intf.transport tracker) faults;
@@ -455,16 +472,27 @@ let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
   let truth = Hashtbl.create 4096 in
   let wtruth = if is_window then Some (Window_truth.create ()) else None in
   let hh_log = ref [] in
+  let arrivals = ref 0 in
+  (* YZ-quantile truth is over the tracker's folded item domain. *)
+  let yzq = if is_yzq then Registry.yzq_tracker reg 0 else None in
+  let qtruth = Hashtbl.create (if is_yzq then 4096 else 1) in
   let on_arrival item =
+    incr arrivals;
     Hashtbl.replace truth item
       (1 + Option.value ~default:0 (Hashtbl.find_opt truth item));
     (match wtruth with Some w -> Window_truth.add w item | None -> ());
+    (match yzq with
+    | Some qt -> Hashtbl.replace qtruth (Yzq.clamp qt item) ()
+    | None -> ());
     if is_hh then hh_log := item :: !hh_log
   in
   let truth_now () =
     match wtruth with
     | Some w -> Window_truth.distinct_last w resolved_window
-    | None -> Hashtbl.length truth
+    | None ->
+      if is_yzhh then !arrivals
+      else if is_yzq then Hashtbl.length qtruth
+      else Hashtbl.length truth
   in
   let byte_positions = sample_positions n checkpoints in
   let err_positions =
@@ -562,6 +590,58 @@ let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
           window = resolved_window;
           exact_bytes = Wd_protocol.Window_tracker.exact_bytes ~updates:n;
         }
+    else if is_yzhh then begin
+      let h = Option.get (Registry.yzhh_tracker reg 0) in
+      let n_total = max 1 !arrivals in
+      let exact_top =
+        Hashtbl.fold (fun v c acc -> (v, c) :: acc) truth []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> List.filteri (fun i _ -> i < top_k)
+      in
+      (* Yi–Zhang errors are additive in eps * N: report them
+         normalized by the true total so the [alpha] budget is directly
+         checkable. *)
+      let max_rel_error =
+        List.fold_left
+          (fun acc (v, c) ->
+            let est = Option.value (Yzh.query h v) ~default:0 in
+            Float.max acc
+              (Float.abs (Float.of_int (est - c)) /. Float.of_int n_total))
+          0.0 exact_top
+      in
+      let estimated_top = Yzh.top h ~k:top_k |> List.map fst in
+      let topk_recall =
+        match exact_top with
+        | [] -> 1.0
+        | _ ->
+          let hits =
+            List.length
+              (List.filter (fun (v, _) -> List.mem v estimated_top) exact_top)
+          in
+          Float.of_int hits /. Float.of_int (List.length exact_top)
+      in
+      Yz_hh_aux
+        {
+          total_rel_error =
+            Float.abs (Float.of_int (Yzh.total_estimate h - !arrivals))
+            /. Float.of_int n_total;
+          max_rel_error;
+          topk_recall;
+        }
+    end
+    else if is_yzq then begin
+      let qt = Option.get (Registry.yzq_tracker reg 0) in
+      let m = Yzq.quantile qt 0.5 in
+      let d = Hashtbl.length qtruth in
+      let below =
+        Hashtbl.fold (fun v () acc -> if v <= m then acc + 1 else acc) qtruth 0
+      in
+      let rank_error =
+        if d = 0 then 0.0
+        else Float.abs ((Float.of_int below /. Float.of_int d) -. 0.5)
+      in
+      Yz_q_aux { rank_error; universe = Yzq.universe qt }
+    end
     else Dc_aux
   in
   let view_reports =
@@ -605,6 +685,7 @@ let run ?(cost_model = Network.Unicast) ?transport ?(item_batching = true)
     total_bytes = Network.total_bytes net;
     bytes_up = Network.bytes_up net;
     bytes_down = Network.bytes_down net;
+    backbone_bytes = Network.backbone_bytes net;
     sends = Tracker_intf.sends tracker;
     final_estimate = Tracker_intf.estimate tracker;
     final_truth = truth_now ();

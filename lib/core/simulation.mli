@@ -52,6 +52,20 @@ type aux =
       window : int;  (** resolved window width in updates *)
       exact_bytes : int;  (** forward-every-update baseline *)
     }
+  | Yz_hh_aux of {
+      total_rel_error : float;
+          (** [|~N - N| / N] of the coordinator's total-count estimate
+              (Yi–Zhang bounds this by the query's [alpha]) *)
+      max_rel_error : float;
+          (** max over the exact top-[k] of [|estimate - count| / N] *)
+      topk_recall : float;
+    }
+  | Yz_q_aux of {
+      rank_error : float;
+          (** |exact rank of the tracked median - 0.5|, as a fraction of
+              the distinct count over the folded domain *)
+      universe : int;  (** resolved (power-of-two) item domain *)
+    }
 
 type run = {
   query : Wd_view.Query.t;
@@ -59,6 +73,10 @@ type run = {
   total_bytes : int;
   bytes_up : int;
   bytes_down : int;
+  backbone_bytes : int;
+      (** aggregator-hop bytes under a tree topology (0 for flat runs);
+          kept out of [total_bytes] so flat-star accounting is untouched
+          — the whole-tree cost is the sum of both *)
   sends : int;
   final_estimate : float;
       (** the primary view's final answer: DC/window distinct estimate,
@@ -82,6 +100,7 @@ type run = {
 val run :
   ?cost_model:Wd_net.Network.cost_model ->
   ?transport:Wd_net.Transport.t ->
+  ?topology:Wd_net.Topology.t ->
   ?item_batching:bool ->
   ?seed:int ->
   ?checkpoints:int ->
@@ -111,7 +130,17 @@ val run :
     see the full arrival stream either way.  [top_k] sizes the HH
     evaluation ([default 20]).  HH queries expect a stream of
     {!Wd_view.Query.pack_pair}ed [(v, w)] keys — see
-    {!stream_of_pairs}. *)
+    {!stream_of_pairs}.
+
+    [topology] installs a {!Wd_net.Topology} tree on the primary's
+    ledger before any traffic: contributions then hop
+    site→aggregator→…→root with per-hop accounting in the run's
+    [backbone_bytes] (site-link fields are unchanged, so a flat
+    topology reproduces the default bit-for-bit).  The primary must
+    cover the whole stream (its tracker's site count must match the
+    topology's).  Window queries ignore it (their ledger is internal);
+    trackers that dedup en route (DC/HH) forward only
+    genuinely-new bytes at each hop. *)
 
 (** {1 Distinct-count runs} *)
 

@@ -8,6 +8,14 @@ let version = "wd-eval/1"
 
 type quantiles = { q_p50 : float; q_p90 : float; q_max : float }
 
+type opt_gap = {
+  opt_lb_bytes : float;
+  opt_ratio_mean : float;
+  opt_ratio_max : float;
+  opt_ceiling : float;
+  opt_pass : bool;
+}
+
 type cell_result = {
   id : string;
   family : string;
@@ -20,6 +28,7 @@ type cell_result = {
   workload : string;
   transport : string;
   faults : string option;
+  topology : string option;
   reps : int;
   successes : int;
   accept_pass : bool;
@@ -33,6 +42,10 @@ type cell_result = {
   ratio_max : float;
   ratio_ceiling : float;
   bytes_pass : bool;
+  opt : opt_gap option;
+      (* measured bytes against the Theory.opt_lower_bound optimum;
+         absent in artifacts written before the optimality gate existed
+         (decode is lenient, and such cells pass the gate trivially) *)
   msgs_mean : float;
   wall_s : float;  (* informational only: never diffed *)
   (* Timing digests, informational only like wall_s: per-repetition wall
@@ -43,7 +56,9 @@ type cell_result = {
   batch_span_ns : quantiles option;
 }
 
-let cell_pass c = c.accept_pass && c.bytes_pass
+let cell_pass c =
+  c.accept_pass && c.bytes_pass
+  && match c.opt with None -> true | Some o -> o.opt_pass
 
 type t = {
   grid : string;
@@ -75,6 +90,32 @@ let quantiles_of_json j =
   | Some q_p50, Some q_p90, Some q_max -> Some { q_p50; q_p90; q_max }
   | _ -> None
 
+let opt_to_json o =
+  Json.Obj
+    [
+      ("lb_bytes", Json.Float o.opt_lb_bytes);
+      ("ratio_mean", Json.Float o.opt_ratio_mean);
+      ("ratio_max", Json.Float o.opt_ratio_max);
+      ("ceiling", Json.Float o.opt_ceiling);
+      ("pass", Json.Bool o.opt_pass);
+    ]
+
+let opt_of_json j =
+  match
+    ( Option.bind (Json.member "lb_bytes" j) Json.to_float,
+      Option.bind (Json.member "ratio_mean" j) Json.to_float,
+      Option.bind (Json.member "ratio_max" j) Json.to_float,
+      Option.bind (Json.member "ceiling" j) Json.to_float,
+      Option.bind (Json.member "pass" j) Json.to_bool )
+  with
+  | ( Some opt_lb_bytes,
+      Some opt_ratio_mean,
+      Some opt_ratio_max,
+      Some opt_ceiling,
+      Some opt_pass ) ->
+    Some { opt_lb_bytes; opt_ratio_mean; opt_ratio_max; opt_ceiling; opt_pass }
+  | _ -> None
+
 let cell_to_json c =
   Json.Obj
     [
@@ -90,6 +131,8 @@ let cell_to_json c =
       ("transport", Json.Str c.transport);
       ( "faults",
         match c.faults with None -> Json.Null | Some f -> Json.Str f );
+      ( "topology",
+        match c.topology with None -> Json.Null | Some t -> Json.Str t );
       ("reps", Json.Int c.reps);
       ("successes", Json.Int c.successes);
       ("accept_pass", Json.Bool c.accept_pass);
@@ -103,6 +146,7 @@ let cell_to_json c =
       ("ratio_max", Json.Float c.ratio_max);
       ("ratio_ceiling", Json.Float c.ratio_ceiling);
       ("bytes_pass", Json.Bool c.bytes_pass);
+      ("opt", (match c.opt with None -> Json.Null | Some o -> opt_to_json o));
       ("msgs_mean", Json.Float c.msgs_mean);
       ("wall_s", Json.Float c.wall_s);
       ( "rep_wall_s",
@@ -151,6 +195,7 @@ let cell_of_json j =
   let* workload = str "workload" in
   let* transport = str "transport" in
   let faults = Option.bind (Json.member "faults" j) Json.to_str in
+  let topology = Option.bind (Json.member "topology" j) Json.to_str in
   let* reps = int "reps" in
   let* successes = int "successes" in
   let* accept_pass = bool "accept_pass" in
@@ -164,6 +209,9 @@ let cell_of_json j =
   let* ratio_max = flt "ratio_max" in
   let* ratio_ceiling = flt "ratio_ceiling" in
   let* bytes_pass = bool "bytes_pass" in
+  (* Lenient like "faults": the optimality gate postdates wd-eval/1's
+     first artifacts, and absent groups pass trivially. *)
+  let opt = Option.bind (Json.member "opt" j) opt_of_json in
   let* msgs_mean = flt "msgs_mean" in
   let* wall_s = flt "wall_s" in
   (* Informational timing digests: lenient like "faults", so artifacts
@@ -186,6 +234,7 @@ let cell_of_json j =
       workload;
       transport;
       faults;
+      topology;
       reps;
       successes;
       accept_pass;
@@ -199,6 +248,7 @@ let cell_of_json j =
       ratio_max;
       ratio_ceiling;
       bytes_pass;
+      opt;
       msgs_mean;
       wall_s;
       rep_wall_s;
@@ -248,8 +298,9 @@ let load path =
 
 let csv_header =
   "id,family,algorithm,sketch,alpha,delta,sites,events,workload,transport,\
-   faults,reps,successes,accept_pass,p_value,err_mean,err_p50,err_p90,\
-   err_max,bytes_mean,ratio_mean,ratio_max,ratio_ceiling,bytes_pass,\
+   faults,topology,reps,successes,accept_pass,p_value,err_mean,err_p50,\
+   err_p90,err_max,bytes_mean,ratio_mean,ratio_max,ratio_ceiling,bytes_pass,\
+   opt_lb_bytes,opt_ratio_mean,opt_ratio_max,opt_ceiling,opt_pass,\
    msgs_mean,wall_s,wall_p50_s,wall_p90_s,wall_max_s,batch_p50_ns,\
    batch_p90_ns,batch_max_ns"
 
@@ -262,18 +313,25 @@ let to_csv t =
     | Some q ->
       Printf.sprintf "%s,%s,%s" (fmt q.q_p50) (fmt q.q_p90) (fmt q.q_max)
   in
+  let opt5 = function
+    | None -> ",,,,"
+    | Some o ->
+      Printf.sprintf "%.6g,%.6g,%.6g,%.6g,%b" o.opt_lb_bytes o.opt_ratio_mean
+        o.opt_ratio_max o.opt_ceiling o.opt_pass
+  in
   List.iter
     (fun c ->
       Buffer.add_string b
         (Printf.sprintf
-           "%s,%s,%s,%s,%g,%g,%d,%d,%s,%s,%s,%d,%d,%b,%.6g,%.6g,%.6g,%.6g,\
-            %.6g,%.6g,%.6g,%.6g,%.6g,%b,%.6g,%.3f,%s,%s\n"
+           "%s,%s,%s,%s,%g,%g,%d,%d,%s,%s,%s,%s,%d,%d,%b,%.6g,%.6g,%.6g,\
+            %.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%b,%s,%.6g,%.3f,%s,%s\n"
            c.id c.family c.algorithm c.sketch c.alpha c.delta c.sites c.events
            c.workload c.transport
            (Option.value c.faults ~default:"")
+           (Option.value c.topology ~default:"")
            c.reps c.successes c.accept_pass c.p_value c.err_mean c.err_p50
            c.err_p90 c.err_max c.bytes_mean c.ratio_mean c.ratio_max
-           c.ratio_ceiling c.bytes_pass c.msgs_mean c.wall_s
+           c.ratio_ceiling c.bytes_pass (opt5 c.opt) c.msgs_mean c.wall_s
            (q3 (Printf.sprintf "%.3f") c.rep_wall_s)
            (q3 (Printf.sprintf "%.0f") c.batch_span_ns)))
     t.cells;
@@ -324,6 +382,19 @@ let diff ~baseline ~current =
         if c.ratio_max > b.ratio_max *. ratio_slack then
           reg "%s: traffic ratio %.3g drifted past %.1fx the baseline %.3g" c.id
             c.ratio_max ratio_slack b.ratio_max;
+        (match (b.opt, c.opt) with
+        | Some bo, Some co ->
+          if bo.opt_pass && not co.opt_pass then
+            reg
+              "%s: optimality gap now exceeds its ceiling (ratio %.3g > \
+               %.3g)"
+              c.id co.opt_ratio_max co.opt_ceiling;
+          if co.opt_ratio_max > bo.opt_ratio_max *. ratio_slack then
+            reg "%s: optimality ratio %.3g drifted past %.1fx the baseline %.3g"
+              c.id co.opt_ratio_max ratio_slack bo.opt_ratio_max
+        | Some _, None ->
+          reg "%s: optimality gap present in baseline but missing here" c.id
+        | None, _ -> ());
         if c.err_p90 > Float.max (b.err_p90 *. ratio_slack) (b.err_p90 +. err_floor)
         then
           reg "%s: p90 error %.4g drifted past the baseline %.4g" c.id c.err_p90

@@ -12,6 +12,18 @@ val version : string
 type quantiles = { q_p50 : float; q_p90 : float; q_max : float }
 (** Nearest-rank digest of one informational measurement series. *)
 
+type opt_gap = {
+  opt_lb_bytes : float;
+      (** {!Theory.opt_lower_bound} — the optimum any correct protocol
+          must pay for this cell's tracking problem *)
+  opt_ratio_mean : float;  (** mean of measured bytes / optimum *)
+  opt_ratio_max : float;
+  opt_ceiling : float;  (** {!Theory.opt_ceiling} at measurement time *)
+  opt_pass : bool;  (** [opt_ratio_max <= opt_ceiling] *)
+}
+(** The optimality-gap columns: how far a cell's measured traffic sits
+    above the theoretical optimum for its problem. *)
+
 type cell_result = {
   id : string;  (** {!Spec.id} of the cell — the diff join key *)
   family : string;
@@ -24,6 +36,7 @@ type cell_result = {
   workload : string;
   transport : string;
   faults : string option;
+  topology : string option;  (** tree spec; [None] is the flat star *)
   reps : int;  (** seeded repetitions measured *)
   successes : int;  (** repetitions whose error landed in the alpha band *)
   accept_pass : bool;  (** verdict of the binomial acceptance test *)
@@ -37,6 +50,10 @@ type cell_result = {
   ratio_max : float;
   ratio_ceiling : float;  (** {!Theory.ceiling} at measurement time *)
   bytes_pass : bool;  (** [ratio_max <= ratio_ceiling] *)
+  opt : opt_gap option;
+      (** optimality-gap columns; decodes leniently ([None] for
+          artifacts written before the gate existed, which then pass it
+          trivially) *)
   msgs_mean : float;  (** mean site-to-coordinator messages *)
   wall_s : float;  (** total wall time — informational, never diffed *)
   rep_wall_s : quantiles option;
@@ -49,7 +66,7 @@ type cell_result = {
 }
 
 val cell_pass : cell_result -> bool
-(** Accuracy and traffic checks both pass. *)
+(** Accuracy, traffic-envelope and optimality-gap checks all pass. *)
 
 type t = {
   grid : string;
@@ -89,6 +106,7 @@ val clean : diff -> bool
 
 val diff : baseline:t -> current:t -> diff
 (** A cell regresses when it disappears, flips a passing check to
-    failing, or drifts past 1.5x the baseline on traffic ratio or p90
-    error (with a 0.01 absolute error floor so near-zero baselines don't
-    alarm on noise).  Wall time is never compared. *)
+    failing, loses its optimality-gap columns, or drifts past 1.5x the
+    baseline on traffic ratio, optimality ratio or p90 error (with a
+    0.01 absolute error floor so near-zero baselines don't alarm on
+    noise).  Wall time is never compared. *)

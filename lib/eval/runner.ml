@@ -52,6 +52,12 @@ let default_config =
 (* One repetition's measurements, before aggregation. *)
 type rep = { err : float; success : bool; bytes : int; msgs : int }
 
+(* Hierarchical HTTP cells run the per-server view (29 sites under the
+   tree's regional aggregators — the paper's CDN deployment); flat HTTP
+   cells keep the 4-region site view. *)
+let http_site_view (cell : Spec.cell) =
+  if cell.topology = None then Http.Per_region else Http.Per_server
+
 let build_stream (cell : Spec.cell) ~seed =
   let sites = cell.sites and events = cell.events in
   match cell.workload with
@@ -68,7 +74,17 @@ let build_stream (cell : Spec.cell) ~seed =
     let cfg =
       Http.scaled ~seed (Float.of_int events /. Float.of_int Http.default.requests)
     in
-    Http.view cfg Http.Object_id Http.Per_region (Http.generate cfg)
+    Http.view cfg Http.Object_id (http_site_view cell) (Http.generate cfg)
+
+let parse_topology (cell : Spec.cell) ~sites =
+  match cell.topology with
+  | None -> None
+  | Some spec -> (
+    match Wd_net.Topology.of_spec ~sites spec with
+    | Ok t -> Some t
+    | Error e ->
+      failwith
+        (Printf.sprintf "cell %s: bad topology spec: %s" (Spec.id cell) e))
 
 let parse_faults (cell : Spec.cell) ~seed =
   match cell.faults with
@@ -197,12 +213,20 @@ let dc_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
     match cell.protocol with Spec.Dc a -> a | _ -> assert false
   in
   let est = sketch_estimator cell in
-  if cell.views > 1 then begin
-    (* Multi-view cells go through the registry entry point; the primary
-       runs at [seed] and must match the standalone tracker, so the
-       acceptance judgement below is unchanged. *)
+  let topology = parse_topology cell ~sites:(Stream.num_sites stream) in
+  let swb = sketch_wire_bytes cell ~seed stream in
+  let opt_lb =
+    Theory.opt_lower_bound cell ~sites:(Stream.num_sites stream)
+      ~updates:(Stream.length stream) ~distinct:(Stream.distinct_count stream)
+      ~threshold:cfg.ds_threshold ~sketch_bytes:swb
+  in
+  if cell.views > 1 || topology <> None then begin
+    (* Multi-view and hierarchical cells go through the registry entry
+       point; the primary runs at [seed] and must match the standalone
+       tracker, so the acceptance judgement below is unchanged.  Tree
+       cells' bytes are the backbone-inclusive grand total. *)
     let run =
-      Sim.run ?transport ?sink ?spans ~seed ~faults
+      Sim.run ?transport ?topology ?sink ?spans ~seed ~faults
         ~views:(dc_satellites cell ~theta ~alpha:acc algorithm)
         (Query.dc
            ~sketch:(query_sketch cell.sketch)
@@ -232,12 +256,17 @@ let dc_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
     in
     let bound =
       Theory.dc_bound ~algorithm ~sites:(Stream.num_sites stream)
-        ~distinct:(Stream.distinct_count stream) ~theta
-        ~sketch_bytes:(sketch_wire_bytes cell ~seed stream)
+        ~distinct:(Stream.distinct_count stream) ~theta ~sketch_bytes:swb
         ~exact_bytes:(Sim.exact_dc_bytes stream)
     in
-    ( { err; success; bytes = run.Sim.total_bytes; msgs = run.Sim.sends },
-      bound )
+    ( {
+        err;
+        success;
+        bytes = run.Sim.total_bytes + run.Sim.backbone_bytes;
+        msgs = run.Sim.sends;
+      },
+      bound,
+      opt_lb )
   end
   else
   let run =
@@ -293,12 +322,12 @@ let dc_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
   in
   let bound =
     Theory.dc_bound ~algorithm ~sites:(Stream.num_sites stream)
-      ~distinct:(Stream.distinct_count stream) ~theta
-      ~sketch_bytes:(sketch_wire_bytes cell ~seed stream)
+      ~distinct:(Stream.distinct_count stream) ~theta ~sketch_bytes:swb
       ~exact_bytes:(Sim.exact_dc_bytes stream)
   in
   ( { err; success; bytes = run.Sim.dc_total_bytes; msgs = run.Sim.dc_sends },
-    bound )
+    bound,
+    opt_lb )
 
 let ds_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
   (* The whole budget is the count-lag theta here (Lemma 2 bounds the
@@ -310,8 +339,9 @@ let ds_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
   let algorithm =
     match cell.protocol with Spec.Ds a -> a | _ -> assert false
   in
+  let topology = parse_topology cell ~sites:(Stream.num_sites stream) in
   let run =
-    Sim.run ?transport ?sink ?spans ~seed ~faults
+    Sim.run ?transport ?topology ?sink ?spans ~seed ~faults
       (Query.ds ~theta ~threshold:cfg.ds_threshold algorithm)
       stream
   in
@@ -327,13 +357,19 @@ let ds_rep cfg (cell : Spec.cell) ~seed ?transport ?sink ?spans stream =
       ~threshold:cfg.ds_threshold ~theta:cell.alpha ~max_mult
       ~updates:(Stream.length stream) ~exact_bytes:(Sim.exact_ds_bytes stream)
   in
+  let opt_lb =
+    Theory.opt_lower_bound cell ~sites:(Stream.num_sites stream)
+      ~updates:(Stream.length stream) ~distinct:(Stream.distinct_count stream)
+      ~threshold:cfg.ds_threshold ~sketch_bytes:0
+  in
   ( {
       err;
       success = err <= cell.alpha;
-      bytes = run.Sim.total_bytes;
+      bytes = run.Sim.total_bytes + run.Sim.backbone_bytes;
       msgs = run.Sim.sends;
     },
-    bound )
+    bound,
+    opt_lb )
 
 let hh_rep cfg (cell : Spec.cell) ~seed =
   ignore cfg.handicap;
@@ -345,14 +381,17 @@ let hh_rep cfg (cell : Spec.cell) ~seed =
       (Float.of_int cell.events /. Float.of_int Http.default.requests)
   in
   let pairs =
-    Sim.pair_stream_of_requests http Http.Per_region (Http.generate http)
+    Sim.pair_stream_of_requests http (http_site_view cell)
+      (Http.generate http)
   in
+  let stream = Sim.stream_of_pairs pairs in
+  let topology = parse_topology cell ~sites:(Stream.num_sites stream) in
   let run =
-    Sim.run ~seed ~top_k:10
+    Sim.run ?topology ~seed ~top_k:10
       (Query.hh
          ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 500; bitmaps = 10 }
          ~theta:(Spec.theta cell) algorithm)
-      (Sim.stream_of_pairs pairs)
+      stream
   in
   let avg_norm_error, topk_recall, exact_bytes =
     match run.Sim.aux with
@@ -360,13 +399,19 @@ let hh_rep cfg (cell : Spec.cell) ~seed =
       (avg_norm_error, topk_recall, exact_bytes)
     | _ -> assert false
   in
+  let opt_lb =
+    Theory.opt_lower_bound cell ~sites:(Stream.num_sites stream)
+      ~updates:(Stream.length stream) ~distinct:(Stream.distinct_count stream)
+      ~threshold:cfg.ds_threshold ~sketch_bytes:0
+  in
   ( {
       err = avg_norm_error;
       success = avg_norm_error <= cell.alpha && topk_recall >= 0.5;
-      bytes = run.Sim.total_bytes;
+      bytes = run.Sim.total_bytes + run.Sim.backbone_bytes;
       msgs = run.Sim.sends;
     },
-    Theory.hh_bound ~exact_bytes )
+    Theory.hh_bound ~exact_bytes,
+    opt_lb )
 
 let window_rep cfg (cell : Spec.cell) ~seed stream =
   let algorithm =
@@ -404,13 +449,91 @@ let window_rep cfg (cell : Spec.cell) ~seed stream =
   let errs = Array.of_list !samples in
   let err = Stats.quantile errs 0.5 in
   let net = W.network t in
+  let opt_lb =
+    Theory.opt_lower_bound cell ~sites:(Stream.num_sites stream) ~updates:n
+      ~distinct:(Stream.distinct_count stream) ~threshold:cfg.ds_threshold
+      ~sketch_bytes:0
+  in
   ( {
       err;
       success = err <= cell.alpha;
       bytes = Wd_net.Network.total_bytes net;
       msgs = W.sends t;
     },
-    Theory.window_bound ~updates:n )
+    Theory.window_bound ~updates:n,
+    opt_lb )
+
+(* The Yi–Zhang rows: the optimal-tracking contenders beside the
+   paper's protocols.  Their [alpha] is the tracking epsilon; accuracy
+   acceptance checks the guarantee the algorithms actually make
+   (counts within eps*N / median rank within eps of 1/2). *)
+let yzhh_rep (cell : Spec.cell) ~seed ?sink ?spans stream =
+  let faults = parse_faults cell ~seed:(seed + 500) in
+  let topology = parse_topology cell ~sites:(Stream.num_sites stream) in
+  let run =
+    Sim.run ?topology ?sink ?spans ~seed ~faults
+      (Query.yzhh ~epsilon:cell.alpha ())
+      stream
+  in
+  let total_rel_error, max_rel_error, topk_recall =
+    match run.Sim.aux with
+    | Sim.Yz_hh_aux { total_rel_error; max_rel_error; topk_recall } ->
+      (total_rel_error, max_rel_error, topk_recall)
+    | _ -> assert false
+  in
+  let err = Float.max total_rel_error max_rel_error in
+  let bound =
+    Theory.yz_hh_bound ~sites:(Stream.num_sites stream) ~epsilon:cell.alpha
+      ~updates:(Stream.length stream)
+  in
+  let opt_lb =
+    Theory.opt_lower_bound cell ~sites:(Stream.num_sites stream)
+      ~updates:(Stream.length stream) ~distinct:(Stream.distinct_count stream)
+      ~threshold:0 ~sketch_bytes:0
+  in
+  ( {
+      err;
+      success = err <= cell.alpha && topk_recall >= 0.5;
+      bytes = run.Sim.total_bytes + run.Sim.backbone_bytes;
+      msgs = run.Sim.sends;
+    },
+    bound,
+    opt_lb )
+
+let yzq_rep (cell : Spec.cell) ~seed ?sink ?spans stream =
+  let faults = parse_faults cell ~seed:(seed + 500) in
+  let topology = parse_topology cell ~sites:(Stream.num_sites stream) in
+  (* Match the tracked domain to the workload's value range: fewer
+     dyadic levels means less stacked FM noise in every rank query. *)
+  let universe = max 1024 cell.events in
+  let run =
+    Sim.run ?topology ?sink ?spans ~seed ~faults
+      (Query.yzq ~epsilon:cell.alpha ~universe ())
+      stream
+  in
+  let rank_error =
+    match run.Sim.aux with
+    | Sim.Yz_q_aux { rank_error; _ } -> rank_error
+    | _ -> assert false
+  in
+  let bound =
+    Theory.yz_q_bound ~sites:(Stream.num_sites stream) ~epsilon:cell.alpha
+      ~updates:(Stream.length stream)
+      ~distinct:(Stream.distinct_count stream)
+  in
+  let opt_lb =
+    Theory.opt_lower_bound cell ~sites:(Stream.num_sites stream)
+      ~updates:(Stream.length stream) ~distinct:(Stream.distinct_count stream)
+      ~threshold:0 ~sketch_bytes:0
+  in
+  ( {
+      err = rank_error;
+      success = rank_error <= cell.alpha;
+      bytes = run.Sim.total_bytes + run.Sim.backbone_bytes;
+      msgs = run.Sim.sends;
+    },
+    bound,
+    opt_lb )
 
 let run_rep cfg (cell : Spec.cell) ~seed ?sink ?spans () =
   match (cell.protocol, cell.transport) with
@@ -437,7 +560,12 @@ let run_rep cfg (cell : Spec.cell) ~seed ?sink ?spans () =
     let stream = build_stream cell ~seed in
     with_tcp_relays ~sites:(Stream.num_sites stream) (fun transport ->
         ds_rep cfg cell ~seed ~transport ?sink ?spans stream)
-  | (Spec.Hh _ | Spec.Window _), (Spec.Socket | Spec.Tcp) ->
+  | Spec.Yz_hh, Spec.Sim ->
+    yzhh_rep cell ~seed ?sink ?spans (build_stream cell ~seed)
+  | Spec.Yz_q, Spec.Sim ->
+    yzq_rep cell ~seed ?sink ?spans (build_stream cell ~seed)
+  | ( (Spec.Hh _ | Spec.Window _ | Spec.Yz_hh | Spec.Yz_q),
+      (Spec.Socket | Spec.Tcp) ) ->
     failwith
       (Printf.sprintf "cell %s: no wire backend for this protocol family"
          (Spec.id cell))
@@ -485,14 +613,23 @@ let run_cell cfg (cell : Spec.cell) =
               | _ -> None)
             (Sink.ring_contents ring)))
   in
-  let reps = List.map fst measured in
+  let reps = List.map (fun (m, _, _) -> m) measured in
   let arr f = Array.of_list (List.map f reps) in
   let errs = arr (fun m -> m.err) in
   let ratios =
     Array.of_list
       (List.map
-         (fun (m, bound) -> Float.of_int m.bytes /. Float.max 1.0 bound)
+         (fun (m, bound, _) -> Float.of_int m.bytes /. Float.max 1.0 bound)
          measured)
+  in
+  let opt_ratios =
+    Array.of_list
+      (List.map
+         (fun (m, _, lb) -> Float.of_int m.bytes /. Float.max 1.0 lb)
+         measured)
+  in
+  let opt_lbs =
+    Array.of_list (List.map (fun (_, _, lb) -> lb) measured)
   in
   let successes =
     List.fold_left (fun a m -> if m.success then a + 1 else a) 0 reps
@@ -503,6 +640,18 @@ let run_cell cfg (cell : Spec.cell) =
   in
   let ratio_ceiling = Theory.ceiling cell in
   let ratio_max = Stats.max_value ratios in
+  let opt_ceiling = Theory.opt_ceiling cell in
+  let opt_ratio_max = Stats.max_value opt_ratios in
+  let opt =
+    Some
+      {
+        Artifact.opt_lb_bytes = Stats.mean opt_lbs;
+        opt_ratio_mean = Stats.mean opt_ratios;
+        opt_ratio_max;
+        opt_ceiling;
+        opt_pass = opt_ratio_max <= opt_ceiling;
+      }
+  in
   let result =
     {
       Artifact.id;
@@ -516,6 +665,7 @@ let run_cell cfg (cell : Spec.cell) =
       workload = Spec.workload_to_string cell.workload;
       transport = Spec.transport_to_string cell.transport;
       faults = cell.faults;
+      topology = cell.topology;
       reps = cfg.reps;
       successes;
       accept_pass = verdict.Stats.pass;
@@ -529,6 +679,7 @@ let run_cell cfg (cell : Spec.cell) =
       ratio_max;
       ratio_ceiling;
       bytes_pass = ratio_max <= ratio_ceiling;
+      opt;
       msgs_mean = Stats.mean (arr (fun m -> Float.of_int m.msgs));
       wall_s;
       rep_wall_s;
@@ -549,9 +700,10 @@ let run_cell cfg (cell : Spec.cell) =
     (fun p ->
       p
         (Printf.sprintf
-           "%-44s %d/%d in-band (p=%.3g) err p90 %.4f ratio %.3g [%s]" id
-           successes cfg.reps verdict.Stats.p_value result.Artifact.err_p90
-           ratio_max
+           "%-44s %d/%d in-band (p=%.3g) err p90 %.4f ratio %.3g opt %.3g \
+            [%s]"
+           id successes cfg.reps verdict.Stats.p_value result.Artifact.err_p90
+           ratio_max opt_ratio_max
            (if Artifact.cell_pass result then "pass" else "FAIL")))
     cfg.progress;
   result

@@ -37,18 +37,23 @@ type protocol =
   | Ds of Ds.algorithm  (* EDS is [Ds EDS] *)
   | Hh of Dc.algorithm
   | Window of W.algorithm
+  | Yz_hh  (* Yi–Zhang frequency heavy hitters; alpha is its epsilon *)
+  | Yz_q  (* Yi–Zhang duplicate-resilient quantiles; alpha is its epsilon *)
 
 let protocol_family = function
   | Dc _ -> "dc"
   | Ds _ -> "ds"
   | Hh _ -> "hh"
   | Window _ -> "window"
+  | Yz_hh -> "yzhh"
+  | Yz_q -> "yzq"
 
 let protocol_algorithm = function
   | Dc a -> Dc.algorithm_to_string a
   | Ds a -> Ds.algorithm_to_string a
   | Hh a -> Dc.algorithm_to_string a
   | Window a -> W.algorithm_to_string a
+  | Yz_hh | Yz_q -> "YZ"
 
 type cell = {
   protocol : protocol;
@@ -71,6 +76,15 @@ type cell = {
   views : int;
       (* standing views sharing the run's stream: 1 = just the primary;
          N > 1 adds N-1 key-class fanout satellites to the registry *)
+  topology : string option;
+      (* Wd_net.Topology.of_spec syntax; [None] is the flat star.  A
+         tree routes contributions site->aggregator->root with per-hop
+         ledger accounting, and the cell's bytes become the
+         backbone-inclusive grand total.  HTTP cells with a topology
+         switch to the per-server site view (29 sites), so
+         [tree:regions=4] reproduces the paper's hierarchical CDN
+         deployment: servers under regional aggregators under the
+         root. *)
 }
 
 let theta cell = cell.theta_frac *. cell.alpha
@@ -98,11 +112,13 @@ let id cell =
        transport_to_string cell.transport;
      ]
     @ (if cell.views > 1 then [ Printf.sprintf "v%d" cell.views ] else [])
+    @ (match cell.topology with None -> [] | Some t -> [ "topo:" ^ t ])
     @ match cell.faults with None -> [] | Some f -> [ "faults:" ^ f ])
 
 let base ?(sketch = Fm) ?(estimator = Classic) ?(alpha = 0.1) ?(delta = 0.1)
     ?(theta_frac = 0.3) ?(sites = 4) ?(events = 120_000) ?(dup = 3.0)
-    ?(workload = Zipf) ?(transport = Sim) ?faults ?(views = 1) protocol =
+    ?(workload = Zipf) ?(transport = Sim) ?faults ?(views = 1) ?topology
+    protocol =
   {
     protocol;
     sketch;
@@ -117,6 +133,7 @@ let base ?(sketch = Fm) ?(estimator = Classic) ?(alpha = 0.1) ?(delta = 0.1)
     transport;
     faults;
     views;
+    topology;
   }
 
 let small_alphas = [ 0.05; 0.1; 0.2 ]
@@ -163,7 +180,25 @@ let small () =
      primary's accuracy must be unchanged by the fan-out, so this cell's
      err/bytes join 1:1 against the views-free LS-fm cell. *)
   let view_cells = [ base ~views:100 (Dc Dc.LS) ] in
+  (* Hierarchical cells: the default DC(LS) routed through two regional
+     aggregators, the HH tracker on the WorldCup trace's per-server view
+     under the paper's 4-region backbone, the Yi–Zhang heavy-hitter
+     contender on the same deployment (its bytes must undercut HH's —
+     that delta is what "optimal tracking" buys), and the Yi–Zhang
+     duplicate-resilient quantile tracker on the zipf workload behind
+     the same two-aggregator tree as the DC cell. *)
+  let tree_cells =
+    [
+      base ~topology:"tree:regions=2" (Dc Dc.LS);
+      base ~workload:Http_trace ~events:40_000 ~topology:"tree:regions=4"
+        (Hh Dc.LS);
+      base ~workload:Http_trace ~events:40_000 ~topology:"tree:regions=4"
+        Yz_hh;
+      base ~topology:"tree:regions=2" Yz_q;
+    ]
+  in
   dc_cells @ mle_cells @ baseline_cells @ wire_smoke @ view_cells
+  @ tree_cells
 
 (* The full matrix adds the remaining DC algorithms, the DS sharing
    variants, the paper's two-phase and HTTP workloads, a fault-plan

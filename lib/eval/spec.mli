@@ -35,9 +35,17 @@ type protocol =
   | Hh of Wd_protocol.Dc_tracker.algorithm
       (** distinct heavy hitters over (objectID, clientID) pairs *)
   | Window of Wd_protocol.Window_tracker.algorithm
+  | Yz_hh
+      (** Yi–Zhang optimal frequency heavy hitters
+          ({!Wd_protocol.Yz_hh_tracker}); the cell's [alpha] is its
+          epsilon *)
+  | Yz_q
+      (** Yi–Zhang duplicate-resilient quantiles
+          ({!Wd_aggregate.Yz_quantile_tracker}); the cell's [alpha] is
+          its epsilon *)
 
 val protocol_family : protocol -> string
-(** ["dc"], ["ds"], ["hh"] or ["window"]. *)
+(** ["dc"], ["ds"], ["hh"], ["window"], ["yzhh"] or ["yzq"]. *)
 
 val protocol_algorithm : protocol -> string
 
@@ -66,6 +74,14 @@ type cell = {
       (** standing views sharing the run's stream: [1] = just the
           primary; [N > 1] adds [N - 1] key-class fanout satellites to
           the registry (DC cells only).  Ids get a ["-vN"] suffix. *)
+  topology : string option;
+      (** {!Wd_net.Topology.of_spec} syntax; [None] is the flat star.
+          A tree routes contributions site→aggregator→root with per-hop
+          ledger accounting; the cell's measured bytes become the
+          backbone-inclusive grand total and its id gains a ["-topo:"]
+          suffix.  HTTP cells with a topology use the per-server site
+          view, so ["tree:regions=4"] is the paper's hierarchical CDN
+          deployment (29 servers under 4 regional aggregators). *)
 }
 
 val theta : cell -> float
@@ -95,6 +111,7 @@ val base :
   ?transport:transport ->
   ?faults:string ->
   ?views:int ->
+  ?topology:string ->
   protocol ->
   cell
 (** A cell with the acceptance-grid defaults (alpha 0.1, delta 0.1,
@@ -105,8 +122,11 @@ val small : unit -> cell list
 (** The committed acceptance grid: DC(LS) x {FM, BJKST, HLL, FMC} and
     the EC / DS(LCO) / EDS baselines, each at alpha in {0.05, 0.1, 0.2},
     one MLE cell per MLE-capable sketch family (FM, HLL, FMC) at the
-    default alpha, the Unix-socket and TCP smoke cells, and one 100-view
-    registry smoke cell. *)
+    default alpha, the Unix-socket and TCP smoke cells, one 100-view
+    registry smoke cell, and the hierarchical cells: DC(LS) and YZ
+    quantiles behind a two-aggregator tree, plus HH and YZ heavy
+    hitters on the WorldCup per-server view under the 4-region
+    backbone. *)
 
 val full : unit -> cell list
 (** {!small} plus the remaining DC/DS algorithms, the two-phase and HTTP

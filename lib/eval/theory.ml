@@ -65,6 +65,44 @@ let hh_bound ~exact_bytes = Float.of_int exact_bytes
 let window_bound ~updates =
   Float.of_int (Wd_protocol.Window_tracker.exact_bytes ~updates)
 
+let yz_hh_bound ~sites ~epsilon ~updates =
+  (* Yi–Zhang round accounting: within one ~N-doubling round the global
+     count grows by ~N and every report certifies at least
+     delta = eps*~N/(2k) of growth (in a site total or an item count),
+     so a round carries at most 4k/eps reports; rounds number log2 N.
+     Each report ships an item and two absolute counts (and is acked);
+     each round-advance broadcasts the new ~N to every site. *)
+  let k = Float.of_int sites in
+  let rounds = Float.log2 (Float.of_int (max 2 updates)) +. 1.0 in
+  let report_msg =
+    Float.of_int
+      (Wire.message ~payload:(Wire.item_bytes + (2 * Wire.count_bytes))
+      + Wire.message ~payload:Wire.ack_bytes)
+  in
+  let bcast_msg = Float.of_int (Wire.message ~payload:Wire.count_bytes) in
+  (((4.0 *. k /. epsilon) +. k) *. rounds *. report_msg)
+  +. (rounds *. k *. bcast_msg)
+
+let yz_q_bound ~sites ~epsilon ~updates ~distinct =
+  (* Site-local dedup caps shipped items at min(updates, k*D); the
+     D-doubling argument caps flush messages at 4k/eps per round over
+     log2 D rounds (each flush certifies delta = eps*~D/(2k) fresh
+     values), plus one trailing partial per site and the round
+     broadcasts. *)
+  let k = Float.of_int sites in
+  let d = Float.of_int (max 2 distinct) in
+  let rounds = Float.log2 d +. 1.0 in
+  let items = Float.min (Float.of_int updates) (k *. d) in
+  let flushes = ((4.0 *. k /. epsilon) +. k) *. rounds in
+  let flush_overhead =
+    Float.of_int
+      (Wire.message ~payload:0 + Wire.message ~payload:Wire.ack_bytes)
+  in
+  let bcast_msg = Float.of_int (Wire.message ~payload:Wire.count_bytes) in
+  (items *. Float.of_int Wire.item_bytes)
+  +. (flushes *. flush_overhead)
+  +. (rounds *. k *. bcast_msg)
+
 (* Acceptance ceilings on measured/bound: how much constant-factor slack
    each envelope is granted before the bytes check fails.  The exact
    baselines are computed, not bounded, so they get a whisker; the
@@ -86,3 +124,88 @@ let ceiling cell =
          drift is still gated — the ceiling only needs to catch
          blow-ups. *)
   | Spec.Window _ -> 3.0
+  | Spec.Yz_hh | Spec.Yz_q -> 1.5
+      (* The round accounting above is already an over-count (streams
+         reach thresholds faster than the doubling argument assumes),
+         so measured traffic should sit well inside the envelope. *)
+
+(* ------------------------------------------------------------------ *)
+(* Optimality gap: per-cell lower-bound envelopes on the traffic any
+   correct protocol must pay, against which measured bytes are reported
+   as [opt_ratio = measured / optimum].  The distinct-tracking bound is
+   the paper's Omega(k + sqrt(k)/alpha) message count (each message
+   carrying an alpha-accurate summary, priced at the cell's own
+   measured sketch wire size); the Yi–Zhang rows use their
+   Omega((k/eps) log n) message bound, which their algorithms match up
+   to constants — that near-1 ratio is exactly the "optimal tracking"
+   claim the eval gates.  Exact baselines pay their computed floor
+   (every first occurrence, or every update, crosses the wire once).
+   These are envelopes, not tight constants: {!opt_ceiling} grants each
+   family its constant-factor slack, and the committed baseline gates
+   drift on top. *)
+
+let distinct_msgs_lb ~sites ~alpha =
+  let k = Float.of_int sites in
+  k +. (Float.sqrt k /. alpha)
+
+let opt_lower_bound cell ~sites ~updates ~distinct ~threshold ~sketch_bytes =
+  let alpha = cell.Spec.alpha in
+  let msg p = Float.of_int (Wire.message ~payload:p) in
+  match cell.Spec.protocol with
+  | Spec.Dc Dc.EC ->
+    (* EC must report each globally-new value at least once. *)
+    Float.of_int distinct *. msg Wire.item_bytes
+  | Spec.Ds Ds.EDS -> Float.of_int updates *. msg Wire.item_bytes
+  | Spec.Ds _ ->
+    (* The coordinator's final sample of T items (with counts) must
+       have crossed the wire at least once, and every site must learn
+       each sampling level. *)
+    let levels = Float.log2 (Float.of_int (max 2 updates)) in
+    (Float.of_int threshold *. msg (Wire.item_count_pairs 1))
+    +. (levels *. Float.of_int sites *. msg Wire.level_bytes)
+  | Spec.Dc _ ->
+    distinct_msgs_lb ~sites ~alpha *. msg sketch_bytes
+  | Spec.Hh _ ->
+    (* Per-cell distinct trackers share each frame, so the floor is the
+       message bound priced at bare count refreshes. *)
+    distinct_msgs_lb ~sites ~alpha *. msg Wire.count_bytes
+  | Spec.Window _ ->
+    (* Every window width behaves as a fresh tracking epoch. *)
+    let epochs = Float.of_int (max 1 (updates / max 1 (updates / 4))) in
+    distinct_msgs_lb ~sites ~alpha *. epochs *. msg Wire.count_bytes
+  | Spec.Yz_hh ->
+    let k = Float.of_int sites in
+    let rounds = Float.log2 (Float.of_int (max 2 updates)) in
+    k /. alpha *. rounds
+    *. msg (Wire.item_bytes + (2 * Wire.count_bytes))
+  | Spec.Yz_q ->
+    (* Duplicate-resilient ranks need each value's first arrival
+       accounted once somewhere; message floor as for YZ-HH over the
+       distinct domain. *)
+    let k = Float.of_int sites in
+    let rounds = Float.log2 (Float.of_int (max 2 distinct)) in
+    Float.max
+      (k /. alpha *. rounds *. msg Wire.count_bytes)
+      (Float.of_int distinct *. Float.of_int Wire.item_bytes)
+
+(* Ceilings on [measured / optimum], set from measured headroom at the
+   committed grid's scale (roughly 2x the observed ratio, so genuine
+   blow-ups trip the gate while seed jitter does not).  The sketch
+   protocols' gaps are dominated by how far the send count sits above
+   the ladder bound at this scale; the exact baselines sit within a
+   whisker of their floors. *)
+let opt_ceiling cell =
+  match cell.Spec.protocol with
+  (* Exact baselines pay acks and headers the one-way floor ignores:
+     measured/optimum lands near 1.7, never near 1. *)
+  | Spec.Dc Dc.EC | Spec.Ds Ds.EDS -> 2.0
+  | Spec.Dc _ -> 45.0 (* seed-42 grid max 20.4 (bjkst a=0.1) *)
+  | Spec.Ds _ -> 25.0 (* seed-42 grid max 10.6 (LCO a=0.05) *)
+  | Spec.Hh _ -> 12_000.0
+      (* FM-array refreshes ship whole cell arrays against a bare-count
+         floor; the gap is large (seed-42 grid: 5.6e3) but stable, and
+         the YZ-HH row beside it is the optimal-contender comparison
+         that matters. *)
+  | Spec.Window _ -> 4_000.0
+  | Spec.Yz_hh -> 5.0 (* seed-42 grid max 2.2 *)
+  | Spec.Yz_q -> 8.0 (* seed-42 grid max 3.4 *)

@@ -43,6 +43,46 @@ val window_bound : updates:int -> float
 (** The window envelope is
     {!Wd_protocol.Window_tracker.exact_bytes}. *)
 
+val yz_hh_bound : sites:int -> epsilon:float -> updates:int -> float
+(** Total-byte envelope for a Yi–Zhang heavy-hitter run: at most
+    [4k/eps] reports per count-doubling round over [log2 N] rounds,
+    plus the round broadcasts. *)
+
+val yz_q_bound :
+  sites:int -> epsilon:float -> updates:int -> distinct:int -> float
+(** Total-byte envelope for a Yi–Zhang quantile run: site-deduped item
+    shipments (at most [min (updates, k*D)] items) plus [4k/eps]
+    flushes per distinct-doubling round and the round broadcasts. *)
+
 val ceiling : Spec.cell -> float
 (** Acceptance ceiling on [measured / bound] for this cell's protocol
     family; the bytes check fails above it. *)
+
+(** {1 Optimality gap}
+
+    Lower-bound envelopes on the traffic any correct protocol must pay
+    for the cell's tracking problem: the paper's
+    [Omega(k + sqrt(k)/alpha)] message bound for distinct tracking
+    (priced at the cell's measured sketch wire size), the Yi–Zhang
+    [Omega((k/eps) log n)] bound for the YZ rows, and the computed
+    first-occurrence / every-update floors for the exact baselines.
+    The eval reports [opt_ratio = measured / optimum] per cell and
+    gates it at {!opt_ceiling}. *)
+
+val opt_lower_bound :
+  Spec.cell ->
+  sites:int ->
+  updates:int ->
+  distinct:int ->
+  threshold:int ->
+  sketch_bytes:int ->
+  float
+(** [sites] is the stream's realized site count (HTTP views override
+    the cell's), [distinct] its realized distinct count, [threshold]
+    the DS sampler threshold (ignored elsewhere), and [sketch_bytes]
+    the measured wire size of a loaded sketch of the cell's family
+    (ignored by families that ship no sketch). *)
+
+val opt_ceiling : Spec.cell -> float
+(** Acceptance ceiling on [measured / optimum] for this cell's
+    protocol family; the optimality-gap check fails above it. *)

@@ -66,6 +66,77 @@ val faults : t -> Faults.plan
 val site_down : t -> site:int -> bool
 (** Whether [site] is inside a crash window at the current {!time}. *)
 
+(** {1 Tree topology}
+
+    Installing a {!Topology.t} turns the star into a multi-level tree:
+    site frames cross their site link as before, then hop the backbone
+    (aggregator→aggregator→root) — and coordinator messages hop it in
+    reverse.  Backbone charges accumulate in dedicated counters, {e not}
+    in [bytes_up]/[bytes_down], so the flat-star ledger semantics, the
+    golden traces, and the transports' wire reconciliation laws are all
+    unchanged by this feature; a flat topology (or none) is
+    bit-identical to the seed behaviour.
+
+    Backbone edges are the reliable CDN backbone: they never roll
+    drop/duplicate/corrupt faults (and consume no randomness), but an
+    aggregator inside a fault-plan crash window — addressed as node
+    [sites + j], see {!Topology.node_of_agg} — swallows every frame
+    routed through it, failing the transmission end-to-end.  Under
+    {!Radio_broadcast} the shared medium still reaches every site
+    directly, so broadcasts ignore the tree.
+
+    The up direction is priced by the {e trackers}: after a delivered
+    site contribution they walk the site's path calling {!forward_up}
+    once per hop with the bytes genuinely new to each aggregator's
+    merged sketch — the tree's dedup savings.  The down direction is
+    charged automatically by every [send_down]/[transmit_down]/
+    broadcast entry point. *)
+
+val set_topology : t -> Topology.t -> unit
+(** Install a topology ([Topology.sites] must equal this ledger's
+    [sites]; raises [Invalid_argument] otherwise).  Resets the backbone
+    counters; install before recording traffic.  A flat topology
+    uninstalls the tree. *)
+
+val topology : t -> Topology.t
+(** The installed topology ({!Topology.flat} when none was set). *)
+
+val tree_topology : t -> Topology.t option
+(** [Some] iff a non-flat tree is installed; allocation-free, for hot
+    paths that only need to know whether backbone hops exist. *)
+
+val forward_up : t -> agg:int -> payload:int -> bool
+(** Charge one aggregator→parent backbone hop ({!Wire.header_bytes}
+    added as usual) and emit a [Forward] event.  Returns [false] iff the
+    parent aggregator is inside a crash window (the frame is charged but
+    lost).  Raises [Invalid_argument] without a tree topology. *)
+
+val backbone_bytes_up : t -> int
+val backbone_bytes_down : t -> int
+val backbone_bytes : t -> int
+val backbone_messages : t -> int
+
+val grand_total_bytes : t -> int
+(** [total_bytes] plus all backbone charges — the whole-tree cost. *)
+
+val root_bytes_in : t -> int
+(** Up-direction bytes that actually arrived at the coordinator
+    (delivered copies only, acks included), accumulated via each
+    sender's parent lookup.  The conservation law — this equals the sum
+    of {!edge_delivered_up} over last-hop nodes — is asserted by the
+    debug checks after every down-side charge. *)
+
+val agg_bytes_up : t -> int -> int
+(** Bytes aggregator [j] forwarded toward the root. *)
+
+val agg_bytes_down : t -> int -> int
+(** Bytes relayed down through aggregator [j]. *)
+
+val edge_delivered_up : t -> node:int -> int
+(** Delivered up-direction bytes on [node]'s edge to its parent
+    ([node < sites]: a site link; otherwise aggregator
+    [node - sites]). *)
+
 val set_debug_checks : t -> bool -> unit
 (** Enable/disable the internal ledger invariant assertion
     [bytes_down = medium_bytes + sum of site down-links], checked after

@@ -1,0 +1,335 @@
+type parent = Root | Agg of int
+
+type t = {
+  sites : int;
+  site_parent : int array; (* length sites; aggregator id or -1 for root *)
+  agg_parent : int array; (* length aggs; aggregator id or -1 for root *)
+}
+
+let sites t = t.sites
+let aggs t = Array.length t.agg_parent
+let is_flat t = aggs t = 0
+let node_of_agg t j = t.sites + j
+
+let parent_of_index i = if i < 0 then Root else Agg i
+
+let site_parent t i =
+  if i < 0 || i >= t.sites then invalid_arg "Topology.site_parent";
+  parent_of_index t.site_parent.(i)
+
+let agg_parent t j =
+  if j < 0 || j >= aggs t then invalid_arg "Topology.agg_parent";
+  parent_of_index t.agg_parent.(j)
+
+let path_of_site t i =
+  if i < 0 || i >= t.sites then invalid_arg "Topology.path_of_site";
+  let rec up acc j =
+    if j < 0 then List.rev acc else up (j :: acc) t.agg_parent.(j)
+  in
+  up [] t.site_parent.(i)
+
+let depth t =
+  let d = ref 0 in
+  for i = 0 to t.sites - 1 do
+    let hops = 1 + List.length (path_of_site t i) in
+    if hops > !d then d := hops
+  done;
+  (* Aggregators with no sites below still count for down-path length. *)
+  for j = 0 to aggs t - 1 do
+    let rec up n j = if j < 0 then n else up (n + 1) t.agg_parent.(j) in
+    let hops = up 1 j in
+    if hops > !d then d := hops
+  done;
+  !d
+
+let last_hop_nodes t =
+  let acc = ref [] in
+  for j = aggs t - 1 downto 0 do
+    if t.agg_parent.(j) < 0 then acc := node_of_agg t j :: !acc
+  done;
+  for i = t.sites - 1 downto 0 do
+    if t.site_parent.(i) < 0 then acc := i :: !acc
+  done;
+  !acc
+
+let iter_sites_under t j f =
+  for i = 0 to t.sites - 1 do
+    if List.mem j (path_of_site t i) then f i
+  done
+
+let equal a b =
+  a.sites = b.sites
+  && a.site_parent = b.site_parent
+  && a.agg_parent = b.agg_parent
+
+(* ------------------------------------------------------------------ *)
+(* Construction. *)
+
+let flat ~sites =
+  if sites < 0 then invalid_arg "Topology.flat: sites < 0";
+  { sites; site_parent = Array.make sites (-1); agg_parent = [||] }
+
+(* Validate that [agg_parent] is acyclic and every index in range.
+   Returns an error message rather than raising so [of_spec] can relay
+   it; constructors wrap it in [Invalid_argument]. *)
+let check ~sites ~site_parent ~agg_parent =
+  let a = Array.length agg_parent in
+  let bad = ref None in
+  Array.iteri
+    (fun i p ->
+      if p >= a || p < -1 then
+        bad := Some (Printf.sprintf "site %d: parent a%d does not exist" i p))
+    site_parent;
+  Array.iteri
+    (fun j p ->
+      if p >= a || p < -1 then
+        bad :=
+          Some (Printf.sprintf "aggregator a%d: parent a%d does not exist" j p)
+      else if p = j then
+        bad := Some (Printf.sprintf "aggregator a%d: parent is itself" j))
+    agg_parent;
+  (match !bad with
+  | Some _ -> ()
+  | None ->
+    (* Cycle check: walking up from any aggregator must reach the root
+       within [a] steps. *)
+    let j = ref 0 in
+    while !bad = None && !j < a do
+      let steps = ref 0 and at = ref !j in
+      while !at >= 0 && !steps <= a do
+        at := agg_parent.(!at);
+        incr steps
+      done;
+      if !at >= 0 || !steps > a then
+        bad := Some (Printf.sprintf "cycle through aggregator a%d" !j);
+      incr j
+    done);
+  match !bad with
+  | Some msg -> Error msg
+  | None -> Ok { sites; site_parent; agg_parent }
+
+let tree ~sites ~regions ?fanout () =
+  if sites <= 0 then invalid_arg "Topology.tree: sites <= 0";
+  if regions <= 0 then invalid_arg "Topology.tree: regions <= 0";
+  if regions > sites then invalid_arg "Topology.tree: regions > sites";
+  (match fanout with
+  | Some f when f <= 1 -> invalid_arg "Topology.tree: fanout <= 1"
+  | _ -> ());
+  let block = (sites + regions - 1) / regions in
+  let site_parent = Array.init sites (fun i -> i / block) in
+  (* First layer: [regions] aggregators.  With a fanout, keep grouping
+     consecutive aggregators of the top layer under fresh parents until
+     the top layer fits under the root. *)
+  let parents = ref [] in
+  let next = ref regions in
+  let layer_start = ref 0 and layer_len = ref regions in
+  (match fanout with
+  | None -> ()
+  | Some f ->
+    while !layer_len > f do
+      let groups = (!layer_len + f - 1) / f in
+      for idx = 0 to !layer_len - 1 do
+        parents := (!layer_start + idx, !next + (idx / f)) :: !parents
+      done;
+      layer_start := !next;
+      next := !next + groups;
+      layer_len := groups
+    done);
+  let agg_parent = Array.make !next (-1) in
+  List.iter (fun (child, parent) -> agg_parent.(child) <- parent) !parents;
+  match check ~sites ~site_parent ~agg_parent with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Topology.tree: " ^ msg)
+
+let random ~seed ~sites =
+  if sites <= 0 then invalid_arg "Topology.random: sites <= 0";
+  let rng = Wd_hashing.Rng.create seed in
+  let a = 1 + Wd_hashing.Rng.int rng (max 1 (sites - 1)) in
+  let site_parent = Array.init sites (fun _ -> Wd_hashing.Rng.int rng a) in
+  let agg_parent =
+    Array.init a (fun j ->
+        (* Parent strictly above [j] or the root: acyclic by construction. *)
+        let above = a - 1 - j in
+        if above = 0 then -1
+        else
+          let pick = Wd_hashing.Rng.int rng (above + 1) in
+          if pick = 0 then -1 else j + pick)
+  in
+  match check ~sites ~site_parent ~agg_parent with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Topology.random: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Specs.  Parse like fault plans: compact, comma-separated, typed
+   errors via [result]. *)
+
+let ( let* ) = Result.bind
+
+let parse_int key s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: not an integer: %S" key s)
+
+let parse_tree ~sites opts =
+  let* regions, fanout =
+    List.fold_left
+      (fun acc kv ->
+        let* regions, fanout = acc in
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "bad option %S (want key=value)" kv)
+        | Some i -> (
+          let key = String.sub kv 0 i in
+          let value = String.sub kv (i + 1) (String.length kv - i - 1) in
+          match key with
+          | "regions" ->
+            let* v = parse_int key value in
+            if v < 1 then Error "regions: must be >= 1"
+            else Ok (Some v, fanout)
+          | "fanout" ->
+            let* v = parse_int key value in
+            if v < 2 then Error "fanout: must be >= 2"
+            else Ok (regions, Some v)
+          | _ -> Error (Printf.sprintf "tree: unknown key %S" key)))
+      (Ok (None, None))
+      opts
+  in
+  match regions with
+  | None -> Error "tree: missing regions=R"
+  | Some r ->
+    if r > sites then
+      Error (Printf.sprintf "tree: regions=%d exceeds %d sites" r sites)
+    else (
+      match tree ~sites ~regions:r ?fanout () with
+      | t -> Ok t
+      | exception Invalid_argument msg -> Error msg)
+
+(* Node names in edge lists: sN, aN, root. *)
+let parse_node s =
+  let sub () = String.sub s 1 (String.length s - 1) in
+  if s = "root" then Ok `Root
+  else if String.length s >= 2 && s.[0] = 's' then
+    let* i = parse_int "site" (sub ()) in
+    if i < 0 then Error (Printf.sprintf "bad site %S" s) else Ok (`Site i)
+  else if String.length s >= 2 && s.[0] = 'a' then
+    let* j = parse_int "aggregator" (sub ()) in
+    if j < 0 then Error (Printf.sprintf "bad aggregator %S" s) else Ok (`Agg j)
+  else Error (Printf.sprintf "bad node %S (want sN, aN, or root)" s)
+
+let parse_edges ~sites clauses =
+  let* pairs =
+    List.fold_left
+      (fun acc clause ->
+        let* pairs = acc in
+        match String.index_opt clause '>' with
+        | None -> Error (Printf.sprintf "bad edge %S (want child>parent)" clause)
+        | Some i ->
+          let child = String.sub clause 0 i in
+          let parent =
+            String.sub clause (i + 1) (String.length clause - i - 1)
+          in
+          let* c = parse_node child in
+          let* p = parse_node parent in
+          let* () =
+            match (c, p) with
+            | `Root, _ -> Error "edges: root cannot be a child"
+            | _, `Site i ->
+              Error (Printf.sprintf "edges: site s%d cannot be a parent" i)
+            | _ -> Ok ()
+          in
+          Ok ((c, p) :: pairs))
+      (Ok []) clauses
+  in
+  let pairs = List.rev pairs in
+  let max_agg = ref (-1) in
+  List.iter
+    (fun (c, p) ->
+      (match c with `Agg j when j > !max_agg -> max_agg := j | _ -> ());
+      match p with `Agg j when j > !max_agg -> max_agg := j | _ -> ())
+    pairs;
+  let a = !max_agg + 1 in
+  let site_parent = Array.make sites min_int in
+  let agg_parent = Array.make a min_int in
+  let* () =
+    List.fold_left
+      (fun acc (c, p) ->
+        let* () = acc in
+        let p_idx = match p with `Root -> -1 | `Agg j -> j | `Site _ -> -1 in
+        match c with
+        | `Site i ->
+          if i >= sites then
+            Error (Printf.sprintf "edges: site s%d out of range (%d sites)" i sites)
+          else if site_parent.(i) <> min_int then
+            Error (Printf.sprintf "edges: site s%d has two parents" i)
+          else (
+            site_parent.(i) <- p_idx;
+            Ok ())
+        | `Agg j ->
+          if agg_parent.(j) <> min_int then
+            Error (Printf.sprintf "edges: aggregator a%d has two parents" j)
+          else (
+            agg_parent.(j) <- p_idx;
+            Ok ())
+        | `Root -> Ok ())
+      (Ok ()) pairs
+  in
+  let* () =
+    let missing = ref None in
+    Array.iteri
+      (fun i p -> if p = min_int && !missing = None then missing := Some i)
+      site_parent;
+    match !missing with
+    | Some i -> Error (Printf.sprintf "edges: site s%d has no parent" i)
+    | None -> Ok ()
+  in
+  let* () =
+    let missing = ref None in
+    Array.iteri
+      (fun j p -> if p = min_int && !missing = None then missing := Some j)
+      agg_parent;
+    match !missing with
+    | Some j ->
+      Error
+        (Printf.sprintf
+           "edges: aggregator a%d has no parent (aggregator ids must be dense \
+            and each must have one parent edge)"
+           j)
+    | None -> Ok ()
+  in
+  check ~sites ~site_parent ~agg_parent
+
+let of_spec ~sites spec =
+  if sites < 0 then Error "sites < 0"
+  else
+    let spec = String.trim spec in
+    match String.index_opt spec ':' with
+    | None -> (
+      match spec with
+      | "flat" | "star" -> Ok (flat ~sites)
+      | "" -> Error "empty topology spec"
+      | s -> Error (Printf.sprintf "unknown topology %S (want flat, tree:..., or edges:...)" s))
+    | Some i -> (
+      let form = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let clauses = String.split_on_char ',' rest in
+      match form with
+      | "tree" -> parse_tree ~sites clauses
+      | "edges" -> parse_edges ~sites clauses
+      | f -> Error (Printf.sprintf "unknown topology form %S (want tree or edges)" f))
+
+let to_spec t =
+  if is_flat t then "flat"
+  else
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "edges:";
+    let first = ref true in
+    let emit child parent =
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf child;
+      Buffer.add_char buf '>';
+      Buffer.add_string buf parent
+    in
+    let name p = if p < 0 then "root" else Printf.sprintf "a%d" p in
+    Array.iteri (fun i p -> emit (Printf.sprintf "s%d" i) (name p)) t.site_parent;
+    Array.iteri (fun j p -> emit (Printf.sprintf "a%d" j) (name p)) t.agg_parent;
+    Buffer.contents buf

@@ -1,0 +1,95 @@
+(** Multi-level tree topologies for the monitoring network.
+
+    The paper's protocols deploy at CDN scale as trees: sites report to
+    regional aggregators, aggregators merge their children's sketches
+    and forward only what is new, and the root runs the coordinator.
+    The seed networks were all flat site→coordinator stars; a topology
+    makes the intermediate hops explicit so the {!Network} ledger can
+    charge every edge a frame actually crosses.
+
+    A topology is a static rooted tree over [sites] leaf sites and
+    [aggs] intermediate aggregators.  Sites are leaves; every site's
+    parent is either an aggregator or the root, every aggregator's
+    parent likewise.  The flat star is the degenerate tree with zero
+    aggregators, and behaves bit-identically to having no topology at
+    all.
+
+    Aggregators share the fault plan's crash machinery: aggregator [j]
+    is addressed as node [sites + j] ({!node_of_agg}) in
+    [crash=NODE:FROM:UNTIL] clauses, so a plan can take a regional
+    aggregator down mid-run.  Aggregators hold only dedup memory (merged
+    copies of what already passed through), so a crash loses no
+    protocol state: in-flight contributions fail end-to-end and the
+    sites retry, exactly as for a coordinator-link loss.
+
+    Specs parse like fault plans, with typed [result] errors:
+    - ["flat"] — the star (no aggregators);
+    - ["tree:regions=R"] — one aggregator per region, sites split into
+      [R] contiguous blocks, regions attached to the root;
+    - ["tree:regions=R,fanout=F"] — as above, but layers of aggregators
+      are recursively grouped [F] per parent until one layer fits under
+      the root;
+    - ["edges:s0>a0,s1>a0,a0>root"] — an explicit edge list.  Every
+      site must have exactly one parent; aggregator ids must be dense
+      ([a0..aN] all mentioned); the graph must be a tree. *)
+
+type parent = Root | Agg of int
+(** A node's parent: the coordinator itself, or aggregator [j]. *)
+
+type t
+
+val flat : sites:int -> t
+(** The star: every site's parent is the root; no aggregators. *)
+
+val tree : sites:int -> regions:int -> ?fanout:int -> unit -> t
+(** [tree ~sites ~regions ()] splits sites into [regions] contiguous
+    blocks, one aggregator each.  With [?fanout], aggregator layers are
+    recursively grouped [fanout] per parent while a layer exceeds
+    [fanout].  Raises [Invalid_argument] on [sites <= 0],
+    [regions <= 0], [regions > sites], or [fanout <= 1]. *)
+
+val of_spec : sites:int -> string -> (t, string) result
+(** Parse a spec (see module doc).  All structural errors — unknown
+    forms, bad counts, orphan sites, non-dense aggregator ids, cycles —
+    come back as [Error], never an exception. *)
+
+val to_spec : t -> string
+(** Canonical spec; [of_spec ~sites (to_spec t)] reparses to an equal
+    topology. *)
+
+val random : seed:int -> sites:int -> t
+(** A seeded random tree (for property tests): a random aggregator
+    count in [[1, max 1 (sites-1)]], each site attached to a uniform
+    aggregator, each aggregator attached to a strictly higher-numbered
+    aggregator or the root — acyclic by construction. *)
+
+val sites : t -> int
+val aggs : t -> int
+(** Number of intermediate aggregators ([0] for the flat star). *)
+
+val is_flat : t -> bool
+(** [true] iff there are no aggregators. *)
+
+val depth : t -> int
+(** Maximum number of edges from any site to the root ([1] for the
+    star, [2] for a single aggregator layer, ...). *)
+
+val site_parent : t -> int -> parent
+val agg_parent : t -> int -> parent
+
+val path_of_site : t -> int -> int list
+(** [path_of_site t i] is the aggregators on site [i]'s route to the
+    root, first hop first.  [[]] iff the site reports directly. *)
+
+val node_of_agg : t -> int -> int
+(** The fault-plan node id of aggregator [j]: [sites t + j]. *)
+
+val last_hop_nodes : t -> int list
+(** Node ids (site ids, plus [node_of_agg] ids) whose parent is the
+    root — the edges over which bytes arrive at the coordinator. *)
+
+val iter_sites_under : t -> int -> (int -> unit) -> unit
+(** [iter_sites_under t j f] applies [f] to every site whose route to
+    the root passes through aggregator [j]. *)
+
+val equal : t -> t -> bool

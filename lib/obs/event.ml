@@ -45,6 +45,7 @@ type kind =
   | Drop of { dir : direction; site : int; bytes : int; loss : loss }
   | Duplicate of { dir : direction; site : int; bytes : int; copies : int }
   | Retry of { dir : direction; site : int; attempt : int; bytes : int }
+  | Forward of { dir : direction; node : int; payload : int; bytes : int }
   | Crash of { site : int }
   | Recover of { site : int; resync_bytes : int }
   | Span of {
@@ -80,6 +81,7 @@ let kind_name = function
   | Drop _ -> "drop"
   | Duplicate _ -> "duplicate"
   | Retry _ -> "retry"
+  | Forward _ -> "forward"
   | Crash _ -> "crash"
   | Recover _ -> "recover"
   | Span _ -> "span"
@@ -99,4 +101,4 @@ let site t =
   | Recover { site; _ } -> Some site
   | Span { site; _ } -> site
   | Run_meta _ | Broadcast _ | Estimate_update _ | Level_advance _
-  | View_report _ -> None
+  | Forward _ | View_report _ -> None

@@ -74,6 +74,14 @@ type kind =
   | Retry of { dir : direction; site : int; attempt : int; bytes : int }
       (** A reliable send timed out waiting for its ack and retransmitted;
           [attempt] is 1-based over the retries (not the initial send). *)
+  | Forward of { dir : direction; node : int; payload : int; bytes : int }
+      (** One backbone hop in a tree topology: aggregator [node] (a
+          fault-plan node id, [sites + j] for aggregator [j]) forwarded
+          a merged payload toward the root ([Up]) or relayed a
+          coordinator message toward its subtree ([Down]).  Backbone
+          charges live in the ledger's backbone counters, not in
+          [bytes_up]/[bytes_down], so flat-star traces and reconciliation
+          laws are untouched. *)
   | Crash of { site : int }
       (** A site entered a scheduled crash window and lost volatile state. *)
   | Recover of { site : int; resync_bytes : int }

@@ -41,6 +41,8 @@ type metrics_state = {
   duplicates : Metrics.counter;
   duplicate_bytes : Metrics.counter;
   retries : Metrics.counter;
+  forwards : Metrics.counter;
+  forward_bytes : Metrics.counter;
   crashes : Metrics.counter;
   recovers : Metrics.counter;
   span_hists : (string, Metrics.histogram) Hashtbl.t;
@@ -120,6 +122,9 @@ let metrics reg =
       duplicate_bytes =
         c "wd_duplicate_bytes_total" "extra bytes charged for duplicates";
       retries = c "wd_retries_total" "reliable-send retransmissions";
+      forwards = c "wd_forwards_total" "aggregator backbone hops";
+      forward_bytes =
+        c "wd_forward_bytes_total" "bytes charged to backbone hops";
       crashes = c "wd_crashes_total" "site crash windows entered";
       recovers = c "wd_recovers_total" "site recoveries after crashes";
       span_hists = Hashtbl.create 8;
@@ -203,6 +208,9 @@ let record m (ev : Event.t) =
     Metrics.add m.duplicates copies;
     Metrics.add m.duplicate_bytes bytes
   | Event.Retry _ -> Metrics.inc m.retries
+  | Event.Forward { bytes; _ } ->
+    Metrics.inc m.forwards;
+    Metrics.add m.forward_bytes bytes
   | Event.Crash _ -> Metrics.inc m.crashes
   | Event.Recover _ -> Metrics.inc m.recovers
   | Event.Span { name; start_ns; end_ns; _ } ->

@@ -65,6 +65,8 @@ type t = {
   duplicates : int;
   duplicate_bytes : int;
   retries : int;
+  forwards : int;
+  forward_bytes : int;
   crashes : int;
   recovers : int;
   degraded_sites : int list;
@@ -154,6 +156,7 @@ let of_events events =
   let drops = ref 0 and dropped_bytes = ref 0 in
   let duplicates = ref 0 and duplicate_bytes = ref 0 in
   let retries = ref 0 in
+  let forwards = ref 0 and forward_bytes = ref 0 in
   let crashes = ref 0 and recovers = ref 0 in
   let span_durs : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
   let view_rows = ref [] in
@@ -264,6 +267,12 @@ let of_events events =
         incr retries;
         let a = site_acc site in
         a.a_retries <- a.a_retries + 1
+      | Forward { bytes; _ } ->
+        (* Backbone hops are charged to the ledger's backbone counters,
+           not to any site link, so they stay out of the per-direction
+           byte totals the reconciliation laws check. *)
+        incr forwards;
+        forward_bytes := !forward_bytes + bytes
       | Crash { site } ->
         incr crashes;
         let a = site_acc site in
@@ -366,6 +375,8 @@ let of_events events =
     duplicates = !duplicates;
     duplicate_bytes = !duplicate_bytes;
     retries = !retries;
+    forwards = !forwards;
+    forward_bytes = !forward_bytes;
     crashes = !crashes;
     recovers = !recovers;
     degraded_sites =
@@ -425,8 +436,8 @@ let phases ~n events =
             { r with p_bytes_up = r.p_bytes_up + bytes }
           | Drop { dir = Down; bytes; _ } | Duplicate { dir = Down; bytes; _ }
             -> { r with p_bytes_down = r.p_bytes_down + bytes }
-          | Run_meta _ | Level_advance _ | Resync _ | Retry _ | Crash _
-          | Recover _ | Span _ | View_report _ -> r
+          | Run_meta _ | Level_advance _ | Resync _ | Retry _ | Forward _
+          | Crash _ | Recover _ | Span _ | View_report _ -> r
         in
         rows.(idx) <- r)
       events;

@@ -79,6 +79,8 @@ type t = {
   duplicates : int;  (** extra copies delivered beyond the first *)
   duplicate_bytes : int;  (** extra bytes charged for those copies *)
   retries : int;
+  forwards : int;  (** aggregator backbone hops in a tree topology *)
+  forward_bytes : int;  (** bytes charged to those backbone hops *)
   crashes : int;
   recovers : int;
   degraded_sites : int list;

@@ -73,6 +73,13 @@ let to_json (ev : Event.t) : Json.t =
         ("attempt", Json.Int attempt);
         ("bytes", Json.Int bytes);
       ]
+    | Forward { dir; node; payload; bytes } ->
+      [
+        ("dir", Json.Str (direction_to_string dir));
+        ("node", Json.Int node);
+        ("payload", Json.Int payload);
+        ("bytes", Json.Int bytes);
+      ]
     | Crash { site } -> [ ("site", Json.Int site) ]
     | Recover { site; resync_bytes } ->
       [ ("site", Json.Int site); ("resync_bytes", Json.Int resync_bytes) ]
@@ -219,6 +226,14 @@ let of_json j =
             dir = get_dir j;
             site = get j "site" Json.to_int;
             attempt = get j "attempt" Json.to_int;
+            bytes = get j "bytes" Json.to_int;
+          }
+      | "forward" ->
+        Forward
+          {
+            dir = get_dir j;
+            node = get j "node" Json.to_int;
+            payload = get j "payload" Json.to_int;
             bytes = get j "bytes" Json.to_int;
           }
       | "crash" -> Crash { site = get j "site" Json.to_int }

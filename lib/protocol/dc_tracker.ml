@@ -1,6 +1,7 @@
 module Network = Wd_net.Network
 module Transport = Wd_net.Transport
 module Transport_sim = Wd_net.Transport_sim
+module Topology = Wd_net.Topology
 module Faults = Wd_net.Faults
 module Wire = Wd_net.Wire
 module Sink = Wd_obs.Sink
@@ -58,6 +59,18 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     mutable lost : int; (* arrivals discarded while down *)
   }
 
+  (* One intermediate aggregator of a tree topology.  An aggregator
+     holds only dedup memory — the union of everything it has forwarded
+     toward the root — so a crash loses no protocol state: the sketch is
+     wiped and subsequent contributions are simply forwarded in full
+     again (more bytes, never a wrong answer), which is exactly the
+     merge-idempotence argument that makes the protocols fault-safe. *)
+  type agg_state = {
+    mutable a_sk : Sketch.t; (* merged copies of forwarded contributions *)
+    a_seen : (int, unit) Hashtbl.t; (* EC: exact forwarded-item filter *)
+    mutable a_down : bool;
+  }
+
   type t = {
     algorithm : algorithm;
     k : int;
@@ -81,6 +94,9 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
     mutable sends : int;
     mutable updates : int;
     mutable sink : Sink.t; (* protocol-decision events; see Wd_obs *)
+    mutable aggs : agg_state array;
+    (* Tree aggregators, lazily sized to the ledger's installed topology
+       (which may be set after tracker creation); empty for the star. *)
   }
 
   let create ?(cost_model = Network.Unicast) ?network ?transport
@@ -146,6 +162,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       sends = 0;
       updates = 0;
       sink;
+      aggs = [||];
     }
 
   let algorithm t = t.algorithm
@@ -231,6 +248,88 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       invalid_arg "Dc_tracker.site_send_threshold: site index out of range";
     send_threshold t t.site_states.(i)
 
+  let ensure_aggs t =
+    match Network.tree_topology t.net with
+    | None -> [||]
+    | Some topo ->
+      let a = Topology.aggs topo in
+      if Array.length t.aggs <> a then
+        t.aggs <-
+          Array.init a (fun _ ->
+              {
+                a_sk = Sketch.create t.family;
+                a_seen = Hashtbl.create 16;
+                a_down = false;
+              });
+      t.aggs
+
+  (* Walk the sender's backbone route after a delivered contribution: at
+     each aggregator, merge the contribution into its dedup sketch and
+     forward only what is genuinely new to it.  A hop that learns
+     nothing forwards nothing and ends the walk — everything it just saw
+     already passed through it (and, inductively, through every ancestor)
+     on an earlier contribution.  This is the tree's bandwidth story:
+     cross-site duplicates die at the lowest common aggregator instead
+     of riding every hop to the root. *)
+  let forward_through_tree t site st ~use_items =
+    match
+      match Network.tree_topology t.net with
+      | None -> []
+      | Some topo -> Topology.path_of_site topo site
+    with
+    | [] -> ()
+    | path ->
+      let aggs = ensure_aggs t in
+      let continue = ref true in
+      List.iter
+        (fun j ->
+          if !continue then begin
+            let a = aggs.(j) in
+            let payload =
+              if use_items then begin
+                let n_new =
+                  Hashtbl.fold
+                    (fun v () n -> if Sketch.add a.a_sk v then n + 1 else n)
+                    st.pending 0
+                in
+                if n_new = 0 then None else Some (Wire.items n_new)
+              end
+              else begin
+                let d = Sketch.delta_bytes ~from:a.a_sk st.sk in
+                Sketch.merge_into ~dst:a.a_sk st.sk;
+                if d = 0 then None
+                else Some (min d (Sketch.size_bytes st.sk))
+              end
+            in
+            match payload with
+            | None -> continue := false
+            | Some payload ->
+              ignore (Network.forward_up t.net ~agg:j ~payload : bool)
+          end)
+        path
+
+  (* EC's per-item analogue: forward the item only past aggregators that
+     have never seen it. *)
+  let forward_item_through_tree t site v =
+    match
+      match Network.tree_topology t.net with
+      | None -> []
+      | Some topo -> Topology.path_of_site topo site
+    with
+    | [] -> ()
+    | path -> (
+      let aggs = ensure_aggs t in
+      try
+        List.iter
+          (fun j ->
+            let a = aggs.(j) in
+            if Hashtbl.mem a.a_seen v then raise Exit;
+            Hashtbl.replace a.a_seen v ();
+            ignore
+              (Network.forward_up t.net ~agg:j ~payload:Wire.item_bytes : bool))
+          path
+      with Exit -> ())
+
   let emit_sketch_sent t ~site ~payload ~items =
     if Sink.enabled t.sink then
       Sink.emit t.sink
@@ -264,6 +363,7 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
       Transport.reliable_up ~max_retries:t.max_retries t.transport ~site:i ~payload
     in
     emit_sketch_sent t ~site:i ~payload ~items;
+    if delivery.Network.received then forward_through_tree t i st ~use_items;
     let changed =
       if not delivery.Network.received then false
       else
@@ -424,8 +524,10 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
          unconfirmed item is resent on its next local arrival, and the
          coordinator's exact set absorbs any duplicates. *)
       if delivery.Network.acked then Hashtbl.replace st.seen v ();
-      if delivery.Network.received && not (Hashtbl.mem t.exact v) then
-        Hashtbl.replace t.exact v ();
+      if delivery.Network.received then begin
+        forward_item_through_tree t site v;
+        if not (Hashtbl.mem t.exact v) then Hashtbl.replace t.exact v ()
+      end;
       t.sends <- t.sends + 1
     end
 
@@ -465,7 +567,31 @@ module Make (Sketch : Wd_sketch.Sketch_intf.DISTINCT_SKETCH) = struct
         st.d_last <- st.d_est
       end
 
+  (* Aggregator crash transitions (fault-plan node [k + j]).  An
+     aggregator holds only dedup memory — merged copies of contributions
+     it already forwarded — so a crash loses no protocol state: wipe the
+     memory and later contributions re-forward through it, which is safe
+     because sketch merges are idempotent (the root just pays the hop
+     again).  No resync traffic is ever needed. *)
+  let scan_agg_crashes t =
+    Array.iteri
+      (fun j a ->
+        let node = t.k + j in
+        let now_down = Transport.site_down t.transport ~site:node in
+        if now_down && not a.a_down then begin
+          a.a_down <- true;
+          a.a_sk <- Sketch.create t.family;
+          Hashtbl.reset a.a_seen;
+          emit t (Event.Crash { site = node })
+        end
+        else if (not now_down) && a.a_down then begin
+          a.a_down <- false;
+          emit t (Event.Recover { site = node; resync_bytes = 0 })
+        end)
+      (ensure_aggs t)
+
   let scan_crashes t =
+    scan_agg_crashes t;
     Array.iteri
       (fun i st ->
         let now_down = Transport.site_down t.transport ~site:i in

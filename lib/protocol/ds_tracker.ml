@@ -1,4 +1,5 @@
 module Network = Wd_net.Network
+module Topology = Wd_net.Topology
 module Transport = Wd_net.Transport
 module Transport_sim = Wd_net.Transport_sim
 module Faults = Wd_net.Faults
@@ -256,6 +257,23 @@ let repair_site_level t ~site st =
     if d.Network.received then raise_site_level t st l
   end
 
+(* Under a tree topology a delivered site report hops the backbone
+   unchanged (store-and-forward): DS reports carry absolute per-site
+   counts, which no intermediate aggregator can merge away, so the tree
+   here is routing rather than dedup.  A crashed aggregator on the path
+   swallows the frame ({!Network.forward_up} returns [false]); the
+   absolute-count encoding already makes the retransmission harmless. *)
+let forward_path t ~site ~payload =
+  match Network.tree_topology t.net with
+  | None -> ()
+  | Some topo ->
+    (try
+       List.iter
+         (fun j ->
+           if not (Network.forward_up t.net ~agg:j ~payload) then raise Exit)
+         (Topology.path_of_site topo site)
+     with Exit -> ())
+
 let observe_approx t ~site v =
   let st = t.site_states.(site) in
   if Sampler.item_level t.coord v >= st.level then begin
@@ -288,6 +306,7 @@ let observe_approx t ~site v =
       t.sends <- t.sends + 1;
       if delivery.Network.acked then Hashtbl.replace st.last_sent v c;
       if delivery.Network.received then begin
+        forward_path t ~site ~payload:(Wire.item_bytes + Wire.count_bytes);
         let applied = t.applied.(site) in
         let delta0 = c - find0 applied v in
         if delta0 > 0 then begin
@@ -315,7 +334,10 @@ let observe_exact t ~site v =
       ~payload:Wire.item_bytes
   in
   t.sends <- t.sends + 1;
-  if d.Network.received then Sampler.add t.coord v
+  if d.Network.received then begin
+    forward_path t ~site ~payload:Wire.item_bytes;
+    Sampler.add t.coord v
+  end
 
 let wipe_site st =
   Hashtbl.reset st.counts;

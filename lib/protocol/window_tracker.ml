@@ -78,6 +78,15 @@ let deliver t i st =
     min (Wfm.size_bytes st.wsk) (Wfm.delta_bytes ~from:st.coord_known st.wsk)
   in
   Network.send_up t.net ~site:i ~payload;
+  (* Windowed timestamps can't be deduped mid-route without replicating
+     the coordinator's merge state, so the backbone store-and-forwards
+     the frame unchanged. *)
+  (match Network.tree_topology t.net with
+  | None -> ()
+  | Some topo ->
+    List.iter
+      (fun j -> ignore (Network.forward_up t.net ~agg:j ~payload : bool))
+      (Wd_net.Topology.path_of_site topo i));
   t.sends <- t.sends + 1;
   Wfm.merge_into ~dst:st.coord_known st.wsk;
   Wfm.merge_into ~dst:t.wsk0 st.wsk;

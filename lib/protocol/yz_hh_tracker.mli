@@ -1,0 +1,94 @@
+(** Deterministic continuous heavy-hitter tracking in the Yi–Zhang
+    style (PODS'09, "Optimal Tracking of Distributed Heavy Hitters and
+    Quantiles"): worst-case communication O((k/eps) log N), matching the
+    lower bound — the optimality target the eval harness gates against.
+
+    Protocol shape: the run proceeds in rounds, each with a threshold
+    [~N] (the coordinator's current total-count estimate, maintained by
+    doubling).  Within a round a site reports whenever a local quantity
+    — an item's occurrence count, or the site's total — has grown by
+    [Delta = eps * ~N / (2k)] since its last report; each report carries
+    the item with its {e absolute} local count plus the site's absolute
+    total, so duplicated or retransmitted reports are harmless (the
+    coordinator applies deltas against what it already credited, as in
+    {!Ds_tracker}).  When the applied total doubles, the coordinator
+    broadcasts the new round threshold.  The coordinator folds item
+    deltas into a {!Wd_frequency.Space_saving} structure of capacity
+    [max top_k (2/eps)], so any item with frequency above [eps * N] is
+    monitored and every estimate is within [eps * N] of truth.
+
+    This is the classical duplicate-{e sensitive} notion of heavy hitter
+    (like {!Wd_frequency.Space_saving} itself): the optimal
+    frequency-based contender run beside the paper's duplicate-resilient
+    distinct heavy hitters, byte for byte.
+
+    Under a tree topology ({!Wd_net.Topology}) delivered reports
+    store-and-forward over the backbone unchanged — absolute per-site
+    state cannot be merged mid-route. *)
+
+type t
+
+val create :
+  ?cost_model:Wd_net.Network.cost_model ->
+  ?network:Wd_net.Network.t ->
+  ?transport:Wd_net.Transport.t ->
+  ?max_retries:int ->
+  ?sink:Wd_obs.Sink.t ->
+  epsilon:float ->
+  top_k:int ->
+  sites:int ->
+  unit ->
+  t
+(** [create ~epsilon ~top_k ~sites ()] builds a fresh tracker.
+    [epsilon] is the total-count accuracy (errors are within
+    [epsilon * N]); [top_k] floors the coordinator structure's capacity.
+    [network]/[transport]/[max_retries]/[sink] behave as in
+    {!Ds_tracker.create}.  Requires [sites >= 1], [0 < epsilon < 1] and
+    [top_k >= 1]. *)
+
+val observe : t -> site:int -> int -> unit
+
+val observe_batch :
+  t -> sites:int array -> items:int array -> pos:int -> len:int -> unit
+
+val sites : t -> int
+val epsilon : t -> float
+
+val total_estimate : t -> int
+(** The coordinator's running total-count estimate [~N]; within
+    [epsilon * N] of the true number of (surviving) arrivals. *)
+
+val round : t -> int
+(** The current round threshold (a power of two times the initial 1). *)
+
+val top : t -> k:int -> (int * int) list
+(** The [k] heaviest monitored items with their estimated global
+    occurrence counts, descending. *)
+
+val query : t -> int -> int option
+(** Estimated global count of one item, if monitored. *)
+
+val max_count_error : t -> int
+(** Worst-case overestimate of any monitored count (the Space-Saving
+    bound at the coordinator; site lag adds at most
+    [epsilon * N / 2]). *)
+
+val site_send_threshold : t -> int -> float
+(** The site's current report threshold [Delta]. *)
+
+val sends : t -> int
+val updates : t -> int
+val lost_updates : t -> int
+val site_down_for : t -> int -> int
+val set_sink : t -> Wd_obs.Sink.t -> unit
+val network : t -> Wd_net.Network.t
+val transport : t -> Wd_net.Transport.t
+val site_space_bytes : t -> int -> int
+val coordinator_space_bytes : t -> int
+
+(** This tracker seen through the shared {!Tracker_intf.TRACKER}
+    surface ([estimate] is the total-count estimate; [item] is ignored
+    by the threshold, which is per-site). *)
+module Generic : Tracker_intf.TRACKER with type t = t
+
+val generic : t -> Tracker_intf.packed

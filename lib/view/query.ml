@@ -30,6 +30,8 @@ type protocol =
   | Ds of Ds_t.algorithm
   | Hh of Dc_t.algorithm
   | Window of W_t.algorithm
+  | Yz_hh
+  | Yz_q
 
 type t = {
   name : string;
@@ -41,6 +43,8 @@ type t = {
   theta : float;
   threshold : int;
   window : int;
+  topk : int;
+  universe : int;
   hh_config : Wd_aggregate.Fm_array.config;
   selector : selector;
   seed : int option;
@@ -51,11 +55,14 @@ let protocol_family = function
   | Ds _ -> "ds"
   | Hh _ -> "hh"
   | Window _ -> "window"
+  | Yz_hh -> "yzhh"
+  | Yz_q -> "yzq"
 
 let protocol_algorithm = function
   | Dc a | Hh a -> Dc_t.algorithm_to_string a
   | Ds a -> Ds_t.algorithm_to_string a
   | Window a -> W_t.algorithm_to_string a
+  | Yz_hh | Yz_q -> "YZ"
 
 let label q =
   if q.name <> "" then q.name
@@ -65,10 +72,13 @@ let label q =
 
 let default_hh_config = { Wd_aggregate.Fm_array.rows = 3; cols = 500; bitmaps = 10 }
 
+let default_universe = 1 lsl 20
+
 let make ?(name = "") ?(sketch = Fm)
     ?(estimator = Wd_sketch.Sketch_intf.Classic) ?(confidence = 0.9)
-    ?(selector = All) ?seed ?(threshold = 256) ?(window = 0)
-    ?(hh_config = default_hh_config) ~theta ~alpha protocol =
+    ?(selector = All) ?seed ?(threshold = 256) ?(window = 0) ?(topk = 20)
+    ?(universe = default_universe) ?(hh_config = default_hh_config) ~theta
+    ~alpha protocol =
   {
     name;
     protocol;
@@ -79,6 +89,8 @@ let make ?(name = "") ?(sketch = Fm)
     theta;
     threshold;
     window;
+    topk;
+    universe;
     hh_config;
     selector;
     seed;
@@ -100,6 +112,12 @@ let window ?name ?confidence ?selector ?seed ?window:(w = 0) ~theta ~alpha
     algorithm =
   make ?name ?confidence ?selector ?seed ~window:w ~theta ~alpha
     (Window algorithm)
+
+let yzhh ?name ?selector ?seed ?topk ~epsilon () =
+  make ?name ?selector ?seed ?topk ~theta:0.03 ~alpha:epsilon Yz_hh
+
+let yzq ?name ?selector ?seed ?universe ~epsilon () =
+  make ?name ?selector ?seed ?universe ~theta:0.03 ~alpha:epsilon Yz_q
 
 (* ------------------------------------------------------------------ *)
 (* Spec syntax: family:alg[:key=value,...] *)
@@ -186,6 +204,13 @@ let apply_key q key value =
     let* v = parse_int key value in
     if v < 1 then Error "bitmaps: must be >= 1"
     else Ok { q with hh_config = { q.hh_config with bitmaps = v } }
+  | "topk" ->
+    let* v = parse_int key value in
+    if v < 1 then Error "topk: must be >= 1" else Ok { q with topk = v }
+  | "universe" ->
+    let* v = parse_int key value in
+    if v < 2 then Error "universe: must be >= 2"
+    else Ok { q with universe = v }
   | "sites" ->
     let* sel = parse_sites value in
     Ok { q with selector = sel }
@@ -224,13 +249,24 @@ let of_spec spec =
       match window_algorithm_of_string a with
       | Some alg -> Ok (Window alg)
       | None -> Error (Printf.sprintf "window: unknown algorithm %S" a))
+    | "yzhh", a -> (
+      match String.uppercase_ascii a with
+      | "YZ" -> Ok Yz_hh
+      | _ -> Error (Printf.sprintf "yzhh: unknown algorithm %S (want yz)" a))
+    | "yzq", a -> (
+      match String.uppercase_ascii a with
+      | "YZ" -> Ok Yz_q
+      | _ -> Error (Printf.sprintf "yzq: unknown algorithm %S (want yz)" a))
     | f, _ -> Error (Printf.sprintf "unknown protocol family %S" f)
   in
   (* Base defaults must match the constructors', so [to_spec] output
      (which omits fields a family ignores) parses back to an equal
      record. *)
   let alpha =
-    match protocol with Ds _ | Hh _ -> 0.1 | Dc _ | Window _ -> 0.07
+    match protocol with
+    | Ds _ | Hh _ -> 0.1
+    | Dc _ | Window _ -> 0.07
+    | Yz_hh | Yz_q -> 0.05
   in
   let q = make ~theta:0.03 ~alpha protocol in
   if opts = "" then Ok q
@@ -265,13 +301,19 @@ let to_spec q =
     let c = q.hh_config in
     add "rows=%d" c.Wd_aggregate.Fm_array.rows;
     add "cols=%d" c.cols;
-    add "bitmaps=%d" c.bitmaps);
+    add "bitmaps=%d" c.bitmaps
+  | Yz_hh ->
+    add "alpha=%g" q.alpha;
+    add "topk=%d" q.topk
+  | Yz_q ->
+    add "alpha=%g" q.alpha;
+    add "universe=%d" q.universe);
   (match q.protocol with
   | Dc _ ->
     add "sketch=%s" (sketch_to_string q.sketch);
     if q.estimator = Wd_sketch.Sketch_intf.Mle then add "est=mle"
   | Window _ -> if q.window > 0 then add "window=%d" q.window
-  | Ds _ | Hh _ -> ());
+  | Ds _ | Hh _ | Yz_hh | Yz_q -> ());
   (match q.selector with
   | All -> ()
   | Sites { first; count } -> add "sites=%d-%d" first (first + count - 1)

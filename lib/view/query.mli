@@ -32,6 +32,12 @@ type protocol =
   | Ds of Wd_protocol.Ds_tracker.algorithm
   | Hh of Wd_protocol.Dc_tracker.algorithm
   | Window of Wd_protocol.Window_tracker.algorithm
+  | Yz_hh
+      (** Yi–Zhang optimal frequency heavy hitters
+          ({!Wd_protocol.Yz_hh_tracker}); [alpha] is its epsilon *)
+  | Yz_q
+      (** Yi–Zhang duplicate-resilient quantiles
+          ({!Wd_aggregate.Yz_quantile_tracker}); [alpha] is its epsilon *)
 
 type t = {
   name : string;  (** view label; [""] picks a [family-alg] default *)
@@ -43,6 +49,8 @@ type t = {
   theta : float;
   threshold : int;  (** DS sampler threshold *)
   window : int;  (** window width in updates; [0] = a quarter of the run *)
+  topk : int;  (** YZ-HH coordinator capacity floor / eval top-k *)
+  universe : int;  (** YZ-quantile item domain (rounded up to 2^j) *)
   hh_config : Wd_aggregate.Fm_array.config;
   selector : selector;
   seed : int option;
@@ -51,7 +59,7 @@ type t = {
 }
 
 val protocol_family : protocol -> string
-(** ["dc"], ["ds"], ["hh"] or ["window"]. *)
+(** ["dc"], ["ds"], ["hh"], ["window"], ["yzhh"] or ["yzq"]. *)
 
 val protocol_algorithm : protocol -> string
 (** The paper's algorithm name (["LS"], ["GCS"], …). *)
@@ -102,14 +110,33 @@ val window :
   Wd_protocol.Window_tracker.algorithm ->
   t
 
+val yzhh :
+  ?name:string ->
+  ?selector:selector ->
+  ?seed:int ->
+  ?topk:int ->
+  epsilon:float ->
+  unit ->
+  t
+
+val yzq :
+  ?name:string ->
+  ?selector:selector ->
+  ?seed:int ->
+  ?universe:int ->
+  epsilon:float ->
+  unit ->
+  t
+
 (** {1 Spec syntax}
 
     [family:alg\[:key=value,key=value,...\]] — e.g.
     ["dc:ls:alpha=0.07,theta=0.03,sketch=fanout,mod=100/7"].  Keys:
     [name], [alpha], [delta], [theta], [sketch] (fm/bjkst/hll/fmc/
     fanout), [est] (classic/mle), [threshold], [window], [rows]/[cols]/
-    [bitmaps] (HH cell array), [sites=A-B] (inclusive site range),
-    [mod=M/R] (key class), [seed]. *)
+    [bitmaps] (HH cell array), [topk]/[universe] (the Yi–Zhang
+    families, whose [alg] is always [yz]), [sites=A-B] (inclusive site
+    range), [mod=M/R] (key class), [seed]. *)
 
 val of_spec : string -> (t, string) result
 

@@ -3,6 +3,8 @@ module Ds = Wd_protocol.Ds_tracker
 module W = Wd_protocol.Window_tracker
 module Tracker_intf = Wd_protocol.Tracker_intf
 module Hh = Wd_aggregate.Distinct_hh.Tracked
+module Yzh = Wd_protocol.Yz_hh_tracker
+module Yzq = Wd_aggregate.Yz_quantile_tracker
 module Transport = Wd_net.Transport
 module Sink = Wd_obs.Sink
 module Rng = Wd_hashing.Rng
@@ -101,6 +103,8 @@ type backing =
   | B_ds of Ds.t
   | B_hh of Hh_view.t
   | B_window of Window_view.t
+  | B_yzhh of Yzh.t
+  | B_yzq of Yzq.t
 
 type view = {
   query : Query.t;
@@ -251,6 +255,14 @@ let compile ~cost_model ~item_batching ~plane ~default_window ~seed ~sites
       in
       if sink != Sink.null then Hh.set_sink h sink;
       B_hh { Hh_view.h; algorithm; updates = 0 }
+    | Query.Yz_hh ->
+      B_yzhh
+        (Yzh.create ~cost_model ?transport ~sink ~epsilon:q.Query.alpha
+           ~top_k:q.Query.topk ~sites:vsites ())
+    | Query.Yz_q ->
+      B_yzq
+        (Yzq.create ~cost_model ?transport ~sink ~universe:q.Query.universe
+           ~rng ~epsilon:q.Query.alpha ~sites:vsites ())
     | Query.Window algorithm ->
       let window =
         if q.Query.window > 0 then q.Query.window
@@ -284,6 +296,8 @@ let compile ~cost_model ~item_batching ~plane ~default_window ~seed ~sites
     | B_ds tr -> Ds.generic tr
     | B_hh hv -> Tracker_intf.Tracker ((module Hh_view), hv)
     | B_window wv -> Tracker_intf.Tracker ((module Window_view), wv)
+    | B_yzhh tr -> Yzh.generic tr
+    | B_yzq tr -> Yzq.generic tr
   in
   { query = q; vlabel = Query.label q; tracker; backing; accept; rebase }
 
@@ -408,6 +422,12 @@ let window_tracker t i =
   | B_window wv -> Some wv.Window_view.w
   | _ -> None
 
+let yzhh_tracker t i =
+  match t.view_arr.(i).backing with B_yzhh tr -> Some tr | _ -> None
+
+let yzq_tracker t i =
+  match t.view_arr.(i).backing with B_yzq tr -> Some tr | _ -> None
+
 (* The fan-out TRACKER: offer each arrival to every accepting view,
    item-major so consecutive fanout adds hit the plane's hash memo.
    Ledger-style accessors proxy the primary, whose transport and sink
@@ -478,7 +498,7 @@ let close_view v =
   | B_dc_hll tr -> Dc_hll.close tr
   | B_dc_fmc tr -> Dc_fmc.close tr
   | B_dc_fanout tr -> Dc_fanout.close tr
-  | B_ds _ | B_hh _ | B_window _ -> ());
+  | B_ds _ | B_hh _ | B_window _ | B_yzhh _ | B_yzq _ -> ());
   match v.backing with
   | B_window _ -> ()
   | _ -> Transport.close (Tracker_intf.transport v.tracker)

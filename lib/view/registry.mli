@@ -82,6 +82,8 @@ val ds_tracker : t -> int -> Wd_protocol.Ds_tracker.t option
 
 val hh_tracker : t -> int -> Wd_aggregate.Distinct_hh.Tracked.t option
 val window_tracker : t -> int -> Wd_protocol.Window_tracker.t option
+val yzhh_tracker : t -> int -> Wd_protocol.Yz_hh_tracker.t option
+val yzq_tracker : t -> int -> Wd_aggregate.Yz_quantile_tracker.t option
 
 val close : t -> unit
 (** Close every view, primary first: publish deferred sharded merges,

@@ -1,10 +1,6 @@
 (* Edge-case tests across the protocol stack: single-site topologies,
    empty states, saturation, and boundary parameters. *)
 
-(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
-   purpose: they must stay bit-identical to the unified Simulation.run. *)
-[@@@ocaml.alert "-deprecated"]
-
 module Rng = Wd_hashing.Rng
 module Fm = Wd_sketch.Fm
 module Sampler = Wd_sketch.Distinct_sampler
@@ -137,12 +133,13 @@ let test_window_one () =
 
 let test_empty_stream_rejected_by_runners () =
   let empty = Stream.make ~sites:[||] ~items:[||] in
-  Alcotest.check_raises "run_dc rejects empty"
-    (Invalid_argument "Simulation.run_dc: empty stream") (fun () ->
+  Alcotest.check_raises "run rejects empty"
+    (Invalid_argument "Simulation.run: empty stream") (fun () ->
       ignore
-        (Whats_different.Simulation.run_dc ~algorithm:Dc.NS ~theta:0.1
-           ~alpha:0.1 empty
-          : Whats_different.Simulation.dc_run))
+        (Whats_different.Simulation.run
+           (Wd_view.Query.dc ~theta:0.1 ~alpha:0.1 Dc.NS)
+           empty
+          : Whats_different.Simulation.run))
 
 let test_stream_prefix_bounds () =
   let s = Stream.of_events [ (0, 1) ] in

@@ -139,8 +139,18 @@ let test_stats_boundaries () =
 (* ------------------------------------------------------------------ *)
 (* Artifact *)
 
+let mk_opt ?(opt_ratio_max = 8.0) ?(opt_pass = true) () =
+  {
+    Artifact.opt_lb_bytes = 512.0;
+    opt_ratio_mean = opt_ratio_max /. 2.0;
+    opt_ratio_max;
+    opt_ceiling = 120.0;
+    opt_pass;
+  }
+
 let mk_cell ?(id = "cell-a") ?(accept_pass = true) ?(bytes_pass = true)
-    ?(ratio_max = 0.5) ?(err_p90 = 0.04) ?faults () =
+    ?(ratio_max = 0.5) ?(err_p90 = 0.04) ?faults ?topology
+    ?(opt = Some (mk_opt ())) () =
   {
     Artifact.id;
     family = "dc";
@@ -153,6 +163,7 @@ let mk_cell ?(id = "cell-a") ?(accept_pass = true) ?(bytes_pass = true)
     workload = "zipf";
     transport = "sim";
     faults;
+    topology;
     reps = 5;
     successes = (if accept_pass then 5 else 1);
     accept_pass;
@@ -166,6 +177,7 @@ let mk_cell ?(id = "cell-a") ?(accept_pass = true) ?(bytes_pass = true)
     ratio_max;
     ratio_ceiling = 2.0;
     bytes_pass;
+    opt;
     msgs_mean = 42.0;
     wall_s = 0.125;
     rep_wall_s =
@@ -204,7 +216,8 @@ let test_artifact_lenient_timing () =
                           Obj
                             (List.filter
                                (fun (k, _) ->
-                                 k <> "rep_wall_s" && k <> "batch_span_ns")
+                                 k <> "rep_wall_s" && k <> "batch_span_ns"
+                                 && k <> "opt" && k <> "topology")
                                cf)
                         | j -> j)
                       cells) )
@@ -219,7 +232,11 @@ let test_artifact_lenient_timing () =
         Alcotest.(check bool) "rep_wall_s is None" true (c.rep_wall_s = None);
         Alcotest.(check bool)
           "batch_span_ns is None" true
-          (c.batch_span_ns = None))
+          (c.batch_span_ns = None);
+        Alcotest.(check bool) "opt is None" true (c.Artifact.opt = None);
+        Alcotest.(check bool)
+          "pre-opt cells pass the gate trivially" true
+          (Artifact.cell_pass c))
       t'.Artifact.cells
   | Error e -> Alcotest.failf "stripped artifact rejected: %s" e);
   let none =
@@ -247,7 +264,18 @@ let test_artifact_roundtrip () =
   Alcotest.(check bool) "passes" true (Artifact.pass t);
   Alcotest.(check bool)
     "failing cell fails artifact" false
-    (Artifact.pass (mk_artifact [ mk_cell ~accept_pass:false () ]))
+    (Artifact.pass (mk_artifact [ mk_cell ~accept_pass:false () ]));
+  Alcotest.(check bool)
+    "optimality-gap failure fails artifact" false
+    (Artifact.pass
+       (mk_artifact [ mk_cell ~opt:(Some (mk_opt ~opt_pass:false ())) () ]));
+  (* topology and opt survive the roundtrip *)
+  let topo =
+    mk_artifact [ mk_cell ~id:"cell-t" ~topology:"tree:regions=2" () ]
+  in
+  match Artifact.of_json (Artifact.to_json topo) with
+  | Ok t' -> Alcotest.(check bool) "topology roundtrip" true (topo = t')
+  | Error e -> Alcotest.failf "topology cell rejected: %s" e
 
 let test_artifact_version_gate () =
   match Artifact.of_string {|{"version":"wd-eval/999","grid":"x"}|} with
@@ -303,6 +331,21 @@ let test_diff_gates () =
   Alcotest.(check bool)
     "err drift past the gate regresses" false
     (clean_of (mk_artifact [ mk_cell ~err_p90:0.08 () ]));
+  Alcotest.(check bool)
+    "optimality flip regresses" false
+    (clean_of
+       (mk_artifact [ mk_cell ~opt:(Some (mk_opt ~opt_pass:false ())) () ]));
+  Alcotest.(check bool)
+    "optimality drift past 1.5x regresses" false
+    (clean_of
+       (mk_artifact [ mk_cell ~opt:(Some (mk_opt ~opt_ratio_max:13.0 ())) () ]));
+  Alcotest.(check bool)
+    "optimality drift under 1.5x is clean" true
+    (clean_of
+       (mk_artifact [ mk_cell ~opt:(Some (mk_opt ~opt_ratio_max:11.0 ())) () ]));
+  Alcotest.(check bool)
+    "losing the optimality columns regresses" false
+    (clean_of (mk_artifact [ mk_cell ~opt:None () ]));
   (* near-zero baselines get the 0.01 absolute floor *)
   let tiny = mk_artifact [ mk_cell ~err_p90:0.001 () ] in
   Alcotest.(check bool)

@@ -3,14 +3,11 @@
    end-to-end convergence of the DC and DS protocols over an unreliable
    network with a mid-run site crash. *)
 
-(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
-   purpose: they must stay bit-identical to the unified Simulation.run. *)
-[@@@ocaml.alert "-deprecated"]
-
 module Faults = Wd_net.Faults
 module Network = Wd_net.Network
 module Wire = Wd_net.Wire
 module Sim = Whats_different.Simulation
+module Query = Wd_view.Query
 module Monitor = Whats_different.Monitor
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
@@ -149,24 +146,24 @@ let dc_converges_under_faults () =
   let ring = Sink.ring ~capacity:65536 in
   let theta = 0.03 and alpha = 0.07 in
   let r =
-    Sim.run_dc ~seed:7 ~algorithm:Dc.LS ~theta ~alpha ~sink:ring
-      ~faults:(faulty_plan ()) (stream ())
+    Sim.run ~seed:7 ~sink:ring ~faults:(faulty_plan ())
+      (Query.dc ~theta ~alpha Dc.LS) (stream ())
   in
-  Alcotest.(check bool) "faults actually fired" true (r.Sim.dc_drops > 0);
-  Alcotest.(check bool) "retries happened" true (r.Sim.dc_retries > 0);
-  Alcotest.(check bool) "crash lost updates" true (r.Sim.dc_lost_updates > 0);
+  Alcotest.(check bool) "faults actually fired" true (r.Sim.drops > 0);
+  Alcotest.(check bool) "retries happened" true (r.Sim.retries > 0);
+  Alcotest.(check bool) "crash lost updates" true (r.Sim.lost_updates > 0);
   let rel_err =
-    Float.abs (r.Sim.dc_final_estimate -. Float.of_int r.Sim.dc_final_truth)
-    /. Float.of_int r.Sim.dc_final_truth
+    Float.abs (r.Sim.final_estimate -. Float.of_int r.Sim.final_truth)
+    /. Float.of_int r.Sim.final_truth
   in
   Alcotest.(check bool)
     (Printf.sprintf "relative error %.4f within theta+alpha" rel_err)
     true
     (rel_err <= theta +. alpha);
   let s =
-    reconcile_with_summary ~drops:r.Sim.dc_drops
-      ~duplicates:r.Sim.dc_duplicates ~retries:r.Sim.dc_retries
-      ~bytes_up:r.Sim.dc_bytes_up ~bytes_down:r.Sim.dc_bytes_down
+    reconcile_with_summary ~drops:r.Sim.drops
+      ~duplicates:r.Sim.duplicates ~retries:r.Sim.retries
+      ~bytes_up:r.Sim.bytes_up ~bytes_down:r.Sim.bytes_down
       (Sink.ring_contents ring)
   in
   Alcotest.(check int) "one crash" 1 s.Summary.crashes;
@@ -178,20 +175,24 @@ let ds_converges_under_faults () =
   let ring = Sink.ring ~capacity:65536 in
   let theta = 0.25 in
   let r =
-    Sim.run_ds ~seed:7 ~algorithm:Ds.GCS ~theta ~threshold:256 ~sink:ring
-      ~faults:(faulty_plan ()) (stream ())
+    Sim.run ~seed:7 ~sink:ring ~faults:(faulty_plan ())
+      (Query.ds ~theta ~threshold:256 Ds.GCS) (stream ())
   in
-  Alcotest.(check bool) "faults actually fired" true (r.Sim.ds_drops > 0);
-  Alcotest.(check bool) "crash lost updates" true (r.Sim.ds_lost_updates > 0);
+  Alcotest.(check bool) "faults actually fired" true (r.Sim.drops > 0);
+  Alcotest.(check bool) "crash lost updates" true (r.Sim.lost_updates > 0);
+  let max_count_error =
+    match r.Sim.aux with
+    | Sim.Ds_aux { max_count_error; _ } -> max_count_error
+    | _ -> Alcotest.fail "ds run must carry Ds_aux"
+  in
   Alcotest.(check bool)
-    (Printf.sprintf "max count error %.4f within theta"
-       r.Sim.ds_max_count_error)
+    (Printf.sprintf "max count error %.4f within theta" max_count_error)
     true
-    (r.Sim.ds_max_count_error <= theta);
+    (max_count_error <= theta);
   ignore
-    (reconcile_with_summary ~drops:r.Sim.ds_drops
-       ~duplicates:r.Sim.ds_duplicates ~retries:r.Sim.ds_retries
-       ~bytes_up:r.Sim.ds_bytes_up ~bytes_down:r.Sim.ds_bytes_down
+    (reconcile_with_summary ~drops:r.Sim.drops ~duplicates:r.Sim.duplicates
+       ~retries:r.Sim.retries ~bytes_up:r.Sim.bytes_up
+       ~bytes_down:r.Sim.bytes_down
        (Sink.ring_contents ring))
 
 let radio_loss_reconciles () =
@@ -199,13 +200,13 @@ let radio_loss_reconciles () =
      once, so per-site attribution must not double count. *)
   let ring = Sink.ring ~capacity:65536 in
   let r =
-    Sim.run_dc ~seed:7 ~cost_model:Network.Radio_broadcast ~algorithm:Dc.SS
-      ~theta:0.03 ~alpha:0.07 ~sink:ring
+    Sim.run ~seed:7 ~cost_model:Network.Radio_broadcast ~sink:ring
       ~faults:(Faults.create ~drop:0.1 ~seed:3 ())
+      (Query.dc ~theta:0.03 ~alpha:0.07 Dc.SS)
       (stream ())
   in
   let s = Summary.of_events (Sink.ring_contents ring) in
-  Alcotest.(check int) "trace bytes down = ledger" r.Sim.dc_bytes_down
+  Alcotest.(check int) "trace bytes down = ledger" r.Sim.bytes_down
     s.Summary.bytes_down;
   Alcotest.(check bool) "medium carries the broadcasts" true
     (s.Summary.medium_bytes > 0);

@@ -1,13 +1,16 @@
-(* Mutation fuzzing of the two binary decoders: Wire.Frame headers and
-   Trace_io trace files.  Start from a valid encoding, corrupt it (bit
-   flips, truncations, length/count-field garbage), and require the
-   decoder to answer with its typed error channel — Ok/Error for frame
-   headers, the Trace_io.Error exception for loaders — and never leak
-   Invalid_argument, Out_of_memory, or friends. *)
+(* Mutation fuzzing of the binary decoders and the topology-spec
+   parser: Wire.Frame headers (including the multi-hop aggregator relay
+   path), Trace_io trace files, and Topology.of_spec.  Start from a
+   valid encoding, corrupt it (bit flips, truncations, length/count
+   field garbage, spliced spec text), and require the decoder to answer
+   with its typed error channel — Ok/Error for frame headers and
+   topology specs, the Trace_io.Error exception for loaders — and never
+   leak Invalid_argument, Out_of_memory, or friends. *)
 
 module Frame = Wd_net.Wire.Frame
 module Trace_io = Wd_workload.Trace_io
 module Stream = Wd_workload.Stream
+module Topology = Wd_net.Topology
 
 let kinds =
   [|
@@ -387,6 +390,264 @@ let batch_nested_rejected c =
   | Ok _ | Error _ | (exception _) -> false
 
 (* ------------------------------------------------------------------ *)
+(* Per-hop wire path: a frame crossing site -> aggregator -> ... -> root
+   is decoded and re-encoded at every hop.  A clean relay must be
+   bit-preserving end to end; a corruption injected at any hop must
+   surface as a typed decode error at that hop or a later one, never as
+   an escaped exception. *)
+
+type hop_case = {
+  r_kind : int;
+  r_site : int;
+  r_len : int;  (* payload bytes, 0..64 *)
+  r_span : int;
+  r_hops : int;  (* relay chain length, 1..4 *)
+  r_mut_hop : int;  (* hop at which the mutation strikes *)
+  r_mutation : int;  (* 0 = none, 1 = bit flip, 2 = truncate, 3 = length stomp *)
+  r_a : int;
+  r_b : int;
+}
+
+let show_hop_case c =
+  Printf.sprintf
+    "{kind=%d site=%d len=%d span=%d hops=%d mut_hop=%d mut=%d a=%d b=%d}"
+    c.r_kind c.r_site c.r_len c.r_span c.r_hops c.r_mut_hop c.r_mutation c.r_a
+    c.r_b
+
+let gen_hop_case rng =
+  {
+    r_kind = Prop.int_range 0 (Array.length kinds - 1) rng;
+    r_site = Prop.int_range 0 0xFFFF rng;
+    r_len = Prop.int_range 0 64 rng;
+    r_span = Prop.int_range 0 1 rng;
+    r_hops = Prop.int_range 1 4 rng;
+    r_mut_hop = Prop.int_range 0 3 rng;
+    r_mutation = Prop.int_range 0 3 rng;
+    r_a = Prop.int_range 0 0x3FFFFFFF rng;
+    r_b = Prop.int_range 0 0x3FFFFFFF rng;
+  }
+
+let shrink_hop_case c =
+  List.concat
+    [
+      List.map (fun r_len -> { c with r_len }) (Prop.shrink_int c.r_len);
+      List.map (fun r_hops -> { c with r_hops = max 1 r_hops })
+        (Prop.shrink_int c.r_hops);
+      List.map (fun r_a -> { c with r_a }) (Prop.shrink_int c.r_a);
+      List.map (fun r_b -> { c with r_b }) (Prop.shrink_int c.r_b);
+    ]
+
+let realize_hop_frame c =
+  let total =
+    Frame.header_bytes
+    + (if c.r_span = 1 then Frame.span_bytes else 0)
+    + c.r_len
+  in
+  let buf = Bytes.make total '\007' in
+  if c.r_span = 1 then begin
+    Frame.encode_header_spanned buf ~pos:0 ~kind:kinds.(c.r_kind)
+      ~site:c.r_site ~length:c.r_len;
+    Frame.encode_span buf ~pos:Frame.header_bytes
+      Frame.
+        {
+          trace_id = Int64.of_int c.r_a;
+          span_id = Int64.of_int c.r_b;
+          parent_id = 5L;
+          t1_ns = 6L;
+          t2_ns = 7L;
+        }
+  end
+  else
+    Frame.encode_header buf ~pos:0 ~kind:kinds.(c.r_kind) ~site:c.r_site
+      ~length:c.r_len;
+  buf
+
+let corrupt_hop c buf =
+  let n = Bytes.length buf in
+  match c.r_mutation with
+  | 1 when n > 0 ->
+    let buf = Bytes.copy buf in
+    let byte = c.r_a mod n in
+    Bytes.set_uint8 buf byte (Bytes.get_uint8 buf byte lxor (1 lsl (c.r_b mod 8)));
+    buf
+  | 2 when n > 0 -> Bytes.sub buf 0 (c.r_a mod n)
+  | 3 when n >= Frame.header_bytes ->
+    let buf = Bytes.copy buf in
+    Bytes.set_int32_le buf 8 (Int32.of_int c.r_a);
+    buf
+  | _ -> buf
+
+(* One relay hop: decode the frame as an aggregator would, then re-emit
+   it for the parent.  Returns [Ok next_buf] on a clean decode, [Error
+   `Typed] when the decoder answered through its error channel, [Error
+   `Escaped] when an exception escaped. *)
+let relay_hop buf =
+  match Frame.decode_header buf ~pos:0 with
+  | exception _ -> Error `Escaped
+  | Error _ -> Error `Typed
+  | Ok h -> (
+    let body_pos =
+      Frame.header_bytes + if h.Frame.has_span then Frame.span_bytes else 0
+    in
+    let span =
+      if not h.Frame.has_span then Ok None
+      else
+        match Frame.decode_span buf ~pos:Frame.header_bytes with
+        | Ok s -> Ok (Some s)
+        | Error _ -> Error `Typed
+        | exception _ -> Error `Escaped
+    in
+    match span with
+    | Error e -> Error e
+    | Ok _ when Bytes.length buf < body_pos + h.Frame.length ->
+      (* The header promised more payload than arrived: a relay must
+         treat this as a truncation, which the framed socket readers
+         detect by byte count before re-forwarding. *)
+      Error `Typed
+    | Ok span ->
+      let out = Bytes.make (body_pos + h.Frame.length) '\000' in
+      (match span with
+      | Some s ->
+        Frame.encode_header_spanned out ~pos:0 ~kind:h.Frame.kind
+          ~site:h.Frame.site ~length:h.Frame.length;
+        Frame.encode_span out ~pos:Frame.header_bytes s
+      | None ->
+        Frame.encode_header out ~pos:0 ~kind:h.Frame.kind ~site:h.Frame.site
+          ~length:h.Frame.length);
+      Bytes.blit buf body_pos out body_pos h.Frame.length;
+      Ok out)
+
+let relay_clean_preserves c =
+  let original = realize_hop_frame c in
+  let rec loop buf hop =
+    if hop >= c.r_hops then Bytes.equal buf original
+    else
+      match relay_hop buf with
+      | Ok next -> loop next (hop + 1)
+      | Error _ -> false
+  in
+  loop original 0
+
+let relay_corrupted_typed c =
+  let c = { c with r_mutation = 1 + (c.r_mutation mod 3) } in
+  let mut_hop = c.r_mut_hop mod c.r_hops in
+  let rec loop buf hop =
+    if hop >= c.r_hops then true
+    else
+      let buf = if hop = mut_hop then corrupt_hop c buf else buf in
+      match relay_hop buf with
+      | Ok next -> loop next (hop + 1)
+      | Error `Typed -> true
+      | Error `Escaped -> false
+  in
+  loop (realize_hop_frame c) 0
+
+(* ------------------------------------------------------------------ *)
+(* Topology specs: of_spec must be total — Ok or Error, never an
+   exception — over mutated valid specs and raw token soup, and every
+   Ok must round-trip through to_spec. *)
+
+type topo_case = {
+  p_form : int;  (* 0 = flat, 1 = tree, 2 = tree+fanout, 3 = edges, 4 = soup *)
+  p_sites : int;
+  p_r : int;
+  p_f : int;
+  p_mutation : int;  (* 0 = none, 1 = splice char, 2 = truncate, 3 = append *)
+  p_a : int;
+  p_b : int;
+}
+
+let show_topo_case c =
+  Printf.sprintf "{form=%d sites=%d r=%d f=%d mut=%d a=%d b=%d}" c.p_form
+    c.p_sites c.p_r c.p_f c.p_mutation c.p_a c.p_b
+
+let gen_topo_case rng =
+  {
+    p_form = Prop.int_range 0 4 rng;
+    p_sites = Prop.int_range 1 8 rng;
+    (* r and f range past validity on purpose: regions = 0 or > sites
+       and fanout <= 1 must come back as Error. *)
+    p_r = Prop.int_range (-1) 10 rng;
+    p_f = Prop.int_range (-1) 6 rng;
+    p_mutation = Prop.int_range 0 3 rng;
+    p_a = Prop.int_range 0 0x3FFFFFFF rng;
+    p_b = Prop.int_range 0 0x3FFFFFFF rng;
+  }
+
+let shrink_topo_case c =
+  List.concat
+    [
+      List.map (fun p_sites -> { c with p_sites = max 1 p_sites })
+        (Prop.shrink_int c.p_sites);
+      List.map (fun p_a -> { c with p_a }) (Prop.shrink_int c.p_a);
+      List.map (fun p_b -> { c with p_b }) (Prop.shrink_int c.p_b);
+    ]
+
+let spec_alphabet = "tree:gions=,fanout flatedgs>r0123456789a;."
+
+let realize_spec c =
+  let base =
+    match c.p_form with
+    | 0 -> "flat"
+    | 1 -> Printf.sprintf "tree:regions=%d" c.p_r
+    | 2 -> Printf.sprintf "tree:regions=%d,fanout=%d" c.p_r c.p_f
+    | 3 -> Topology.to_spec (Topology.random ~seed:c.p_a ~sites:c.p_sites)
+    | _ ->
+      String.init
+        (c.p_b mod 30)
+        (fun i ->
+          spec_alphabet.[(c.p_a + (i * 7)) mod String.length spec_alphabet])
+  in
+  let n = String.length base in
+  match c.p_mutation with
+  | 1 when n > 0 ->
+    let i = c.p_a mod n in
+    let ch = spec_alphabet.[c.p_b mod String.length spec_alphabet] in
+    String.mapi (fun j c0 -> if j = i then ch else c0) base
+  | 2 when n > 0 -> String.sub base 0 (c.p_a mod n)
+  | 3 ->
+    base
+    ^ String.init (1 + (c.p_b mod 6)) (fun i ->
+          spec_alphabet.[(c.p_a + i) mod String.length spec_alphabet])
+  | _ -> base
+
+let topo_of_spec_total c =
+  let spec = realize_spec c in
+  match Topology.of_spec ~sites:c.p_sites spec with
+  | Error _ -> true
+  | Ok t -> (
+    (* Whatever parses must be internally consistent and round-trip. *)
+    Topology.sites t = c.p_sites
+    && Topology.depth t >= 1
+    &&
+    match Topology.of_spec ~sites:c.p_sites (Topology.to_spec t) with
+    | Ok t' -> Topology.equal t t'
+    | Error _ | (exception _) -> false)
+  | exception e ->
+    Printf.eprintf "of_spec %S raised %s\n" spec (Printexc.to_string e);
+    false
+
+let topo_malformed_rejected c =
+  (* One structurally broken spec per case, spanning every rejection
+     class the parser documents: bad counts, unknown forms, orphan
+     sites, non-dense aggregator ids, cycles. *)
+  let sites = 2 + (c.p_sites mod 3) in
+  let spec =
+    match c.p_a mod 8 with
+    | 0 -> "tre:regions=2"
+    | 1 -> "tree:regions=0"
+    | 2 -> Printf.sprintf "tree:regions=%d" (sites + 1 + (c.p_b mod 5))
+    | 3 -> "tree:regions=2,fanout=1"
+    | 4 -> "tree:regions=2,fanout=-3"
+    | 5 -> "edges:s0>a0,a0>root"  (* s1.. orphaned *)
+    | 6 -> "edges:s0>a1,s1>a1,a1>root"  (* a0 missing: non-dense *)
+    | _ -> "edges:s0>a0,s1>a1,a0>a1,a1>a0"  (* aggregator cycle *)
+  in
+  match Topology.of_spec ~sites spec with
+  | Error _ -> true
+  | Ok _ | (exception _) -> false
+
+(* ------------------------------------------------------------------ *)
 (* Trace_io *)
 
 type trace_case = {
@@ -548,6 +809,25 @@ let () =
           Prop.test_case ~count:200 ~shrink:shrink_batch_case
             ~show:show_batch_case ~name:"nested envelope is Bad_kind"
             gen_batch_case batch_nested_rejected;
+        ] );
+      ( "relay",
+        [
+          Prop.test_case ~count:200 ~shrink:shrink_hop_case
+            ~show:show_hop_case ~name:"clean relay is bit-preserving"
+            gen_hop_case relay_clean_preserves;
+          Prop.test_case ~count:400 ~shrink:shrink_hop_case
+            ~show:show_hop_case
+            ~name:"corrupted hop never escapes typed errors" gen_hop_case
+            relay_corrupted_typed;
+        ] );
+      ( "topology",
+        [
+          Prop.test_case ~count:400 ~shrink:shrink_topo_case
+            ~show:show_topo_case ~name:"of_spec is total and round-trips"
+            gen_topo_case topo_of_spec_total;
+          Prop.test_case ~count:200 ~shrink:shrink_topo_case
+            ~show:show_topo_case ~name:"malformed specs are Error"
+            gen_topo_case topo_malformed_rejected;
         ] );
       ( "trace_io",
         [

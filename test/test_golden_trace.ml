@@ -7,11 +7,8 @@
    (Estimators.linear_blend): the ramp-up estimates changed, so the
    threshold-crossing counts moved with them. *)
 
-(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
-   purpose: they must stay bit-identical to the unified Simulation.run. *)
-[@@@ocaml.alert "-deprecated"]
-
 module Sim = Whats_different.Simulation
+module Query = Wd_view.Query
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
 module Network = Wd_net.Network
@@ -40,15 +37,16 @@ let check_kinds ~expected (summary : Summary.t) =
 let dc_ls_unicast () =
   let ring = Sink.ring ~capacity:8192 in
   let run =
-    Sim.run_dc ~seed:7 ~algorithm:Dc.LS ~theta:0.03 ~alpha:0.07 ~sink:ring
+    Sim.run ~seed:7 ~sink:ring
+      (Query.dc ~theta:0.03 ~alpha:0.07 Dc.LS)
       (golden_stream ())
   in
-  Alcotest.(check int) "bytes up" 14204 run.Sim.dc_bytes_up;
-  Alcotest.(check int) "bytes down" 19140 run.Sim.dc_bytes_down;
-  Alcotest.(check int) "total bytes" 33344 run.Sim.dc_total_bytes;
-  Alcotest.(check int) "sends" 449 run.Sim.dc_sends;
-  Alcotest.(check (float 1e-6)) "estimate" 3362.014438 run.Sim.dc_final_estimate;
-  Alcotest.(check int) "truth" 3536 run.Sim.dc_final_truth;
+  Alcotest.(check int) "bytes up" 14204 run.Sim.bytes_up;
+  Alcotest.(check int) "bytes down" 19140 run.Sim.bytes_down;
+  Alcotest.(check int) "total bytes" 33344 run.Sim.total_bytes;
+  Alcotest.(check int) "sends" 449 run.Sim.sends;
+  Alcotest.(check (float 1e-6)) "estimate" 3362.014438 run.Sim.final_estimate;
+  Alcotest.(check int) "truth" 3536 run.Sim.final_truth;
   let summary = Summary.of_events (Sink.ring_contents ring) in
   check_kinds summary
     ~expected:
@@ -68,15 +66,16 @@ let dc_ls_unicast () =
 let dc_ss_radio () =
   let ring = Sink.ring ~capacity:8192 in
   let run =
-    Sim.run_dc ~seed:7 ~cost_model:Network.Radio_broadcast ~algorithm:Dc.SS
-      ~theta:0.03 ~alpha:0.07 ~sink:ring (golden_stream ())
+    Sim.run ~seed:7 ~cost_model:Network.Radio_broadcast ~sink:ring
+      (Query.dc ~theta:0.03 ~alpha:0.07 Dc.SS)
+      (golden_stream ())
   in
-  Alcotest.(check int) "bytes up" 13920 run.Sim.dc_bytes_up;
-  Alcotest.(check int) "bytes down" 1633576 run.Sim.dc_bytes_down;
-  Alcotest.(check int) "total bytes" 1647496 run.Sim.dc_total_bytes;
-  Alcotest.(check int) "sends" 434 run.Sim.dc_sends;
+  Alcotest.(check int) "bytes up" 13920 run.Sim.bytes_up;
+  Alcotest.(check int) "bytes down" 1633576 run.Sim.bytes_down;
+  Alcotest.(check int) "total bytes" 1647496 run.Sim.total_bytes;
+  Alcotest.(check int) "sends" 434 run.Sim.sends;
   Alcotest.(check (float 1e-6)) "estimate" 3386.897246
-    run.Sim.dc_final_estimate;
+    run.Sim.final_estimate;
   let summary = Summary.of_events (Sink.ring_contents ring) in
   check_kinds summary
     ~expected:
@@ -94,18 +93,23 @@ let dc_ss_radio () =
 let ds_gcs () =
   let ring = Sink.ring ~capacity:16384 in
   let run =
-    Sim.run_ds ~seed:7 ~algorithm:Ds.GCS ~theta:0.25 ~threshold:256 ~sink:ring
+    Sim.run ~seed:7 ~sink:ring
+      (Query.ds ~theta:0.25 ~threshold:256 Ds.GCS)
       (golden_stream ())
   in
-  Alcotest.(check int) "bytes up" 35640 run.Sim.ds_bytes_up;
-  Alcotest.(check int) "bytes down" 106820 run.Sim.ds_bytes_down;
-  Alcotest.(check int) "total bytes" 142460 run.Sim.ds_total_bytes;
-  Alcotest.(check int) "sends" 1782 run.Sim.ds_sends;
-  Alcotest.(check int) "final level" 4 run.Sim.ds_final_level;
+  Alcotest.(check int) "bytes up" 35640 run.Sim.bytes_up;
+  Alcotest.(check int) "bytes down" 106820 run.Sim.bytes_down;
+  Alcotest.(check int) "total bytes" 142460 run.Sim.total_bytes;
+  Alcotest.(check int) "sends" 1782 run.Sim.sends;
+  let final_level, max_count_error =
+    match run.Sim.aux with
+    | Sim.Ds_aux { level; max_count_error; _ } -> (level, max_count_error)
+    | _ -> Alcotest.fail "ds run must carry Ds_aux"
+  in
+  Alcotest.(check int) "final level" 4 final_level;
   Alcotest.(check (float 1e-6)) "distinct estimate" 3120.0
-    run.Sim.ds_distinct_estimate;
-  Alcotest.(check (float 1e-6)) "max count error" 0.146341
-    run.Sim.ds_max_count_error;
+    run.Sim.final_estimate;
+  Alcotest.(check (float 1e-6)) "max count error" 0.146341 max_count_error;
   let summary = Summary.of_events (Sink.ring_contents ring) in
   check_kinds summary
     ~expected:

@@ -2,10 +2,6 @@
    metrics, and trace summarization — including the acceptance criterion
    that trace byte sums reproduce the network ledger exactly. *)
 
-(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
-   purpose: they must stay bit-identical to the unified Simulation.run. *)
-[@@@ocaml.alert "-deprecated"]
-
 module Json = Wd_obs.Json
 module Event = Wd_obs.Event
 module Trace = Wd_obs.Trace
@@ -13,6 +9,7 @@ module Sink = Wd_obs.Sink
 module Metrics = Wd_obs.Metrics
 module Summary = Wd_obs.Summary
 module Sim = Whats_different.Simulation
+module Query = Wd_view.Query
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
 module Network = Wd_net.Network
@@ -488,12 +485,13 @@ let test_dc_trace_matches_ledger () =
     (fun (cost_model, algorithm) ->
       let ring = Sink.ring ~capacity:100_000 in
       let r =
-        Sim.run_dc ~cost_model ~sink:ring ~algorithm ~theta:0.05 ~alpha:0.05
+        Sim.run ~cost_model ~sink:ring
+          (Query.dc ~theta:0.05 ~alpha:0.05 algorithm)
           stream
       in
       let up, down = trace_byte_sums (Sink.ring_contents ring) in
-      Alcotest.(check int) "trace bytes up = ledger" r.Sim.dc_bytes_up up;
-      Alcotest.(check int) "trace bytes down = ledger" r.Sim.dc_bytes_down down)
+      Alcotest.(check int) "trace bytes up = ledger" r.Sim.bytes_up up;
+      Alcotest.(check int) "trace bytes down = ledger" r.Sim.bytes_down down)
     [
       (Network.Unicast, Dc.LS);
       (Network.Unicast, Dc.NS);
@@ -506,25 +504,26 @@ let test_ds_trace_matches_ledger () =
     (fun algorithm ->
       let ring = Sink.ring ~capacity:100_000 in
       let r =
-        Sim.run_ds ~sink:ring ~algorithm ~theta:0.3 ~threshold:64 stream
+        Sim.run ~sink:ring (Query.ds ~theta:0.3 ~threshold:64 algorithm) stream
       in
       let up, down = trace_byte_sums (Sink.ring_contents ring) in
-      Alcotest.(check int) "trace bytes up = ledger" r.Sim.ds_bytes_up up;
-      Alcotest.(check int) "trace bytes down = ledger" r.Sim.ds_bytes_down down)
+      Alcotest.(check int) "trace bytes up = ledger" r.Sim.bytes_up up;
+      Alcotest.(check int) "trace bytes down = ledger" r.Sim.bytes_down down)
     [ Ds.LCO; Ds.GCS; Ds.LCS ]
 
 let test_metrics_sink_matches_ledger () =
   let m = Metrics.create () in
   let r =
-    Sim.run_dc ~sink:(Sink.metrics m) ~metrics:m ~algorithm:Dc.LS ~theta:0.05
-      ~alpha:0.05 stream
+    Sim.run ~sink:(Sink.metrics m) ~metrics:m
+      (Query.dc ~theta:0.05 ~alpha:0.05 Dc.LS)
+      stream
   in
   let counter_value name labels =
     Metrics.counter_value (Metrics.counter m name ~labels)
   in
-  Alcotest.(check int) "wd_bytes_total{up}" r.Sim.dc_bytes_up
+  Alcotest.(check int) "wd_bytes_total{up}" r.Sim.bytes_up
     (counter_value "wd_bytes_total" [ ("dir", "up") ]);
-  Alcotest.(check int) "wd_bytes_total{down}" r.Sim.dc_bytes_down
+  Alcotest.(check int) "wd_bytes_total{down}" r.Sim.bytes_down
     (counter_value "wd_bytes_total" [ ("dir", "down") ]);
   let site_up_sum = ref 0 in
   for s = 0 to 3 do
@@ -534,7 +533,7 @@ let test_metrics_sink_matches_ledger () =
           [ ("dir", "up"); ("site", string_of_int s) ]
   done;
   Alcotest.(check int) "per-site byte counters sum to the ledger"
-    r.Sim.dc_bytes_up !site_up_sum;
+    r.Sim.bytes_up !site_up_sum;
   Alcotest.(check bool) "accuracy histogram was fed" true
     (Metrics.histogram_count (Metrics.histogram m "wd_estimate_rel_error") > 0)
 

@@ -17,7 +17,16 @@
      sketch behind DISTINCT_SKETCH and for the sampler, including across
      merges — and [observe_batch] is observationally equal to folding
      [observe] for both trackers (same estimates, byte ledgers and send
-     counts), which is what licenses the batched simulator fast path.
+     counts), which is what licenses the batched simulator fast path;
+   - hierarchical merging up a random tree (sites -> aggregators ->
+     root, depth >= 2) equals the centralized sketch for every family
+     and estimator, which is what licenses aggregators forwarding
+     merged frames;
+   - the per-hop byte ledger conserves on random tree topologies under
+     drop and aggregator-crash faults (root bytes = sum of last-hop
+     edge deliveries; grand total = site links + backbone), and a
+     depth-1 explicit tree is the flat star bit for bit, for the DC, DS
+     and HH trackers.
 
    Cases and generators live in [Prop] (hand-rolled, seeded by
    WD_PROP_SEED, default 42; >= 200 cases per invariant). *)
@@ -113,6 +122,44 @@ let bitmap_suite (type f) name (module M : BITMAP_SKETCH with type family = f)
         let whole = of_items fam (c.xs @ c.ys) in
         let m = merged fam c.xs c.ys in
         M.equal m whole && M.estimate m = M.estimate whole);
+    prop "tree-merged = centralized (depth >= 2)" (fun c ->
+        (* Hierarchical deployment: sites sketch their shards, each
+           aggregator merges its children, the root merges the last
+           hops.  The result must be the centralized sketch bit for bit
+           — this is what licenses aggregators forwarding merged frames
+           instead of raw site traffic.  [Topology.random] always has
+           at least one aggregator, so every generated tree is depth
+           >= 2; aggregator parents are strictly higher-numbered, so an
+           ascending sweep merges children before parents. *)
+        let module Topology = Wd_net.Topology in
+        let fam = mk_family ~seed:c.fam_seed in
+        let all = c.xs @ c.ys @ c.zs in
+        let items = Array.of_list all in
+        let k = 4 in
+        let topo = Topology.random ~seed:c.fam_seed ~sites:k in
+        let site_sk = Array.init k (fun _ -> M.create fam) in
+        Array.iteri
+          (fun j v -> ignore (M.add site_sk.((j + v) mod k) v))
+          items;
+        let agg_sk =
+          Array.init (Topology.aggs topo) (fun _ -> M.create fam)
+        in
+        let root = M.create fam in
+        let merge_to parent sk =
+          match parent with
+          | Topology.Root -> M.merge_into ~dst:root sk
+          | Topology.Agg j -> M.merge_into ~dst:agg_sk.(j) sk
+        in
+        for i = 0 to k - 1 do
+          merge_to (Topology.site_parent topo i) site_sk.(i)
+        done;
+        for j = 0 to Topology.aggs topo - 1 do
+          merge_to (Topology.agg_parent topo j) agg_sk.(j)
+        done;
+        let whole = of_items fam all in
+        Topology.depth topo >= 2
+        && M.equal root whole
+        && M.estimate root = M.estimate whole);
     prop "duplicate insensitive" (fun c ->
         let fam = mk_family ~seed:c.fam_seed in
         M.equal (of_items fam (c.xs @ c.xs)) (of_items fam c.xs));
@@ -225,6 +272,38 @@ let sampler_suite =
         let whole = sampler_of fam (c.xs @ c.ys) in
         sampler_state m = sampler_state whole
         && Sampler.estimate_distinct m = Sampler.estimate_distinct whole);
+    sampler_prop "tree-merged = centralized (depth >= 2)" (fun c ->
+        (* Same hierarchical-merge law as the bitmap sketches, but with
+           additive counts: each occurrence lands at exactly one site,
+           so the root's retained (item, count) multiset must match one
+           sampler over the whole stream. *)
+        let module Topology = Wd_net.Topology in
+        let fam = sampler_family ~seed:c.fam_seed in
+        let all = c.xs @ c.ys @ c.zs in
+        let items = Array.of_list all in
+        let k = 4 in
+        let topo = Topology.random ~seed:c.fam_seed ~sites:k in
+        let site_sk = Array.init k (fun _ -> Sampler.create fam) in
+        Array.iteri (fun j v -> Sampler.add site_sk.((j + v) mod k) v) items;
+        let agg_sk =
+          Array.init (Topology.aggs topo) (fun _ -> Sampler.create fam)
+        in
+        let root = Sampler.create fam in
+        let merge_to parent sk =
+          match parent with
+          | Topology.Root -> Sampler.merge_into ~dst:root sk
+          | Topology.Agg j -> Sampler.merge_into ~dst:agg_sk.(j) sk
+        in
+        for i = 0 to k - 1 do
+          merge_to (Topology.site_parent topo i) site_sk.(i)
+        done;
+        for j = 0 to Topology.aggs topo - 1 do
+          merge_to (Topology.agg_parent topo j) agg_sk.(j)
+        done;
+        let whole = sampler_of fam all in
+        Topology.depth topo >= 2
+        && sampler_state root = sampler_state whole
+        && Sampler.estimate_distinct root = Sampler.estimate_distinct whole);
     sampler_prop "self-merge keeps support, doubles counts" (fun c ->
         let fam = sampler_family ~seed:c.fam_seed in
         let a = sampler_of fam c.xs in
@@ -347,6 +426,166 @@ let tracker_suite =
           Ds.all_algorithms);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Tree topologies: the per-hop ledger laws.  On any random tree, under
+   any mix of link loss and aggregator crashes, the bytes the root
+   records as arriving must equal the sum of bytes delivered over the
+   last-hop edges (no bytes appear from nowhere, none vanish after
+   their final hop), and the whole-tree ledger must decompose into site
+   links plus backbone.  A depth-1 explicit tree must be the flat star,
+   bit for bit. *)
+
+module Topology = Wd_net.Topology
+module Faults = Wd_net.Faults
+
+type tree_case = { base : case; topo_seed : int; fault_kind : int }
+
+let tree_case_gen rng =
+  {
+    base = case_gen rng;
+    topo_seed = Prop.int_range 0 10_000 rng;
+    fault_kind = Prop.int_range 0 2 rng;
+  }
+
+let show_tree_case tc =
+  Printf.sprintf "{topo_seed=%d; fault_kind=%d; base=%s}" tc.topo_seed
+    tc.fault_kind (show_case tc.base)
+
+let shrink_tree_case tc =
+  List.map (fun base -> { tc with base }) (shrink_case tc.base)
+
+(* Fault plans carry generator state, so every run builds a fresh one.
+   Kind 0: clean; kind 1: lossy site links; kind 2: lossy links plus
+   the first aggregator crashing over the middle of the run. *)
+let tree_faults tc topo =
+  match tc.fault_kind with
+  | 0 -> Faults.none
+  | kind -> (
+    let spec =
+      if kind = 1 then "drop=0.15"
+      else
+        Printf.sprintf "drop=0.1,crash=%d:10:60"
+          (Topology.node_of_agg topo 0)
+    in
+    match Faults.of_spec ~seed:tc.topo_seed spec with
+    | Ok p -> p
+    | Error e -> failwith e)
+
+let conservation_holds net topo =
+  Network.root_bytes_in net
+  = List.fold_left
+      (fun acc node -> acc + Network.edge_delivered_up net ~node)
+      0
+      (Topology.last_hop_nodes topo)
+  && Network.grand_total_bytes net
+     = Network.total_bytes net + Network.backbone_bytes net
+
+(* Each run helper returns (estimate, sends, net) so the flat-identity
+   property can compare protocol output alongside the ledger. *)
+let dc_tree_run ?topology ?faults c =
+  let module T = Wd_protocol.Dc_tracker.Fm in
+  let sites, items = case_stream c in
+  let fam =
+    Fm.family_custom ~rng:(Rng.create c.fam_seed) ~variant:Fm.Stochastic
+      ~bitmaps:8
+  in
+  let t =
+    T.create ~algorithm:Dc.LS ~theta:0.1 ~sites:tracker_sites ~family:fam ()
+  in
+  let net = T.network t in
+  Network.set_debug_checks net true;
+  Option.iter (Network.set_topology net) topology;
+  Option.iter (Network.set_faults net) faults;
+  Array.iteri (fun j v -> T.observe t ~site:sites.(j) v) items;
+  (T.estimate t, T.sends t, net)
+
+let ds_tree_run ?topology ?faults c =
+  let sites, items = case_stream c in
+  let fam = Sampler.family ~rng:(Rng.create c.fam_seed) ~threshold:16 in
+  let t =
+    Ds.create ~algorithm:Ds.GCS ~theta:0.5 ~sites:tracker_sites ~family:fam ()
+  in
+  let net = Ds.network t in
+  Network.set_debug_checks net true;
+  Option.iter (Network.set_topology net) topology;
+  Option.iter (Network.set_faults net) faults;
+  Array.iteri (fun j v -> Ds.observe t ~site:sites.(j) v) items;
+  (Ds.estimate_distinct t, Ds.sends t, net)
+
+let hh_tree_run ?topology ?faults c =
+  let module Hh = Wd_aggregate.Distinct_hh.Tracked in
+  let sites, items = case_stream c in
+  let fam =
+    Wd_aggregate.Fm_array.family
+      ~rng:(Rng.create c.fam_seed)
+      { Wd_aggregate.Fm_array.rows = 2; cols = 8; bitmaps = 6 }
+  in
+  let t =
+    Hh.create ~algorithm:Dc.LS ~theta:0.3 ~sites:tracker_sites ~family:fam ()
+  in
+  let net = Hh.network t in
+  Network.set_debug_checks net true;
+  Option.iter (Network.set_topology net) topology;
+  Option.iter (Network.set_faults net) faults;
+  Array.iteri (fun j v -> Hh.observe t ~site:sites.(j) ~v ~w:1) items;
+  (Hh.estimate t 0, Hh.sends t, net)
+
+let topo_prop pname p =
+  Prop.test_case ~shrink:shrink_tree_case ~show:show_tree_case
+    ~name:(Printf.sprintf "topology %s" pname)
+    tree_case_gen p
+
+type tree_run =
+  ?topology:Topology.t -> ?faults:Faults.plan -> case -> float * int * Network.t
+
+let conservation_prop name (run : tree_run) =
+  topo_prop
+    (Printf.sprintf "%s per-hop conservation under faults" name)
+    (fun tc ->
+      let topo = Topology.random ~seed:tc.topo_seed ~sites:tracker_sites in
+      let _, _, net =
+        run ~topology:topo ~faults:(tree_faults tc topo) tc.base
+      in
+      Topology.depth topo >= 2 && conservation_holds net topo)
+
+let flat_identity_prop name (run : tree_run) =
+  topo_prop
+    (Printf.sprintf "%s flat star = depth-1 tree bit-identically" name)
+    (fun tc ->
+      let spec =
+        "edges:"
+        ^ String.concat ","
+            (List.init tracker_sites (Printf.sprintf "s%d>root"))
+      in
+      match Topology.of_spec ~sites:tracker_sites spec with
+      | Error e -> failwith e
+      | Ok depth1 ->
+        Topology.is_flat depth1
+        && Topology.depth depth1 = 1
+        && Topology.equal depth1 (Topology.flat ~sites:tracker_sites)
+        &&
+        let e0, s0, net0 = run tc.base in
+        let e1, s1, net1 = run ~topology:depth1 tc.base in
+        e0 = e1 && s0 = s1
+        && net_sig net0 = net_sig net1
+        && Network.backbone_bytes net1 = 0
+        && Network.grand_total_bytes net1 = Network.total_bytes net1)
+
+let topology_suite =
+  [
+    topo_prop "random trees round-trip through spec" (fun tc ->
+        let topo = Topology.random ~seed:tc.topo_seed ~sites:tracker_sites in
+        match Topology.of_spec ~sites:tracker_sites (Topology.to_spec topo) with
+        | Ok t -> Topology.equal t topo
+        | Error e -> failwith e);
+    conservation_prop "dc" dc_tree_run;
+    conservation_prop "ds" ds_tree_run;
+    conservation_prop "hh" hh_tree_run;
+    flat_identity_prop "dc" dc_tree_run;
+    flat_identity_prop "ds" ds_tree_run;
+    flat_identity_prop "hh" hh_tree_run;
+  ]
+
 let () =
   Alcotest.run "properties"
     [
@@ -361,4 +600,5 @@ let () =
       ("hll-mle", hll_suite_with mle "hll-mle");
       ("sampler", sampler_suite);
       ("tracker", tracker_suite);
+      ("topology", topology_suite);
     ]

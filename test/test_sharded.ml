@@ -4,10 +4,6 @@
    sharded tracker run — including one under a fault plan — must be
    bit-identical to the historical single-domain run. *)
 
-(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
-   purpose: they must stay bit-identical to the unified Simulation.run. *)
-[@@@ocaml.alert "-deprecated"]
-
 module Dc = Wd_protocol.Dc_tracker
 module Sharded = Wd_protocol.Sharded
 module Faults = Wd_net.Faults
@@ -153,21 +149,21 @@ let stream =
   lazy (Stream_gen.zipf ~seed:11 ~sites:4 ~events:20_000 ~universe:6_000 ())
 
 let run ?faults ~shards ~algorithm () =
-  Simulation.run_dc ~seed:7 ?faults ~shards ~algorithm ~theta:0.015
-    ~alpha:0.085 (Lazy.force stream)
+  Simulation.run ~seed:7 ?faults ~shards
+    (Wd_view.Query.dc ~theta:0.015 ~alpha:0.085 algorithm)
+    (Lazy.force stream)
 
-let check_identical algorithm (a : Simulation.dc_run) (b : Simulation.dc_run)
-    =
+let check_identical algorithm (a : Simulation.run) (b : Simulation.run) =
   let name = Dc.algorithm_to_string algorithm in
   Alcotest.(check (float 0.0))
     (name ^ ": estimate")
-    a.Simulation.dc_final_estimate b.Simulation.dc_final_estimate;
+    a.Simulation.final_estimate b.Simulation.final_estimate;
   Alcotest.(check int)
     (name ^ ": sends")
-    a.Simulation.dc_sends b.Simulation.dc_sends;
+    a.Simulation.sends b.Simulation.sends;
   Alcotest.(check int)
     (name ^ ": total bytes")
-    a.Simulation.dc_total_bytes b.Simulation.dc_total_bytes;
+    a.Simulation.total_bytes b.Simulation.total_bytes;
   Alcotest.(check bool) (name ^ ": full record") true (a = b)
 
 let test_sharded_run_identical () =
@@ -194,14 +190,14 @@ let test_sharded_run_identical_under_faults () =
       Alcotest.(check bool)
         (Dc.algorithm_to_string algorithm ^ ": faults actually bit")
         true
-        (single.Simulation.dc_lost_updates > 0
-        || single.Simulation.dc_drops > 0);
+        (single.Simulation.lost_updates > 0
+        || single.Simulation.drops > 0);
       check_identical algorithm single sharded)
     Dc.approximate_algorithms
 
 let test_ec_refuses_shards () =
   match run ~shards:2 ~algorithm:Dc.EC () with
-  | (_ : Simulation.dc_run) -> Alcotest.fail "EC accepted shards > 1"
+  | (_ : Simulation.run) -> Alcotest.fail "EC accepted shards > 1"
   | exception Invalid_argument _ -> ()
 
 let () =

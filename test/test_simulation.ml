@@ -1,12 +1,9 @@
 (* Tests for the simulation / measurement harness. *)
 
-(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
-   purpose: they must stay bit-identical to the unified Simulation.run. *)
-[@@@ocaml.alert "-deprecated"]
-
 module Sim = Whats_different.Simulation
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
+module Query = Wd_view.Query
 module Stream = Wd_workload.Stream
 module Stream_gen = Wd_workload.Stream_gen
 module Http = Wd_workload.Http_trace
@@ -15,54 +12,60 @@ let stream = Stream_gen.zipf ~sites:4 ~events:20_000 ~universe:5_000 ()
 
 let test_run_dc_report_consistency () =
   let r =
-    Sim.run_dc ~algorithm:Dc.LS ~theta:0.05 ~alpha:0.05 ~checkpoints:10 stream
+    Sim.run ~checkpoints:10 (Query.dc ~theta:0.05 ~alpha:0.05 Dc.LS) stream
   in
-  Alcotest.(check int) "updates" (Stream.length stream) r.Sim.dc_updates;
+  Alcotest.(check int) "updates" (Stream.length stream) r.Sim.updates;
   Alcotest.(check int) "total = up + down"
-    (r.Sim.dc_bytes_up + r.Sim.dc_bytes_down)
-    r.Sim.dc_total_bytes;
+    (r.Sim.bytes_up + r.Sim.bytes_down)
+    r.Sim.total_bytes;
+  Alcotest.(check int) "flat run pays no backbone" 0 r.Sim.backbone_bytes;
   Alcotest.(check int) "truth" (Stream.distinct_count stream)
-    r.Sim.dc_final_truth;
-  Alcotest.(check int) "checkpoint count" 10
-    (Array.length r.Sim.dc_bytes_series);
+    r.Sim.final_truth;
+  Alcotest.(check int) "checkpoint count" 10 (Array.length r.Sim.bytes_series);
   (* Series is cumulative, hence nondecreasing, ending at the total. *)
   let last = ref 0 in
   Array.iter
     (fun (_, b) ->
       Alcotest.(check bool) "nondecreasing" true (b >= !last);
       last := b)
-    r.Sim.dc_bytes_series;
-  Alcotest.(check int) "series ends at total" r.Sim.dc_total_bytes !last;
+    r.Sim.bytes_series;
+  Alcotest.(check int) "series ends at total" r.Sim.total_bytes !last;
   let final_err =
-    Float.abs (r.Sim.dc_final_estimate -. Float.of_int r.Sim.dc_final_truth)
-    /. Float.of_int r.Sim.dc_final_truth
+    Float.abs (r.Sim.final_estimate -. Float.of_int r.Sim.final_truth)
+    /. Float.of_int r.Sim.final_truth
   in
   Alcotest.(check bool)
     (Printf.sprintf "final error %.3f within budget" final_err)
     true (final_err < 0.25)
 
 let test_run_dc_deterministic () =
-  let r1 = Sim.run_dc ~seed:5 ~algorithm:Dc.NS ~theta:0.05 ~alpha:0.05 stream in
-  let r2 = Sim.run_dc ~seed:5 ~algorithm:Dc.NS ~theta:0.05 ~alpha:0.05 stream in
-  Alcotest.(check int) "same bytes" r1.Sim.dc_total_bytes r2.Sim.dc_total_bytes;
-  Alcotest.(check (float 0.0)) "same estimate" r1.Sim.dc_final_estimate
-    r2.Sim.dc_final_estimate
+  let r1 = Sim.run ~seed:5 (Query.dc ~theta:0.05 ~alpha:0.05 Dc.NS) stream in
+  let r2 = Sim.run ~seed:5 (Query.dc ~theta:0.05 ~alpha:0.05 Dc.NS) stream in
+  Alcotest.(check int) "same bytes" r1.Sim.total_bytes r2.Sim.total_bytes;
+  Alcotest.(check (float 0.0)) "same estimate" r1.Sim.final_estimate
+    r2.Sim.final_estimate
 
 let test_exact_dc_bytes_matches_ec_run () =
-  let r = Sim.run_dc ~algorithm:Dc.EC ~theta:0.1 ~alpha:0.1 stream in
+  let r = Sim.run (Query.dc ~theta:0.1 ~alpha:0.1 Dc.EC) stream in
   Alcotest.(check int) "closed form = EC run" (Sim.exact_dc_bytes stream)
-    r.Sim.dc_total_bytes
+    r.Sim.total_bytes
+
+let ds_aux (r : Sim.run) =
+  match r.Sim.aux with
+  | Sim.Ds_aux { level; sample; max_count_error } ->
+    (level, sample, max_count_error)
+  | _ -> Alcotest.fail "ds run must carry Ds_aux"
 
 let test_run_ds_report_consistency () =
-  let r = Sim.run_ds ~algorithm:Ds.LCO ~theta:0.3 ~threshold:64 stream in
-  Alcotest.(check int) "updates" (Stream.length stream) r.Sim.ds_updates;
-  Alcotest.(check bool) "sample bounded" true
-    (List.length r.Sim.ds_final_sample <= 64);
+  let r = Sim.run (Query.ds ~theta:0.3 ~threshold:64 Ds.LCO) stream in
+  let _, sample, max_count_error = ds_aux r in
+  Alcotest.(check int) "updates" (Stream.length stream) r.Sim.updates;
+  Alcotest.(check bool) "sample bounded" true (List.length sample <= 64);
   Alcotest.(check bool)
-    (Printf.sprintf "count error %.3f <= theta" r.Sim.ds_max_count_error)
+    (Printf.sprintf "count error %.3f <= theta" max_count_error)
     true
-    (r.Sim.ds_max_count_error <= 0.3 +. 1e-9);
-  let d = r.Sim.ds_distinct_estimate in
+    (max_count_error <= 0.3 +. 1e-9);
+  let d = r.Sim.final_estimate in
   let n0 = Float.of_int (Stream.distinct_count stream) in
   Alcotest.(check bool)
     (Printf.sprintf "distinct estimate %.0f ~ %.0f" d n0)
@@ -70,9 +73,9 @@ let test_run_ds_report_consistency () =
     (Float.abs (d -. n0) /. n0 < 0.5)
 
 let test_exact_ds_bytes_matches_eds_run () =
-  let r = Sim.run_ds ~algorithm:Ds.EDS ~theta:0.3 ~threshold:64 stream in
+  let r = Sim.run (Query.ds ~theta:0.3 ~threshold:64 Ds.EDS) stream in
   Alcotest.(check int) "closed form = EDS run" (Sim.exact_ds_bytes stream)
-    r.Sim.ds_total_bytes
+    r.Sim.total_bytes
 
 let test_true_distinct_prefixes () =
   let prefixes = Sim.true_distinct_prefixes stream ~samples:5 in
@@ -96,24 +99,31 @@ let test_pair_stream_of_requests () =
   Alcotest.(check int) "length" (Array.length reqs) (Sim.pair_stream_length p);
   Alcotest.(check bool) "regions" true (Sim.pair_stream_sites p <= 4)
 
+let hh_config = { Wd_aggregate.Fm_array.rows = 3; cols = 128; bitmaps = 10 }
+
 let test_run_hh_report () =
   let cfg = { Http.default with requests = 5_000 } in
   let reqs = Http.generate cfg in
   let p = Sim.pair_stream_of_requests cfg Http.Per_region reqs in
   let r =
-    Sim.run_hh ~algorithm:Dc.LS ~theta:0.2
-      ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 128; bitmaps = 10 }
-      p
+    Sim.run
+      (Query.hh ~theta:0.2 ~config:hh_config Dc.LS)
+      (Sim.stream_of_pairs p)
   in
-  Alcotest.(check int) "updates" (Sim.pair_stream_length p) r.Sim.hh_updates;
+  let avg_norm_error, topk_recall, exact_bytes =
+    match r.Sim.aux with
+    | Sim.Hh_aux { avg_norm_error; topk_recall; exact_bytes } ->
+      (avg_norm_error, topk_recall, exact_bytes)
+    | _ -> Alcotest.fail "hh run must carry Hh_aux"
+  in
+  Alcotest.(check int) "updates" (Sim.pair_stream_length p) r.Sim.updates;
   Alcotest.(check bool) "recall in [0,1]" true
-    (r.Sim.hh_topk_recall >= 0.0 && r.Sim.hh_topk_recall <= 1.0);
-  Alcotest.(check bool) "paid communication" true (r.Sim.hh_total_bytes > 0);
-  Alcotest.(check bool) "exact baseline positive" true (r.Sim.hh_exact_bytes > 0);
+    (topk_recall >= 0.0 && topk_recall <= 1.0);
+  Alcotest.(check bool) "paid communication" true (r.Sim.total_bytes > 0);
+  Alcotest.(check bool) "exact baseline positive" true (exact_bytes > 0);
   Alcotest.(check bool)
-    (Printf.sprintf "norm error %.4f small" r.Sim.hh_avg_norm_error)
-    true
-    (r.Sim.hh_avg_norm_error < 0.05)
+    (Printf.sprintf "norm error %.4f small" avg_norm_error)
+    true (avg_norm_error < 0.05)
 
 let test_sketch_ablation_runs () =
   (* The generic runner must work over BJKST and HLL too. *)
@@ -131,6 +141,54 @@ let test_sketch_ablation_runs () =
         (Printf.sprintf "final error %.3f acceptable" err)
         true (err < 0.25))
     [ rb; rh ]
+
+(* The deprecated wrappers are exercised here ON PURPOSE, and nowhere
+   else: this is the one test that pins them bit-identical to the
+   unified Simulation.run, field by field, so every other caller can
+   migrate with confidence. *)
+module Legacy = struct
+  [@@@ocaml.alert "-deprecated"]
+
+  let run_dc = Sim.run_dc
+  let run_ds = Sim.run_ds
+  let run_hh = Sim.run_hh
+end
+
+let test_legacy_wrappers_bit_identical () =
+  (* DC *)
+  let l = Legacy.run_dc ~seed:5 ~algorithm:Dc.LS ~theta:0.05 ~alpha:0.05 stream in
+  let u = Sim.run ~seed:5 (Query.dc ~theta:0.05 ~alpha:0.05 Dc.LS) stream in
+  Alcotest.(check int) "dc updates" u.Sim.updates l.Sim.dc_updates;
+  Alcotest.(check int) "dc total bytes" u.Sim.total_bytes l.Sim.dc_total_bytes;
+  Alcotest.(check int) "dc bytes up" u.Sim.bytes_up l.Sim.dc_bytes_up;
+  Alcotest.(check int) "dc bytes down" u.Sim.bytes_down l.Sim.dc_bytes_down;
+  Alcotest.(check int) "dc sends" u.Sim.sends l.Sim.dc_sends;
+  Alcotest.(check (float 0.0))
+    "dc estimate" u.Sim.final_estimate l.Sim.dc_final_estimate;
+  Alcotest.(check int) "dc truth" u.Sim.final_truth l.Sim.dc_final_truth;
+  (* DS *)
+  let l = Legacy.run_ds ~seed:5 ~algorithm:Ds.GCS ~theta:0.3 ~threshold:64 stream in
+  let u = Sim.run ~seed:5 (Query.ds ~theta:0.3 ~threshold:64 Ds.GCS) stream in
+  let level, sample, max_count_error = ds_aux u in
+  Alcotest.(check int) "ds total bytes" u.Sim.total_bytes l.Sim.ds_total_bytes;
+  Alcotest.(check int) "ds sends" u.Sim.sends l.Sim.ds_sends;
+  Alcotest.(check int) "ds level" level l.Sim.ds_final_level;
+  Alcotest.(check bool) "ds sample" true (sample = l.Sim.ds_final_sample);
+  Alcotest.(check (float 0.0))
+    "ds estimate" u.Sim.final_estimate l.Sim.ds_distinct_estimate;
+  Alcotest.(check (float 0.0))
+    "ds count error" max_count_error l.Sim.ds_max_count_error;
+  (* HH *)
+  let cfg = { Http.default with requests = 2_000 } in
+  let p = Sim.pair_stream_of_requests cfg Http.Per_region (Http.generate cfg) in
+  let l = Legacy.run_hh ~seed:5 ~algorithm:Dc.LS ~theta:0.2 ~config:hh_config p in
+  let u =
+    Sim.run ~seed:5
+      (Query.hh ~theta:0.2 ~config:hh_config Dc.LS)
+      (Sim.stream_of_pairs p)
+  in
+  Alcotest.(check int) "hh total bytes" u.Sim.total_bytes l.Sim.hh_total_bytes;
+  Alcotest.(check int) "hh sends" u.Sim.sends l.Sim.hh_sends
 
 let () =
   Alcotest.run "simulation"
@@ -159,4 +217,9 @@ let () =
         [ Alcotest.test_case "report" `Quick test_run_hh_report ] );
       ( "ablation",
         [ Alcotest.test_case "other sketches" `Quick test_sketch_ablation_runs ] );
+      ( "legacy",
+        [
+          Alcotest.test_case "wrappers = unified run" `Quick
+            test_legacy_wrappers_bit_identical;
+        ] );
     ]

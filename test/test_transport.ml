@@ -3,10 +3,6 @@
    byte ledgers), the ledger-vs-wire byte reconciliation, crash windows
    as real disconnections, and version-mismatch handshake rejection. *)
 
-(* The legacy run_dc/run_ds/run_hh wrappers are exercised here on
-   purpose: they must stay bit-identical to the unified Simulation.run. *)
-[@@@ocaml.alert "-deprecated"]
-
 module Wire = Wd_net.Wire
 module Frame = Wd_net.Wire.Frame
 module Network = Wd_net.Network
@@ -18,6 +14,7 @@ module Frame_io = Wd_net.Frame_io
 module Dc = Wd_protocol.Dc_tracker
 module Ds = Wd_protocol.Ds_tracker
 module Simulation = Whats_different.Simulation
+module Query = Wd_view.Query
 module Stream_gen = Wd_workload.Stream_gen
 module Http = Wd_workload.Http_trace
 module Sink = Wd_obs.Sink
@@ -306,9 +303,10 @@ let reap pids =
       | _, _ -> Alcotest.fail "relay exited abnormally")
     pids
 
-let run_dc ?transport ?(faults = Faults.none) ?sink () =
-  Simulation.run_dc ~seed:7 ?transport ~faults ?sink ~algorithm:Dc.LS
-    ~theta:0.015 ~alpha:0.085 (Lazy.force stream)
+let run_dc ?transport ?topology ?(faults = Faults.none) ?sink () =
+  Simulation.run ~seed:7 ?transport ?topology ~faults ?sink
+    (Query.dc ~theta:0.015 ~alpha:0.085 Dc.LS)
+    (Lazy.force stream)
 
 (* The documented ledger-vs-wire laws, plus the relays' own counters. *)
 let reconcile coord ws net =
@@ -343,12 +341,12 @@ let reconcile coord ws net =
     (sum (fun r -> r.Socket.bytes_sent))
 
 (* One socket-backed dc run; returns the run record and the wire stats. *)
-let socket_run ?faults ?sink () =
+let socket_run ?topology ?faults ?sink () =
   let path = sock_path () in
   let pids = spawn_relays ~path in
   let coord = Socket.Coordinator.connect ~path ~sites () in
   let transport = Socket.Coordinator.pack coord in
-  let r = run_dc ~transport ?faults ?sink () in
+  let r = run_dc ~transport ?topology ?faults ?sink () in
   reap pids;
   let ws = Option.get (Transport.wire_stats transport) in
   reconcile coord ws (Transport.ledger transport);
@@ -429,10 +427,10 @@ let reconcile_tcp coord ws net =
     && ws.Transport.batch_inner_frames >= ws.Transport.batch_envelopes)
 
 (* One tcp-backed dc run over two multiplexed relay processes. *)
-let tcp_run ?faults ?sink () =
+let tcp_run ?topology ?faults ?sink () =
   let coord, pids = tcp_coordinator ~sites () in
   let transport = Tcp.Coordinator.pack coord in
-  let r = run_dc ~transport ?faults ?sink () in
+  let r = run_dc ~transport ?topology ?faults ?sink () in
   reap pids;
   let ws = Option.get (Transport.wire_stats transport) in
   reconcile_tcp coord ws (Transport.ledger transport);
@@ -460,23 +458,25 @@ let check_traces_equal label (a : Event.t list) (b : Event.t list) =
           ea.Event.time eb.Event.time)
     (List.combine a b)
 
-let check_runs_equal (a : Simulation.dc_run) (b : Simulation.dc_run) =
+let check_runs_equal (a : Simulation.run) (b : Simulation.run) =
   Alcotest.(check (float 0.0))
-    "estimate" a.Simulation.dc_final_estimate b.Simulation.dc_final_estimate;
-  Alcotest.(check int) "truth" a.Simulation.dc_final_truth
-    b.Simulation.dc_final_truth;
-  Alcotest.(check int) "sends" a.Simulation.dc_sends b.Simulation.dc_sends;
-  Alcotest.(check int) "bytes up" a.Simulation.dc_bytes_up
-    b.Simulation.dc_bytes_up;
-  Alcotest.(check int) "bytes down" a.Simulation.dc_bytes_down
-    b.Simulation.dc_bytes_down;
-  Alcotest.(check int) "total bytes" a.Simulation.dc_total_bytes
-    b.Simulation.dc_total_bytes;
-  Alcotest.(check int) "drops" a.Simulation.dc_drops b.Simulation.dc_drops;
-  Alcotest.(check int) "retries" a.Simulation.dc_retries
-    b.Simulation.dc_retries;
-  Alcotest.(check int) "lost updates" a.Simulation.dc_lost_updates
-    b.Simulation.dc_lost_updates
+    "estimate" a.Simulation.final_estimate b.Simulation.final_estimate;
+  Alcotest.(check int) "truth" a.Simulation.final_truth
+    b.Simulation.final_truth;
+  Alcotest.(check int) "sends" a.Simulation.sends b.Simulation.sends;
+  Alcotest.(check int) "bytes up" a.Simulation.bytes_up
+    b.Simulation.bytes_up;
+  Alcotest.(check int) "bytes down" a.Simulation.bytes_down
+    b.Simulation.bytes_down;
+  Alcotest.(check int) "total bytes" a.Simulation.total_bytes
+    b.Simulation.total_bytes;
+  Alcotest.(check int) "backbone bytes" a.Simulation.backbone_bytes
+    b.Simulation.backbone_bytes;
+  Alcotest.(check int) "drops" a.Simulation.drops b.Simulation.drops;
+  Alcotest.(check int) "retries" a.Simulation.retries
+    b.Simulation.retries;
+  Alcotest.(check int) "lost updates" a.Simulation.lost_updates
+    b.Simulation.lost_updates
 
 let test_sim_socket_equivalence () =
   let r_sim = run_dc () in
@@ -521,7 +521,7 @@ let test_crash_reconnect_equivalence () =
   let r_sock, ws = socket_run ~faults:(crash_faults ()) () in
   check_runs_equal r_sim r_sock;
   Alcotest.(check bool) "run actually lost updates" true
-    (r_sim.Simulation.dc_lost_updates > 0);
+    (r_sim.Simulation.lost_updates > 0);
   Alcotest.(check bool) "site reconnected" true (ws.Transport.reconnects >= 1);
   Alcotest.(check bool) "crash-window charges skipped on the wire" true
     (ws.Transport.skipped_up + ws.Transport.skipped_down >= 0)
@@ -536,7 +536,7 @@ let test_tcp_crash_reconnect_equivalence () =
   check_runs_equal r_sim r_tcp;
   check_runs_equal r_sock r_tcp;
   Alcotest.(check bool) "run actually lost updates" true
-    (r_tcp.Simulation.dc_lost_updates > 0);
+    (r_tcp.Simulation.lost_updates > 0);
   Alcotest.(check bool) "crashed site detached and reattached" true
     (ws_tcp.Transport.reconnects >= 1);
   Alcotest.(check int) "same reconnect count as socket"
@@ -547,9 +547,10 @@ let test_tcp_crash_reconnect_equivalence () =
 
 (* --- three-way battery: DS and HH cells --- *)
 
-let run_ds ?transport () =
-  Simulation.run_ds ~seed:7 ?transport ~algorithm:Ds.GCS ~theta:0.25
-    ~threshold:256 (Lazy.force stream)
+let run_ds ?transport ?topology () =
+  Simulation.run ~seed:7 ?transport ?topology
+    (Query.ds ~theta:0.25 ~threshold:256 Ds.GCS)
+    (Lazy.force stream)
 
 let with_socket_transport ~sites f =
   let path = sock_path () in
@@ -598,7 +599,7 @@ let test_three_way_ds_equivalence () =
     with_tcp_transport ~sites (fun transport -> run_ds ~transport ())
   in
   Alcotest.(check bool) "ds paid communication" true
-    (r_sim.Simulation.ds_total_bytes > 0);
+    (r_sim.Simulation.total_bytes > 0);
   Alcotest.(check bool) "sim = socket (full ds record)" true (r_sim = r_sock);
   Alcotest.(check bool) "sim = tcp (full ds record)" true (r_sim = r_tcp)
 
@@ -608,11 +609,13 @@ let hh_inputs =
      let p = Simulation.pair_stream_of_requests cfg Http.Per_region (Http.generate cfg) in
      (p, Simulation.pair_stream_sites p))
 
-let run_hh ?transport () =
+let run_hh ?transport ?topology () =
   let p, _ = Lazy.force hh_inputs in
-  Simulation.run_hh ~seed:7 ?transport ~algorithm:Dc.LS ~theta:0.2
-    ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 128; bitmaps = 10 }
-    p
+  Simulation.run ~seed:7 ?transport ?topology
+    (Query.hh ~theta:0.2
+       ~config:{ Wd_aggregate.Fm_array.rows = 3; cols = 128; bitmaps = 10 }
+       Dc.LS)
+    (Simulation.stream_of_pairs p)
 
 let test_three_way_hh_equivalence () =
   let _, hh_sites = Lazy.force hh_inputs in
@@ -625,9 +628,66 @@ let test_three_way_hh_equivalence () =
     with_tcp_transport ~sites:hh_sites (fun transport -> run_hh ~transport ())
   in
   Alcotest.(check bool) "hh paid communication" true
-    (r_sim.Simulation.hh_total_bytes > 0);
+    (r_sim.Simulation.total_bytes > 0);
   Alcotest.(check bool) "sim = socket (full hh record)" true (r_sim = r_sock);
   Alcotest.(check bool) "sim = tcp (full hh record)" true (r_sim = r_tcp)
+
+(* --- depth-2 tree battery --- *)
+
+(* The hierarchical extension of the three-way battery: the same tree
+   topology installed on every backend's ledger must leave the full run
+   record — including the new backbone counters — bit-identical, because
+   backbone hops are pure ledger arithmetic shared by construction. *)
+let tree_topo () =
+  match Wd_net.Topology.of_spec ~sites "tree:regions=2" with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_three_way_tree_dc_equivalence () =
+  let topology = tree_topo () in
+  Alcotest.(check int) "depth 2" 2 (Wd_net.Topology.depth topology);
+  let r_sim = run_dc ~topology () in
+  let r_sock, _ = socket_run ~topology () in
+  let r_tcp, _ = tcp_run ~topology () in
+  check_runs_equal r_sim r_sock;
+  check_runs_equal r_sim r_tcp;
+  Alcotest.(check bool) "backbone paid" true
+    (r_sim.Simulation.backbone_bytes > 0);
+  (* The tree only adds backbone charges on top of the flat run. *)
+  let r_flat = run_dc () in
+  Alcotest.(check int) "site-link bytes unchanged by the tree"
+    r_flat.Simulation.total_bytes r_sim.Simulation.total_bytes;
+  Alcotest.(check (float 0.0))
+    "estimate unchanged by the tree" r_flat.Simulation.final_estimate
+    r_sim.Simulation.final_estimate
+
+(* An aggregator crash mid-run over the real TCP backend: the crash
+   window swallows forwarded frames (charged but lost), and the sim and
+   tcp ledgers must agree on every counter anyway. *)
+let agg_crash_faults topology =
+  let node = Wd_net.Topology.node_of_agg topology 0 in
+  match
+    Faults.of_spec ~seed:3 (Printf.sprintf "crash=%d:5000:8000" node)
+  with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let test_tcp_tree_aggregator_crash () =
+  let topology = tree_topo () in
+  let r_sim = run_dc ~topology ~faults:(agg_crash_faults topology) () in
+  let r_tcp, _ =
+    tcp_run ~topology ~faults:(agg_crash_faults topology) ()
+  in
+  check_runs_equal r_sim r_tcp;
+  Alcotest.(check bool) "backbone paid" true
+    (r_tcp.Simulation.backbone_bytes > 0);
+  (* The crash must actually have been exercised: frames charged into
+     the dead aggregator were lost, so the answer still lands but the
+     run is not byte-identical to the fault-free tree run. *)
+  let r_clean = run_dc ~topology () in
+  Alcotest.(check bool) "aggregator crash changed the run" true
+    (r_sim.Simulation.backbone_bytes <> r_clean.Simulation.backbone_bytes
+    || r_sim.Simulation.total_bytes <> r_clean.Simulation.total_bytes)
 
 (* --- handshake rejection --- *)
 
@@ -837,6 +897,10 @@ let () =
             test_three_way_hh_equivalence;
           Alcotest.test_case "tcp crash windows detach and reattach" `Quick
             test_tcp_crash_reconnect_equivalence;
+          Alcotest.test_case "dc depth-2 tree: sim = socket = tcp" `Quick
+            test_three_way_tree_dc_equivalence;
+          Alcotest.test_case "tcp aggregator crash mid-run" `Quick
+            test_tcp_tree_aggregator_crash;
           Alcotest.test_case "tcp version mismatch rejected" `Quick
             test_tcp_version_mismatch_rejected;
         ] );
